@@ -1,0 +1,59 @@
+// Design-choice ablation (DESIGN.md §1): the paper warm-starts word/position
+// embeddings from TinyBERT; our substitution is Word2Vec co-occurrence
+// pre-initialization plus the paper's own entity-embedding init ("averaged
+// word embeddings in entity names"). This bench measures what that buys
+// under a fixed small pre-training budget versus random initialization.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/word_init.h"
+
+int main() {
+  using namespace turl;
+  bench::BenchEnv env = bench::MakeEnv();
+  bench::PrintBanner(env, "Ablation: word-embedding initialization");
+
+  core::Pretrainer::Options opts;
+  opts.epochs = 3;
+  opts.max_train_tables = 1200;
+  opts.eval_every = 1200;
+  opts.seed = 7;
+
+  auto run = [&](bool use_word2vec_init) {
+    core::TurlConfig config = env.model_config;
+    config.pretrain_epochs = opts.epochs;
+    core::TurlModel model(config, env.ctx.vocab.size(),
+                          env.ctx.entity_vocab.size(), /*seed=*/11);
+    if (use_word2vec_init) {
+      Rng rng(3);
+      baselines::Word2VecConfig w2v;
+      w2v.epochs = 4;
+      const int replaced =
+          core::InitializeFromWord2Vec(&model, env.ctx, w2v, &rng);
+      std::printf("word2vec init: %d word rows replaced\n", replaced);
+    }
+    core::Pretrainer pretrainer(&model, &env.ctx);
+    return pretrainer.Train(opts);
+  };
+
+  core::PretrainResult w2v_init = run(true);
+  core::PretrainResult random_init = run(false);
+
+  std::printf("\n%10s %18s %18s\n", "step", "ACC (w2v init)",
+              "ACC (random init)");
+  const size_t n =
+      std::min(w2v_init.eval_curve.size(), random_init.eval_curve.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::printf("%10lld %18.3f %18.3f\n",
+                static_cast<long long>(w2v_init.eval_curve[i].first),
+                w2v_init.eval_curve[i].second,
+                random_init.eval_curve[i].second);
+  }
+  std::printf("\nfinal: word2vec init %.3f vs random init %.3f\n",
+              w2v_init.final_accuracy, random_init.final_accuracy);
+  std::printf("expected shape: informed initialization helps early; the gap "
+              "narrows as pre-training progresses (same reason the paper "
+              "starts from TinyBERT).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#ifndef TURL_BENCH_BENCH_COMMON_H_
+#define TURL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/context.h"
+#include "core/model.h"
+#include "core/model_cache.h"
+#include "core/pretrain.h"
+
+namespace turl {
+namespace bench {
+
+/// The shared experimental environment: every table/figure binary builds the
+/// same synthetic world, corpus and vocabularies from the same seed, and
+/// shares one pre-trained checkpoint through the on-disk cache
+/// ($TURL_CACHE, default <cwd>/turl_cache). The first binary to run pays the
+/// pre-training cost; the rest load the checkpoint.
+struct BenchEnv {
+  core::ContextConfig context_config;
+  core::TurlConfig model_config;
+  core::TurlContext ctx;
+  std::string cache_dir;
+};
+
+inline BenchEnv MakeEnv() {
+  BenchEnv env;
+  env.context_config.corpus.num_tables = 3000;
+  env.context_config.seed = 42;
+  env.model_config = core::TurlConfig{};  // Repro-scale defaults.
+  env.cache_dir = core::DefaultCacheDir();
+  env.ctx = core::BuildContext(env.context_config);
+  return env;
+}
+
+/// Prints the standard experiment banner (model + corpus configuration).
+inline void PrintBanner(const BenchEnv& env, const char* experiment) {
+  std::printf("== %s ==\n", experiment);
+  std::printf(
+      "config: N=%d d_model=%lld d_ff=%lld heads=%d | corpus %zu tables "
+      "(train %zu / valid %zu / test %zu) | word vocab %d | entity vocab %d\n",
+      env.model_config.num_layers,
+      static_cast<long long>(env.model_config.d_model),
+      static_cast<long long>(env.model_config.d_intermediate),
+      env.model_config.num_heads, env.ctx.corpus.tables.size(),
+      env.ctx.corpus.train.size(), env.ctx.corpus.valid.size(),
+      env.ctx.corpus.test.size(), env.ctx.vocab.size(),
+      env.ctx.entity_vocab.size());
+}
+
+/// Standard pre-training options used for the shared checkpoint.
+inline core::Pretrainer::Options StandardPretrainOptions() {
+  core::Pretrainer::Options opts;
+  opts.seed = 7;
+  return opts;
+}
+
+/// Builds a fresh model with the env's configuration and loads (or trains)
+/// the shared pre-trained checkpoint.
+inline std::unique_ptr<core::TurlModel> LoadPretrained(const BenchEnv& env) {
+  auto model = std::make_unique<core::TurlModel>(
+      env.model_config, env.ctx.vocab.size(), env.ctx.entity_vocab.size(),
+      /*seed=*/11);
+  core::GetOrTrainModel(model.get(), env.ctx, StandardPretrainOptions(),
+                        env.cache_dir);
+  return model;
+}
+
+/// Builds a randomly initialized model (the no-pre-training baselines).
+inline std::unique_ptr<core::TurlModel> FreshModel(const BenchEnv& env,
+                                                   bool use_visibility,
+                                                   uint64_t seed = 23) {
+  core::TurlConfig config = env.model_config;
+  config.use_visibility_matrix = use_visibility;
+  return std::make_unique<core::TurlModel>(config, env.ctx.vocab.size(),
+                                           env.ctx.entity_vocab.size(), seed);
+}
+
+}  // namespace bench
+}  // namespace turl
+
+#endif  // TURL_BENCH_BENCH_COMMON_H_

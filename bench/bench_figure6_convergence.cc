@@ -1,0 +1,65 @@
+// Reproduces Figure 6: validation MAP vs. fine-tuning steps for relation
+// extraction — TURL (pre-trained init) converges much faster than the
+// BERT-style baseline (random init, metadata only).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "tasks/relation_extraction.h"
+
+int main() {
+  using namespace turl;
+  bench::BenchEnv env = bench::MakeEnv();
+  bench::PrintBanner(env, "Figure 6: relation-extraction convergence (validation MAP)");
+
+  tasks::RelationDataset dataset = tasks::BuildRelationDataset(env.ctx);
+  std::printf("dataset: %d relations, %zu train pairs, %zu valid pairs\n",
+              dataset.num_labels(), dataset.train.size(),
+              dataset.valid.size());
+
+  tasks::FinetuneOptions ft;
+  ft.epochs = 3;
+  ft.max_tables = 300;
+  const int64_t kEvalEvery = 100;
+
+  auto run = [&](core::TurlModel* model, tasks::InputVariant variant,
+                 const char* name) {
+    tasks::TurlRelationExtractor extractor(model, &env.ctx, &dataset, variant,
+                                           31);
+    std::vector<std::pair<int64_t, double>> curve;
+    curve.emplace_back(0, extractor.EvaluateMap(dataset.valid, 150));
+    extractor.Finetune(ft, kEvalEvery, [&](int64_t step, double map) {
+      curve.emplace_back(step, map);
+    });
+    std::printf("\n%s:\n%8s %8s\n", name, "step", "MAP");
+    for (const auto& [step, map] : curve) {
+      std::printf("%8lld %8.4f\n", static_cast<long long>(step), map);
+    }
+    return curve;
+  };
+
+  auto turl_model = bench::LoadPretrained(env);
+  auto turl_curve =
+      run(turl_model.get(), tasks::InputVariant::Full(), "TURL (pre-trained)");
+
+  auto bert_model = bench::FreshModel(env, /*use_visibility=*/false);
+  auto bert_curve = run(bert_model.get(), tasks::InputVariant::OnlyMetadata(),
+                        "BERT-based (random init)");
+
+  // Crossover summary: first step at which each model exceeds MAP 0.7.
+  auto first_above = [](const std::vector<std::pair<int64_t, double>>& curve,
+                        double threshold) -> long long {
+    for (const auto& [step, map] : curve) {
+      if (map >= threshold) return static_cast<long long>(step);
+    }
+    return -1;
+  };
+  for (double th : {0.8, 0.95, 0.99}) {
+    std::printf("\nfirst step with MAP >= %.2f: TURL %lld vs BERT-based %lld",
+                th, first_above(turl_curve, th), first_above(bert_curve, th));
+  }
+  std::printf("\n\npaper shape: the pre-trained model reaches high MAP in far "
+              "fewer steps.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figure 7a: validation object-entity-prediction accuracy over
+// pre-training steps, with and without the visibility matrix. Without it,
+// every element attends to every other element (a conventional Transformer)
+// and the model struggles to isolate the relevant row/column context.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/model_cache.h"
+
+int main() {
+  using namespace turl;
+  bench::BenchEnv env = bench::MakeEnv();
+  bench::PrintBanner(env, "Figure 7a: visibility-matrix ablation");
+
+  core::Pretrainer::Options opts;
+  opts.epochs = 3;
+  opts.max_train_tables = 1200;
+  opts.eval_every = 600;
+  opts.seed = 7;
+
+  auto run = [&](bool use_visibility) {
+    core::TurlConfig config = env.model_config;
+    config.use_visibility_matrix = use_visibility;
+    config.pretrain_epochs = opts.epochs;
+    core::TurlModel model(config, env.ctx.vocab.size(),
+                          env.ctx.entity_vocab.size(), /*seed=*/11);
+    // Separate cache slots (the tag encodes vis/novis) so re-runs are free —
+    // but the eval curve is only produced by a real training run, so train
+    // unconditionally here and print the curve.
+    core::Pretrainer pretrainer(&model, &env.ctx);
+    return pretrainer.Train(opts);
+  };
+
+  core::PretrainResult with_vis = run(true);
+  core::PretrainResult without_vis = run(false);
+
+  std::printf("\n%10s %18s %18s\n", "step", "ACC (with M)", "ACC (w/o M)");
+  const size_t n = std::min(with_vis.eval_curve.size(),
+                            without_vis.eval_curve.size());
+  for (size_t i = 0; i < n; ++i) {
+    std::printf("%10lld %18.3f %18.3f\n",
+                static_cast<long long>(with_vis.eval_curve[i].first),
+                with_vis.eval_curve[i].second,
+                without_vis.eval_curve[i].second);
+  }
+  std::printf("\nfinal: with visibility matrix %.3f vs without %.3f\n",
+              with_vis.final_accuracy, without_vis.final_accuracy);
+  std::printf("paper shape: a persistent accuracy gap in favor of the "
+              "visibility matrix throughout pre-training.\n");
+  return 0;
+}

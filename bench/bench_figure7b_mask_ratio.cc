@@ -1,0 +1,57 @@
+// Reproduces Figure 7b: validation object-entity-prediction accuracy over
+// pre-training steps for MER mask ratios {0.2, 0.4, 0.6, 0.8}. Very high
+// ratios starve the model of entity context; very low ratios train on few
+// cells per step and mismatch downstream usage.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace turl;
+  bench::BenchEnv env = bench::MakeEnv();
+  bench::PrintBanner(env, "Figure 7b: MER mask-ratio ablation");
+
+  core::Pretrainer::Options opts;
+  opts.epochs = 3;
+  opts.max_train_tables = 1200;
+  opts.eval_every = 600;
+  opts.seed = 7;
+
+  const float ratios[] = {0.2f, 0.4f, 0.6f, 0.8f};
+  std::vector<core::PretrainResult> results;
+  for (float ratio : ratios) {
+    core::TurlConfig config = env.model_config;
+    config.mer_ratio = ratio;
+    config.pretrain_epochs = opts.epochs;
+    core::TurlModel model(config, env.ctx.vocab.size(),
+                          env.ctx.entity_vocab.size(), /*seed=*/11);
+    core::Pretrainer pretrainer(&model, &env.ctx);
+    results.push_back(pretrainer.Train(opts));
+    std::printf("ratio %.1f trained (%lld steps)\n", ratio,
+                static_cast<long long>(results.back().steps));
+  }
+
+  std::printf("\n%10s", "step");
+  for (float ratio : ratios) std::printf("   ACC(r=%.1f)", ratio);
+  std::printf("\n");
+  size_t rows = results[0].eval_curve.size();
+  for (const auto& r : results) rows = std::min(rows, r.eval_curve.size());
+  for (size_t i = 0; i < rows; ++i) {
+    std::printf("%10lld",
+                static_cast<long long>(results[0].eval_curve[i].first));
+    for (const auto& r : results) {
+      std::printf("%12.3f", r.eval_curve[i].second);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nfinal:");
+  for (size_t j = 0; j < results.size(); ++j) {
+    std::printf("  r=%.1f -> %.3f", ratios[j], results[j].final_accuracy);
+  }
+  std::printf("\npaper shape: 0.8 clearly drops; 0.2 lags the mid ratios; "
+              "0.4-0.6 are close (0.6 chosen in the paper).\n");
+  return 0;
+}

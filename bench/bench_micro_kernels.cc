@@ -1,0 +1,160 @@
+// Microbenchmarks (google-benchmark) of the kernels the experiments sit on:
+// GEMM via MatMul, masked multi-head attention forward/backward, the
+// WordPiece tokenizer, visibility-matrix construction, table encoding,
+// corpus generation and lookup-service candidate generation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/context.h"
+#include "core/model.h"
+#include "core/visibility.h"
+#include "kb/lookup.h"
+#include "nn/ops.h"
+
+namespace {
+
+using namespace turl;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::Zeros({n, n});
+  nn::Tensor b = nn::Tensor::Zeros({n, n});
+  for (int64_t i = 0; i < n * n; ++i) {
+    a.data()[i] = rng.UniformFloat(-1, 1);
+    b.data()[i] = rng.UniformFloat(-1, 1);
+  }
+  for (auto _ : state) {
+    nn::Tensor c = nn::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MaskedAttentionForward(benchmark::State& state) {
+  const int64_t n = state.range(0), d = 64;
+  Rng rng(2);
+  nn::Tensor q = nn::Tensor::Zeros({n, d}), k = nn::Tensor::Zeros({n, d}),
+             v = nn::Tensor::Zeros({n, d});
+  for (int64_t i = 0; i < n * d; ++i) {
+    q.data()[i] = rng.UniformFloat(-1, 1);
+    k.data()[i] = rng.UniformFloat(-1, 1);
+    v.data()[i] = rng.UniformFloat(-1, 1);
+  }
+  std::vector<float> mask(size_t(n * n), 0.f);
+  for (int64_t i = 0; i < n * n; i += 3) mask[size_t(i)] = -1e9f;
+  for (auto _ : state) {
+    nn::Tensor out = nn::MultiHeadAttention(q, k, v, mask, 4);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MaskedAttentionForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MaskedAttentionBackward(benchmark::State& state) {
+  const int64_t n = state.range(0), d = 64;
+  Rng rng(3);
+  nn::Tensor q = nn::Tensor::Zeros({n, d}), k = nn::Tensor::Zeros({n, d}),
+             v = nn::Tensor::Zeros({n, d});
+  std::vector<float> mask(size_t(n * n), 0.f);
+  for (auto _ : state) {
+    nn::Tensor out = nn::MultiHeadAttention(q, k, v, mask, 4);
+    nn::SumAll(out).Backward();
+    benchmark::DoNotOptimize(q.grad());
+  }
+}
+BENCHMARK(BM_MaskedAttentionBackward)->Arg(32)->Arg(64);
+
+/// Fixture state shared by corpus-level benchmarks (built once).
+struct Env {
+  core::TurlContext ctx;
+  Env() {
+    core::ContextConfig config;
+    config.corpus.num_tables = 500;
+    ctx = core::BuildContext(config);
+  }
+};
+Env* GlobalEnv() {
+  static Env* env = new Env();
+  return env;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  Env* env = GlobalEnv();
+  const text::WordPieceTokenizer tokenizer = env->ctx.MakeTokenizer();
+  const std::string caption =
+      env->ctx.corpus.tables[0].caption + " " +
+      env->ctx.corpus.tables[1].caption;
+  for (auto _ : state) {
+    auto ids = tokenizer.Encode(caption);
+    benchmark::DoNotOptimize(ids.data());
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_EncodeTable(benchmark::State& state) {
+  Env* env = GlobalEnv();
+  const text::WordPieceTokenizer tokenizer = env->ctx.MakeTokenizer();
+  for (auto _ : state) {
+    core::EncodedTable encoded = core::EncodeTable(
+        env->ctx.corpus.tables[0], tokenizer, env->ctx.entity_vocab);
+    benchmark::DoNotOptimize(encoded.entity_ids.data());
+  }
+}
+BENCHMARK(BM_EncodeTable);
+
+void BM_BuildVisibilityMask(benchmark::State& state) {
+  Env* env = GlobalEnv();
+  const text::WordPieceTokenizer tokenizer = env->ctx.MakeTokenizer();
+  core::EncodedTable encoded = core::EncodeTable(
+      env->ctx.corpus.tables[0], tokenizer, env->ctx.entity_vocab);
+  for (auto _ : state) {
+    auto mask = core::BuildVisibilityMask(encoded);
+    benchmark::DoNotOptimize(mask.data());
+  }
+}
+BENCHMARK(BM_BuildVisibilityMask);
+
+void BM_ModelEncodeForward(benchmark::State& state) {
+  Env* env = GlobalEnv();
+  const text::WordPieceTokenizer tokenizer = env->ctx.MakeTokenizer();
+  core::EncodedTable encoded = core::EncodeTable(
+      env->ctx.corpus.tables[0], tokenizer, env->ctx.entity_vocab);
+  core::TurlModel model(core::TurlConfig{}, env->ctx.vocab.size(),
+                        env->ctx.entity_vocab.size(), 11);
+  Rng rng(4);
+  for (auto _ : state) {
+    nn::Tensor hidden = model.Encode(encoded, false, &rng);
+    benchmark::DoNotOptimize(hidden.data());
+  }
+}
+BENCHMARK(BM_ModelEncodeForward);
+
+void BM_LookupService(benchmark::State& state) {
+  Env* env = GlobalEnv();
+  static kb::LookupService* lookup =
+      new kb::LookupService(&env->ctx.world.kb);
+  const std::string mention = env->ctx.world.kb.entity(10).name;
+  for (auto _ : state) {
+    auto candidates = lookup->Lookup(mention, 50);
+    benchmark::DoNotOptimize(candidates.data());
+  }
+}
+BENCHMARK(BM_LookupService);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  Rng rng(5);
+  kb::SyntheticKb world = kb::GenerateSyntheticKb(kb::KbGeneratorConfig{},
+                                                  &rng);
+  data::CorpusGeneratorConfig config;
+  config.num_tables = 200;
+  for (auto _ : state) {
+    data::Corpus corpus = data::GenerateCorpus(world, config, &rng);
+    benchmark::DoNotOptimize(corpus.tables.data());
+  }
+}
+BENCHMARK(BM_CorpusGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

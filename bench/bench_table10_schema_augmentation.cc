@@ -1,0 +1,79 @@
+// Reproduces Table 10: schema augmentation MAP with 0 and 1 seed headers
+// for the tf-idf kNN baseline and TURL + fine-tuning.
+
+#include <cstdio>
+
+#include "baselines/knn_schema.h"
+#include "bench_common.h"
+#include "tasks/schema_augmentation.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace turl;
+  bench::BenchEnv env = bench::MakeEnv();
+  bench::PrintBanner(env, "Table 10: schema augmentation");
+
+  tasks::HeaderVocab vocab = tasks::BuildHeaderVocab(env.ctx);
+  std::printf("header vocabulary: %d headers\n", vocab.size());
+
+  baselines::KnnSchemaRecommender knn(env.ctx.corpus, env.ctx.corpus.train);
+
+  std::vector<size_t> eval_tables = env.ctx.corpus.valid;
+  eval_tables.insert(eval_tables.end(), env.ctx.corpus.test.begin(),
+                     env.ctx.corpus.test.end());
+
+  // Fine-tune TURL once on a mix of 0- and 1-seed training queries.
+  std::vector<tasks::SchemaAugInstance> train = tasks::BuildSchemaAugInstances(
+      env.ctx, vocab, env.ctx.corpus.train, /*num_seeds=*/0,
+      /*max_instances=*/400);
+  std::vector<tasks::SchemaAugInstance> train1 =
+      tasks::BuildSchemaAugInstances(env.ctx, vocab, env.ctx.corpus.train, 1,
+                                     400);
+  train.insert(train.end(), train1.begin(), train1.end());
+  auto model = bench::LoadPretrained(env);
+  tasks::TurlSchemaAugmenter augmenter(model.get(), &env.ctx, &vocab, 31);
+  tasks::FinetuneOptions ft;
+  ft.epochs = 4;  // Paper uses 50 epochs for this task; scaled down.
+  WallTimer timer;
+  augmenter.Finetune(train, ft);
+  std::printf("TURL fine-tuning on %zu queries: %.1fs\n", train.size(),
+              timer.ElapsedSeconds());
+
+  std::printf("\n%-22s %14s %14s\n", "Method", "MAP (0 seeds)",
+              "MAP (1 seed)");
+  double knn_map[2], turl_map[2];
+  for (int seeds = 0; seeds <= 1; ++seeds) {
+    std::vector<tasks::SchemaAugInstance> instances =
+        tasks::BuildSchemaAugInstances(env.ctx, vocab, eval_tables, seeds,
+                                       /*max_instances=*/250);
+    std::vector<std::vector<int>> knn_rankings, turl_rankings;
+    for (const auto& inst : instances) {
+      std::vector<std::string> seed_names;
+      for (int h : inst.seed_headers) {
+        seed_names.push_back(vocab.headers[size_t(h)]);
+      }
+      std::vector<int> ranking;
+      for (const baselines::HeaderSuggestion& suggestion : knn.Recommend(
+               env.ctx.corpus.tables[inst.table_index].caption, seed_names)) {
+        const int id = vocab.Id(suggestion.header);
+        if (id >= 0) ranking.push_back(id);
+      }
+      knn_rankings.push_back(std::move(ranking));
+      turl_rankings.push_back(augmenter.Rank(inst));
+    }
+    knn_map[seeds] = tasks::EvaluateSchemaAugmentation(instances, knn_rankings);
+    turl_map[seeds] =
+        tasks::EvaluateSchemaAugmentation(instances, turl_rankings);
+    std::printf("(%d seed: %zu queries)\n", seeds, instances.size());
+  }
+  std::printf("%-22s %14.2f %14.2f\n", "kNN", knn_map[0] * 100,
+              knn_map[1] * 100);
+  std::printf("%-22s %14.2f %14.2f\n", "TURL + fine-tuning", turl_map[0] * 100,
+              turl_map[1] * 100);
+
+  std::printf(
+      "\npaper shape: both competitive; TURL stronger with 0 seeds, kNN "
+      "catches up (or wins) once a seed header pins down near-duplicate "
+      "tables.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces Table 11: a schema-augmentation case study — for a few test
+// queries, the per-query average precision of kNN vs TURL, the headers each
+// predicts, and the caption of kNN's strongest supporting table.
+
+#include <cstdio>
+
+#include "baselines/knn_schema.h"
+#include "bench_common.h"
+#include "tasks/schema_augmentation.h"
+
+int main() {
+  using namespace turl;
+  bench::BenchEnv env = bench::MakeEnv();
+  bench::PrintBanner(env, "Table 11: schema augmentation case study");
+
+  tasks::HeaderVocab vocab = tasks::BuildHeaderVocab(env.ctx);
+  baselines::KnnSchemaRecommender knn(env.ctx.corpus, env.ctx.corpus.train);
+
+  std::vector<tasks::SchemaAugInstance> train = tasks::BuildSchemaAugInstances(
+      env.ctx, vocab, env.ctx.corpus.train, 1, 400);
+  auto model = bench::LoadPretrained(env);
+  tasks::TurlSchemaAugmenter augmenter(model.get(), &env.ctx, &vocab, 31);
+  tasks::FinetuneOptions ft;
+  ft.epochs = 4;
+  augmenter.Finetune(train, ft);
+
+  std::vector<tasks::SchemaAugInstance> queries =
+      tasks::BuildSchemaAugInstances(env.ctx, vocab, env.ctx.corpus.test, 1,
+                                     /*max_instances=*/60);
+  // Pick three diverse cases (first of each distinct pattern).
+  std::vector<size_t> picks;
+  std::vector<std::string> seen_patterns;
+  for (size_t i = 0; i < queries.size() && picks.size() < 3; ++i) {
+    const std::string& pattern =
+        env.ctx.corpus.tables[queries[i].table_index].pattern;
+    bool fresh = true;
+    for (const auto& p : seen_patterns) fresh &= (p != pattern);
+    if (fresh) {
+      picks.push_back(i);
+      seen_patterns.push_back(pattern);
+    }
+  }
+
+  auto ap_of = [&](const tasks::SchemaAugInstance& inst,
+                   const std::vector<int>& ranking) {
+    return tasks::EvaluateSchemaAugmentation({inst}, {ranking});
+  };
+
+  for (size_t pick : picks) {
+    const tasks::SchemaAugInstance& inst = queries[pick];
+    const data::Table& table = env.ctx.corpus.tables[inst.table_index];
+    std::printf("\n---- query: \"%s\"\n", table.caption.c_str());
+    std::printf("seed header: %s | target headers:",
+                inst.seed_headers.empty()
+                    ? "(none)"
+                    : vocab.headers[size_t(inst.seed_headers[0])].c_str());
+    for (int h : inst.gold_headers) {
+      std::printf(" %s,", vocab.headers[size_t(h)].c_str());
+    }
+    std::printf("\n");
+
+    // kNN row.
+    std::vector<std::string> seed_names;
+    for (int h : inst.seed_headers) {
+      seed_names.push_back(vocab.headers[size_t(h)]);
+    }
+    std::vector<int> knn_ranking;
+    for (const auto& s : knn.Recommend(table.caption, seed_names)) {
+      const int id = vocab.Id(s.header);
+      if (id >= 0) knn_ranking.push_back(id);
+    }
+    std::printf("kNN  AP %.2f | predicted:", ap_of(inst, knn_ranking));
+    for (size_t i = 0; i < knn_ranking.size() && i < 5; ++i) {
+      std::printf(" %s,", vocab.headers[size_t(knn_ranking[i])].c_str());
+    }
+    auto neighbors = knn.Neighbors(table.caption, 1);
+    if (!neighbors.empty()) {
+      std::printf("\n     support caption: \"%s\" (sim %.2f)",
+                  env.ctx.corpus.tables[neighbors[0].table_index]
+                      .caption.c_str(),
+                  neighbors[0].similarity);
+    }
+    std::printf("\n");
+
+    // TURL row.
+    std::vector<int> turl_ranking = augmenter.Rank(inst);
+    std::printf("TURL AP %.2f | predicted:", ap_of(inst, turl_ranking));
+    for (size_t i = 0; i < turl_ranking.size() && i < 5; ++i) {
+      std::printf(" %s,", vocab.headers[size_t(turl_ranking[i])].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\npaper shape: kNN excels when a near-duplicate table exists (compare "
+      "support caption vs query); TURL proposes plausible semantically "
+      "related headers.\n");
+  return 0;
+}

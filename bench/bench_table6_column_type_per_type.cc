@@ -1,0 +1,122 @@
+// Reproduces Table 6: per-type F1 on the validation set for the five
+// highlighted types (person, pro_athlete, actor, location, citytown),
+// comparing Sherlock against the TURL input variants.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/sherlock.h"
+#include "bench_common.h"
+#include "tasks/column_type.h"
+
+namespace {
+
+using namespace turl;
+
+const char* kTypes[] = {"person", "pro_athlete", "actor", "location",
+                        "citytown"};
+
+std::vector<std::string> ColumnCells(const data::Corpus& corpus,
+                                     const tasks::ColumnTypeInstance& inst) {
+  std::vector<std::string> cells;
+  for (const data::EntityCell& cell :
+       corpus.tables[inst.table_index].columns[size_t(inst.column)].cells) {
+    cells.push_back(cell.mention);
+  }
+  return cells;
+}
+
+void PrintRow(const char* name, const std::vector<double>& f1s) {
+  std::printf("%-42s", name);
+  for (double f : f1s) std::printf(" %7.2f", f * 100);
+  std::printf("\n");
+}
+
+std::vector<double> SelectTypes(const tasks::ColumnTypeDataset& dataset,
+                                const std::vector<eval::Prf>& per_label) {
+  std::vector<double> out;
+  for (const char* type : kTypes) {
+    const int label = dataset.LabelOf(type);
+    out.push_back(label >= 0 ? per_label[size_t(label)].f1 : 0.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace turl;
+  bench::BenchEnv env = bench::MakeEnv();
+  bench::PrintBanner(env, "Table 6: per-type column annotation (validation)");
+
+  tasks::ColumnTypeDataset dataset = tasks::BuildColumnTypeDataset(env.ctx);
+  std::printf("dataset: %d types, %zu train / %zu valid columns\n",
+              dataset.num_labels(), dataset.train.size(),
+              dataset.valid.size());
+
+  // Sherlock per-type F1.
+  std::vector<std::vector<float>> train_x;
+  std::vector<std::vector<int>> train_y;
+  for (const auto& inst : dataset.train) {
+    train_x.push_back(
+        baselines::SherlockFeatures(ColumnCells(env.ctx.corpus, inst)));
+    train_y.push_back(inst.labels);
+  }
+  baselines::SherlockClassifier sherlock(dataset.num_labels(), 64, 5);
+  Rng rng(9);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    sherlock.TrainEpoch(train_x, train_y, 1e-3f, &rng);
+  }
+  const int L = dataset.num_labels();
+  std::vector<int64_t> tp(size_t(L), 0), fp(size_t(L), 0), fn(size_t(L), 0);
+  for (const auto& inst : dataset.valid) {
+    auto pred = sherlock.PredictLabels(
+        baselines::SherlockFeatures(ColumnCells(env.ctx.corpus, inst)));
+    std::vector<bool> is_pred(size_t(L), false), is_gold(size_t(L), false);
+    for (int l : pred) is_pred[size_t(l)] = true;
+    for (int l : inst.labels) is_gold[size_t(l)] = true;
+    for (int l = 0; l < L; ++l) {
+      if (is_pred[size_t(l)] && is_gold[size_t(l)]) ++tp[size_t(l)];
+      if (is_pred[size_t(l)] && !is_gold[size_t(l)]) ++fp[size_t(l)];
+      if (!is_pred[size_t(l)] && is_gold[size_t(l)]) ++fn[size_t(l)];
+    }
+  }
+  std::vector<eval::Prf> sherlock_per_label;
+  for (int l = 0; l < L; ++l) {
+    sherlock_per_label.push_back(
+        eval::ComputePrf(tp[size_t(l)], fp[size_t(l)], fn[size_t(l)]));
+  }
+
+  tasks::FinetuneOptions ft;
+  ft.epochs = 2;
+  ft.max_tables = 400;
+  auto run_variant = [&](tasks::InputVariant variant) {
+    auto model = bench::LoadPretrained(env);
+    tasks::TurlColumnTyper typer(model.get(), &env.ctx, &dataset, variant, 31);
+    typer.Finetune(ft);
+    return SelectTypes(dataset, typer.EvaluatePerLabel(dataset.valid));
+  };
+
+  std::printf("\n%-42s", "Method");
+  for (const char* t : kTypes) std::printf(" %7s", t);
+  std::printf("\n");
+  PrintRow("Sherlock", SelectTypes(dataset, sherlock_per_label));
+  PrintRow("TURL + fine-tuning", run_variant(tasks::InputVariant::Full()));
+  PrintRow("  only entity mention",
+           run_variant(tasks::InputVariant::OnlyEntityMention()));
+  PrintRow("  w/o table metadata",
+           run_variant(tasks::InputVariant::WithoutMetadata()));
+  PrintRow("  w/o learned embedding",
+           run_variant(tasks::InputVariant::WithoutLearnedEmbedding()));
+  PrintRow("  only table metadata",
+           run_variant(tasks::InputVariant::OnlyMetadata()));
+  PrintRow("  only learned embedding",
+           run_variant(tasks::InputVariant::OnlyLearnedEmbedding()));
+
+  std::printf(
+      "\npaper shape: coarse types (person/location) easy for everyone; "
+      "fine-grained (actor/citytown) need table context — metadata variants "
+      "beat mention-only there.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces Table 9: cell filling P@1/3/5/10 for Exact, H2H, H2V and TURL
+// (no fine-tuning — MER-style masked prediction), all over the shared
+// candidate-value-finding module, plus the §6.6 candidate statistics.
+
+#include <cstdio>
+
+#include "baselines/cell_filling.h"
+#include "bench_common.h"
+#include "tasks/cell_filling.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace turl;
+
+void PrintRow(const char* name, const tasks::CellFillResult& r) {
+  std::printf("%-10s %8.2f %8.2f %8.2f %8.2f\n", name, r.p_at_1 * 100,
+              r.p_at_3 * 100, r.p_at_5 * 100, r.p_at_10 * 100);
+}
+
+}  // namespace
+
+int main() {
+  using namespace turl;
+  bench::BenchEnv env = bench::MakeEnv();
+  bench::PrintBanner(env, "Table 9: cell filling");
+
+  baselines::CellFillingIndex index(env.ctx.corpus, env.ctx.corpus.train);
+  Rng w2v_rng(3);
+  baselines::Word2Vec header_w2v = baselines::TrainHeaderEmbeddings(
+      env.ctx.corpus, env.ctx.corpus.train, baselines::Word2VecConfig{},
+      &w2v_rng);
+  baselines::CellFillingRankers rankers(&index, &header_w2v);
+
+  std::vector<size_t> eval_tables = env.ctx.corpus.valid;
+  eval_tables.insert(eval_tables.end(), env.ctx.corpus.test.begin(),
+                     env.ctx.corpus.test.end());
+  std::vector<tasks::CellFillInstance> instances =
+      tasks::BuildCellFillInstances(env.ctx, index, eval_tables,
+                                    /*min_valid_pairs=*/3,
+                                    /*max_instances=*/800);
+  tasks::CellFillCandidateStats stats =
+      tasks::ComputeCandidateStats(instances);
+  std::printf("candidate finding (all row-mates): %lld queries, recall "
+              "%.2f%%, avg %.1f candidates\n",
+              static_cast<long long>(stats.num_instances),
+              stats.recall * 100, stats.avg_candidates);
+  {
+    // The paper also quotes the P(h\'|h) > 0 filtered variant.
+    std::vector<tasks::CellFillInstance> filtered =
+        tasks::BuildCellFillInstances(env.ctx, index, eval_tables, 3, 800,
+                                      /*filter_by_header=*/true);
+    tasks::CellFillCandidateStats fstats =
+        tasks::ComputeCandidateStats(filtered);
+    std::printf("after P(h\'|h)>0 filter: recall %.2f%%, avg %.1f "
+                "candidates\n",
+                fstats.recall * 100, fstats.avg_candidates);
+  }
+
+  auto score_with = [&](const std::function<double(
+                            const baselines::CellCandidate&,
+                            const std::string&)>& scorer) {
+    std::vector<std::vector<double>> all;
+    all.reserve(instances.size());
+    for (const auto& inst : instances) {
+      const std::string& header =
+          env.ctx.corpus.tables[inst.table_index]
+              .columns[size_t(inst.object_column)]
+              .header;
+      std::vector<double> scores;
+      scores.reserve(inst.candidates.size());
+      for (const auto& cand : inst.candidates) {
+        scores.push_back(scorer(cand, header));
+      }
+      all.push_back(std::move(scores));
+    }
+    return all;
+  };
+
+  auto exact = score_with([&](const auto& cand, const std::string& h) {
+    return rankers.ScoreExact(cand, h);
+  });
+  auto h2h = score_with([&](const auto& cand, const std::string& h) {
+    return rankers.ScoreH2H(cand, h);
+  });
+  auto h2v = score_with([&](const auto& cand, const std::string& h) {
+    return rankers.ScoreH2V(cand, h);
+  });
+
+  auto model = bench::LoadPretrained(env);
+  tasks::TurlCellFiller filler(model.get(), &env.ctx);
+  WallTimer timer;
+  std::vector<std::vector<double>> turl;
+  turl.reserve(instances.size());
+  for (const auto& inst : instances) turl.push_back(filler.Score(inst));
+  std::printf("TURL scoring (%zu queries, no fine-tuning): %.1fs\n",
+              instances.size(), timer.ElapsedSeconds());
+
+  std::printf("\n%-10s %8s %8s %8s %8s\n", "Method", "P@1", "P@3", "P@5",
+              "P@10");
+  PrintRow("Exact", tasks::EvaluateCellFilling(instances, exact));
+  PrintRow("H2H", tasks::EvaluateCellFilling(instances, h2h));
+  PrintRow("H2V", tasks::EvaluateCellFilling(instances, h2v));
+  PrintRow("TURL", tasks::EvaluateCellFilling(instances, turl));
+
+  std::printf(
+      "\npaper shape: Exact is a strong floor, H2H/H2V add a little, TURL "
+      "leads at every K without using source-table information.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Knowledge-base population: the application §6.4 motivates ("allows the
+// extraction of new knowledge from Web tables for tasks like knowledge base
+// population"). We hide a fraction of the KB's facts, let the pre-trained
+// TURL model fill the corresponding cells from table context, and measure
+// how many hidden facts it recovers at high confidence.
+//
+//   ./build/examples/kb_population
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/cell_filling.h"
+#include "core/model_cache.h"
+#include "tasks/cell_filling.h"
+#include "util/math_util.h"
+
+int main() {
+  using namespace turl;
+
+  core::ContextConfig config;
+  config.corpus.num_tables = 1200;
+  core::TurlContext ctx = core::BuildContext(config);
+  core::TurlConfig model_config;
+  model_config.pretrain_epochs = 3;
+  core::TurlModel model(model_config, ctx.vocab.size(),
+                        ctx.entity_vocab.size(), 11);
+  core::Pretrainer::Options opts;
+  core::GetOrTrainModel(&model, ctx, opts, core::DefaultCacheDir(),
+                        "_example");
+
+  // Treat held-out test tables as "new Web tables": their (subject, header,
+  // object) triples are facts the KB owner may be missing.
+  baselines::CellFillingIndex index(ctx.corpus, ctx.corpus.train);
+  std::vector<tasks::CellFillInstance> instances =
+      tasks::BuildCellFillInstances(ctx, index, ctx.corpus.test, 3, 150);
+  if (instances.empty()) {
+    std::printf("no candidate facts found\n");
+    return 0;
+  }
+  tasks::TurlCellFiller filler(&model, &ctx);
+
+  int proposed = 0, correct = 0, shown = 0;
+  for (const tasks::CellFillInstance& inst : instances) {
+    std::vector<double> scores = filler.Score(inst);
+    if (scores.empty()) continue;
+    // Softmax-style margin as a confidence proxy: best minus runner-up.
+    std::vector<float> fscores(scores.begin(), scores.end());
+    auto order = TopK(fscores, 2);
+    const double margin =
+        order.size() > 1 ? scores[order[0]] - scores[order[1]] : 1e9;
+    if (margin < 2.0) continue;  // Only confident proposals populate the KB.
+    ++proposed;
+    const kb::EntityId prediction = inst.candidates[order[0]].entity;
+    const bool ok = prediction == inst.gold;
+    correct += ok;
+    if (shown < 8) {
+      ++shown;
+      const data::Table& t = ctx.corpus.tables[inst.table_index];
+      std::printf("%s  (%s, %s, %s)   gold: %s\n", ok ? "OK " : "BAD",
+                  ctx.world.kb.entity(inst.subject).name.c_str(),
+                  t.columns[size_t(inst.object_column)].header.c_str(),
+                  ctx.world.kb.entity(prediction).name.c_str(),
+                  ctx.world.kb.entity(inst.gold).name.c_str());
+    }
+  }
+  std::printf(
+      "\nKB population: %d/%zu cells proposed at margin >= 2.0, "
+      "precision %.1f%%\n",
+      proposed, instances.size(),
+      proposed == 0 ? 0.0 : 100.0 * correct / proposed);
+  std::printf("(raising the margin trades coverage for precision — the "
+              "knob a KB-population pipeline would tune)\n");
+  return 0;
+}

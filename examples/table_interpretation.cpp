@@ -1,0 +1,129 @@
+// Table interpretation walkthrough: run the three interpretation tasks of
+// the TUBE benchmark — entity linking, column type annotation and relation
+// extraction — on a handful of held-out tables, printing the predictions
+// next to the ground truth.
+//
+//   ./build/examples/table_interpretation
+
+#include <cstdio>
+
+#include "core/context.h"
+#include "core/model.h"
+#include "core/model_cache.h"
+#include "kb/lookup.h"
+#include "tasks/column_type.h"
+#include "tasks/entity_linking.h"
+#include "tasks/relation_extraction.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace turl;
+
+  core::ContextConfig config;
+  config.corpus.num_tables = 1200;
+  core::TurlContext ctx = core::BuildContext(config);
+  core::TurlConfig model_config;
+  model_config.pretrain_epochs = 3;
+
+  // Pre-train (cached under $TURL_CACHE / ./turl_cache between runs).
+  core::TurlModel model(model_config, ctx.vocab.size(),
+                        ctx.entity_vocab.size(), 11);
+  core::Pretrainer::Options pretrain_opts;
+  core::GetOrTrainModel(&model, ctx, pretrain_opts, core::DefaultCacheDir(),
+                        "_example");
+
+  const data::Table& table = ctx.corpus.tables[ctx.corpus.test[0]];
+  std::printf("table: \"%s\"\nheaders:", table.caption.c_str());
+  for (const data::Column& col : table.columns) {
+    std::printf(" [%s]", col.header.c_str());
+  }
+  std::printf("\n\n");
+
+  tasks::FinetuneOptions ft;
+  ft.epochs = 1;
+  ft.max_tables = 150;
+
+  // ---- 1. Entity linking -------------------------------------------------
+  {
+    kb::LookupService lookup(&ctx.world.kb);
+    tasks::ElDataset train = tasks::BuildElDataset(
+        ctx, lookup, ctx.corpus.train, 50, /*drop_unreachable=*/true,
+        /*max_instances=*/1500);
+    core::TurlModel el_model(model_config, ctx.vocab.size(),
+                             ctx.entity_vocab.size(), 11);
+    core::GetOrTrainModel(&el_model, ctx, pretrain_opts,
+                          core::DefaultCacheDir(), "_example");
+    tasks::TurlEntityLinker linker(&el_model, &ctx, {true, true}, 31);
+    linker.Finetune(train, ft);
+
+    tasks::ElDataset sample = tasks::BuildElDataset(
+        ctx, lookup, {ctx.corpus.test[0]}, 50, false);
+    std::printf("-- entity linking (%zu mentions) --\n",
+                sample.instances.size());
+    int shown = 0;
+    for (const tasks::ElInstance& inst : sample.instances) {
+      if (++shown > 6) break;
+      const kb::EntityId pred = linker.Predict(inst);
+      const std::string& mention = table.columns[size_t(inst.column)]
+                                       .cells[size_t(inst.row)]
+                                       .mention;
+      std::printf("  \"%s\" -> %s  (gold: %s)%s\n", mention.c_str(),
+                  pred == kb::kInvalidEntity
+                      ? "<no candidates>"
+                      : ctx.world.kb.entity(pred).name.c_str(),
+                  ctx.world.kb.entity(inst.gold).name.c_str(),
+                  pred == inst.gold ? "  OK" : "");
+    }
+  }
+
+  // ---- 2. Column type annotation -----------------------------------------
+  {
+    tasks::ColumnTypeDataset dataset = tasks::BuildColumnTypeDataset(ctx);
+    core::TurlModel ct_model(model_config, ctx.vocab.size(),
+                             ctx.entity_vocab.size(), 11);
+    core::GetOrTrainModel(&ct_model, ctx, pretrain_opts,
+                          core::DefaultCacheDir(), "_example");
+    tasks::TurlColumnTyper typer(&ct_model, &ctx, &dataset,
+                                 tasks::InputVariant::Full(), 31);
+    typer.Finetune(ft);
+    std::printf("\n-- column type annotation --\n");
+    for (const tasks::ColumnTypeInstance& inst : dataset.test) {
+      if (inst.table_index != ctx.corpus.test[0]) continue;
+      std::printf("  column [%s]: predicted {",
+                  table.columns[size_t(inst.column)].header.c_str());
+      for (int l : typer.Predict(inst)) {
+        std::printf(" %s", dataset.label_names[size_t(l)].c_str());
+      }
+      std::printf(" }  gold {");
+      for (int l : inst.labels) {
+        std::printf(" %s", dataset.label_names[size_t(l)].c_str());
+      }
+      std::printf(" }\n");
+    }
+  }
+
+  // ---- 3. Relation extraction --------------------------------------------
+  {
+    tasks::RelationDataset dataset = tasks::BuildRelationDataset(ctx);
+    core::TurlModel re_model(model_config, ctx.vocab.size(),
+                             ctx.entity_vocab.size(), 11);
+    core::GetOrTrainModel(&re_model, ctx, pretrain_opts,
+                          core::DefaultCacheDir(), "_example");
+    tasks::TurlRelationExtractor extractor(&re_model, &ctx, &dataset,
+                                           tasks::InputVariant::Full(), 31);
+    extractor.Finetune(ft);
+    std::printf("\n-- relation extraction --\n");
+    for (const tasks::RelationInstance& inst : dataset.test) {
+      if (inst.table_index != ctx.corpus.test[0]) continue;
+      std::printf("  subject [%s] x object [%s]: predicted {",
+                  table.columns[0].header.c_str(),
+                  table.columns[size_t(inst.object_column)].header.c_str());
+      for (int l : extractor.Predict(inst)) {
+        std::printf(" %s", dataset.label_names[size_t(l)].c_str());
+      }
+      std::printf(" }  gold { %s }\n",
+                  dataset.label_names[size_t(inst.label)].c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "baselines/bm25.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace turl {
+namespace baselines {
+
+Bm25Index::Bm25Index(double k1, double b) : k1_(k1), b_(b) {}
+
+size_t Bm25Index::AddDocument(const std::vector<std::string>& tokens) {
+  TURL_CHECK(!finalized_) << "AddDocument after Finalize";
+  const size_t doc = doc_lengths_.size();
+  doc_lengths_.push_back(static_cast<int>(tokens.size()));
+  std::unordered_map<std::string, int> tf;
+  for (const auto& t : tokens) ++tf[t];
+  for (const auto& [term, freq] : tf) {
+    postings_[term].emplace_back(doc, freq);
+  }
+  return doc;
+}
+
+void Bm25Index::Finalize() {
+  TURL_CHECK(!finalized_);
+  finalized_ = true;
+  double total = 0;
+  for (int len : doc_lengths_) total += len;
+  avg_doc_length_ =
+      doc_lengths_.empty() ? 0.0 : total / double(doc_lengths_.size());
+  const double n = double(doc_lengths_.size());
+  for (const auto& [term, posts] : postings_) {
+    const double df = double(posts.size());
+    idf_[term] = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+  }
+}
+
+std::vector<Bm25Hit> Bm25Index::Search(const std::vector<std::string>& query,
+                                       int k) const {
+  TURL_CHECK(finalized_) << "Search before Finalize";
+  std::unordered_map<size_t, double> scores;
+  for (const auto& term : query) {
+    auto pit = postings_.find(term);
+    if (pit == postings_.end()) continue;
+    const double idf = idf_.at(term);
+    for (const auto& [doc, tf] : pit->second) {
+      const double len_norm =
+          1.0 - b_ + b_ * double(doc_lengths_[doc]) /
+                         std::max(avg_doc_length_, 1e-9);
+      const double s =
+          idf * (double(tf) * (k1_ + 1.0)) / (double(tf) + k1_ * len_norm);
+      scores[doc] += s;
+    }
+  }
+  std::vector<Bm25Hit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [doc, score] : scores) hits.push_back({doc, score});
+  std::sort(hits.begin(), hits.end(), [](const Bm25Hit& a, const Bm25Hit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (k >= 0 && static_cast<int>(hits.size()) > k) {
+    hits.resize(static_cast<size_t>(k));
+  }
+  return hits;
+}
+
+}  // namespace baselines
+}  // namespace turl

@@ -1,0 +1,53 @@
+#ifndef TURL_BASELINES_BM25_H_
+#define TURL_BASELINES_BM25_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace turl {
+namespace baselines {
+
+/// One BM25 search hit.
+struct Bm25Hit {
+  size_t doc = 0;
+  double score = 0.0;
+};
+
+/// A standard Okapi BM25 inverted index over tokenized documents. The row
+/// population pipeline (paper §6.5) retrieves related tables with it, and
+/// the kNN schema-augmentation baseline shares its tokenization.
+class Bm25Index {
+ public:
+  /// k1/b are the usual Okapi parameters.
+  explicit Bm25Index(double k1 = 1.2, double b = 0.75);
+
+  /// Adds a document; returns its id (dense, insertion order).
+  size_t AddDocument(const std::vector<std::string>& tokens);
+
+  /// Finalizes statistics; must be called once after the last AddDocument
+  /// and before Search.
+  void Finalize();
+
+  /// Top-k documents for the query, best first. Ties break by doc id.
+  std::vector<Bm25Hit> Search(const std::vector<std::string>& query,
+                              int k) const;
+
+  size_t num_documents() const { return doc_lengths_.size(); }
+
+ private:
+  double k1_;
+  double b_;
+  bool finalized_ = false;
+  double avg_doc_length_ = 0.0;
+  std::vector<int> doc_lengths_;
+  /// term -> (doc, term frequency) postings.
+  std::unordered_map<std::string, std::vector<std::pair<size_t, int>>>
+      postings_;
+  std::unordered_map<std::string, double> idf_;
+};
+
+}  // namespace baselines
+}  // namespace turl
+
+#endif  // TURL_BASELINES_BM25_H_

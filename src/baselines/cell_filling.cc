@@ -1,0 +1,177 @@
+#include "baselines/cell_filling.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace turl {
+namespace baselines {
+
+namespace {
+
+std::string PairKeyOf(const std::string& a, const std::string& b) {
+  return a <= b ? a + "|" + b : b + "|" + a;
+}
+
+}  // namespace
+
+CellFillingIndex::CellFillingIndex(const data::Corpus& corpus,
+                                   const std::vector<size_t>& train_indices) {
+  // (subject, object) -> headers seen across occurrences (one per table).
+  std::unordered_map<int64_t, std::vector<std::string>> pair_headers;
+  auto so_key = [](kb::EntityId s, kb::EntityId o) {
+    return (static_cast<int64_t>(s) << 32) | static_cast<uint32_t>(o);
+  };
+
+  for (size_t idx : train_indices) {
+    const data::Table& t = corpus.tables[idx];
+    if (t.columns.empty() || !t.columns[0].is_entity_column) continue;
+    for (int c = 1; c < t.num_columns(); ++c) {
+      const data::Column& col = t.columns[size_t(c)];
+      if (!col.is_entity_column) continue;
+      const std::string header = NormalizeSurface(col.header);
+      for (int r = 0; r < t.num_rows(); ++r) {
+        const data::EntityCell& subj = t.columns[0].cells[size_t(r)];
+        const data::EntityCell& obj = col.cells[size_t(r)];
+        if (!subj.linked() || !obj.linked()) continue;
+        row_mates_[subj.entity].emplace_back(obj.entity, header);
+        pair_headers[so_key(subj.entity, obj.entity)].push_back(header);
+      }
+    }
+  }
+
+  // n(h', h): every unordered pair of occurrences of one (subject, object)
+  // fact contributes one table-pair count to its header pair.
+  for (const auto& [key, headers] : pair_headers) {
+    for (size_t i = 0; i < headers.size(); ++i) {
+      for (size_t j = i + 1; j < headers.size(); ++j) {
+        header_pair_counts_[PairKeyOf(headers[i], headers[j])] += 1.0;
+        header_marginal_[headers[i]] += 1.0;
+        header_marginal_[headers[j]] += 1.0;
+      }
+    }
+  }
+}
+
+std::vector<CellCandidate> CellFillingIndex::CandidatesFor(
+    kb::EntityId subject) const {
+  std::vector<CellCandidate> out;
+  auto it = row_mates_.find(subject);
+  if (it == row_mates_.end()) return out;
+  std::unordered_map<kb::EntityId, size_t> position;
+  for (const auto& [object, header] : it->second) {
+    auto pit = position.find(object);
+    if (pit == position.end()) {
+      position.emplace(object, out.size());
+      out.push_back({object, {header}});
+    } else {
+      auto& headers = out[pit->second].source_headers;
+      if (std::find(headers.begin(), headers.end(), header) == headers.end()) {
+        headers.push_back(header);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<CellCandidate> CellFillingIndex::CandidatesFor(
+    kb::EntityId subject, const std::string& target_header) const {
+  const std::string target = NormalizeSurface(target_header);
+  std::vector<CellCandidate> out;
+  for (CellCandidate& cand : CandidatesFor(subject)) {
+    bool related = false;
+    for (const std::string& h : cand.source_headers) {
+      if (h == target || HeaderTranslation(h, target) > 0.0) {
+        related = true;
+        break;
+      }
+    }
+    if (related) out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+double CellFillingIndex::HeaderTranslation(const std::string& source_header,
+                                           const std::string& target_header)
+    const {
+  const std::string source = NormalizeSurface(source_header);
+  const std::string target = NormalizeSurface(target_header);
+  auto mit = header_marginal_.find(target);
+  if (mit == header_marginal_.end() || mit->second <= 0.0) return 0.0;
+  auto pit = header_pair_counts_.find(PairKeyOf(source, target));
+  if (pit == header_pair_counts_.end()) return 0.0;
+  return pit->second / mit->second;
+}
+
+std::vector<std::string> CellFillingIndex::ObservedHeaders() const {
+  std::vector<std::string> out;
+  out.reserve(header_marginal_.size());
+  for (const auto& [h, count] : header_marginal_) out.push_back(h);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CellFillingRankers::CellFillingRankers(const CellFillingIndex* index,
+                                       const Word2Vec* header_w2v)
+    : index_(index), header_w2v_(header_w2v) {
+  TURL_CHECK(index != nullptr);
+  TURL_CHECK(header_w2v != nullptr);
+}
+
+double CellFillingRankers::ScoreExact(const CellCandidate& candidate,
+                                      const std::string& target_header) const {
+  const std::string target = NormalizeSurface(target_header);
+  for (const std::string& h : candidate.source_headers) {
+    if (h == target) return 1.0;
+  }
+  return 0.0;
+}
+
+double CellFillingRankers::ScoreH2H(const CellCandidate& candidate,
+                                    const std::string& target_header) const {
+  double best = 0.0;
+  const std::string target = NormalizeSurface(target_header);
+  for (const std::string& h : candidate.source_headers) {
+    if (h == target) {
+      best = std::max(best, 1.0);
+    } else {
+      best = std::max(best, index_->HeaderTranslation(h, target));
+    }
+  }
+  return best;
+}
+
+double CellFillingRankers::ScoreH2V(const CellCandidate& candidate,
+                                    const std::string& target_header) const {
+  double best = 0.0;
+  const std::string target = NormalizeSurface(target_header);
+  for (const std::string& h : candidate.source_headers) {
+    if (h == target) {
+      best = std::max(best, 1.0);
+    } else {
+      best = std::max(best, header_w2v_->Similarity(h, target));
+    }
+  }
+  return best;
+}
+
+Word2Vec TrainHeaderEmbeddings(const data::Corpus& corpus,
+                               const std::vector<size_t>& train_indices,
+                               const Word2VecConfig& config, Rng* rng) {
+  std::vector<std::vector<std::string>> sequences;
+  for (size_t idx : train_indices) {
+    std::vector<std::string> seq;
+    for (const data::Column& col : corpus.tables[idx].columns) {
+      seq.push_back(NormalizeSurface(col.header));
+    }
+    if (seq.size() >= 2) sequences.push_back(std::move(seq));
+  }
+  Word2Vec w2v;
+  w2v.Train(sequences, config, rng);
+  return w2v;
+}
+
+}  // namespace baselines
+}  // namespace turl

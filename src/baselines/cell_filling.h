@@ -1,0 +1,95 @@
+#ifndef TURL_BASELINES_CELL_FILLING_H_
+#define TURL_BASELINES_CELL_FILLING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/word2vec.h"
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace baselines {
+
+/// A cell-filling candidate: an object entity seen in the same row as the
+/// query subject somewhere in the training corpus, with the headers it was
+/// seen under.
+struct CellCandidate {
+  kb::EntityId entity = kb::kInvalidEntity;
+  std::vector<std::string> source_headers;
+};
+
+/// The candidate-value-finding module shared by all cell-filling methods
+/// (§6.6, after CellAutoComplete [36]): for subject entity e and target
+/// header h, candidates are entities co-occurring with e in a row of some
+/// training table, optionally filtered to source headers with
+/// P(h'|h) > 0 (Eqn. 14). Also provides the header-translation statistics
+/// n(h', h) that the H2H ranker uses.
+class CellFillingIndex {
+ public:
+  CellFillingIndex(const data::Corpus& corpus,
+                   const std::vector<size_t>& train_indices);
+
+  /// All row-mates of `subject` (across training tables), with headers.
+  std::vector<CellCandidate> CandidatesFor(kb::EntityId subject) const;
+
+  /// Candidates filtered to those with some source header h' such that
+  /// P(h'|h) > 0 for the target header.
+  std::vector<CellCandidate> CandidatesFor(kb::EntityId subject,
+                                           const std::string& target_header)
+      const;
+
+  /// Eqn. 14: P(h'|h) = n(h',h) / sum_h'' n(h'',h), where n counts table
+  /// pairs sharing the same (subject, object) under headers h' and h.
+  double HeaderTranslation(const std::string& source_header,
+                           const std::string& target_header) const;
+
+  /// All headers observed in training object columns.
+  std::vector<std::string> ObservedHeaders() const;
+
+ private:
+  /// subject -> (object, header) occurrences.
+  std::unordered_map<kb::EntityId,
+                     std::vector<std::pair<kb::EntityId, std::string>>>
+      row_mates_;
+  /// n(h', h) keyed by "h'|h" (unordered pair counted both ways).
+  std::unordered_map<std::string, double> header_pair_counts_;
+  std::unordered_map<std::string, double> header_marginal_;
+};
+
+/// The three header-similarity rankers from §6.6. Scores candidates for a
+/// target header; higher is better, 0 when no evidence.
+class CellFillingRankers {
+ public:
+  /// `w2v` must be trained on header sequences (one per training table) —
+  /// the H2V baseline of [11]. The index provides H2H statistics.
+  CellFillingRankers(const CellFillingIndex* index, const Word2Vec* header_w2v);
+
+  /// Exact: 1 when some source header equals the target header.
+  double ScoreExact(const CellCandidate& candidate,
+                    const std::string& target_header) const;
+
+  /// H2H: max over source headers of P(h'|h) (Eqn. 15 with sim = P(h'|h)).
+  double ScoreH2H(const CellCandidate& candidate,
+                  const std::string& target_header) const;
+
+  /// H2V: max over source headers of embedding cosine similarity.
+  double ScoreH2V(const CellCandidate& candidate,
+                  const std::string& target_header) const;
+
+ private:
+  const CellFillingIndex* index_;
+  const Word2Vec* header_w2v_;
+};
+
+/// Trains the H2V header embeddings: one "sentence" per training table
+/// listing its (normalized) headers.
+Word2Vec TrainHeaderEmbeddings(const data::Corpus& corpus,
+                               const std::vector<size_t>& train_indices,
+                               const Word2VecConfig& config, Rng* rng);
+
+}  // namespace baselines
+}  // namespace turl
+
+#endif  // TURL_BASELINES_CELL_FILLING_H_

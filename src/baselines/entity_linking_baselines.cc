@@ -1,0 +1,190 @@
+#include "baselines/entity_linking_baselines.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace turl {
+namespace baselines {
+
+namespace {
+
+TableLinks EmptyLinks(const data::Table& table) {
+  TableLinks links(static_cast<size_t>(table.num_columns()));
+  for (auto& col : links) {
+    col.assign(static_cast<size_t>(table.num_rows()), kb::kInvalidEntity);
+  }
+  return links;
+}
+
+}  // namespace
+
+std::string EntityEmbeddingKey(kb::EntityId e) { return std::to_string(e); }
+
+TableLinks LookupTop1Links(const data::Table& table,
+                           const kb::LookupService& lookup) {
+  TableLinks links = EmptyLinks(table);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (!table.columns[size_t(c)].is_entity_column) continue;
+    for (int r = 0; r < table.num_rows(); ++r) {
+      links[size_t(c)][size_t(r)] =
+          lookup.Top1(table.columns[size_t(c)].cells[size_t(r)].mention);
+    }
+  }
+  return links;
+}
+
+T2KLinker::T2KLinker(const kb::KnowledgeBase* kb,
+                     const kb::LookupService* lookup, int rounds,
+                     double type_bonus)
+    : kb_(kb), lookup_(lookup), rounds_(rounds), type_bonus_(type_bonus) {
+  TURL_CHECK(kb != nullptr);
+  TURL_CHECK(lookup != nullptr);
+}
+
+TableLinks T2KLinker::LinkTable(const data::Table& table) const {
+  // Candidate lists per cell, fetched once.
+  std::vector<std::vector<std::vector<kb::LookupCandidate>>> candidates(
+      static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    candidates[size_t(c)].resize(static_cast<size_t>(table.num_rows()));
+    if (!table.columns[size_t(c)].is_entity_column) continue;
+    for (int r = 0; r < table.num_rows(); ++r) {
+      candidates[size_t(c)][size_t(r)] = lookup_->Lookup(
+          table.columns[size_t(c)].cells[size_t(r)].mention, 20);
+    }
+  }
+
+  TableLinks links = EmptyLinks(table);
+  // Round 0: lookup top-1.
+  for (int c = 0; c < table.num_columns(); ++c) {
+    for (int r = 0; r < table.num_rows(); ++r) {
+      const auto& cands = candidates[size_t(c)][size_t(r)];
+      if (!cands.empty()) links[size_t(c)][size_t(r)] = cands[0].entity;
+    }
+  }
+
+  for (int round = 1; round < rounds_; ++round) {
+    // Majority direct type per column from current links.
+    std::vector<kb::TypeId> column_type(static_cast<size_t>(table.num_columns()),
+                                        kb::kInvalidType);
+    for (int c = 0; c < table.num_columns(); ++c) {
+      std::unordered_map<kb::TypeId, int> votes;
+      for (int r = 0; r < table.num_rows(); ++r) {
+        const kb::EntityId e = links[size_t(c)][size_t(r)];
+        if (e == kb::kInvalidEntity) continue;
+        for (kb::TypeId t : kb_->ExpandedTypes(e)) ++votes[t];
+      }
+      int best_votes = 0;
+      for (const auto& [t, v] : votes) {
+        // Prefer the most voted type; among ties the more specific (higher
+        // id, since subtypes are added after parents) wins.
+        if (v > best_votes ||
+            (v == best_votes && t > column_type[size_t(c)])) {
+          best_votes = v;
+          column_type[size_t(c)] = t;
+        }
+      }
+    }
+    // Re-rank with the type-consistency bonus.
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (!table.columns[size_t(c)].is_entity_column) continue;
+      for (int r = 0; r < table.num_rows(); ++r) {
+        const auto& cands = candidates[size_t(c)][size_t(r)];
+        if (cands.empty()) continue;
+        double best_score = -1.0;
+        kb::EntityId best = kb::kInvalidEntity;
+        for (const auto& cand : cands) {
+          double score = cand.score;
+          if (column_type[size_t(c)] != kb::kInvalidType &&
+              kb_->EntityHasType(cand.entity, column_type[size_t(c)])) {
+            score += type_bonus_;
+          }
+          if (score > best_score) {
+            best_score = score;
+            best = cand.entity;
+          }
+        }
+        links[size_t(c)][size_t(r)] = best;
+      }
+    }
+  }
+  return links;
+}
+
+HybridLinker::HybridLinker(const kb::KnowledgeBase* kb,
+                           const kb::LookupService* lookup,
+                           const Word2Vec* entity_embeddings,
+                           double coherence_weight)
+    : kb_(kb),
+      lookup_(lookup),
+      embeddings_(entity_embeddings),
+      coherence_weight_(coherence_weight) {
+  TURL_CHECK(kb != nullptr);
+  TURL_CHECK(lookup != nullptr);
+  TURL_CHECK(entity_embeddings != nullptr);
+}
+
+TableLinks HybridLinker::LinkTable(const data::Table& table) const {
+  TableLinks links = LookupTop1Links(table, *lookup_);
+
+  // Context: current links of all cells (mean embedding computed per query
+  // cell excluding itself).
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (!table.columns[size_t(c)].is_entity_column) continue;
+    for (int r = 0; r < table.num_rows(); ++r) {
+      const auto cands = lookup_->Lookup(
+          table.columns[size_t(c)].cells[size_t(r)].mention, 20);
+      if (cands.empty()) continue;
+      std::vector<std::string> context;
+      for (int c2 = 0; c2 < table.num_columns(); ++c2) {
+        for (int r2 = 0; r2 < table.num_rows(); ++r2) {
+          if (c2 == c && r2 == r) continue;
+          const kb::EntityId e = links[size_t(c2)][size_t(r2)];
+          if (e != kb::kInvalidEntity) {
+            context.push_back(EntityEmbeddingKey(e));
+          }
+        }
+      }
+      double best_score = -1e18;
+      kb::EntityId best = kb::kInvalidEntity;
+      for (const auto& cand : cands) {
+        const double coherence = embeddings_->SimilarityToSet(
+            EntityEmbeddingKey(cand.entity), context);
+        const double score = cand.score + coherence_weight_ * coherence;
+        if (score > best_score) {
+          best_score = score;
+          best = cand.entity;
+        }
+      }
+      links[size_t(c)][size_t(r)] = best;
+    }
+  }
+  return links;
+}
+
+Word2Vec TrainEntityEmbeddings(const data::Corpus& corpus,
+                               const std::vector<size_t>& train_indices,
+                               const Word2VecConfig& config, Rng* rng) {
+  std::vector<std::vector<std::string>> sequences;
+  for (size_t idx : train_indices) {
+    const data::Table& t = corpus.tables[idx];
+    std::vector<std::string> seq;
+    for (int r = 0; r < t.num_rows(); ++r) {
+      for (const data::Column& col : t.columns) {
+        if (!col.is_entity_column) continue;
+        const data::EntityCell& cell = col.cells[size_t(r)];
+        if (cell.linked()) seq.push_back(EntityEmbeddingKey(cell.entity));
+      }
+    }
+    if (seq.size() >= 2) sequences.push_back(std::move(seq));
+  }
+  Word2Vec w2v;
+  w2v.Train(sequences, config, rng);
+  return w2v;
+}
+
+}  // namespace baselines
+}  // namespace turl

@@ -1,0 +1,72 @@
+#ifndef TURL_BASELINES_ENTITY_LINKING_BASELINES_H_
+#define TURL_BASELINES_ENTITY_LINKING_BASELINES_H_
+
+#include <vector>
+
+#include "baselines/word2vec.h"
+#include "data/table.h"
+#include "kb/lookup.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace baselines {
+
+/// Per-table entity-linking predictions: prediction[c][r] is the linked
+/// entity for cell (column c, row r), kInvalidEntity when the method makes
+/// no prediction (empty candidate set). Non-entity columns stay invalid.
+using TableLinks = std::vector<std::vector<kb::EntityId>>;
+
+/// Baseline 1 — the raw lookup service: top-1 candidate per cell (the
+/// paper's "Wikidata Lookup" row in Table 4).
+TableLinks LookupTop1Links(const data::Table& table,
+                           const kb::LookupService& lookup);
+
+/// Baseline 2 — a T2K-style [27] iterative matcher: initialize cells with
+/// lookup top-1, estimate each column's majority KB type from the current
+/// links, then re-rank candidates with a type-consistency bonus; repeat for
+/// a few rounds. Captures T2K's joint schema/instance matching in
+/// simplified form.
+class T2KLinker {
+ public:
+  T2KLinker(const kb::KnowledgeBase* kb, const kb::LookupService* lookup,
+            int rounds = 3, double type_bonus = 0.75);
+
+  TableLinks LinkTable(const data::Table& table) const;
+
+ private:
+  const kb::KnowledgeBase* kb_;
+  const kb::LookupService* lookup_;
+  int rounds_;
+  double type_bonus_;
+};
+
+/// Baseline 3 — a Hybrid II-style [13] linker: lookup candidates re-ranked
+/// by embedding coherence with the current links of the other cells in the
+/// table (cosine to their mean Table2Vec-style embedding).
+class HybridLinker {
+ public:
+  HybridLinker(const kb::KnowledgeBase* kb, const kb::LookupService* lookup,
+               const Word2Vec* entity_embeddings, double coherence_weight = 1.0);
+
+  TableLinks LinkTable(const data::Table& table) const;
+
+ private:
+  const kb::KnowledgeBase* kb_;
+  const kb::LookupService* lookup_;
+  const Word2Vec* embeddings_;
+  double coherence_weight_;
+};
+
+/// Trains Table2Vec-style entity embeddings over the entity sequences of
+/// the training tables (all entity columns, row-major), as Hybrid II uses.
+Word2Vec TrainEntityEmbeddings(const data::Corpus& corpus,
+                               const std::vector<size_t>& train_indices,
+                               const Word2VecConfig& config, Rng* rng);
+
+/// Key under which an entity id is stored in the Word2Vec vocabulary.
+std::string EntityEmbeddingKey(kb::EntityId e);
+
+}  // namespace baselines
+}  // namespace turl
+
+#endif  // TURL_BASELINES_ENTITY_LINKING_BASELINES_H_

@@ -1,0 +1,126 @@
+#include "baselines/knn_schema.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "text/wordpiece.h"
+#include "util/string_util.h"
+
+namespace turl {
+namespace baselines {
+
+KnnSchemaRecommender::KnnSchemaRecommender(
+    const data::Corpus& corpus, const std::vector<size_t>& train_indices)
+    : corpus_(&corpus), train_indices_(train_indices) {
+  // Document frequencies over training captions.
+  std::unordered_map<std::string, double> df;
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(train_indices_.size());
+  for (size_t idx : train_indices_) {
+    docs.push_back(text::BasicTokenize(corpus.tables[idx].caption));
+    std::unordered_set<std::string> uniq(docs.back().begin(),
+                                         docs.back().end());
+    for (const std::string& t : uniq) df[t] += 1.0;
+  }
+  const double n = double(std::max<size_t>(train_indices_.size(), 1));
+  for (const auto& [term, d] : df) {
+    idf_[term] = std::log((n + 1.0) / (d + 1.0)) + 1.0;
+  }
+  doc_vectors_.reserve(docs.size());
+  for (const auto& tokens : docs) doc_vectors_.push_back(TfIdf(tokens));
+}
+
+std::unordered_map<std::string, double> KnnSchemaRecommender::TfIdf(
+    const std::vector<std::string>& tokens) const {
+  std::unordered_map<std::string, double> v;
+  for (const std::string& t : tokens) v[t] += 1.0;
+  double norm = 0.0;
+  for (auto& [term, tf] : v) {
+    auto it = idf_.find(term);
+    const double idf = it == idf_.end() ? 1.0 : it->second;
+    tf = tf * idf;
+    norm += tf * tf;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (auto& [term, w] : v) w /= norm;
+  }
+  return v;
+}
+
+double KnnSchemaRecommender::Cosine(
+    const std::unordered_map<std::string, double>& a,
+    const std::unordered_map<std::string, double>& b) {
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  double dot = 0.0;
+  for (const auto& [term, w] : small) {
+    auto it = large.find(term);
+    if (it != large.end()) dot += w * it->second;
+  }
+  return dot;  // Vectors are pre-normalized.
+}
+
+std::vector<KnnNeighbor> KnnSchemaRecommender::Neighbors(
+    const std::string& caption, int k) const {
+  const auto query = TfIdf(text::BasicTokenize(caption));
+  std::vector<KnnNeighbor> all;
+  all.reserve(doc_vectors_.size());
+  for (size_t i = 0; i < doc_vectors_.size(); ++i) {
+    const double sim = Cosine(query, doc_vectors_[i]);
+    if (sim > 0) all.push_back({train_indices_[i], sim});
+  }
+  std::sort(all.begin(), all.end(), [](const KnnNeighbor& a,
+                                       const KnnNeighbor& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.table_index < b.table_index;
+  });
+  if (k >= 0 && static_cast<int>(all.size()) > k) {
+    all.resize(static_cast<size_t>(k));
+  }
+  return all;
+}
+
+std::vector<HeaderSuggestion> KnnSchemaRecommender::Recommend(
+    const std::string& caption, const std::vector<std::string>& seed_headers,
+    int num_neighbors, int max_suggestions) const {
+  std::unordered_set<std::string> seeds;
+  for (const std::string& s : seed_headers) seeds.insert(NormalizeSurface(s));
+
+  std::vector<KnnNeighbor> neighbors = Neighbors(caption, num_neighbors);
+  std::unordered_map<std::string, double> scores;
+  for (const KnnNeighbor& nb : neighbors) {
+    const data::Table& t = corpus_->tables[nb.table_index];
+    // Seed re-weighting: neighbors sharing seed headers count more ([35]).
+    double weight = nb.similarity;
+    if (!seeds.empty()) {
+      int overlap = 0;
+      for (const data::Column& col : t.columns) {
+        if (seeds.count(NormalizeSurface(col.header))) ++overlap;
+      }
+      weight *= 1.0 + double(overlap);
+    }
+    for (const data::Column& col : t.columns) {
+      const std::string h = NormalizeSurface(col.header);
+      if (h.empty() || seeds.count(h)) continue;
+      scores[h] += weight;
+    }
+  }
+
+  std::vector<HeaderSuggestion> out;
+  out.reserve(scores.size());
+  for (const auto& [h, s] : scores) out.push_back({h, s});
+  std::sort(out.begin(), out.end(),
+            [](const HeaderSuggestion& a, const HeaderSuggestion& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.header < b.header;
+            });
+  if (static_cast<int>(out.size()) > max_suggestions) {
+    out.resize(static_cast<size_t>(max_suggestions));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace turl

@@ -1,0 +1,60 @@
+#ifndef TURL_BASELINES_KNN_SCHEMA_H_
+#define TURL_BASELINES_KNN_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/table.h"
+
+namespace turl {
+namespace baselines {
+
+/// One recommended header with its aggregated score.
+struct HeaderSuggestion {
+  std::string header;
+  double score = 0.0;
+};
+
+/// A kNN retrieval result used by the Table 11 case study.
+struct KnnNeighbor {
+  size_t table_index = 0;  ///< Index into the corpus table vector.
+  double similarity = 0.0;
+};
+
+/// The schema-augmentation baseline of §6.7 (after [35]): encode captions as
+/// tf-idf vectors, find the top-K most similar training tables by cosine
+/// similarity, and rank their headers by aggregating the similarities of the
+/// supporting tables. With seed headers present, neighbor tables are
+/// re-weighted by their schema overlap with the seeds.
+class KnnSchemaRecommender {
+ public:
+  KnnSchemaRecommender(const data::Corpus& corpus,
+                       const std::vector<size_t>& train_indices);
+
+  /// Top-`k` nearest training tables for a caption.
+  std::vector<KnnNeighbor> Neighbors(const std::string& caption, int k) const;
+
+  /// Ranked header suggestions. `seed_headers` (normalized or raw) re-weight
+  /// neighbors; headers already in the seeds are excluded.
+  std::vector<HeaderSuggestion> Recommend(
+      const std::string& caption,
+      const std::vector<std::string>& seed_headers, int num_neighbors = 10,
+      int max_suggestions = 20) const;
+
+ private:
+  std::unordered_map<std::string, double> TfIdf(
+      const std::vector<std::string>& tokens) const;
+  static double Cosine(const std::unordered_map<std::string, double>& a,
+                       const std::unordered_map<std::string, double>& b);
+
+  const data::Corpus* corpus_;
+  std::vector<size_t> train_indices_;
+  std::unordered_map<std::string, double> idf_;
+  std::vector<std::unordered_map<std::string, double>> doc_vectors_;
+};
+
+}  // namespace baselines
+}  // namespace turl
+
+#endif  // TURL_BASELINES_KNN_SCHEMA_H_

@@ -1,0 +1,170 @@
+#include "baselines/row_population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "text/wordpiece.h"
+#include "util/logging.h"
+
+namespace turl {
+namespace baselines {
+
+namespace {
+
+/// Subject entities (linked cells of column 0) of a table.
+std::vector<kb::EntityId> SubjectEntities(const data::Table& t) {
+  std::vector<kb::EntityId> out;
+  if (t.columns.empty() || !t.columns[0].is_entity_column) return out;
+  for (const auto& cell : t.columns[0].cells) {
+    if (cell.linked()) out.push_back(cell.entity);
+  }
+  return out;
+}
+
+}  // namespace
+
+RowPopCandidateGenerator::RowPopCandidateGenerator(
+    const data::Corpus& corpus, const std::vector<size_t>& train_indices)
+    : corpus_(&corpus), train_indices_(train_indices) {
+  for (size_t idx : train_indices_) {
+    const data::Table& t = corpus.tables[idx];
+    index_.AddDocument(text::BasicTokenize(t.caption));
+    doc_subjects_.push_back(SubjectEntities(t));
+  }
+  index_.Finalize();
+}
+
+std::vector<kb::EntityId> RowPopCandidateGenerator::Generate(
+    const std::string& caption, const std::vector<kb::EntityId>& seeds,
+    const kb::KnowledgeBase& kb, int top_tables) const {
+  std::vector<std::string> query = text::BasicTokenize(caption);
+  for (kb::EntityId seed : seeds) {
+    for (const std::string& w : text::BasicTokenize(kb.entity(seed).name)) {
+      query.push_back(w);
+    }
+  }
+  const std::vector<Bm25Hit> hits = index_.Search(query, top_tables);
+
+  std::vector<kb::EntityId> candidates;
+  std::unordered_set<kb::EntityId> seen(seeds.begin(), seeds.end());
+  for (const Bm25Hit& hit : hits) {
+    for (kb::EntityId e : doc_subjects_[hit.doc]) {
+      if (seen.insert(e).second) candidates.push_back(e);
+    }
+  }
+  return candidates;
+}
+
+int64_t EntiTablesRanker::PairKey(kb::EntityId a, kb::EntityId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<int64_t>(a) << 32) | static_cast<uint32_t>(b);
+}
+
+EntiTablesRanker::EntiTablesRanker(const data::Corpus& corpus,
+                                   const std::vector<size_t>& train_indices) {
+  for (size_t idx : train_indices) {
+    const data::Table& t = corpus.tables[idx];
+    const std::vector<kb::EntityId> subjects = SubjectEntities(t);
+    const std::vector<std::string> terms = text::BasicTokenize(t.caption);
+    for (const std::string& w : terms) {
+      background_lm_[w] += 1.0;
+      background_total_ += 1.0;
+    }
+    for (kb::EntityId e : subjects) {
+      auto& lm = entity_lm_[e];
+      for (const std::string& w : terms) {
+        lm[w] += 1.0;
+        entity_lm_total_[e] += 1.0;
+      }
+    }
+    for (size_t i = 0; i < subjects.size(); ++i) {
+      for (size_t j = i + 1; j < subjects.size(); ++j) {
+        if (subjects[i] == subjects[j]) continue;
+        cooc_[PairKey(subjects[i], subjects[j])] += 1.0;
+      }
+    }
+  }
+}
+
+double EntiTablesRanker::CaptionLikelihood(
+    const std::vector<std::string>& terms, kb::EntityId e) const {
+  auto lm_it = entity_lm_.find(e);
+  const double total =
+      lm_it == entity_lm_.end() ? 0.0 : entity_lm_total_.at(e);
+  constexpr double kLambda = 0.5;  // Jelinek-Mercer mixing weight.
+  double loglik = 0.0;
+  for (const std::string& w : terms) {
+    double p_entity = 0.0;
+    if (lm_it != entity_lm_.end() && total > 0) {
+      auto wit = lm_it->second.find(w);
+      if (wit != lm_it->second.end()) p_entity = wit->second / total;
+    }
+    double p_bg = 0.0;
+    auto bit = background_lm_.find(w);
+    if (bit != background_lm_.end() && background_total_ > 0) {
+      p_bg = bit->second / background_total_;
+    }
+    loglik += std::log(kLambda * p_entity + (1.0 - kLambda) * p_bg + 1e-9);
+  }
+  return loglik;
+}
+
+double EntiTablesRanker::SeedSimilarity(const std::vector<kb::EntityId>& seeds,
+                                        kb::EntityId e) const {
+  double sim = 0.0;
+  for (kb::EntityId s : seeds) {
+    auto it = cooc_.find(PairKey(s, e));
+    if (it != cooc_.end()) sim += std::log1p(it->second);
+  }
+  return seeds.empty() ? 0.0 : sim / double(seeds.size());
+}
+
+std::vector<double> EntiTablesRanker::Score(
+    const std::string& caption, const std::vector<kb::EntityId>& seeds,
+    const std::vector<kb::EntityId>& candidates) const {
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  if (seeds.empty()) {
+    const std::vector<std::string> terms = text::BasicTokenize(caption);
+    for (kb::EntityId e : candidates) {
+      scores.push_back(CaptionLikelihood(terms, e));
+    }
+  } else {
+    for (kb::EntityId e : candidates) {
+      scores.push_back(SeedSimilarity(seeds, e));
+    }
+  }
+  return scores;
+}
+
+Table2VecRanker::Table2VecRanker(const data::Corpus& corpus,
+                                 const std::vector<size_t>& train_indices,
+                                 const Word2VecConfig& config, Rng* rng) {
+  std::vector<std::vector<std::string>> sequences;
+  sequences.reserve(train_indices.size());
+  for (size_t idx : train_indices) {
+    std::vector<std::string> seq;
+    for (kb::EntityId e : SubjectEntities(corpus.tables[idx])) {
+      seq.push_back(Key(e));
+    }
+    if (seq.size() >= 2) sequences.push_back(std::move(seq));
+  }
+  w2v_.Train(sequences, config, rng);
+}
+
+std::vector<double> Table2VecRanker::Score(
+    const std::vector<kb::EntityId>& seeds,
+    const std::vector<kb::EntityId>& candidates) const {
+  std::vector<double> scores(candidates.size(), 0.0);
+  if (seeds.empty()) return scores;  // Not applicable without seeds.
+  std::vector<std::string> seed_keys;
+  for (kb::EntityId s : seeds) seed_keys.push_back(Key(s));
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = w2v_.SimilarityToSet(Key(candidates[i]), seed_keys);
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace turl

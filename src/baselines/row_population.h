@@ -1,0 +1,98 @@
+#ifndef TURL_BASELINES_ROW_POPULATION_H_
+#define TURL_BASELINES_ROW_POPULATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/bm25.h"
+#include "baselines/word2vec.h"
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace baselines {
+
+/// The candidate-generation module shared by every row-population method
+/// (paper §6.5, from EntiTables [35]): formulate a query from the table
+/// caption or the seed entities, retrieve training tables with BM25, and
+/// propose their subject entities as candidates.
+class RowPopCandidateGenerator {
+ public:
+  RowPopCandidateGenerator(const data::Corpus& corpus,
+                           const std::vector<size_t>& train_indices);
+
+  /// Candidate subject entities for a query table. When `seeds` is empty the
+  /// query is the caption text; otherwise the seed entity names are added.
+  /// Candidates keep retrieval order (entities from better-matching tables
+  /// first) and exclude the seeds themselves.
+  std::vector<kb::EntityId> Generate(const std::string& caption,
+                                     const std::vector<kb::EntityId>& seeds,
+                                     const kb::KnowledgeBase& kb,
+                                     int top_tables = 40) const;
+
+ private:
+  const data::Corpus* corpus_;
+  std::vector<size_t> train_indices_;
+  Bm25Index index_;
+  /// Subject entities per indexed document (parallel to BM25 doc ids).
+  std::vector<std::vector<kb::EntityId>> doc_subjects_;
+};
+
+/// The EntiTables [35] generative ranker: without seeds, rank candidates by
+/// the likelihood of the query caption under a per-entity caption language
+/// model (Jelinek-Mercer smoothed unigrams over the captions of training
+/// tables containing the entity as a subject); with seeds, rank by entity
+/// co-occurrence similarity to the seed set.
+class EntiTablesRanker {
+ public:
+  EntiTablesRanker(const data::Corpus& corpus,
+                   const std::vector<size_t>& train_indices);
+
+  /// Scores each candidate (higher = better).
+  std::vector<double> Score(const std::string& caption,
+                            const std::vector<kb::EntityId>& seeds,
+                            const std::vector<kb::EntityId>& candidates) const;
+
+ private:
+  double CaptionLikelihood(const std::vector<std::string>& terms,
+                           kb::EntityId e) const;
+  double SeedSimilarity(const std::vector<kb::EntityId>& seeds,
+                        kb::EntityId e) const;
+
+  /// Per-entity caption unigram counts and totals.
+  std::unordered_map<kb::EntityId, std::unordered_map<std::string, double>>
+      entity_lm_;
+  std::unordered_map<kb::EntityId, double> entity_lm_total_;
+  /// Background unigram model.
+  std::unordered_map<std::string, double> background_lm_;
+  double background_total_ = 0.0;
+  /// Subject-entity co-occurrence counts.
+  std::unordered_map<int64_t, double> cooc_;
+  static int64_t PairKey(kb::EntityId a, kb::EntityId b);
+};
+
+/// The Table2Vec [11] ranker: skip-gram entity embeddings trained on the
+/// subject-entity sequences of training tables; candidates are ranked by
+/// cosine similarity to the mean seed embedding. Not applicable without
+/// seeds (the paper reports "-"), where Score returns all zeros.
+class Table2VecRanker {
+ public:
+  Table2VecRanker(const data::Corpus& corpus,
+                  const std::vector<size_t>& train_indices,
+                  const Word2VecConfig& config, Rng* rng);
+
+  std::vector<double> Score(const std::vector<kb::EntityId>& seeds,
+                            const std::vector<kb::EntityId>& candidates) const;
+
+  const Word2Vec& embeddings() const { return w2v_; }
+
+ private:
+  static std::string Key(kb::EntityId e) { return std::to_string(e); }
+  Word2Vec w2v_;
+};
+
+}  // namespace baselines
+}  // namespace turl
+
+#endif  // TURL_BASELINES_ROW_POPULATION_H_

@@ -1,0 +1,230 @@
+#include "baselines/sherlock.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <unordered_set>
+
+#include "nn/ops.h"
+#include "util/logging.h"
+
+namespace turl {
+namespace baselines {
+
+std::vector<float> SherlockFeatures(const std::vector<std::string>& cells) {
+  std::vector<float> f(kSherlockFeatureDim, 0.f);
+  if (cells.empty()) return f;
+  const float n = float(cells.size());
+
+  // Character-level aggregates.
+  double total_chars = 0, digits = 0, alphas = 0, uppers = 0, spaces = 0,
+         puncts = 0;
+  std::vector<double> lengths, word_counts;
+  std::unordered_set<std::string> distinct;
+  double numeric_cells = 0, empty_cells = 0, dash_cells = 0;
+  double starts_upper = 0, ends_digit = 0;
+  double char_entropy_accum = 0;
+
+  for (const std::string& cell : cells) {
+    distinct.insert(cell);
+    lengths.push_back(double(cell.size()));
+    if (cell.empty()) ++empty_cells;
+    if (cell == "-") ++dash_cells;
+    int words = cell.empty() ? 0 : 1;
+    bool all_numeric = !cell.empty();
+    int char_counts[128] = {0};
+    for (char raw : cell) {
+      unsigned char c = static_cast<unsigned char>(raw);
+      ++total_chars;
+      if (std::isdigit(c)) {
+        ++digits;
+      } else {
+        all_numeric = false;
+      }
+      if (std::isalpha(c)) ++alphas;
+      if (std::isupper(c)) ++uppers;
+      if (std::isspace(c)) {
+        ++spaces;
+        ++words;
+      }
+      if (std::ispunct(c)) ++puncts;
+      if (c < 128) ++char_counts[c];
+    }
+    word_counts.push_back(double(words));
+    if (all_numeric) ++numeric_cells;
+    if (!cell.empty() && std::isupper(static_cast<unsigned char>(cell[0]))) {
+      ++starts_upper;
+    }
+    if (!cell.empty() && std::isdigit(static_cast<unsigned char>(cell.back()))) {
+      ++ends_digit;
+    }
+    // Per-cell character entropy.
+    double entropy = 0;
+    for (int c = 0; c < 128; ++c) {
+      if (char_counts[c] == 0 || cell.empty()) continue;
+      const double p = double(char_counts[c]) / double(cell.size());
+      entropy -= p * std::log(p);
+    }
+    char_entropy_accum += entropy;
+  }
+
+  auto mean_of = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / double(v.size());
+  };
+  auto std_of = [&](const std::vector<double>& v) {
+    const double m = mean_of(v);
+    double s = 0;
+    for (double x : v) s += (x - m) * (x - m);
+    return v.empty() ? 0.0 : std::sqrt(s / double(v.size()));
+  };
+  const double tc = std::max(total_chars, 1.0);
+
+  int i = 0;
+  f[i++] = float(n);                                    // 0 cell count
+  f[i++] = float(distinct.size() / double(n));          // 1 distinct ratio
+  f[i++] = float(mean_of(lengths));                     // 2 mean length
+  f[i++] = float(std_of(lengths));                      // 3 std length
+  f[i++] = float(*std::min_element(lengths.begin(), lengths.end()));  // 4
+  f[i++] = float(*std::max_element(lengths.begin(), lengths.end()));  // 5
+  f[i++] = float(digits / tc);                          // 6 digit frac
+  f[i++] = float(alphas / tc);                          // 7 alpha frac
+  f[i++] = float(uppers / tc);                          // 8 upper frac
+  f[i++] = float(spaces / tc);                          // 9 space frac
+  f[i++] = float(puncts / tc);                          // 10 punct frac
+  f[i++] = float(mean_of(word_counts));                 // 11 mean words
+  f[i++] = float(std_of(word_counts));                  // 12 std words
+  f[i++] = float(numeric_cells / n);                    // 13 numeric frac
+  f[i++] = float(empty_cells / n);                      // 14 empty frac
+  f[i++] = float(dash_cells / n);                       // 15 dash frac
+  f[i++] = float(starts_upper / n);                     // 16 capitalised frac
+  f[i++] = float(ends_digit / n);                       // 17 ends-digit frac
+  f[i++] = float(char_entropy_accum / n);               // 18 mean entropy
+  // Suffix histogram over the last character class (letters bucketed).
+  double last_vowel = 0, last_conso = 0, last_digit = 0;
+  for (const std::string& cell : cells) {
+    if (cell.empty()) continue;
+    const char c =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(cell.back())));
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++last_digit;
+    } else if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') {
+      ++last_vowel;
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      ++last_conso;
+    }
+  }
+  f[i++] = float(last_vowel / n);   // 19
+  f[i++] = float(last_conso / n);   // 20
+  f[i++] = float(last_digit / n);   // 21
+  // Common surname/place suffix indicators (word-embedding stand-ins).
+  auto suffix_frac = [&](const std::vector<std::string>& suffixes) {
+    double hits = 0;
+    for (const std::string& cell : cells) {
+      for (const std::string& suf : suffixes) {
+        if (cell.size() >= suf.size() &&
+            cell.compare(cell.size() - suf.size(), suf.size(), suf) == 0) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    return float(hits / n);
+  };
+  f[i++] = suffix_frac({"son", "ez", "ov", "ini", "berg", "stein", "man",
+                        "sen", "escu", "wood"});  // 22 person-like
+  f[i++] = suffix_frac({"ville", "ton", "burg", "field", "port", "ford",
+                        "ham", "dale"});          // 23 city-like
+  f[i++] = suffix_frac({"land", "ia", "stan", "ovia", "onia"});  // 24
+  f[i++] = suffix_frac({"ish", "ese", "ic", "an"});              // 25
+  // Mean tokens shared across cells (column homogeneity).
+  std::unordered_set<std::string> first_words;
+  for (const std::string& cell : cells) {
+    const size_t sp = cell.find(' ');
+    first_words.insert(cell.substr(0, sp));
+  }
+  f[i++] = float(first_words.size() / double(n));  // 26 first-word diversity
+  TURL_CHECK_EQ(i, kSherlockFeatureDim);
+  return f;
+}
+
+SherlockClassifier::SherlockClassifier(int num_labels, int hidden_dim,
+                                       uint64_t seed)
+    : num_labels_(num_labels) {
+  Rng rng(seed);
+  fc1_ = std::make_unique<nn::Linear>(&params_, "fc1", kSherlockFeatureDim,
+                                      hidden_dim, &rng);
+  fc2_ = std::make_unique<nn::Linear>(&params_, "fc2", hidden_dim, hidden_dim,
+                                      &rng);
+  out_ = std::make_unique<nn::Linear>(&params_, "out", hidden_dim, num_labels,
+                                      &rng);
+  adam_ = std::make_unique<nn::Adam>(&params_, nn::AdamConfig{.lr = 1e-3f});
+}
+
+nn::Tensor SherlockClassifier::Logits(const nn::Tensor& x) const {
+  nn::Tensor h = nn::Relu(fc1_->Forward(x));
+  h = nn::Relu(fc2_->Forward(h));
+  return out_->Forward(h);
+}
+
+float SherlockClassifier::TrainEpoch(
+    const std::vector<std::vector<float>>& features,
+    const std::vector<std::vector<int>>& labels, float lr, Rng* rng) {
+  TURL_CHECK_EQ(features.size(), labels.size());
+  std::vector<size_t> order(features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  constexpr size_t kBatch = 16;
+  double loss_sum = 0;
+  size_t batches = 0;
+  for (size_t start = 0; start < order.size(); start += kBatch) {
+    const size_t end = std::min(start + kBatch, order.size());
+    const size_t bs = end - start;
+    std::vector<float> xbuf;
+    xbuf.reserve(bs * kSherlockFeatureDim);
+    std::vector<float> ybuf(bs * size_t(num_labels_), 0.f);
+    for (size_t bi = 0; bi < bs; ++bi) {
+      const size_t idx = order[start + bi];
+      TURL_CHECK_EQ(features[idx].size(), size_t(kSherlockFeatureDim));
+      xbuf.insert(xbuf.end(), features[idx].begin(), features[idx].end());
+      for (int label : labels[idx]) {
+        TURL_CHECK_LT(label, num_labels_);
+        ybuf[bi * size_t(num_labels_) + size_t(label)] = 1.f;
+      }
+    }
+    nn::Tensor x = nn::Tensor::FromVector(
+        {int64_t(bs), kSherlockFeatureDim}, std::move(xbuf));
+    nn::Tensor loss = nn::BceWithLogits(Logits(x), ybuf);
+    params_.ZeroGrad();
+    loss.Backward();
+    const float scale = lr / adam_->config().lr;
+    adam_->Step(scale);
+    loss_sum += loss.item();
+    ++batches;
+  }
+  return batches == 0 ? 0.f : float(loss_sum / double(batches));
+}
+
+std::vector<float> SherlockClassifier::Predict(
+    const std::vector<float>& features) const {
+  TURL_CHECK_EQ(features.size(), size_t(kSherlockFeatureDim));
+  nn::Tensor x =
+      nn::Tensor::FromVector({1, kSherlockFeatureDim}, features);
+  nn::Tensor probs = nn::SigmoidOp(Logits(x));
+  return probs.ToVector();
+}
+
+std::vector<int> SherlockClassifier::PredictLabels(
+    const std::vector<float>& features, float threshold) const {
+  std::vector<float> probs = Predict(features);
+  std::vector<int> out;
+  for (int l = 0; l < num_labels_; ++l) {
+    if (probs[size_t(l)] > threshold) out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace turl

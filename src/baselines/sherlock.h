@@ -1,0 +1,61 @@
+#ifndef TURL_BASELINES_SHERLOCK_H_
+#define TURL_BASELINES_SHERLOCK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/optim.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace baselines {
+
+/// Number of hand-crafted features per column.
+inline constexpr int kSherlockFeatureDim = 27;
+
+/// Sherlock-style [16] column featurization: statistical properties,
+/// character distributions and word-level aggregates of a column's cell
+/// values (cell text only — no table context, no entity links). The real
+/// Sherlock uses 1588 features incl. paragraph vectors; this compact variant
+/// keeps the same families at repro scale.
+std::vector<float> SherlockFeatures(const std::vector<std::string>& cells);
+
+/// Multi-label column-type classifier: Sherlock features -> 2-layer MLP ->
+/// |L| sigmoid outputs with binary cross-entropy (the paper's adaptation of
+/// Sherlock to multi-label column typing).
+class SherlockClassifier {
+ public:
+  SherlockClassifier(int num_labels, int hidden_dim, uint64_t seed);
+
+  /// One epoch of SGD over (features, multi-hot labels) pairs; returns the
+  /// mean loss. Labels are label-id lists per example.
+  float TrainEpoch(const std::vector<std::vector<float>>& features,
+                   const std::vector<std::vector<int>>& labels, float lr,
+                   Rng* rng);
+
+  /// Per-label probabilities for one column.
+  std::vector<float> Predict(const std::vector<float>& features) const;
+
+  /// Labels with probability > threshold.
+  std::vector<int> PredictLabels(const std::vector<float>& features,
+                                 float threshold = 0.5f) const;
+
+  int num_labels() const { return num_labels_; }
+
+ private:
+  nn::Tensor Logits(const nn::Tensor& x) const;
+
+  int num_labels_;
+  nn::ParamStore params_;
+  std::unique_ptr<nn::Linear> fc1_;
+  std::unique_ptr<nn::Linear> fc2_;
+  std::unique_ptr<nn::Linear> out_;
+  std::unique_ptr<nn::Adam> adam_;
+};
+
+}  // namespace baselines
+}  // namespace turl
+
+#endif  // TURL_BASELINES_SHERLOCK_H_

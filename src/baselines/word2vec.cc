@@ -1,0 +1,137 @@
+#include "baselines/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace turl {
+namespace baselines {
+
+void Word2Vec::Train(const std::vector<std::vector<std::string>>& sequences,
+                     const Word2VecConfig& config, Rng* rng) {
+  TURL_CHECK_GT(config.dim, 0);
+  dim_ = config.dim;
+
+  // Vocabulary with frequency filtering.
+  std::unordered_map<std::string, int64_t> counts;
+  for (const auto& seq : sequences) {
+    for (const auto& item : seq) ++counts[item];
+  }
+  std::vector<std::pair<std::string, int64_t>> kept;
+  for (const auto& [item, c] : counts) {
+    if (c >= config.min_count) kept.emplace_back(item, c);
+  }
+  std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  items_.clear();
+  ids_.clear();
+  std::vector<double> neg_weights;
+  for (const auto& [item, c] : kept) {
+    ids_.emplace(item, static_cast<int>(items_.size()));
+    items_.push_back(item);
+    neg_weights.push_back(std::pow(double(c), config.negative_sampling_power));
+  }
+  if (items_.empty()) return;
+  DiscreteDistribution neg_dist(neg_weights);
+
+  const size_t v = items_.size();
+  in_vectors_.assign(v * size_t(dim_), 0.f);
+  out_vectors_.assign(v * size_t(dim_), 0.f);
+  for (float& x : in_vectors_) {
+    x = (rng->UniformFloat(-0.5f, 0.5f)) / float(dim_);
+  }
+
+  // Pre-map sequences to ids.
+  std::vector<std::vector<int>> id_seqs;
+  id_seqs.reserve(sequences.size());
+  for (const auto& seq : sequences) {
+    std::vector<int> ids;
+    for (const auto& item : seq) {
+      auto it = ids_.find(item);
+      if (it != ids_.end()) ids.push_back(it->second);
+    }
+    if (ids.size() >= 2) id_seqs.push_back(std::move(ids));
+  }
+
+  std::vector<float> grad_center(static_cast<size_t>(dim_));
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const float lr = config.learning_rate *
+                     (1.f - float(epoch) / float(std::max(config.epochs, 1)));
+    for (const auto& seq : id_seqs) {
+      for (size_t center = 0; center < seq.size(); ++center) {
+        const int window =
+            1 + static_cast<int>(rng->Uniform(uint64_t(config.window)));
+        const size_t lo = center >= size_t(window) ? center - size_t(window) : 0;
+        const size_t hi = std::min(center + size_t(window), seq.size() - 1);
+        float* vin = in_vectors_.data() + size_t(seq[center]) * size_t(dim_);
+        for (size_t ctx = lo; ctx <= hi; ++ctx) {
+          if (ctx == center) continue;
+          std::fill(grad_center.begin(), grad_center.end(), 0.f);
+          // One positive + `negative` sampled negatives.
+          for (int n = 0; n <= config.negative; ++n) {
+            const int target =
+                n == 0 ? seq[ctx]
+                       : static_cast<int>(neg_dist.Sample(rng));
+            if (n > 0 && target == seq[ctx]) continue;
+            const float label = n == 0 ? 1.f : 0.f;
+            float* vout = out_vectors_.data() + size_t(target) * size_t(dim_);
+            const float score = Dot(vin, vout, size_t(dim_));
+            const float pred = 1.f / (1.f + std::exp(-score));
+            const float g = (pred - label) * lr;
+            for (int d = 0; d < dim_; ++d) {
+              grad_center[size_t(d)] += g * vout[d];
+              vout[d] -= g * vin[d];
+            }
+          }
+          for (int d = 0; d < dim_; ++d) vin[d] -= grad_center[size_t(d)];
+        }
+      }
+    }
+  }
+}
+
+int Word2Vec::IdOf(const std::string& item) const {
+  auto it = ids_.find(item);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+bool Word2Vec::Contains(const std::string& item) const {
+  return IdOf(item) >= 0;
+}
+
+std::vector<float> Word2Vec::Vector(const std::string& item) const {
+  const int id = IdOf(item);
+  if (id < 0) return {};
+  const float* base = in_vectors_.data() + size_t(id) * size_t(dim_);
+  return std::vector<float>(base, base + dim_);
+}
+
+double Word2Vec::Similarity(const std::string& a, const std::string& b) const {
+  const std::vector<float> va = Vector(a), vb = Vector(b);
+  if (va.empty() || vb.empty()) return 0.0;
+  return CosineSimilarity(va, vb);
+}
+
+double Word2Vec::SimilarityToSet(const std::string& item,
+                                 const std::vector<std::string>& others) const {
+  const std::vector<float> vi = Vector(item);
+  if (vi.empty() || others.empty()) return 0.0;
+  std::vector<float> mean(static_cast<size_t>(dim_), 0.f);
+  int known = 0;
+  for (const auto& o : others) {
+    const std::vector<float> vo = Vector(o);
+    if (vo.empty()) continue;
+    for (int d = 0; d < dim_; ++d) mean[size_t(d)] += vo[size_t(d)];
+    ++known;
+  }
+  if (known == 0) return 0.0;
+  for (float& x : mean) x /= float(known);
+  return CosineSimilarity(vi, mean);
+}
+
+}  // namespace baselines
+}  // namespace turl

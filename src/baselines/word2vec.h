@@ -1,0 +1,66 @@
+#ifndef TURL_BASELINES_WORD2VEC_H_
+#define TURL_BASELINES_WORD2VEC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace turl {
+namespace baselines {
+
+/// Skip-gram with negative sampling configuration.
+struct Word2VecConfig {
+  int dim = 32;
+  int window = 5;
+  int negative = 5;
+  int epochs = 5;
+  float learning_rate = 0.05f;
+  int min_count = 1;
+  /// Exponent of the unigram distribution used for negative sampling.
+  double negative_sampling_power = 0.75;
+};
+
+/// A from-scratch Word2Vec (skip-gram + negative sampling, Mikolov et al.),
+/// the workhorse behind the Table2Vec [11] and H2V baselines: items are
+/// arbitrary strings (words, entity ids, headers) and sentences are the
+/// per-table sequences the baselines derive from the corpus.
+class Word2Vec {
+ public:
+  Word2Vec() = default;
+
+  /// Trains embeddings over `sequences`. Deterministic for a fixed rng seed.
+  void Train(const std::vector<std::vector<std::string>>& sequences,
+             const Word2VecConfig& config, Rng* rng);
+
+  bool Contains(const std::string& item) const;
+
+  /// Input-embedding vector of `item`; empty when unknown.
+  std::vector<float> Vector(const std::string& item) const;
+
+  /// Cosine similarity between two items' vectors; 0 when either is unknown.
+  double Similarity(const std::string& a, const std::string& b) const;
+
+  /// Cosine similarity between `item` and the mean vector of `others`
+  /// (unknown members skipped); 0 when nothing is known.
+  double SimilarityToSet(const std::string& item,
+                         const std::vector<std::string>& others) const;
+
+  int vocab_size() const { return static_cast<int>(items_.size()); }
+  int dim() const { return dim_; }
+
+ private:
+  int IdOf(const std::string& item) const;
+
+  int dim_ = 0;
+  std::vector<std::string> items_;
+  std::unordered_map<std::string, int> ids_;
+  std::vector<float> in_vectors_;   ///< vocab x dim.
+  std::vector<float> out_vectors_;  ///< vocab x dim.
+};
+
+}  // namespace baselines
+}  // namespace turl
+
+#endif  // TURL_BASELINES_WORD2VEC_H_

@@ -1,0 +1,136 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace turl {
+namespace core {
+
+namespace {
+const std::vector<int> kEmptyList;
+}  // namespace
+
+int64_t CooccurrenceIndex::PairKey(int a, int b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<int64_t>(a) << 32) | static_cast<uint32_t>(b);
+}
+
+CooccurrenceIndex CooccurrenceIndex::Build(
+    const data::Corpus& corpus, const std::vector<size_t>& table_indices,
+    const data::EntityVocab& entity_vocab, int max_per_entity) {
+  CooccurrenceIndex index;
+  for (size_t idx : table_indices) {
+    const data::Table& t = corpus.tables[idx];
+    // Distinct in-vocabulary model ids in this table (topic included).
+    std::vector<int> ids;
+    auto add = [&](kb::EntityId e) {
+      const int m = entity_vocab.Id(e);
+      if (m >= data::EntityVocab::kNumSpecial &&
+          std::find(ids.begin(), ids.end(), m) == ids.end()) {
+        ids.push_back(m);
+      }
+    };
+    if (t.topic_entity != kb::kInvalidEntity) add(t.topic_entity);
+    for (const auto& col : t.columns) {
+      if (!col.is_entity_column) continue;
+      for (const auto& cell : col.cells) {
+        if (cell.linked()) add(cell.entity);
+      }
+    }
+    for (int a : ids) ++index.table_freq_[a];
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        ++index.pair_counts_[PairKey(ids[i], ids[j])];
+      }
+    }
+  }
+
+  // Materialize per-entity lists sorted by co-occurrence count.
+  std::unordered_map<int, std::vector<std::pair<int, int64_t>>> partners;
+  for (const auto& [key, count] : index.pair_counts_) {
+    const int a = static_cast<int>(key >> 32);
+    const int b = static_cast<int>(key & 0xffffffff);
+    partners[a].emplace_back(b, count);
+    partners[b].emplace_back(a, count);
+  }
+  for (auto& [id, list] : partners) {
+    std::sort(list.begin(), list.end(), [](const auto& x, const auto& y) {
+      if (x.second != y.second) return x.second > y.second;
+      return x.first < y.first;
+    });
+    if (static_cast<int>(list.size()) > max_per_entity) {
+      list.resize(static_cast<size_t>(max_per_entity));
+    }
+    std::vector<int> ids;
+    ids.reserve(list.size());
+    for (const auto& [partner, count] : list) ids.push_back(partner);
+    index.lists_.emplace(id, std::move(ids));
+  }
+  return index;
+}
+
+const std::vector<int>& CooccurrenceIndex::Cooccurring(int model_id) const {
+  auto it = lists_.find(model_id);
+  return it == lists_.end() ? kEmptyList : it->second;
+}
+
+int64_t CooccurrenceIndex::Count(int a, int b) const {
+  auto it = pair_counts_.find(PairKey(a, b));
+  return it == pair_counts_.end() ? 0 : it->second;
+}
+
+int64_t CooccurrenceIndex::TableFrequency(int model_id) const {
+  auto it = table_freq_.find(model_id);
+  return it == table_freq_.end() ? 0 : it->second;
+}
+
+std::vector<int> BuildMerCandidates(const EncodedTable& clean,
+                                    const CooccurrenceIndex& cooc,
+                                    int entity_vocab_size, int max_candidates,
+                                    int min_random, Rng* rng) {
+  TURL_CHECK_GT(max_candidates, 0);
+  std::vector<int> candidates;
+  std::unordered_set<int> seen;
+  auto add = [&](int id) {
+    if (id < data::EntityVocab::kNumSpecial) return;
+    if (seen.insert(id).second) candidates.push_back(id);
+  };
+
+  // (1) In-table entities — always first so the cap never drops targets.
+  for (int id : clean.entity_ids) add(id);
+  const size_t in_table = candidates.size();
+
+  // (2) Co-occurring entities, round-robin over in-table anchors.
+  for (size_t i = 0; i < in_table; ++i) {
+    for (int partner : cooc.Cooccurring(candidates[i])) {
+      if (static_cast<int>(candidates.size()) >=
+          max_candidates - min_random) {
+        break;
+      }
+      add(partner);
+    }
+  }
+
+  // (3) Random negatives up to the cap.
+  const int room = max_candidates - static_cast<int>(candidates.size());
+  const int want_random = std::max(std::min(min_random, room), 0);
+  int attempts = 0;
+  int added = 0;
+  while (added < want_random && attempts < want_random * 20) {
+    ++attempts;
+    const int id =
+        data::EntityVocab::kNumSpecial +
+        static_cast<int>(rng->Uniform(static_cast<uint64_t>(
+            entity_vocab_size - data::EntityVocab::kNumSpecial)));
+    if (seen.insert(id).second) {
+      candidates.push_back(id);
+      ++added;
+    }
+  }
+  return candidates;
+}
+
+}  // namespace core
+}  // namespace turl

@@ -1,0 +1,60 @@
+#ifndef TURL_CORE_CANDIDATES_H_
+#define TURL_CORE_CANDIDATES_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/table_encoding.h"
+#include "data/entity_vocab.h"
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace core {
+
+/// Entity co-occurrence statistics over the training tables: which model
+/// entity ids appear in the same table. Feeds the MER candidate sets
+/// (§4.4: "entities that have co-occurred with those in the current table")
+/// and the EntiTables baseline's similarity features.
+class CooccurrenceIndex {
+ public:
+  CooccurrenceIndex() = default;
+
+  /// Scans the given tables and records, per model entity id, its
+  /// co-occurring ids (each list capped at `max_per_entity`, most frequent
+  /// first).
+  static CooccurrenceIndex Build(const data::Corpus& corpus,
+                                 const std::vector<size_t>& table_indices,
+                                 const data::EntityVocab& entity_vocab,
+                                 int max_per_entity = 64);
+
+  /// Co-occurring model ids for `model_id` (empty when unseen).
+  const std::vector<int>& Cooccurring(int model_id) const;
+
+  /// Raw co-occurrence count between two model ids (0 when never together).
+  int64_t Count(int a, int b) const;
+
+  /// Number of tables each model id appeared in (0 when unseen).
+  int64_t TableFrequency(int model_id) const;
+
+ private:
+  std::unordered_map<int, std::vector<int>> lists_;
+  std::unordered_map<int64_t, int64_t> pair_counts_;  ///< key = a * 2^32 + b.
+  std::unordered_map<int, int64_t> table_freq_;
+  static int64_t PairKey(int a, int b);
+};
+
+/// Builds a MER candidate set for one table: the distinct in-table entity
+/// ids, entities co-occurring with them, and random negatives — deduplicated
+/// and capped at `max_candidates` (in-table ids always survive the cap, so
+/// recovery targets are always present). At least `min_random` random
+/// negatives are included when the cap allows.
+std::vector<int> BuildMerCandidates(const EncodedTable& clean,
+                                    const CooccurrenceIndex& cooc,
+                                    int entity_vocab_size, int max_candidates,
+                                    int min_random, Rng* rng);
+
+}  // namespace core
+}  // namespace turl
+
+#endif  // TURL_CORE_CANDIDATES_H_

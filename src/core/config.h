@@ -1,0 +1,55 @@
+#ifndef TURL_CORE_CONFIG_H_
+#define TURL_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace turl {
+namespace core {
+
+/// Hyperparameters of the TURL model and its pre-training, mirroring §4.4.
+/// Paper values: N=4, d_model=312, d_intermediate=1200, k=12, LR 1e-4,
+/// MLM ratio 0.2, MER ratio 0.6, 80 epochs. The defaults here are the
+/// single-CPU-core repro scale; benches print the configuration they used.
+struct TurlConfig {
+  int num_layers = 2;           ///< N stacked Transformer blocks.
+  int64_t d_model = 64;         ///< Hidden width of embeddings and blocks.
+  int64_t d_intermediate = 128; ///< Feed-forward inner width.
+  int num_heads = 4;            ///< Self-attention heads k.
+
+  float dropout = 0.1f;
+  int max_position = 64;  ///< Positional-embedding table size per segment.
+
+  /// Masking ratios (§4.4): fraction of token positions selected for MLM and
+  /// fraction of entity cells selected for MER.
+  float mlm_ratio = 0.2f;
+  float mer_ratio = 0.6f;
+
+  /// The structure-aware visibility matrix (§4.3); false = the conventional
+  /// fully-visible Transformer (Figure 7a ablation).
+  bool use_visibility_matrix = true;
+
+  /// Optimization (Adam with linearly decaying LR).
+  float learning_rate = 1e-3f;
+  float grad_clip = 1.0f;
+  int pretrain_epochs = 24;
+
+  /// MER candidate-set construction (§4.4): in-table entities plus
+  /// co-occurring entities plus random negatives, capped.
+  int mer_max_candidates = 160;
+  int mer_min_random_negatives = 16;
+
+  /// Short tag identifying this configuration in checkpoint cache paths.
+  std::string CacheTag() const {
+    return "L" + std::to_string(num_layers) + "_d" + std::to_string(d_model) +
+           "_h" + std::to_string(num_heads) + "_mer" +
+           std::to_string(int(mer_ratio * 100)) +
+           (use_visibility_matrix ? "_vis" : "_novis") + "_e" +
+           std::to_string(pretrain_epochs);
+  }
+};
+
+}  // namespace core
+}  // namespace turl
+
+#endif  // TURL_CORE_CONFIG_H_

@@ -1,0 +1,54 @@
+#include "core/context.h"
+
+#include <unordered_map>
+
+namespace turl {
+namespace core {
+
+namespace {
+
+void CountWords(const std::string& text,
+                std::unordered_map<std::string, int64_t>* counts) {
+  for (const std::string& w : text::BasicTokenize(text)) ++(*counts)[w];
+}
+
+}  // namespace
+
+TurlContext BuildContext(const ContextConfig& config) {
+  Rng rng(config.seed);
+  TurlContext ctx;
+  ctx.world = kb::GenerateSyntheticKb(config.kb, &rng);
+  ctx.corpus = data::GenerateCorpus(ctx.world, config.corpus, &rng);
+
+  // Word counts over every text surface the models will ever tokenize:
+  // corpus captions/headers/mentions plus KB names, aliases and
+  // descriptions (entity linking encodes KB text too).
+  std::unordered_map<std::string, int64_t> counts;
+  for (const data::Table& t : ctx.corpus.tables) {
+    CountWords(t.caption, &counts);
+    CountWords(t.topic_mention, &counts);
+    for (const data::Column& col : t.columns) {
+      CountWords(col.header, &counts);
+      for (const data::EntityCell& cell : col.cells) {
+        CountWords(cell.mention, &counts);
+      }
+    }
+  }
+  for (kb::EntityId e = 0; e < ctx.world.kb.num_entities(); ++e) {
+    const kb::Entity& ent = ctx.world.kb.entity(e);
+    CountWords(ent.name, &counts);
+    CountWords(ent.description, &counts);
+    for (const std::string& a : ent.aliases) CountWords(a, &counts);
+  }
+  for (kb::TypeId t = 0; t < ctx.world.kb.num_types(); ++t) {
+    CountWords(ctx.world.kb.type(t).name, &counts);
+  }
+
+  ctx.vocab = text::BuildWordPieceVocab(counts, config.wordpiece);
+  ctx.entity_vocab = data::EntityVocab::Build(ctx.corpus, ctx.corpus.train,
+                                              config.entity_min_count);
+  return ctx;
+}
+
+}  // namespace core
+}  // namespace turl

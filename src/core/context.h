@@ -1,0 +1,54 @@
+#ifndef TURL_CORE_CONTEXT_H_
+#define TURL_CORE_CONTEXT_H_
+
+#include "data/corpus_generator.h"
+#include "data/entity_vocab.h"
+#include "data/table.h"
+#include "kb/kb_generator.h"
+#include "text/wordpiece.h"
+
+namespace turl {
+namespace core {
+
+/// Everything upstream of the model: the synthetic world, the table corpus
+/// with its §5.1 partition, the WordPiece vocabulary built over the corpus
+/// and KB text, and the entity vocabulary (§5.2).
+struct ContextConfig {
+  kb::KbGeneratorConfig kb;
+  data::CorpusGeneratorConfig corpus;
+  /// Entities appearing fewer times than this in training tables are
+  /// dropped from the entity vocabulary (paper: "removing those that appear
+  /// only once" => 2).
+  int entity_min_count = 2;
+  text::WordPieceOptions wordpiece;
+  uint64_t seed = 42;
+};
+
+/// The shared data bundle every task and bench builds on. Move-only.
+struct TurlContext {
+  kb::SyntheticKb world;
+  data::Corpus corpus;
+  text::Vocab vocab;
+  data::EntityVocab entity_vocab;
+
+  TurlContext() = default;
+  TurlContext(TurlContext&&) = default;
+  TurlContext& operator=(TurlContext&&) = default;
+  TurlContext(const TurlContext&) = delete;
+  TurlContext& operator=(const TurlContext&) = delete;
+
+  /// Builds a tokenizer over this context's vocabulary. The returned value
+  /// holds a pointer to `vocab`; do not move the context while it is alive.
+  text::WordPieceTokenizer MakeTokenizer() const {
+    return text::WordPieceTokenizer(&vocab);
+  }
+};
+
+/// Generates the KB, the corpus, and both vocabularies deterministically
+/// from `config.seed`.
+TurlContext BuildContext(const ContextConfig& config = ContextConfig());
+
+}  // namespace core
+}  // namespace turl
+
+#endif  // TURL_CORE_CONTEXT_H_

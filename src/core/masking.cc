@@ -1,0 +1,97 @@
+#include "core/masking.h"
+
+#include "data/entity_vocab.h"
+#include "text/vocab.h"
+#include "util/logging.h"
+
+namespace turl {
+namespace core {
+
+namespace {
+
+/// First non-special word id; random replacement tokens are drawn at or
+/// above this.
+constexpr int kFirstRealToken = 5;
+
+int RandomToken(int word_vocab_size, Rng* rng) {
+  TURL_CHECK_GT(word_vocab_size, kFirstRealToken);
+  return kFirstRealToken +
+         static_cast<int>(rng->Uniform(
+             static_cast<uint64_t>(word_vocab_size - kFirstRealToken)));
+}
+
+int RandomEntity(int entity_vocab_size, Rng* rng) {
+  TURL_CHECK_GT(entity_vocab_size, data::EntityVocab::kNumSpecial);
+  return data::EntityVocab::kNumSpecial +
+         static_cast<int>(rng->Uniform(static_cast<uint64_t>(
+             entity_vocab_size - data::EntityVocab::kNumSpecial)));
+}
+
+}  // namespace
+
+std::vector<int> MaskableEntityPositions(const EncodedTable& table) {
+  std::vector<int> out;
+  for (int i = 0; i < table.num_entities(); ++i) {
+    if (table.entity_role[size_t(i)] == kRoleTopic) continue;
+    if (table.entity_ids[size_t(i)] < data::EntityVocab::kNumSpecial) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+void MaskEntityCell(EncodedTable* table, int entity_index, bool mask_mention) {
+  TURL_CHECK_GE(entity_index, 0);
+  TURL_CHECK_LT(entity_index, table->num_entities());
+  table->entity_ids[size_t(entity_index)] = data::EntityVocab::kMaskEntity;
+  if (mask_mention) {
+    table->entity_mentions[size_t(entity_index)] = {text::kMaskId};
+  }
+}
+
+PretrainInstance MakePretrainInstance(const EncodedTable& clean,
+                                      const TurlConfig& config,
+                                      int word_vocab_size,
+                                      int entity_vocab_size, Rng* rng) {
+  PretrainInstance inst;
+  inst.input = clean;
+  inst.mlm_targets.assign(static_cast<size_t>(clean.num_tokens()), -1);
+  inst.mer_targets.assign(static_cast<size_t>(clean.num_entities()), -1);
+
+  // ---- MLM over token positions (§4.4, BERT percentages at ratio 0.2). --
+  for (int i = 0; i < clean.num_tokens(); ++i) {
+    if (!rng->Bernoulli(config.mlm_ratio)) continue;
+    inst.mlm_targets[size_t(i)] = clean.token_ids[size_t(i)];
+    const double roll = rng->UniformDouble();
+    if (roll < 0.8) {
+      inst.input.token_ids[size_t(i)] = text::kMaskId;
+    } else if (roll < 0.9) {
+      inst.input.token_ids[size_t(i)] = RandomToken(word_vocab_size, rng);
+    }  // else: keep unchanged.
+  }
+
+  // ---- MER over maskable entity cells (§4.4 percentages at ratio 0.6). --
+  for (int i : MaskableEntityPositions(clean)) {
+    if (!rng->Bernoulli(config.mer_ratio)) continue;
+    inst.mer_targets[size_t(i)] = clean.entity_ids[size_t(i)];
+    const double roll = rng->UniformDouble();
+    if (roll < 0.1) {
+      // Keep both e^m and e^e unchanged.
+    } else if (roll < 0.1 + 0.63) {
+      // Mask both mention and entity id.
+      MaskEntityCell(&inst.input, i, /*mask_mention=*/true);
+    } else {
+      // Keep the mention; mask the entity id (10% of these get a random
+      // entity instead of [MASK_ENT]).
+      if (rng->Bernoulli(0.1)) {
+        inst.input.entity_ids[size_t(i)] = RandomEntity(entity_vocab_size, rng);
+      } else {
+        MaskEntityCell(&inst.input, i, /*mask_mention=*/false);
+      }
+    }
+  }
+
+  return inst;
+}
+
+}  // namespace core
+}  // namespace turl

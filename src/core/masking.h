@@ -1,0 +1,52 @@
+#ifndef TURL_CORE_MASKING_H_
+#define TURL_CORE_MASKING_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/table_encoding.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace core {
+
+/// One masked pre-training example: the corrupted input plus per-position
+/// recovery targets.
+struct PretrainInstance {
+  EncodedTable input;
+  /// Original WordPiece id for each token position selected by MLM; -1 for
+  /// positions not selected.
+  std::vector<int> mlm_targets;
+  /// Original model entity id for each entity position selected by MER; -1
+  /// for positions not selected.
+  std::vector<int> mer_targets;
+};
+
+/// Applies the §4.4 masking mechanism to a clean encoded table:
+///
+/// MLM — `config.mlm_ratio` of token positions are selected; of those 80%
+/// become [MASK], 10% a random token, 10% stay unchanged.
+///
+/// MER — `config.mer_ratio` of maskable entity cells (linked, in-vocabulary,
+/// non-topic) are selected; of those 10% keep both e^m and e^e, 63% mask
+/// both (mention replaced by a single [MASK] token, entity id by
+/// [MASK_ENT]), and 27% keep the mention and mask only the entity id (10% of
+/// which get a random entity id instead, injecting noise).
+PretrainInstance MakePretrainInstance(const EncodedTable& clean,
+                                      const TurlConfig& config,
+                                      int word_vocab_size,
+                                      int entity_vocab_size, Rng* rng);
+
+/// Masks a single entity cell in place, as done at inference time for cell
+/// filling / object-entity prediction: the entity id becomes [MASK_ENT] and,
+/// when `mask_mention` is set, the mention becomes a single [MASK] token.
+void MaskEntityCell(EncodedTable* table, int entity_index, bool mask_mention);
+
+/// Entity positions eligible for MER in `table` (linked, in-vocabulary,
+/// non-topic cells).
+std::vector<int> MaskableEntityPositions(const EncodedTable& table);
+
+}  // namespace core
+}  // namespace turl
+
+#endif  // TURL_CORE_MASKING_H_

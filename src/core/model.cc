@@ -1,0 +1,99 @@
+#include "core/model.h"
+
+#include <algorithm>
+
+#include "core/visibility.h"
+#include "util/logging.h"
+
+namespace turl {
+namespace core {
+
+TurlModel::TurlModel(const TurlConfig& config, int word_vocab_size,
+                     int entity_vocab_size, uint64_t seed)
+    : config_(config),
+      word_vocab_size_(word_vocab_size),
+      entity_vocab_size_(entity_vocab_size) {
+  TURL_CHECK_GT(word_vocab_size, 0);
+  TURL_CHECK_GT(entity_vocab_size, 0);
+  Rng rng(seed);
+  const int64_t d = config_.d_model;
+  word_emb_ = std::make_unique<nn::Embedding>(&params_, "emb.word",
+                                              word_vocab_size, d, &rng);
+  position_emb_ = std::make_unique<nn::Embedding>(
+      &params_, "emb.position", config_.max_position, d, &rng);
+  segment_emb_ =
+      std::make_unique<nn::Embedding>(&params_, "emb.segment", 2, d, &rng);
+  role_emb_ =
+      std::make_unique<nn::Embedding>(&params_, "emb.role", 3, d, &rng);
+  entity_emb_ = std::make_unique<nn::Embedding>(&params_, "emb.entity",
+                                                entity_vocab_size, d, &rng);
+  entity_fuse_ =
+      std::make_unique<nn::Linear>(&params_, "emb.fuse", 2 * d, d, &rng);
+  emb_norm_ = std::make_unique<nn::LayerNorm>(&params_, "emb.norm", d);
+  encoder_ = std::make_unique<nn::TransformerEncoder>(
+      &params_, "encoder", config_.num_layers, d, config_.d_intermediate,
+      config_.num_heads, &rng);
+  mlm_head_ = std::make_unique<nn::Linear>(&params_, "head.mlm", d, d, &rng);
+  mer_head_ = std::make_unique<nn::Linear>(&params_, "head.mer", d, d, &rng);
+}
+
+nn::Tensor TurlModel::Encode(const EncodedTable& input, bool training,
+                             Rng* rng) const {
+  TURL_CHECK_GT(input.total(), 0);
+  std::vector<nn::Tensor> parts;
+
+  if (input.num_tokens() > 0) {
+    // Clamp positions into the embedding table.
+    std::vector<int> positions = input.token_position;
+    for (int& p : positions) {
+      p = std::min(p, static_cast<int>(config_.max_position) - 1);
+    }
+    nn::Tensor xt = nn::Add(
+        nn::Add(word_emb_->Forward(input.token_ids),
+                segment_emb_->Forward(input.token_segment)),
+        position_emb_->Forward(positions));
+    parts.push_back(xt);
+  }
+
+  if (input.num_entities() > 0) {
+    nn::Tensor ee = entity_emb_->Forward(input.entity_ids);
+    nn::Tensor em = nn::BagMean(word_emb_->weight(), input.entity_mentions);
+    nn::Tensor fused = entity_fuse_->Forward(nn::ConcatCols(ee, em));
+    nn::Tensor xe = nn::Add(fused, role_emb_->Forward(input.entity_role));
+    parts.push_back(xe);
+  }
+
+  nn::Tensor x = parts.size() == 1 ? parts[0] : nn::ConcatRows(parts);
+  x = emb_norm_->Forward(x);
+  x = nn::Dropout(x, config_.dropout, training, rng);
+
+  const std::vector<float> mask =
+      BuildVisibilityMask(input, config_.use_visibility_matrix);
+  return encoder_->Forward(x, mask, config_.dropout, training, rng);
+}
+
+nn::Tensor TurlModel::MlmLogits(const nn::Tensor& hidden,
+                                const std::vector<int>& rows) const {
+  TURL_CHECK(!rows.empty());
+  nn::Tensor projected = mlm_head_->Forward(nn::SelectRows(hidden, rows));
+  return nn::MatMulNT(projected, word_emb_->weight());
+}
+
+nn::Tensor TurlModel::MerLogits(const nn::Tensor& hidden,
+                                const std::vector<int>& rows,
+                                const std::vector<int>& candidates) const {
+  TURL_CHECK(!rows.empty());
+  TURL_CHECK(!candidates.empty());
+  nn::Tensor projected = mer_head_->Forward(nn::SelectRows(hidden, rows));
+  nn::Tensor cand_emb = entity_emb_->Forward(candidates);
+  return nn::MatMulNT(projected, cand_emb);
+}
+
+nn::Tensor TurlModel::MerProject(const nn::Tensor& hidden,
+                                 const std::vector<int>& rows) const {
+  TURL_CHECK(!rows.empty());
+  return mer_head_->Forward(nn::SelectRows(hidden, rows));
+}
+
+}  // namespace core
+}  // namespace turl

@@ -1,0 +1,88 @@
+#ifndef TURL_CORE_MODEL_H_
+#define TURL_CORE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/table_encoding.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace core {
+
+/// The TURL model (Figure 2): an embedding layer fusing table components
+/// (Eqns. 1-3), a structure-aware Transformer encoder with the visibility
+/// matrix as attention mask (Eqn. 4), and projection heads for the MLM
+/// (Eqn. 5) and MER (Eqn. 6) objectives. The same instance is fine-tuned by
+/// every downstream task; tasks add their own heads on top of Encode().
+class TurlModel {
+ public:
+  /// Builds a randomly initialized model. `word_vocab_size` counts WordPiece
+  /// tokens, `entity_vocab_size` counts model entity ids (specials
+  /// included). `seed` controls initialization.
+  TurlModel(const TurlConfig& config, int word_vocab_size,
+            int entity_vocab_size, uint64_t seed);
+
+  TurlModel(const TurlModel&) = delete;
+  TurlModel& operator=(const TurlModel&) = delete;
+
+  /// Runs the embedding layer + encoder; returns contextualized
+  /// representations [input.total(), d_model]. Token rows come first, then
+  /// entity rows (row of entity i = input.num_tokens() + i).
+  nn::Tensor Encode(const EncodedTable& input, bool training, Rng* rng) const;
+
+  /// Hidden-state row of entity element `entity_index`.
+  static int EntityHiddenRow(const EncodedTable& input, int entity_index) {
+    return input.num_tokens() + entity_index;
+  }
+
+  /// MLM head: logits over the full word vocabulary for the given hidden
+  /// rows -> [rows.size(), word_vocab].  P(w) ∝ exp(LINEAR(h_t) · w).
+  nn::Tensor MlmLogits(const nn::Tensor& hidden,
+                       const std::vector<int>& rows) const;
+
+  /// MER head: logits over `candidates` (model entity ids) for the given
+  /// hidden rows -> [rows.size(), candidates.size()].
+  /// P(e) ∝ exp(LINEAR(h_e) · e^e), restricted to the candidate set.
+  nn::Tensor MerLogits(const nn::Tensor& hidden, const std::vector<int>& rows,
+                       const std::vector<int>& candidates) const;
+
+  /// The MER projection LINEAR(h_e) alone -> [rows.size(), d_model]; tasks
+  /// that score against non-entity representations (entity linking against
+  /// KB descriptions) reuse it.
+  nn::Tensor MerProject(const nn::Tensor& hidden,
+                        const std::vector<int>& rows) const;
+
+  const TurlConfig& config() const { return config_; }
+  nn::ParamStore* params() { return &params_; }
+  const nn::ParamStore& params() const { return params_; }
+
+  const nn::Embedding& word_embedding() const { return *word_emb_; }
+  const nn::Embedding& entity_embedding() const { return *entity_emb_; }
+  int word_vocab_size() const { return word_vocab_size_; }
+  int entity_vocab_size() const { return entity_vocab_size_; }
+
+ private:
+  TurlConfig config_;
+  int word_vocab_size_;
+  int entity_vocab_size_;
+  nn::ParamStore params_;
+  std::unique_ptr<nn::Embedding> word_emb_;
+  std::unique_ptr<nn::Embedding> position_emb_;
+  std::unique_ptr<nn::Embedding> segment_emb_;   ///< Token type embedding t.
+  std::unique_ptr<nn::Embedding> role_emb_;      ///< Entity type embedding t_e.
+  std::unique_ptr<nn::Embedding> entity_emb_;    ///< Entity embeddings e^e.
+  std::unique_ptr<nn::Linear> entity_fuse_;      ///< LINEAR([e^e; e^m]).
+  std::unique_ptr<nn::LayerNorm> emb_norm_;
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  std::unique_ptr<nn::Linear> mlm_head_;
+  std::unique_ptr<nn::Linear> mer_head_;
+};
+
+}  // namespace core
+}  // namespace turl
+
+#endif  // TURL_CORE_MODEL_H_

@@ -1,0 +1,43 @@
+#include "core/model_cache.h"
+
+#include <cstdlib>
+
+#include "nn/checkpoint.h"
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace turl {
+namespace core {
+
+std::string DefaultCacheDir() {
+  const char* env = std::getenv("TURL_CACHE");
+  if (env != nullptr && env[0] != '\0') return env;
+  return "turl_cache";
+}
+
+PretrainResult GetOrTrainModel(TurlModel* model, const TurlContext& ctx,
+                               const Pretrainer::Options& options,
+                               const std::string& cache_dir,
+                               const std::string& suffix) {
+  TURL_CHECK_OK(MakeDirs(cache_dir));
+  const std::string path =
+      cache_dir + "/" + model->config().CacheTag() + suffix + ".ckpt";
+  if (FileExists(path)) {
+    const Status s = nn::LoadCheckpoint(model->params(), path);
+    if (s.ok()) {
+      TURL_LOG(Info) << "loaded pre-trained checkpoint " << path;
+      return PretrainResult{};
+    }
+    TURL_LOG(Warning) << "stale checkpoint " << path << " (" << s.ToString()
+                      << "); re-training";
+  }
+  Pretrainer pretrainer(model, &ctx);
+  PretrainResult result = pretrainer.Train(options);
+  TURL_LOG(Info) << "pre-trained " << result.steps << " steps, object-ACC "
+                 << result.final_accuracy;
+  TURL_CHECK_OK(nn::SaveCheckpoint(*model->params(), path));
+  return result;
+}
+
+}  // namespace core
+}  // namespace turl

@@ -1,0 +1,27 @@
+#ifndef TURL_CORE_MODEL_CACHE_H_
+#define TURL_CORE_MODEL_CACHE_H_
+
+#include <string>
+
+#include "core/pretrain.h"
+
+namespace turl {
+namespace core {
+
+/// Directory for cached pre-trained checkpoints: $TURL_CACHE if set, else
+/// "turl_cache" under the working directory.
+std::string DefaultCacheDir();
+
+/// Loads "<cache_dir>/<model config tag><suffix>.ckpt" into `model` if
+/// present; otherwise pre-trains with `options` and writes the checkpoint.
+/// Returns the pretraining result (empty curve when loaded from cache).
+/// Benches share one pre-trained model across processes this way.
+PretrainResult GetOrTrainModel(TurlModel* model, const TurlContext& ctx,
+                               const Pretrainer::Options& options,
+                               const std::string& cache_dir,
+                               const std::string& suffix = "");
+
+}  // namespace core
+}  // namespace turl
+
+#endif  // TURL_CORE_MODEL_CACHE_H_

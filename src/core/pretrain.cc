@@ -1,0 +1,184 @@
+#include "core/pretrain.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace turl {
+namespace core {
+
+Pretrainer::Pretrainer(TurlModel* model, const TurlContext* ctx)
+    : model_(model), ctx_(ctx) {
+  TURL_CHECK(model != nullptr);
+  TURL_CHECK(ctx != nullptr);
+  const text::WordPieceTokenizer tokenizer = ctx->MakeTokenizer();
+  EncodeOptions opts;
+  train_encoded_.reserve(ctx->corpus.train.size());
+  for (size_t idx : ctx->corpus.train) {
+    train_encoded_.push_back(
+        EncodeTable(ctx->corpus.tables[idx], tokenizer, ctx->entity_vocab,
+                    opts));
+  }
+  valid_encoded_.reserve(ctx->corpus.valid.size());
+  for (size_t idx : ctx->corpus.valid) {
+    valid_encoded_.push_back(
+        EncodeTable(ctx->corpus.tables[idx], tokenizer, ctx->entity_vocab,
+                    opts));
+  }
+  cooc_ = CooccurrenceIndex::Build(ctx->corpus, ctx->corpus.train,
+                                   ctx->entity_vocab);
+}
+
+nn::Tensor Pretrainer::InstanceLoss(const PretrainInstance& instance,
+                                    const EncodedTable& clean,
+                                    Rng* rng) const {
+  const TurlConfig& cfg = model_->config();
+  nn::Tensor hidden = model_->Encode(instance.input, /*training=*/true, rng);
+
+  // MLM loss over selected token positions.
+  std::vector<int> mlm_rows, mlm_targets;
+  for (int i = 0; i < instance.input.num_tokens(); ++i) {
+    if (instance.mlm_targets[size_t(i)] >= 0) {
+      mlm_rows.push_back(i);
+      mlm_targets.push_back(instance.mlm_targets[size_t(i)]);
+    }
+  }
+
+  // MER loss over selected entity positions against the candidate set.
+  std::vector<int> mer_rows, mer_target_ids;
+  for (int i = 0; i < instance.input.num_entities(); ++i) {
+    if (instance.mer_targets[size_t(i)] >= 0) {
+      mer_rows.push_back(TurlModel::EntityHiddenRow(instance.input, i));
+      mer_target_ids.push_back(instance.mer_targets[size_t(i)]);
+    }
+  }
+
+  nn::Tensor loss;
+  if (!mlm_rows.empty()) {
+    nn::Tensor mlm_loss = nn::SoftmaxCrossEntropy(
+        model_->MlmLogits(hidden, mlm_rows), mlm_targets);
+    loss = mlm_loss;
+  }
+  if (!mer_rows.empty()) {
+    std::vector<int> candidates =
+        BuildMerCandidates(clean, cooc_, model_->entity_vocab_size(),
+                           cfg.mer_max_candidates,
+                           cfg.mer_min_random_negatives, rng);
+    // Map each target to its index in the candidate list.
+    std::vector<int> targets;
+    targets.reserve(mer_target_ids.size());
+    for (int id : mer_target_ids) {
+      auto it = std::find(candidates.begin(), candidates.end(), id);
+      TURL_CHECK(it != candidates.end())
+          << "MER target missing from candidate set";
+      targets.push_back(static_cast<int>(it - candidates.begin()));
+    }
+    nn::Tensor mer_loss = nn::SoftmaxCrossEntropy(
+        model_->MerLogits(hidden, mer_rows, candidates), targets);
+    loss = loss.defined() ? nn::Add(loss, mer_loss) : mer_loss;
+  }
+  return loss;
+}
+
+PretrainResult Pretrainer::Train(const Options& options) {
+  PretrainResult result;
+  const TurlConfig& cfg = model_->config();
+  const int epochs = options.epochs > 0 ? options.epochs : cfg.pretrain_epochs;
+  Rng rng(options.seed);
+
+  size_t tables_per_epoch = train_encoded_.size();
+  if (options.max_train_tables > 0) {
+    tables_per_epoch = std::min(
+        tables_per_epoch, static_cast<size_t>(options.max_train_tables));
+  }
+  const int64_t total_steps =
+      static_cast<int64_t>(tables_per_epoch) * epochs;
+  TURL_CHECK_GT(total_steps, 0);
+
+  nn::Adam adam(model_->params(), nn::AdamConfig{.lr = cfg.learning_rate});
+  nn::LinearDecaySchedule schedule(total_steps, /*final_fraction=*/0.05f);
+
+  std::vector<size_t> order(train_encoded_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  int64_t step = 0;
+  double recent_loss = 0.0;
+  int64_t recent_count = 0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t oi = 0; oi < tables_per_epoch; ++oi) {
+      const EncodedTable& clean = train_encoded_[order[oi]];
+      if (clean.total() == 0) continue;
+      PretrainInstance instance = MakePretrainInstance(
+          clean, cfg, model_->word_vocab_size(), model_->entity_vocab_size(),
+          &rng);
+      nn::Tensor loss = InstanceLoss(instance, clean, &rng);
+      if (!loss.defined()) continue;
+      model_->params()->ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->params(), cfg.grad_clip);
+      adam.Step(schedule.Scale(step));
+      recent_loss += loss.item();
+      ++recent_count;
+      ++step;
+      if (options.eval_every > 0 && step % options.eval_every == 0) {
+        Rng eval_rng(options.seed + 1);  // Fixed eval set across calls.
+        const double acc = EvaluateObjectPrediction(
+            options.max_eval_tables, options.max_eval_cells_per_table,
+            &eval_rng);
+        result.eval_curve.emplace_back(step, acc);
+      }
+    }
+  }
+
+  result.steps = step;
+  result.final_loss = recent_count > 0 ? recent_loss / double(recent_count)
+                                       : 0.0;
+  Rng final_eval_rng(options.seed + 1);
+  result.final_accuracy = EvaluateObjectPrediction(
+      options.max_eval_tables, options.max_eval_cells_per_table,
+      &final_eval_rng);
+  result.eval_curve.emplace_back(step, result.final_accuracy);
+  return result;
+}
+
+double Pretrainer::EvaluateObjectPrediction(int max_tables,
+                                            int max_cells_per_table,
+                                            Rng* rng) const {
+  int64_t correct = 0, total = 0;
+  const size_t n_tables =
+      std::min(valid_encoded_.size(), static_cast<size_t>(max_tables));
+  for (size_t ti = 0; ti < n_tables; ++ti) {
+    const EncodedTable& clean = valid_encoded_[ti];
+    // Object-column cells that are linked and in vocabulary.
+    std::vector<int> cells;
+    for (int i : MaskableEntityPositions(clean)) {
+      if (clean.entity_role[size_t(i)] == kRoleObject) cells.push_back(i);
+    }
+    if (cells.empty()) continue;
+    rng->Shuffle(&cells);
+    if (static_cast<int>(cells.size()) > max_cells_per_table) {
+      cells.resize(static_cast<size_t>(max_cells_per_table));
+    }
+    std::vector<int> candidates =
+        BuildMerCandidates(clean, cooc_, model_->entity_vocab_size(),
+                           model_->config().mer_max_candidates,
+                           model_->config().mer_min_random_negatives, rng);
+    for (int cell : cells) {
+      EncodedTable masked = clean;
+      MaskEntityCell(&masked, cell, /*mask_mention=*/true);
+      nn::Tensor hidden = model_->Encode(masked, /*training=*/false, rng);
+      nn::Tensor logits = model_->MerLogits(
+          hidden, {TurlModel::EntityHiddenRow(masked, cell)}, candidates);
+      const size_t best = ArgMax(logits.ToVector());
+      const int target = clean.entity_ids[size_t(cell)];
+      correct += (candidates[best] == target);
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : double(correct) / double(total);
+}
+
+}  // namespace core
+}  // namespace turl

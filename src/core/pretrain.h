@@ -1,0 +1,77 @@
+#ifndef TURL_CORE_PRETRAIN_H_
+#define TURL_CORE_PRETRAIN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/context.h"
+#include "core/masking.h"
+#include "core/model.h"
+#include "nn/optim.h"
+
+namespace turl {
+namespace core {
+
+/// Outcome of a pre-training run.
+struct PretrainResult {
+  /// (step, validation object-entity-prediction accuracy) pairs collected at
+  /// every periodic evaluation — the series plotted in Figures 7a/7b.
+  std::vector<std::pair<int64_t, double>> eval_curve;
+  double final_accuracy = 0.0;
+  int64_t steps = 0;
+  double final_loss = 0.0;
+};
+
+/// Drives unsupervised pre-training of a TurlModel with the joint MLM + MER
+/// objective (Eqn. 7) over the training split, and implements the §6.8
+/// object-entity-prediction validation metric.
+class Pretrainer {
+ public:
+  struct Options {
+    /// Training epochs; -1 uses the model config's pretrain_epochs.
+    int epochs = -1;
+    /// Evaluate on validation every this many steps (0 = only at the end).
+    int64_t eval_every = 0;
+    /// Validation subsampling caps (evaluation is O(tables * cells) full
+    /// forward passes).
+    int max_eval_tables = 60;
+    int max_eval_cells_per_table = 3;
+    uint64_t seed = 7;
+    /// Cap on training tables per epoch (0 = all) for quick runs.
+    int max_train_tables = 0;
+  };
+
+  /// The model and context must outlive the pretrainer. Encodes all
+  /// training tables once and builds the co-occurrence index.
+  Pretrainer(TurlModel* model, const TurlContext* ctx);
+
+  /// Runs pre-training; deterministic for a fixed (model seed, opts.seed).
+  PretrainResult Train(const Options& options);
+
+  /// §6.8 metric: for sampled held-out validation tables, mask each chosen
+  /// object-column entity cell (both e^e and e^m), recover it against the
+  /// table's MER candidate set, and report top-1 accuracy.
+  double EvaluateObjectPrediction(int max_tables, int max_cells_per_table,
+                                  Rng* rng) const;
+
+  const CooccurrenceIndex& cooccurrence() const { return cooc_; }
+
+ private:
+  /// Forward + loss for one masked instance. Returns an undefined tensor if
+  /// the instance has no prediction targets.
+  nn::Tensor InstanceLoss(const PretrainInstance& instance,
+                          const EncodedTable& clean, Rng* rng) const;
+
+  TurlModel* model_;
+  const TurlContext* ctx_;
+  std::vector<EncodedTable> train_encoded_;
+  std::vector<EncodedTable> valid_encoded_;
+  CooccurrenceIndex cooc_;
+};
+
+}  // namespace core
+}  // namespace turl
+
+#endif  // TURL_CORE_PRETRAIN_H_

@@ -1,0 +1,99 @@
+#include "core/representation.h"
+
+#include "util/math_util.h"
+
+namespace turl {
+namespace core {
+
+namespace {
+
+std::vector<float> RowOf(const nn::Tensor& hidden, int row) {
+  const int64_t d = hidden.dim(1);
+  const float* base = hidden.data() + int64_t(row) * d;
+  return std::vector<float>(base, base + d);
+}
+
+std::vector<float> MeanOfRows(const nn::Tensor& hidden,
+                              const std::vector<int>& rows, int64_t d) {
+  std::vector<float> out(static_cast<size_t>(d), 0.f);
+  if (rows.empty()) return out;
+  for (int r : rows) {
+    const float* base = hidden.data() + int64_t(r) * d;
+    for (int64_t j = 0; j < d; ++j) out[size_t(j)] += base[j];
+  }
+  for (float& v : out) v /= float(rows.size());
+  return out;
+}
+
+}  // namespace
+
+TableRepresentation ExtractRepresentation(const TurlModel& model,
+                                          const TurlContext& ctx,
+                                          const data::Table& table,
+                                          const EncodeOptions& options) {
+  const text::WordPieceTokenizer tokenizer = ctx.MakeTokenizer();
+  EncodedTable encoded =
+      EncodeTable(table, tokenizer, ctx.entity_vocab, options);
+
+  TableRepresentation rep;
+  rep.d_model = model.config().d_model;
+  if (encoded.total() == 0) return rep;
+
+  Rng rng(0);
+  nn::Tensor hidden = model.Encode(encoded, /*training=*/false, &rng);
+
+  for (int i = 0; i < encoded.num_tokens(); ++i) {
+    rep.token_vectors.push_back(RowOf(hidden, i));
+    rep.tokens.push_back(ctx.vocab.Token(encoded.token_ids[size_t(i)]));
+  }
+  for (int i = 0; i < encoded.num_entities(); ++i) {
+    rep.entity_vectors.push_back(
+        RowOf(hidden, TurlModel::EntityHiddenRow(encoded, i)));
+    rep.entity_rows.push_back(encoded.entity_row[size_t(i)]);
+    rep.entity_columns.push_back(encoded.entity_column[size_t(i)]);
+    rep.entity_kb_ids.push_back(encoded.entity_kb_ids[size_t(i)]);
+  }
+
+  // Eqn. 9 aggregates per table column.
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::vector<int> header_rows, entity_rows;
+    for (int i = 0; i < encoded.num_tokens(); ++i) {
+      if (encoded.token_segment[size_t(i)] == kSegmentHeader &&
+          encoded.token_column[size_t(i)] == c) {
+        header_rows.push_back(i);
+      }
+    }
+    for (int i = 0; i < encoded.num_entities(); ++i) {
+      if (encoded.entity_column[size_t(i)] == c) {
+        entity_rows.push_back(TurlModel::EntityHiddenRow(encoded, i));
+      }
+    }
+    std::vector<float> header_mean =
+        MeanOfRows(hidden, header_rows, rep.d_model);
+    std::vector<float> entity_mean =
+        MeanOfRows(hidden, entity_rows, rep.d_model);
+    header_mean.insert(header_mean.end(), entity_mean.begin(),
+                       entity_mean.end());
+    rep.column_vectors.push_back(std::move(header_mean));
+  }
+  return rep;
+}
+
+float RepresentationSimilarity(const std::vector<float>& a,
+                               const std::vector<float>& b) {
+  if (a.empty() || b.empty() || a.size() != b.size()) return 0.f;
+  return CosineSimilarity(a, b);
+}
+
+std::vector<float> EntityVectorAt(const TableRepresentation& rep, int row,
+                                  int column) {
+  for (size_t i = 0; i < rep.entity_vectors.size(); ++i) {
+    if (rep.entity_rows[i] == row && rep.entity_columns[i] == column) {
+      return rep.entity_vectors[i];
+    }
+  }
+  return {};
+}
+
+}  // namespace core
+}  // namespace turl

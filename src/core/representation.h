@@ -1,0 +1,60 @@
+#ifndef TURL_CORE_REPRESENTATION_H_
+#define TURL_CORE_REPRESENTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/model.h"
+
+namespace turl {
+namespace core {
+
+/// Deep contextualized representations of one table — the artifact
+/// Definition 2.1 says TURL learns: a vector per metadata token and per
+/// entity cell, contextualized by the whole (visible part of the) table.
+/// This is the public "embedding extraction" API downstream users build
+/// custom tasks on.
+struct TableRepresentation {
+  int64_t d_model = 0;
+
+  /// Per-token vectors, parallel to tokens (caption first, then headers).
+  std::vector<std::vector<float>> token_vectors;
+  /// The token strings, for inspection/debugging.
+  std::vector<std::string> tokens;
+
+  /// Per-entity-cell vectors, parallel to the entity part of the encoding
+  /// (topic entity first when present, then cells row-major).
+  std::vector<std::vector<float>> entity_vectors;
+  /// Structural coordinates of each entity vector (row/column; -1 = topic).
+  std::vector<int> entity_rows;
+  std::vector<int> entity_columns;
+  /// Ground-truth KB ids (kInvalidEntity when unlinked).
+  std::vector<kb::EntityId> entity_kb_ids;
+
+  /// Eqn. 9 column aggregates: [mean header token; mean entity cell] per
+  /// table column, 2*d_model wide (zeros for halves with no elements).
+  std::vector<std::vector<float>> column_vectors;
+};
+
+/// Runs the (pre-trained) model over `table` and extracts all vectors.
+/// Deterministic (evaluation mode, no dropout).
+TableRepresentation ExtractRepresentation(const TurlModel& model,
+                                          const TurlContext& ctx,
+                                          const data::Table& table,
+                                          const EncodeOptions& options =
+                                              EncodeOptions());
+
+/// Cosine similarity between two representation vectors (0 for empty/zero).
+float RepresentationSimilarity(const std::vector<float>& a,
+                               const std::vector<float>& b);
+
+/// Convenience: the entity vector at (row, column), or an empty vector when
+/// that cell is not part of the representation.
+std::vector<float> EntityVectorAt(const TableRepresentation& rep, int row,
+                                  int column);
+
+}  // namespace core
+}  // namespace turl
+
+#endif  // TURL_CORE_REPRESENTATION_H_

@@ -1,0 +1,81 @@
+#ifndef TURL_CORE_TABLE_ENCODING_H_
+#define TURL_CORE_TABLE_ENCODING_H_
+
+#include <vector>
+
+#include "data/entity_vocab.h"
+#include "data/table.h"
+#include "text/wordpiece.h"
+
+namespace turl {
+namespace core {
+
+/// Token segment ids (the paper's type embedding t for tokens).
+inline constexpr int kSegmentCaption = 0;
+inline constexpr int kSegmentHeader = 1;
+
+/// Entity roles (the paper's entity type embedding t_e).
+inline constexpr int kRoleTopic = 0;
+inline constexpr int kRoleSubject = 1;
+inline constexpr int kRoleObject = 2;
+
+/// Knobs for table linearization.
+struct EncodeOptions {
+  int max_rows = 20;
+  int max_caption_tokens = 24;
+  int max_header_tokens = 8;
+  int max_mention_tokens = 8;
+  /// False drops caption + headers entirely ("w/o table metadata" ablation).
+  bool include_metadata = true;
+  /// False drops all entity cells ("only table metadata" ablation).
+  bool include_entities = true;
+  /// False drops the topic entity (it is part of the metadata).
+  bool include_topic_entity = true;
+};
+
+/// A relational table linearized for the model (§4.2 and Figure 3): a token
+/// part (caption tokens, then header tokens column by column) followed by an
+/// entity part (topic entity, then entity-column cells in row-major order).
+/// Parallel arrays keep per-element structure needed by the embedding layer
+/// and the visibility matrix.
+struct EncodedTable {
+  // Token part.
+  std::vector<int> token_ids;       ///< WordPiece ids.
+  std::vector<int> token_segment;   ///< kSegmentCaption / kSegmentHeader.
+  std::vector<int> token_position;  ///< Position within its segment run.
+  std::vector<int> token_column;    ///< Header column index; -1 for caption.
+
+  // Entity part.
+  std::vector<int> entity_ids;   ///< Model entity-vocab ids (e^e).
+  std::vector<int> entity_role;  ///< kRoleTopic / kRoleSubject / kRoleObject.
+  std::vector<int> entity_row;   ///< Table row; -1 for the topic entity.
+  std::vector<int> entity_column;  ///< Table column; -1 for the topic entity.
+  /// WordPiece ids of each cell's mention text (e^m), possibly empty.
+  std::vector<std::vector<int>> entity_mentions;
+  /// Ground-truth KB ids (kInvalidEntity when unlinked); never an input.
+  std::vector<kb::EntityId> entity_kb_ids;
+
+  int num_tokens() const { return static_cast<int>(token_ids.size()); }
+  int num_entities() const { return static_cast<int>(entity_ids.size()); }
+  /// Total sequence length seen by the encoder.
+  int total() const { return num_tokens() + num_entities(); }
+
+  /// Appends one entity element; returns its entity index.
+  int AppendEntity(int model_id, int role, int row, int column,
+                   std::vector<int> mention_tokens,
+                   kb::EntityId kb_id = kb::kInvalidEntity);
+};
+
+/// Linearizes `table` per the options. Entity ids come from `entity_vocab`
+/// (out-of-vocabulary or unlinked cells map to EntityVocab::kUnkEntity but
+/// keep their mention tokens — exactly the "only cell text available"
+/// situation downstream tasks face).
+EncodedTable EncodeTable(const data::Table& table,
+                         const text::WordPieceTokenizer& tokenizer,
+                         const data::EntityVocab& entity_vocab,
+                         const EncodeOptions& options = EncodeOptions());
+
+}  // namespace core
+}  // namespace turl
+
+#endif  // TURL_CORE_TABLE_ENCODING_H_

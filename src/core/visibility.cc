@@ -1,0 +1,90 @@
+#include "core/visibility.h"
+
+#include "util/logging.h"
+
+namespace turl {
+namespace core {
+
+namespace {
+
+/// Structural coordinates of one sequence element.
+struct ElementInfo {
+  bool is_token = false;
+  bool is_caption = false;  ///< Caption token.
+  bool is_header = false;   ///< Header token.
+  bool is_topic = false;    ///< Topic entity.
+  int row = -1;             ///< Cell row (cells only).
+  int column = -1;          ///< Header/cell column.
+};
+
+ElementInfo InfoAt(const EncodedTable& t, int i) {
+  ElementInfo e;
+  const int nt = t.num_tokens();
+  if (i < nt) {
+    e.is_token = true;
+    if (t.token_segment[size_t(i)] == kSegmentCaption) {
+      e.is_caption = true;
+    } else {
+      e.is_header = true;
+      e.column = t.token_column[size_t(i)];
+    }
+  } else {
+    const int ei = i - nt;
+    if (t.entity_role[size_t(ei)] == kRoleTopic) {
+      e.is_topic = true;
+    } else {
+      e.row = t.entity_row[size_t(ei)];
+      e.column = t.entity_column[size_t(ei)];
+    }
+  }
+  return e;
+}
+
+bool VisiblePair(const ElementInfo& a, const ElementInfo& b) {
+  // Caption tokens and the topic entity see and are seen by everything.
+  if (a.is_caption || a.is_topic || b.is_caption || b.is_topic) return true;
+  if (a.is_header && b.is_header) return true;  // Headers form one row.
+  if (a.is_header || b.is_header) {
+    // Header vs entity cell: visible iff same column.
+    const ElementInfo& header = a.is_header ? a : b;
+    const ElementInfo& cell = a.is_header ? b : a;
+    return header.column == cell.column;
+  }
+  // Two entity cells: same row or same column.
+  return a.row == b.row || a.column == b.column;
+}
+
+}  // namespace
+
+bool IsVisible(const EncodedTable& table, int i, int j) {
+  TURL_CHECK_GE(i, 0);
+  TURL_CHECK_LT(i, table.total());
+  TURL_CHECK_GE(j, 0);
+  TURL_CHECK_LT(j, table.total());
+  if (i == j) return true;
+  return VisiblePair(InfoAt(table, i), InfoAt(table, j));
+}
+
+std::vector<float> BuildVisibilityMask(const EncodedTable& table,
+                                       bool use_visibility_matrix) {
+  const int n = table.total();
+  std::vector<float> mask(static_cast<size_t>(n) * static_cast<size_t>(n),
+                          0.f);
+  if (!use_visibility_matrix) return mask;
+
+  // Precompute element info once; the pairwise loop is O(n^2).
+  std::vector<ElementInfo> info(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) info[size_t(i)] = InfoAt(table, i);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && !VisiblePair(info[size_t(i)], info[size_t(j)])) {
+        mask[static_cast<size_t>(i) * static_cast<size_t>(n) +
+             static_cast<size_t>(j)] = kMaskedScore;
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace core
+}  // namespace turl

@@ -1,0 +1,34 @@
+#ifndef TURL_CORE_VISIBILITY_H_
+#define TURL_CORE_VISIBILITY_H_
+
+#include <vector>
+
+#include "core/table_encoding.h"
+
+namespace turl {
+namespace core {
+
+/// Additive mask value for invisible pairs (drives softmax weight to zero).
+inline constexpr float kMaskedScore = -1e9f;
+
+/// True iff element `j` is visible to element `i` under the paper's §4.3
+/// rules. Elements are indexed over the full sequence: token part first
+/// (0..num_tokens-1), then entity part. Rules:
+///  - caption tokens and the topic entity are visible to (and see) all;
+///  - header tokens see all header tokens and the cells of their column;
+///  - entity cells see cells in the same row or the same column, and the
+///    header of their column.
+/// The relation is symmetric and reflexive.
+bool IsVisible(const EncodedTable& table, int i, int j);
+
+/// Builds the n*n row-major additive attention mask for `table`: 0 where
+/// visible, kMaskedScore where not. When `use_visibility_matrix` is false,
+/// returns an all-zero mask (the conventional Transformer; Figure 7a
+/// ablation).
+std::vector<float> BuildVisibilityMask(const EncodedTable& table,
+                                       bool use_visibility_matrix = true);
+
+}  // namespace core
+}  // namespace turl
+
+#endif  // TURL_CORE_VISIBILITY_H_

@@ -1,0 +1,93 @@
+#include "core/word_init.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace turl {
+namespace core {
+
+baselines::Word2Vec TrainCorpusWord2Vec(const TurlContext& ctx,
+                                        const baselines::Word2VecConfig& config,
+                                        Rng* rng) {
+  std::vector<std::vector<std::string>> sentences;
+  sentences.reserve(ctx.corpus.train.size());
+  for (size_t idx : ctx.corpus.train) {
+    const data::Table& t = ctx.corpus.tables[idx];
+    std::vector<std::string> sentence = text::BasicTokenize(t.caption);
+    for (const data::Column& col : t.columns) {
+      for (const std::string& w : text::BasicTokenize(col.header)) {
+        sentence.push_back(w);
+      }
+      for (const data::EntityCell& cell : col.cells) {
+        for (const std::string& w : text::BasicTokenize(cell.mention)) {
+          sentence.push_back(w);
+        }
+      }
+    }
+    if (sentence.size() >= 2) sentences.push_back(std::move(sentence));
+  }
+  baselines::Word2Vec w2v;
+  w2v.Train(sentences, config, rng);
+  return w2v;
+}
+
+int InitializeFromWord2Vec(TurlModel* model, const TurlContext& ctx,
+                           const baselines::Word2VecConfig& config,
+                           Rng* rng) {
+  TURL_CHECK(model != nullptr);
+  baselines::Word2VecConfig w2v_config = config;
+  // The projection must match the model width so rows copy over directly.
+  w2v_config.dim = static_cast<int>(model->config().d_model);
+  baselines::Word2Vec w2v = TrainCorpusWord2Vec(ctx, w2v_config, rng);
+
+  nn::Tensor word_weight = model->params()->Get("emb.word.weight");
+  const int64_t d = model->config().d_model;
+  int replaced = 0;
+  for (int id = 0; id < ctx.vocab.size(); ++id) {
+    const std::string& token = ctx.vocab.Token(id);
+    if (token.size() >= 2 && token[0] == '#' && token[1] == '#') continue;
+    if (token.size() >= 1 && token[0] == '[') continue;  // Specials.
+    std::vector<float> v = w2v.Vector(token);
+    if (v.empty()) continue;
+    // Rescale to the embedding init scale (N(0, 0.02)) so pre-initialized
+    // rows do not dominate the LayerNorm statistics.
+    float norm = 0.f;
+    for (float x : v) norm += x * x;
+    norm = std::sqrt(norm / float(d));
+    const float target = 0.02f;
+    if (norm > 1e-8f) {
+      for (float& x : v) x *= target / norm;
+    }
+    std::memcpy(word_weight.data() + int64_t(id) * d, v.data(),
+                sizeof(float) * size_t(d));
+    ++replaced;
+  }
+
+  // Paper §4.4: entity embeddings initialized with the averaged word
+  // embeddings of the entity's name.
+  const text::WordPieceTokenizer tokenizer = ctx.MakeTokenizer();
+  nn::Tensor entity_weight = model->params()->Get("emb.entity.weight");
+  for (int eid = data::EntityVocab::kNumSpecial;
+       eid < ctx.entity_vocab.size(); ++eid) {
+    const kb::EntityId kb_id = ctx.entity_vocab.KbId(eid);
+    if (kb_id == kb::kInvalidEntity) continue;
+    std::vector<int> tokens =
+        tokenizer.Encode(ctx.world.kb.entity(kb_id).name);
+    if (tokens.empty()) continue;
+    std::vector<float> mean(static_cast<size_t>(d), 0.f);
+    for (int t : tokens) {
+      const float* row = word_weight.data() + int64_t(t) * d;
+      for (int64_t j = 0; j < d; ++j) mean[size_t(j)] += row[j];
+    }
+    for (float& x : mean) x /= float(tokens.size());
+    std::memcpy(entity_weight.data() + int64_t(eid) * d, mean.data(),
+                sizeof(float) * size_t(d));
+  }
+  return replaced;
+}
+
+}  // namespace core
+}  // namespace turl

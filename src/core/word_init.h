@@ -1,0 +1,35 @@
+#ifndef TURL_CORE_WORD_INIT_H_
+#define TURL_CORE_WORD_INIT_H_
+
+#include "baselines/word2vec.h"
+#include "core/context.h"
+#include "core/model.h"
+
+namespace turl {
+namespace core {
+
+/// Pre-initializes a TurlModel's word embeddings from Word2Vec trained on
+/// the corpus text — this repository's stand-in for the paper's TinyBERT
+/// initialization (§4.4 "initialize ... word embeddings and position
+/// embeddings with TinyBERT"; see DESIGN.md substitutions). Entity
+/// embeddings are then re-initialized as the paper prescribes: "entity
+/// embeddings are initialized using averaged word embeddings in entity
+/// names".
+///
+/// Only whole-word vocabulary tokens found in the Word2Vec vocabulary are
+/// replaced (subword pieces keep their random init). Returns the number of
+/// word rows replaced.
+int InitializeFromWord2Vec(TurlModel* model, const TurlContext& ctx,
+                           const baselines::Word2VecConfig& config,
+                           Rng* rng);
+
+/// Trains the underlying Word2Vec over the corpus "sentences" (caption +
+/// headers + cell mentions per table), exposed for tests and analysis.
+baselines::Word2Vec TrainCorpusWord2Vec(const TurlContext& ctx,
+                                        const baselines::Word2VecConfig& config,
+                                        Rng* rng);
+
+}  // namespace core
+}  // namespace turl
+
+#endif  // TURL_CORE_WORD_INIT_H_

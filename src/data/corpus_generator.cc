@@ -1,0 +1,339 @@
+#include "data/corpus_generator.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace turl {
+namespace data {
+
+namespace {
+
+using kb::EntityId;
+using kb::KnowledgeBase;
+using kb::RelationId;
+using kb::SyntheticKb;
+
+/// Applies one character corruption (drop or adjacent swap); ~30% of typos
+/// apply a second edit, putting the mention beyond easy fuzzy recovery —
+/// these become the candidate-generation failures the paper reports.
+std::string Corrupt(const std::string& s, Rng* rng) {
+  std::string out = s;
+  const int edits = rng->Bernoulli(0.3) ? 2 : 1;
+  for (int e = 0; e < edits; ++e) {
+    if (out.size() < 3) break;
+    const size_t pos = 1 + rng->Uniform(out.size() - 2);
+    if (rng->Bernoulli(0.5)) {
+      out.erase(pos, 1);
+    } else {
+      std::swap(out[pos], out[pos - 1]);
+    }
+  }
+  return out;
+}
+
+/// One pattern instance under construction.
+struct PatternSpec {
+  std::string name;
+  EntityId topic;
+  RelationId group_relation;            // subject --group_relation--> topic
+  std::string subject_header;
+  std::string caption;
+  std::vector<RelationId> object_relations;  // candidate object columns
+  std::vector<std::string> text_columns;     // candidate non-entity columns
+  /// Generator for one text-column cell value.
+  enum class TextKind { kYear, kSmallCount, kBigCount } text_kind =
+      TextKind::kYear;
+};
+
+class Generator {
+ public:
+  Generator(const SyntheticKb& world, const CorpusGeneratorConfig& config,
+            Rng* rng)
+      : world_(world), kb_(world.kb), config_(config), rng_(rng) {}
+
+  Corpus Generate() {
+    Corpus corpus;
+    corpus.tables.reserve(static_cast<size_t>(config_.num_tables));
+    int attempts = 0;
+    const int max_attempts = config_.num_tables * 20;
+    while (static_cast<int>(corpus.tables.size()) < config_.num_tables &&
+           attempts < max_attempts) {
+      ++attempts;
+      auto spec = SampleSpec();
+      if (!spec.has_value()) continue;
+      auto table = Build(*spec);
+      if (table.has_value()) corpus.tables.push_back(std::move(*table));
+    }
+    TURL_CHECK_GT(corpus.tables.size(), 0u) << "corpus generation produced nothing";
+    Partition(&corpus);
+    return corpus;
+  }
+
+ private:
+  EntityId PickOfType(kb::TypeId t) {
+    const auto& pool = kb_.EntitiesOfType(t);
+    TURL_CHECK(!pool.empty());
+    return pool[rng_->Uniform(pool.size())];
+  }
+
+  std::optional<PatternSpec> SampleSpec() {
+    PatternSpec spec;
+    // Pattern mix roughly matching how often each page type occurs on
+    // Wikipedia: rosters and filmographies dominate.
+    const size_t which = rng_->Discrete({3.0, 3.0, 1.5, 1.0, 1.0, 1.5, 0.8});
+    switch (which) {
+      case 0: {  // Team roster.
+        spec.name = "team_roster";
+        spec.topic = PickOfType(world_.t_sports_team);
+        spec.group_relation = world_.r_plays_for;
+        spec.subject_header = rng_->Bernoulli(0.5) ? "player" : "name";
+        const int season = int(rng_->UniformInt(1990, 2020));
+        spec.caption = std::to_string(season) + " " +
+                       kb_.entity(spec.topic).name + " season squad players";
+        spec.object_relations = {world_.r_nationality, world_.r_birthplace};
+        spec.text_columns = {"goals", "appearances", "number"};
+        spec.text_kind = PatternSpec::TextKind::kSmallCount;
+        break;
+      }
+      case 1: {  // Director filmography.
+        spec.name = "filmography";
+        spec.topic = PickOfType(world_.t_director);
+        spec.group_relation = world_.r_directed_by;
+        spec.subject_header = rng_->Bernoulli(0.5) ? "film" : "title";
+        spec.caption = kb_.entity(spec.topic).name + " filmography films";
+        spec.object_relations = {world_.r_starring, world_.r_film_language,
+                                 world_.r_film_country};
+        spec.text_columns = {"year", "length"};
+        spec.text_kind = PatternSpec::TextKind::kYear;
+        break;
+      }
+      case 2: {  // Actor's films.
+        spec.name = "actor_films";
+        spec.topic = PickOfType(world_.t_actor);
+        spec.group_relation = world_.r_starring;
+        spec.subject_header = "film";
+        spec.caption =
+            "list of films starring " + kb_.entity(spec.topic).name;
+        spec.object_relations = {world_.r_directed_by, world_.r_film_language,
+                                 world_.r_film_country};
+        spec.text_columns = {"year"};
+        spec.text_kind = PatternSpec::TextKind::kYear;
+        break;
+      }
+      case 3: {  // Award recipients (the paper's Figure 1 shape).
+        spec.name = "award_recipients";
+        spec.topic = PickOfType(world_.t_award);
+        spec.group_relation = world_.r_won_award;
+        spec.subject_header = "film";
+        spec.caption = kb_.entity(spec.topic).name + " recipients list";
+        spec.object_relations = {world_.r_directed_by, world_.r_film_language};
+        spec.text_columns = {"year"};
+        spec.text_kind = PatternSpec::TextKind::kYear;
+        break;
+      }
+      case 4: {  // Musician discography.
+        spec.name = "discography";
+        spec.topic = PickOfType(world_.t_musician);
+        spec.group_relation = world_.r_artist;
+        spec.subject_header = "album";
+        spec.caption = kb_.entity(spec.topic).name + " discography albums";
+        spec.object_relations = {world_.r_label};
+        spec.text_columns = {"year"};
+        spec.text_kind = PatternSpec::TextKind::kYear;
+        break;
+      }
+      case 5: {  // Players by nationality.
+        spec.name = "country_players";
+        spec.topic = PickOfType(world_.t_country);
+        spec.group_relation = world_.r_nationality;
+        spec.subject_header = "player";
+        spec.caption = "list of " + kb_.entity(spec.topic).name +
+                       " footballers players";
+        spec.object_relations = {world_.r_plays_for, world_.r_birthplace};
+        spec.text_columns = {"goals", "caps"};
+        spec.text_kind = PatternSpec::TextKind::kSmallCount;
+        break;
+      }
+      default: {  // Cities of a country (pre-train only: 1 entity column).
+        spec.name = "country_cities";
+        spec.topic = PickOfType(world_.t_country);
+        spec.group_relation = world_.r_located_in;
+        spec.subject_header = "city";
+        spec.caption =
+            "list of cities in " + kb_.entity(spec.topic).name;
+        spec.object_relations = {};
+        spec.text_columns = {"population"};
+        spec.text_kind = PatternSpec::TextKind::kBigCount;
+        break;
+      }
+    }
+    return spec;
+  }
+
+  std::string TextCellValue(PatternSpec::TextKind kind) {
+    switch (kind) {
+      case PatternSpec::TextKind::kYear:
+        return std::to_string(rng_->UniformInt(1950, 2020));
+      case PatternSpec::TextKind::kSmallCount:
+        return std::to_string(rng_->UniformInt(0, 60));
+      case PatternSpec::TextKind::kBigCount:
+        return std::to_string(rng_->UniformInt(10000, 9000000));
+    }
+    return "0";
+  }
+
+  std::optional<Table> Build(const PatternSpec& spec) {
+    std::vector<EntityId> subjects =
+        kb_.Subjects(spec.group_relation, spec.topic);
+    if (static_cast<int>(subjects.size()) < config_.min_rows) {
+      return std::nullopt;
+    }
+    rng_->Shuffle(&subjects);
+    const int rows = std::min<int>(static_cast<int>(subjects.size()),
+                                   config_.max_rows);
+    subjects.resize(static_cast<size_t>(rows));
+
+    Table table;
+    table.caption = spec.caption;
+    table.topic_entity = spec.topic;
+    table.topic_mention = kb_.entity(spec.topic).name;
+    table.group_relation = spec.group_relation;
+    table.pattern = spec.name;
+
+    // Subject column.
+    Column subject_col;
+    subject_col.header = spec.subject_header;
+    subject_col.is_entity_column = true;
+    for (EntityId s : subjects) {
+      EntityCell cell;
+      cell.mention = RenderMention(kb_, s, config_.alias_probability,
+                                   config_.typo_probability, rng_);
+      if (rng_->Bernoulli(config_.subject_link_probability)) cell.entity = s;
+      subject_col.cells.push_back(std::move(cell));
+    }
+    table.columns.push_back(std::move(subject_col));
+
+    // Object columns: a random non-empty subset, order shuffled.
+    std::vector<RelationId> rels = spec.object_relations;
+    rng_->Shuffle(&rels);
+    int keep = rels.empty() ? 0
+                            : 1 + static_cast<int>(rng_->Uniform(rels.size()));
+    rels.resize(static_cast<size_t>(keep));
+    for (RelationId r : rels) {
+      const auto& surfaces = kb_.relation(r).header_surfaces;
+      Column col;
+      // Real Web tables often carry uninformative headers; a fraction of
+      // object columns get a generic one, which keeps header matching from
+      // being an oracle (the paper's headers are similarly noisy).
+      static const char* kGenericHeaders[] = {"name", "details", "info"};
+      if (rng_->Bernoulli(0.25)) {
+        col.header = kGenericHeaders[rng_->Uniform(3)];
+      } else {
+        col.header = surfaces[rng_->Uniform(surfaces.size())];
+      }
+      col.is_entity_column = true;
+      col.relation = r;
+      for (EntityId s : subjects) {
+        EntityCell cell;
+        const auto& objects = kb_.Objects(s, r);
+        if (objects.empty()) {
+          cell.mention = "-";  // Missing fact: unlinked placeholder.
+        } else {
+          // Multi-valued facts: tables usually show the primary value
+          // (first-listed), sometimes an alternative.
+          size_t pick = 0;
+          if (objects.size() > 1 && !rng_->Bernoulli(0.65)) {
+            pick = 1 + rng_->Uniform(objects.size() - 1);
+          }
+          EntityId o = objects[pick];
+          cell.mention = RenderMention(kb_, o, config_.alias_probability,
+                                       config_.typo_probability, rng_);
+          if (rng_->Bernoulli(config_.cell_link_probability)) cell.entity = o;
+        }
+        col.cells.push_back(std::move(cell));
+      }
+      table.columns.push_back(std::move(col));
+    }
+
+    // Optional non-entity columns.
+    std::vector<std::string> text_cols = spec.text_columns;
+    rng_->Shuffle(&text_cols);
+    for (const std::string& header : text_cols) {
+      if (!rng_->Bernoulli(config_.extra_text_column_probability)) continue;
+      Column col;
+      col.header = header;
+      col.is_entity_column = false;
+      for (int i = 0; i < rows; ++i) {
+        EntityCell cell;
+        cell.mention = TextCellValue(spec.text_kind);
+        col.cells.push_back(std::move(cell));
+      }
+      table.columns.push_back(std::move(col));
+      if (table.columns.size() >= 6) break;
+    }
+
+    if (table.NumLinkedEntities() < 3) return std::nullopt;  // §5.1 filter.
+    return table;
+  }
+
+  /// §5.1 held-out eligibility.
+  static bool EligibleForHeldOut(const Table& t) {
+    return t.NumLinkedSubjectEntities() > 4 && t.NumEntityColumns() >= 3 &&
+           t.LinkedCellFraction() > 0.5;
+  }
+
+  void Partition(Corpus* corpus) {
+    std::vector<size_t> eligible, rest;
+    for (size_t i = 0; i < corpus->tables.size(); ++i) {
+      (EligibleForHeldOut(corpus->tables[i]) ? eligible : rest).push_back(i);
+    }
+    rng_->Shuffle(&eligible);
+    size_t target = static_cast<size_t>(config_.held_out_fraction *
+                                        double(corpus->tables.size()));
+    target = std::min(target, eligible.size());
+    // Roughly 1:1 validation:test, as in the paper.
+    const size_t n_valid = target / 2;
+    for (size_t i = 0; i < target; ++i) {
+      (i < n_valid ? corpus->valid : corpus->test).push_back(eligible[i]);
+    }
+    for (size_t i = target; i < eligible.size(); ++i) {
+      rest.push_back(eligible[i]);
+    }
+    std::sort(rest.begin(), rest.end());
+    corpus->train = std::move(rest);
+    std::sort(corpus->valid.begin(), corpus->valid.end());
+    std::sort(corpus->test.begin(), corpus->test.end());
+  }
+
+  const SyntheticKb& world_;
+  const KnowledgeBase& kb_;
+  CorpusGeneratorConfig config_;
+  Rng* rng_;
+};
+
+}  // namespace
+
+std::string RenderMention(const KnowledgeBase& kb, EntityId entity,
+                          double alias_probability, double typo_probability,
+                          Rng* rng) {
+  const kb::Entity& e = kb.entity(entity);
+  std::string mention = e.name;
+  if (!e.aliases.empty() && rng->Bernoulli(alias_probability)) {
+    mention = e.aliases[rng->Uniform(e.aliases.size())];
+  }
+  if (rng->Bernoulli(typo_probability)) mention = Corrupt(mention, rng);
+  return mention;
+}
+
+Corpus GenerateCorpus(const kb::SyntheticKb& world,
+                      const CorpusGeneratorConfig& config, Rng* rng) {
+  Generator gen(world, config, rng);
+  return gen.Generate();
+}
+
+}  // namespace data
+}  // namespace turl

@@ -1,0 +1,54 @@
+#ifndef TURL_DATA_CORPUS_GENERATOR_H_
+#define TURL_DATA_CORPUS_GENERATOR_H_
+
+#include "data/table.h"
+#include "kb/kb_generator.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace data {
+
+/// Controls synthetic corpus generation (the WikiTable-corpus substitute).
+struct CorpusGeneratorConfig {
+  /// Number of tables to emit.
+  int num_tables = 3000;
+  /// Row-count bounds; instances with fewer eligible subjects are skipped.
+  int min_rows = 3;
+  int max_rows = 18;
+  /// Probability that an entity cell keeps its hyperlink (others become
+  /// mention-only, like unlinked Wikipedia cells).
+  double cell_link_probability = 0.8;
+  /// Subject-column cells link more often (they anchor the table).
+  double subject_link_probability = 0.92;
+  /// Probability a mention uses an alias instead of the canonical name.
+  double alias_probability = 0.22;
+  /// Probability a mention carries a one-character corruption.
+  double typo_probability = 0.06;
+  /// Probability of appending a non-entity (numeric/text) column.
+  double extra_text_column_probability = 0.7;
+  /// Fraction of tables placed in the held-out pool (split ~1:1 into
+  /// validation and test, mirroring §5.1).
+  double held_out_fraction = 0.12;
+};
+
+/// Generates a corpus of relational tables from the synthetic KB using the
+/// paper-motivated page patterns (team rosters, filmographies, award
+/// recipient lists, discographies, nationality rosters, city lists). Each
+/// table records ground-truth entity links and column relations for task
+/// dataset construction. The returned corpus is partitioned per §5.1:
+/// held-out tables must have >4 linked subject entities, >=3 entity columns
+/// and >50% linked cells in entity columns.
+Corpus GenerateCorpus(const kb::SyntheticKb& world,
+                      const CorpusGeneratorConfig& config, Rng* rng);
+
+/// Renders one mention for `entity`: canonical name, an alias, or a
+/// one-character corruption, per the config probabilities. Exposed for tests
+/// and for task datasets that need fresh mentions.
+std::string RenderMention(const kb::KnowledgeBase& kb, kb::EntityId entity,
+                          double alias_probability, double typo_probability,
+                          Rng* rng);
+
+}  // namespace data
+}  // namespace turl
+
+#endif  // TURL_DATA_CORPUS_GENERATOR_H_

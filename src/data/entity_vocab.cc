@@ -1,0 +1,65 @@
+#include "data/entity_vocab.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace turl {
+namespace data {
+
+EntityVocab EntityVocab::Build(const Corpus& corpus,
+                               const std::vector<size_t>& table_indices,
+                               int min_count) {
+  std::unordered_map<kb::EntityId, int64_t> counts;
+  for (size_t idx : table_indices) {
+    TURL_CHECK_LT(idx, corpus.tables.size());
+    const Table& t = corpus.tables[idx];
+    if (t.topic_entity != kb::kInvalidEntity) ++counts[t.topic_entity];
+    for (const auto& col : t.columns) {
+      if (!col.is_entity_column) continue;
+      for (const auto& cell : col.cells) {
+        if (cell.linked()) ++counts[cell.entity];
+      }
+    }
+  }
+
+  // Deterministic id assignment: by count descending then KB id.
+  std::vector<std::pair<kb::EntityId, int64_t>> kept;
+  for (const auto& [e, c] : counts) {
+    if (c >= min_count) kept.emplace_back(e, c);
+  }
+  std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  EntityVocab vocab;
+  vocab.kb_ids_ = {kb::kInvalidEntity, kb::kInvalidEntity};
+  vocab.counts_ = {0, 0};
+  for (const auto& [e, c] : kept) {
+    vocab.to_model_.emplace(e, static_cast<int>(vocab.kb_ids_.size()));
+    vocab.kb_ids_.push_back(e);
+    vocab.counts_.push_back(c);
+  }
+  return vocab;
+}
+
+int EntityVocab::Id(kb::EntityId e) const {
+  auto it = to_model_.find(e);
+  return it == to_model_.end() ? kUnkEntity : it->second;
+}
+
+kb::EntityId EntityVocab::KbId(int id) const {
+  TURL_CHECK_GE(id, 0);
+  TURL_CHECK_LT(id, size());
+  return kb_ids_[static_cast<size_t>(id)];
+}
+
+int64_t EntityVocab::Count(int id) const {
+  TURL_CHECK_GE(id, 0);
+  TURL_CHECK_LT(id, size());
+  return counts_[static_cast<size_t>(id)];
+}
+
+}  // namespace data
+}  // namespace turl

@@ -1,0 +1,55 @@
+#ifndef TURL_DATA_ENTITY_VOCAB_H_
+#define TURL_DATA_ENTITY_VOCAB_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/table.h"
+#include "kb/kb.h"
+
+namespace turl {
+namespace data {
+
+/// Model-side entity vocabulary (§5.2: built over the training tables, with
+/// entities appearing fewer than `min_count` times removed). Ids are dense:
+/// 0 = [UNK_ENT] (out-of-vocabulary entities), 1 = [MASK_ENT] (the entity
+/// [MASK] used by MER), 2.. = corpus entities.
+class EntityVocab {
+ public:
+  static constexpr int kUnkEntity = 0;
+  static constexpr int kMaskEntity = 1;
+  static constexpr int kNumSpecial = 2;
+
+  EntityVocab() = default;
+
+  /// Counts entity occurrences (topic entities and all linked cells) over
+  /// the given table indices and keeps those with count >= min_count.
+  static EntityVocab Build(const Corpus& corpus,
+                           const std::vector<size_t>& table_indices,
+                           int min_count = 2);
+
+  /// Model id for a KB entity; kUnkEntity when out of vocabulary.
+  int Id(kb::EntityId e) const;
+
+  /// True when the entity survived frequency filtering.
+  bool Contains(kb::EntityId e) const { return Id(e) != kUnkEntity; }
+
+  /// KB entity for a model id; kInvalidEntity for the special ids.
+  kb::EntityId KbId(int id) const;
+
+  /// Training-corpus frequency of a model id (0 for specials).
+  int64_t Count(int id) const;
+
+  /// Total vocabulary size including the special slots.
+  int size() const { return static_cast<int>(kb_ids_.size()); }
+
+ private:
+  std::vector<kb::EntityId> kb_ids_;   // index = model id; specials hold -1.
+  std::vector<int64_t> counts_;
+  std::unordered_map<kb::EntityId, int> to_model_;
+};
+
+}  // namespace data
+}  // namespace turl
+
+#endif  // TURL_DATA_ENTITY_VOCAB_H_

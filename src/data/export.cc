@@ -1,0 +1,156 @@
+#include "data/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace turl {
+namespace data {
+
+std::string CsvEscape(const std::string& s) {
+  bool needs_quotes = false;
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += ',';
+    out += CsvEscape(table.columns[size_t(c)].header);
+  }
+  out += '\n';
+  for (int r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += ',';
+      out += CsvEscape(table.columns[size_t(c)].cells[size_t(r)].mention);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    switch (raw) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+std::string TableToJson(const Table& table, const kb::KnowledgeBase* kb) {
+  std::string out = "{";
+  out += "\"caption\":\"" + JsonEscape(table.caption) + "\"";
+  out += ",\"pattern\":\"" + JsonEscape(table.pattern) + "\"";
+  out += ",\"topic_mention\":\"" + JsonEscape(table.topic_mention) + "\"";
+  if (table.topic_entity != kb::kInvalidEntity) {
+    out += ",\"topic_entity\":" + std::to_string(table.topic_entity);
+    if (kb != nullptr) {
+      out += ",\"topic_name\":\"" +
+             JsonEscape(kb->entity(table.topic_entity).name) + "\"";
+    }
+  }
+  out += ",\"columns\":[";
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.columns[size_t(c)];
+    if (c > 0) out += ',';
+    out += "{\"header\":\"" + JsonEscape(col.header) + "\"";
+    out += ",\"entity_column\":";
+    out += col.is_entity_column ? "true" : "false";
+    if (col.relation != kb::kInvalidRelation) {
+      out += ",\"relation\":\"" +
+             JsonEscape(kb != nullptr ? kb->relation(col.relation).name
+                                      : std::to_string(col.relation)) +
+             "\"";
+    }
+    out += ",\"cells\":[";
+    for (size_t r = 0; r < col.cells.size(); ++r) {
+      const EntityCell& cell = col.cells[r];
+      if (r > 0) out += ',';
+      out += "{\"mention\":\"" + JsonEscape(cell.mention) + "\"";
+      if (cell.linked()) {
+        out += ",\"entity\":" + std::to_string(cell.entity);
+        if (kb != nullptr) {
+          out += ",\"name\":\"" + JsonEscape(kb->entity(cell.entity).name) +
+                 "\"";
+        }
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status ExportCorpusJsonl(const Corpus& corpus, const std::string& path,
+                         const kb::KnowledgeBase* kb) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  // Metadata line.
+  auto write_split = [](std::string* s, const std::vector<size_t>& split) {
+    *s += "[";
+    for (size_t i = 0; i < split.size(); ++i) {
+      if (i > 0) *s += ',';
+      *s += std::to_string(split[i]);
+    }
+    *s += "]";
+  };
+  std::string meta = "{\"num_tables\":" + std::to_string(corpus.tables.size());
+  meta += ",\"train\":";
+  write_split(&meta, corpus.train);
+  meta += ",\"valid\":";
+  write_split(&meta, corpus.valid);
+  meta += ",\"test\":";
+  write_split(&meta, corpus.test);
+  meta += "}";
+  out << meta << '\n';
+  for (const Table& t : corpus.tables) {
+    out << TableToJson(t, kb) << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace turl

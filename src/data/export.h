@@ -1,0 +1,38 @@
+#ifndef TURL_DATA_EXPORT_H_
+#define TURL_DATA_EXPORT_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "kb/kb.h"
+#include "util/status.h"
+
+namespace turl {
+namespace data {
+
+/// Renders one table as CSV: header row, then cell mentions. Fields are
+/// quoted/escaped per RFC 4180 when they contain commas, quotes or
+/// newlines.
+std::string TableToCsv(const Table& table);
+
+/// Renders one table as a single JSON object with the full structure
+/// (caption, topic, per-column headers/relations, per-cell mention + KB id).
+/// Relation/entity ids are resolved to names via `kb` when provided.
+std::string TableToJson(const Table& table,
+                        const kb::KnowledgeBase* kb = nullptr);
+
+/// Writes every table of `corpus` to `path` as JSON Lines (one table per
+/// line), with a leading metadata line recording the split indices.
+Status ExportCorpusJsonl(const Corpus& corpus, const std::string& path,
+                         const kb::KnowledgeBase* kb = nullptr);
+
+/// JSON string escaping helper (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// CSV field escaping helper.
+std::string CsvEscape(const std::string& s);
+
+}  // namespace data
+}  // namespace turl
+
+#endif  // TURL_DATA_EXPORT_H_

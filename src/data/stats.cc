@@ -1,0 +1,51 @@
+#include "data/stats.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace turl {
+namespace data {
+
+namespace {
+
+QuantityStats Summarize(const std::vector<double>& values) {
+  QuantityStats q;
+  if (values.empty()) return q;
+  q.min = *std::min_element(values.begin(), values.end());
+  q.max = *std::max_element(values.begin(), values.end());
+  q.mean = Mean(values);
+  q.median = Median(values);
+  return q;
+}
+
+}  // namespace
+
+SplitStats ComputeSplitStats(const Corpus& corpus,
+                             const std::vector<size_t>& indices) {
+  SplitStats stats;
+  stats.num_tables = indices.size();
+  std::vector<double> rows, ent_cols, ents;
+  rows.reserve(indices.size());
+  ent_cols.reserve(indices.size());
+  ents.reserve(indices.size());
+  for (size_t idx : indices) {
+    const Table& t = corpus.tables[idx];
+    rows.push_back(t.num_rows());
+    ent_cols.push_back(t.NumEntityColumns());
+    ents.push_back(t.NumLinkedEntities());
+  }
+  stats.rows = Summarize(rows);
+  stats.entity_columns = Summarize(ent_cols);
+  stats.entities = Summarize(ents);
+  return stats;
+}
+
+std::string FormatQuantityStats(const QuantityStats& q) {
+  return FormatDouble(q.min, 0) + "\t" + FormatDouble(q.mean, 1) + "\t" +
+         FormatDouble(q.median, 0) + "\t" + FormatDouble(q.max, 0);
+}
+
+}  // namespace data
+}  // namespace turl

@@ -1,0 +1,36 @@
+#ifndef TURL_DATA_STATS_H_
+#define TURL_DATA_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace turl {
+namespace data {
+
+/// min/mean/median/max summary of one per-table quantity, as reported in the
+/// paper's Table 3.
+struct QuantityStats {
+  double min = 0, mean = 0, median = 0, max = 0;
+};
+
+/// Per-split statistics for the pre-training dataset (Table 3 rows).
+struct SplitStats {
+  size_t num_tables = 0;
+  QuantityStats rows;
+  QuantityStats entity_columns;
+  QuantityStats entities;
+};
+
+/// Computes Table 3-style statistics over the given table indices.
+SplitStats ComputeSplitStats(const Corpus& corpus,
+                             const std::vector<size_t>& indices);
+
+/// Renders one stats row as "min mean median max" with integral formatting.
+std::string FormatQuantityStats(const QuantityStats& q);
+
+}  // namespace data
+}  // namespace turl
+
+#endif  // TURL_DATA_STATS_H_

@@ -1,0 +1,143 @@
+#include "data/table.h"
+
+namespace turl {
+namespace data {
+
+int Table::NumEntityColumns() const {
+  int n = 0;
+  for (const auto& c : columns) n += c.is_entity_column;
+  return n;
+}
+
+int Table::NumLinkedEntities() const {
+  int n = 0;
+  for (const auto& c : columns) {
+    if (!c.is_entity_column) continue;
+    for (const auto& cell : c.cells) n += cell.linked();
+  }
+  return n;
+}
+
+int Table::NumLinkedSubjectEntities() const {
+  if (columns.empty() || !columns[0].is_entity_column) return 0;
+  int n = 0;
+  for (const auto& cell : columns[0].cells) n += cell.linked();
+  return n;
+}
+
+double Table::LinkedCellFraction() const {
+  int total = 0, linked = 0;
+  for (const auto& c : columns) {
+    if (!c.is_entity_column) continue;
+    total += static_cast<int>(c.cells.size());
+    for (const auto& cell : c.cells) linked += cell.linked();
+  }
+  return total == 0 ? 0.0 : double(linked) / double(total);
+}
+
+void SaveTable(const Table& table, BinaryWriter* w) {
+  w->WriteString(table.caption);
+  w->WriteI64(table.topic_entity);
+  w->WriteString(table.topic_mention);
+  w->WriteI64(table.group_relation);
+  w->WriteString(table.pattern);
+  w->WriteU64(table.columns.size());
+  for (const auto& col : table.columns) {
+    w->WriteString(col.header);
+    w->WriteU32(col.is_entity_column ? 1 : 0);
+    w->WriteI64(col.relation);
+    w->WriteU64(col.cells.size());
+    for (const auto& cell : col.cells) {
+      w->WriteI64(cell.entity);
+      w->WriteString(cell.mention);
+    }
+  }
+}
+
+Result<Table> LoadTable(BinaryReader* r) {
+  Table t;
+  t.caption = r->ReadString();
+  t.topic_entity = static_cast<kb::EntityId>(r->ReadI64());
+  t.topic_mention = r->ReadString();
+  t.group_relation = static_cast<kb::RelationId>(r->ReadI64());
+  t.pattern = r->ReadString();
+  const uint64_t ncols = r->ReadU64();
+  if (!r->status().ok()) return r->status();
+  if (ncols > 1000) return Status::IoError("corrupt table: too many columns");
+  t.columns.resize(ncols);
+  for (auto& col : t.columns) {
+    col.header = r->ReadString();
+    col.is_entity_column = r->ReadU32() != 0;
+    col.relation = static_cast<kb::RelationId>(r->ReadI64());
+    const uint64_t nrows = r->ReadU64();
+    if (!r->status().ok()) return r->status();
+    if (nrows > 1000000) return Status::IoError("corrupt table: too many rows");
+    col.cells.resize(nrows);
+    for (auto& cell : col.cells) {
+      cell.entity = static_cast<kb::EntityId>(r->ReadI64());
+      cell.mention = r->ReadString();
+    }
+  }
+  if (!r->status().ok()) return r->status();
+  return t;
+}
+
+namespace {
+constexpr uint32_t kCorpusMagic = 0x54424C53u;  // "TBLS"
+}  // namespace
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteU32(kCorpusMagic);
+  w.WriteU64(corpus.tables.size());
+  for (const auto& t : corpus.tables) SaveTable(t, &w);
+  auto write_split = [&w](const std::vector<size_t>& split) {
+    w.WriteU64(split.size());
+    for (size_t i : split) w.WriteU64(i);
+  };
+  write_split(corpus.train);
+  write_split(corpus.valid);
+  write_split(corpus.test);
+  return w.Close();
+}
+
+Result<Corpus> LoadCorpus(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.status().ok()) return r.status();
+  if (r.ReadU32() != kCorpusMagic) return Status::IoError("bad corpus magic");
+  const uint64_t count = r.ReadU64();
+  if (!r.status().ok() || count > (1ull << 24)) {
+    return Status::IoError("corrupt corpus header");
+  }
+  Corpus corpus;
+  corpus.tables.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Result<Table> t = LoadTable(&r);
+    if (!t.ok()) return t.status();
+    corpus.tables.push_back(std::move(t).value());
+  }
+  auto read_split = [&r, count]() -> Result<std::vector<size_t>> {
+    const uint64_t n = r.ReadU64();
+    if (!r.status().ok() || n > count) return Status::IoError("corrupt split");
+    std::vector<size_t> split(n);
+    for (auto& v : split) {
+      v = r.ReadU64();
+      if (v >= count) return Status::IoError("split index out of range");
+    }
+    return split;
+  };
+  auto train = read_split();
+  if (!train.ok()) return train.status();
+  corpus.train = std::move(train).value();
+  auto valid = read_split();
+  if (!valid.ok()) return valid.status();
+  corpus.valid = std::move(valid).value();
+  auto test = read_split();
+  if (!test.ok()) return test.status();
+  corpus.test = std::move(test).value();
+  if (!r.status().ok()) return r.status();
+  return corpus;
+}
+
+}  // namespace data
+}  // namespace turl

@@ -1,0 +1,87 @@
+#ifndef TURL_DATA_TABLE_H_
+#define TURL_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/kb.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace turl {
+namespace data {
+
+/// One table cell: the paper's e = (e^e, e^m). `entity` is the linked KB
+/// entity or kInvalidEntity when the cell is unlinked (mention-only);
+/// `mention` is always present.
+struct EntityCell {
+  kb::EntityId entity = kb::kInvalidEntity;
+  std::string mention;
+
+  bool linked() const { return entity != kb::kInvalidEntity; }
+};
+
+/// A table column: header text plus one cell per row. Non-entity columns
+/// (years, counts, free text) carry mentions only and always have
+/// `is_entity_column` false; entity columns may still contain unlinked cells.
+struct Column {
+  std::string header;
+  bool is_entity_column = false;
+  std::vector<EntityCell> cells;
+  /// Ground-truth KB relation between the subject column and this column
+  /// (kInvalidRelation for the subject column itself and non-entity columns).
+  /// Used to build task datasets, never seen by models at input time.
+  kb::RelationId relation = kb::kInvalidRelation;
+};
+
+/// A relational Web table T = (C, H, E, e_t) per §2 of the paper.
+/// `caption` is the concatenated page title + section title + caption.
+/// Column 0 is always the subject column.
+struct Table {
+  std::string caption;
+  kb::EntityId topic_entity = kb::kInvalidEntity;
+  std::string topic_mention;
+  std::vector<Column> columns;
+  /// Ground-truth relation connecting subject entities to the topic entity
+  /// (e.g. plays_for for a team roster); generation metadata.
+  kb::RelationId group_relation = kb::kInvalidRelation;
+  /// Generation-pattern tag ("team_roster", "filmography", ...), useful for
+  /// analysis output; not an input feature.
+  std::string pattern;
+
+  int num_rows() const {
+    return columns.empty() ? 0 : static_cast<int>(columns[0].cells.size());
+  }
+  int num_columns() const { return static_cast<int>(columns.size()); }
+
+  /// Number of entity columns (subject column included).
+  int NumEntityColumns() const;
+  /// Number of linked entity cells across entity columns (topic excluded).
+  int NumLinkedEntities() const;
+  /// Number of linked cells in the subject column.
+  int NumLinkedSubjectEntities() const;
+  /// Fraction of cells in entity columns that are linked (0 if none).
+  double LinkedCellFraction() const;
+};
+
+/// A corpus with the paper's train/validation/test partition (§5.1): the
+/// held-out validation/test tables satisfy the quality criteria (>4 linked
+/// subject entities, >=3 entity columns, >50% of entity-column cells
+/// linked); everything else pre-trains.
+struct Corpus {
+  std::vector<Table> tables;
+  std::vector<size_t> train;
+  std::vector<size_t> valid;
+  std::vector<size_t> test;
+};
+
+/// Binary serialization (corpus snapshots for caching between benches).
+void SaveTable(const Table& table, BinaryWriter* w);
+Result<Table> LoadTable(BinaryReader* r);
+Status SaveCorpus(const Corpus& corpus, const std::string& path);
+Result<Corpus> LoadCorpus(const std::string& path);
+
+}  // namespace data
+}  // namespace turl
+
+#endif  // TURL_DATA_TABLE_H_

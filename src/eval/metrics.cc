@@ -1,0 +1,83 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace turl {
+namespace eval {
+
+Prf ComputePrf(int64_t tp, int64_t fp, int64_t fn) {
+  Prf out;
+  if (tp + fp > 0) out.precision = double(tp) / double(tp + fp);
+  if (tp + fn > 0) out.recall = double(tp) / double(tp + fn);
+  if (out.precision + out.recall > 0) {
+    out.f1 = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+void MicroPrf::Add(const std::vector<int>& predicted,
+                   const std::vector<int>& gold) {
+  std::unordered_set<int> pred_set(predicted.begin(), predicted.end());
+  std::unordered_set<int> gold_set(gold.begin(), gold.end());
+  for (int p : pred_set) {
+    if (gold_set.count(p)) {
+      ++tp_;
+    } else {
+      ++fp_;
+    }
+  }
+  for (int g : gold_set) {
+    if (!pred_set.count(g)) ++fn_;
+  }
+}
+
+double AveragePrecision(const std::vector<bool>& relevant,
+                        int64_t num_relevant) {
+  if (num_relevant <= 0) return 0.0;
+  double sum = 0.0;
+  int64_t hits = 0;
+  for (size_t i = 0; i < relevant.size(); ++i) {
+    if (relevant[i]) {
+      ++hits;
+      sum += double(hits) / double(i + 1);
+    }
+  }
+  return sum / double(num_relevant);
+}
+
+double MeanOf(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / double(values.size());
+}
+
+double PrecisionAtK(const std::vector<bool>& relevant, int k) {
+  if (k <= 0) return 0.0;
+  const int limit = std::min<int>(k, static_cast<int>(relevant.size()));
+  if (limit == 0) return 0.0;
+  int hits = 0;
+  for (int i = 0; i < limit; ++i) hits += relevant[size_t(i)];
+  return double(hits) / double(std::min<int>(k, limit == 0 ? 1 : limit));
+}
+
+double HitAtK(const std::vector<bool>& relevant, int k) {
+  const int limit = std::min<int>(k, static_cast<int>(relevant.size()));
+  for (int i = 0; i < limit; ++i) {
+    if (relevant[size_t(i)]) return 1.0;
+  }
+  return 0.0;
+}
+
+double RecallAtK(const std::vector<bool>& relevant, int k,
+                 int64_t num_relevant) {
+  if (num_relevant <= 0 || k <= 0) return 0.0;
+  const int limit = std::min<int>(k, static_cast<int>(relevant.size()));
+  int hits = 0;
+  for (int i = 0; i < limit; ++i) hits += relevant[size_t(i)];
+  return double(hits) / double(num_relevant);
+}
+
+}  // namespace eval
+}  // namespace turl

@@ -1,0 +1,63 @@
+#ifndef TURL_EVAL_METRICS_H_
+#define TURL_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace turl {
+namespace eval {
+
+/// Precision / recall / F1 triple (reported as percentages by benches).
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// PRF from true-positive / false-positive / false-negative counts.
+/// Zero denominators produce zeros rather than NaNs.
+Prf ComputePrf(int64_t tp, int64_t fp, int64_t fn);
+
+/// Streaming micro-averaged PRF accumulator for multi-label tasks: feed the
+/// predicted and gold label sets per instance.
+class MicroPrf {
+ public:
+  /// Accumulates one instance. Labels are arbitrary ids; duplicates within
+  /// one call are counted once.
+  void Add(const std::vector<int>& predicted, const std::vector<int>& gold);
+
+  Prf Compute() const { return ComputePrf(tp_, fp_, fn_); }
+  int64_t tp() const { return tp_; }
+  int64_t fp() const { return fp_; }
+  int64_t fn() const { return fn_; }
+
+ private:
+  int64_t tp_ = 0, fp_ = 0, fn_ = 0;
+};
+
+/// Average precision of a ranked list. `relevant[i]` marks whether rank i
+/// (0-based, best first) is a hit; `num_relevant` is the total number of
+/// relevant items (>= hits in the list; the denominator of recall). Returns
+/// 0 when num_relevant is 0.
+double AveragePrecision(const std::vector<bool>& relevant,
+                        int64_t num_relevant);
+
+/// Mean of per-query average precisions (0 for empty input).
+double MeanOf(const std::vector<double>& values);
+
+/// Precision@k of a ranked relevance list: hits among the first k ranks
+/// divided by k (by min(k, list size) when the list is shorter).
+double PrecisionAtK(const std::vector<bool>& relevant, int k);
+
+/// Hit@k: 1.0 when any of the first k ranks is relevant, else 0.0. This is
+/// what the cell-filling table reports as P@K (one gold entity per query).
+double HitAtK(const std::vector<bool>& relevant, int k);
+
+/// Recall@k: hits among the first k ranks divided by num_relevant.
+double RecallAtK(const std::vector<bool>& relevant, int k,
+                 int64_t num_relevant);
+
+}  // namespace eval
+}  // namespace turl
+
+#endif  // TURL_EVAL_METRICS_H_

@@ -1,0 +1,173 @@
+#include "kb/kb.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace turl {
+namespace kb {
+
+namespace {
+const std::vector<EntityId> kEmptyEntityList;
+}  // namespace
+
+TypeId KnowledgeBase::AddType(const std::string& name, TypeId parent) {
+  TURL_CHECK(type_by_name_.find(name) == type_by_name_.end())
+      << "duplicate type: " << name;
+  if (parent != kInvalidType) {
+    TURL_CHECK_GE(parent, 0);
+    TURL_CHECK_LT(parent, num_types());
+  }
+  const TypeId id = static_cast<TypeId>(types_.size());
+  types_.push_back(EntityType{name, parent});
+  type_by_name_.emplace(name, id);
+  entities_by_type_.emplace_back();
+  return id;
+}
+
+RelationId KnowledgeBase::AddRelation(Relation relation) {
+  TURL_CHECK(relation_by_name_.find(relation.name) == relation_by_name_.end())
+      << "duplicate relation: " << relation.name;
+  TURL_CHECK_GE(relation.subject_type, 0);
+  TURL_CHECK_LT(relation.subject_type, num_types());
+  TURL_CHECK_GE(relation.object_type, 0);
+  TURL_CHECK_LT(relation.object_type, num_types());
+  TURL_CHECK(!relation.header_surfaces.empty())
+      << "relation needs at least one header surface: " << relation.name;
+  const RelationId id = static_cast<RelationId>(relations_.size());
+  relation_by_name_.emplace(relation.name, id);
+  relations_.push_back(std::move(relation));
+  facts_fwd_.emplace_back();
+  facts_rev_.emplace_back();
+  return id;
+}
+
+EntityId KnowledgeBase::AddEntity(Entity entity) {
+  const EntityId id = static_cast<EntityId>(entities_.size());
+  for (TypeId t : entity.types) {
+    TURL_CHECK_GE(t, 0);
+    TURL_CHECK_LT(t, num_types());
+    entities_by_type_[static_cast<size_t>(t)].push_back(id);
+  }
+  entities_.push_back(std::move(entity));
+  return id;
+}
+
+void KnowledgeBase::AddFact(EntityId subject, RelationId relation,
+                            EntityId object) {
+  TURL_CHECK_GE(relation, 0);
+  TURL_CHECK_LT(relation, num_relations());
+  TURL_CHECK_GE(subject, 0);
+  TURL_CHECK_LT(subject, num_entities());
+  TURL_CHECK_GE(object, 0);
+  TURL_CHECK_LT(object, num_entities());
+  auto& objs = facts_fwd_[static_cast<size_t>(relation)][subject];
+  if (std::find(objs.begin(), objs.end(), object) != objs.end()) return;
+  objs.push_back(object);
+  facts_rev_[static_cast<size_t>(relation)][object].push_back(subject);
+  ++num_facts_;
+}
+
+const Entity& KnowledgeBase::entity(EntityId id) const {
+  TURL_CHECK_GE(id, 0);
+  TURL_CHECK_LT(id, num_entities());
+  return entities_[static_cast<size_t>(id)];
+}
+
+const EntityType& KnowledgeBase::type(TypeId id) const {
+  TURL_CHECK_GE(id, 0);
+  TURL_CHECK_LT(id, num_types());
+  return types_[static_cast<size_t>(id)];
+}
+
+const Relation& KnowledgeBase::relation(RelationId id) const {
+  TURL_CHECK_GE(id, 0);
+  TURL_CHECK_LT(id, num_relations());
+  return relations_[static_cast<size_t>(id)];
+}
+
+TypeId KnowledgeBase::TypeByName(const std::string& name) const {
+  auto it = type_by_name_.find(name);
+  return it == type_by_name_.end() ? kInvalidType : it->second;
+}
+
+RelationId KnowledgeBase::RelationByName(const std::string& name) const {
+  auto it = relation_by_name_.find(name);
+  return it == relation_by_name_.end() ? kInvalidRelation : it->second;
+}
+
+bool KnowledgeBase::EntityHasType(EntityId e, TypeId t) const {
+  for (TypeId direct : entity(e).types) {
+    TypeId cur = direct;
+    while (cur != kInvalidType) {
+      if (cur == t) return true;
+      cur = types_[static_cast<size_t>(cur)].parent;
+    }
+  }
+  return false;
+}
+
+std::vector<TypeId> KnowledgeBase::ExpandedTypes(EntityId e) const {
+  std::vector<TypeId> out;
+  for (TypeId direct : entity(e).types) {
+    TypeId cur = direct;
+    while (cur != kInvalidType) {
+      if (std::find(out.begin(), out.end(), cur) == out.end()) out.push_back(cur);
+      cur = types_[static_cast<size_t>(cur)].parent;
+    }
+  }
+  return out;
+}
+
+const std::vector<EntityId>& KnowledgeBase::Objects(EntityId s,
+                                                    RelationId r) const {
+  TURL_CHECK_GE(r, 0);
+  TURL_CHECK_LT(r, num_relations());
+  const auto& m = facts_fwd_[static_cast<size_t>(r)];
+  auto it = m.find(s);
+  return it == m.end() ? kEmptyEntityList : it->second;
+}
+
+const std::vector<EntityId>& KnowledgeBase::Subjects(RelationId r,
+                                                     EntityId o) const {
+  TURL_CHECK_GE(r, 0);
+  TURL_CHECK_LT(r, num_relations());
+  const auto& m = facts_rev_[static_cast<size_t>(r)];
+  auto it = m.find(o);
+  return it == m.end() ? kEmptyEntityList : it->second;
+}
+
+const std::vector<EntityId>& KnowledgeBase::EntitiesOfType(TypeId t) const {
+  TURL_CHECK_GE(t, 0);
+  TURL_CHECK_LT(t, num_types());
+  return entities_by_type_[static_cast<size_t>(t)];
+}
+
+std::vector<RelationId> KnowledgeBase::RelationsWithSubjectType(
+    TypeId t) const {
+  std::vector<RelationId> out;
+  for (RelationId r = 0; r < num_relations(); ++r) {
+    if (relations_[static_cast<size_t>(r)].subject_type == t) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::tuple<EntityId, RelationId, EntityId>>
+KnowledgeBase::AllFacts() const {
+  std::vector<std::tuple<EntityId, RelationId, EntityId>> out;
+  out.reserve(static_cast<size_t>(num_facts_));
+  for (RelationId r = 0; r < num_relations(); ++r) {
+    for (const auto& [subject, objects] : facts_fwd_[static_cast<size_t>(r)]) {
+      for (EntityId object : objects) out.emplace_back(subject, r, object);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (std::get<1>(a) != std::get<1>(b)) return std::get<1>(a) < std::get<1>(b);
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+    return std::get<2>(a) < std::get<2>(b);
+  });
+  return out;
+}
+
+}  // namespace kb
+}  // namespace turl

@@ -1,0 +1,131 @@
+#ifndef TURL_KB_KB_H_
+#define TURL_KB_KB_H_
+
+#include <cstdint>
+#include <tuple>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace turl {
+namespace kb {
+
+/// Dense integer handles into the KB's entity/type/relation tables.
+using EntityId = int32_t;
+using TypeId = int32_t;
+using RelationId = int32_t;
+inline constexpr EntityId kInvalidEntity = -1;
+inline constexpr TypeId kInvalidType = -1;
+inline constexpr RelationId kInvalidRelation = -1;
+
+/// A semantic type in the (single-parent) type hierarchy, e.g.
+/// person -> pro_athlete. Mirrors the Freebase types the paper annotates
+/// columns with.
+struct EntityType {
+  std::string name;
+  TypeId parent = kInvalidType;
+};
+
+/// A KB predicate with a type signature, e.g. directed_by(film, director).
+/// `header_surfaces` are the column-header strings Web tables use for this
+/// relation ("director", "directed by", ...), which the table generator
+/// samples from.
+struct Relation {
+  std::string name;
+  TypeId subject_type = kInvalidType;
+  TypeId object_type = kInvalidType;
+  std::vector<std::string> header_surfaces;
+  /// Functional relations have at most one object per subject (birthplace);
+  /// non-functional ones may have several (starring).
+  bool functional = true;
+};
+
+/// An entity with its lexical forms. `types` may be deliberately incomplete
+/// (mimicking DBpedia incompleteness); `popularity` drives both mention
+/// frequency and lookup-ranking priors.
+struct Entity {
+  std::string name;
+  std::vector<std::string> aliases;
+  std::string description;
+  std::vector<TypeId> types;
+  double popularity = 1.0;
+};
+
+/// In-memory knowledge base: entities, a type hierarchy, typed relations and
+/// subject-relation-object facts, with the query surface the TURL tasks and
+/// the table generator need. This is the stand-in for Freebase/DBpedia/
+/// Wikidata in the paper (see DESIGN.md substitutions).
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+  KnowledgeBase(KnowledgeBase&&) = default;
+  KnowledgeBase& operator=(KnowledgeBase&&) = default;
+  KnowledgeBase(const KnowledgeBase&) = delete;
+  KnowledgeBase& operator=(const KnowledgeBase&) = delete;
+
+  /// Schema construction ------------------------------------------------
+  TypeId AddType(const std::string& name, TypeId parent = kInvalidType);
+  RelationId AddRelation(Relation relation);
+  EntityId AddEntity(Entity entity);
+  /// Records the fact (subject, relation, object); duplicate facts collapse.
+  void AddFact(EntityId subject, RelationId relation, EntityId object);
+
+  /// Lookups --------------------------------------------------------------
+  int num_entities() const { return static_cast<int>(entities_.size()); }
+  int num_types() const { return static_cast<int>(types_.size()); }
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+
+  const Entity& entity(EntityId id) const;
+  const EntityType& type(TypeId id) const;
+  const Relation& relation(RelationId id) const;
+
+  /// Id of the type/relation with this name, or the invalid sentinel.
+  TypeId TypeByName(const std::string& name) const;
+  RelationId RelationByName(const std::string& name) const;
+
+  /// True if `e` has type `t` directly or via a subtype (pro_athlete counts
+  /// as person).
+  bool EntityHasType(EntityId e, TypeId t) const;
+
+  /// All types of `e` expanded through the hierarchy (deduplicated).
+  std::vector<TypeId> ExpandedTypes(EntityId e) const;
+
+  /// Objects o with (s, r, o) in the KB; empty when none.
+  const std::vector<EntityId>& Objects(EntityId s, RelationId r) const;
+
+  /// Subjects s with (s, r, o) in the KB; empty when none.
+  const std::vector<EntityId>& Subjects(RelationId r, EntityId o) const;
+
+  /// All entities whose (direct) type list contains `t`.
+  const std::vector<EntityId>& EntitiesOfType(TypeId t) const;
+
+  /// All relations whose subject type is `t` (directly; no hierarchy walk).
+  std::vector<RelationId> RelationsWithSubjectType(TypeId t) const;
+
+  /// Number of stored facts.
+  int64_t num_facts() const { return num_facts_; }
+
+  /// All facts as (subject, relation, object) triples, sorted by
+  /// (relation, subject, object) for deterministic iteration.
+  std::vector<std::tuple<EntityId, RelationId, EntityId>> AllFacts() const;
+
+ private:
+  std::vector<EntityType> types_;
+  std::vector<Relation> relations_;
+  std::vector<Entity> entities_;
+  std::unordered_map<std::string, TypeId> type_by_name_;
+  std::unordered_map<std::string, RelationId> relation_by_name_;
+  /// facts_fwd_[r][s] -> objects; facts_rev_[r][o] -> subjects.
+  std::vector<std::unordered_map<EntityId, std::vector<EntityId>>> facts_fwd_;
+  std::vector<std::unordered_map<EntityId, std::vector<EntityId>>> facts_rev_;
+  std::vector<std::vector<EntityId>> entities_by_type_;
+  int64_t num_facts_ = 0;
+};
+
+}  // namespace kb
+}  // namespace turl
+
+#endif  // TURL_KB_KB_H_

@@ -1,0 +1,397 @@
+#include "kb/kb_generator.h"
+
+#include <cctype>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace turl {
+namespace kb {
+
+namespace {
+
+/// Deterministic name factory built on syllable pools. Reuses stems across
+/// categories on purpose: shared last names and city/team stems create the
+/// surface-form ambiguity entity linking must resolve.
+class NameFactory {
+ public:
+  explicit NameFactory(Rng* rng) : rng_(rng) {}
+
+  std::string Capitalize(std::string s) {
+    if (!s.empty()) s[0] = static_cast<char>(std::toupper(s[0]));
+    return s;
+  }
+
+  std::string Stem(int syllables) {
+    static const char* kSyllables[] = {
+        "al", "ber", "ka", "ri", "mi", "no",  "sa",  "ta", "vi", "lu",
+        "dan", "el", "ro", "jo", "an", "mar", "gre", "ha", "len", "or",
+        "pe", "qui", "sol", "tra", "ul", "ven", "wes", "yor", "zan", "bel"};
+    std::string s;
+    for (int i = 0; i < syllables; ++i) {
+      s += kSyllables[rng_->Uniform(sizeof(kSyllables) / sizeof(char*))];
+    }
+    return s;
+  }
+
+  std::string FirstName() { return Capitalize(Stem(2)); }
+
+  std::string LastName() {
+    static const char* kSuffix[] = {"son", "ez",   "ini",  "ov",  "escu",
+                                    "berg", "stein", "wood", "man", "sen"};
+    return Capitalize(Stem(1 + int(rng_->Uniform(2))) +
+                      kSuffix[rng_->Uniform(sizeof(kSuffix) / sizeof(char*))]);
+  }
+
+  std::string CityName() {
+    static const char* kSuffix[] = {"ville", "ton", "burg", "field",
+                                    "port",  "ford", "ham",  "dale"};
+    return Capitalize(Stem(1 + int(rng_->Uniform(2))) +
+                      kSuffix[rng_->Uniform(sizeof(kSuffix) / sizeof(char*))]);
+  }
+
+  std::string CountryName() {
+    static const char* kSuffix[] = {"land", "ia", "stan", "ovia", "onia"};
+    return Capitalize(Stem(1 + int(rng_->Uniform(2))) +
+                      kSuffix[rng_->Uniform(sizeof(kSuffix) / sizeof(char*))]);
+  }
+
+  std::string LanguageName() {
+    static const char* kSuffix[] = {"ish", "ese", "ic", "an"};
+    return Capitalize(Stem(1 + int(rng_->Uniform(2))) +
+                      kSuffix[rng_->Uniform(sizeof(kSuffix) / sizeof(char*))]);
+  }
+
+  std::string TeamMascot() {
+    static const char* kMascots[] = {"United",   "Rovers", "FC",     "Wanderers",
+                                     "City",     "Athletic", "Tigers", "Eagles",
+                                     "Dynamo",   "Rangers"};
+    return kMascots[rng_->Uniform(sizeof(kMascots) / sizeof(char*))];
+  }
+
+  std::string Noun() {
+    static const char* kNouns[] = {"river",  "crown",  "shadow", "garden",
+                                   "voyage", "mirror", "storm",  "harvest",
+                                   "silence", "horizon", "ember", "tide"};
+    return kNouns[rng_->Uniform(sizeof(kNouns) / sizeof(char*))];
+  }
+
+  std::string Adjective() {
+    static const char* kAdjs[] = {"silent", "golden", "broken",  "distant",
+                                  "hidden", "last",   "eternal", "crimson",
+                                  "quiet",  "lost"};
+    return kAdjs[rng_->Uniform(sizeof(kAdjs) / sizeof(char*))];
+  }
+
+  /// Returns a fresh string not in `used` by retrying (and ultimately
+  /// appending a numeral).
+  std::string Unique(std::unordered_set<std::string>* used,
+                     const std::function<std::string()>& gen) {
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      std::string s = gen();
+      if (used->insert(s).second) return s;
+    }
+    for (int n = 2;; ++n) {
+      std::string s = gen() + " " + std::to_string(n);
+      if (used->insert(s).second) return s;
+    }
+  }
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace
+
+SyntheticKb GenerateSyntheticKb(const KbGeneratorConfig& config, Rng* rng) {
+  SyntheticKb world;
+  KnowledgeBase& kb = world.kb;
+  NameFactory names(rng);
+
+  // ---- Type hierarchy -------------------------------------------------
+  world.t_person = kb.AddType("person");
+  world.t_director = kb.AddType("director", world.t_person);
+  world.t_actor = kb.AddType("actor", world.t_person);
+  world.t_pro_athlete = kb.AddType("pro_athlete", world.t_person);
+  world.t_musician = kb.AddType("musician", world.t_person);
+  world.t_location = kb.AddType("location");
+  world.t_country = kb.AddType("country", world.t_location);
+  world.t_citytown = kb.AddType("citytown", world.t_location);
+  world.t_organization = kb.AddType("organization");
+  world.t_sports_team = kb.AddType("sports_team", world.t_organization);
+  world.t_record_label = kb.AddType("record_label", world.t_organization);
+  world.t_creative_work = kb.AddType("creative_work");
+  world.t_film = kb.AddType("film", world.t_creative_work);
+  world.t_album = kb.AddType("album", world.t_creative_work);
+  world.t_award = kb.AddType("award");
+  world.t_language = kb.AddType("language");
+
+  // ---- Relations -------------------------------------------------------
+  world.r_directed_by = kb.AddRelation(
+      {"directed_by", world.t_film, world.t_director,
+       {"director", "directed by", "film director"}, true});
+  world.r_starring = kb.AddRelation({"starring", world.t_film, world.t_actor,
+                                     {"starring", "lead actor", "actor"},
+                                     false});
+  world.r_film_language = kb.AddRelation(
+      {"film_language", world.t_film, world.t_language, {"language"}, true});
+  world.r_film_country =
+      kb.AddRelation({"film_country", world.t_film, world.t_country,
+                      {"country", "nation"}, true});
+  world.r_won_award = kb.AddRelation(
+      {"won_award", world.t_film, world.t_award, {"award", "honour"}, false});
+  world.r_plays_for = kb.AddRelation(
+      {"plays_for", world.t_pro_athlete, world.t_sports_team,
+       {"club", "team", "current club"}, false});
+  world.r_nationality = kb.AddRelation(
+      {"nationality", world.t_pro_athlete, world.t_country,
+       {"nationality", "country"}, true});
+  world.r_birthplace = kb.AddRelation(
+      {"birthplace", world.t_person, world.t_citytown,
+       {"birthplace", "place of birth", "hometown"}, true});
+  world.r_located_in = kb.AddRelation(
+      {"located_in", world.t_citytown, world.t_country, {"country"}, true});
+  world.r_team_city = kb.AddRelation(
+      {"team_city", world.t_sports_team, world.t_citytown,
+       {"city", "home city", "location"}, true});
+  world.r_artist = kb.AddRelation({"artist", world.t_album, world.t_musician,
+                                   {"artist", "performer", "musician"}, true});
+  world.r_label = kb.AddRelation({"label", world.t_album, world.t_record_label,
+                                  {"label", "record label"}, true});
+
+  std::unordered_set<std::string> used_names;
+
+  // Popularity rank r within a category gets weight 1/(r+1)^0.8.
+  auto popularity = [](int rank) { return 1.0 / std::pow(double(rank + 1), 0.8); };
+
+  // ---- Countries / languages / awards / labels -------------------------
+  std::vector<EntityId> countries, cities, languages, awards, labels, teams;
+  for (int i = 0; i < config.num_countries; ++i) {
+    std::string name =
+        names.Unique(&used_names, [&] { return names.CountryName(); });
+    Entity e;
+    e.name = name;
+    e.types = {world.t_country};
+    e.popularity = popularity(i);
+    e.description = name + " is a country";
+    countries.push_back(kb.AddEntity(std::move(e)));
+  }
+  for (int i = 0; i < config.num_languages; ++i) {
+    std::string name =
+        names.Unique(&used_names, [&] { return names.LanguageName(); });
+    Entity e;
+    e.name = name;
+    e.types = {world.t_language};
+    e.popularity = popularity(i);
+    e.description = name + " is a language";
+    languages.push_back(kb.AddEntity(std::move(e)));
+  }
+  for (int i = 0; i < config.num_awards; ++i) {
+    static const char* kCats[] = {"direction", "picture", "acting", "music",
+                                  "screenplay"};
+    std::string stem = names.Capitalize(names.Stem(2));
+    std::string cat = kCats[rng->Uniform(5)];
+    std::string name = names.Unique(&used_names, [&] {
+      return stem + " award for best " + cat;
+    });
+    Entity e;
+    e.name = name;
+    e.aliases = {stem + " award"};
+    e.types = {world.t_award};
+    e.popularity = popularity(i);
+    e.description = name + " is an award for " + cat;
+    awards.push_back(kb.AddEntity(std::move(e)));
+  }
+  for (int i = 0; i < config.num_labels; ++i) {
+    std::string name = names.Unique(&used_names, [&] {
+      return names.Capitalize(names.Stem(2)) + " records";
+    });
+    Entity e;
+    e.name = name;
+    e.types = {world.t_record_label};
+    e.popularity = popularity(i);
+    e.description = name + " is a record label";
+    labels.push_back(kb.AddEntity(std::move(e)));
+  }
+
+  // ---- Cities ----------------------------------------------------------
+  for (int i = 0; i < config.num_cities; ++i) {
+    std::string name =
+        names.Unique(&used_names, [&] { return names.CityName(); });
+    EntityId country = countries[rng->Uniform(countries.size())];
+    Entity e;
+    e.name = name;
+    e.types = {world.t_citytown};
+    if (rng->Bernoulli(config.type_dropout)) e.types = {world.t_location};
+    e.popularity = popularity(i);
+    e.description = name + " is a city in " + kb.entity(country).name;
+    EntityId id = kb.AddEntity(std::move(e));
+    kb.AddFact(id, world.r_located_in, country);
+    cities.push_back(id);
+  }
+
+  // ---- Teams -----------------------------------------------------------
+  for (int i = 0; i < config.num_teams; ++i) {
+    EntityId city = cities[rng->Uniform(cities.size())];
+    std::string city_name = kb.entity(city).name;
+    std::string name = names.Unique(
+        &used_names, [&] { return city_name + " " + names.TeamMascot(); });
+    Entity e;
+    e.name = name;
+    e.aliases = {city_name};  // Teams are often referred to by their city.
+    e.types = {world.t_sports_team};
+    e.popularity = popularity(i);
+    e.description = name + " is a sports team based in " + city_name;
+    EntityId id = kb.AddEntity(std::move(e));
+    kb.AddFact(id, world.r_team_city, city);
+    teams.push_back(id);
+  }
+
+  // ---- People ----------------------------------------------------------
+  // A shared pool of last names creates cross-person ambiguity.
+  std::vector<std::string> last_names;
+  const int num_last_names =
+      std::max(8, (config.num_directors + config.num_actors +
+                   config.num_athletes + config.num_musicians) /
+                      6);
+  std::unordered_set<std::string> used_last;
+  for (int i = 0; i < num_last_names; ++i) {
+    last_names.push_back(
+        names.Unique(&used_last, [&] { return names.LastName(); }));
+  }
+
+  auto make_person = [&](TypeId fine_type, int rank) -> EntityId {
+    std::string first = names.FirstName();
+    std::string last = last_names[rng->Uniform(last_names.size())];
+    std::string name =
+        names.Unique(&used_names, [&] { return first + " " + last; });
+    // Rebuild first in case Unique retried with a new draw: recover pieces.
+    auto parts = SplitWhitespace(name);
+    Entity e;
+    e.name = name;
+    e.aliases = {std::string(1, parts[0][0]) + ". " + parts[1]};
+    if (rng->Bernoulli(0.5)) e.aliases.push_back(parts[1]);  // Surname only.
+    e.types = {fine_type};
+    if (rng->Bernoulli(config.type_dropout)) e.types = {world.t_person};
+    e.popularity = popularity(rank);
+    EntityId city = cities[rng->Uniform(cities.size())];
+    e.description = name + " is a " + kb.type(fine_type).name + " born in " +
+                    kb.entity(city).name;
+    EntityId id = kb.AddEntity(std::move(e));
+    kb.AddFact(id, world.r_birthplace, city);
+    return id;
+  };
+
+  std::vector<EntityId> directors, actors, athletes, musicians;
+  for (int i = 0; i < config.num_directors; ++i)
+    directors.push_back(make_person(world.t_director, i));
+  for (int i = 0; i < config.num_actors; ++i)
+    actors.push_back(make_person(world.t_actor, i));
+  for (int i = 0; i < config.num_musicians; ++i)
+    musicians.push_back(make_person(world.t_musician, i));
+
+  for (int i = 0; i < config.num_athletes; ++i) {
+    EntityId id = make_person(world.t_pro_athlete, i);
+    EntityId team = teams[rng->Uniform(teams.size())];
+    kb.AddFact(id, world.r_plays_for, team);
+    if (rng->Bernoulli(0.2)) {  // Career move: a second club on record.
+      kb.AddFact(id, world.r_plays_for, teams[rng->Uniform(teams.size())]);
+    }
+    // Nationality correlates with the team's home country 70% of the time.
+    EntityId team_city = kb.Objects(team, world.r_team_city)[0];
+    EntityId home_country = kb.Objects(team_city, world.r_located_in)[0];
+    EntityId nat = rng->Bernoulli(0.7)
+                       ? home_country
+                       : countries[rng->Uniform(countries.size())];
+    kb.AddFact(id, world.r_nationality, nat);
+    athletes.push_back(id);
+  }
+
+  // ---- Films -----------------------------------------------------------
+  for (size_t di = 0; di < directors.size(); ++di) {
+    EntityId director = directors[di];
+    const int n_films = static_cast<int>(
+        rng->UniformInt(config.min_films_per_director,
+                        config.max_films_per_director));
+    // A director's films cluster in language and country.
+    EntityId home_lang = languages[rng->Uniform(languages.size())];
+    EntityId home_country = countries[rng->Uniform(countries.size())];
+    for (int f = 0; f < n_films; ++f) {
+      std::string name = names.Unique(&used_names, [&] {
+        if (rng->Bernoulli(0.5)) {
+          return "The " + names.Adjective() + " " + names.Noun();
+        }
+        return names.Capitalize(names.Noun()) + " of " +
+               names.Capitalize(names.Stem(2));
+      });
+      Entity e;
+      e.name = name;
+      if (StartsWith(name, "The ")) e.aliases = {name.substr(4)};
+      e.types = {world.t_film};
+      if (rng->Bernoulli(config.type_dropout)) e.types = {world.t_creative_work};
+      e.popularity = popularity(static_cast<int>(di) + f);
+      e.description =
+          name + " is a film directed by " + kb.entity(director).name;
+      EntityId id = kb.AddEntity(std::move(e));
+      kb.AddFact(id, world.r_directed_by, director);
+      // Lead actor first, then 1-2 supporting actors: the relation is
+      // multi-valued, which keeps cell filling non-trivial (several row
+      // mates share the "starring" header across tables).
+      const int cast = 1 + static_cast<int>(rng->Uniform(3));
+      for (int a = 0; a < cast; ++a) {
+        kb.AddFact(id, world.r_starring, actors[rng->Uniform(actors.size())]);
+      }
+      kb.AddFact(id, world.r_film_language,
+                 rng->Bernoulli(0.75) ? home_lang
+                                      : languages[rng->Uniform(languages.size())]);
+      if (rng->Bernoulli(0.15)) {  // Bilingual productions.
+        kb.AddFact(id, world.r_film_language,
+                   languages[rng->Uniform(languages.size())]);
+      }
+      kb.AddFact(id, world.r_film_country,
+                 rng->Bernoulli(0.75)
+                     ? home_country
+                     : countries[rng->Uniform(countries.size())]);
+      if (rng->Bernoulli(config.award_probability)) {
+        kb.AddFact(id, world.r_won_award, awards[rng->Uniform(awards.size())]);
+        if (rng->Bernoulli(0.3)) {
+          kb.AddFact(id, world.r_won_award,
+                     awards[rng->Uniform(awards.size())]);
+        }
+      }
+    }
+  }
+
+  // ---- Albums ----------------------------------------------------------
+  for (size_t mi = 0; mi < musicians.size(); ++mi) {
+    EntityId musician = musicians[mi];
+    EntityId home_label = labels[rng->Uniform(labels.size())];
+    const int n_albums = static_cast<int>(rng->UniformInt(
+        config.min_albums_per_musician, config.max_albums_per_musician));
+    for (int a = 0; a < n_albums; ++a) {
+      std::string name = names.Unique(&used_names, [&] {
+        return names.Capitalize(names.Adjective()) + " " + names.Noun();
+      });
+      Entity e;
+      e.name = name;
+      e.types = {world.t_album};
+      e.popularity = popularity(static_cast<int>(mi) + a);
+      e.description = name + " is an album by " + kb.entity(musician).name;
+      EntityId id = kb.AddEntity(std::move(e));
+      kb.AddFact(id, world.r_artist, musician);
+      kb.AddFact(id, world.r_label,
+                 rng->Bernoulli(0.8) ? home_label
+                                     : labels[rng->Uniform(labels.size())]);
+    }
+  }
+
+  return world;
+}
+
+}  // namespace kb
+}  // namespace turl

@@ -1,0 +1,68 @@
+#ifndef TURL_KB_KB_GENERATOR_H_
+#define TURL_KB_KB_GENERATOR_H_
+
+#include "kb/kb.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace kb {
+
+/// Size knobs for the synthetic world. The defaults produce roughly 1.5K
+/// entities and 4K facts — large enough for the corpus generator to emit
+/// thousands of distinct relational tables, small enough to pre-train on a
+/// single CPU core.
+struct KbGeneratorConfig {
+  int num_countries = 12;
+  int num_cities = 90;
+  int num_languages = 10;
+  int num_awards = 16;
+  int num_labels = 14;
+  int num_teams = 32;
+  int num_directors = 60;
+  int num_actors = 160;
+  int num_athletes = 420;
+  int num_musicians = 40;
+  /// Films per director drawn uniformly from [min, max].
+  int min_films_per_director = 4;
+  int max_films_per_director = 16;
+  int min_albums_per_musician = 2;
+  int max_albums_per_musician = 8;
+  /// Probability that a fine-grained person type (actor/director/...) is
+  /// dropped, leaving only the coarse `person` type — mimics KB
+  /// incompleteness (paper §6.2's missing DBpedia types).
+  double type_dropout = 0.2;
+  /// Probability a film wins some award.
+  double award_probability = 0.15;
+};
+
+/// The generated KB plus cached handles for every type and relation so task
+/// and corpus code does not re-resolve names.
+struct SyntheticKb {
+  KnowledgeBase kb;
+
+  // Types.
+  TypeId t_person, t_director, t_actor, t_pro_athlete, t_musician;
+  TypeId t_location, t_country, t_citytown;
+  TypeId t_organization, t_sports_team, t_record_label;
+  TypeId t_creative_work, t_film, t_album;
+  TypeId t_award, t_language;
+
+  // Relations.
+  RelationId r_directed_by, r_starring, r_film_language, r_film_country;
+  RelationId r_won_award, r_plays_for, r_nationality, r_birthplace;
+  RelationId r_located_in, r_team_city, r_artist, r_label;
+};
+
+/// Builds the synthetic world: a type hierarchy mirroring the paper's
+/// Freebase types (person/pro_athlete/actor, location/citytown, ...), typed
+/// relations with table-header surface forms, entities with Zipf
+/// popularity, generated names/aliases/descriptions (with deliberate surface
+/// ambiguity), deliberately incomplete type assignments, and clustered facts
+/// (each director directs several films, each team fields many athletes) so
+/// relational tables with shared topics exist.
+SyntheticKb GenerateSyntheticKb(const KbGeneratorConfig& config, Rng* rng);
+
+}  // namespace kb
+}  // namespace turl
+
+#endif  // TURL_KB_KB_GENERATOR_H_

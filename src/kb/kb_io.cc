@@ -1,0 +1,127 @@
+#include "kb/kb_io.h"
+
+#include "util/serialize.h"
+
+namespace turl {
+namespace kb {
+
+namespace {
+constexpr uint32_t kKbMagic = 0x544B4231u;  // "TKB1"
+}  // namespace
+
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteU32(kKbMagic);
+
+  w.WriteU32(static_cast<uint32_t>(kb.num_types()));
+  for (TypeId t = 0; t < kb.num_types(); ++t) {
+    const EntityType& type = kb.type(t);
+    w.WriteString(type.name);
+    w.WriteI64(type.parent);
+  }
+
+  w.WriteU32(static_cast<uint32_t>(kb.num_relations()));
+  for (RelationId r = 0; r < kb.num_relations(); ++r) {
+    const Relation& rel = kb.relation(r);
+    w.WriteString(rel.name);
+    w.WriteI64(rel.subject_type);
+    w.WriteI64(rel.object_type);
+    w.WriteStringVector(rel.header_surfaces);
+    w.WriteU32(rel.functional ? 1 : 0);
+  }
+
+  w.WriteU32(static_cast<uint32_t>(kb.num_entities()));
+  for (EntityId e = 0; e < kb.num_entities(); ++e) {
+    const Entity& ent = kb.entity(e);
+    w.WriteString(ent.name);
+    w.WriteStringVector(ent.aliases);
+    w.WriteString(ent.description);
+    w.WriteU32(static_cast<uint32_t>(ent.types.size()));
+    for (TypeId t : ent.types) w.WriteI64(t);
+    w.WriteDouble(ent.popularity);
+  }
+
+  const auto facts = kb.AllFacts();
+  w.WriteU64(facts.size());
+  for (const auto& [s, r, o] : facts) {
+    w.WriteI64(s);
+    w.WriteI64(r);
+    w.WriteI64(o);
+  }
+  return w.Close();
+}
+
+Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.status().ok()) return reader.status();
+  if (reader.ReadU32() != kKbMagic) return Status::IoError("bad KB magic");
+
+  KnowledgeBase kb;
+  const uint32_t num_types = reader.ReadU32();
+  if (!reader.status().ok() || num_types > (1u << 20)) {
+    return Status::IoError("corrupt KB: type count");
+  }
+  for (uint32_t i = 0; i < num_types; ++i) {
+    const std::string name = reader.ReadString();
+    const TypeId parent = static_cast<TypeId>(reader.ReadI64());
+    if (!reader.status().ok()) return reader.status();
+    kb.AddType(name, parent);
+  }
+
+  const uint32_t num_relations = reader.ReadU32();
+  if (!reader.status().ok() || num_relations > (1u << 20)) {
+    return Status::IoError("corrupt KB: relation count");
+  }
+  for (uint32_t i = 0; i < num_relations; ++i) {
+    Relation rel;
+    rel.name = reader.ReadString();
+    rel.subject_type = static_cast<TypeId>(reader.ReadI64());
+    rel.object_type = static_cast<TypeId>(reader.ReadI64());
+    rel.header_surfaces = reader.ReadStringVector();
+    rel.functional = reader.ReadU32() != 0;
+    if (!reader.status().ok()) return reader.status();
+    kb.AddRelation(std::move(rel));
+  }
+
+  const uint32_t num_entities = reader.ReadU32();
+  if (!reader.status().ok() || num_entities > (1u << 26)) {
+    return Status::IoError("corrupt KB: entity count");
+  }
+  for (uint32_t i = 0; i < num_entities; ++i) {
+    Entity ent;
+    ent.name = reader.ReadString();
+    ent.aliases = reader.ReadStringVector();
+    ent.description = reader.ReadString();
+    const uint32_t nt = reader.ReadU32();
+    if (!reader.status().ok() || nt > (1u << 10)) {
+      return Status::IoError("corrupt KB: entity types");
+    }
+    for (uint32_t t = 0; t < nt; ++t) {
+      ent.types.push_back(static_cast<TypeId>(reader.ReadI64()));
+    }
+    ent.popularity = reader.ReadDouble();
+    if (!reader.status().ok()) return reader.status();
+    kb.AddEntity(std::move(ent));
+  }
+
+  const uint64_t num_facts = reader.ReadU64();
+  if (!reader.status().ok() || num_facts > (1ull << 32)) {
+    return Status::IoError("corrupt KB: fact count");
+  }
+  for (uint64_t i = 0; i < num_facts; ++i) {
+    const EntityId s = static_cast<EntityId>(reader.ReadI64());
+    const RelationId r = static_cast<RelationId>(reader.ReadI64());
+    const EntityId o = static_cast<EntityId>(reader.ReadI64());
+    if (!reader.status().ok()) return reader.status();
+    if (s < 0 || s >= kb.num_entities() || o < 0 || o >= kb.num_entities() ||
+        r < 0 || r >= kb.num_relations()) {
+      return Status::IoError("corrupt KB: fact ids out of range");
+    }
+    kb.AddFact(s, r, o);
+  }
+  if (!reader.status().ok()) return reader.status();
+  return kb;
+}
+
+}  // namespace kb
+}  // namespace turl

@@ -1,0 +1,23 @@
+#ifndef TURL_KB_KB_IO_H_
+#define TURL_KB_KB_IO_H_
+
+#include <string>
+
+#include "kb/kb.h"
+#include "util/status.h"
+
+namespace turl {
+namespace kb {
+
+/// Writes the complete knowledge base (types, relations, entities, facts)
+/// to `path` in the library's binary format.
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path);
+
+/// Reads a knowledge base written by SaveKnowledgeBase. Ids are preserved
+/// exactly (tables and vocabularies referencing them stay valid).
+Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path);
+
+}  // namespace kb
+}  // namespace turl
+
+#endif  // TURL_KB_KB_IO_H_

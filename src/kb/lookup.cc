@@ -1,0 +1,112 @@
+#include "kb/lookup.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace turl {
+namespace kb {
+
+namespace {
+
+/// Deterministic hash for surface-coverage dropout.
+uint64_t SurfaceHash(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  return h;
+}
+
+}  // namespace
+
+LookupService::LookupService(const KnowledgeBase* kb, int alias_drop_percent)
+    : kb_(kb) {
+  TURL_CHECK(kb != nullptr);
+  for (EntityId id = 0; id < kb->num_entities(); ++id) {
+    const Entity& e = kb->entity(id);
+    std::vector<std::string> surfaces = {e.name};
+    surfaces.insert(surfaces.end(), e.aliases.begin(), e.aliases.end());
+    for (size_t si = 0; si < surfaces.size(); ++si) {
+      const std::string& s = surfaces[si];
+      // Canonical names are always indexed; a deterministic fraction of
+      // aliases is not (incomplete surface coverage).
+      if (si > 0 &&
+          SurfaceHash(s) % 100 < static_cast<uint64_t>(alias_drop_percent)) {
+        continue;
+      }
+      std::string norm = NormalizeSurface(s);
+      if (norm.empty()) continue;
+      auto& bucket = index_[norm];
+      if (std::find(bucket.begin(), bucket.end(), id) == bucket.end()) {
+        bucket.push_back(id);
+      }
+    }
+  }
+  size_t max_len = 0;
+  for (const auto& [surface, ids] : index_) {
+    max_len = std::max(max_len, surface.size());
+  }
+  by_length_.resize(max_len + 1);
+  for (const auto& [surface, ids] : index_) {
+    by_length_[surface.size()].push_back(&surface);
+  }
+}
+
+std::vector<LookupCandidate> LookupService::Lookup(const std::string& mention,
+                                                   int k) const {
+  std::vector<LookupCandidate> out;
+  const std::string norm = NormalizeSurface(mention);
+  if (norm.empty()) return out;
+
+  // Exact surface hits: match quality 1.0.
+  auto it = index_.find(norm);
+  if (it != index_.end()) {
+    for (EntityId id : it->second) {
+      out.push_back({id, 1.0 + kb_->entity(id).popularity});
+    }
+  }
+
+  // Fuzzy hits within edit distance <= 2, only among surfaces of similar
+  // length (a classic length-filtered scan; the index is small).
+  const size_t len = norm.size();
+  const size_t lo = len > 2 ? len - 2 : 0;
+  const size_t hi = std::min(len + 2, by_length_.empty()
+                                          ? size_t(0)
+                                          : by_length_.size() - 1);
+  for (size_t l = lo; l <= hi && l < by_length_.size(); ++l) {
+    for (const std::string* surface : by_length_[l]) {
+      if (*surface == norm) continue;  // Already covered as exact.
+      const size_t dist = EditDistance(*surface, norm);
+      if (dist > 2) continue;
+      const double quality = dist == 1 ? 0.5 : 0.25;
+      for (EntityId id : index_.at(*surface)) {
+        out.push_back({id, quality + 0.5 * kb_->entity(id).popularity});
+      }
+    }
+  }
+
+  // Deduplicate, keeping the best score per entity.
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.entity != b.entity) return a.entity < b.entity;
+    return a.score > b.score;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.entity == b.entity;
+                        }),
+            out.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.entity < b.entity;
+  });
+  if (static_cast<int>(out.size()) > k) out.resize(static_cast<size_t>(k));
+  return out;
+}
+
+EntityId LookupService::Top1(const std::string& mention) const {
+  auto candidates = Lookup(mention, 1);
+  return candidates.empty() ? kInvalidEntity : candidates[0].entity;
+}
+
+}  // namespace kb
+}  // namespace turl

@@ -1,0 +1,59 @@
+#ifndef TURL_KB_LOOKUP_H_
+#define TURL_KB_LOOKUP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/kb.h"
+
+namespace turl {
+namespace kb {
+
+/// One candidate returned by the lookup service.
+struct LookupCandidate {
+  EntityId entity = kInvalidEntity;
+  /// Higher is better: combines surface-match quality with the entity's
+  /// popularity prior (the ordering Wikidata Lookup would give).
+  double score = 0.0;
+};
+
+/// Candidate-generation service over the KB's surface forms — this
+/// repository's stand-in for the Wikidata Lookup service used by the
+/// paper's entity-linking pipeline (§6.2). It indexes canonical names and
+/// aliases under NormalizeSurface() and answers mention queries with a
+/// ranked top-K list: exact surface matches first (ranked by popularity),
+/// then near-misses within a small edit distance. Like the real service it
+/// is imperfect: heavily corrupted mentions return empty candidate sets and
+/// ambiguous surfaces return several entities.
+class LookupService {
+ public:
+  /// Builds the surface index. Keeps a pointer to `kb`; it must outlive the
+  /// service. `alias_drop_percent` non-canonical surfaces are deterministically
+  /// left out of the index (hash-based), modeling the real service's
+  /// incomplete surface coverage — the reason the paper's oracle recall sits
+  /// well below 100%.
+  explicit LookupService(const KnowledgeBase* kb, int alias_drop_percent = 15);
+
+  /// Top-`k` candidates for `mention`, best first.
+  std::vector<LookupCandidate> Lookup(const std::string& mention,
+                                      int k = 50) const;
+
+  /// Convenience: the single best candidate or kInvalidEntity.
+  EntityId Top1(const std::string& mention) const;
+
+  /// Number of distinct indexed surface forms.
+  size_t num_surfaces() const { return index_.size(); }
+
+ private:
+  const KnowledgeBase* kb_;
+  /// Normalized surface -> entities carrying it.
+  std::unordered_map<std::string, std::vector<EntityId>> index_;
+  /// Surfaces bucketed by length for cheap fuzzy search.
+  std::vector<std::vector<const std::string*>> by_length_;
+};
+
+}  // namespace kb
+}  // namespace turl
+
+#endif  // TURL_KB_LOOKUP_H_

@@ -1,0 +1,68 @@
+#include "nn/checkpoint.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "util/serialize.h"
+
+namespace turl {
+namespace nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x5455524Cu;  // "TURL"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status SaveCheckpoint(const ParamStore& store, const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteU32(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteU64(store.params().size());
+  for (const auto& [name, t] : store.params()) {
+    w.WriteString(name);
+    w.WriteU64(t.shape().size());
+    for (int64_t d : t.shape()) w.WriteI64(d);
+    w.WriteFloatVector(t.ToVector());
+  }
+  return w.Close();
+}
+
+Status LoadCheckpoint(ParamStore* store, const std::string& path) {
+  BinaryReader r(path);
+  if (!r.status().ok()) return r.status();
+  if (r.ReadU32() != kMagic) return Status::IoError("bad checkpoint magic");
+  if (r.ReadU32() != kVersion) return Status::IoError("bad checkpoint version");
+  const uint64_t count = r.ReadU64();
+  if (count != store->params().size()) {
+    return Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(count) + " params, store has " +
+        std::to_string(store->params().size()));
+  }
+  std::unordered_map<std::string, Tensor> by_name;
+  for (const auto& [name, t] : store->params()) by_name.emplace(name, t);
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string name = r.ReadString();
+    const uint64_t rank = r.ReadU64();
+    if (!r.status().ok()) return r.status();
+    Shape shape(rank);
+    for (uint64_t d = 0; d < rank; ++d) shape[d] = r.ReadI64();
+    std::vector<float> data = r.ReadFloatVector();
+    if (!r.status().ok()) return r.status();
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::FailedPrecondition("unknown parameter in checkpoint: " +
+                                        name);
+    }
+    Tensor t = it->second;
+    if (t.shape() != shape) {
+      return Status::FailedPrecondition("shape mismatch for " + name + ": " +
+                                        ShapeToString(t.shape()) + " vs " +
+                                        ShapeToString(shape));
+    }
+    std::memcpy(t.data(), data.data(), data.size() * sizeof(float));
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace turl

@@ -1,0 +1,23 @@
+#ifndef TURL_NN_CHECKPOINT_H_
+#define TURL_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace turl {
+namespace nn {
+
+/// Writes every parameter of `store` (name, shape, data) to `path`.
+Status SaveCheckpoint(const ParamStore& store, const std::string& path);
+
+/// Loads a checkpoint into an already-constructed ParamStore. Every
+/// parameter in the file must exist in `store` with a matching shape and
+/// vice versa (architectural mismatch is an error, not a partial load).
+Status LoadCheckpoint(ParamStore* store, const std::string& path);
+
+}  // namespace nn
+}  // namespace turl
+
+#endif  // TURL_NN_CHECKPOINT_H_

@@ -1,0 +1,798 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace turl {
+namespace nn {
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+/// Ensures the node's grad buffer exists, returning a raw pointer to it.
+float* GradOf(TensorImpl* t) {
+  if (t->grad.empty()) t->grad.assign(t->data.size(), 0.f);
+  return t->grad.data();
+}
+
+/// Builds an op result node: fresh impl with `shape`/`data`, parent edges to
+/// the inputs, and `fn(out_impl)` installed as the backward closure. The
+/// closure receives the raw output impl pointer (owned by the node itself, so
+/// no reference cycle) and must accumulate into the parents' grads.
+Tensor MakeNode(Shape shape, std::vector<float> data,
+                std::vector<std::shared_ptr<TensorImpl>> parents,
+                std::function<void(TensorImpl*)> fn) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  impl->parents = std::move(parents);
+  TensorImpl* raw = impl.get();
+  impl->backward_fn = [raw, f = std::move(fn)]() { f(raw); };
+  return Tensor::FromImpl(std::move(impl));
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  TURL_CHECK(a.defined() && b.defined()) << op;
+  TURL_CHECK(a.shape() == b.shape())
+      << op << ": shape mismatch " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+}
+
+/// Plain single-threaded GEMM kernels. Sizes in this library are small
+/// (sequence length tens, hidden width <= a few hundred), so a cache-aware
+/// ikj loop ordering is sufficient.
+void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, sizeof(float) * size_t(m * n));
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[m,n] (+)= A[m,k] * B[n,k]^T
+void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float s = 0.f;
+      for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      if (accumulate) {
+        crow[j] += s;
+      } else {
+        crow[j] = s;
+      }
+    }
+  }
+}
+
+/// C[k,n] (+)= A[m,k]^T * B[m,n]
+void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, sizeof(float) * size_t(k * n));
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.f) continue;
+      float* crow = c + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  std::vector<float> out(a.impl()->data);
+  const auto& bd = b.impl()->data;
+  for (size_t i = 0; i < out.size(); ++i) out[i] += bd[i];
+  auto pa = a.impl(), pb = b.impl();
+  return MakeNode(a.shape(), std::move(out), {pa, pb}, [pa, pb](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* ga = GradOf(pa.get());
+    float* gb = GradOf(pb.get());
+    for (size_t i = 0; i < o->data.size(); ++i) {
+      ga[i] += g[i];
+      gb[i] += g[i];
+    }
+  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  std::vector<float> out(a.impl()->data);
+  const auto& bd = b.impl()->data;
+  for (size_t i = 0; i < out.size(); ++i) out[i] -= bd[i];
+  auto pa = a.impl(), pb = b.impl();
+  return MakeNode(a.shape(), std::move(out), {pa, pb}, [pa, pb](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* ga = GradOf(pa.get());
+    float* gb = GradOf(pb.get());
+    for (size_t i = 0; i < o->data.size(); ++i) {
+      ga[i] += g[i];
+      gb[i] -= g[i];
+    }
+  });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  std::vector<float> out(a.impl()->data);
+  const auto& bd = b.impl()->data;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= bd[i];
+  auto pa = a.impl(), pb = b.impl();
+  return MakeNode(a.shape(), std::move(out), {pa, pb}, [pa, pb](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* ga = GradOf(pa.get());
+    float* gb = GradOf(pb.get());
+    const float* ad = pa->data.data();
+    const float* bdp = pb->data.data();
+    for (size_t i = 0; i < o->data.size(); ++i) {
+      ga[i] += g[i] * bdp[i];
+      gb[i] += g[i] * ad[i];
+    }
+  });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  TURL_CHECK(a.defined());
+  std::vector<float> out(a.impl()->data);
+  for (float& x : out) x *= s;
+  auto pa = a.impl();
+  return MakeNode(a.shape(), std::move(out), {pa}, [pa, s](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* ga = GradOf(pa.get());
+    for (size_t i = 0; i < o->data.size(); ++i) ga[i] += s * g[i];
+  });
+}
+
+Tensor AddBias(const Tensor& x, const Tensor& b) {
+  TURL_CHECK(x.defined() && b.defined());
+  TURL_CHECK_EQ(x.ndim(), 2);
+  TURL_CHECK_EQ(b.numel(), x.dim(1));
+  const int64_t m = x.dim(0), n = x.dim(1);
+  std::vector<float> out(x.impl()->data);
+  const float* bd = b.data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) out[size_t(i * n + j)] += bd[j];
+  auto px = x.impl(), pb = b.impl();
+  return MakeNode(x.shape(), std::move(out), {px, pb},
+                  [px, pb, m, n](TensorImpl* o) {
+                    const float* g = o->grad.data();
+                    float* gx = GradOf(px.get());
+                    float* gb = GradOf(pb.get());
+                    for (int64_t i = 0; i < m; ++i) {
+                      for (int64_t j = 0; j < n; ++j) {
+                        gx[i * n + j] += g[i * n + j];
+                        gb[j] += g[i * n + j];
+                      }
+                    }
+                  });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TURL_CHECK(a.defined() && b.defined());
+  TURL_CHECK_EQ(a.ndim(), 2);
+  TURL_CHECK_EQ(b.ndim(), 2);
+  TURL_CHECK_EQ(a.dim(1), b.dim(0))
+      << "MatMul: " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  std::vector<float> out(size_t(m * n));
+  GemmNN(a.data(), b.data(), out.data(), m, k, n, /*accumulate=*/false);
+  auto pa = a.impl(), pb = b.impl();
+  return MakeNode({m, n}, std::move(out), {pa, pb},
+                  [pa, pb, m, k, n](TensorImpl* o) {
+                    const float* g = o->grad.data();
+                    // dA += dOut * B^T ; dB += A^T * dOut
+                    GemmNT(g, pb->data.data(), GradOf(pa.get()), m, n, k,
+                           /*accumulate=*/true);
+                    GemmTN(pa->data.data(), g, GradOf(pb.get()), m, k, n,
+                           /*accumulate=*/true);
+                  });
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  TURL_CHECK(a.defined() && b.defined());
+  TURL_CHECK_EQ(a.ndim(), 2);
+  TURL_CHECK_EQ(b.ndim(), 2);
+  TURL_CHECK_EQ(a.dim(1), b.dim(1))
+      << "MatMulNT: " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape()) << "^T";
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  std::vector<float> out(size_t(m * n));
+  GemmNT(a.data(), b.data(), out.data(), m, k, n, /*accumulate=*/false);
+  auto pa = a.impl(), pb = b.impl();
+  return MakeNode({m, n}, std::move(out), {pa, pb},
+                  [pa, pb, m, k, n](TensorImpl* o) {
+                    const float* g = o->grad.data();
+                    // out = A * B^T  =>  dA += g * B ; dB += g^T * A
+                    GemmNN(g, pb->data.data(), GradOf(pa.get()), m, n, k,
+                           /*accumulate=*/true);
+                    GemmTN(g, pa->data.data(), GradOf(pb.get()), m, n, k,
+                           /*accumulate=*/true);
+                  });
+}
+
+Tensor Gelu(const Tensor& x) {
+  TURL_CHECK(x.defined());
+  const auto& xd = x.impl()->data;
+  std::vector<float> out(xd.size());
+  for (size_t i = 0; i < xd.size(); ++i) {
+    float v = xd[i];
+    float inner = kGeluC * (v + 0.044715f * v * v * v);
+    out[i] = 0.5f * v * (1.f + std::tanh(inner));
+  }
+  auto px = x.impl();
+  return MakeNode(x.shape(), std::move(out), {px}, [px](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* gx = GradOf(px.get());
+    const float* xd2 = px->data.data();
+    for (size_t i = 0; i < o->data.size(); ++i) {
+      float v = xd2[i];
+      float inner = kGeluC * (v + 0.044715f * v * v * v);
+      float t = std::tanh(inner);
+      float dinner = kGeluC * (1.f + 3.f * 0.044715f * v * v);
+      float d = 0.5f * (1.f + t) + 0.5f * v * (1.f - t * t) * dinner;
+      gx[i] += g[i] * d;
+    }
+  });
+}
+
+Tensor Relu(const Tensor& x) {
+  TURL_CHECK(x.defined());
+  std::vector<float> out(x.impl()->data);
+  for (float& v : out) v = v > 0.f ? v : 0.f;
+  auto px = x.impl();
+  return MakeNode(x.shape(), std::move(out), {px}, [px](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* gx = GradOf(px.get());
+    const float* xd = px->data.data();
+    for (size_t i = 0; i < o->data.size(); ++i)
+      if (xd[i] > 0.f) gx[i] += g[i];
+  });
+}
+
+Tensor TanhOp(const Tensor& x) {
+  TURL_CHECK(x.defined());
+  std::vector<float> out(x.impl()->data);
+  for (float& v : out) v = std::tanh(v);
+  auto px = x.impl();
+  return MakeNode(x.shape(), std::move(out), {px}, [px](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* gx = GradOf(px.get());
+    const float* yd = o->data.data();
+    for (size_t i = 0; i < o->data.size(); ++i)
+      gx[i] += g[i] * (1.f - yd[i] * yd[i]);
+  });
+}
+
+Tensor SigmoidOp(const Tensor& x) {
+  TURL_CHECK(x.defined());
+  std::vector<float> out(x.impl()->data);
+  for (float& v : out) v = 1.f / (1.f + std::exp(-v));
+  auto px = x.impl();
+  return MakeNode(x.shape(), std::move(out), {px}, [px](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* gx = GradOf(px.get());
+    const float* yd = o->data.data();
+    for (size_t i = 0; i < o->data.size(); ++i)
+      gx[i] += g[i] * yd[i] * (1.f - yd[i]);
+  });
+}
+
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  TURL_CHECK(x.defined() && gamma.defined() && beta.defined());
+  TURL_CHECK_EQ(x.ndim(), 2);
+  const int64_t m = x.dim(0), n = x.dim(1);
+  TURL_CHECK_EQ(gamma.numel(), n);
+  TURL_CHECK_EQ(beta.numel(), n);
+
+  std::vector<float> out(size_t(m * n));
+  // xhat and inv_std are needed by the backward pass; shared via the closure.
+  auto xhat = std::make_shared<std::vector<float>>(size_t(m * n));
+  auto inv_std = std::make_shared<std::vector<float>>(size_t(m));
+  const float* xd = x.data();
+  const float* gd = gamma.data();
+  const float* bd = beta.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = xd + i * n;
+    float mu = 0.f;
+    for (int64_t j = 0; j < n; ++j) mu += row[j];
+    mu /= float(n);
+    float var = 0.f;
+    for (int64_t j = 0; j < n; ++j) {
+      float d = row[j] - mu;
+      var += d * d;
+    }
+    var /= float(n);
+    float is = 1.f / std::sqrt(var + eps);
+    (*inv_std)[size_t(i)] = is;
+    for (int64_t j = 0; j < n; ++j) {
+      float xh = (row[j] - mu) * is;
+      (*xhat)[size_t(i * n + j)] = xh;
+      out[size_t(i * n + j)] = gd[j] * xh + bd[j];
+    }
+  }
+  auto px = x.impl(), pg = gamma.impl(), pb = beta.impl();
+  return MakeNode(
+      x.shape(), std::move(out), {px, pg, pb},
+      [px, pg, pb, xhat, inv_std, m, n](TensorImpl* o) {
+        const float* g = o->grad.data();
+        float* gx = GradOf(px.get());
+        float* gg = GradOf(pg.get());
+        float* gb = GradOf(pb.get());
+        const float* gd2 = pg->data.data();
+        for (int64_t i = 0; i < m; ++i) {
+          const float* grow = g + i * n;
+          const float* xh = xhat->data() + i * n;
+          const float is = (*inv_std)[size_t(i)];
+          // dxhat = dy * gamma; need mean(dxhat) and mean(dxhat * xhat).
+          float mean_dxhat = 0.f, mean_dxhat_xhat = 0.f;
+          for (int64_t j = 0; j < n; ++j) {
+            float dxh = grow[j] * gd2[j];
+            mean_dxhat += dxh;
+            mean_dxhat_xhat += dxh * xh[j];
+          }
+          mean_dxhat /= float(n);
+          mean_dxhat_xhat /= float(n);
+          for (int64_t j = 0; j < n; ++j) {
+            float dxh = grow[j] * gd2[j];
+            gx[i * n + j] += is * (dxh - mean_dxhat - xh[j] * mean_dxhat_xhat);
+            gg[j] += grow[j] * xh[j];
+            gb[j] += grow[j];
+          }
+        }
+      });
+}
+
+Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int>& ids) {
+  TURL_CHECK(weight.defined());
+  TURL_CHECK_EQ(weight.ndim(), 2);
+  const int64_t v = weight.dim(0), d = weight.dim(1);
+  const int64_t m = static_cast<int64_t>(ids.size());
+  std::vector<float> out(size_t(m * d));
+  const float* wd = weight.data();
+  for (int64_t i = 0; i < m; ++i) {
+    TURL_CHECK_GE(ids[size_t(i)], 0);
+    TURL_CHECK_LT(ids[size_t(i)], v);
+    std::memcpy(out.data() + i * d, wd + int64_t(ids[size_t(i)]) * d,
+                sizeof(float) * size_t(d));
+  }
+  auto pw = weight.impl();
+  return MakeNode({m, d}, std::move(out), {pw}, [pw, ids, d](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* gw = GradOf(pw.get());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      float* dst = gw + int64_t(ids[i]) * d;
+      const float* src = g + int64_t(i) * d;
+      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+  });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  TURL_CHECK(a.defined() && b.defined());
+  TURL_CHECK_EQ(a.ndim(), 2);
+  TURL_CHECK_EQ(b.ndim(), 2);
+  TURL_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t m = a.dim(0), p = a.dim(1), q = b.dim(1);
+  std::vector<float> out(size_t(m * (p + q)));
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (int64_t i = 0; i < m; ++i) {
+    std::memcpy(out.data() + i * (p + q), ad + i * p, sizeof(float) * size_t(p));
+    std::memcpy(out.data() + i * (p + q) + p, bd + i * q,
+                sizeof(float) * size_t(q));
+  }
+  auto pa = a.impl(), pb = b.impl();
+  return MakeNode({m, p + q}, std::move(out), {pa, pb},
+                  [pa, pb, m, p, q](TensorImpl* o) {
+                    const float* g = o->grad.data();
+                    float* ga = GradOf(pa.get());
+                    float* gb = GradOf(pb.get());
+                    for (int64_t i = 0; i < m; ++i) {
+                      for (int64_t j = 0; j < p; ++j)
+                        ga[i * p + j] += g[i * (p + q) + j];
+                      for (int64_t j = 0; j < q; ++j)
+                        gb[i * q + j] += g[i * (p + q) + p + j];
+                    }
+                  });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  TURL_CHECK(!parts.empty());
+  const int64_t n = parts[0].dim(1);
+  int64_t m = 0;
+  for (const auto& t : parts) {
+    TURL_CHECK_EQ(t.ndim(), 2);
+    TURL_CHECK_EQ(t.dim(1), n);
+    m += t.dim(0);
+  }
+  std::vector<float> out(size_t(m * n));
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  parents.reserve(parts.size());
+  int64_t row = 0;
+  for (const auto& t : parts) {
+    std::memcpy(out.data() + row * n, t.data(),
+                sizeof(float) * size_t(t.numel()));
+    row += t.dim(0);
+    parents.push_back(t.impl());
+  }
+  auto parents_copy = parents;
+  return MakeNode({m, n}, std::move(out), std::move(parents),
+                  [parents_copy, n](TensorImpl* o) {
+                    const float* g = o->grad.data();
+                    int64_t r = 0;
+                    for (const auto& p : parents_copy) {
+                      float* gp = GradOf(p.get());
+                      const int64_t rows = p->shape[0];
+                      for (int64_t i = 0; i < rows * n; ++i)
+                        gp[i] += g[r * n + i];
+                      r += rows;
+                    }
+                  });
+}
+
+Tensor SelectRows(const Tensor& x, const std::vector<int>& rows) {
+  TURL_CHECK(x.defined());
+  TURL_CHECK_EQ(x.ndim(), 2);
+  const int64_t m = x.dim(0), d = x.dim(1);
+  const int64_t r = static_cast<int64_t>(rows.size());
+  std::vector<float> out(size_t(r * d));
+  const float* xd = x.data();
+  for (int64_t i = 0; i < r; ++i) {
+    TURL_CHECK_GE(rows[size_t(i)], 0);
+    TURL_CHECK_LT(rows[size_t(i)], m);
+    std::memcpy(out.data() + i * d, xd + int64_t(rows[size_t(i)]) * d,
+                sizeof(float) * size_t(d));
+  }
+  auto px = x.impl();
+  return MakeNode({r, d}, std::move(out), {px}, [px, rows, d](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* gx = GradOf(px.get());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      float* dst = gx + int64_t(rows[i]) * d;
+      const float* src = g + int64_t(i) * d;
+      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+  });
+}
+
+Tensor RowsMean(const Tensor& x, const std::vector<int>& rows) {
+  TURL_CHECK(x.defined());
+  TURL_CHECK_EQ(x.ndim(), 2);
+  TURL_CHECK(!rows.empty());
+  const int64_t m = x.dim(0), d = x.dim(1);
+  std::vector<float> out(size_t(d), 0.f);
+  const float* xd = x.data();
+  for (int row : rows) {
+    TURL_CHECK_GE(row, 0);
+    TURL_CHECK_LT(row, m);
+    const float* src = xd + int64_t(row) * d;
+    for (int64_t j = 0; j < d; ++j) out[size_t(j)] += src[j];
+  }
+  const float inv = 1.f / float(rows.size());
+  for (float& v : out) v *= inv;
+  auto px = x.impl();
+  return MakeNode({1, d}, std::move(out), {px},
+                  [px, rows, d, inv](TensorImpl* o) {
+                    const float* g = o->grad.data();
+                    float* gx = GradOf(px.get());
+                    for (int row : rows) {
+                      float* dst = gx + int64_t(row) * d;
+                      for (int64_t j = 0; j < d; ++j) dst[j] += inv * g[j];
+                    }
+                  });
+}
+
+Tensor BagMean(const Tensor& weight,
+               const std::vector<std::vector<int>>& bags) {
+  TURL_CHECK(weight.defined());
+  TURL_CHECK_EQ(weight.ndim(), 2);
+  const int64_t v = weight.dim(0), d = weight.dim(1);
+  const int64_t m = static_cast<int64_t>(bags.size());
+  std::vector<float> out(size_t(m * d), 0.f);
+  const float* wd = weight.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const auto& bag = bags[size_t(i)];
+    if (bag.empty()) continue;
+    float* dst = out.data() + i * d;
+    for (int id : bag) {
+      TURL_CHECK_GE(id, 0);
+      TURL_CHECK_LT(id, v);
+      const float* src = wd + int64_t(id) * d;
+      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+    const float inv = 1.f / float(bag.size());
+    for (int64_t j = 0; j < d; ++j) dst[j] *= inv;
+  }
+  auto pw = weight.impl();
+  return MakeNode({m, d}, std::move(out), {pw}, [pw, bags, d](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* gw = GradOf(pw.get());
+    for (size_t i = 0; i < bags.size(); ++i) {
+      const auto& bag = bags[i];
+      if (bag.empty()) continue;
+      const float inv = 1.f / float(bag.size());
+      const float* src = g + int64_t(i) * d;
+      for (int id : bag) {
+        float* dst = gw + int64_t(id) * d;
+        for (int64_t j = 0; j < d; ++j) dst[j] += inv * src[j];
+      }
+    }
+  });
+}
+
+Tensor SoftmaxRows(const Tensor& x) {
+  TURL_CHECK(x.defined());
+  TURL_CHECK_EQ(x.ndim(), 2);
+  const int64_t m = x.dim(0), n = x.dim(1);
+  std::vector<float> out(size_t(m * n));
+  const float* xd = x.data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = xd + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.f;
+    for (int64_t j = 0; j < n; ++j) {
+      float e = std::exp(row[j] - mx);
+      out[size_t(i * n + j)] = e;
+      sum += e;
+    }
+    for (int64_t j = 0; j < n; ++j) out[size_t(i * n + j)] /= sum;
+  }
+  auto px = x.impl();
+  return MakeNode(x.shape(), std::move(out), {px}, [px, m, n](TensorImpl* o) {
+    const float* g = o->grad.data();
+    const float* y = o->data.data();
+    float* gx = GradOf(px.get());
+    for (int64_t i = 0; i < m; ++i) {
+      const float* yr = y + i * n;
+      const float* gr = g + i * n;
+      float dot = 0.f;
+      for (int64_t j = 0; j < n; ++j) dot += yr[j] * gr[j];
+      for (int64_t j = 0; j < n; ++j)
+        gx[i * n + j] += yr[j] * (gr[j] - dot);
+    }
+  });
+}
+
+Tensor MultiHeadAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                          const std::vector<float>& additive_mask,
+                          int num_heads) {
+  TURL_CHECK(q.defined() && k.defined() && v.defined());
+  TURL_CHECK_EQ(q.ndim(), 2);
+  TURL_CHECK(q.shape() == k.shape() && q.shape() == v.shape());
+  const int64_t n = q.dim(0), d = q.dim(1);
+  TURL_CHECK_GT(num_heads, 0);
+  TURL_CHECK_EQ(d % num_heads, 0);
+  TURL_CHECK_EQ(static_cast<int64_t>(additive_mask.size()), n * n);
+  const int64_t dh = d / num_heads;
+  const float scale = 1.f / std::sqrt(float(dh));
+
+  // probs[h] holds the n x n post-softmax attention matrix of head h,
+  // retained for the backward pass.
+  auto probs = std::make_shared<std::vector<std::vector<float>>>(
+      size_t(num_heads), std::vector<float>(size_t(n * n)));
+  std::vector<float> out(size_t(n * d), 0.f);
+  const float* qd = q.data();
+  const float* kd = k.data();
+  const float* vd = v.data();
+
+  for (int h = 0; h < num_heads; ++h) {
+    std::vector<float>& p = (*probs)[size_t(h)];
+    const int64_t off = int64_t(h) * dh;
+    for (int64_t i = 0; i < n; ++i) {
+      // Scores row i over all j, masked, then softmax.
+      float mx = -1e30f;
+      for (int64_t j = 0; j < n; ++j) {
+        float s = 0.f;
+        const float* qi = qd + i * d + off;
+        const float* kj = kd + j * d + off;
+        for (int64_t t = 0; t < dh; ++t) s += qi[t] * kj[t];
+        s = s * scale + additive_mask[size_t(i * n + j)];
+        p[size_t(i * n + j)] = s;
+        mx = std::max(mx, s);
+      }
+      float sum = 0.f;
+      for (int64_t j = 0; j < n; ++j) {
+        float e = std::exp(p[size_t(i * n + j)] - mx);
+        p[size_t(i * n + j)] = e;
+        sum += e;
+      }
+      const float inv = 1.f / sum;
+      float* orow = out.data() + i * d + off;
+      for (int64_t j = 0; j < n; ++j) {
+        const float pij = p[size_t(i * n + j)] * inv;
+        p[size_t(i * n + j)] = pij;
+        const float* vj = vd + j * d + off;
+        for (int64_t t = 0; t < dh; ++t) orow[t] += pij * vj[t];
+      }
+    }
+  }
+
+  auto pq = q.impl(), pk = k.impl(), pv = v.impl();
+  return MakeNode(
+      {n, d}, std::move(out), {pq, pk, pv},
+      [pq, pk, pv, probs, n, d, dh, num_heads, scale](TensorImpl* o) {
+        const float* g = o->grad.data();
+        float* gq = GradOf(pq.get());
+        float* gk = GradOf(pk.get());
+        float* gv = GradOf(pv.get());
+        const float* qd2 = pq->data.data();
+        const float* kd2 = pk->data.data();
+        const float* vd2 = pv->data.data();
+        std::vector<float> dp(static_cast<size_t>(n));  // dP for one row.
+        for (int h = 0; h < num_heads; ++h) {
+          const std::vector<float>& p = (*probs)[size_t(h)];
+          const int64_t off = int64_t(h) * dh;
+          for (int64_t i = 0; i < n; ++i) {
+            const float* go = g + i * d + off;
+            // dV_j += P_ij * dO_i ; dP_ij = dO_i . V_j
+            float dot = 0.f;
+            for (int64_t j = 0; j < n; ++j) {
+              const float pij = p[size_t(i * n + j)];
+              const float* vj = vd2 + j * d + off;
+              float* gvj = gv + j * d + off;
+              float dpij = 0.f;
+              for (int64_t t = 0; t < dh; ++t) {
+                gvj[t] += pij * go[t];
+                dpij += go[t] * vj[t];
+              }
+              dp[size_t(j)] = dpij;
+              dot += pij * dpij;
+            }
+            // dS_ij = P_ij (dP_ij - sum_j P_ij dP_ij); then Q/K grads.
+            const float* qi = qd2 + i * d + off;
+            float* gqi = gq + i * d + off;
+            for (int64_t j = 0; j < n; ++j) {
+              const float pij = p[size_t(i * n + j)];
+              if (pij == 0.f) continue;
+              const float ds = pij * (dp[size_t(j)] - dot) * scale;
+              const float* kj = kd2 + j * d + off;
+              float* gkj = gk + j * d + off;
+              for (int64_t t = 0; t < dh; ++t) {
+                gqi[t] += ds * kj[t];
+                gkj[t] += ds * qi[t];
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
+  TURL_CHECK(x.defined());
+  if (!training || p <= 0.f) return x;
+  TURL_CHECK_LT(p, 1.f);
+  TURL_CHECK(rng != nullptr);
+  const float keep_scale = 1.f / (1.f - p);
+  auto mask = std::make_shared<std::vector<float>>(x.impl()->data.size());
+  std::vector<float> out(x.impl()->data);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float m = rng->Bernoulli(p) ? 0.f : keep_scale;
+    (*mask)[i] = m;
+    out[i] *= m;
+  }
+  auto px = x.impl();
+  return MakeNode(x.shape(), std::move(out), {px}, [px, mask](TensorImpl* o) {
+    const float* g = o->grad.data();
+    float* gx = GradOf(px.get());
+    for (size_t i = 0; i < o->data.size(); ++i) gx[i] += g[i] * (*mask)[i];
+  });
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int>& targets, int ignore_index) {
+  TURL_CHECK(logits.defined());
+  TURL_CHECK_EQ(logits.ndim(), 2);
+  const int64_t m = logits.dim(0), c = logits.dim(1);
+  TURL_CHECK_EQ(static_cast<int64_t>(targets.size()), m);
+
+  // softmax probabilities retained for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(size_t(m * c));
+  const float* ld = logits.data();
+  double loss = 0.0;
+  int64_t valid = 0;
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = ld + i * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.f;
+    for (int64_t j = 0; j < c; ++j) {
+      float e = std::exp(row[j] - mx);
+      (*probs)[size_t(i * c + j)] = e;
+      sum += e;
+    }
+    for (int64_t j = 0; j < c; ++j) (*probs)[size_t(i * c + j)] /= sum;
+    const int t = targets[size_t(i)];
+    if (t == ignore_index) continue;
+    TURL_CHECK_GE(t, 0);
+    TURL_CHECK_LT(t, c);
+    loss -= std::log(std::max((*probs)[size_t(i * c + t)], 1e-12f));
+    ++valid;
+  }
+  const float inv = valid > 0 ? 1.f / float(valid) : 0.f;
+  auto pl = logits.impl();
+  return MakeNode(
+      {1}, {float(loss) * inv}, {pl},
+      [pl, probs, targets, ignore_index, m, c, inv](TensorImpl* o) {
+        const float go = o->grad[0];
+        float* gl = GradOf(pl.get());
+        for (int64_t i = 0; i < m; ++i) {
+          const int t = targets[size_t(i)];
+          if (t == ignore_index) continue;
+          for (int64_t j = 0; j < c; ++j) {
+            float d = (*probs)[size_t(i * c + j)];
+            if (j == t) d -= 1.f;
+            gl[i * c + j] += go * inv * d;
+          }
+        }
+      });
+}
+
+Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets) {
+  TURL_CHECK(logits.defined());
+  TURL_CHECK_EQ(logits.numel(), static_cast<int64_t>(targets.size()));
+  const int64_t n = logits.numel();
+  TURL_CHECK_GT(n, 0);
+  const float* z = logits.data();
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float zi = z[size_t(i)];
+    const float ti = targets[size_t(i)];
+    // Stable: max(z,0) - z*t + log(1 + exp(-|z|)).
+    loss += std::max(zi, 0.f) - zi * ti + std::log1p(std::exp(-std::abs(zi)));
+  }
+  const float inv = 1.f / float(n);
+  auto pl = logits.impl();
+  return MakeNode({1}, {float(loss) * inv}, {pl},
+                  [pl, targets, n, inv](TensorImpl* o) {
+                    const float go = o->grad[0];
+                    float* gl = GradOf(pl.get());
+                    const float* z2 = pl->data.data();
+                    for (int64_t i = 0; i < n; ++i) {
+                      const float s = 1.f / (1.f + std::exp(-z2[size_t(i)]));
+                      gl[i] += go * inv * (s - targets[size_t(i)]);
+                    }
+                  });
+}
+
+Tensor SumAll(const Tensor& x) {
+  TURL_CHECK(x.defined());
+  double s = 0.0;
+  for (float v : x.impl()->data) s += v;
+  auto px = x.impl();
+  return MakeNode({1}, {float(s)}, {px}, [px](TensorImpl* o) {
+    const float go = o->grad[0];
+    float* gx = GradOf(px.get());
+    for (size_t i = 0; i < px->data.size(); ++i) gx[i] += go;
+  });
+}
+
+Tensor MeanAll(const Tensor& x) {
+  TURL_CHECK(x.defined());
+  TURL_CHECK_GT(x.numel(), 0);
+  return Scale(SumAll(x), 1.f / float(x.numel()));
+}
+
+}  // namespace nn
+}  // namespace turl

@@ -1,0 +1,67 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace turl {
+namespace nn {
+
+Adam::Adam(ParamStore* store, AdamConfig config)
+    : store_(store), config_(config) {
+  TURL_CHECK(store != nullptr);
+  m_.reserve(store->params().size());
+  v_.reserve(store->params().size());
+  for (const auto& [name, t] : store->params()) {
+    m_.emplace_back(static_cast<size_t>(t.numel()), 0.f);
+    v_.emplace_back(static_cast<size_t>(t.numel()), 0.f);
+  }
+}
+
+void Adam::Step(float lr_scale) {
+  TURL_CHECK_EQ(m_.size(), store_->params().size())
+      << "parameters added after optimizer construction";
+  ++step_;
+  const float lr = config_.lr * lr_scale;
+  const float bc1 = 1.f - std::pow(config_.beta1, float(step_));
+  const float bc2 = 1.f - std::pow(config_.beta2, float(step_));
+  size_t pi = 0;
+  for (const auto& [name, param] : store_->params()) {
+    Tensor t = param;  // Shared impl; cheap copy for non-const access.
+    if (!t.has_grad()) {
+      ++pi;
+      continue;
+    }
+    float* w = t.data();
+    const float* g = t.grad();
+    std::vector<float>& m = m_[pi];
+    std::vector<float>& v = v_[pi];
+    const int64_t n = t.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      float gi = g[i];
+      if (config_.weight_decay > 0.f) gi += config_.weight_decay * w[i];
+      m[size_t(i)] = config_.beta1 * m[size_t(i)] + (1.f - config_.beta1) * gi;
+      v[size_t(i)] =
+          config_.beta2 * v[size_t(i)] + (1.f - config_.beta2) * gi * gi;
+      const float mhat = m[size_t(i)] / bc1;
+      const float vhat = v[size_t(i)] / bc2;
+      w[i] -= lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+    ++pi;
+  }
+}
+
+LinearDecaySchedule::LinearDecaySchedule(int64_t total_steps,
+                                         float final_fraction)
+    : total_steps_(total_steps), final_fraction_(final_fraction) {
+  TURL_CHECK_GT(total_steps, 0);
+}
+
+float LinearDecaySchedule::Scale(int64_t step) const {
+  if (step >= total_steps_) return final_fraction_;
+  const float frac = float(step) / float(total_steps_);
+  return 1.f + frac * (final_fraction_ - 1.f);
+}
+
+}  // namespace nn
+}  // namespace turl

@@ -1,0 +1,63 @@
+#ifndef TURL_NN_OPTIM_H_
+#define TURL_NN_OPTIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace turl {
+namespace nn {
+
+/// Adam configuration. Defaults follow the paper's pre-training setup
+/// (Adam, initial LR 1e-4 with linear decay).
+struct AdamConfig {
+  float lr = 1e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+/// Adam optimizer over a ParamStore. Holds first/second moment buffers per
+/// parameter; Step() consumes the accumulated gradients and ZeroGrad()s
+/// nothing (callers own the zeroing so they can accumulate across batches).
+class Adam {
+ public:
+  Adam(ParamStore* store, AdamConfig config);
+
+  /// One update using `lr_scale` * config.lr as the effective learning rate
+  /// (used by the linear-decay schedule). Parameters without gradients are
+  /// skipped.
+  void Step(float lr_scale = 1.0f);
+
+  int64_t step_count() const { return step_; }
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  ParamStore* store_;
+  AdamConfig config_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Linearly decaying learning-rate multiplier: 1 at step 0 down to
+/// `final_fraction` at `total_steps` (clamped beyond). Matches the paper's
+/// "linearly decreasing learning rate".
+class LinearDecaySchedule {
+ public:
+  LinearDecaySchedule(int64_t total_steps, float final_fraction = 0.0f);
+
+  /// Multiplier for the given 0-based step.
+  float Scale(int64_t step) const;
+
+ private:
+  int64_t total_steps_;
+  float final_fraction_;
+};
+
+}  // namespace nn
+}  // namespace turl
+
+#endif  // TURL_NN_OPTIM_H_

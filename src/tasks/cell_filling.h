@@ -1,0 +1,81 @@
+#ifndef TURL_TASKS_CELL_FILLING_H_
+#define TURL_TASKS_CELL_FILLING_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/cell_filling.h"
+#include "core/context.h"
+#include "core/model.h"
+#include "tasks/common.h"
+
+namespace turl {
+namespace tasks {
+
+/// One cell-filling query (Definition 6.5): a row's subject entity, the
+/// object column's header, the gold object entity, and the shared candidate
+/// set (with the source headers the baselines need).
+struct CellFillInstance {
+  size_t table_index = 0;
+  int object_column = 0;
+  int row = 0;
+  kb::EntityId subject = kb::kInvalidEntity;
+  kb::EntityId gold = kb::kInvalidEntity;
+  std::vector<baselines::CellCandidate> candidates;
+};
+
+/// Builds queries over subject–object column pairs of the given tables that
+/// have at least `min_valid_pairs` rows with both cells linked. Candidates
+/// come from `index`: all entities co-occurring with the subject in some
+/// training-table row (the unfiltered candidate set of §6.6; rankers then
+/// use the header information to order it — pass `filter_by_header` to get
+/// the P(h'|h) > 0 filtered variant instead).
+std::vector<CellFillInstance> BuildCellFillInstances(
+    const core::TurlContext& ctx, const baselines::CellFillingIndex& index,
+    const std::vector<size_t>& table_indices, int min_valid_pairs = 3,
+    int max_instances = 0, bool filter_by_header = false);
+
+/// Candidate-set statistics (recall of the finding module, average size) —
+/// the numbers quoted in §6.6's "candidate value finding" paragraph.
+struct CellFillCandidateStats {
+  double recall = 0.0;
+  double avg_candidates = 0.0;
+  int64_t num_instances = 0;
+};
+CellFillCandidateStats ComputeCandidateStats(
+    const std::vector<CellFillInstance>& instances);
+
+/// P@K for a scoring method over the instances whose candidate set contains
+/// the gold entity (the paper's evaluation protocol).
+struct CellFillResult {
+  double p_at_1 = 0.0;
+  double p_at_3 = 0.0;
+  double p_at_5 = 0.0;
+  double p_at_10 = 0.0;
+  int64_t evaluated = 0;
+};
+/// `scores[i]` is parallel to instances[i].candidates.
+CellFillResult EvaluateCellFilling(
+    const std::vector<CellFillInstance>& instances,
+    const std::vector<std::vector<double>>& scores);
+
+/// TURL cell filling (§6.6): no fine-tuning — the pre-trained model encodes
+/// the partial table (metadata + subject column + the object header) with a
+/// [MASK] entity in the queried cell and ranks candidates with the MER head
+/// (Eqn. 6).
+class TurlCellFiller {
+ public:
+  TurlCellFiller(core::TurlModel* model, const core::TurlContext* ctx);
+
+  /// Scores one query's candidates.
+  std::vector<double> Score(const CellFillInstance& instance) const;
+
+ private:
+  core::TurlModel* model_;
+  const core::TurlContext* ctx_;
+};
+
+}  // namespace tasks
+}  // namespace turl
+
+#endif  // TURL_TASKS_CELL_FILLING_H_

@@ -1,0 +1,232 @@
+#include "tasks/column_type.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "nn/optim.h"
+#include "util/logging.h"
+
+namespace turl {
+namespace tasks {
+
+namespace {
+
+/// "Common types of its entities" (§6.3): the expanded KB types held by a
+/// majority (> 1/2) of the column's linked entities. A strict intersection
+/// would erase fine-grained labels whenever a single entity's KB entry is
+/// incomplete — majority voting is robust to the deliberate type dropout in
+/// our synthetic KB, exactly as Freebase incompleteness demands.
+std::vector<kb::TypeId> CommonTypes(const kb::KnowledgeBase& kb,
+                                    const data::Column& column,
+                                    int min_linked) {
+  std::map<kb::TypeId, int> votes;
+  int linked = 0;
+  for (const data::EntityCell& cell : column.cells) {
+    if (!cell.linked()) continue;
+    ++linked;
+    for (kb::TypeId t : kb.ExpandedTypes(cell.entity)) ++votes[t];
+  }
+  std::vector<kb::TypeId> common;
+  if (linked < min_linked) return common;
+  for (const auto& [t, v] : votes) {
+    if (2 * v > linked) common.push_back(t);
+  }
+  return common;
+}
+
+}  // namespace
+
+int ColumnTypeDataset::LabelOf(const std::string& name) const {
+  for (size_t i = 0; i < label_names.size(); ++i) {
+    if (label_names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ColumnTypeDataset BuildColumnTypeDataset(const core::TurlContext& ctx,
+                                         int min_linked_entities,
+                                         int min_label_count) {
+  const kb::KnowledgeBase& kb = ctx.world.kb;
+
+  // First pass over training tables: count type occurrences.
+  std::unordered_map<kb::TypeId, int> counts;
+  auto gather = [&](const std::vector<size_t>& indices,
+                    std::vector<std::pair<ColumnTypeInstance,
+                                          std::vector<kb::TypeId>>>* out) {
+    for (size_t idx : indices) {
+      const data::Table& t = ctx.corpus.tables[idx];
+      for (int c = 0; c < t.num_columns(); ++c) {
+        if (!t.columns[size_t(c)].is_entity_column) continue;
+        std::vector<kb::TypeId> types =
+            CommonTypes(kb, t.columns[size_t(c)], min_linked_entities);
+        if (types.empty()) continue;
+        out->push_back({ColumnTypeInstance{idx, c, {}}, std::move(types)});
+      }
+    }
+  };
+
+  std::vector<std::pair<ColumnTypeInstance, std::vector<kb::TypeId>>>
+      raw_train, raw_valid, raw_test;
+  gather(ctx.corpus.train, &raw_train);
+  gather(ctx.corpus.valid, &raw_valid);
+  gather(ctx.corpus.test, &raw_test);
+  for (const auto& [inst, types] : raw_train) {
+    for (kb::TypeId t : types) ++counts[t];
+  }
+
+  ColumnTypeDataset dataset;
+  std::map<kb::TypeId, int> label_of;  // Ordered for determinism.
+  for (const auto& [t, c] : std::map<kb::TypeId, int>(counts.begin(),
+                                                      counts.end())) {
+    if (c >= min_label_count) {
+      label_of[t] = static_cast<int>(dataset.label_names.size());
+      dataset.label_names.push_back(kb.type(t).name);
+      dataset.label_types.push_back(t);
+    }
+  }
+
+  auto materialize = [&](const auto& raw,
+                         std::vector<ColumnTypeInstance>* out) {
+    for (const auto& [inst, types] : raw) {
+      ColumnTypeInstance copy = inst;
+      for (kb::TypeId t : types) {
+        auto it = label_of.find(t);
+        if (it != label_of.end()) copy.labels.push_back(it->second);
+      }
+      if (!copy.labels.empty()) out->push_back(std::move(copy));
+    }
+  };
+  materialize(raw_train, &dataset.train);
+  materialize(raw_valid, &dataset.valid);
+  materialize(raw_test, &dataset.test);
+  return dataset;
+}
+
+TurlColumnTyper::TurlColumnTyper(core::TurlModel* model,
+                                 const core::TurlContext* ctx,
+                                 const ColumnTypeDataset* dataset,
+                                 InputVariant variant, uint64_t seed)
+    : model_(model), ctx_(ctx), dataset_(dataset), variant_(variant) {
+  TURL_CHECK(model != nullptr);
+  TURL_CHECK(ctx != nullptr);
+  TURL_CHECK(dataset != nullptr);
+  Rng rng(seed);
+  head_ = std::make_unique<nn::Linear>(&head_params_, "column_type_head",
+                                       2 * model->config().d_model,
+                                       dataset->num_labels(), &rng);
+}
+
+core::EncodedTable TurlColumnTyper::EncodeFor(size_t table_index) const {
+  const text::WordPieceTokenizer tokenizer = ctx_->MakeTokenizer();
+  core::EncodedTable encoded =
+      core::EncodeTable(ctx_->corpus.tables[table_index], tokenizer,
+                        ctx_->entity_vocab, EncodeOptionsFor(variant_));
+  ApplyVariant(variant_, &encoded);
+  return encoded;
+}
+
+nn::Tensor TurlColumnTyper::InstanceLogits(const nn::Tensor& hidden,
+                                           const core::EncodedTable& encoded,
+                                           int column) const {
+  return head_->Forward(
+      ColumnHidden(hidden, encoded, column, model_->config().d_model));
+}
+
+void TurlColumnTyper::Finetune(const FinetuneOptions& options) {
+  // Group instances by table so each table is encoded once per visit.
+  std::map<size_t, std::vector<const ColumnTypeInstance*>> by_table;
+  for (const ColumnTypeInstance& inst : dataset_->train) {
+    by_table[inst.table_index].push_back(&inst);
+  }
+  std::vector<size_t> tables;
+  tables.reserve(by_table.size());
+  for (const auto& [idx, insts] : by_table) tables.push_back(idx);
+
+  Rng rng(options.seed);
+  nn::Adam model_adam(model_->params(), nn::AdamConfig{.lr = options.lr});
+  nn::Adam head_adam(&head_params_, nn::AdamConfig{.lr = options.lr});
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&tables);
+    size_t limit = tables.size();
+    if (options.max_tables > 0) {
+      limit = std::min(limit, static_cast<size_t>(options.max_tables));
+    }
+    for (size_t ti = 0; ti < limit; ++ti) {
+      const auto& instances = by_table[tables[ti]];
+      core::EncodedTable encoded = EncodeFor(tables[ti]);
+      if (encoded.total() == 0) continue;
+      nn::Tensor hidden = model_->Encode(encoded, /*training=*/true, &rng);
+      std::vector<nn::Tensor> logit_rows;
+      std::vector<float> targets;
+      for (const ColumnTypeInstance* inst : instances) {
+        logit_rows.push_back(InstanceLogits(hidden, encoded, inst->column));
+        std::vector<float> row(static_cast<size_t>(dataset_->num_labels()),
+                               0.f);
+        for (int l : inst->labels) row[size_t(l)] = 1.f;
+        targets.insert(targets.end(), row.begin(), row.end());
+      }
+      nn::Tensor logits = logit_rows.size() == 1 ? logit_rows[0]
+                                                 : nn::ConcatRows(logit_rows);
+      nn::Tensor loss = nn::BceWithLogits(logits, targets);
+      model_->params()->ZeroGrad();
+      head_params_.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->params(), options.grad_clip);
+      nn::ClipGradNorm(&head_params_, options.grad_clip);
+      model_adam.Step();
+      head_adam.Step();
+    }
+  }
+}
+
+std::vector<int> TurlColumnTyper::Predict(
+    const ColumnTypeInstance& instance) const {
+  core::EncodedTable encoded = EncodeFor(instance.table_index);
+  Rng rng(0);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false, &rng);
+  nn::Tensor probs =
+      nn::SigmoidOp(InstanceLogits(hidden, encoded, instance.column));
+  std::vector<int> out;
+  for (int l = 0; l < dataset_->num_labels(); ++l) {
+    if (probs.at(l) > 0.5f) out.push_back(l);
+  }
+  return out;
+}
+
+eval::Prf TurlColumnTyper::Evaluate(
+    const std::vector<ColumnTypeInstance>& split) const {
+  eval::MicroPrf micro;
+  for (const ColumnTypeInstance& inst : split) {
+    micro.Add(Predict(inst), inst.labels);
+  }
+  return micro.Compute();
+}
+
+std::vector<eval::Prf> TurlColumnTyper::EvaluatePerLabel(
+    const std::vector<ColumnTypeInstance>& split) const {
+  const int L = dataset_->num_labels();
+  std::vector<int64_t> tp(static_cast<size_t>(L), 0),
+      fp(static_cast<size_t>(L), 0), fn(static_cast<size_t>(L), 0);
+  for (const ColumnTypeInstance& inst : split) {
+    std::vector<int> pred = Predict(inst);
+    std::vector<bool> is_pred(static_cast<size_t>(L), false),
+        is_gold(static_cast<size_t>(L), false);
+    for (int l : pred) is_pred[size_t(l)] = true;
+    for (int l : inst.labels) is_gold[size_t(l)] = true;
+    for (int l = 0; l < L; ++l) {
+      if (is_pred[size_t(l)] && is_gold[size_t(l)]) ++tp[size_t(l)];
+      if (is_pred[size_t(l)] && !is_gold[size_t(l)]) ++fp[size_t(l)];
+      if (!is_pred[size_t(l)] && is_gold[size_t(l)]) ++fn[size_t(l)];
+    }
+  }
+  std::vector<eval::Prf> out;
+  for (int l = 0; l < L; ++l) {
+    out.push_back(eval::ComputePrf(tp[size_t(l)], fp[size_t(l)], fn[size_t(l)]));
+  }
+  return out;
+}
+
+}  // namespace tasks
+}  // namespace turl

@@ -1,0 +1,85 @@
+#ifndef TURL_TASKS_COLUMN_TYPE_H_
+#define TURL_TASKS_COLUMN_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/model.h"
+#include "eval/metrics.h"
+#include "tasks/common.h"
+
+namespace turl {
+namespace tasks {
+
+/// One column-type-annotation example: a column of a corpus table with its
+/// gold KB type labels (multi-label, hierarchy-expanded; Definition 6.2).
+struct ColumnTypeInstance {
+  size_t table_index = 0;
+  int column = 0;
+  std::vector<int> labels;  ///< Label ids into ColumnTypeDataset::label_names.
+};
+
+/// The column-type-annotation dataset (§6.3): entity columns with at least
+/// `min_linked_entities` linked cells, annotated with the intersection of
+/// their entities' expanded KB types; labels occurring fewer than
+/// `min_label_count` times in training are dropped (and instances left with
+/// no labels removed).
+struct ColumnTypeDataset {
+  std::vector<std::string> label_names;
+  std::vector<kb::TypeId> label_types;  ///< Parallel KB type ids.
+  std::vector<ColumnTypeInstance> train;
+  std::vector<ColumnTypeInstance> valid;
+  std::vector<ColumnTypeInstance> test;
+
+  int num_labels() const { return static_cast<int>(label_names.size()); }
+  int LabelOf(const std::string& name) const;
+};
+
+ColumnTypeDataset BuildColumnTypeDataset(const core::TurlContext& ctx,
+                                         int min_linked_entities = 3,
+                                         int min_label_count = 10);
+
+/// TURL fine-tuned for column typing: h_c (Eqn. 9) -> per-type sigmoid
+/// (Eqn. 10) with binary cross-entropy (Eqn. 11). The input variant selects
+/// the ablation row of Tables 5/6.
+class TurlColumnTyper {
+ public:
+  /// Wraps a (pre-trained) model; adds the classification head. The model
+  /// and context must outlive the typer.
+  TurlColumnTyper(core::TurlModel* model, const core::TurlContext* ctx,
+                  const ColumnTypeDataset* dataset, InputVariant variant,
+                  uint64_t seed);
+
+  /// Fine-tunes all parameters (encoder + head).
+  void Finetune(const FinetuneOptions& options);
+
+  /// Predicted label ids (sigmoid > 0.5) for one instance.
+  std::vector<int> Predict(const ColumnTypeInstance& instance) const;
+
+  /// Micro-averaged PRF over a split.
+  eval::Prf Evaluate(const std::vector<ColumnTypeInstance>& split) const;
+
+  /// Per-label PRF over a split (Table 6).
+  std::vector<eval::Prf> EvaluatePerLabel(
+      const std::vector<ColumnTypeInstance>& split) const;
+
+ private:
+  core::EncodedTable EncodeFor(size_t table_index) const;
+  nn::Tensor InstanceLogits(const nn::Tensor& hidden,
+                            const core::EncodedTable& encoded,
+                            int column) const;
+
+  core::TurlModel* model_;
+  const core::TurlContext* ctx_;
+  const ColumnTypeDataset* dataset_;
+  InputVariant variant_;
+  nn::ParamStore head_params_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace tasks
+}  // namespace turl
+
+#endif  // TURL_TASKS_COLUMN_TYPE_H_

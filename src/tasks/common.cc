@@ -1,0 +1,58 @@
+#include "tasks/common.h"
+
+#include "data/entity_vocab.h"
+#include "util/logging.h"
+
+namespace turl {
+namespace tasks {
+
+void StripEntityIds(core::EncodedTable* table) {
+  for (int& id : table->entity_ids) id = data::EntityVocab::kUnkEntity;
+}
+
+void StripMentions(core::EncodedTable* table) {
+  for (auto& mention : table->entity_mentions) mention.clear();
+}
+
+void ApplyVariant(const InputVariant& variant, core::EncodedTable* table) {
+  if (!variant.use_metadata) TURL_CHECK_EQ(table->num_tokens(), 0);
+  if (!variant.use_entities) TURL_CHECK_EQ(table->num_entities(), 0);
+  if (!variant.use_entity_ids) StripEntityIds(table);
+  if (!variant.use_mentions) StripMentions(table);
+}
+
+core::EncodeOptions EncodeOptionsFor(const InputVariant& variant) {
+  core::EncodeOptions opts;
+  opts.include_metadata = variant.use_metadata;
+  opts.include_entities = variant.use_entities;
+  opts.include_topic_entity = variant.use_entities;
+  return opts;
+}
+
+nn::Tensor ColumnHidden(const nn::Tensor& hidden,
+                        const core::EncodedTable& encoded, int column,
+                        int64_t d_model) {
+  std::vector<int> header_rows;
+  for (int i = 0; i < encoded.num_tokens(); ++i) {
+    if (encoded.token_segment[size_t(i)] == core::kSegmentHeader &&
+        encoded.token_column[size_t(i)] == column) {
+      header_rows.push_back(i);
+    }
+  }
+  std::vector<int> entity_rows;
+  for (int i = 0; i < encoded.num_entities(); ++i) {
+    if (encoded.entity_column[size_t(i)] == column) {
+      entity_rows.push_back(core::TurlModel::EntityHiddenRow(encoded, i));
+    }
+  }
+  nn::Tensor header_part = header_rows.empty()
+                               ? nn::Tensor::Zeros({1, d_model})
+                               : nn::RowsMean(hidden, header_rows);
+  nn::Tensor entity_part = entity_rows.empty()
+                               ? nn::Tensor::Zeros({1, d_model})
+                               : nn::RowsMean(hidden, entity_rows);
+  return nn::ConcatCols(header_part, entity_part);
+}
+
+}  // namespace tasks
+}  // namespace turl

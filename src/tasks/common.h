@@ -1,0 +1,73 @@
+#ifndef TURL_TASKS_COMMON_H_
+#define TURL_TASKS_COMMON_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "core/table_encoding.h"
+
+namespace turl {
+namespace tasks {
+
+/// Input-ablation switches shared by the fine-tuning variants in Tables 4-7:
+/// which parts of the encoded table the model may see.
+struct InputVariant {
+  bool use_metadata = true;    ///< Caption + header tokens.
+  bool use_entity_ids = true;  ///< Pre-trained entity embeddings e^e.
+  bool use_mentions = true;    ///< Entity mention text e^m.
+  bool use_entities = true;    ///< Entity elements at all.
+
+  /// Table 5 rows.
+  static InputVariant Full() { return {}; }
+  static InputVariant OnlyEntityMention() {
+    return {.use_metadata = false, .use_entity_ids = false};
+  }
+  static InputVariant WithoutMetadata() { return {.use_metadata = false}; }
+  static InputVariant WithoutLearnedEmbedding() {
+    return {.use_entity_ids = false};
+  }
+  static InputVariant OnlyMetadata() { return {.use_entities = false}; }
+  static InputVariant OnlyLearnedEmbedding() {
+    return {.use_metadata = false, .use_mentions = false};
+  }
+};
+
+/// Shared fine-tuning knobs. The paper fine-tunes for 10 epochs (50 for
+/// schema augmentation); repro defaults are smaller and benches print what
+/// they used.
+struct FinetuneOptions {
+  int epochs = 3;
+  float lr = 5e-4f;
+  /// Cap on distinct training tables used per epoch (0 = all).
+  int max_tables = 0;
+  uint64_t seed = 17;
+  float grad_clip = 1.0f;
+};
+
+/// Replaces every entity id with [UNK_ENT] (drops the learned embeddings).
+void StripEntityIds(core::EncodedTable* table);
+
+/// Drops every entity mention (e^m becomes the zero vector).
+void StripMentions(core::EncodedTable* table);
+
+/// Applies a variant to an already-encoded table. `use_metadata=false` and
+/// `use_entities=false` must instead be applied at EncodeTable time via
+/// EncodeOptions; this helper handles the id/mention stripping and checks
+/// the other two flags were already honored.
+void ApplyVariant(const InputVariant& variant, core::EncodedTable* table);
+
+/// EncodeOptions matching a variant's structural flags.
+core::EncodeOptions EncodeOptionsFor(const InputVariant& variant);
+
+/// The column aggregate h_c of Eqn. 9 for `column`: the concatenation of
+/// the mean header-token state and the mean entity-cell state of that
+/// column -> [1, 2*d_model]. Either half falls back to zeros when the
+/// variant removed its elements (e.g. the "only metadata" row).
+nn::Tensor ColumnHidden(const nn::Tensor& hidden,
+                        const core::EncodedTable& encoded, int column,
+                        int64_t d_model);
+
+}  // namespace tasks
+}  // namespace turl
+
+#endif  // TURL_TASKS_COMMON_H_

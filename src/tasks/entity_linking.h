@@ -1,0 +1,103 @@
+#ifndef TURL_TASKS_ENTITY_LINKING_H_
+#define TURL_TASKS_ENTITY_LINKING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/model.h"
+#include "eval/metrics.h"
+#include "kb/lookup.h"
+#include "tasks/common.h"
+
+namespace turl {
+namespace tasks {
+
+/// One entity-linking example: a cell with its gold entity and the lookup
+/// service's candidate set (Definition 6.1; candidate generation is shared
+/// by every method, as in the paper).
+struct ElInstance {
+  size_t table_index = 0;
+  int column = 0;
+  int row = 0;
+  kb::EntityId gold = kb::kInvalidEntity;
+  std::vector<kb::EntityId> candidates;
+};
+
+/// Entity-linking dataset for one split of tables.
+struct ElDataset {
+  std::vector<ElInstance> instances;
+  /// Mentions whose candidate set misses the gold entity (kept: they count
+  /// against recall, exactly like Wikidata Lookup failures in the paper).
+  int64_t gold_missing = 0;
+};
+
+/// Builds the dataset over the given tables. When `drop_unreachable` is set,
+/// instances whose candidates miss the gold entity are removed — the paper
+/// does this for the fine-tuning set only.
+ElDataset BuildElDataset(const core::TurlContext& ctx,
+                         const kb::LookupService& lookup,
+                         const std::vector<size_t>& table_indices,
+                         int candidate_k = 50, bool drop_unreachable = false,
+                         int max_instances = 0);
+
+/// Knobs for the candidate-entity representation e^kb of Eqn. 8.
+struct ElRepresentation {
+  bool use_description = true;
+  bool use_type = true;
+};
+
+/// TURL fine-tuned for entity disambiguation (§6.2): each cell is encoded
+/// with its text only (no pre-trained entity embedding), and its
+/// contextualized state h^e is matched against candidate representations
+/// e^kb = [mean name embedding; mean description embedding; mean type
+/// embedding] (Eqn. 8) via a learned bilinear map, trained with
+/// cross-entropy over the candidate set.
+class TurlEntityLinker {
+ public:
+  TurlEntityLinker(core::TurlModel* model, const core::TurlContext* ctx,
+                   ElRepresentation representation, uint64_t seed);
+
+  void Finetune(const ElDataset& train, const FinetuneOptions& options);
+
+  /// Predicted entity for one instance (kInvalidEntity when the candidate
+  /// set is empty).
+  kb::EntityId Predict(const ElInstance& instance) const;
+
+  /// P/R/F1 over a dataset: a prediction is a false positive when wrong,
+  /// and missing predictions (empty candidates) only hurt recall.
+  eval::Prf Evaluate(const ElDataset& dataset) const;
+
+ private:
+  core::EncodedTable EncodeFor(size_t table_index) const;
+  /// e^kb rows for the candidates -> [n, 3*d_model].
+  nn::Tensor CandidateReps(const std::vector<kb::EntityId>& candidates) const;
+  nn::Tensor InstanceLogits(const nn::Tensor& hidden,
+                            const core::EncodedTable& encoded,
+                            const ElInstance& instance) const;
+  /// Entity index within the encoded table for (column, row).
+  static int EntityIndexOf(const core::EncodedTable& encoded, int column,
+                           int row);
+
+  core::TurlModel* model_;
+  const core::TurlContext* ctx_;
+  ElRepresentation representation_;
+  nn::ParamStore head_params_;
+  std::unique_ptr<nn::Linear> match_;      ///< h^e -> 3*d space.
+  std::unique_ptr<nn::Embedding> type_emb_;  ///< Learned KB type embeddings.
+};
+
+/// Computes P/R/F1 for a baseline prediction function over a dataset.
+eval::Prf EvaluateElPredictions(
+    const ElDataset& dataset,
+    const std::vector<kb::EntityId>& predictions);
+
+/// Oracle row of Table 4: an instance counts correct iff the gold entity is
+/// anywhere in its candidate set.
+eval::Prf EvaluateElOracle(const ElDataset& dataset);
+
+}  // namespace tasks
+}  // namespace turl
+
+#endif  // TURL_TASKS_ENTITY_LINKING_H_

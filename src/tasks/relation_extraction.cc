@@ -1,0 +1,199 @@
+#include "tasks/relation_extraction.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "nn/optim.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace turl {
+namespace tasks {
+
+RelationDataset BuildRelationDataset(const core::TurlContext& ctx,
+                                     int min_label_count) {
+  // Gather raw (table, column, relation) triples per split.
+  struct Raw {
+    size_t table_index;
+    int column;
+    kb::RelationId relation;
+  };
+  auto gather = [&](const std::vector<size_t>& indices) {
+    std::vector<Raw> out;
+    for (size_t idx : indices) {
+      const data::Table& t = ctx.corpus.tables[idx];
+      for (int c = 1; c < t.num_columns(); ++c) {
+        const data::Column& col = t.columns[size_t(c)];
+        if (!col.is_entity_column || col.relation == kb::kInvalidRelation) {
+          continue;
+        }
+        out.push_back({idx, c, col.relation});
+      }
+    }
+    return out;
+  };
+  std::vector<Raw> raw_train = gather(ctx.corpus.train);
+  std::vector<Raw> raw_valid = gather(ctx.corpus.valid);
+  std::vector<Raw> raw_test = gather(ctx.corpus.test);
+
+  std::map<kb::RelationId, int> counts;
+  for (const Raw& r : raw_train) ++counts[r.relation];
+
+  RelationDataset dataset;
+  std::map<kb::RelationId, int> label_of;
+  for (const auto& [rel, count] : counts) {
+    if (count >= min_label_count) {
+      label_of[rel] = static_cast<int>(dataset.label_names.size());
+      dataset.label_names.push_back(ctx.world.kb.relation(rel).name);
+    }
+  }
+  auto materialize = [&](const std::vector<Raw>& raw,
+                         std::vector<RelationInstance>* out) {
+    for (const Raw& r : raw) {
+      auto it = label_of.find(r.relation);
+      if (it == label_of.end()) continue;
+      out->push_back({r.table_index, r.column, it->second});
+    }
+  };
+  materialize(raw_train, &dataset.train);
+  materialize(raw_valid, &dataset.valid);
+  materialize(raw_test, &dataset.test);
+  return dataset;
+}
+
+TurlRelationExtractor::TurlRelationExtractor(core::TurlModel* model,
+                                             const core::TurlContext* ctx,
+                                             const RelationDataset* dataset,
+                                             InputVariant variant,
+                                             uint64_t seed)
+    : model_(model), ctx_(ctx), dataset_(dataset), variant_(variant) {
+  TURL_CHECK(model != nullptr);
+  Rng rng(seed);
+  head_ = std::make_unique<nn::Linear>(&head_params_, "relation_head",
+                                       4 * model->config().d_model,
+                                       dataset->num_labels(), &rng);
+}
+
+core::EncodedTable TurlRelationExtractor::EncodeFor(size_t table_index) const {
+  const text::WordPieceTokenizer tokenizer = ctx_->MakeTokenizer();
+  core::EncodedTable encoded =
+      core::EncodeTable(ctx_->corpus.tables[table_index], tokenizer,
+                        ctx_->entity_vocab, EncodeOptionsFor(variant_));
+  ApplyVariant(variant_, &encoded);
+  return encoded;
+}
+
+nn::Tensor TurlRelationExtractor::PairLogits(const nn::Tensor& hidden,
+                                             const core::EncodedTable& encoded,
+                                             int object_column) const {
+  const int64_t d = model_->config().d_model;
+  nn::Tensor subject = ColumnHidden(hidden, encoded, 0, d);
+  nn::Tensor object = ColumnHidden(hidden, encoded, object_column, d);
+  return head_->Forward(nn::ConcatCols(subject, object));
+}
+
+void TurlRelationExtractor::Finetune(
+    const FinetuneOptions& options, int64_t eval_every,
+    const std::function<void(int64_t, double)>& step_callback) {
+  std::map<size_t, std::vector<const RelationInstance*>> by_table;
+  for (const RelationInstance& inst : dataset_->train) {
+    by_table[inst.table_index].push_back(&inst);
+  }
+  std::vector<size_t> tables;
+  for (const auto& [idx, insts] : by_table) tables.push_back(idx);
+
+  Rng rng(options.seed);
+  nn::Adam model_adam(model_->params(), nn::AdamConfig{.lr = options.lr});
+  nn::Adam head_adam(&head_params_, nn::AdamConfig{.lr = options.lr});
+
+  int64_t step = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&tables);
+    size_t limit = tables.size();
+    if (options.max_tables > 0) {
+      limit = std::min(limit, static_cast<size_t>(options.max_tables));
+    }
+    for (size_t ti = 0; ti < limit; ++ti) {
+      const auto& instances = by_table[tables[ti]];
+      core::EncodedTable encoded = EncodeFor(tables[ti]);
+      if (encoded.total() == 0) continue;
+      nn::Tensor hidden = model_->Encode(encoded, /*training=*/true, &rng);
+      std::vector<nn::Tensor> logit_rows;
+      std::vector<float> targets;
+      for (const RelationInstance* inst : instances) {
+        logit_rows.push_back(PairLogits(hidden, encoded, inst->object_column));
+        std::vector<float> row(static_cast<size_t>(dataset_->num_labels()),
+                               0.f);
+        row[size_t(inst->label)] = 1.f;
+        targets.insert(targets.end(), row.begin(), row.end());
+      }
+      nn::Tensor logits = logit_rows.size() == 1 ? logit_rows[0]
+                                                 : nn::ConcatRows(logit_rows);
+      nn::Tensor loss = nn::BceWithLogits(logits, targets);
+      model_->params()->ZeroGrad();
+      head_params_.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->params(), options.grad_clip);
+      nn::ClipGradNorm(&head_params_, options.grad_clip);
+      model_adam.Step();
+      head_adam.Step();
+      ++step;
+      if (eval_every > 0 && step_callback && step % eval_every == 0) {
+        step_callback(step, EvaluateMap(dataset_->valid, /*max_instances=*/150));
+      }
+    }
+  }
+}
+
+std::vector<float> TurlRelationExtractor::Scores(
+    const RelationInstance& instance) const {
+  core::EncodedTable encoded = EncodeFor(instance.table_index);
+  Rng rng(0);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false, &rng);
+  nn::Tensor probs =
+      nn::SigmoidOp(PairLogits(hidden, encoded, instance.object_column));
+  return probs.ToVector();
+}
+
+std::vector<int> TurlRelationExtractor::Predict(
+    const RelationInstance& instance) const {
+  std::vector<float> probs = Scores(instance);
+  std::vector<int> out;
+  for (int l = 0; l < dataset_->num_labels(); ++l) {
+    if (probs[size_t(l)] > 0.5f) out.push_back(l);
+  }
+  return out;
+}
+
+eval::Prf TurlRelationExtractor::Evaluate(
+    const std::vector<RelationInstance>& split) const {
+  eval::MicroPrf micro;
+  for (const RelationInstance& inst : split) {
+    micro.Add(Predict(inst), {inst.label});
+  }
+  return micro.Compute();
+}
+
+double TurlRelationExtractor::EvaluateMap(
+    const std::vector<RelationInstance>& split, int max_instances) const {
+  std::vector<double> aps;
+  size_t limit = split.size();
+  if (max_instances > 0) {
+    limit = std::min(limit, static_cast<size_t>(max_instances));
+  }
+  for (size_t i = 0; i < limit; ++i) {
+    const RelationInstance& inst = split[i];
+    std::vector<float> scores = Scores(inst);
+    std::vector<size_t> order = TopK(scores, scores.size());
+    std::vector<bool> relevant(order.size(), false);
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      relevant[rank] = (static_cast<int>(order[rank]) == inst.label);
+    }
+    aps.push_back(eval::AveragePrecision(relevant, 1));
+  }
+  return eval::MeanOf(aps);
+}
+
+}  // namespace tasks
+}  // namespace turl

@@ -1,0 +1,85 @@
+#ifndef TURL_TASKS_RELATION_EXTRACTION_H_
+#define TURL_TASKS_RELATION_EXTRACTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/model.h"
+#include "eval/metrics.h"
+#include "tasks/common.h"
+
+namespace turl {
+namespace tasks {
+
+/// One relation-extraction example: the subject column paired with one
+/// object column, annotated with the KB relation holding between them
+/// (Definition 6.3; our generator guarantees a single gold relation).
+struct RelationInstance {
+  size_t table_index = 0;
+  int object_column = 0;
+  int label = 0;  ///< Into RelationDataset::label_names.
+};
+
+/// The relation-extraction dataset (§6.4): (subject, object) column pairs
+/// from each split; relations with fewer than `min_label_count` training
+/// instances are dropped.
+struct RelationDataset {
+  std::vector<std::string> label_names;
+  std::vector<RelationInstance> train;
+  std::vector<RelationInstance> valid;
+  std::vector<RelationInstance> test;
+
+  int num_labels() const { return static_cast<int>(label_names.size()); }
+};
+
+RelationDataset BuildRelationDataset(const core::TurlContext& ctx,
+                                     int min_label_count = 10);
+
+/// TURL (or the BERT-style no-pre-training baseline, depending on the model
+/// handed in) fine-tuned for relation extraction: P(r) =
+/// sigmoid([h_c; h_c'] W_r + b_r) per Eqn. 12, trained with BCE.
+class TurlRelationExtractor {
+ public:
+  TurlRelationExtractor(core::TurlModel* model, const core::TurlContext* ctx,
+                        const RelationDataset* dataset, InputVariant variant,
+                        uint64_t seed);
+
+  /// Fine-tunes; when `step_callback` is set it is invoked every
+  /// `eval_every` steps with (step, validation MAP) — the Figure 6 series.
+  void Finetune(const FinetuneOptions& options, int64_t eval_every = 0,
+                const std::function<void(int64_t, double)>& step_callback = {});
+
+  /// Labels with sigmoid probability > 0.5.
+  std::vector<int> Predict(const RelationInstance& instance) const;
+
+  /// Per-relation scores (for MAP).
+  std::vector<float> Scores(const RelationInstance& instance) const;
+
+  /// Micro PRF over a split.
+  eval::Prf Evaluate(const std::vector<RelationInstance>& split) const;
+
+  /// Mean average precision over a split (gold = single relation).
+  double EvaluateMap(const std::vector<RelationInstance>& split,
+                     int max_instances = 0) const;
+
+ private:
+  core::EncodedTable EncodeFor(size_t table_index) const;
+  nn::Tensor PairLogits(const nn::Tensor& hidden,
+                        const core::EncodedTable& encoded,
+                        int object_column) const;
+
+  core::TurlModel* model_;
+  const core::TurlContext* ctx_;
+  const RelationDataset* dataset_;
+  InputVariant variant_;
+  nn::ParamStore head_params_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace tasks
+}  // namespace turl
+
+#endif  // TURL_TASKS_RELATION_EXTRACTION_H_

@@ -1,0 +1,181 @@
+#include "tasks/row_population.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/metrics.h"
+#include "nn/optim.h"
+#include "text/vocab.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace turl {
+namespace tasks {
+
+std::vector<RowPopInstance> BuildRowPopInstances(
+    const core::TurlContext& ctx,
+    const baselines::RowPopCandidateGenerator& generator,
+    const std::vector<size_t>& table_indices, int num_seeds, int min_subjects,
+    int max_instances) {
+  std::vector<RowPopInstance> out;
+  for (size_t idx : table_indices) {
+    const data::Table& t = ctx.corpus.tables[idx];
+    if (t.columns.empty() || !t.columns[0].is_entity_column) continue;
+    std::vector<kb::EntityId> subjects;
+    for (const data::EntityCell& cell : t.columns[0].cells) {
+      if (cell.linked()) subjects.push_back(cell.entity);
+    }
+    if (static_cast<int>(subjects.size()) < min_subjects ||
+        static_cast<int>(subjects.size()) <= num_seeds) {
+      continue;
+    }
+    RowPopInstance inst;
+    inst.table_index = idx;
+    inst.seeds.assign(subjects.begin(), subjects.begin() + num_seeds);
+    inst.gold.assign(subjects.begin() + num_seeds, subjects.end());
+    inst.candidates =
+        generator.Generate(t.caption, inst.seeds, ctx.world.kb);
+    if (inst.candidates.empty()) continue;
+    out.push_back(std::move(inst));
+    if (max_instances > 0 &&
+        static_cast<int>(out.size()) >= max_instances) {
+      break;
+    }
+  }
+  return out;
+}
+
+RowPopMetrics EvaluateRowPopScores(
+    const std::vector<RowPopInstance>& instances,
+    const std::vector<std::vector<double>>& scores) {
+  TURL_CHECK_EQ(instances.size(), scores.size());
+  std::vector<double> aps, recalls;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const RowPopInstance& inst = instances[i];
+    TURL_CHECK_EQ(scores[i].size(), inst.candidates.size());
+    std::unordered_set<kb::EntityId> gold(inst.gold.begin(), inst.gold.end());
+    // Rank candidates by score (stable on ties by candidate order, which
+    // preserves the generator's retrieval ranking).
+    std::vector<size_t> order(inst.candidates.size());
+    for (size_t j = 0; j < order.size(); ++j) order[j] = j;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return scores[i][a] > scores[i][b];
+    });
+    std::vector<bool> relevant(order.size());
+    int64_t hits = 0;
+    for (size_t rank = 0; rank < order.size(); ++rank) {
+      relevant[rank] = gold.count(inst.candidates[order[rank]]) > 0;
+      hits += relevant[rank];
+    }
+    aps.push_back(
+        eval::AveragePrecision(relevant, static_cast<int64_t>(gold.size())));
+    recalls.push_back(double(hits) / double(gold.size()));
+  }
+  return RowPopMetrics{eval::MeanOf(aps), eval::MeanOf(recalls)};
+}
+
+TurlRowPopulator::TurlRowPopulator(core::TurlModel* model,
+                                   const core::TurlContext* ctx)
+    : model_(model), ctx_(ctx) {
+  TURL_CHECK(model != nullptr);
+}
+
+core::EncodedTable TurlRowPopulator::EncodeQuery(
+    const RowPopInstance& instance, int* mask_index) const {
+  const data::Table& full = ctx_->corpus.tables[instance.table_index];
+  // Partial table: caption + subject header + seed subject rows only.
+  data::Table partial;
+  partial.caption = full.caption;
+  partial.topic_entity = full.topic_entity;
+  partial.topic_mention = full.topic_mention;
+  data::Column subject;
+  subject.header = full.columns.empty() ? "entity" : full.columns[0].header;
+  subject.is_entity_column = true;
+  for (kb::EntityId seed : instance.seeds) {
+    data::EntityCell cell;
+    cell.entity = seed;
+    cell.mention = ctx_->world.kb.entity(seed).name;
+    subject.cells.push_back(std::move(cell));
+  }
+  partial.columns.push_back(std::move(subject));
+
+  const text::WordPieceTokenizer tokenizer = ctx_->MakeTokenizer();
+  core::EncodedTable encoded =
+      core::EncodeTable(partial, tokenizer, ctx_->entity_vocab);
+  *mask_index = encoded.AppendEntity(
+      data::EntityVocab::kMaskEntity, core::kRoleSubject,
+      static_cast<int>(instance.seeds.size()), 0, {text::kMaskId});
+  return encoded;
+}
+
+nn::Tensor TurlRowPopulator::CandidateLogits(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    int mask_index, const std::vector<int>& candidate_ids) const {
+  return model_->MerLogits(
+      hidden, {core::TurlModel::EntityHiddenRow(encoded, mask_index)},
+      candidate_ids);
+}
+
+void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
+                                const FinetuneOptions& options) {
+  Rng rng(options.seed);
+  nn::Adam adam(model_->params(), nn::AdamConfig{.lr = options.lr});
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    size_t limit = order.size();
+    if (options.max_tables > 0) {
+      limit = std::min(limit, static_cast<size_t>(options.max_tables));
+    }
+    for (size_t oi = 0; oi < limit; ++oi) {
+      const RowPopInstance& inst = train[order[oi]];
+      int mask_index = -1;
+      core::EncodedTable encoded = EncodeQuery(inst, &mask_index);
+      std::vector<int> candidate_ids;
+      std::vector<float> targets;
+      std::unordered_set<kb::EntityId> gold(inst.gold.begin(),
+                                            inst.gold.end());
+      for (kb::EntityId e : inst.candidates) {
+        candidate_ids.push_back(ctx_->entity_vocab.Id(e));
+        targets.push_back(gold.count(e) ? 1.f : 0.f);
+      }
+      if (candidate_ids.empty()) continue;
+      nn::Tensor hidden = model_->Encode(encoded, /*training=*/true, &rng);
+      nn::Tensor logits =
+          CandidateLogits(hidden, encoded, mask_index, candidate_ids);
+      nn::Tensor loss = nn::BceWithLogits(logits, targets);  // Eqn. 13.
+      model_->params()->ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->params(), options.grad_clip);
+      adam.Step();
+    }
+  }
+}
+
+std::vector<double> TurlRowPopulator::Score(
+    const RowPopInstance& instance) const {
+  int mask_index = -1;
+  core::EncodedTable encoded = EncodeQuery(instance, &mask_index);
+  std::vector<int> candidate_ids;
+  for (kb::EntityId e : instance.candidates) {
+    candidate_ids.push_back(ctx_->entity_vocab.Id(e));
+  }
+  Rng rng(0);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false, &rng);
+  nn::Tensor logits =
+      CandidateLogits(hidden, encoded, mask_index, candidate_ids);
+  std::vector<double> out;
+  out.reserve(instance.candidates.size());
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    // Out-of-vocabulary candidates share the [UNK_ENT] embedding; push them
+    // below every in-vocabulary candidate to keep the ranking sane.
+    const bool oov = candidate_ids[size_t(i)] == data::EntityVocab::kUnkEntity;
+    out.push_back(double(logits.at(i)) - (oov ? 1e3 : 0.0));
+  }
+  return out;
+}
+
+}  // namespace tasks
+}  // namespace turl

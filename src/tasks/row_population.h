@@ -1,0 +1,78 @@
+#ifndef TURL_TASKS_ROW_POPULATION_H_
+#define TURL_TASKS_ROW_POPULATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/row_population.h"
+#include "core/context.h"
+#include "core/model.h"
+#include "tasks/common.h"
+
+namespace turl {
+namespace tasks {
+
+/// One row-population query (Definition 6.4): a table's metadata, the first
+/// `seeds.size()` subject entities as seeds (0 or 1 in the paper's
+/// experiments), the remaining subject entities as gold, and the shared
+/// candidate set.
+struct RowPopInstance {
+  size_t table_index = 0;
+  std::vector<kb::EntityId> seeds;
+  std::vector<kb::EntityId> gold;
+  std::vector<kb::EntityId> candidates;
+};
+
+/// Builds queries with exactly `num_seeds` seeds over the given tables;
+/// tables with fewer than `min_subjects` linked subject entities are
+/// skipped. Candidates come from `generator` (the module shared by every
+/// method).
+std::vector<RowPopInstance> BuildRowPopInstances(
+    const core::TurlContext& ctx,
+    const baselines::RowPopCandidateGenerator& generator,
+    const std::vector<size_t>& table_indices, int num_seeds,
+    int min_subjects, int max_instances = 0);
+
+/// MAP and candidate-set recall for a scoring function evaluated over
+/// instances. Recall is a property of the shared candidate generator, so it
+/// is identical across methods (as in Table 8).
+struct RowPopMetrics {
+  double map = 0.0;
+  double recall = 0.0;
+};
+RowPopMetrics EvaluateRowPopScores(
+    const std::vector<RowPopInstance>& instances,
+    const std::vector<std::vector<double>>& scores);
+
+/// TURL fine-tuned for row population (§6.5): the partial table (metadata +
+/// seed subject cells) is encoded with an appended [MASK] entity whose
+/// contextualized state ranks candidates via Eqn. 13 (multi-label binary
+/// cross-entropy over the candidate set).
+class TurlRowPopulator {
+ public:
+  TurlRowPopulator(core::TurlModel* model, const core::TurlContext* ctx);
+
+  /// Fine-tunes on training queries (mixing 0- and 1-seed instances).
+  void Finetune(const std::vector<RowPopInstance>& train,
+                const FinetuneOptions& options);
+
+  /// Candidate scores for one query (parallel to instance.candidates).
+  std::vector<double> Score(const RowPopInstance& instance) const;
+
+ private:
+  /// Encodes metadata + seeds + trailing [MASK] subject cell; returns the
+  /// encoded table, with the [MASK]'s entity index in *mask_index.
+  core::EncodedTable EncodeQuery(const RowPopInstance& instance,
+                                 int* mask_index) const;
+  nn::Tensor CandidateLogits(const nn::Tensor& hidden,
+                             const core::EncodedTable& encoded, int mask_index,
+                             const std::vector<int>& candidate_ids) const;
+
+  core::TurlModel* model_;
+  const core::TurlContext* ctx_;
+};
+
+}  // namespace tasks
+}  // namespace turl
+
+#endif  // TURL_TASKS_ROW_POPULATION_H_

@@ -1,0 +1,198 @@
+#include "tasks/schema_augmentation.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "eval/metrics.h"
+#include "nn/optim.h"
+#include "text/vocab.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace turl {
+namespace tasks {
+
+int HeaderVocab::Id(const std::string& header) const {
+  auto it = ids.find(NormalizeSurface(header));
+  return it == ids.end() ? -1 : it->second;
+}
+
+HeaderVocab BuildHeaderVocab(const core::TurlContext& ctx, int min_tables) {
+  std::map<std::string, int> counts;  // Ordered for determinism.
+  for (size_t idx : ctx.corpus.train) {
+    std::unordered_set<std::string> in_table;
+    for (const data::Column& col : ctx.corpus.tables[idx].columns) {
+      in_table.insert(NormalizeSurface(col.header));
+    }
+    for (const std::string& h : in_table) {
+      if (!h.empty()) ++counts[h];
+    }
+  }
+  HeaderVocab vocab;
+  for (const auto& [h, c] : counts) {
+    if (c >= min_tables) {
+      vocab.ids.emplace(h, vocab.size());
+      vocab.headers.push_back(h);
+    }
+  }
+  return vocab;
+}
+
+std::vector<SchemaAugInstance> BuildSchemaAugInstances(
+    const core::TurlContext& ctx, const HeaderVocab& vocab,
+    const std::vector<size_t>& table_indices, int num_seeds,
+    int max_instances) {
+  std::vector<SchemaAugInstance> out;
+  for (size_t idx : table_indices) {
+    const data::Table& t = ctx.corpus.tables[idx];
+    std::vector<int> header_ids;
+    for (const data::Column& col : t.columns) {
+      const int id = vocab.Id(col.header);
+      if (id >= 0 &&
+          std::find(header_ids.begin(), header_ids.end(), id) ==
+              header_ids.end()) {
+        header_ids.push_back(id);
+      }
+    }
+    if (static_cast<int>(header_ids.size()) <= num_seeds) continue;
+    SchemaAugInstance inst;
+    inst.table_index = idx;
+    inst.seed_headers.assign(header_ids.begin(),
+                             header_ids.begin() + num_seeds);
+    inst.gold_headers.assign(header_ids.begin() + num_seeds,
+                             header_ids.end());
+    out.push_back(std::move(inst));
+    if (max_instances > 0 && static_cast<int>(out.size()) >= max_instances) {
+      break;
+    }
+  }
+  return out;
+}
+
+double EvaluateSchemaAugmentation(
+    const std::vector<SchemaAugInstance>& instances,
+    const std::vector<std::vector<int>>& rankings) {
+  TURL_CHECK_EQ(instances.size(), rankings.size());
+  std::vector<double> aps;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    std::unordered_set<int> gold(instances[i].gold_headers.begin(),
+                                 instances[i].gold_headers.end());
+    std::vector<bool> relevant(rankings[i].size());
+    for (size_t rank = 0; rank < rankings[i].size(); ++rank) {
+      relevant[rank] = gold.count(rankings[i][rank]) > 0;
+    }
+    aps.push_back(eval::AveragePrecision(
+        relevant, static_cast<int64_t>(gold.size())));
+  }
+  return eval::MeanOf(aps);
+}
+
+TurlSchemaAugmenter::TurlSchemaAugmenter(core::TurlModel* model,
+                                         const core::TurlContext* ctx,
+                                         const HeaderVocab* vocab,
+                                         uint64_t seed)
+    : model_(model), ctx_(ctx), vocab_(vocab) {
+  TURL_CHECK(model != nullptr);
+  TURL_CHECK(vocab != nullptr);
+  Rng rng(seed);
+  const int64_t d = model->config().d_model;
+  header_emb_ = std::make_unique<nn::Embedding>(
+      &head_params_, "schema_header_emb", vocab->size(), d, &rng);
+  project_ =
+      std::make_unique<nn::Linear>(&head_params_, "schema_project", d, d, &rng);
+}
+
+core::EncodedTable TurlSchemaAugmenter::EncodeQuery(
+    const SchemaAugInstance& instance, int* mask_token_row) const {
+  const data::Table& full = ctx_->corpus.tables[instance.table_index];
+  data::Table partial;
+  partial.caption = full.caption;
+  partial.topic_entity = full.topic_entity;
+  partial.topic_mention = full.topic_mention;
+  for (size_t s = 0; s < instance.seed_headers.size(); ++s) {
+    data::Column col;
+    col.header = vocab_->headers[size_t(instance.seed_headers[s])];
+    partial.columns.push_back(std::move(col));
+  }
+
+  const text::WordPieceTokenizer tokenizer = ctx_->MakeTokenizer();
+  core::EncodedTable encoded =
+      core::EncodeTable(partial, tokenizer, ctx_->entity_vocab);
+  // Append the [MASK] token as a pseudo-header in a fresh column.
+  *mask_token_row = encoded.num_tokens();
+  encoded.token_ids.push_back(text::kMaskId);
+  encoded.token_segment.push_back(core::kSegmentHeader);
+  encoded.token_position.push_back(0);
+  encoded.token_column.push_back(
+      static_cast<int>(instance.seed_headers.size()));
+  return encoded;
+}
+
+nn::Tensor TurlSchemaAugmenter::HeaderLogits(const nn::Tensor& hidden,
+                                             int mask_token_row) const {
+  nn::Tensor projected =
+      project_->Forward(nn::SelectRows(hidden, {mask_token_row}));
+  return nn::MatMulNT(projected, header_emb_->weight());
+}
+
+void TurlSchemaAugmenter::Finetune(const std::vector<SchemaAugInstance>& train,
+                                   const FinetuneOptions& options) {
+  Rng rng(options.seed);
+  nn::Adam model_adam(model_->params(), nn::AdamConfig{.lr = options.lr});
+  nn::Adam head_adam(&head_params_, nn::AdamConfig{.lr = options.lr});
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    size_t limit = order.size();
+    if (options.max_tables > 0) {
+      limit = std::min(limit, static_cast<size_t>(options.max_tables));
+    }
+    for (size_t oi = 0; oi < limit; ++oi) {
+      const SchemaAugInstance& inst = train[order[oi]];
+      int mask_row = -1;
+      core::EncodedTable encoded = EncodeQuery(inst, &mask_row);
+      nn::Tensor hidden = model_->Encode(encoded, /*training=*/true, &rng);
+      nn::Tensor logits = HeaderLogits(hidden, mask_row);
+      std::vector<float> targets(static_cast<size_t>(vocab_->size()), 0.f);
+      for (int h : inst.gold_headers) targets[size_t(h)] = 1.f;
+      nn::Tensor loss = nn::BceWithLogits(logits, targets);
+      model_->params()->ZeroGrad();
+      head_params_.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(model_->params(), options.grad_clip);
+      nn::ClipGradNorm(&head_params_, options.grad_clip);
+      model_adam.Step();
+      head_adam.Step();
+    }
+  }
+}
+
+std::vector<float> TurlSchemaAugmenter::Scores(
+    const SchemaAugInstance& instance) const {
+  int mask_row = -1;
+  core::EncodedTable encoded = EncodeQuery(instance, &mask_row);
+  Rng rng(0);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false, &rng);
+  return HeaderLogits(hidden, mask_row).ToVector();
+}
+
+std::vector<int> TurlSchemaAugmenter::Rank(
+    const SchemaAugInstance& instance) const {
+  std::vector<float> scores = Scores(instance);
+  std::unordered_set<int> seeds(instance.seed_headers.begin(),
+                                instance.seed_headers.end());
+  std::vector<int> out;
+  for (size_t idx : TopK(scores, scores.size())) {
+    if (!seeds.count(static_cast<int>(idx))) {
+      out.push_back(static_cast<int>(idx));
+    }
+  }
+  return out;
+}
+
+}  // namespace tasks
+}  // namespace turl

@@ -1,0 +1,81 @@
+#ifndef TURL_TASKS_SCHEMA_AUGMENTATION_H_
+#define TURL_TASKS_SCHEMA_AUGMENTATION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/context.h"
+#include "core/model.h"
+#include "tasks/common.h"
+
+namespace turl {
+namespace tasks {
+
+/// The header vocabulary H of Definition 6.6: normalized headers that occur
+/// in at least `min_tables` training tables.
+struct HeaderVocab {
+  std::vector<std::string> headers;
+  std::unordered_map<std::string, int> ids;
+
+  int size() const { return static_cast<int>(headers.size()); }
+  /// Id for a (raw or normalized) header; -1 when out of vocabulary.
+  int Id(const std::string& header) const;
+};
+
+HeaderVocab BuildHeaderVocab(const core::TurlContext& ctx, int min_tables = 3);
+
+/// One schema-augmentation query: a caption, zero or a few seed headers, and
+/// the remaining headers as gold (restricted to the vocabulary).
+struct SchemaAugInstance {
+  size_t table_index = 0;
+  std::vector<int> seed_headers;  ///< HeaderVocab ids.
+  std::vector<int> gold_headers;  ///< HeaderVocab ids (non-empty).
+};
+
+std::vector<SchemaAugInstance> BuildSchemaAugInstances(
+    const core::TurlContext& ctx, const HeaderVocab& vocab,
+    const std::vector<size_t>& table_indices, int num_seeds,
+    int max_instances = 0);
+
+/// MAP of ranked header suggestions against the gold headers.
+double EvaluateSchemaAugmentation(
+    const std::vector<SchemaAugInstance>& instances,
+    const std::vector<std::vector<int>>& rankings);
+
+/// TURL fine-tuned for schema augmentation (§6.7): caption tokens, the seed
+/// header tokens, and one [MASK] token are encoded; the [MASK]'s state
+/// scores every header in H through a learned header embedding table,
+/// trained with binary cross-entropy.
+class TurlSchemaAugmenter {
+ public:
+  TurlSchemaAugmenter(core::TurlModel* model, const core::TurlContext* ctx,
+                      const HeaderVocab* vocab, uint64_t seed);
+
+  void Finetune(const std::vector<SchemaAugInstance>& train,
+                const FinetuneOptions& options);
+
+  /// Ranked header ids (best first), seeds excluded.
+  std::vector<int> Rank(const SchemaAugInstance& instance) const;
+
+  /// Raw per-header scores (seeds not excluded), for analysis output.
+  std::vector<float> Scores(const SchemaAugInstance& instance) const;
+
+ private:
+  core::EncodedTable EncodeQuery(const SchemaAugInstance& instance,
+                                 int* mask_token_row) const;
+  nn::Tensor HeaderLogits(const nn::Tensor& hidden, int mask_token_row) const;
+
+  core::TurlModel* model_;
+  const core::TurlContext* ctx_;
+  const HeaderVocab* vocab_;
+  nn::ParamStore head_params_;
+  std::unique_ptr<nn::Embedding> header_emb_;
+  std::unique_ptr<nn::Linear> project_;
+};
+
+}  // namespace tasks
+}  // namespace turl
+
+#endif  // TURL_TASKS_SCHEMA_AUGMENTATION_H_

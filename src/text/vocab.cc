@@ -1,0 +1,55 @@
+#include "text/vocab.h"
+
+#include "util/logging.h"
+
+namespace turl {
+namespace text {
+
+Vocab::Vocab() {
+  AddToken(kPadToken);
+  AddToken(kUnkToken);
+  AddToken(kClsToken);
+  AddToken(kSepToken);
+  AddToken(kMaskToken);
+  TURL_CHECK_EQ(Id(kMaskToken), kMaskId);
+}
+
+int Vocab::AddToken(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+  ids_.emplace(token, id);
+  return id;
+}
+
+int Vocab::Id(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kUnkId : it->second;
+}
+
+bool Vocab::Contains(const std::string& token) const {
+  return ids_.count(token) > 0;
+}
+
+const std::string& Vocab::Token(int id) const {
+  TURL_CHECK_GE(id, 0);
+  TURL_CHECK_LT(id, size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+void Vocab::Save(BinaryWriter* w) const { w->WriteStringVector(tokens_); }
+
+Result<Vocab> Vocab::Load(BinaryReader* r) {
+  std::vector<std::string> tokens = r->ReadStringVector();
+  if (!r->status().ok()) return r->status();
+  if (tokens.size() < 5 || tokens[size_t(kMaskId)] != kMaskToken) {
+    return Status::IoError("vocab missing special tokens");
+  }
+  Vocab v;
+  for (size_t i = 5; i < tokens.size(); ++i) v.AddToken(tokens[i]);
+  return v;
+}
+
+}  // namespace text
+}  // namespace turl

@@ -1,0 +1,62 @@
+#ifndef TURL_TEXT_VOCAB_H_
+#define TURL_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace turl {
+namespace text {
+
+/// Special token ids, fixed at the front of every vocabulary so model code
+/// can rely on them without a lookup.
+inline constexpr int kPadId = 0;
+inline constexpr int kUnkId = 1;
+inline constexpr int kClsId = 2;
+inline constexpr int kSepId = 3;
+inline constexpr int kMaskId = 4;
+inline constexpr const char* kPadToken = "[PAD]";
+inline constexpr const char* kUnkToken = "[UNK]";
+inline constexpr const char* kClsToken = "[CLS]";
+inline constexpr const char* kSepToken = "[SEP]";
+inline constexpr const char* kMaskToken = "[MASK]";
+
+/// Bidirectional token <-> id map. Construction always installs the five
+/// special tokens first, so any Vocab satisfies Id("[MASK]") == kMaskId.
+class Vocab {
+ public:
+  /// Creates a vocabulary holding only the special tokens.
+  Vocab();
+
+  /// Adds `token` if absent; returns its id either way.
+  int AddToken(const std::string& token);
+
+  /// Id of `token`, or kUnkId when unknown.
+  int Id(const std::string& token) const;
+
+  /// True if `token` is present.
+  bool Contains(const std::string& token) const;
+
+  /// Token string for `id`; fatal on out-of-range ids.
+  const std::string& Token(int id) const;
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  /// All tokens in id order.
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+  void Save(BinaryWriter* w) const;
+  static Result<Vocab> Load(BinaryReader* r);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace text
+}  // namespace turl
+
+#endif  // TURL_TEXT_VOCAB_H_

@@ -1,0 +1,123 @@
+#include "text/wordpiece.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace turl {
+namespace text {
+
+std::vector<std::string> BasicTokenize(const std::string& text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      words.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(current);
+  return words;
+}
+
+Vocab BuildWordPieceVocab(
+    const std::unordered_map<std::string, int64_t>& word_counts,
+    const WordPieceOptions& options) {
+  Vocab vocab;
+
+  // Single characters (and their continuation forms) guarantee that any
+  // ASCII alphanumeric word can be segmented without falling back to [UNK].
+  for (char c = 'a'; c <= 'z'; ++c) {
+    vocab.AddToken(std::string(1, c));
+    vocab.AddToken("##" + std::string(1, c));
+  }
+  for (char c = '0'; c <= '9'; ++c) {
+    vocab.AddToken(std::string(1, c));
+    vocab.AddToken("##" + std::string(1, c));
+  }
+
+  // Mine frequent suffix pieces (length >= 2) from the corpus.
+  std::unordered_map<std::string, int64_t> suffix_counts;
+  for (const auto& [word, count] : word_counts) {
+    const int len = static_cast<int>(word.size());
+    for (int l = 2; l <= options.max_suffix_len && l < len; ++l) {
+      suffix_counts[word.substr(size_t(len - l))] += count;
+    }
+  }
+
+  // Deterministic ordering: by count descending, then lexicographic.
+  auto sorted_by_count =
+      [](const std::unordered_map<std::string, int64_t>& counts) {
+        std::vector<std::pair<std::string, int64_t>> v(counts.begin(),
+                                                       counts.end());
+        std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+          if (a.second != b.second) return a.second > b.second;
+          return a.first < b.first;
+        });
+        return v;
+      };
+
+  for (const auto& [suffix, count] : sorted_by_count(suffix_counts)) {
+    if (vocab.size() >= options.max_vocab_size) break;
+    if (count >= options.min_suffix_count) vocab.AddToken("##" + suffix);
+  }
+
+  for (const auto& [word, count] : sorted_by_count(word_counts)) {
+    if (vocab.size() >= options.max_vocab_size) break;
+    if (count >= options.min_word_count) vocab.AddToken(word);
+  }
+  return vocab;
+}
+
+WordPieceTokenizer::WordPieceTokenizer(const Vocab* vocab) : vocab_(vocab) {
+  TURL_CHECK(vocab != nullptr);
+}
+
+std::vector<std::string> WordPieceTokenizer::TokenizeWord(
+    const std::string& word) const {
+  if (word.empty()) return {};
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start < word.size()) {
+    // Greedy longest match from `start`.
+    size_t end = word.size();
+    std::string match;
+    while (end > start) {
+      std::string candidate = word.substr(start, end - start);
+      if (start > 0) candidate = "##" + candidate;
+      if (vocab_->Contains(candidate)) {
+        match = candidate;
+        break;
+      }
+      --end;
+    }
+    if (match.empty()) return {kUnkToken};  // Unsegmentable word.
+    pieces.push_back(match);
+    start = end;
+  }
+  return pieces;
+}
+
+std::vector<std::string> WordPieceTokenizer::Tokenize(
+    const std::string& text) const {
+  std::vector<std::string> out;
+  for (const std::string& word : BasicTokenize(text)) {
+    for (std::string& piece : TokenizeWord(word)) {
+      out.push_back(std::move(piece));
+    }
+  }
+  return out;
+}
+
+std::vector<int> WordPieceTokenizer::Encode(const std::string& text) const {
+  std::vector<int> ids;
+  for (const std::string& tok : Tokenize(text)) ids.push_back(vocab_->Id(tok));
+  return ids;
+}
+
+}  // namespace text
+}  // namespace turl

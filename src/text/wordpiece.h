@@ -1,0 +1,66 @@
+#ifndef TURL_TEXT_WORDPIECE_H_
+#define TURL_TEXT_WORDPIECE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace turl {
+namespace text {
+
+/// Options controlling WordPiece vocabulary construction.
+struct WordPieceOptions {
+  /// Whole words seen at least this often become single tokens.
+  int min_word_count = 2;
+  /// Hard cap on vocabulary size (specials + chars + pieces + words).
+  int max_vocab_size = 30522;  // BERT's size; the synthetic corpus uses less.
+  /// Subword suffix pieces up to this length are mined from the corpus.
+  int max_suffix_len = 4;
+  /// Suffix pieces seen at least this often become "##piece" tokens.
+  int min_suffix_count = 4;
+};
+
+/// Builds a WordPiece vocabulary from word frequency counts, mirroring the
+/// shape of BERT's vocab: special tokens, then single characters and
+/// "##"-continued characters (so tokenization never fails on ASCII), then
+/// frequent corpus-mined suffix pieces, then frequent whole words.
+Vocab BuildWordPieceVocab(
+    const std::unordered_map<std::string, int64_t>& word_counts,
+    const WordPieceOptions& options = WordPieceOptions());
+
+/// Greedy longest-match-first WordPiece tokenizer over a fixed vocabulary
+/// (the same algorithm as BERT's WordpieceTokenizer). Input is lower-cased
+/// and split on whitespace/punctuation first; each word is then segmented
+/// into the longest vocabulary pieces, continuation pieces carrying the
+/// "##" prefix. Words that cannot be segmented become [UNK].
+class WordPieceTokenizer {
+ public:
+  /// The tokenizer keeps a pointer to `vocab`; it must outlive the tokenizer.
+  explicit WordPieceTokenizer(const Vocab* vocab);
+
+  /// Full pipeline: normalize -> split -> WordPiece. Returns token strings.
+  std::vector<std::string> Tokenize(const std::string& text) const;
+
+  /// Tokenize then map to ids.
+  std::vector<int> Encode(const std::string& text) const;
+
+  /// Segments one already-normalized word.
+  std::vector<std::string> TokenizeWord(const std::string& word) const;
+
+  const Vocab& vocab() const { return *vocab_; }
+
+ private:
+  const Vocab* vocab_;
+};
+
+/// Splits raw text into lower-cased word units: alphanumeric runs, with
+/// punctuation dropped (the synthetic corpus carries no meaningful
+/// punctuation). Shared by vocabulary construction and tokenization.
+std::vector<std::string> BasicTokenize(const std::string& text);
+
+}  // namespace text
+}  // namespace turl
+
+#endif  // TURL_TEXT_WORDPIECE_H_

@@ -1,0 +1,73 @@
+#ifndef TURL_UTIL_LOGGING_H_
+#define TURL_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace turl {
+namespace internal_logging {
+
+/// Severity of a log line. kFatal aborts the process after flushing.
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// Used via the TURL_LOG / TURL_CHECK macros only.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Global verbosity: log lines below this level are still emitted (logging is
+/// cheap and rare in this library); provided for symmetry and future filtering.
+}  // namespace turl
+
+#define TURL_LOG(level)                                              \
+  ::turl::internal_logging::LogMessage(                              \
+      ::turl::internal_logging::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. For programming errors /
+/// invariant violations, not for recoverable failures (use Status for those).
+#define TURL_CHECK(condition)                                        \
+  if (!(condition))                                                  \
+  TURL_LOG(Fatal) << "Check failed: " #condition " "
+
+#define TURL_CHECK_OP(a, b, op)                                               \
+  if (!((a)op(b)))                                                            \
+  TURL_LOG(Fatal) << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " \
+                  << (b) << ") "
+
+#define TURL_CHECK_EQ(a, b) TURL_CHECK_OP(a, b, ==)
+#define TURL_CHECK_NE(a, b) TURL_CHECK_OP(a, b, !=)
+#define TURL_CHECK_LT(a, b) TURL_CHECK_OP(a, b, <)
+#define TURL_CHECK_LE(a, b) TURL_CHECK_OP(a, b, <=)
+#define TURL_CHECK_GT(a, b) TURL_CHECK_OP(a, b, >)
+#define TURL_CHECK_GE(a, b) TURL_CHECK_OP(a, b, >=)
+
+/// Aborts if `status_expr` evaluates to a non-OK Status.
+#define TURL_CHECK_OK(status_expr)                     \
+  do {                                                 \
+    const ::turl::Status _turl_s = (status_expr);      \
+    TURL_CHECK(_turl_s.ok()) << _turl_s.ToString();    \
+  } while (false)
+
+#endif  // TURL_UTIL_LOGGING_H_

@@ -1,0 +1,85 @@
+#include "util/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace turl {
+
+void SoftmaxInPlace(std::vector<float>* v) {
+  if (v->empty()) return;
+  float mx = *std::max_element(v->begin(), v->end());
+  float sum = 0.f;
+  for (float& x : *v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (float& x : *v) x /= sum;
+}
+
+float LogSumExp(const std::vector<float>& v) {
+  TURL_CHECK(!v.empty());
+  float mx = *std::max_element(v.begin(), v.end());
+  float sum = 0.f;
+  for (float x : v) sum += std::exp(x - mx);
+  return mx + std::log(sum);
+}
+
+float Dot(const float* a, const float* b, size_t n) {
+  float s = 0.f;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+float Dot(const std::vector<float>& a, const std::vector<float>& b) {
+  TURL_CHECK_EQ(a.size(), b.size());
+  return Dot(a.data(), b.data(), a.size());
+}
+
+float L2Norm(const float* a, size_t n) {
+  return std::sqrt(Dot(a, a, n));
+}
+
+float CosineSimilarity(const std::vector<float>& a,
+                       const std::vector<float>& b) {
+  TURL_CHECK_EQ(a.size(), b.size());
+  float na = L2Norm(a.data(), a.size());
+  float nb = L2Norm(b.data(), b.size());
+  if (na == 0.f || nb == 0.f) return 0.f;
+  return Dot(a, b) / (na * nb);
+}
+
+size_t ArgMax(const std::vector<float>& v) {
+  TURL_CHECK(!v.empty());
+  return static_cast<size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+std::vector<size_t> TopK(const std::vector<float>& v, size_t k) {
+  k = std::min(k, v.size());
+  std::vector<size_t> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k),
+                    idx.end(), [&](size_t a, size_t b) {
+                      if (v[a] != v[b]) return v[a] > v[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / double(v.size());
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  size_t mid = (v.size() - 1) / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(mid), v.end());
+  return v[mid];
+}
+
+}  // namespace turl

@@ -1,0 +1,41 @@
+#ifndef TURL_UTIL_MATH_UTIL_H_
+#define TURL_UTIL_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace turl {
+
+/// In-place numerically-stable softmax over `v` (subtracts the max).
+void SoftmaxInPlace(std::vector<float>* v);
+
+/// log(sum(exp(v))) computed stably.
+float LogSumExp(const std::vector<float>& v);
+
+/// Dot product; sizes must match.
+float Dot(const float* a, const float* b, size_t n);
+float Dot(const std::vector<float>& a, const std::vector<float>& b);
+
+/// Euclidean norm.
+float L2Norm(const float* a, size_t n);
+
+/// Cosine similarity; returns 0 when either vector is all-zero.
+float CosineSimilarity(const std::vector<float>& a, const std::vector<float>& b);
+
+/// Index of the maximum element (first on ties). Requires non-empty input.
+size_t ArgMax(const std::vector<float>& v);
+
+/// Indices of the top-k largest elements, in decreasing order of value
+/// (stable: ties broken by lower index first). k is clamped to v.size().
+std::vector<size_t> TopK(const std::vector<float>& v, size_t k);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& v);
+
+/// Median via nth_element on a copy; 0 for empty input. For even sizes
+/// returns the lower median (matching how the paper reports integer medians).
+double Median(std::vector<double> v);
+
+}  // namespace turl
+
+#endif  // TURL_UTIL_MATH_UTIL_H_

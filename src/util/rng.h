@@ -1,0 +1,95 @@
+#ifndef TURL_UTIL_RNG_H_
+#define TURL_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace turl {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// splitmix64). Every stochastic component in this library draws from an Rng
+/// passed in explicitly so that corpus generation, masking, initialization and
+/// training are exactly reproducible from a single seed.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds produce identical streams.
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling, so the distribution is exactly uniform.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Standard normal sample (Box–Muller; one cached spare per pair).
+  double Normal();
+
+  /// Normal sample with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli draw that is true with probability p.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent s (popularity skew).
+  /// Implemented by inverse-CDF over precomputable weights; O(n) per call is
+  /// avoided by callers caching a DiscreteDistribution when n is large.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Index sampled proportionally to `weights` (all >= 0, sum > 0).
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+/// Precomputed alias-free cumulative distribution for repeated weighted
+/// sampling over a fixed weight vector (used for Zipf popularity priors and
+/// negative sampling in Word2Vec/MER).
+class DiscreteDistribution {
+ public:
+  /// Builds the cumulative table. `weights` must be non-empty with a positive
+  /// sum; negative entries are invalid.
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  /// Draws an index with probability proportional to its weight. O(log n).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Weights for a Zipf(s) distribution over ranks 0..n-1 (rank 0 heaviest).
+std::vector<double> ZipfWeights(size_t n, double s);
+
+}  // namespace turl
+
+#endif  // TURL_UTIL_RNG_H_

@@ -1,0 +1,180 @@
+#include "util/serialize.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace turl {
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_.is_open()) {
+    status_ = Status::IoError("cannot open for write: " + path);
+  }
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (out_.is_open()) out_.close();
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t n) {
+  if (!status_.ok()) return;
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out_.good()) status_ = Status::IoError("write failed");
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteFloat(float v) { WriteRaw(&v, sizeof(v)); }
+void BinaryWriter::WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::WriteU32Vector(const std::vector<uint32_t>& v) {
+  WriteU64(v.size());
+  if (!v.empty()) WriteRaw(v.data(), v.size() * sizeof(uint32_t));
+}
+
+void BinaryWriter::WriteStringVector(const std::vector<std::string>& v) {
+  WriteU64(v.size());
+  for (const auto& s : v) WriteString(s);
+}
+
+Status BinaryWriter::Close() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_.good() && status_.ok()) status_ = Status::IoError("flush failed");
+    out_.close();
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_.is_open()) {
+    status_ = Status::IoError("cannot open for read: " + path);
+  }
+}
+
+bool BinaryReader::ReadRaw(void* data, size_t n) {
+  if (!status_.ok()) return false;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (in_.gcount() != static_cast<std::streamsize>(n)) {
+    status_ = Status::IoError("short read");
+    std::memset(data, 0, n);
+    return false;
+  }
+  return true;
+}
+
+uint32_t BinaryReader::ReadU32() {
+  uint32_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+uint64_t BinaryReader::ReadU64() {
+  uint64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+int64_t BinaryReader::ReadI64() {
+  int64_t v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+float BinaryReader::ReadFloat() {
+  float v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+double BinaryReader::ReadDouble() {
+  double v = 0;
+  ReadRaw(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  uint64_t n = ReadU64();
+  if (!status_.ok()) return "";
+  // Guard against corrupt lengths before allocating.
+  if (n > (1ULL << 32)) {
+    status_ = Status::IoError("string length out of range");
+    return "";
+  }
+  std::string s(n, '\0');
+  if (n > 0) ReadRaw(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::ReadFloatVector() {
+  uint64_t n = ReadU64();
+  if (!status_.ok() || n > (1ULL << 32)) {
+    if (status_.ok()) status_ = Status::IoError("vector length out of range");
+    return {};
+  }
+  std::vector<float> v(n);
+  if (n > 0) ReadRaw(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<uint32_t> BinaryReader::ReadU32Vector() {
+  uint64_t n = ReadU64();
+  if (!status_.ok() || n > (1ULL << 32)) {
+    if (status_.ok()) status_ = Status::IoError("vector length out of range");
+    return {};
+  }
+  std::vector<uint32_t> v(n);
+  if (n > 0) ReadRaw(v.data(), n * sizeof(uint32_t));
+  return v;
+}
+
+std::vector<std::string> BinaryReader::ReadStringVector() {
+  uint64_t n = ReadU64();
+  if (!status_.ok() || n > (1ULL << 32)) {
+    if (status_.ok()) status_ = Status::IoError("vector length out of range");
+    return {};
+  }
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (uint64_t i = 0; i < n && status_.ok(); ++i) v.push_back(ReadString());
+  return v;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Status MakeDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  std::string partial;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!partial.empty()) {
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+          return Status::IoError("mkdir failed: " + partial + ": " +
+                                 std::strerror(errno));
+        }
+      }
+      if (i < path.size()) partial += '/';
+    } else {
+      partial += path[i];
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace turl

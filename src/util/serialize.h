@@ -1,0 +1,84 @@
+#ifndef TURL_UTIL_SERIALIZE_H_
+#define TURL_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace turl {
+
+/// Little-endian binary writer over a file. Used for corpus snapshots and
+/// model checkpoints. All writes are buffered by the underlying ofstream;
+/// call Close() (or rely on the destructor) and check status() before
+/// trusting the file.
+class BinaryWriter {
+ public:
+  /// Opens `path` for truncating binary write.
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v);
+  void WriteFloat(float v);
+  void WriteDouble(double v);
+  void WriteString(const std::string& s);
+  void WriteFloatVector(const std::vector<float>& v);
+  void WriteU32Vector(const std::vector<uint32_t>& v);
+  void WriteStringVector(const std::vector<std::string>& v);
+
+  /// Flushes and closes; returns the cumulative status.
+  Status Close();
+  const Status& status() const { return status_; }
+
+ private:
+  void WriteRaw(const void* data, size_t n);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Little-endian binary reader mirroring BinaryWriter. Reads past EOF or on a
+/// bad stream flip status() to an error and return zero values; callers check
+/// status() once after a batch of reads.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64();
+  float ReadFloat();
+  double ReadDouble();
+  std::string ReadString();
+  std::vector<float> ReadFloatVector();
+  std::vector<uint32_t> ReadU32Vector();
+  std::vector<std::string> ReadStringVector();
+
+  const Status& status() const { return status_; }
+
+ private:
+  bool ReadRaw(void* data, size_t n);
+
+  std::ifstream in_;
+  Status status_;
+};
+
+/// True if a regular file exists at `path`.
+bool FileExists(const std::string& path);
+
+/// Creates `path` (and parents) as directories; OK if it already exists.
+Status MakeDirs(const std::string& path);
+
+}  // namespace turl
+
+#endif  // TURL_UTIL_SERIALIZE_H_

@@ -1,0 +1,109 @@
+#ifndef TURL_UTIL_STATUS_H_
+#define TURL_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace turl {
+
+/// Error category for a failed operation. Mirrors the small set of error
+/// classes this library can produce; modeled after the Status idiom used by
+/// database engines (Arrow/RocksDB) because exceptions are not used here.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kIoError = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without being a programming error.
+/// A Status is either OK (the default) or carries a code and a message.
+/// Cheap to copy in the OK case; error construction allocates the message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message. An OK code with a
+  /// message is normalized to plain OK.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status IoError(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status Internal(std::string msg);
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type T or an error Status. The value is only present
+/// when status().ok(). Accessing value() on an error aborts (see logging.h's
+/// TURL_CHECK semantics) — callers must test ok() first on fallible paths.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace turl
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// Status.
+#define TURL_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::turl::Status _turl_status = (expr);     \
+    if (!_turl_status.ok()) return _turl_status; \
+  } while (false)
+
+#endif  // TURL_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef TURL_UTIL_TIMER_H_
+#define TURL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace turl {
+
+/// Monotonic wall-clock stopwatch for reporting experiment timings.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace turl
+
+#endif  // TURL_UTIL_TIMER_H_

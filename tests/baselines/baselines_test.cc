@@ -1,0 +1,332 @@
+// Integration tests of the paper-baseline implementations against a real
+// synthetic context: row-population candidate generation + rankers, the
+// cell-filling index and rankers, the kNN schema recommender, Sherlock
+// features/classifier, and the entity-linking baselines.
+
+#include <algorithm>
+
+#include "baselines/cell_filling.h"
+#include "baselines/entity_linking_baselines.h"
+#include "baselines/knn_schema.h"
+#include "baselines/row_population.h"
+#include "baselines/sherlock.h"
+#include "core/context.h"
+#include "gtest/gtest.h"
+#include "text/wordpiece.h"
+#include "util/string_util.h"
+
+namespace turl {
+namespace baselines {
+namespace {
+
+const core::TurlContext& Ctx() {
+  static core::TurlContext* ctx = [] {
+    core::ContextConfig config;
+    config.corpus.num_tables = 400;
+    config.seed = 42;
+    return new core::TurlContext(core::BuildContext(config));
+  }();
+  return *ctx;
+}
+
+// ---------------- Row population ------------------------------------------
+
+TEST(RowPopTest, CandidatesExcludeSeedsAndAreDistinct) {
+  RowPopCandidateGenerator gen(Ctx().corpus, Ctx().corpus.train);
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  std::vector<kb::EntityId> seeds;
+  for (const auto& cell : t.columns[0].cells) {
+    if (cell.linked()) {
+      seeds.push_back(cell.entity);
+      break;
+    }
+  }
+  ASSERT_FALSE(seeds.empty());
+  auto candidates = gen.Generate(t.caption, seeds, Ctx().world.kb);
+  std::unordered_set<kb::EntityId> set(candidates.begin(), candidates.end());
+  EXPECT_EQ(set.size(), candidates.size());
+  for (kb::EntityId seed : seeds) EXPECT_FALSE(set.count(seed));
+}
+
+TEST(RowPopTest, CaptionQueryFindsRelatedSubjects) {
+  RowPopCandidateGenerator gen(Ctx().corpus, Ctx().corpus.train);
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  auto candidates = gen.Generate(t.caption, {}, Ctx().world.kb);
+  EXPECT_FALSE(candidates.empty());
+}
+
+TEST(RowPopTest, EntiTablesScoresAlignWithCandidates) {
+  RowPopCandidateGenerator gen(Ctx().corpus, Ctx().corpus.train);
+  EntiTablesRanker ranker(Ctx().corpus, Ctx().corpus.train);
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  auto candidates = gen.Generate(t.caption, {}, Ctx().world.kb);
+  ASSERT_FALSE(candidates.empty());
+  auto scores = ranker.Score(t.caption, {}, candidates);
+  EXPECT_EQ(scores.size(), candidates.size());
+}
+
+TEST(RowPopTest, Table2VecNotApplicableWithoutSeeds) {
+  Rng rng(1);
+  Table2VecRanker ranker(Ctx().corpus, Ctx().corpus.train, Word2VecConfig{},
+                         &rng);
+  auto scores = ranker.Score({}, {1, 2, 3});
+  for (double s : scores) EXPECT_EQ(s, 0.0);
+}
+
+TEST(RowPopTest, Table2VecPrefersCooccurringSubjectsOnAverage) {
+  Rng rng(2);
+  Table2VecRanker ranker(Ctx().corpus, Ctx().corpus.train,
+                         Word2VecConfig{.epochs = 8}, &rng);
+  // Mean similarity of (seed, same-table subject) pairs must exceed the
+  // mean over (seed, different-pattern subject) pairs. Aggregated over many
+  // tables — individual pairs are noisy at this embedding scale.
+  double same_sum = 0, cross_sum = 0;
+  int same_n = 0, cross_n = 0;
+  for (size_t k = 0; k + 1 < Ctx().corpus.train.size() && same_n < 150; ++k) {
+    const data::Table& a = Ctx().corpus.tables[Ctx().corpus.train[k]];
+    std::vector<kb::EntityId> subjects;
+    for (const auto& cell : a.columns[0].cells) {
+      if (cell.linked()) subjects.push_back(cell.entity);
+    }
+    if (subjects.size() < 2) continue;
+    auto same = ranker.Score({subjects[0]}, {subjects[1]});
+    same_sum += same[0];
+    ++same_n;
+    const data::Table& b =
+        Ctx().corpus.tables[Ctx().corpus.train[(k + 37) %
+                                               Ctx().corpus.train.size()]];
+    if (b.pattern == a.pattern) continue;
+    for (const auto& cell : b.columns[0].cells) {
+      if (!cell.linked() || cell.entity == subjects[0]) continue;
+      auto cross = ranker.Score({subjects[0]}, {cell.entity});
+      cross_sum += cross[0];
+      ++cross_n;
+      break;
+    }
+  }
+  ASSERT_GT(same_n, 30);
+  ASSERT_GT(cross_n, 10);
+  EXPECT_GT(same_sum / same_n, cross_sum / cross_n);
+}
+
+// ---------------- Cell filling --------------------------------------------
+
+TEST(CellFillingIndexTest, RowMatesComeFromTrainingRows) {
+  CellFillingIndex index(Ctx().corpus, Ctx().corpus.train);
+  // Find a training row with two linked cells and verify the pair appears.
+  for (size_t idx : Ctx().corpus.train) {
+    const data::Table& t = Ctx().corpus.tables[idx];
+    for (int c = 1; c < t.num_columns(); ++c) {
+      if (!t.columns[size_t(c)].is_entity_column) continue;
+      for (int r = 0; r < t.num_rows(); ++r) {
+        const auto& s = t.columns[0].cells[size_t(r)];
+        const auto& o = t.columns[size_t(c)].cells[size_t(r)];
+        if (!s.linked() || !o.linked()) continue;
+        auto candidates = index.CandidatesFor(s.entity);
+        bool found = false;
+        for (const auto& cand : candidates) found |= cand.entity == o.entity;
+        EXPECT_TRUE(found);
+        return;  // One verified pair suffices.
+      }
+    }
+  }
+  FAIL() << "no linked pair found";
+}
+
+TEST(CellFillingIndexTest, HeaderTranslationProbabilities) {
+  CellFillingIndex index(Ctx().corpus, Ctx().corpus.train);
+  // P(h'|h) is within [0, 1]; identical headers are handled by rankers.
+  for (const std::string& h : index.ObservedHeaders()) {
+    for (const std::string& h2 : index.ObservedHeaders()) {
+      const double p = index.HeaderTranslation(h, h2);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0 + 1e-9);
+    }
+  }
+  EXPECT_EQ(index.HeaderTranslation("nonexistent", "alsonot"), 0.0);
+}
+
+TEST(CellFillingRankersTest, ExactMatchesNormalizedHeader) {
+  CellFillingIndex index(Ctx().corpus, Ctx().corpus.train);
+  Rng rng(3);
+  Word2Vec w2v = TrainHeaderEmbeddings(Ctx().corpus, Ctx().corpus.train,
+                                       Word2VecConfig{.epochs = 2}, &rng);
+  CellFillingRankers rankers(&index, &w2v);
+  CellCandidate cand;
+  cand.entity = 1;
+  cand.source_headers = {NormalizeSurface("Club")};
+  EXPECT_EQ(rankers.ScoreExact(cand, "club"), 1.0);
+  EXPECT_EQ(rankers.ScoreExact(cand, "CLUB "), 1.0);
+  EXPECT_EQ(rankers.ScoreExact(cand, "nationality"), 0.0);
+  EXPECT_EQ(rankers.ScoreH2H(cand, "club"), 1.0);
+  EXPECT_EQ(rankers.ScoreH2V(cand, "club"), 1.0);
+}
+
+TEST(CellFillingRankersTest, H2HRecoversHeaderSynonyms) {
+  CellFillingIndex index(Ctx().corpus, Ctx().corpus.train);
+  Rng rng(4);
+  Word2Vec w2v = TrainHeaderEmbeddings(Ctx().corpus, Ctx().corpus.train,
+                                       Word2VecConfig{.epochs = 2}, &rng);
+  CellFillingRankers rankers(&index, &w2v);
+  // "club" and "team" are surfaces of the same relation, so facts recur
+  // under both -> P(team|club) > 0.
+  CellCandidate cand;
+  cand.entity = 1;
+  cand.source_headers = {"team"};
+  EXPECT_GT(rankers.ScoreH2H(cand, "club"), 0.0);
+  EXPECT_EQ(rankers.ScoreExact(cand, "club"), 0.0);
+}
+
+// ---------------- kNN schema ------------------------------------------------
+
+TEST(KnnSchemaTest, NeighborsAreSimilarCaptions) {
+  KnnSchemaRecommender knn(Ctx().corpus, Ctx().corpus.train);
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  auto neighbors = knn.Neighbors(t.caption, 5);
+  ASSERT_FALSE(neighbors.empty());
+  for (size_t i = 1; i < neighbors.size(); ++i) {
+    EXPECT_GE(neighbors[i - 1].similarity, neighbors[i].similarity);
+  }
+  // The nearest neighbour must at least share caption vocabulary with the
+  // query (tf-idf can legitimately cross patterns that share words).
+  const auto q_tokens = text::BasicTokenize(t.caption);
+  const auto n_tokens = text::BasicTokenize(
+      Ctx().corpus.tables[neighbors[0].table_index].caption);
+  int shared = 0;
+  for (const auto& qt : q_tokens) {
+    for (const auto& nt : n_tokens) shared += qt == nt;
+  }
+  EXPECT_GT(shared, 0);
+}
+
+TEST(KnnSchemaTest, RecommendationsExcludeSeeds) {
+  KnnSchemaRecommender knn(Ctx().corpus, Ctx().corpus.train);
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  const std::string seed = t.columns[0].header;
+  auto suggestions = knn.Recommend(t.caption, {seed});
+  for (const auto& s : suggestions) {
+    EXPECT_NE(s.header, NormalizeSurface(seed));
+  }
+}
+
+TEST(KnnSchemaTest, FindsGoldHeaders) {
+  KnnSchemaRecommender knn(Ctx().corpus, Ctx().corpus.train);
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  auto suggestions = knn.Recommend(t.caption, {});
+  ASSERT_FALSE(suggestions.empty());
+  int hits = 0;
+  for (const auto& s : suggestions) {
+    for (const auto& col : t.columns) {
+      hits += s.header == NormalizeSurface(col.header);
+    }
+  }
+  EXPECT_GT(hits, 0);
+}
+
+// ---------------- Sherlock ---------------------------------------------------
+
+TEST(SherlockFeaturesTest, DimensionAndRanges) {
+  auto f = SherlockFeatures({"Alice Doe", "Bob Roe", "Cara Lee"});
+  ASSERT_EQ(f.size(), size_t(kSherlockFeatureDim));
+  EXPECT_FLOAT_EQ(f[0], 3.f);                    // Cell count.
+  EXPECT_FLOAT_EQ(f[1], 1.f);                    // All distinct.
+  for (int i = 6; i <= 10; ++i) {
+    EXPECT_GE(f[size_t(i)], 0.f);
+    EXPECT_LE(f[size_t(i)], 1.f);  // Character fractions.
+  }
+}
+
+TEST(SherlockFeaturesTest, NumericVsNameColumnsDiffer) {
+  auto names = SherlockFeatures({"Alice Doe", "Bob Roe"});
+  auto years = SherlockFeatures({"1990", "2005"});
+  EXPECT_GT(years[6], names[6]);   // Digit fraction.
+  EXPECT_GT(years[13], names[13]); // Numeric-cell fraction.
+  EXPECT_LT(years[9], names[9] + 1e-6f);  // Spaces.
+}
+
+TEST(SherlockFeaturesTest, EmptyColumn) {
+  auto f = SherlockFeatures({});
+  ASSERT_EQ(f.size(), size_t(kSherlockFeatureDim));
+  for (float v : f) EXPECT_EQ(v, 0.f);
+}
+
+TEST(SherlockClassifierTest, LearnsSeparableLabels) {
+  // Numeric columns -> label 0; name columns -> label 1.
+  Rng rng(5);
+  std::vector<std::vector<float>> x;
+  std::vector<std::vector<int>> y;
+  for (int i = 0; i < 60; ++i) {
+    x.push_back(SherlockFeatures(
+        {std::to_string(1900 + i), std::to_string(2000 - i)}));
+    y.push_back({0});
+    x.push_back(SherlockFeatures({"Person " + std::string(1, char('a' + i % 26)),
+                                  "Other Name"}));
+    y.push_back({1});
+  }
+  SherlockClassifier clf(2, 16, 1);
+  for (int epoch = 0; epoch < 40; ++epoch) clf.TrainEpoch(x, y, 1e-3f, &rng);
+  auto numeric = clf.PredictLabels(SherlockFeatures({"1955", "1234"}));
+  auto names = clf.PredictLabels(SherlockFeatures({"Jane Roe", "Al Bo"}));
+  ASSERT_FALSE(numeric.empty());
+  EXPECT_EQ(numeric[0], 0);
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names[0], 1);
+}
+
+// ---------------- Entity-linking baselines -----------------------------------
+
+TEST(ElBaselinesTest, LookupTop1CoversEntityColumns) {
+  kb::LookupService lookup(&Ctx().world.kb);
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  TableLinks links = LookupTop1Links(t, lookup);
+  ASSERT_EQ(links.size(), size_t(t.num_columns()));
+  int made = 0, correct = 0, gold = 0;
+  for (int c = 0; c < t.num_columns(); ++c) {
+    for (int r = 0; r < t.num_rows(); ++r) {
+      if (!t.columns[size_t(c)].is_entity_column) {
+        EXPECT_EQ(links[size_t(c)][size_t(r)], kb::kInvalidEntity);
+        continue;
+      }
+      made += links[size_t(c)][size_t(r)] != kb::kInvalidEntity;
+      const auto& cell = t.columns[size_t(c)].cells[size_t(r)];
+      if (cell.linked()) {
+        ++gold;
+        correct += links[size_t(c)][size_t(r)] == cell.entity;
+      }
+    }
+  }
+  EXPECT_GT(made, 0);
+  EXPECT_GT(correct, gold / 3);  // Lookup is decent but imperfect.
+}
+
+TEST(ElBaselinesTest, T2KAtLeastRunsAndLinksCells) {
+  kb::LookupService lookup(&Ctx().world.kb);
+  T2KLinker t2k(&Ctx().world.kb, &lookup);
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  TableLinks links = t2k.LinkTable(t);
+  int made = 0;
+  for (const auto& col : links) {
+    for (kb::EntityId e : col) made += e != kb::kInvalidEntity;
+  }
+  EXPECT_GT(made, 0);
+}
+
+TEST(ElBaselinesTest, HybridUsesEmbeddingCoherence) {
+  kb::LookupService lookup(&Ctx().world.kb);
+  Rng rng(6);
+  Word2Vec emb = TrainEntityEmbeddings(Ctx().corpus, Ctx().corpus.train,
+                                       Word2VecConfig{.epochs = 3}, &rng);
+  EXPECT_GT(emb.vocab_size(), 0);
+  HybridLinker hybrid(&Ctx().world.kb, &lookup, &emb);
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  TableLinks links = hybrid.LinkTable(t);
+  int made = 0;
+  for (const auto& col : links) {
+    for (kb::EntityId e : col) made += e != kb::kInvalidEntity;
+  }
+  EXPECT_GT(made, 0);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace turl

@@ -1,0 +1,76 @@
+#include "baselines/bm25.h"
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace baselines {
+namespace {
+
+Bm25Index MakeIndex() {
+  Bm25Index index;
+  index.AddDocument({"santos", "fc", "season", "squad"});            // 0
+  index.AddDocument({"list", "of", "films", "directed", "by", "x"}); // 1
+  index.AddDocument({"santos", "fc", "players", "list"});            // 2
+  index.AddDocument({"radio", "stations", "in", "metro", "manila"}); // 3
+  index.Finalize();
+  return index;
+}
+
+TEST(Bm25Test, ExactTermsRankRelevantDocsFirst) {
+  Bm25Index index = MakeIndex();
+  auto hits = index.Search({"santos", "fc"}, 10);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_TRUE(hits[0].doc == 0 || hits[0].doc == 2);
+  EXPECT_TRUE(hits[1].doc == 0 || hits[1].doc == 2);
+  EXPECT_GT(hits[0].score, 0.0);
+}
+
+TEST(Bm25Test, NoMatchesReturnsEmpty) {
+  Bm25Index index = MakeIndex();
+  EXPECT_TRUE(index.Search({"zzz"}, 5).empty());
+  EXPECT_TRUE(index.Search({}, 5).empty());
+}
+
+TEST(Bm25Test, TopKLimit) {
+  Bm25Index index = MakeIndex();
+  auto hits = index.Search({"list"}, 1);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(Bm25Test, RareTermsWeighMore) {
+  Bm25Index index = MakeIndex();
+  // "manila" appears in 1 doc, "list" in 2: querying both should rank the
+  // manila doc first.
+  auto hits = index.Search({"manila", "list"}, 10);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 3u);
+}
+
+TEST(Bm25Test, ScoresDescendingAndTiesByDocId) {
+  Bm25Index index = MakeIndex();
+  auto hits = index.Search({"santos", "fc", "list"}, 10);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST(Bm25Test, NumDocuments) {
+  Bm25Index index = MakeIndex();
+  EXPECT_EQ(index.num_documents(), 4u);
+}
+
+TEST(Bm25Test, TermFrequencySaturates) {
+  Bm25Index index;
+  index.AddDocument({"goal"});                                       // 0
+  index.AddDocument({"goal", "goal", "goal", "goal", "goal"});       // 1
+  index.Finalize();
+  auto hits = index.Search({"goal"}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  // Higher tf wins but sublinearly (k1 saturation): ratio far below 5x.
+  EXPECT_EQ(hits[0].doc, 1u);
+  EXPECT_LT(hits[0].score, hits[1].score * 3.0);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace turl

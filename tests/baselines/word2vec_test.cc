@@ -1,0 +1,92 @@
+#include "baselines/word2vec.h"
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace baselines {
+namespace {
+
+/// Two disjoint "topics": items within a topic co-occur, across topics never.
+std::vector<std::vector<std::string>> TopicSequences() {
+  std::vector<std::vector<std::string>> out;
+  for (int i = 0; i < 120; ++i) {
+    if (i % 2 == 0) {
+      out.push_back({"apple", "banana", "cherry", "date"});
+    } else {
+      out.push_back({"wrench", "hammer", "pliers", "saw"});
+    }
+  }
+  return out;
+}
+
+TEST(Word2VecTest, VocabularyBuilt) {
+  Word2Vec w2v;
+  Rng rng(1);
+  w2v.Train(TopicSequences(), Word2VecConfig{.dim = 16, .epochs = 2}, &rng);
+  EXPECT_EQ(w2v.vocab_size(), 8);
+  EXPECT_TRUE(w2v.Contains("apple"));
+  EXPECT_FALSE(w2v.Contains("unknown"));
+  EXPECT_EQ(w2v.dim(), 16);
+}
+
+TEST(Word2VecTest, VectorShapeAndUnknown) {
+  Word2Vec w2v;
+  Rng rng(2);
+  w2v.Train(TopicSequences(), Word2VecConfig{.dim = 8, .epochs = 1}, &rng);
+  EXPECT_EQ(w2v.Vector("apple").size(), 8u);
+  EXPECT_TRUE(w2v.Vector("unknown").empty());
+  EXPECT_EQ(w2v.Similarity("apple", "unknown"), 0.0);
+}
+
+TEST(Word2VecTest, CooccurringItemsMoreSimilar) {
+  Word2Vec w2v;
+  Rng rng(3);
+  w2v.Train(TopicSequences(), Word2VecConfig{.dim = 16, .epochs = 8}, &rng);
+  const double within_fruit = w2v.Similarity("apple", "banana");
+  const double within_tools = w2v.Similarity("wrench", "hammer");
+  const double across = w2v.Similarity("apple", "wrench");
+  EXPECT_GT(within_fruit, across);
+  EXPECT_GT(within_tools, across);
+}
+
+TEST(Word2VecTest, SimilarityToSet) {
+  Word2Vec w2v;
+  Rng rng(4);
+  w2v.Train(TopicSequences(), Word2VecConfig{.dim = 16, .epochs = 8}, &rng);
+  const double fruit_set =
+      w2v.SimilarityToSet("cherry", {"apple", "banana"});
+  const double cross_set =
+      w2v.SimilarityToSet("cherry", {"wrench", "hammer"});
+  EXPECT_GT(fruit_set, cross_set);
+  EXPECT_EQ(w2v.SimilarityToSet("cherry", {}), 0.0);
+  EXPECT_EQ(w2v.SimilarityToSet("unknown", {"apple"}), 0.0);
+}
+
+TEST(Word2VecTest, MinCountFilters) {
+  std::vector<std::vector<std::string>> seqs = {{"a", "b"}, {"a", "c"}};
+  Word2Vec w2v;
+  Rng rng(5);
+  w2v.Train(seqs, Word2VecConfig{.dim = 4, .min_count = 2}, &rng);
+  EXPECT_TRUE(w2v.Contains("a"));
+  EXPECT_FALSE(w2v.Contains("b"));
+}
+
+TEST(Word2VecTest, EmptyInputIsSafe) {
+  Word2Vec w2v;
+  Rng rng(6);
+  w2v.Train({}, Word2VecConfig{}, &rng);
+  EXPECT_EQ(w2v.vocab_size(), 0);
+  EXPECT_EQ(w2v.Similarity("a", "b"), 0.0);
+}
+
+TEST(Word2VecTest, DeterministicForSeed) {
+  Word2Vec a, b;
+  Rng ra(7), rb(7);
+  a.Train(TopicSequences(), Word2VecConfig{.dim = 8, .epochs = 2}, &ra);
+  b.Train(TopicSequences(), Word2VecConfig{.dim = 8, .epochs = 2}, &rb);
+  EXPECT_EQ(a.Vector("apple"), b.Vector("apple"));
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace turl

@@ -1,0 +1,248 @@
+// Tests for table linearization (§4.2) and the visibility matrix (§4.3).
+
+#include "core/table_encoding.h"
+#include "core/visibility.h"
+
+#include "gtest/gtest.h"
+#include "text/wordpiece.h"
+
+namespace turl {
+namespace core {
+namespace {
+
+/// Hand-built world: a 2x3 table (subject films, object directors, text
+/// years) with topic entity and caption.
+struct Fixture {
+  Fixture() {
+    film_ = kb_.AddType("film");
+    director_ = kb_.AddType("director");
+    directed_by_ = kb_.AddRelation(
+        {"directed_by", film_, director_, {"director"}, true});
+    f1_ = kb_.AddEntity({"Chiriyakhana", {}, "film one", {film_}, 1.0});
+    f2_ = kb_.AddEntity({"Pratidwandi", {}, "film two", {film_}, 1.0});
+    d1_ = kb_.AddEntity({"Satyajit", {}, "director one", {director_}, 1.0});
+    d2_ = kb_.AddEntity({"Mrinal", {}, "director two", {director_}, 1.0});
+    topic_ = kb_.AddEntity({"National Film Award", {}, "award", {film_}, 1.0});
+
+    table_.caption = "national film award best direction recipients";
+    table_.topic_entity = topic_;
+    table_.topic_mention = "National Film Award";
+    data::Column subject;
+    subject.header = "film";
+    subject.is_entity_column = true;
+    subject.cells = {{f1_, "Chiriyakhana"}, {f2_, "Pratidwandi"}};
+    data::Column object;
+    object.header = "director";
+    object.is_entity_column = true;
+    object.relation = directed_by_;
+    object.cells = {{d1_, "Satyajit"}, {d2_, "Mrinal"}};
+    data::Column year;
+    year.header = "year";
+    year.is_entity_column = false;
+    year.cells = {{kb::kInvalidEntity, "1968"}, {kb::kInvalidEntity, "1970"}};
+    table_.columns = {subject, object, year};
+
+    for (const char* w :
+         {"national", "film", "award", "best", "direction", "recipients",
+          "director", "year", "chiriyakhana", "pratidwandi", "satyajit",
+          "mrinal"}) {
+      vocab_.AddToken(w);
+    }
+
+    data::Corpus corpus;
+    corpus.tables.push_back(table_);
+    corpus.train = {0};
+    entity_vocab_ = data::EntityVocab::Build(corpus, corpus.train, 1);
+  }
+
+  kb::KnowledgeBase kb_;
+  kb::TypeId film_, director_;
+  kb::RelationId directed_by_;
+  kb::EntityId f1_, f2_, d1_, d2_, topic_;
+  data::Table table_;
+  text::Vocab vocab_;
+  data::EntityVocab entity_vocab_;
+};
+
+TEST(EncodingTest, LayoutTokensThenEntities) {
+  Fixture f;
+  text::WordPieceTokenizer tok(&f.vocab_);
+  EncodedTable e = EncodeTable(f.table_, tok, f.entity_vocab_);
+
+  // Tokens: 6 caption + 1 "film" + 1 "director" + 1 "year" = 9.
+  EXPECT_EQ(e.num_tokens(), 9);
+  // Entities: topic + 2 rows x 2 entity columns = 5.
+  EXPECT_EQ(e.num_entities(), 5);
+  EXPECT_EQ(e.total(), 14);
+
+  // Caption tokens first with segment kSegmentCaption, increasing position.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(e.token_segment[size_t(i)], kSegmentCaption);
+    EXPECT_EQ(e.token_position[size_t(i)], i);
+    EXPECT_EQ(e.token_column[size_t(i)], -1);
+  }
+  // Headers follow, one per column here.
+  EXPECT_EQ(e.token_segment[6], kSegmentHeader);
+  EXPECT_EQ(e.token_column[6], 0);
+  EXPECT_EQ(e.token_column[7], 1);
+  EXPECT_EQ(e.token_column[8], 2);
+
+  // Topic entity first, role topic, coordinates -1.
+  EXPECT_EQ(e.entity_role[0], kRoleTopic);
+  EXPECT_EQ(e.entity_row[0], -1);
+  EXPECT_EQ(e.entity_column[0], -1);
+  // Cells row-major over entity columns: (0,0), (0,1), (1,0), (1,1).
+  EXPECT_EQ(e.entity_row[1], 0);
+  EXPECT_EQ(e.entity_column[1], 0);
+  EXPECT_EQ(e.entity_role[1], kRoleSubject);
+  EXPECT_EQ(e.entity_row[2], 0);
+  EXPECT_EQ(e.entity_column[2], 1);
+  EXPECT_EQ(e.entity_role[2], kRoleObject);
+  EXPECT_EQ(e.entity_row[3], 1);
+  EXPECT_EQ(e.entity_column[3], 0);
+  EXPECT_EQ(e.entity_row[4], 1);
+  EXPECT_EQ(e.entity_column[4], 1);
+
+  // Ground-truth kb ids stored, mentions tokenized.
+  EXPECT_EQ(e.entity_kb_ids[1], f.f1_);
+  EXPECT_EQ(e.entity_kb_ids[4], f.d2_);
+  EXPECT_FALSE(e.entity_mentions[1].empty());
+}
+
+TEST(EncodingTest, NonEntityColumnsContributeNoEntities) {
+  Fixture f;
+  text::WordPieceTokenizer tok(&f.vocab_);
+  EncodedTable e = EncodeTable(f.table_, tok, f.entity_vocab_);
+  for (int i = 0; i < e.num_entities(); ++i) {
+    EXPECT_NE(e.entity_column[size_t(i)], 2);  // "year" column.
+  }
+}
+
+TEST(EncodingTest, MetadataOffDropsTokens) {
+  Fixture f;
+  text::WordPieceTokenizer tok(&f.vocab_);
+  EncodeOptions opts;
+  opts.include_metadata = false;
+  EncodedTable e = EncodeTable(f.table_, tok, f.entity_vocab_, opts);
+  EXPECT_EQ(e.num_tokens(), 0);
+  EXPECT_EQ(e.num_entities(), 5);
+}
+
+TEST(EncodingTest, EntitiesOffDropsEntityPart) {
+  Fixture f;
+  text::WordPieceTokenizer tok(&f.vocab_);
+  EncodeOptions opts;
+  opts.include_entities = false;
+  EncodedTable e = EncodeTable(f.table_, tok, f.entity_vocab_, opts);
+  EXPECT_EQ(e.num_entities(), 0);
+  EXPECT_GT(e.num_tokens(), 0);
+}
+
+TEST(EncodingTest, MaxRowsCap) {
+  Fixture f;
+  text::WordPieceTokenizer tok(&f.vocab_);
+  EncodeOptions opts;
+  opts.max_rows = 1;
+  EncodedTable e = EncodeTable(f.table_, tok, f.entity_vocab_, opts);
+  EXPECT_EQ(e.num_entities(), 3);  // Topic + one row of two columns.
+}
+
+TEST(EncodingTest, UnlinkedCellGetsUnkIdButKeepsMention) {
+  Fixture f;
+  f.table_.columns[0].cells[0].entity = kb::kInvalidEntity;
+  text::WordPieceTokenizer tok(&f.vocab_);
+  EncodedTable e = EncodeTable(f.table_, tok, f.entity_vocab_);
+  EXPECT_EQ(e.entity_ids[1], data::EntityVocab::kUnkEntity);
+  EXPECT_FALSE(e.entity_mentions[1].empty());
+  EXPECT_EQ(e.entity_kb_ids[1], kb::kInvalidEntity);
+}
+
+TEST(EncodingTest, AppendEntityExtends) {
+  Fixture f;
+  text::WordPieceTokenizer tok(&f.vocab_);
+  EncodedTable e = EncodeTable(f.table_, tok, f.entity_vocab_);
+  const int before = e.num_entities();
+  const int idx = e.AppendEntity(data::EntityVocab::kMaskEntity, kRoleSubject,
+                                 2, 0, {text::kMaskId});
+  EXPECT_EQ(idx, before);
+  EXPECT_EQ(e.num_entities(), before + 1);
+  EXPECT_EQ(e.entity_ids[size_t(idx)], data::EntityVocab::kMaskEntity);
+}
+
+// --------------------------- Visibility -----------------------------------
+
+class VisibilityFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    text::WordPieceTokenizer tok(&f_.vocab_);
+    e_ = EncodeTable(f_.table_, tok, f_.entity_vocab_);
+    // Sequence indices (from EncodingTest.LayoutTokensThenEntities):
+    // 0-5 caption, 6 header "film" (col 0), 7 header "director" (col 1),
+    // 8 header "year" (col 2); entities: 9 topic, 10 cell(0,0),
+    // 11 cell(0,1), 12 cell(1,0), 13 cell(1,1).
+  }
+
+  Fixture f_;
+  EncodedTable e_;
+};
+
+TEST_F(VisibilityFixture, CaptionAndTopicSeeEverything) {
+  for (int j = 0; j < e_.total(); ++j) {
+    EXPECT_TRUE(IsVisible(e_, 0, j)) << j;   // Caption token.
+    EXPECT_TRUE(IsVisible(e_, j, 0)) << j;   // Symmetric.
+    EXPECT_TRUE(IsVisible(e_, 9, j)) << j;   // Topic entity.
+    EXPECT_TRUE(IsVisible(e_, j, 9)) << j;
+  }
+}
+
+TEST_F(VisibilityFixture, HeadersSeeEachOther) {
+  EXPECT_TRUE(IsVisible(e_, 6, 7));
+  EXPECT_TRUE(IsVisible(e_, 7, 8));
+  EXPECT_TRUE(IsVisible(e_, 6, 8));
+}
+
+TEST_F(VisibilityFixture, HeaderSeesOnlyItsColumnCells) {
+  // Header "film" (col 0) sees cells (0,0) and (1,0): indices 10 and 12.
+  EXPECT_TRUE(IsVisible(e_, 6, 10));
+  EXPECT_TRUE(IsVisible(e_, 6, 12));
+  EXPECT_FALSE(IsVisible(e_, 6, 11));
+  EXPECT_FALSE(IsVisible(e_, 6, 13));
+  // Header "director" (col 1) mirrors.
+  EXPECT_TRUE(IsVisible(e_, 7, 11));
+  EXPECT_FALSE(IsVisible(e_, 7, 10));
+}
+
+TEST_F(VisibilityFixture, CellsSeeSameRowAndColumnOnly) {
+  // (0,0)=10: same row (0,1)=11; same column (1,0)=12; NOT (1,1)=13.
+  EXPECT_TRUE(IsVisible(e_, 10, 11));
+  EXPECT_TRUE(IsVisible(e_, 10, 12));
+  EXPECT_FALSE(IsVisible(e_, 10, 13));
+  // The paper's example: [Satyajit] should not relate to [Pratidwandi].
+  // Satyajit = director of row 0 = index 11; Pratidwandi = film row 1 = 12.
+  EXPECT_FALSE(IsVisible(e_, 11, 12));
+}
+
+TEST_F(VisibilityFixture, Reflexive) {
+  for (int i = 0; i < e_.total(); ++i) EXPECT_TRUE(IsVisible(e_, i, i));
+}
+
+TEST_F(VisibilityFixture, MatrixMatchesPredicateAndIsSymmetric) {
+  std::vector<float> mask = BuildVisibilityMask(e_, true);
+  const int n = e_.total();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const float expected = IsVisible(e_, i, j) ? 0.f : kMaskedScore;
+      EXPECT_EQ(mask[size_t(i * n + j)], expected) << i << "," << j;
+      EXPECT_EQ(mask[size_t(i * n + j)], mask[size_t(j * n + i)]);
+    }
+  }
+}
+
+TEST_F(VisibilityFixture, DisabledMatrixIsAllZero) {
+  std::vector<float> mask = BuildVisibilityMask(e_, false);
+  for (float v : mask) EXPECT_EQ(v, 0.f);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace turl

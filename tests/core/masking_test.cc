@@ -1,0 +1,233 @@
+// Tests for the §4.4 masking mechanism and MER candidate construction.
+
+#include <unordered_set>
+
+#include "core/candidates.h"
+#include "core/context.h"
+#include "core/masking.h"
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace core {
+namespace {
+
+/// Small real pipeline context shared by the masking tests.
+const TurlContext& Ctx() {
+  static TurlContext* ctx = [] {
+    ContextConfig config;
+    config.corpus.num_tables = 300;
+    config.seed = 42;
+    return new TurlContext(BuildContext(config));
+  }();
+  return *ctx;
+}
+
+EncodedTable EncodeFirstTrainTable() {
+  const text::WordPieceTokenizer tok = Ctx().MakeTokenizer();
+  return EncodeTable(Ctx().corpus.tables[Ctx().corpus.train[0]], tok,
+                     Ctx().entity_vocab);
+}
+
+TEST(MaskableTest, ExcludesTopicAndSpecialIds) {
+  EncodedTable e = EncodeFirstTrainTable();
+  for (int i : MaskableEntityPositions(e)) {
+    EXPECT_NE(e.entity_role[size_t(i)], kRoleTopic);
+    EXPECT_GE(e.entity_ids[size_t(i)], data::EntityVocab::kNumSpecial);
+  }
+}
+
+TEST(MaskEntityCellTest, MasksIdAndOptionallyMention) {
+  EncodedTable e = EncodeFirstTrainTable();
+  auto maskable = MaskableEntityPositions(e);
+  ASSERT_FALSE(maskable.empty());
+  const int cell = maskable[0];
+
+  EncodedTable id_only = e;
+  MaskEntityCell(&id_only, cell, /*mask_mention=*/false);
+  EXPECT_EQ(id_only.entity_ids[size_t(cell)], data::EntityVocab::kMaskEntity);
+  EXPECT_EQ(id_only.entity_mentions[size_t(cell)],
+            e.entity_mentions[size_t(cell)]);
+
+  EncodedTable both = e;
+  MaskEntityCell(&both, cell, /*mask_mention=*/true);
+  EXPECT_EQ(both.entity_mentions[size_t(cell)],
+            std::vector<int>{text::kMaskId});
+}
+
+TEST(PretrainInstanceTest, TargetsMatchOriginals) {
+  EncodedTable clean = EncodeFirstTrainTable();
+  TurlConfig config;
+  Rng rng(1);
+  PretrainInstance inst = MakePretrainInstance(
+      clean, config, Ctx().vocab.size(), Ctx().entity_vocab.size(), &rng);
+  ASSERT_EQ(inst.mlm_targets.size(), size_t(clean.num_tokens()));
+  ASSERT_EQ(inst.mer_targets.size(), size_t(clean.num_entities()));
+  for (int i = 0; i < clean.num_tokens(); ++i) {
+    if (inst.mlm_targets[size_t(i)] >= 0) {
+      EXPECT_EQ(inst.mlm_targets[size_t(i)], clean.token_ids[size_t(i)]);
+    } else {
+      // Unselected positions stay untouched.
+      EXPECT_EQ(inst.input.token_ids[size_t(i)], clean.token_ids[size_t(i)]);
+    }
+  }
+  for (int i = 0; i < clean.num_entities(); ++i) {
+    if (inst.mer_targets[size_t(i)] >= 0) {
+      EXPECT_EQ(inst.mer_targets[size_t(i)], clean.entity_ids[size_t(i)]);
+    } else {
+      EXPECT_EQ(inst.input.entity_ids[size_t(i)],
+                clean.entity_ids[size_t(i)]);
+    }
+  }
+}
+
+TEST(PretrainInstanceTest, SelectionRatesApproximatelyConfigured) {
+  TurlConfig config;  // mlm 0.2, mer 0.6.
+  Rng rng(2);
+  int64_t tokens = 0, selected_tokens = 0, cells = 0, selected_cells = 0;
+  const text::WordPieceTokenizer tok = Ctx().MakeTokenizer();
+  for (size_t t = 0; t < 150; ++t) {
+    EncodedTable clean = EncodeTable(
+        Ctx().corpus.tables[Ctx().corpus.train[t]], tok, Ctx().entity_vocab);
+    PretrainInstance inst = MakePretrainInstance(
+        clean, config, Ctx().vocab.size(), Ctx().entity_vocab.size(), &rng);
+    tokens += clean.num_tokens();
+    for (int v : inst.mlm_targets) selected_tokens += v >= 0;
+    cells += static_cast<int64_t>(MaskableEntityPositions(clean).size());
+    for (int v : inst.mer_targets) selected_cells += v >= 0;
+  }
+  EXPECT_NEAR(double(selected_tokens) / double(tokens), 0.2, 0.03);
+  EXPECT_NEAR(double(selected_cells) / double(cells), 0.6, 0.05);
+}
+
+TEST(PretrainInstanceTest, MerBranchDistribution) {
+  TurlConfig config;
+  Rng rng(3);
+  const text::WordPieceTokenizer tok = Ctx().MakeTokenizer();
+  int64_t kept = 0, masked_both = 0, mention_kept = 0, total = 0;
+  for (size_t t = 0; t < 200; ++t) {
+    EncodedTable clean = EncodeTable(
+        Ctx().corpus.tables[Ctx().corpus.train[t % Ctx().corpus.train.size()]],
+        tok, Ctx().entity_vocab);
+    PretrainInstance inst = MakePretrainInstance(
+        clean, config, Ctx().vocab.size(), Ctx().entity_vocab.size(), &rng);
+    for (int i = 0; i < clean.num_entities(); ++i) {
+      if (inst.mer_targets[size_t(i)] < 0) continue;
+      ++total;
+      const bool id_unchanged =
+          inst.input.entity_ids[size_t(i)] == clean.entity_ids[size_t(i)];
+      const bool mention_unchanged =
+          inst.input.entity_mentions[size_t(i)] ==
+          clean.entity_mentions[size_t(i)];
+      if (id_unchanged && mention_unchanged) {
+        ++kept;
+      } else if (!mention_unchanged) {
+        ++masked_both;
+      } else {
+        ++mention_kept;
+      }
+    }
+  }
+  ASSERT_GT(total, 300);
+  // Paper §4.4: 10% keep both, 63% mask both, 27% keep mention only.
+  EXPECT_NEAR(double(kept) / double(total), 0.10, 0.04);
+  EXPECT_NEAR(double(masked_both) / double(total), 0.63, 0.06);
+  EXPECT_NEAR(double(mention_kept) / double(total), 0.27, 0.06);
+}
+
+TEST(PretrainInstanceTest, MlmBranchDistribution) {
+  TurlConfig config;
+  Rng rng(4);
+  const text::WordPieceTokenizer tok = Ctx().MakeTokenizer();
+  int64_t masked = 0, random_or_same = 0, unchanged = 0, total = 0;
+  for (size_t t = 0; t < 200; ++t) {
+    EncodedTable clean = EncodeTable(
+        Ctx().corpus.tables[Ctx().corpus.train[t % Ctx().corpus.train.size()]],
+        tok, Ctx().entity_vocab);
+    PretrainInstance inst = MakePretrainInstance(
+        clean, config, Ctx().vocab.size(), Ctx().entity_vocab.size(), &rng);
+    for (int i = 0; i < clean.num_tokens(); ++i) {
+      if (inst.mlm_targets[size_t(i)] < 0) continue;
+      ++total;
+      const int now = inst.input.token_ids[size_t(i)];
+      if (now == text::kMaskId) {
+        ++masked;
+      } else if (now == clean.token_ids[size_t(i)]) {
+        ++unchanged;
+      } else {
+        ++random_or_same;
+      }
+    }
+  }
+  ASSERT_GT(total, 300);
+  EXPECT_NEAR(double(masked) / double(total), 0.8, 0.05);
+  // Random replacement may coincide with the original; allow slack.
+  EXPECT_NEAR(double(unchanged + random_or_same) / double(total), 0.2, 0.05);
+  EXPECT_GT(random_or_same, 0);
+}
+
+TEST(CandidatesTest, CooccurrenceSymmetricCounts) {
+  CooccurrenceIndex cooc = CooccurrenceIndex::Build(
+      Ctx().corpus, Ctx().corpus.train, Ctx().entity_vocab);
+  // Pick some entity that co-occurs with another.
+  bool found = false;
+  for (int id = data::EntityVocab::kNumSpecial;
+       id < Ctx().entity_vocab.size() && !found; ++id) {
+    for (int partner : cooc.Cooccurring(id)) {
+      EXPECT_EQ(cooc.Count(id, partner), cooc.Count(partner, id));
+      EXPECT_GT(cooc.Count(id, partner), 0);
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CandidatesTest, InTableIdsAlwaysIncluded) {
+  CooccurrenceIndex cooc = CooccurrenceIndex::Build(
+      Ctx().corpus, Ctx().corpus.train, Ctx().entity_vocab);
+  EncodedTable clean = EncodeFirstTrainTable();
+  Rng rng(5);
+  std::vector<int> candidates = BuildMerCandidates(
+      clean, cooc, Ctx().entity_vocab.size(), /*max_candidates=*/64,
+      /*min_random=*/8, &rng);
+  std::unordered_set<int> set(candidates.begin(), candidates.end());
+  for (int id : clean.entity_ids) {
+    if (id >= data::EntityVocab::kNumSpecial) {
+      EXPECT_TRUE(set.count(id)) << id;
+    }
+  }
+  EXPECT_LE(static_cast<int>(candidates.size()), 64);
+}
+
+TEST(CandidatesTest, NoDuplicatesNoSpecials) {
+  CooccurrenceIndex cooc = CooccurrenceIndex::Build(
+      Ctx().corpus, Ctx().corpus.train, Ctx().entity_vocab);
+  EncodedTable clean = EncodeFirstTrainTable();
+  Rng rng(6);
+  std::vector<int> candidates = BuildMerCandidates(
+      clean, cooc, Ctx().entity_vocab.size(), 128, 16, &rng);
+  std::unordered_set<int> set(candidates.begin(), candidates.end());
+  EXPECT_EQ(set.size(), candidates.size());
+  for (int id : candidates) {
+    EXPECT_GE(id, data::EntityVocab::kNumSpecial);
+    EXPECT_LT(id, Ctx().entity_vocab.size());
+  }
+}
+
+TEST(CandidatesTest, IncludesRandomNegatives) {
+  // With an empty co-occurrence index, candidates are exactly the in-table
+  // ids plus the requested random negatives.
+  CooccurrenceIndex empty_cooc;
+  EncodedTable clean = EncodeFirstTrainTable();
+  Rng rng(7);
+  std::vector<int> without_random = BuildMerCandidates(
+      clean, empty_cooc, Ctx().entity_vocab.size(), 256, 0, &rng);
+  std::vector<int> with_random = BuildMerCandidates(
+      clean, empty_cooc, Ctx().entity_vocab.size(), 256, 32, &rng);
+  EXPECT_GT(with_random.size(), without_random.size());
+  EXPECT_LE(with_random.size(), without_random.size() + 32);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace turl

@@ -1,0 +1,110 @@
+#include "core/representation.h"
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace core {
+namespace {
+
+const TurlContext& Ctx() {
+  static TurlContext* ctx = [] {
+    ContextConfig config;
+    config.corpus.num_tables = 300;
+    config.seed = 42;
+    return new TurlContext(BuildContext(config));
+  }();
+  return *ctx;
+}
+
+const TurlModel& Model() {
+  static TurlModel* model = [] {
+    TurlConfig config;
+    config.num_layers = 1;
+    config.d_model = 32;
+    config.d_intermediate = 64;
+    config.num_heads = 2;
+    return new TurlModel(config, Ctx().vocab.size(),
+                         Ctx().entity_vocab.size(), 1);
+  }();
+  return *model;
+}
+
+TEST(RepresentationTest, ShapesMatchTable) {
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  TableRepresentation rep = ExtractRepresentation(Model(), Ctx(), t);
+  EXPECT_EQ(rep.d_model, 32);
+  EXPECT_FALSE(rep.token_vectors.empty());
+  EXPECT_EQ(rep.token_vectors.size(), rep.tokens.size());
+  for (const auto& v : rep.token_vectors) EXPECT_EQ(v.size(), 32u);
+  EXPECT_EQ(rep.entity_vectors.size(), rep.entity_rows.size());
+  EXPECT_EQ(rep.entity_vectors.size(), rep.entity_kb_ids.size());
+  EXPECT_EQ(rep.column_vectors.size(), size_t(t.num_columns()));
+  for (const auto& v : rep.column_vectors) EXPECT_EQ(v.size(), 64u);
+}
+
+TEST(RepresentationTest, Deterministic) {
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  TableRepresentation a = ExtractRepresentation(Model(), Ctx(), t);
+  TableRepresentation b = ExtractRepresentation(Model(), Ctx(), t);
+  ASSERT_EQ(a.entity_vectors.size(), b.entity_vectors.size());
+  for (size_t i = 0; i < a.entity_vectors.size(); ++i) {
+    EXPECT_EQ(a.entity_vectors[i], b.entity_vectors[i]);
+  }
+}
+
+TEST(RepresentationTest, EntityVectorAtFindsCells) {
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  TableRepresentation rep = ExtractRepresentation(Model(), Ctx(), t);
+  ASSERT_FALSE(rep.entity_vectors.empty());
+  // The first non-topic entity is cell (0, 0).
+  std::vector<float> v = EntityVectorAt(rep, 0, 0);
+  EXPECT_EQ(v.size(), 32u);
+  EXPECT_TRUE(EntityVectorAt(rep, 9999, 0).empty());
+}
+
+TEST(RepresentationTest, ContextualizationDiffersAcrossCells) {
+  // Two different cells must not collapse to one vector.
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  TableRepresentation rep = ExtractRepresentation(Model(), Ctx(), t);
+  ASSERT_GE(rep.entity_vectors.size(), 2u);
+  float max_diff = 0;
+  for (size_t j = 0; j < rep.entity_vectors[0].size(); ++j) {
+    max_diff = std::max(max_diff, std::abs(rep.entity_vectors[0][j] -
+                                           rep.entity_vectors[1][j]));
+  }
+  EXPECT_GT(max_diff, 1e-5f);
+}
+
+TEST(RepresentationTest, SimilarityHelpers) {
+  std::vector<float> a = {1.f, 0.f}, b = {2.f, 0.f}, c = {0.f, 1.f};
+  EXPECT_NEAR(RepresentationSimilarity(a, b), 1.f, 1e-6f);
+  EXPECT_NEAR(RepresentationSimilarity(a, c), 0.f, 1e-6f);
+  EXPECT_EQ(RepresentationSimilarity(a, {}), 0.f);
+  EXPECT_EQ(RepresentationSimilarity({}, {}), 0.f);
+  EXPECT_EQ(RepresentationSimilarity(a, {1.f, 2.f, 3.f}), 0.f);
+}
+
+TEST(RepresentationTest, MetadataOnlyOption) {
+  const data::Table& t = Ctx().corpus.tables[Ctx().corpus.valid[0]];
+  EncodeOptions opts;
+  opts.include_entities = false;
+  opts.include_topic_entity = false;
+  TableRepresentation rep = ExtractRepresentation(Model(), Ctx(), t, opts);
+  EXPECT_TRUE(rep.entity_vectors.empty());
+  EXPECT_FALSE(rep.token_vectors.empty());
+  // Column vectors still exist, entity halves are zero.
+  ASSERT_FALSE(rep.column_vectors.empty());
+  for (const auto& col : rep.column_vectors) {
+    for (size_t j = 32; j < 64; ++j) EXPECT_EQ(col[j], 0.f);
+  }
+}
+
+TEST(RepresentationTest, EmptyTableSafe) {
+  data::Table empty;
+  TableRepresentation rep = ExtractRepresentation(Model(), Ctx(), empty);
+  EXPECT_TRUE(rep.token_vectors.empty() && rep.entity_vectors.empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace turl

@@ -1,0 +1,124 @@
+// Property sweep: the §4.3 visibility rules hold on arbitrary generated
+// tables, across corpus seeds — symmetry, reflexivity, caption/topic
+// totality, and the "no cross row+column entity visibility" exclusion.
+
+#include "core/context.h"
+#include "core/visibility.h"
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace core {
+namespace {
+
+class VisibilityPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VisibilityPropertySweep, InvariantsHoldOnGeneratedTables) {
+  ContextConfig config;
+  config.corpus.num_tables = 40;
+  config.seed = GetParam();
+  TurlContext ctx = BuildContext(config);
+  const text::WordPieceTokenizer tok = ctx.MakeTokenizer();
+
+  for (size_t t = 0; t < 8 && t < ctx.corpus.tables.size(); ++t) {
+    EncodedTable e =
+        EncodeTable(ctx.corpus.tables[t], tok, ctx.entity_vocab);
+    const int n = e.total();
+    ASSERT_GT(n, 0);
+    std::vector<float> mask = BuildVisibilityMask(e, true);
+    for (int i = 0; i < n; ++i) {
+      // Reflexive.
+      EXPECT_EQ(mask[size_t(i * n + i)], 0.f);
+      for (int j = 0; j < n; ++j) {
+        // Symmetric.
+        EXPECT_EQ(mask[size_t(i * n + j)], mask[size_t(j * n + i)]);
+        // Matches the predicate.
+        EXPECT_EQ(mask[size_t(i * n + j)] == 0.f, IsVisible(e, i, j));
+      }
+    }
+
+    // Caption tokens and topic entities see everything.
+    for (int i = 0; i < e.num_tokens(); ++i) {
+      if (e.token_segment[size_t(i)] != kSegmentCaption) continue;
+      for (int j = 0; j < n; ++j) EXPECT_TRUE(IsVisible(e, i, j));
+    }
+    for (int i = 0; i < e.num_entities(); ++i) {
+      if (e.entity_role[size_t(i)] != kRoleTopic) continue;
+      const int row = e.num_tokens() + i;
+      for (int j = 0; j < n; ++j) EXPECT_TRUE(IsVisible(e, row, j));
+    }
+
+    // Entity cells in different rows AND different columns never see each
+    // other; same row or same column always do.
+    for (int i = 0; i < e.num_entities(); ++i) {
+      if (e.entity_role[size_t(i)] == kRoleTopic) continue;
+      for (int j = 0; j < e.num_entities(); ++j) {
+        if (e.entity_role[size_t(j)] == kRoleTopic) continue;
+        const bool same_row = e.entity_row[size_t(i)] == e.entity_row[size_t(j)];
+        const bool same_col =
+            e.entity_column[size_t(i)] == e.entity_column[size_t(j)];
+        EXPECT_EQ(IsVisible(e, e.num_tokens() + i, e.num_tokens() + j),
+                  same_row || same_col);
+      }
+    }
+
+    // Every element sees at least one other element or itself — no
+    // fully-isolated rows (softmax stays well-defined).
+    for (int i = 0; i < n; ++i) {
+      bool any = false;
+      for (int j = 0; j < n; ++j) any |= IsVisible(e, i, j);
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VisibilityPropertySweep,
+                         ::testing::Values(1, 17, 99, 1234, 87654));
+
+class CorpusPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorpusPropertySweep, GeneratedCorpusInvariants) {
+  ContextConfig config;
+  config.corpus.num_tables = 120;
+  config.seed = GetParam();
+  TurlContext ctx = BuildContext(config);
+
+  // Vocabulary contains the corpus' surface text.
+  EXPECT_GT(ctx.vocab.size(), 100);
+  EXPECT_GT(ctx.entity_vocab.size(), data::EntityVocab::kNumSpecial);
+
+  // Splits partition all tables and held-out tables meet §5.1.
+  size_t covered = ctx.corpus.train.size() + ctx.corpus.valid.size() +
+                   ctx.corpus.test.size();
+  EXPECT_EQ(covered, ctx.corpus.tables.size());
+  for (const auto* split : {&ctx.corpus.valid, &ctx.corpus.test}) {
+    for (size_t idx : *split) {
+      const data::Table& t = ctx.corpus.tables[idx];
+      EXPECT_GT(t.NumLinkedSubjectEntities(), 4);
+      EXPECT_GE(t.NumEntityColumns(), 3);
+      EXPECT_GT(t.LinkedCellFraction(), 0.5);
+    }
+  }
+
+  // Tokenizing every caption and mention never produces empty output for
+  // non-empty text (the char fallback guarantees coverage).
+  const text::WordPieceTokenizer tok = ctx.MakeTokenizer();
+  for (size_t i = 0; i < 20 && i < ctx.corpus.tables.size(); ++i) {
+    const data::Table& t = ctx.corpus.tables[i];
+    EXPECT_FALSE(tok.Encode(t.caption).empty());
+    for (const data::Column& col : t.columns) {
+      for (const data::EntityCell& cell : col.cells) {
+        if (!cell.mention.empty() &&
+            !text::BasicTokenize(cell.mention).empty()) {
+          EXPECT_FALSE(tok.Encode(cell.mention).empty());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusPropertySweep,
+                         ::testing::Values(3, 31, 314, 3141));
+
+}  // namespace
+}  // namespace core
+}  // namespace turl

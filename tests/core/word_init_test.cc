@@ -1,0 +1,125 @@
+#include "core/word_init.h"
+
+#include "gtest/gtest.h"
+#include "util/math_util.h"
+
+namespace turl {
+namespace core {
+namespace {
+
+const TurlContext& Ctx() {
+  static TurlContext* ctx = [] {
+    ContextConfig config;
+    config.corpus.num_tables = 250;
+    config.seed = 42;
+    return new TurlContext(BuildContext(config));
+  }();
+  return *ctx;
+}
+
+TurlConfig SmallConfig() {
+  TurlConfig config;
+  config.num_layers = 1;
+  config.d_model = 32;
+  config.d_intermediate = 64;
+  config.num_heads = 2;
+  return config;
+}
+
+TEST(WordInitTest, ReplacesWholeWordRows) {
+  TurlModel model(SmallConfig(), Ctx().vocab.size(),
+                  Ctx().entity_vocab.size(), 1);
+  const std::vector<float> before =
+      model.params()->Get("emb.word.weight").ToVector();
+  Rng rng(3);
+  baselines::Word2VecConfig config;
+  config.epochs = 2;
+  const int replaced = InitializeFromWord2Vec(&model, Ctx(), config, &rng);
+  EXPECT_GT(replaced, 50);
+  const std::vector<float> after =
+      model.params()->Get("emb.word.weight").ToVector();
+  int changed = 0;
+  for (size_t i = 0; i < before.size(); ++i) changed += before[i] != after[i];
+  EXPECT_GT(changed, replaced);  // At least d entries per replaced row.
+}
+
+TEST(WordInitTest, SpecialAndSubwordRowsUntouched) {
+  TurlModel model(SmallConfig(), Ctx().vocab.size(),
+                  Ctx().entity_vocab.size(), 1);
+  const int64_t d = 32;
+  nn::Tensor weight = model.params()->Get("emb.word.weight");
+  std::vector<float> mask_row_before(
+      weight.data() + int64_t(text::kMaskId) * d,
+      weight.data() + int64_t(text::kMaskId + 1) * d);
+  // Find a subword row.
+  int subword_id = -1;
+  for (int id = 0; id < Ctx().vocab.size(); ++id) {
+    const std::string& tok = Ctx().vocab.Token(id);
+    if (tok.rfind("##", 0) == 0) {
+      subword_id = id;
+      break;
+    }
+  }
+  ASSERT_GE(subword_id, 0);
+  std::vector<float> sub_before(weight.data() + int64_t(subword_id) * d,
+                                weight.data() + int64_t(subword_id + 1) * d);
+  Rng rng(4);
+  baselines::Word2VecConfig config;
+  config.epochs = 1;
+  InitializeFromWord2Vec(&model, Ctx(), config, &rng);
+  for (int64_t j = 0; j < d; ++j) {
+    EXPECT_EQ(weight.data()[int64_t(text::kMaskId) * d + j],
+              mask_row_before[size_t(j)]);
+    EXPECT_EQ(weight.data()[int64_t(subword_id) * d + j],
+              sub_before[size_t(j)]);
+  }
+}
+
+TEST(WordInitTest, EntityRowsBecomeNameAverages) {
+  TurlModel model(SmallConfig(), Ctx().vocab.size(),
+                  Ctx().entity_vocab.size(), 1);
+  Rng rng(5);
+  baselines::Word2VecConfig config;
+  config.epochs = 1;
+  InitializeFromWord2Vec(&model, Ctx(), config, &rng);
+  const int64_t d = 32;
+  nn::Tensor words = model.params()->Get("emb.word.weight");
+  nn::Tensor ents = model.params()->Get("emb.entity.weight");
+  const text::WordPieceTokenizer tok = Ctx().MakeTokenizer();
+  // Check a handful of entity rows equal the mean of their name tokens.
+  int checked = 0;
+  for (int eid = data::EntityVocab::kNumSpecial;
+       eid < Ctx().entity_vocab.size() && checked < 5; ++eid) {
+    const kb::EntityId kb_id = Ctx().entity_vocab.KbId(eid);
+    std::vector<int> ids = tok.Encode(Ctx().world.kb.entity(kb_id).name);
+    if (ids.empty()) continue;
+    for (int64_t j = 0; j < d; ++j) {
+      float mean = 0;
+      for (int t : ids) mean += words.data()[int64_t(t) * d + j];
+      mean /= float(ids.size());
+      ASSERT_NEAR(ents.data()[int64_t(eid) * d + j], mean, 1e-5f);
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, 5);
+}
+
+TEST(WordInitTest, CooccurringWordsEndUpCloser) {
+  TurlModel model(SmallConfig(), Ctx().vocab.size(),
+                  Ctx().entity_vocab.size(), 1);
+  Rng rng(6);
+  baselines::Word2VecConfig config;
+  config.epochs = 8;
+  baselines::Word2Vec w2v = TrainCorpusWord2Vec(Ctx(), config, &rng);
+  // "season" and "squad" co-occur in roster captions; "season" and
+  // "discography" never do.
+  if (w2v.Contains("season") && w2v.Contains("squad") &&
+      w2v.Contains("discography")) {
+    EXPECT_GT(w2v.Similarity("season", "squad"),
+              w2v.Similarity("season", "discography"));
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace turl

@@ -1,0 +1,271 @@
+#include <unordered_set>
+
+#include "data/corpus_generator.h"
+#include "data/entity_vocab.h"
+#include "data/stats.h"
+#include "data/table.h"
+#include "gtest/gtest.h"
+#include "kb/kb_generator.h"
+
+namespace turl {
+namespace data {
+namespace {
+
+struct World {
+  kb::SyntheticKb kb_world;
+  Corpus corpus;
+};
+
+World MakeWorld(int num_tables = 400, uint64_t seed = 42) {
+  Rng rng(seed);
+  World w;
+  w.kb_world = kb::GenerateSyntheticKb(kb::KbGeneratorConfig{}, &rng);
+  CorpusGeneratorConfig config;
+  config.num_tables = num_tables;
+  w.corpus = GenerateCorpus(w.kb_world, config, &rng);
+  return w;
+}
+
+TEST(TableTest, DerivedCounts) {
+  Table t;
+  EXPECT_EQ(t.num_rows(), 0);
+  EXPECT_EQ(t.NumEntityColumns(), 0);
+  EXPECT_EQ(t.NumLinkedEntities(), 0);
+  EXPECT_DOUBLE_EQ(t.LinkedCellFraction(), 0.0);
+
+  Column subject;
+  subject.is_entity_column = true;
+  subject.cells = {{1, "a"}, {kb::kInvalidEntity, "b"}, {2, "c"}};
+  Column text_col;
+  text_col.is_entity_column = false;
+  text_col.cells = {{kb::kInvalidEntity, "1"},
+                    {kb::kInvalidEntity, "2"},
+                    {kb::kInvalidEntity, "3"}};
+  t.columns = {subject, text_col};
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.NumEntityColumns(), 1);
+  EXPECT_EQ(t.NumLinkedEntities(), 2);
+  EXPECT_EQ(t.NumLinkedSubjectEntities(), 2);
+  EXPECT_NEAR(t.LinkedCellFraction(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(CorpusGeneratorTest, ProducesRequestedCount) {
+  World w = MakeWorld(300);
+  EXPECT_EQ(w.corpus.tables.size(), 300u);
+}
+
+TEST(CorpusGeneratorTest, DeterministicForSeed) {
+  World a = MakeWorld(100, 9), b = MakeWorld(100, 9);
+  ASSERT_EQ(a.corpus.tables.size(), b.corpus.tables.size());
+  for (size_t i = 0; i < a.corpus.tables.size(); ++i) {
+    EXPECT_EQ(a.corpus.tables[i].caption, b.corpus.tables[i].caption);
+    EXPECT_EQ(a.corpus.tables[i].num_rows(), b.corpus.tables[i].num_rows());
+  }
+}
+
+TEST(CorpusGeneratorTest, EveryTableMeetsMinimumQuality) {
+  World w = MakeWorld();
+  for (const Table& t : w.corpus.tables) {
+    EXPECT_GE(t.NumLinkedEntities(), 3);  // §5.1 filter.
+    EXPECT_GE(t.num_rows(), 3);
+    EXPECT_FALSE(t.caption.empty());
+    EXPECT_TRUE(t.columns[0].is_entity_column);
+    EXPECT_NE(t.topic_entity, kb::kInvalidEntity);
+    for (const Column& col : t.columns) {
+      EXPECT_EQ(static_cast<int>(col.cells.size()), t.num_rows());
+      EXPECT_FALSE(col.header.empty());
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, SubjectsActuallyRelateToTopic) {
+  World w = MakeWorld();
+  const kb::KnowledgeBase& kb = w.kb_world.kb;
+  for (size_t i = 0; i < std::min<size_t>(w.corpus.tables.size(), 50); ++i) {
+    const Table& t = w.corpus.tables[i];
+    for (const EntityCell& cell : t.columns[0].cells) {
+      if (!cell.linked()) continue;
+      const auto& objects = kb.Objects(cell.entity, t.group_relation);
+      EXPECT_TRUE(std::find(objects.begin(), objects.end(), t.topic_entity) !=
+                  objects.end())
+          << "subject not related to topic in " << t.caption;
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, ObjectCellsMatchGroundTruthRelation) {
+  World w = MakeWorld();
+  const kb::KnowledgeBase& kb = w.kb_world.kb;
+  for (size_t i = 0; i < std::min<size_t>(w.corpus.tables.size(), 50); ++i) {
+    const Table& t = w.corpus.tables[i];
+    for (int c = 1; c < t.num_columns(); ++c) {
+      const Column& col = t.columns[size_t(c)];
+      if (!col.is_entity_column || col.relation == kb::kInvalidRelation) {
+        continue;
+      }
+      for (int r = 0; r < t.num_rows(); ++r) {
+        const EntityCell& subject = t.columns[0].cells[size_t(r)];
+        const EntityCell& object = col.cells[size_t(r)];
+        if (!subject.linked() || !object.linked()) continue;
+        const auto& objects = kb.Objects(subject.entity, col.relation);
+        EXPECT_TRUE(std::find(objects.begin(), objects.end(),
+                              object.entity) != objects.end());
+      }
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, PartitionIsDisjointAndComplete) {
+  World w = MakeWorld();
+  std::unordered_set<size_t> seen;
+  for (const auto* split :
+       {&w.corpus.train, &w.corpus.valid, &w.corpus.test}) {
+    for (size_t idx : *split) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+      EXPECT_LT(idx, w.corpus.tables.size());
+    }
+  }
+  EXPECT_EQ(seen.size(), w.corpus.tables.size());
+}
+
+TEST(CorpusGeneratorTest, HeldOutMeetsEligibility) {
+  World w = MakeWorld();
+  for (const auto* split : {&w.corpus.valid, &w.corpus.test}) {
+    for (size_t idx : *split) {
+      const Table& t = w.corpus.tables[idx];
+      EXPECT_GT(t.NumLinkedSubjectEntities(), 4);
+      EXPECT_GE(t.NumEntityColumns(), 3);
+      EXPECT_GT(t.LinkedCellFraction(), 0.5);
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, SomeCellsUnlinkedSomeAliased) {
+  World w = MakeWorld();
+  const kb::KnowledgeBase& kb = w.kb_world.kb;
+  int unlinked = 0, non_canonical = 0, linked = 0;
+  for (const Table& t : w.corpus.tables) {
+    for (const Column& col : t.columns) {
+      if (!col.is_entity_column) continue;
+      for (const EntityCell& cell : col.cells) {
+        if (!cell.linked()) {
+          ++unlinked;
+        } else {
+          ++linked;
+          non_canonical += cell.mention != kb.entity(cell.entity).name;
+        }
+      }
+    }
+  }
+  EXPECT_GT(unlinked, 0);
+  EXPECT_GT(non_canonical, 0);
+  EXPECT_GT(linked, unlinked);  // Most cells stay linked.
+}
+
+TEST(RenderMentionTest, CanonicalWhenNoiseDisabled) {
+  Rng rng(3);
+  World w = MakeWorld(10);
+  const std::string mention =
+      RenderMention(w.kb_world.kb, 0, /*alias=*/0.0, /*typo=*/0.0, &rng);
+  EXPECT_EQ(mention, w.kb_world.kb.entity(0).name);
+}
+
+TEST(RenderMentionTest, TypoChangesMention) {
+  Rng rng(3);
+  World w = MakeWorld(10);
+  const std::string canonical = w.kb_world.kb.entity(0).name;
+  bool changed = false;
+  for (int i = 0; i < 50; ++i) {
+    changed |= RenderMention(w.kb_world.kb, 0, 0.0, 1.0, &rng) != canonical;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(SerializationTest, CorpusRoundTrip) {
+  World w = MakeWorld(50);
+  const std::string path = ::testing::TempDir() + "/corpus.bin";
+  ASSERT_TRUE(SaveCorpus(w.corpus, path).ok());
+  auto loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->tables.size(), w.corpus.tables.size());
+  EXPECT_EQ(loaded->train, w.corpus.train);
+  EXPECT_EQ(loaded->valid, w.corpus.valid);
+  EXPECT_EQ(loaded->test, w.corpus.test);
+  for (size_t i = 0; i < w.corpus.tables.size(); ++i) {
+    const Table& a = w.corpus.tables[i];
+    const Table& b = loaded->tables[i];
+    ASSERT_EQ(a.caption, b.caption);
+    ASSERT_EQ(a.topic_entity, b.topic_entity);
+    ASSERT_EQ(a.num_columns(), b.num_columns());
+    for (int c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.columns[size_t(c)].header, b.columns[size_t(c)].header);
+      ASSERT_EQ(a.columns[size_t(c)].relation, b.columns[size_t(c)].relation);
+      for (int r = 0; r < a.num_rows(); ++r) {
+        ASSERT_EQ(a.columns[size_t(c)].cells[size_t(r)].entity,
+                  b.columns[size_t(c)].cells[size_t(r)].entity);
+        ASSERT_EQ(a.columns[size_t(c)].cells[size_t(r)].mention,
+                  b.columns[size_t(c)].cells[size_t(r)].mention);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, CorruptFileRejected) {
+  const std::string path = ::testing::TempDir() + "/bad_corpus.bin";
+  {
+    BinaryWriter w(path);
+    w.WriteU32(0xDEADBEEF);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_FALSE(LoadCorpus(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(EntityVocabTest, FrequencyFilterAndSpecials) {
+  World w = MakeWorld();
+  EntityVocab vocab = EntityVocab::Build(w.corpus, w.corpus.train, 2);
+  EXPECT_GT(vocab.size(), EntityVocab::kNumSpecial);
+  EXPECT_EQ(vocab.KbId(EntityVocab::kUnkEntity), kb::kInvalidEntity);
+  EXPECT_EQ(vocab.KbId(EntityVocab::kMaskEntity), kb::kInvalidEntity);
+  // First real entity has the highest count; counts are non-increasing.
+  for (int id = EntityVocab::kNumSpecial + 1; id < vocab.size(); ++id) {
+    EXPECT_LE(vocab.Count(id), vocab.Count(id - 1));
+  }
+  for (int id = EntityVocab::kNumSpecial; id < vocab.size(); ++id) {
+    EXPECT_GE(vocab.Count(id), 2);
+    const kb::EntityId kb_id = vocab.KbId(id);
+    EXPECT_EQ(vocab.Id(kb_id), id);  // Bijection on kept entities.
+  }
+}
+
+TEST(EntityVocabTest, UnknownEntityMapsToUnk) {
+  World w = MakeWorld(50);
+  EntityVocab vocab = EntityVocab::Build(w.corpus, w.corpus.train, 1000000);
+  // Absurd min count: nothing survives.
+  EXPECT_EQ(vocab.size(), EntityVocab::kNumSpecial);
+  EXPECT_EQ(vocab.Id(0), EntityVocab::kUnkEntity);
+}
+
+TEST(StatsTest, MatchesHandComputation) {
+  World w = MakeWorld();
+  SplitStats stats = ComputeSplitStats(w.corpus, w.corpus.train);
+  EXPECT_EQ(stats.num_tables, w.corpus.train.size());
+  EXPECT_GE(stats.rows.min, 3);
+  EXPECT_LE(stats.rows.max, 18);
+  EXPECT_GE(stats.rows.mean, stats.rows.min);
+  EXPECT_LE(stats.rows.mean, stats.rows.max);
+  EXPECT_GE(stats.entities.min, 3);
+}
+
+TEST(StatsTest, EmptySplit) {
+  World w = MakeWorld(20);
+  SplitStats stats = ComputeSplitStats(w.corpus, {});
+  EXPECT_EQ(stats.num_tables, 0u);
+  EXPECT_EQ(stats.rows.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace turl

@@ -1,0 +1,109 @@
+#include "data/export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "data/corpus_generator.h"
+#include "gtest/gtest.h"
+#include "kb/kb_generator.h"
+
+namespace turl {
+namespace data {
+namespace {
+
+Table SmallTable() {
+  Table t;
+  t.caption = "demo table";
+  t.topic_mention = "Demo";
+  t.pattern = "unit_test";
+  Column subject;
+  subject.header = "name";
+  subject.is_entity_column = true;
+  subject.cells = {{0, "Alice, \"The\" Doe"}, {kb::kInvalidEntity, "Bob"}};
+  Column year;
+  year.header = "year";
+  year.cells = {{kb::kInvalidEntity, "1999"}, {kb::kInvalidEntity, "2001"}};
+  t.columns = {subject, year};
+  return t;
+}
+
+TEST(CsvEscapeTest, QuotingRules) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(TableToCsvTest, HeaderAndRows) {
+  std::string csv = TableToCsv(SmallTable());
+  std::istringstream in(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "name,year");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "\"Alice, \"\"The\"\" Doe\",1999");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "Bob,2001");
+  EXPECT_FALSE(std::getline(in, line));
+}
+
+TEST(JsonEscapeTest, ControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("x\ny"), "x\\ny");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(TableToJsonTest, StructurePresent) {
+  std::string json = TableToJson(SmallTable());
+  EXPECT_NE(json.find("\"caption\":\"demo table\""), std::string::npos);
+  EXPECT_NE(json.find("\"header\":\"name\""), std::string::npos);
+  EXPECT_NE(json.find("\"entity_column\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"entity_column\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"entity\":0"), std::string::npos);
+  // Unlinked cells carry no "entity" key right after their mention.
+  EXPECT_NE(json.find("{\"mention\":\"Bob\"}"), std::string::npos);
+}
+
+TEST(TableToJsonTest, ResolvesNamesThroughKb) {
+  Rng rng(1);
+  kb::SyntheticKb world = kb::GenerateSyntheticKb(kb::KbGeneratorConfig{},
+                                                  &rng);
+  CorpusGeneratorConfig config;
+  config.num_tables = 5;
+  Corpus corpus = GenerateCorpus(world, config, &rng);
+  std::string json = TableToJson(corpus.tables[0], &world.kb);
+  EXPECT_NE(json.find("\"topic_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"relation\""), std::string::npos);
+}
+
+TEST(ExportCorpusJsonlTest, OneLinePerTablePlusMeta) {
+  Rng rng(2);
+  kb::SyntheticKb world = kb::GenerateSyntheticKb(kb::KbGeneratorConfig{},
+                                                  &rng);
+  CorpusGeneratorConfig config;
+  config.num_tables = 8;
+  Corpus corpus = GenerateCorpus(world, config, &rng);
+  const std::string path = ::testing::TempDir() + "/corpus.jsonl";
+  ASSERT_TRUE(ExportCorpusJsonl(corpus, path, &world.kb).ok());
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, corpus.tables.size() + 1);  // Metadata + tables.
+  std::remove(path.c_str());
+}
+
+TEST(ExportCorpusJsonlTest, BadPathFails) {
+  Corpus corpus;
+  EXPECT_FALSE(ExportCorpusJsonl(corpus, "/no/such/dir/x.jsonl").ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace turl

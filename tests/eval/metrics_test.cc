@@ -1,0 +1,120 @@
+#include "eval/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace eval {
+namespace {
+
+TEST(ComputePrfTest, Basic) {
+  Prf p = ComputePrf(8, 2, 4);
+  EXPECT_DOUBLE_EQ(p.precision, 0.8);
+  EXPECT_NEAR(p.recall, 8.0 / 12.0, 1e-9);
+  EXPECT_NEAR(p.f1, 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-9);
+}
+
+TEST(ComputePrfTest, ZeroDenominators) {
+  Prf p = ComputePrf(0, 0, 0);
+  EXPECT_EQ(p.precision, 0.0);
+  EXPECT_EQ(p.recall, 0.0);
+  EXPECT_EQ(p.f1, 0.0);
+}
+
+TEST(ComputePrfTest, PerfectScores) {
+  Prf p = ComputePrf(5, 0, 0);
+  EXPECT_EQ(p.precision, 1.0);
+  EXPECT_EQ(p.recall, 1.0);
+  EXPECT_EQ(p.f1, 1.0);
+}
+
+TEST(MicroPrfTest, AccumulatesAcrossInstances) {
+  MicroPrf micro;
+  micro.Add({1, 2}, {1});      // tp=1 fp=1.
+  micro.Add({3}, {3, 4});      // tp=1 fn=1.
+  micro.Add({}, {5});          // fn=1.
+  EXPECT_EQ(micro.tp(), 2);
+  EXPECT_EQ(micro.fp(), 1);
+  EXPECT_EQ(micro.fn(), 2);
+  Prf p = micro.Compute();
+  EXPECT_NEAR(p.precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(p.recall, 0.5, 1e-9);
+}
+
+TEST(MicroPrfTest, DuplicatesCountOnce) {
+  MicroPrf micro;
+  micro.Add({1, 1, 1}, {1, 1});
+  EXPECT_EQ(micro.tp(), 1);
+  EXPECT_EQ(micro.fp(), 0);
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({true, true, false}, 2), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRanking) {
+  // Two relevant at ranks 2 and 3 (1-indexed) of 3, num_relevant 2:
+  // AP = (1/2 + 2/3)/2.
+  EXPECT_NEAR(AveragePrecision({false, true, true}, 2),
+              (0.5 + 2.0 / 3.0) / 2.0, 1e-9);
+}
+
+TEST(AveragePrecisionTest, MissingRelevantLowersScore) {
+  // One of two relevant items not retrieved at all.
+  EXPECT_NEAR(AveragePrecision({true, false, false}, 2), 0.5, 1e-9);
+}
+
+TEST(AveragePrecisionTest, ZeroRelevant) {
+  EXPECT_EQ(AveragePrecision({false, false}, 0), 0.0);
+}
+
+TEST(AveragePrecisionTest, SingleRelevantAtRankK) {
+  // AP for a single relevant item at rank k is 1/k.
+  for (int k = 1; k <= 5; ++k) {
+    std::vector<bool> rel(5, false);
+    rel[size_t(k - 1)] = true;
+    EXPECT_NEAR(AveragePrecision(rel, 1), 1.0 / k, 1e-9) << k;
+  }
+}
+
+TEST(MeanOfTest, Basic) {
+  EXPECT_DOUBLE_EQ(MeanOf({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanOf({}), 0.0);
+}
+
+TEST(PrecisionAtKTest, Basic) {
+  EXPECT_NEAR(PrecisionAtK({true, false, true, false}, 4), 0.5, 1e-9);
+  EXPECT_NEAR(PrecisionAtK({true, false, true, false}, 1), 1.0, 1e-9);
+  EXPECT_EQ(PrecisionAtK({}, 3), 0.0);
+  EXPECT_EQ(PrecisionAtK({true}, 0), 0.0);
+}
+
+TEST(HitAtKTest, Basic) {
+  EXPECT_EQ(HitAtK({false, true, false}, 1), 0.0);
+  EXPECT_EQ(HitAtK({false, true, false}, 2), 1.0);
+  EXPECT_EQ(HitAtK({false, false}, 10), 0.0);
+  EXPECT_EQ(HitAtK({}, 3), 0.0);
+}
+
+TEST(RecallAtKTest, Basic) {
+  EXPECT_NEAR(RecallAtK({true, true, false}, 2, 4), 0.5, 1e-9);
+  EXPECT_NEAR(RecallAtK({true, true, false}, 3, 2), 1.0, 1e-9);
+  EXPECT_EQ(RecallAtK({true}, 1, 0), 0.0);
+}
+
+// Property sweep: AP is monotone when a relevant item moves up the ranking.
+class ApMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApMonotoneTest, MovingRelevantUpNeverHurts) {
+  const int pos = GetParam();
+  std::vector<bool> low(6, false), high(6, false);
+  low[size_t(pos)] = true;
+  high[size_t(pos - 1)] = true;
+  EXPECT_GE(AveragePrecision(high, 1), AveragePrecision(low, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, ApMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace eval
+}  // namespace turl

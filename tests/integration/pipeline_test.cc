@@ -1,0 +1,148 @@
+// End-to-end integration: the whole pipeline — synthetic KB -> corpus ->
+// vocabularies -> encoding -> pre-training -> representations -> a task
+// head — runs, learns, and is bit-for-bit deterministic given the seeds.
+
+#include <cmath>
+
+#include "core/model_cache.h"
+#include "core/pretrain.h"
+#include "core/representation.h"
+#include "gtest/gtest.h"
+#include "kb/lookup.h"
+#include "tasks/relation_extraction.h"
+
+namespace turl {
+namespace {
+
+core::ContextConfig SmallContextConfig(uint64_t seed = 42) {
+  core::ContextConfig config;
+  config.corpus.num_tables = 250;
+  config.seed = seed;
+  return config;
+}
+
+core::TurlConfig TinyModelConfig() {
+  core::TurlConfig config;
+  config.num_layers = 1;
+  config.d_model = 32;
+  config.d_intermediate = 64;
+  config.num_heads = 2;
+  return config;
+}
+
+core::PretrainResult RunPipeline(core::TurlModel* model,
+                                 const core::TurlContext& ctx) {
+  core::Pretrainer pretrainer(model, &ctx);
+  core::Pretrainer::Options opts;
+  opts.epochs = 1;
+  opts.max_train_tables = 80;
+  opts.max_eval_tables = 15;
+  opts.seed = 7;
+  return pretrainer.Train(opts);
+}
+
+TEST(PipelineIntegrationTest, FullyDeterministicAcrossRuns) {
+  core::TurlContext ctx_a = core::BuildContext(SmallContextConfig());
+  core::TurlContext ctx_b = core::BuildContext(SmallContextConfig());
+  ASSERT_EQ(ctx_a.vocab.size(), ctx_b.vocab.size());
+  ASSERT_EQ(ctx_a.corpus.tables.size(), ctx_b.corpus.tables.size());
+
+  core::TurlModel model_a(TinyModelConfig(), ctx_a.vocab.size(),
+                          ctx_a.entity_vocab.size(), 1);
+  core::TurlModel model_b(TinyModelConfig(), ctx_b.vocab.size(),
+                          ctx_b.entity_vocab.size(), 1);
+  core::PretrainResult ra = RunPipeline(&model_a, ctx_a);
+  core::PretrainResult rb = RunPipeline(&model_b, ctx_b);
+
+  EXPECT_EQ(ra.steps, rb.steps);
+  EXPECT_DOUBLE_EQ(ra.final_loss, rb.final_loss);
+  EXPECT_DOUBLE_EQ(ra.final_accuracy, rb.final_accuracy);
+
+  // Weights identical to the bit.
+  const nn::Tensor wa = model_a.word_embedding().weight();
+  const nn::Tensor wb = model_b.word_embedding().weight();
+  for (int64_t i = 0; i < wa.numel(); ++i) {
+    ASSERT_EQ(wa.at(i), wb.at(i)) << "weight divergence at " << i;
+  }
+}
+
+TEST(PipelineIntegrationTest, DifferentSeedsDiverge) {
+  core::TurlContext ctx = core::BuildContext(SmallContextConfig());
+  core::TurlModel model_a(TinyModelConfig(), ctx.vocab.size(),
+                          ctx.entity_vocab.size(), 1);
+  core::TurlModel model_b(TinyModelConfig(), ctx.vocab.size(),
+                          ctx.entity_vocab.size(), 2);
+  core::PretrainResult ra = RunPipeline(&model_a, ctx);
+  core::PretrainResult rb = RunPipeline(&model_b, ctx);
+  EXPECT_NE(ra.final_loss, rb.final_loss);
+}
+
+TEST(PipelineIntegrationTest, PretrainedRepresentationsFeedTasks) {
+  core::TurlContext ctx = core::BuildContext(SmallContextConfig());
+  core::TurlModel model(TinyModelConfig(), ctx.vocab.size(),
+                        ctx.entity_vocab.size(), 1);
+  RunPipeline(&model, ctx);
+
+  // Representations extract cleanly from a held-out table.
+  const data::Table& table = ctx.corpus.tables[ctx.corpus.valid[0]];
+  core::TableRepresentation rep =
+      core::ExtractRepresentation(model, ctx, table);
+  ASSERT_FALSE(rep.entity_vectors.empty());
+  for (const auto& v : rep.entity_vectors) {
+    for (float x : v) ASSERT_TRUE(std::isfinite(x));
+  }
+
+  // The pre-trained weights plug straight into a task head and train.
+  tasks::RelationDataset dataset = tasks::BuildRelationDataset(ctx);
+  if (dataset.train.empty() || dataset.valid.empty()) {
+    GTEST_SKIP() << "tiny corpus produced no relation instances";
+  }
+  tasks::TurlRelationExtractor extractor(&model, &ctx, &dataset,
+                                         tasks::InputVariant::Full(), 31);
+  tasks::FinetuneOptions ft;
+  ft.epochs = 1;
+  ft.max_tables = 40;
+  extractor.Finetune(ft);
+  const double map = extractor.EvaluateMap(dataset.valid, 30);
+  EXPECT_GE(map, 0.0);
+  EXPECT_LE(map, 1.0);
+}
+
+TEST(PipelineIntegrationTest, CheckpointSurvivesProcessBoundarySimulation) {
+  // Save -> rebuild everything from scratch (as a fresh process would) ->
+  // load -> identical representations.
+  const std::string dir = ::testing::TempDir() + "/pipeline_cache";
+  core::TurlConfig config = TinyModelConfig();
+  std::remove((dir + "/" + config.CacheTag() + ".ckpt").c_str());
+
+  std::vector<float> vector_before;
+  {
+    core::TurlContext ctx = core::BuildContext(SmallContextConfig());
+    core::TurlModel model(config, ctx.vocab.size(), ctx.entity_vocab.size(),
+                          1);
+    core::Pretrainer::Options opts;
+    opts.epochs = 1;
+    opts.max_train_tables = 40;
+    opts.max_eval_tables = 5;
+    core::GetOrTrainModel(&model, ctx, opts, dir);
+    core::TableRepresentation rep = core::ExtractRepresentation(
+        model, ctx, ctx.corpus.tables[ctx.corpus.valid[0]]);
+    vector_before = rep.entity_vectors[0];
+  }
+  {
+    core::TurlContext ctx = core::BuildContext(SmallContextConfig());
+    core::TurlModel model(config, ctx.vocab.size(), ctx.entity_vocab.size(),
+                          99);  // Different init; must be overwritten by load.
+    core::Pretrainer::Options opts;
+    core::GetOrTrainModel(&model, ctx, opts, dir);
+    core::TableRepresentation rep = core::ExtractRepresentation(
+        model, ctx, ctx.corpus.tables[ctx.corpus.valid[0]]);
+    ASSERT_EQ(rep.entity_vectors[0].size(), vector_before.size());
+    for (size_t i = 0; i < vector_before.size(); ++i) {
+      EXPECT_EQ(rep.entity_vectors[0][i], vector_before[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace turl

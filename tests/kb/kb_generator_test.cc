@@ -1,0 +1,130 @@
+#include "kb/kb_generator.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace kb {
+namespace {
+
+SyntheticKb SmallWorld(uint64_t seed = 42) {
+  KbGeneratorConfig config;
+  config.num_countries = 5;
+  config.num_cities = 20;
+  config.num_teams = 8;
+  config.num_directors = 10;
+  config.num_actors = 30;
+  config.num_athletes = 60;
+  config.num_musicians = 8;
+  Rng rng(seed);
+  return GenerateSyntheticKb(config, &rng);
+}
+
+TEST(KbGeneratorTest, AllTypesAndRelationsPresent) {
+  SyntheticKb world = SmallWorld();
+  for (const char* name :
+       {"person", "pro_athlete", "actor", "director", "musician", "location",
+        "country", "citytown", "organization", "sports_team", "record_label",
+        "creative_work", "film", "album", "award", "language"}) {
+    EXPECT_NE(world.kb.TypeByName(name), kInvalidType) << name;
+  }
+  for (const char* name :
+       {"directed_by", "starring", "film_language", "film_country",
+        "won_award", "plays_for", "nationality", "birthplace", "located_in",
+        "team_city", "artist", "label"}) {
+    EXPECT_NE(world.kb.RelationByName(name), kInvalidRelation) << name;
+  }
+}
+
+TEST(KbGeneratorTest, DeterministicForSeed) {
+  SyntheticKb a = SmallWorld(7), b = SmallWorld(7);
+  ASSERT_EQ(a.kb.num_entities(), b.kb.num_entities());
+  ASSERT_EQ(a.kb.num_facts(), b.kb.num_facts());
+  for (EntityId e = 0; e < a.kb.num_entities(); ++e) {
+    EXPECT_EQ(a.kb.entity(e).name, b.kb.entity(e).name);
+  }
+}
+
+TEST(KbGeneratorTest, DifferentSeedsDiffer) {
+  SyntheticKb a = SmallWorld(1), b = SmallWorld(2);
+  int same = 0, checked = 0;
+  for (EntityId e = 0; e < std::min(a.kb.num_entities(), b.kb.num_entities());
+       ++e) {
+    ++checked;
+    same += a.kb.entity(e).name == b.kb.entity(e).name;
+  }
+  EXPECT_LT(same, checked / 2);
+}
+
+TEST(KbGeneratorTest, EveryCityHasACountry) {
+  SyntheticKb world = SmallWorld();
+  for (EntityId city : world.kb.EntitiesOfType(world.t_citytown)) {
+    ASSERT_EQ(world.kb.Objects(city, world.r_located_in).size(), 1u);
+  }
+}
+
+TEST(KbGeneratorTest, EveryAthleteHasTeamAndNationality) {
+  SyntheticKb world = SmallWorld();
+  int with_team = 0;
+  for (EntityId e = 0; e < world.kb.num_entities(); ++e) {
+    if (!world.kb.Objects(e, world.r_plays_for).empty()) {
+      ++with_team;
+      EXPECT_FALSE(world.kb.Objects(e, world.r_nationality).empty());
+      EXPECT_FALSE(world.kb.Objects(e, world.r_birthplace).empty());
+    }
+  }
+  EXPECT_EQ(with_team, 60);
+}
+
+TEST(KbGeneratorTest, FilmsHaveDirectorAndMultiValuedCast) {
+  SyntheticKb world = SmallWorld();
+  int films = 0;
+  bool any_multi_cast = false;
+  for (EntityId film : world.kb.EntitiesOfType(world.t_film)) {
+    ++films;
+    EXPECT_EQ(world.kb.Objects(film, world.r_directed_by).size(), 1u);
+    const size_t cast = world.kb.Objects(film, world.r_starring).size();
+    EXPECT_GE(cast, 1u);
+    any_multi_cast |= cast > 1;
+  }
+  EXPECT_GE(films, 10 * 4);  // >= min_films_per_director each.
+  EXPECT_TRUE(any_multi_cast);
+}
+
+TEST(KbGeneratorTest, TypeDropoutProducesCoarseOnlyEntities) {
+  SyntheticKb world = SmallWorld();
+  // Some persons lost their fine-grained type (KB incompleteness).
+  EXPECT_FALSE(world.kb.EntitiesOfType(world.t_person).empty());
+}
+
+TEST(KbGeneratorTest, NamesAreUniqueAndAliasesExist) {
+  SyntheticKb world = SmallWorld();
+  std::unordered_set<std::string> names;
+  bool any_alias = false;
+  for (EntityId e = 0; e < world.kb.num_entities(); ++e) {
+    EXPECT_TRUE(names.insert(world.kb.entity(e).name).second)
+        << world.kb.entity(e).name;
+    any_alias |= !world.kb.entity(e).aliases.empty();
+  }
+  EXPECT_TRUE(any_alias);
+}
+
+TEST(KbGeneratorTest, DescriptionsNonEmpty) {
+  SyntheticKb world = SmallWorld();
+  for (EntityId e = 0; e < world.kb.num_entities(); ++e) {
+    EXPECT_FALSE(world.kb.entity(e).description.empty());
+  }
+}
+
+TEST(KbGeneratorTest, PopularityDecreasesWithinCategory) {
+  SyntheticKb world = SmallWorld();
+  const auto& countries = world.kb.EntitiesOfType(world.t_country);
+  ASSERT_GE(countries.size(), 2u);
+  EXPECT_GT(world.kb.entity(countries.front()).popularity,
+            world.kb.entity(countries.back()).popularity);
+}
+
+}  // namespace
+}  // namespace kb
+}  // namespace turl

@@ -1,0 +1,114 @@
+#include "kb/kb_io.h"
+
+#include <cstdio>
+
+#include "gtest/gtest.h"
+#include "kb/kb_generator.h"
+
+namespace turl {
+namespace kb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(KbIoTest, RoundTripPreservesEverything) {
+  Rng rng(5);
+  KbGeneratorConfig config;
+  config.num_directors = 8;
+  config.num_actors = 20;
+  config.num_athletes = 30;
+  config.num_musicians = 5;
+  config.num_cities = 15;
+  SyntheticKb world = GenerateSyntheticKb(config, &rng);
+  const std::string path = TempPath("kb.bin");
+  ASSERT_TRUE(SaveKnowledgeBase(world.kb, path).ok());
+
+  auto loaded = LoadKnowledgeBase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const KnowledgeBase& kb = *loaded;
+
+  ASSERT_EQ(kb.num_types(), world.kb.num_types());
+  ASSERT_EQ(kb.num_relations(), world.kb.num_relations());
+  ASSERT_EQ(kb.num_entities(), world.kb.num_entities());
+  ASSERT_EQ(kb.num_facts(), world.kb.num_facts());
+
+  for (TypeId t = 0; t < kb.num_types(); ++t) {
+    EXPECT_EQ(kb.type(t).name, world.kb.type(t).name);
+    EXPECT_EQ(kb.type(t).parent, world.kb.type(t).parent);
+  }
+  for (RelationId r = 0; r < kb.num_relations(); ++r) {
+    EXPECT_EQ(kb.relation(r).name, world.kb.relation(r).name);
+    EXPECT_EQ(kb.relation(r).subject_type, world.kb.relation(r).subject_type);
+    EXPECT_EQ(kb.relation(r).header_surfaces,
+              world.kb.relation(r).header_surfaces);
+    EXPECT_EQ(kb.relation(r).functional, world.kb.relation(r).functional);
+  }
+  for (EntityId e = 0; e < kb.num_entities(); ++e) {
+    EXPECT_EQ(kb.entity(e).name, world.kb.entity(e).name);
+    EXPECT_EQ(kb.entity(e).aliases, world.kb.entity(e).aliases);
+    EXPECT_EQ(kb.entity(e).description, world.kb.entity(e).description);
+    EXPECT_EQ(kb.entity(e).types, world.kb.entity(e).types);
+    EXPECT_DOUBLE_EQ(kb.entity(e).popularity, world.kb.entity(e).popularity);
+  }
+  EXPECT_EQ(kb.AllFacts(), world.kb.AllFacts());
+  std::remove(path.c_str());
+}
+
+TEST(KbIoTest, QueriesWorkAfterLoad) {
+  Rng rng(6);
+  SyntheticKb world = GenerateSyntheticKb(KbGeneratorConfig{}, &rng);
+  const std::string path = TempPath("kb2.bin");
+  ASSERT_TRUE(SaveKnowledgeBase(world.kb, path).ok());
+  auto loaded = LoadKnowledgeBase(path);
+  ASSERT_TRUE(loaded.ok());
+  // Reverse index rebuilt: subjects of a relation match.
+  const RelationId plays_for = loaded->RelationByName("plays_for");
+  ASSERT_NE(plays_for, kInvalidRelation);
+  bool any = false;
+  for (EntityId e = 0; e < loaded->num_entities() && !any; ++e) {
+    for (EntityId team : loaded->Objects(e, plays_for)) {
+      const auto& subjects = loaded->Subjects(plays_for, team);
+      EXPECT_TRUE(std::find(subjects.begin(), subjects.end(), e) !=
+                  subjects.end());
+      any = true;
+    }
+  }
+  EXPECT_TRUE(any);
+  std::remove(path.c_str());
+}
+
+TEST(KbIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadKnowledgeBase(TempPath("nope.bin")).ok());
+}
+
+TEST(KbIoTest, GarbageFails) {
+  const std::string path = TempPath("garbage_kb.bin");
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("junk", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadKnowledgeBase(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(KbIoTest, AllFactsSortedAndComplete) {
+  Rng rng(7);
+  SyntheticKb world = GenerateSyntheticKb(KbGeneratorConfig{}, &rng);
+  auto facts = world.kb.AllFacts();
+  EXPECT_EQ(facts.size(), size_t(world.kb.num_facts()));
+  // Sorted by (relation, subject, object).
+  for (size_t i = 1; i < facts.size(); ++i) {
+    const auto key = [](const auto& f) {
+      return std::make_tuple(std::get<1>(f), std::get<0>(f), std::get<2>(f));
+    };
+    EXPECT_LE(key(facts[i - 1]), key(facts[i]));
+  }
+}
+
+}  // namespace
+}  // namespace kb
+}  // namespace turl

@@ -1,0 +1,102 @@
+#include "kb/kb.h"
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace kb {
+namespace {
+
+class KbFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    person_ = kb_.AddType("person");
+    actor_ = kb_.AddType("actor", person_);
+    film_ = kb_.AddType("film");
+    starring_ = kb_.AddRelation(
+        {"starring", film_, actor_, {"actor", "starring"}, false});
+    alice_ = kb_.AddEntity(
+        {"Alice Doe", {"A. Doe"}, "Alice Doe is an actor", {actor_}, 1.0});
+    bob_ = kb_.AddEntity({"Bob Roe", {}, "Bob Roe is a person", {person_}, 0.5});
+    movie_ = kb_.AddEntity({"The Movie", {}, "a film", {film_}, 0.8});
+    kb_.AddFact(movie_, starring_, alice_);
+  }
+
+  KnowledgeBase kb_;
+  TypeId person_, actor_, film_;
+  RelationId starring_;
+  EntityId alice_, bob_, movie_;
+};
+
+TEST_F(KbFixture, Counts) {
+  EXPECT_EQ(kb_.num_types(), 3);
+  EXPECT_EQ(kb_.num_relations(), 1);
+  EXPECT_EQ(kb_.num_entities(), 3);
+  EXPECT_EQ(kb_.num_facts(), 1);
+}
+
+TEST_F(KbFixture, LookupByName) {
+  EXPECT_EQ(kb_.TypeByName("actor"), actor_);
+  EXPECT_EQ(kb_.TypeByName("nope"), kInvalidType);
+  EXPECT_EQ(kb_.RelationByName("starring"), starring_);
+  EXPECT_EQ(kb_.RelationByName("nope"), kInvalidRelation);
+}
+
+TEST_F(KbFixture, EntityAccess) {
+  EXPECT_EQ(kb_.entity(alice_).name, "Alice Doe");
+  EXPECT_EQ(kb_.entity(alice_).aliases.size(), 1u);
+  EXPECT_EQ(kb_.relation(starring_).subject_type, film_);
+}
+
+TEST_F(KbFixture, TypeHierarchy) {
+  EXPECT_TRUE(kb_.EntityHasType(alice_, actor_));
+  EXPECT_TRUE(kb_.EntityHasType(alice_, person_));  // Via parent.
+  EXPECT_FALSE(kb_.EntityHasType(alice_, film_));
+  EXPECT_TRUE(kb_.EntityHasType(bob_, person_));
+  EXPECT_FALSE(kb_.EntityHasType(bob_, actor_));  // No downward inheritance.
+}
+
+TEST_F(KbFixture, ExpandedTypes) {
+  auto types = kb_.ExpandedTypes(alice_);
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], actor_);
+  EXPECT_EQ(types[1], person_);
+}
+
+TEST_F(KbFixture, FactQueries) {
+  ASSERT_EQ(kb_.Objects(movie_, starring_).size(), 1u);
+  EXPECT_EQ(kb_.Objects(movie_, starring_)[0], alice_);
+  ASSERT_EQ(kb_.Subjects(starring_, alice_).size(), 1u);
+  EXPECT_EQ(kb_.Subjects(starring_, alice_)[0], movie_);
+  EXPECT_TRUE(kb_.Objects(alice_, starring_).empty());
+  EXPECT_TRUE(kb_.Subjects(starring_, bob_).empty());
+}
+
+TEST_F(KbFixture, DuplicateFactsCollapse) {
+  kb_.AddFact(movie_, starring_, alice_);
+  EXPECT_EQ(kb_.num_facts(), 1);
+  EXPECT_EQ(kb_.Objects(movie_, starring_).size(), 1u);
+}
+
+TEST_F(KbFixture, MultiValuedFacts) {
+  kb_.AddFact(movie_, starring_, bob_);
+  EXPECT_EQ(kb_.Objects(movie_, starring_).size(), 2u);
+}
+
+TEST_F(KbFixture, EntitiesOfType) {
+  ASSERT_EQ(kb_.EntitiesOfType(actor_).size(), 1u);
+  EXPECT_EQ(kb_.EntitiesOfType(actor_)[0], alice_);
+  // Direct type only: Alice is not listed under person.
+  ASSERT_EQ(kb_.EntitiesOfType(person_).size(), 1u);
+  EXPECT_EQ(kb_.EntitiesOfType(person_)[0], bob_);
+}
+
+TEST_F(KbFixture, RelationsWithSubjectType) {
+  auto rels = kb_.RelationsWithSubjectType(film_);
+  ASSERT_EQ(rels.size(), 1u);
+  EXPECT_EQ(rels[0], starring_);
+  EXPECT_TRUE(kb_.RelationsWithSubjectType(person_).empty());
+}
+
+}  // namespace
+}  // namespace kb
+}  // namespace turl

@@ -1,0 +1,131 @@
+#include "kb/lookup.h"
+
+#include "gtest/gtest.h"
+#include "kb/kb_generator.h"
+
+namespace turl {
+namespace kb {
+namespace {
+
+class LookupFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    person_ = kb_.AddType("person");
+    popular_ = kb_.AddEntity(
+        {"Satyajit Rayson", {"S. Rayson"}, "a director", {person_}, 2.0});
+    obscure_ = kb_.AddEntity(
+        {"Satyajit Raysen", {}, "another person", {person_}, 0.1});
+    shared_ = kb_.AddEntity(
+        {"Rayson", {}, "mononym artist", {person_}, 0.5});
+    lookup_ = std::make_unique<LookupService>(&kb_);
+  }
+
+  KnowledgeBase kb_;
+  TypeId person_;
+  EntityId popular_, obscure_, shared_;
+  std::unique_ptr<LookupService> lookup_;
+};
+
+TEST_F(LookupFixture, ExactMatchWins) {
+  EXPECT_EQ(lookup_->Top1("Satyajit Rayson"), popular_);
+  EXPECT_EQ(lookup_->Top1("satyajit rayson"), popular_);  // Normalized.
+  EXPECT_EQ(lookup_->Top1("Rayson"), shared_);
+}
+
+TEST_F(LookupFixture, AliasIndexed) {
+  EXPECT_EQ(lookup_->Top1("S. Rayson"), popular_);
+}
+
+TEST_F(LookupFixture, FuzzyMatchWithinEditDistance) {
+  // One deleted character still finds the entity.
+  auto candidates = lookup_->Lookup("Satyajit Raysn", 10);
+  ASSERT_FALSE(candidates.empty());
+  bool found = false;
+  for (const auto& c : candidates) found |= (c.entity == popular_);
+  EXPECT_TRUE(found);
+}
+
+TEST_F(LookupFixture, AmbiguousSurfaceReturnsBoth) {
+  // "Satyajit Raysen" is 1 edit from "Satyajit Rayson": both the exact hit
+  // and the popular near-miss are proposed; the blended score can let a
+  // very popular near-miss outrank an obscure exact match (like the real
+  // Wikidata Lookup, the service is deliberately imperfect).
+  auto candidates = lookup_->Lookup("Satyajit Raysen", 10);
+  ASSERT_GE(candidates.size(), 2u);
+  bool has_exact = false, has_fuzzy = false;
+  for (const auto& c : candidates) {
+    has_exact |= c.entity == obscure_;
+    has_fuzzy |= c.entity == popular_;
+  }
+  EXPECT_TRUE(has_exact);
+  EXPECT_TRUE(has_fuzzy);
+}
+
+TEST_F(LookupFixture, ExactBeatsFuzzyAtComparablePopularity) {
+  // At generator-scale popularity (<= 1) an exact surface match always
+  // outranks a fuzzy one: 1.0 + p_exact > 0.5 + 0.5 * p_fuzzy.
+  EntityId modest = kb_.AddEntity(
+      {"Satyajit Raysan", {}, "third person", {person_}, 0.9});
+  LookupService fresh(&kb_);
+  auto candidates = fresh.Lookup("Satyajit Raysan", 10);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].entity, modest);
+}
+
+TEST_F(LookupFixture, GarbageReturnsEmpty) {
+  EXPECT_TRUE(lookup_->Lookup("qqqqqqqqqqqqqqqqqqqqqq", 10).empty());
+  EXPECT_EQ(lookup_->Top1("qqqqqqqqqqqqqqqqqqqqqq"), kInvalidEntity);
+  EXPECT_TRUE(lookup_->Lookup("", 10).empty());
+}
+
+TEST_F(LookupFixture, RespectsK) {
+  auto candidates = lookup_->Lookup("Rayson", 1);
+  EXPECT_EQ(candidates.size(), 1u);
+}
+
+TEST_F(LookupFixture, ScoresDescending) {
+  auto candidates = lookup_->Lookup("Satyajit Rayson", 10);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i - 1].score, candidates[i].score);
+  }
+}
+
+TEST(LookupSyntheticTest, HighRecallOnCanonicalNames) {
+  Rng rng(5);
+  kb::SyntheticKb world = GenerateSyntheticKb(KbGeneratorConfig{}, &rng);
+  LookupService lookup(&world.kb);
+  int hits = 0;
+  const int n = std::min(world.kb.num_entities(), 300);
+  for (EntityId e = 0; e < n; ++e) {
+    auto candidates = lookup.Lookup(world.kb.entity(e).name, 50);
+    for (const auto& c : candidates) {
+      if (c.entity == e) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  // Canonical names are indexed, so recall@50 should be near-perfect.
+  EXPECT_GE(hits, n * 95 / 100);
+}
+
+TEST(LookupSyntheticTest, Top1ImperfectUnderAmbiguity) {
+  Rng rng(6);
+  kb::SyntheticKb world = GenerateSyntheticKb(KbGeneratorConfig{}, &rng);
+  LookupService lookup(&world.kb);
+  // Surname-only aliases are shared; top-1 on them cannot always be right.
+  int correct = 0, total = 0;
+  for (EntityId e = 0; e < world.kb.num_entities() && total < 200; ++e) {
+    for (const std::string& alias : world.kb.entity(e).aliases) {
+      ++total;
+      correct += lookup.Top1(alias) == e;
+    }
+  }
+  ASSERT_GT(total, 50);
+  EXPECT_LT(correct, total);  // Some ambiguity resolved incorrectly.
+  EXPECT_GT(correct, total / 4);  // But the popularity prior helps.
+}
+
+}  // namespace
+}  // namespace kb
+}  // namespace turl

@@ -1,0 +1,103 @@
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace nn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void BuildStore(ParamStore* store, uint64_t seed) {
+  Rng rng(seed);
+  store->CreateNormal("enc.w", {3, 4}, 0.5f, &rng);
+  store->CreateNormal("enc.b", {4}, 0.5f, &rng);
+  store->CreateFull("ln.gamma", {4}, 1.f);
+}
+
+TEST(CheckpointTest, RoundTripRestoresValues) {
+  const std::string path = TempPath("ckpt.bin");
+  ParamStore a;
+  BuildStore(&a, 1);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+
+  ParamStore b;
+  BuildStore(&b, 99);  // Different init values.
+  ASSERT_TRUE(LoadCheckpoint(&b, path).ok());
+  for (size_t i = 0; i < a.params().size(); ++i) {
+    const Tensor& ta = a.params()[i].second;
+    const Tensor& tb = b.params()[i].second;
+    ASSERT_EQ(ta.numel(), tb.numel());
+    for (int64_t j = 0; j < ta.numel(); ++j)
+      EXPECT_FLOAT_EQ(ta.at(j), tb.at(j));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileFails) {
+  ParamStore s;
+  BuildStore(&s, 1);
+  EXPECT_FALSE(LoadCheckpoint(&s, TempPath("does_not_exist.bin")).ok());
+}
+
+TEST(CheckpointTest, ParamCountMismatchFails) {
+  const std::string path = TempPath("ckpt_count.bin");
+  ParamStore a;
+  BuildStore(&a, 1);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  ParamStore b;
+  Rng rng(2);
+  b.CreateNormal("only_one", {2}, 0.1f, &rng);
+  EXPECT_EQ(LoadCheckpoint(&b, path).code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShapeMismatchFails) {
+  const std::string path = TempPath("ckpt_shape.bin");
+  ParamStore a;
+  BuildStore(&a, 1);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  ParamStore b;
+  Rng rng(3);
+  b.CreateNormal("enc.w", {4, 3}, 0.1f, &rng);  // Transposed shape.
+  b.CreateNormal("enc.b", {4}, 0.1f, &rng);
+  b.CreateFull("ln.gamma", {4}, 1.f);
+  EXPECT_EQ(LoadCheckpoint(&b, path).code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, NameMismatchFails) {
+  const std::string path = TempPath("ckpt_name.bin");
+  ParamStore a;
+  BuildStore(&a, 1);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  ParamStore b;
+  Rng rng(4);
+  b.CreateNormal("renamed.w", {3, 4}, 0.1f, &rng);
+  b.CreateNormal("enc.b", {4}, 0.1f, &rng);
+  b.CreateFull("ln.gamma", {4}, 1.f);
+  EXPECT_FALSE(LoadCheckpoint(&b, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, GarbageFileFails) {
+  const std::string path = TempPath("garbage.bin");
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("not a checkpoint", f);
+    fclose(f);
+  }
+  ParamStore s;
+  BuildStore(&s, 1);
+  EXPECT_FALSE(LoadCheckpoint(&s, path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace turl

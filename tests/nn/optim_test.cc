@@ -1,0 +1,116 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/ops.h"
+
+namespace turl {
+namespace nn {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // Minimize (w - 3)^2 elementwise.
+  ParamStore store;
+  Tensor w = store.CreateFull("w", {4}, 0.f);
+  Adam adam(&store, AdamConfig{.lr = 0.1f});
+  for (int step = 0; step < 300; ++step) {
+    store.ZeroGrad();
+    Tensor target = Tensor::Full({4}, 3.f);
+    Tensor diff = Sub(w, target);
+    Tensor loss = SumAll(Mul(diff, diff));
+    loss.Backward();
+    adam.Step();
+  }
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(w.at(i), 3.f, 1e-2f);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  ParamStore store;
+  Rng rng(1);
+  Tensor used = store.CreateFull("used", {1}, 0.f);
+  Tensor unused = store.CreateFull("unused", {1}, 7.f);
+  Adam adam(&store, AdamConfig{.lr = 0.5f});
+  store.ZeroGrad();
+  // Only give `used` a gradient by clearing grads then re-accumulating.
+  SumAll(Mul(used, used)).Backward();
+  unused.impl()->grad.clear();  // Simulate a parameter untouched this step.
+  adam.Step();
+  EXPECT_FLOAT_EQ(unused.at(0), 7.f);
+}
+
+TEST(AdamTest, StepCountIncrements) {
+  ParamStore store;
+  Tensor w = store.CreateFull("w", {1}, 1.f);
+  Adam adam(&store, AdamConfig{});
+  EXPECT_EQ(adam.step_count(), 0);
+  store.ZeroGrad();
+  SumAll(w).Backward();
+  adam.Step();
+  EXPECT_EQ(adam.step_count(), 1);
+}
+
+TEST(AdamTest, LrScaleZeroFreezesWeights) {
+  ParamStore store;
+  Tensor w = store.CreateFull("w", {2}, 1.f);
+  Adam adam(&store, AdamConfig{.lr = 0.1f});
+  store.ZeroGrad();
+  SumAll(Mul(w, w)).Backward();
+  adam.Step(/*lr_scale=*/0.f);
+  EXPECT_FLOAT_EQ(w.at(0), 1.f);
+}
+
+TEST(AdamTest, WeightDecayPullsTowardZero) {
+  ParamStore store;
+  Tensor w = store.CreateFull("w", {1}, 5.f);
+  Adam adam(&store, AdamConfig{.lr = 0.05f, .weight_decay = 1.f});
+  for (int step = 0; step < 200; ++step) {
+    store.ZeroGrad();
+    // Loss gradient is 0; only decay acts.
+    w.ZeroGrad();
+    adam.Step();
+  }
+  EXPECT_LT(std::abs(w.at(0)), 1.f);
+}
+
+TEST(LinearDecayScheduleTest, Endpoints) {
+  LinearDecaySchedule sched(100, 0.f);
+  EXPECT_FLOAT_EQ(sched.Scale(0), 1.f);
+  EXPECT_NEAR(sched.Scale(50), 0.5f, 1e-5f);
+  EXPECT_FLOAT_EQ(sched.Scale(100), 0.f);
+  EXPECT_FLOAT_EQ(sched.Scale(1000), 0.f);
+}
+
+TEST(LinearDecayScheduleTest, FinalFraction) {
+  LinearDecaySchedule sched(10, 0.2f);
+  EXPECT_FLOAT_EQ(sched.Scale(0), 1.f);
+  EXPECT_NEAR(sched.Scale(5), 0.6f, 1e-5f);
+  EXPECT_FLOAT_EQ(sched.Scale(10), 0.2f);
+}
+
+TEST(AdamTest, TrainsTinyClassifier) {
+  // Linearly separable 2-class problem must reach zero training error.
+  ParamStore store;
+  Rng rng(2);
+  Tensor w = store.CreateNormal("w", {2, 2}, 0.1f, &rng);
+  Tensor b = store.CreateZeros("b", {2});
+  Adam adam(&store, AdamConfig{.lr = 0.05f});
+  std::vector<float> xs = {1.f, 0.f, 0.9f, 0.1f, 0.f, 1.f, 0.1f, 0.9f};
+  std::vector<int> ys = {0, 0, 1, 1};
+  Tensor x = Tensor::FromVector({4, 2}, xs);
+  for (int step = 0; step < 200; ++step) {
+    store.ZeroGrad();
+    Tensor logits = AddBias(MatMul(x, w), b);
+    SoftmaxCrossEntropy(logits, ys).Backward();
+    adam.Step();
+  }
+  Tensor logits = AddBias(MatMul(x, w), b);
+  for (int i = 0; i < 4; ++i) {
+    int pred = logits.at2(i, 0) > logits.at2(i, 1) ? 0 : 1;
+    EXPECT_EQ(pred, ys[size_t(i)]) << "example " << i;
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace turl

@@ -1,0 +1,133 @@
+#include "tasks/common.h"
+
+#include "core/context.h"
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace tasks {
+namespace {
+
+const core::TurlContext& Ctx() {
+  static core::TurlContext* ctx = [] {
+    core::ContextConfig config;
+    config.corpus.num_tables = 200;
+    config.seed = 42;
+    return new core::TurlContext(core::BuildContext(config));
+  }();
+  return *ctx;
+}
+
+core::EncodedTable Encode(const InputVariant& variant) {
+  const text::WordPieceTokenizer tok = Ctx().MakeTokenizer();
+  core::EncodedTable e =
+      core::EncodeTable(Ctx().corpus.tables[Ctx().corpus.train[0]], tok,
+                        Ctx().entity_vocab, EncodeOptionsFor(variant));
+  ApplyVariant(variant, &e);
+  return e;
+}
+
+TEST(InputVariantTest, FactoryFlags) {
+  EXPECT_TRUE(InputVariant::Full().use_metadata);
+  EXPECT_TRUE(InputVariant::Full().use_entity_ids);
+  EXPECT_FALSE(InputVariant::OnlyEntityMention().use_metadata);
+  EXPECT_FALSE(InputVariant::OnlyEntityMention().use_entity_ids);
+  EXPECT_TRUE(InputVariant::OnlyEntityMention().use_mentions);
+  EXPECT_FALSE(InputVariant::WithoutMetadata().use_metadata);
+  EXPECT_FALSE(InputVariant::WithoutLearnedEmbedding().use_entity_ids);
+  EXPECT_FALSE(InputVariant::OnlyMetadata().use_entities);
+  EXPECT_FALSE(InputVariant::OnlyLearnedEmbedding().use_mentions);
+  EXPECT_FALSE(InputVariant::OnlyLearnedEmbedding().use_metadata);
+}
+
+TEST(ApplyVariantTest, FullKeepsEverything) {
+  core::EncodedTable e = Encode(InputVariant::Full());
+  EXPECT_GT(e.num_tokens(), 0);
+  EXPECT_GT(e.num_entities(), 0);
+  bool any_real_id = false, any_mention = false;
+  for (int id : e.entity_ids) {
+    any_real_id |= id >= data::EntityVocab::kNumSpecial;
+  }
+  for (const auto& m : e.entity_mentions) any_mention |= !m.empty();
+  EXPECT_TRUE(any_real_id);
+  EXPECT_TRUE(any_mention);
+}
+
+TEST(ApplyVariantTest, WithoutLearnedEmbeddingStripsIds) {
+  core::EncodedTable e = Encode(InputVariant::WithoutLearnedEmbedding());
+  for (int id : e.entity_ids) {
+    EXPECT_EQ(id, data::EntityVocab::kUnkEntity);
+  }
+  bool any_mention = false;
+  for (const auto& m : e.entity_mentions) any_mention |= !m.empty();
+  EXPECT_TRUE(any_mention);  // Mentions survive.
+}
+
+TEST(ApplyVariantTest, OnlyLearnedEmbeddingStripsMentionsAndMetadata) {
+  core::EncodedTable e = Encode(InputVariant::OnlyLearnedEmbedding());
+  EXPECT_EQ(e.num_tokens(), 0);
+  for (const auto& m : e.entity_mentions) EXPECT_TRUE(m.empty());
+  bool any_real_id = false;
+  for (int id : e.entity_ids) {
+    any_real_id |= id >= data::EntityVocab::kNumSpecial;
+  }
+  EXPECT_TRUE(any_real_id);
+}
+
+TEST(ApplyVariantTest, OnlyMetadataHasNoEntities) {
+  core::EncodedTable e = Encode(InputVariant::OnlyMetadata());
+  EXPECT_EQ(e.num_entities(), 0);
+  EXPECT_GT(e.num_tokens(), 0);
+}
+
+TEST(ColumnHiddenTest, ShapeAndZeroFallbacks) {
+  core::TurlConfig config;
+  config.num_layers = 1;
+  config.d_model = 32;
+  config.d_intermediate = 64;
+  config.num_heads = 2;
+  core::TurlModel model(config, Ctx().vocab.size(),
+                        Ctx().entity_vocab.size(), 1);
+
+  core::EncodedTable full = Encode(InputVariant::Full());
+  Rng rng(0);
+  nn::Tensor hidden = model.Encode(full, false, &rng);
+  nn::Tensor hc = ColumnHidden(hidden, full, 0, 32);
+  EXPECT_EQ(hc.dim(0), 1);
+  EXPECT_EQ(hc.dim(1), 64);
+
+  // Metadata-free table: header half must be exactly zero.
+  core::EncodedTable no_meta = Encode(InputVariant::WithoutMetadata());
+  nn::Tensor hidden2 = model.Encode(no_meta, false, &rng);
+  nn::Tensor hc2 = ColumnHidden(hidden2, no_meta, 0, 32);
+  for (int64_t j = 0; j < 32; ++j) EXPECT_EQ(hc2.at(j), 0.f);
+  bool entity_half_nonzero = false;
+  for (int64_t j = 32; j < 64; ++j) entity_half_nonzero |= hc2.at(j) != 0.f;
+  EXPECT_TRUE(entity_half_nonzero);
+
+  // Column with no elements at all: both halves zero.
+  nn::Tensor hc3 = ColumnHidden(hidden2, no_meta, 9999, 32);
+  for (int64_t j = 0; j < 64; ++j) EXPECT_EQ(hc3.at(j), 0.f);
+}
+
+TEST(ColumnHiddenTest, GradientFlowsThroughAggregates) {
+  core::TurlConfig config;
+  config.num_layers = 1;
+  config.d_model = 32;
+  config.d_intermediate = 64;
+  config.num_heads = 2;
+  core::TurlModel model(config, Ctx().vocab.size(),
+                        Ctx().entity_vocab.size(), 1);
+  core::EncodedTable full = Encode(InputVariant::Full());
+  Rng rng(0);
+  model.params()->ZeroGrad();
+  nn::Tensor hidden = model.Encode(full, true, &rng);
+  nn::SumAll(ColumnHidden(hidden, full, 0, 32)).Backward();
+  nn::Tensor w = model.params()->Get("encoder.layer0.attn.wq.weight");
+  double g = 0;
+  for (float v : w.grad_vector()) g += std::abs(v);
+  EXPECT_GT(g, 0.0);
+}
+
+}  // namespace
+}  // namespace tasks
+}  // namespace turl

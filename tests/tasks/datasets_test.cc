@@ -1,0 +1,331 @@
+// Tests for the TUBE task dataset builders: column typing, relation
+// extraction, entity linking, row population, cell filling and schema
+// augmentation, all over one shared synthetic context.
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baselines/cell_filling.h"
+#include "baselines/row_population.h"
+#include "gtest/gtest.h"
+#include "kb/lookup.h"
+#include "tasks/cell_filling.h"
+#include "tasks/column_type.h"
+#include "tasks/entity_linking.h"
+#include "tasks/relation_extraction.h"
+#include "tasks/row_population.h"
+#include "tasks/schema_augmentation.h"
+
+namespace turl {
+namespace tasks {
+namespace {
+
+const core::TurlContext& Ctx() {
+  static core::TurlContext* ctx = [] {
+    core::ContextConfig config;
+    config.corpus.num_tables = 500;
+    config.seed = 42;
+    return new core::TurlContext(core::BuildContext(config));
+  }();
+  return *ctx;
+}
+
+// ---------------- Column typing ---------------------------------------------
+
+TEST(ColumnTypeDatasetTest, LabelsComeFromKbTypes) {
+  ColumnTypeDataset d = BuildColumnTypeDataset(Ctx());
+  EXPECT_GT(d.num_labels(), 3);
+  EXPECT_FALSE(d.train.empty());
+  EXPECT_FALSE(d.valid.empty());
+  EXPECT_FALSE(d.test.empty());
+  for (const std::string& name : d.label_names) {
+    EXPECT_NE(Ctx().world.kb.TypeByName(name), kb::kInvalidType) << name;
+  }
+}
+
+TEST(ColumnTypeDatasetTest, InstancesHaveValidLabelsAndColumns) {
+  ColumnTypeDataset d = BuildColumnTypeDataset(Ctx());
+  for (const auto* split : {&d.train, &d.valid, &d.test}) {
+    for (const ColumnTypeInstance& inst : *split) {
+      ASSERT_LT(inst.table_index, Ctx().corpus.tables.size());
+      const data::Table& t = Ctx().corpus.tables[inst.table_index];
+      ASSERT_LT(inst.column, t.num_columns());
+      EXPECT_TRUE(t.columns[size_t(inst.column)].is_entity_column);
+      EXPECT_FALSE(inst.labels.empty());
+      for (int l : inst.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, d.num_labels());
+      }
+    }
+  }
+}
+
+TEST(ColumnTypeDatasetTest, GoldTypesHoldForMajorityOfLinkedEntities) {
+  // Gold labels use majority voting over the (deliberately incomplete) KB
+  // type assignments, so each label must hold for > half the linked cells.
+  ColumnTypeDataset d = BuildColumnTypeDataset(Ctx());
+  for (size_t i = 0; i < std::min<size_t>(d.train.size(), 30); ++i) {
+    const ColumnTypeInstance& inst = d.train[i];
+    const data::Column& col =
+        Ctx().corpus.tables[inst.table_index].columns[size_t(inst.column)];
+    for (int l : inst.labels) {
+      const kb::TypeId type = d.label_types[size_t(l)];
+      int linked = 0, holds = 0;
+      for (const data::EntityCell& cell : col.cells) {
+        if (!cell.linked()) continue;
+        ++linked;
+        holds += Ctx().world.kb.EntityHasType(cell.entity, type);
+      }
+      EXPECT_GT(2 * holds, linked);
+    }
+  }
+}
+
+TEST(ColumnTypeDatasetTest, HierarchyMakesMultiLabelInstances) {
+  ColumnTypeDataset d = BuildColumnTypeDataset(Ctx());
+  bool any_multi = false;
+  for (const ColumnTypeInstance& inst : d.train) {
+    any_multi |= inst.labels.size() > 1;  // e.g. pro_athlete + person.
+  }
+  EXPECT_TRUE(any_multi);
+}
+
+TEST(ColumnTypeDatasetTest, LabelOfResolvesNames) {
+  ColumnTypeDataset d = BuildColumnTypeDataset(Ctx());
+  EXPECT_GE(d.LabelOf("person"), 0);
+  EXPECT_EQ(d.LabelOf("not a type"), -1);
+}
+
+// ---------------- Relation extraction ---------------------------------------
+
+TEST(RelationDatasetTest, LabelsAreKbRelations) {
+  RelationDataset d = BuildRelationDataset(Ctx());
+  EXPECT_GT(d.num_labels(), 3);
+  for (const std::string& name : d.label_names) {
+    EXPECT_NE(Ctx().world.kb.RelationByName(name), kb::kInvalidRelation);
+  }
+}
+
+TEST(RelationDatasetTest, InstancesMatchGroundTruthColumns) {
+  RelationDataset d = BuildRelationDataset(Ctx());
+  for (const auto* split : {&d.train, &d.valid, &d.test}) {
+    ASSERT_FALSE(split->empty());
+    for (const RelationInstance& inst : *split) {
+      const data::Table& t = Ctx().corpus.tables[inst.table_index];
+      ASSERT_GT(inst.object_column, 0);
+      const data::Column& col = t.columns[size_t(inst.object_column)];
+      EXPECT_TRUE(col.is_entity_column);
+      EXPECT_EQ(d.label_names[size_t(inst.label)],
+                Ctx().world.kb.relation(col.relation).name);
+    }
+  }
+}
+
+// ---------------- Entity linking --------------------------------------------
+
+TEST(ElDatasetTest, CandidatesFromLookupAndGoldTracking) {
+  kb::LookupService lookup(&Ctx().world.kb);
+  ElDataset d = BuildElDataset(Ctx(), lookup, Ctx().corpus.valid, 50, false);
+  ASSERT_FALSE(d.instances.empty());
+  int reachable = 0;
+  for (const ElInstance& inst : d.instances) {
+    EXPECT_NE(inst.gold, kb::kInvalidEntity);
+    reachable += std::find(inst.candidates.begin(), inst.candidates.end(),
+                           inst.gold) != inst.candidates.end();
+  }
+  // Candidate generation is good but not perfect (typos, alias dropout).
+  EXPECT_GT(reachable, int(d.instances.size()) / 2);
+  EXPECT_LT(reachable, int(d.instances.size()));
+  EXPECT_GT(d.gold_missing, 0);
+}
+
+TEST(ElDatasetTest, DropUnreachableFiltersTraining) {
+  kb::LookupService lookup(&Ctx().world.kb);
+  ElDataset kept = BuildElDataset(Ctx(), lookup, Ctx().corpus.valid, 50, false);
+  ElDataset dropped =
+      BuildElDataset(Ctx(), lookup, Ctx().corpus.valid, 50, true);
+  EXPECT_LT(dropped.instances.size(), kept.instances.size());
+  for (const ElInstance& inst : dropped.instances) {
+    EXPECT_TRUE(std::find(inst.candidates.begin(), inst.candidates.end(),
+                          inst.gold) != inst.candidates.end());
+  }
+}
+
+TEST(ElDatasetTest, MaxInstancesCap) {
+  kb::LookupService lookup(&Ctx().world.kb);
+  ElDataset d = BuildElDataset(Ctx(), lookup, Ctx().corpus.valid, 50, false,
+                               /*max_instances=*/25);
+  EXPECT_EQ(d.instances.size(), 25u);
+}
+
+TEST(ElEvalTest, OracleBeatsTop1AndPrfArithmetic) {
+  kb::LookupService lookup(&Ctx().world.kb);
+  ElDataset d = BuildElDataset(Ctx(), lookup, Ctx().corpus.valid, 50, false,
+                               300);
+  // Top-1 baseline predictions.
+  std::vector<kb::EntityId> top1;
+  for (const ElInstance& inst : d.instances) {
+    top1.push_back(inst.candidates.empty() ? kb::kInvalidEntity
+                                           : inst.candidates[0]);
+  }
+  eval::Prf lookup_prf = EvaluateElPredictions(d, top1);
+  eval::Prf oracle = EvaluateElOracle(d);
+  EXPECT_GE(oracle.f1, lookup_prf.f1);
+  EXPECT_GT(oracle.recall, 0.5);
+  EXPECT_LE(oracle.recall, 1.0);
+}
+
+// ---------------- Row population --------------------------------------------
+
+TEST(RowPopInstancesTest, SeedsAndGoldPartitionSubjects) {
+  baselines::RowPopCandidateGenerator gen(Ctx().corpus, Ctx().corpus.train);
+  auto instances =
+      BuildRowPopInstances(Ctx(), gen, Ctx().corpus.valid, 1, 6, 40);
+  ASSERT_FALSE(instances.empty());
+  for (const RowPopInstance& inst : instances) {
+    EXPECT_EQ(inst.seeds.size(), 1u);
+    EXPECT_GE(inst.gold.size(), 5u);
+    EXPECT_FALSE(inst.candidates.empty());
+    for (kb::EntityId seed : inst.seeds) {
+      EXPECT_TRUE(std::find(inst.candidates.begin(), inst.candidates.end(),
+                            seed) == inst.candidates.end());
+    }
+  }
+}
+
+TEST(RowPopInstancesTest, ZeroSeedVariant) {
+  baselines::RowPopCandidateGenerator gen(Ctx().corpus, Ctx().corpus.train);
+  auto instances =
+      BuildRowPopInstances(Ctx(), gen, Ctx().corpus.valid, 0, 6, 40);
+  ASSERT_FALSE(instances.empty());
+  for (const RowPopInstance& inst : instances) {
+    EXPECT_TRUE(inst.seeds.empty());
+  }
+}
+
+TEST(RowPopEvalTest, PerfectScoresGiveMapEqualRecall) {
+  baselines::RowPopCandidateGenerator gen(Ctx().corpus, Ctx().corpus.train);
+  auto instances =
+      BuildRowPopInstances(Ctx(), gen, Ctx().corpus.valid, 1, 6, 20);
+  ASSERT_FALSE(instances.empty());
+  // Oracle scores: gold candidates get 1, others 0.
+  std::vector<std::vector<double>> oracle, inverted;
+  for (const RowPopInstance& inst : instances) {
+    std::unordered_set<kb::EntityId> gold(inst.gold.begin(), inst.gold.end());
+    std::vector<double> s;
+    for (kb::EntityId e : inst.candidates) s.push_back(gold.count(e) ? 1 : 0);
+    oracle.push_back(s);
+    for (double& v : s) v = -v;
+    inverted.push_back(s);
+  }
+  RowPopMetrics best = EvaluateRowPopScores(instances, oracle);
+  RowPopMetrics worst = EvaluateRowPopScores(instances, inverted);
+  EXPECT_NEAR(best.map, best.recall, 1e-9);  // All found gold ranked first.
+  EXPECT_GT(best.map, worst.map);
+  EXPECT_NEAR(best.recall, worst.recall, 1e-9);  // Recall ranking-invariant.
+}
+
+// ---------------- Cell filling ----------------------------------------------
+
+TEST(CellFillInstancesTest, StructureAndStats) {
+  baselines::CellFillingIndex index(Ctx().corpus, Ctx().corpus.train);
+  auto instances =
+      BuildCellFillInstances(Ctx(), index, Ctx().corpus.valid, 3, 200);
+  ASSERT_FALSE(instances.empty());
+  for (const CellFillInstance& inst : instances) {
+    EXPECT_NE(inst.subject, kb::kInvalidEntity);
+    EXPECT_NE(inst.gold, kb::kInvalidEntity);
+    EXPECT_GT(inst.object_column, 0);
+  }
+  CellFillCandidateStats stats = ComputeCandidateStats(instances);
+  EXPECT_GT(stats.recall, 0.5);
+  EXPECT_GT(stats.avg_candidates, 1.0);
+}
+
+TEST(CellFillEvalTest, OracleScoresAceAllKs) {
+  baselines::CellFillingIndex index(Ctx().corpus, Ctx().corpus.train);
+  auto instances =
+      BuildCellFillInstances(Ctx(), index, Ctx().corpus.valid, 3, 100);
+  std::vector<std::vector<double>> oracle;
+  for (const CellFillInstance& inst : instances) {
+    std::vector<double> s;
+    for (const auto& cand : inst.candidates) {
+      s.push_back(cand.entity == inst.gold ? 1.0 : 0.0);
+    }
+    oracle.push_back(std::move(s));
+  }
+  CellFillResult r = EvaluateCellFilling(instances, oracle);
+  EXPECT_GT(r.evaluated, 0);
+  EXPECT_NEAR(r.p_at_1, 1.0, 1e-9);
+  EXPECT_NEAR(r.p_at_10, 1.0, 1e-9);
+}
+
+TEST(CellFillEvalTest, PAtKMonotoneInK) {
+  baselines::CellFillingIndex index(Ctx().corpus, Ctx().corpus.train);
+  auto instances =
+      BuildCellFillInstances(Ctx(), index, Ctx().corpus.valid, 3, 100);
+  // Arbitrary deterministic scores.
+  std::vector<std::vector<double>> scores;
+  for (const CellFillInstance& inst : instances) {
+    std::vector<double> s;
+    for (size_t j = 0; j < inst.candidates.size(); ++j) {
+      s.push_back(double((j * 7) % 5));
+    }
+    scores.push_back(std::move(s));
+  }
+  CellFillResult r = EvaluateCellFilling(instances, scores);
+  EXPECT_LE(r.p_at_1, r.p_at_3);
+  EXPECT_LE(r.p_at_3, r.p_at_5);
+  EXPECT_LE(r.p_at_5, r.p_at_10);
+}
+
+// ---------------- Schema augmentation ----------------------------------------
+
+TEST(HeaderVocabTest, NormalizedAndFrequent) {
+  HeaderVocab vocab = BuildHeaderVocab(Ctx());
+  EXPECT_GT(vocab.size(), 5);
+  EXPECT_GE(vocab.Id("player"), 0);
+  EXPECT_EQ(vocab.Id("zzz nope"), -1);
+  // Ids resolve the normalized form.
+  EXPECT_EQ(vocab.Id("Player"), vocab.Id("player"));
+}
+
+TEST(SchemaAugInstancesTest, SeedsAndGoldDisjoint) {
+  HeaderVocab vocab = BuildHeaderVocab(Ctx());
+  auto instances =
+      BuildSchemaAugInstances(Ctx(), vocab, Ctx().corpus.valid, 1, 50);
+  ASSERT_FALSE(instances.empty());
+  for (const SchemaAugInstance& inst : instances) {
+    ASSERT_EQ(inst.seed_headers.size(), 1u);
+    EXPECT_FALSE(inst.gold_headers.empty());
+    for (int g : inst.gold_headers) {
+      EXPECT_NE(g, inst.seed_headers[0]);
+      EXPECT_GE(g, 0);
+      EXPECT_LT(g, vocab.size());
+    }
+  }
+}
+
+TEST(SchemaAugEvalTest, PerfectRankingGetsMapOne) {
+  HeaderVocab vocab = BuildHeaderVocab(Ctx());
+  auto instances =
+      BuildSchemaAugInstances(Ctx(), vocab, Ctx().corpus.valid, 0, 20);
+  ASSERT_FALSE(instances.empty());
+  std::vector<std::vector<int>> rankings;
+  for (const SchemaAugInstance& inst : instances) {
+    rankings.push_back(inst.gold_headers);  // Gold first, nothing else.
+  }
+  EXPECT_NEAR(EvaluateSchemaAugmentation(instances, rankings), 1.0, 1e-9);
+}
+
+TEST(SchemaAugEvalTest, EmptyRankingGetsZero) {
+  HeaderVocab vocab = BuildHeaderVocab(Ctx());
+  auto instances =
+      BuildSchemaAugInstances(Ctx(), vocab, Ctx().corpus.valid, 0, 20);
+  std::vector<std::vector<int>> rankings(instances.size());
+  EXPECT_EQ(EvaluateSchemaAugmentation(instances, rankings), 0.0);
+}
+
+}  // namespace
+}  // namespace tasks
+}  // namespace turl

@@ -1,0 +1,215 @@
+// End-to-end fine-tuning smoke tests: every TUBE task head must train on a
+// small slice and beat a degenerate baseline. These are the integration
+// tests of model + task wiring (full-scale numbers live in bench/).
+
+#include <algorithm>
+
+#include "baselines/cell_filling.h"
+#include "baselines/row_population.h"
+#include "gtest/gtest.h"
+#include "kb/lookup.h"
+#include "tasks/cell_filling.h"
+#include "tasks/column_type.h"
+#include "tasks/entity_linking.h"
+#include "tasks/relation_extraction.h"
+#include "tasks/row_population.h"
+#include "tasks/schema_augmentation.h"
+
+namespace turl {
+namespace tasks {
+namespace {
+
+const core::TurlContext& Ctx() {
+  static core::TurlContext* ctx = [] {
+    core::ContextConfig config;
+    config.corpus.num_tables = 500;
+    config.seed = 42;
+    return new core::TurlContext(core::BuildContext(config));
+  }();
+  return *ctx;
+}
+
+core::TurlConfig SmallConfig() {
+  core::TurlConfig config;
+  config.num_layers = 1;
+  config.d_model = 32;
+  config.d_intermediate = 64;
+  config.num_heads = 2;
+  return config;
+}
+
+std::unique_ptr<core::TurlModel> FreshModel(uint64_t seed = 11) {
+  return std::make_unique<core::TurlModel>(
+      SmallConfig(), Ctx().vocab.size(), Ctx().entity_vocab.size(), seed);
+}
+
+FinetuneOptions QuickOptions() {
+  FinetuneOptions ft;
+  ft.epochs = 2;
+  ft.max_tables = 80;
+  return ft;
+}
+
+TEST(ColumnTypeFinetuneTest, BeatsEmptyPrediction) {
+  ColumnTypeDataset dataset = BuildColumnTypeDataset(Ctx());
+  auto model = FreshModel();
+  TurlColumnTyper typer(model.get(), &Ctx(), &dataset,
+                        InputVariant::Full(), 31);
+  typer.Finetune(QuickOptions());
+  std::vector<ColumnTypeInstance> sample(
+      dataset.valid.begin(),
+      dataset.valid.begin() + std::min<size_t>(dataset.valid.size(), 40));
+  eval::Prf prf = typer.Evaluate(sample);
+  EXPECT_GT(prf.f1, 0.3) << "column typing must learn something";
+}
+
+TEST(ColumnTypeFinetuneTest, VariantsChangeInput) {
+  ColumnTypeDataset dataset = BuildColumnTypeDataset(Ctx());
+  auto model = FreshModel();
+  // "only metadata" must not crash on entity-free encodings and still
+  // produce predictions.
+  TurlColumnTyper typer(model.get(), &Ctx(), &dataset,
+                        InputVariant::OnlyMetadata(), 31);
+  FinetuneOptions ft = QuickOptions();
+  ft.epochs = 1;
+  ft.max_tables = 30;
+  typer.Finetune(ft);
+  (void)typer.Predict(dataset.valid[0]);
+}
+
+TEST(RelationFinetuneTest, LearnsRelations) {
+  RelationDataset dataset = BuildRelationDataset(Ctx());
+  auto model = FreshModel();
+  TurlRelationExtractor extractor(model.get(), &Ctx(), &dataset,
+                                  InputVariant::Full(), 31);
+  const double map_before = extractor.EvaluateMap(dataset.valid, 40);
+  extractor.Finetune(QuickOptions());
+  const double map_after = extractor.EvaluateMap(dataset.valid, 40);
+  EXPECT_GT(map_after, map_before + 0.1);
+  EXPECT_GT(map_after, 0.4);
+}
+
+TEST(RelationFinetuneTest, CallbackFires) {
+  RelationDataset dataset = BuildRelationDataset(Ctx());
+  auto model = FreshModel();
+  TurlRelationExtractor extractor(model.get(), &Ctx(), &dataset,
+                                  InputVariant::Full(), 31);
+  FinetuneOptions ft;
+  ft.epochs = 1;
+  ft.max_tables = 30;
+  int calls = 0;
+  extractor.Finetune(ft, /*eval_every=*/10,
+                     [&](int64_t step, double map) {
+                       ++calls;
+                       EXPECT_GT(step, 0);
+                       EXPECT_GE(map, 0.0);
+                       EXPECT_LE(map, 1.0);
+                     });
+  EXPECT_GE(calls, 2);
+}
+
+TEST(ElFinetuneTest, BeatsFirstCandidateBaseline) {
+  kb::LookupService lookup(&Ctx().world.kb);
+  ElDataset train = BuildElDataset(Ctx(), lookup, Ctx().corpus.train, 20,
+                                   /*drop_unreachable=*/true, 600);
+  ElDataset test = BuildElDataset(Ctx(), lookup, Ctx().corpus.valid, 20,
+                                  false, 200);
+  auto model = FreshModel();
+  TurlEntityLinker linker(model.get(), &Ctx(), {true, true}, 31);
+  FinetuneOptions ft = QuickOptions();
+  linker.Finetune(train, ft);
+  eval::Prf turl = linker.Evaluate(test);
+
+  std::vector<kb::EntityId> first;
+  for (const ElInstance& inst : test.instances) {
+    first.push_back(inst.candidates.empty() ? kb::kInvalidEntity
+                                            : inst.candidates[0]);
+  }
+  eval::Prf top1 = EvaluateElPredictions(test, first);
+  // A tiny random-init model after 2 epochs only needs to be in the same
+  // league as the raw candidate prior here; the pre-trained comparison is
+  // bench_table4's job.
+  EXPECT_GT(turl.f1, top1.f1 - 0.2);
+  EXPECT_GT(turl.f1, 0.3);
+}
+
+TEST(RowPopFinetuneTest, ScoresAlignAndTrainImproves) {
+  baselines::RowPopCandidateGenerator gen(Ctx().corpus, Ctx().corpus.train);
+  auto train = BuildRowPopInstances(Ctx(), gen, Ctx().corpus.train, 1, 4, 150);
+  auto test = BuildRowPopInstances(Ctx(), gen, Ctx().corpus.valid, 1, 6, 40);
+  ASSERT_FALSE(train.empty());
+  ASSERT_FALSE(test.empty());
+  auto model = FreshModel();
+  TurlRowPopulator populator(model.get(), &Ctx());
+
+  auto score_all = [&] {
+    std::vector<std::vector<double>> s;
+    for (const auto& inst : test) s.push_back(populator.Score(inst));
+    return s;
+  };
+  RowPopMetrics before = EvaluateRowPopScores(test, score_all());
+  FinetuneOptions ft;
+  ft.epochs = 2;
+  populator.Finetune(train, ft);
+  RowPopMetrics after = EvaluateRowPopScores(test, score_all());
+  EXPECT_GT(after.map, before.map);
+  EXPECT_NEAR(after.recall, before.recall, 1e-9);  // Shared candidates.
+}
+
+TEST(CellFillerTest, ScoresParallelCandidates) {
+  baselines::CellFillingIndex index(Ctx().corpus, Ctx().corpus.train);
+  auto instances =
+      BuildCellFillInstances(Ctx(), index, Ctx().corpus.valid, 3, 30);
+  ASSERT_FALSE(instances.empty());
+  auto model = FreshModel();
+  TurlCellFiller filler(model.get(), &Ctx());
+  for (size_t i = 0; i < std::min<size_t>(instances.size(), 10); ++i) {
+    auto scores = filler.Score(instances[i]);
+    EXPECT_EQ(scores.size(), instances[i].candidates.size());
+  }
+}
+
+TEST(SchemaAugFinetuneTest, TrainingImprovesMap) {
+  HeaderVocab vocab = BuildHeaderVocab(Ctx());
+  auto train = BuildSchemaAugInstances(Ctx(), vocab, Ctx().corpus.train, 0,
+                                       200);
+  auto test = BuildSchemaAugInstances(Ctx(), vocab, Ctx().corpus.valid, 0, 40);
+  ASSERT_FALSE(train.empty());
+  ASSERT_FALSE(test.empty());
+  auto model = FreshModel();
+  TurlSchemaAugmenter augmenter(model.get(), &Ctx(), &vocab, 31);
+
+  auto rank_all = [&] {
+    std::vector<std::vector<int>> r;
+    for (const auto& inst : test) r.push_back(augmenter.Rank(inst));
+    return r;
+  };
+  const double before = EvaluateSchemaAugmentation(test, rank_all());
+  FinetuneOptions ft;
+  ft.epochs = 3;
+  augmenter.Finetune(train, ft);
+  const double after = EvaluateSchemaAugmentation(test, rank_all());
+  EXPECT_GT(after, before + 0.1);
+  EXPECT_GT(after, 0.3);
+}
+
+TEST(SchemaAugTest, RankExcludesSeeds) {
+  HeaderVocab vocab = BuildHeaderVocab(Ctx());
+  auto instances =
+      BuildSchemaAugInstances(Ctx(), vocab, Ctx().corpus.valid, 1, 10);
+  ASSERT_FALSE(instances.empty());
+  auto model = FreshModel();
+  TurlSchemaAugmenter augmenter(model.get(), &Ctx(), &vocab, 31);
+  for (const auto& inst : instances) {
+    std::vector<int> ranking = augmenter.Rank(inst);
+    for (int h : ranking) {
+      EXPECT_TRUE(std::find(inst.seed_headers.begin(),
+                            inst.seed_headers.end(),
+                            h) == inst.seed_headers.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tasks
+}  // namespace turl

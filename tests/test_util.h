@@ -1,0 +1,62 @@
+#ifndef TURL_TESTS_TEST_UTIL_H_
+#define TURL_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace testing_util {
+
+/// Fills a tensor with uniform values in [lo, hi).
+inline void FillUniform(nn::Tensor* t, Rng* rng, float lo = -1.f,
+                        float hi = 1.f) {
+  float* d = t->data();
+  for (int64_t i = 0; i < t->numel(); ++i) d[i] = rng->UniformFloat(lo, hi);
+}
+
+/// Verifies reverse-mode gradients against central finite differences.
+///
+/// `forward` must rebuild the computation graph from the *current contents*
+/// of `inputs` and return a scalar loss tensor. The helper runs backward once
+/// to collect analytic gradients for each input, then perturbs every input
+/// element to compute a numeric gradient and compares the two with a mixed
+/// absolute/relative tolerance.
+inline void ExpectGradientsMatch(const std::function<nn::Tensor()>& forward,
+                                 std::vector<nn::Tensor> inputs,
+                                 float eps = 1e-2f, float tol = 2e-2f) {
+  for (auto& t : inputs) t.ZeroGrad();
+  nn::Tensor loss = forward();
+  ASSERT_EQ(loss.numel(), 1);
+  loss.Backward();
+
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& t : inputs) analytic.push_back(t.grad_vector());
+
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    nn::Tensor t = inputs[ti];
+    float* d = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      const float saved = d[i];
+      d[i] = saved + eps;
+      const float lp = forward().item();
+      d[i] = saved - eps;
+      const float lm = forward().item();
+      d[i] = saved;
+      const float numeric = (lp - lm) / (2.f * eps);
+      const float got = analytic[ti].empty() ? 0.f : analytic[ti][size_t(i)];
+      EXPECT_NEAR(got, numeric, tol * (1.f + std::abs(numeric)))
+          << "input " << ti << " element " << i;
+    }
+  }
+}
+
+}  // namespace testing_util
+}  // namespace turl
+
+#endif  // TURL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,196 @@
+#include "text/wordpiece.h"
+
+#include "gtest/gtest.h"
+#include "util/serialize.h"
+
+namespace turl {
+namespace text {
+namespace {
+
+TEST(VocabTest, SpecialTokensFixed) {
+  Vocab v;
+  EXPECT_EQ(v.Id(kPadToken), kPadId);
+  EXPECT_EQ(v.Id(kUnkToken), kUnkId);
+  EXPECT_EQ(v.Id(kClsToken), kClsId);
+  EXPECT_EQ(v.Id(kSepToken), kSepId);
+  EXPECT_EQ(v.Id(kMaskToken), kMaskId);
+  EXPECT_EQ(v.size(), 5);
+}
+
+TEST(VocabTest, AddTokenIdempotent) {
+  Vocab v;
+  const int id1 = v.AddToken("film");
+  const int id2 = v.AddToken("film");
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(v.size(), 6);
+  EXPECT_EQ(v.Token(id1), "film");
+}
+
+TEST(VocabTest, UnknownMapsToUnk) {
+  Vocab v;
+  EXPECT_EQ(v.Id("never seen"), kUnkId);
+  EXPECT_FALSE(v.Contains("never seen"));
+}
+
+TEST(VocabTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/vocab.bin";
+  Vocab v;
+  v.AddToken("alpha");
+  v.AddToken("##beta");
+  {
+    BinaryWriter w(path);
+    v.Save(&w);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  auto loaded = Vocab::Load(&r);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), v.size());
+  EXPECT_EQ(loaded->Id("alpha"), v.Id("alpha"));
+  EXPECT_EQ(loaded->Id("##beta"), v.Id("##beta"));
+  std::remove(path.c_str());
+}
+
+TEST(BasicTokenizeTest, LowercasesAndSplits) {
+  auto words = BasicTokenize("The Silent River (1968)");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "the");
+  EXPECT_EQ(words[1], "silent");
+  EXPECT_EQ(words[2], "river");
+  EXPECT_EQ(words[3], "1968");
+}
+
+TEST(BasicTokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(BasicTokenize("").empty());
+  EXPECT_TRUE(BasicTokenize("--- ...").empty());
+}
+
+std::unordered_map<std::string, int64_t> Counts() {
+  return {{"films", 10}, {"filmography", 8}, {"directed", 6},
+          {"satyajit", 5},  {"rayson", 5},    {"awards", 4},
+          {"rare", 1}};
+}
+
+TEST(BuildVocabTest, FrequentWordsIncluded) {
+  Vocab v = BuildWordPieceVocab(Counts());
+  EXPECT_TRUE(v.Contains("films"));
+  EXPECT_TRUE(v.Contains("satyajit"));
+  EXPECT_FALSE(v.Contains("rare"));  // Below min_word_count.
+}
+
+TEST(BuildVocabTest, SingleCharactersAlwaysPresent) {
+  Vocab v = BuildWordPieceVocab({});
+  for (char c = 'a'; c <= 'z'; ++c) {
+    EXPECT_TRUE(v.Contains(std::string(1, c)));
+    EXPECT_TRUE(v.Contains("##" + std::string(1, c)));
+  }
+  EXPECT_TRUE(v.Contains("7"));
+  EXPECT_TRUE(v.Contains("##7"));
+}
+
+TEST(BuildVocabTest, SuffixPiecesMined) {
+  // "films"/"awards" end in "s"; "filmography"... suffixes of length >= 2
+  // with enough counts become ##pieces.
+  WordPieceOptions options;
+  options.min_suffix_count = 10;
+  Vocab v = BuildWordPieceVocab(Counts(), options);
+  // "ms" suffix: films(10) -> count 10 >= 10.
+  EXPECT_TRUE(v.Contains("##ms"));
+}
+
+TEST(BuildVocabTest, RespectsMaxVocabSize) {
+  WordPieceOptions options;
+  options.max_vocab_size = 80;  // Specials + chars only, roughly.
+  Vocab v = BuildWordPieceVocab(Counts(), options);
+  EXPECT_LE(v.size(), 80);
+}
+
+TEST(TokenizerTest, KnownWordSingleToken) {
+  Vocab v = BuildWordPieceVocab(Counts());
+  WordPieceTokenizer tok(&v);
+  auto pieces = tok.TokenizeWord("films");
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "films");
+}
+
+TEST(TokenizerTest, UnknownWordFallsBackToPieces) {
+  Vocab v = BuildWordPieceVocab(Counts());
+  WordPieceTokenizer tok(&v);
+  auto pieces = tok.TokenizeWord("zzq");
+  ASSERT_GE(pieces.size(), 2u);  // Char pieces at worst.
+  EXPECT_EQ(pieces[0], "z");
+  EXPECT_EQ(pieces[1], "##z");
+  EXPECT_EQ(pieces[2], "##q");
+}
+
+TEST(TokenizerTest, GreedyLongestMatchFirst) {
+  Vocab v;
+  v.AddToken("play");
+  v.AddToken("player");
+  v.AddToken("##er");
+  v.AddToken("##r");
+  v.AddToken("##e");
+  WordPieceTokenizer tok(&v);
+  auto pieces = tok.TokenizeWord("player");
+  ASSERT_EQ(pieces.size(), 1u);  // Whole word beats play + ##er.
+  EXPECT_EQ(pieces[0], "player");
+  auto pieces2 = tok.TokenizeWord("playere");
+  ASSERT_EQ(pieces2.size(), 2u);
+  EXPECT_EQ(pieces2[0], "player");
+  EXPECT_EQ(pieces2[1], "##e");
+}
+
+TEST(TokenizerTest, RoundTripThroughIds) {
+  Vocab v = BuildWordPieceVocab(Counts());
+  WordPieceTokenizer tok(&v);
+  auto ids = tok.Encode("Satyajit films");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(v.Token(ids[0]), "satyajit");
+  EXPECT_EQ(v.Token(ids[1]), "films");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  Vocab v;
+  WordPieceTokenizer tok(&v);
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Encode("   ").empty());
+  EXPECT_TRUE(tok.TokenizeWord("").empty());
+}
+
+TEST(TokenizerTest, NeverReturnsEmptyForAlnumWord) {
+  // With chars + continuations in the vocab, any alnum word segments.
+  Vocab v = BuildWordPieceVocab({});
+  WordPieceTokenizer tok(&v);
+  for (const char* word : {"a", "zzzzzz", "x1y2", "1234567890"}) {
+    auto pieces = tok.TokenizeWord(word);
+    EXPECT_FALSE(pieces.empty()) << word;
+    EXPECT_NE(pieces[0], kUnkToken) << word;
+  }
+}
+
+// Parameterized: tokenization length never exceeds word length and
+// reassembling pieces reproduces the word.
+class TokenizerPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TokenizerPropertyTest, PiecesReassembleToWord) {
+  Vocab v = BuildWordPieceVocab(Counts());
+  WordPieceTokenizer tok(&v);
+  const std::string word = GetParam();
+  auto pieces = tok.TokenizeWord(word);
+  ASSERT_FALSE(pieces.empty());
+  std::string rebuilt;
+  for (const auto& p : pieces) {
+    rebuilt += (p.rfind("##", 0) == 0) ? p.substr(2) : p;
+  }
+  EXPECT_EQ(rebuilt, word);
+  EXPECT_LE(pieces.size(), word.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Words, TokenizerPropertyTest,
+                         ::testing::Values("films", "filmography", "rayson",
+                                           "bergstein", "x9k", "moviegoer",
+                                           "a", "ab", "satyajitrayson"));
+
+}  // namespace
+}  // namespace text
+}  // namespace turl

@@ -1,0 +1,96 @@
+#include "util/math_util.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace {
+
+TEST(SoftmaxTest, SumsToOne) {
+  std::vector<float> v = {1.f, 2.f, 3.f};
+  SoftmaxInPlace(&v);
+  float sum = v[0] + v[1] + v[2];
+  EXPECT_NEAR(sum, 1.f, 1e-5f);
+  EXPECT_GT(v[2], v[1]);
+  EXPECT_GT(v[1], v[0]);
+}
+
+TEST(SoftmaxTest, StableForLargeInputs) {
+  std::vector<float> v = {1000.f, 1000.f};
+  SoftmaxInPlace(&v);
+  EXPECT_NEAR(v[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(v[1], 0.5f, 1e-5f);
+}
+
+TEST(SoftmaxTest, EmptyIsNoop) {
+  std::vector<float> v;
+  SoftmaxInPlace(&v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(LogSumExpTest, MatchesDirectComputation) {
+  std::vector<float> v = {0.5f, -1.f, 2.f};
+  float direct = std::log(std::exp(0.5f) + std::exp(-1.f) + std::exp(2.f));
+  EXPECT_NEAR(LogSumExp(v), direct, 1e-5f);
+}
+
+TEST(LogSumExpTest, StableForLargeInputs) {
+  std::vector<float> v = {500.f, 500.f};
+  EXPECT_NEAR(LogSumExp(v), 500.f + std::log(2.f), 1e-3f);
+}
+
+TEST(DotTest, Basic) {
+  EXPECT_FLOAT_EQ(Dot({1.f, 2.f, 3.f}, {4.f, 5.f, 6.f}), 32.f);
+  EXPECT_FLOAT_EQ(Dot(std::vector<float>{}, std::vector<float>{}), 0.f);
+}
+
+TEST(L2NormTest, Basic) {
+  float v[] = {3.f, 4.f};
+  EXPECT_FLOAT_EQ(L2Norm(v, 2), 5.f);
+}
+
+TEST(CosineSimilarityTest, ParallelAndOrthogonal) {
+  EXPECT_NEAR(CosineSimilarity({1.f, 0.f}, {2.f, 0.f}), 1.f, 1e-6f);
+  EXPECT_NEAR(CosineSimilarity({1.f, 0.f}, {0.f, 1.f}), 0.f, 1e-6f);
+  EXPECT_NEAR(CosineSimilarity({1.f, 0.f}, {-1.f, 0.f}), -1.f, 1e-6f);
+}
+
+TEST(CosineSimilarityTest, ZeroVectorYieldsZero) {
+  EXPECT_FLOAT_EQ(CosineSimilarity({0.f, 0.f}, {1.f, 2.f}), 0.f);
+}
+
+TEST(ArgMaxTest, FirstOnTies) {
+  EXPECT_EQ(ArgMax({1.f, 5.f, 5.f, 2.f}), 1u);
+  EXPECT_EQ(ArgMax({7.f}), 0u);
+}
+
+TEST(TopKTest, OrderedByValue) {
+  auto idx = TopK({0.1f, 0.9f, 0.5f, 0.7f}, 3);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 3u);
+  EXPECT_EQ(idx[2], 2u);
+}
+
+TEST(TopKTest, ClampsK) {
+  auto idx = TopK({1.f, 2.f}, 10);
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(TopKTest, TiesBrokenByLowerIndex) {
+  auto idx = TopK({3.f, 3.f, 3.f}, 2);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+}
+
+TEST(MeanMedianTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.0);  // Lower median.
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+}  // namespace
+}  // namespace turl

@@ -1,0 +1,189 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(13);
+    EXPECT_LT(v, 13u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NormalWithMeanStddev) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliDegenerate) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(23);
+  int first = 0, later = 0;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.Zipf(50, 1.1);
+    EXPECT_LT(v, 50u);
+    if (v == 0) ++first;
+    if (v >= 25) ++later;
+  }
+  EXPECT_GT(first, later);
+}
+
+TEST(RngTest, DiscretePrefersHeavyWeights) {
+  Rng rng(29);
+  std::vector<double> w = {0.1, 0.0, 10.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) ++counts[rng.Discrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 10);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(33);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  auto s = rng.SampleWithoutReplacement(20, 10);
+  EXPECT_EQ(s.size(), 10u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  for (size_t v : s) EXPECT_LT(v, 20u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(39);
+  auto s = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementZero) {
+  Rng rng(41);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+}
+
+TEST(DiscreteDistributionTest, MatchesWeights) {
+  Rng rng(43);
+  DiscreteDistribution dist({1.0, 3.0, 0.0, 6.0});
+  std::vector<int> counts(4, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[dist.Sample(&rng)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / double(n), 0.6, 0.02);
+}
+
+TEST(DiscreteDistributionTest, SingleElement) {
+  Rng rng(47);
+  DiscreteDistribution dist({2.5});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dist.Sample(&rng), 0u);
+}
+
+TEST(ZipfWeightsTest, MonotoneDecreasing) {
+  auto w = ZipfWeights(10, 1.0);
+  ASSERT_EQ(w.size(), 10u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+}  // namespace
+}  // namespace turl

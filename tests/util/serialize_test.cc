@@ -1,0 +1,141 @@
+#include "util/serialize.h"
+
+#include <cstdio>
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripScalars) {
+  const std::string path = TempPath("scalars.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU32(42);
+    w.WriteU64(1ull << 40);
+    w.WriteI64(-77);
+    w.WriteFloat(1.5f);
+    w.WriteDouble(-2.25);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadU32(), 42u);
+  EXPECT_EQ(r.ReadU64(), 1ull << 40);
+  EXPECT_EQ(r.ReadI64(), -77);
+  EXPECT_EQ(r.ReadFloat(), 1.5f);
+  EXPECT_EQ(r.ReadDouble(), -2.25);
+  EXPECT_TRUE(r.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RoundTripStringsAndVectors) {
+  const std::string path = TempPath("vectors.bin");
+  std::vector<float> fv = {1.f, -2.f, 3.5f};
+  std::vector<uint32_t> uv = {9, 8, 7};
+  std::vector<std::string> sv = {"caption", "", "header col"};
+  {
+    BinaryWriter w(path);
+    w.WriteString("hello");
+    w.WriteFloatVector(fv);
+    w.WriteU32Vector(uv);
+    w.WriteStringVector(sv);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadFloatVector(), fv);
+  EXPECT_EQ(r.ReadU32Vector(), uv);
+  EXPECT_EQ(r.ReadStringVector(), sv);
+  EXPECT_TRUE(r.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmptyVectors) {
+  const std::string path = TempPath("empty.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteFloatVector({});
+    w.WriteStringVector({});
+    w.WriteString("");
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_TRUE(r.ReadFloatVector().empty());
+  EXPECT_TRUE(r.ReadStringVector().empty());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShortReadSetsError) {
+  const std::string path = TempPath("short.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU32(1);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadU32(), 1u);
+  (void)r.ReadU64();  // Past EOF.
+  EXPECT_FALSE(r.status().ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsError) {
+  BinaryReader r("/nonexistent/dir/file.bin");
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST(SerializeTest, UnwritablePathIsError) {
+  BinaryWriter w("/nonexistent/dir/file.bin");
+  EXPECT_FALSE(w.status().ok());
+}
+
+TEST(SerializeTest, CorruptLengthRejected) {
+  const std::string path = TempPath("corrupt.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU64(~0ull);  // Absurd string length.
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  (void)r.ReadString();
+  EXPECT_FALSE(r.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(FileExistsTest, Basic) {
+  const std::string path = TempPath("exists.bin");
+  EXPECT_FALSE(FileExists(path));
+  {
+    BinaryWriter w(path);
+    w.WriteU32(0);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_TRUE(FileExists(path));
+  std::remove(path.c_str());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(MakeDirsTest, CreatesNestedAndIsIdempotent) {
+  const std::string dir = TempPath("a/b/c");
+  EXPECT_TRUE(MakeDirs(dir).ok());
+  EXPECT_TRUE(MakeDirs(dir).ok());
+  const std::string file = dir + "/f.bin";
+  BinaryWriter w(file);
+  w.WriteU32(5);
+  EXPECT_TRUE(w.Close().ok());
+  std::remove(file.c_str());
+}
+
+TEST(MakeDirsTest, EmptyPathRejected) {
+  EXPECT_FALSE(MakeDirs("").ok());
+}
+
+}  // namespace
+}  // namespace turl

@@ -1,0 +1,101 @@
+#include "util/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace {
+
+TEST(SplitStringTest, Basic) {
+  auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitStringTest, DropsEmptyPieces) {
+  auto parts = SplitString(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(SplitStringTest, EmptyInput) {
+  EXPECT_TRUE(SplitString("", ',').empty());
+}
+
+TEST(SplitWhitespaceTest, MixedWhitespace) {
+  auto parts = SplitWhitespace("  hello\tworld \n foo ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[1], "world");
+  EXPECT_EQ(parts[2], "foo");
+}
+
+TEST(JoinStringsTest, Basic) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  std::string s = "year club goals";
+  EXPECT_EQ(JoinStrings(SplitWhitespace(s), " "), s);
+}
+
+TEST(ToLowerAsciiTest, Basic) {
+  EXPECT_EQ(ToLowerAscii("Hello World 42!"), "hello world 42!");
+}
+
+TEST(StripAsciiTest, Basic) {
+  EXPECT_EQ(StripAscii("  x y  "), "x y");
+  EXPECT_EQ(StripAscii("\t\n"), "");
+  EXPECT_EQ(StripAscii("abc"), "abc");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(EditDistanceTest, Identical) { EXPECT_EQ(EditDistance("abc", "abc"), 0u); }
+
+TEST(EditDistanceTest, Classic) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+}
+
+TEST(EditDistanceTest, EmptyStrings) {
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", ""), 0u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("satyajit", "satyajlt"),
+            EditDistance("satyajlt", "satyajit"));
+}
+
+TEST(NormalizeSurfaceTest, LowercasesAndCollapses) {
+  EXPECT_EQ(NormalizeSurface("  Satyajit   Ray "), "satyajit ray");
+  EXPECT_EQ(NormalizeSurface("St. Louis, MO"), "st louis mo");
+  EXPECT_EQ(NormalizeSurface("ABC-DEF"), "abc def");
+}
+
+TEST(NormalizeSurfaceTest, Empty) {
+  EXPECT_EQ(NormalizeSurface(""), "");
+  EXPECT_EQ(NormalizeSurface("   "), "");
+  EXPECT_EQ(NormalizeSurface("..."), "");
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace turl
