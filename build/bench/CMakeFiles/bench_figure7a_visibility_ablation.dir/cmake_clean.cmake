@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure7a_visibility_ablation.dir/bench_figure7a_visibility_ablation.cc.o"
+  "CMakeFiles/bench_figure7a_visibility_ablation.dir/bench_figure7a_visibility_ablation.cc.o.d"
+  "bench_figure7a_visibility_ablation"
+  "bench_figure7a_visibility_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7a_visibility_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figure7a_visibility_ablation.
+# This may be replaced when dependencies are built.

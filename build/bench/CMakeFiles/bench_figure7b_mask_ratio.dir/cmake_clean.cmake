@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure7b_mask_ratio.dir/bench_figure7b_mask_ratio.cc.o"
+  "CMakeFiles/bench_figure7b_mask_ratio.dir/bench_figure7b_mask_ratio.cc.o.d"
+  "bench_figure7b_mask_ratio"
+  "bench_figure7b_mask_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7b_mask_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

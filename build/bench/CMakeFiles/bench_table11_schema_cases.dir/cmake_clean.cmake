@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_schema_cases.dir/bench_table11_schema_cases.cc.o"
+  "CMakeFiles/bench_table11_schema_cases.dir/bench_table11_schema_cases.cc.o.d"
+  "bench_table11_schema_cases"
+  "bench_table11_schema_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_schema_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

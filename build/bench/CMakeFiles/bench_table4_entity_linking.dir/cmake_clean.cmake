@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_entity_linking.dir/bench_table4_entity_linking.cc.o"
+  "CMakeFiles/bench_table4_entity_linking.dir/bench_table4_entity_linking.cc.o.d"
+  "bench_table4_entity_linking"
+  "bench_table4_entity_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_entity_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

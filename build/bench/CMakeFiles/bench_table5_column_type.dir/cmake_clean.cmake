@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_column_type.dir/bench_table5_column_type.cc.o"
+  "CMakeFiles/bench_table5_column_type.dir/bench_table5_column_type.cc.o.d"
+  "bench_table5_column_type"
+  "bench_table5_column_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_column_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_relation_extraction.dir/bench_table7_relation_extraction.cc.o"
+  "CMakeFiles/bench_table7_relation_extraction.dir/bench_table7_relation_extraction.cc.o.d"
+  "bench_table7_relation_extraction"
+  "bench_table7_relation_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_relation_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

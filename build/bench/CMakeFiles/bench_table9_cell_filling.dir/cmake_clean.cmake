@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_cell_filling.dir/bench_table9_cell_filling.cc.o"
+  "CMakeFiles/bench_table9_cell_filling.dir/bench_table9_cell_filling.cc.o.d"
+  "bench_table9_cell_filling"
+  "bench_table9_cell_filling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_cell_filling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/embedding_explorer.cpp" "examples/CMakeFiles/embedding_explorer.dir/embedding_explorer.cpp.o" "gcc" "examples/CMakeFiles/embedding_explorer.dir/embedding_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tasks/CMakeFiles/turl_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/turl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/turl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/turl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/turl_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/turl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/turl_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/turl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_population.dir/kb_population.cpp.o"
+  "CMakeFiles/kb_population.dir/kb_population.cpp.o.d"
+  "kb_population"
+  "kb_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

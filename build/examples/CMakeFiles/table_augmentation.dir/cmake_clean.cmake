@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_augmentation.dir/table_augmentation.cpp.o"
+  "CMakeFiles/table_augmentation.dir/table_augmentation.cpp.o.d"
+  "table_augmentation"
+  "table_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_interpretation.dir/table_interpretation.cpp.o"
+  "CMakeFiles/table_interpretation.dir/table_interpretation.cpp.o.d"
+  "table_interpretation"
+  "table_interpretation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_interpretation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

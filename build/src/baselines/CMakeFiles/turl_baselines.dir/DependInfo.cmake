@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bm25.cc" "src/baselines/CMakeFiles/turl_baselines.dir/bm25.cc.o" "gcc" "src/baselines/CMakeFiles/turl_baselines.dir/bm25.cc.o.d"
+  "/root/repo/src/baselines/cell_filling.cc" "src/baselines/CMakeFiles/turl_baselines.dir/cell_filling.cc.o" "gcc" "src/baselines/CMakeFiles/turl_baselines.dir/cell_filling.cc.o.d"
+  "/root/repo/src/baselines/entity_linking_baselines.cc" "src/baselines/CMakeFiles/turl_baselines.dir/entity_linking_baselines.cc.o" "gcc" "src/baselines/CMakeFiles/turl_baselines.dir/entity_linking_baselines.cc.o.d"
+  "/root/repo/src/baselines/knn_schema.cc" "src/baselines/CMakeFiles/turl_baselines.dir/knn_schema.cc.o" "gcc" "src/baselines/CMakeFiles/turl_baselines.dir/knn_schema.cc.o.d"
+  "/root/repo/src/baselines/row_population.cc" "src/baselines/CMakeFiles/turl_baselines.dir/row_population.cc.o" "gcc" "src/baselines/CMakeFiles/turl_baselines.dir/row_population.cc.o.d"
+  "/root/repo/src/baselines/sherlock.cc" "src/baselines/CMakeFiles/turl_baselines.dir/sherlock.cc.o" "gcc" "src/baselines/CMakeFiles/turl_baselines.dir/sherlock.cc.o.d"
+  "/root/repo/src/baselines/word2vec.cc" "src/baselines/CMakeFiles/turl_baselines.dir/word2vec.cc.o" "gcc" "src/baselines/CMakeFiles/turl_baselines.dir/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/turl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/turl_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/turl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/turl_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turl_baselines.dir/bm25.cc.o"
+  "CMakeFiles/turl_baselines.dir/bm25.cc.o.d"
+  "CMakeFiles/turl_baselines.dir/cell_filling.cc.o"
+  "CMakeFiles/turl_baselines.dir/cell_filling.cc.o.d"
+  "CMakeFiles/turl_baselines.dir/entity_linking_baselines.cc.o"
+  "CMakeFiles/turl_baselines.dir/entity_linking_baselines.cc.o.d"
+  "CMakeFiles/turl_baselines.dir/knn_schema.cc.o"
+  "CMakeFiles/turl_baselines.dir/knn_schema.cc.o.d"
+  "CMakeFiles/turl_baselines.dir/row_population.cc.o"
+  "CMakeFiles/turl_baselines.dir/row_population.cc.o.d"
+  "CMakeFiles/turl_baselines.dir/sherlock.cc.o"
+  "CMakeFiles/turl_baselines.dir/sherlock.cc.o.d"
+  "CMakeFiles/turl_baselines.dir/word2vec.cc.o"
+  "CMakeFiles/turl_baselines.dir/word2vec.cc.o.d"
+  "libturl_baselines.a"
+  "libturl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

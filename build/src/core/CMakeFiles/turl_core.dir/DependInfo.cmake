@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidates.cc" "src/core/CMakeFiles/turl_core.dir/candidates.cc.o" "gcc" "src/core/CMakeFiles/turl_core.dir/candidates.cc.o.d"
+  "/root/repo/src/core/context.cc" "src/core/CMakeFiles/turl_core.dir/context.cc.o" "gcc" "src/core/CMakeFiles/turl_core.dir/context.cc.o.d"
+  "/root/repo/src/core/masking.cc" "src/core/CMakeFiles/turl_core.dir/masking.cc.o" "gcc" "src/core/CMakeFiles/turl_core.dir/masking.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/turl_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/turl_core.dir/model.cc.o.d"
+  "/root/repo/src/core/model_cache.cc" "src/core/CMakeFiles/turl_core.dir/model_cache.cc.o" "gcc" "src/core/CMakeFiles/turl_core.dir/model_cache.cc.o.d"
+  "/root/repo/src/core/pretrain.cc" "src/core/CMakeFiles/turl_core.dir/pretrain.cc.o" "gcc" "src/core/CMakeFiles/turl_core.dir/pretrain.cc.o.d"
+  "/root/repo/src/core/representation.cc" "src/core/CMakeFiles/turl_core.dir/representation.cc.o" "gcc" "src/core/CMakeFiles/turl_core.dir/representation.cc.o.d"
+  "/root/repo/src/core/table_encoding.cc" "src/core/CMakeFiles/turl_core.dir/table_encoding.cc.o" "gcc" "src/core/CMakeFiles/turl_core.dir/table_encoding.cc.o.d"
+  "/root/repo/src/core/visibility.cc" "src/core/CMakeFiles/turl_core.dir/visibility.cc.o" "gcc" "src/core/CMakeFiles/turl_core.dir/visibility.cc.o.d"
+  "/root/repo/src/core/word_init.cc" "src/core/CMakeFiles/turl_core.dir/word_init.cc.o" "gcc" "src/core/CMakeFiles/turl_core.dir/word_init.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/turl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/turl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/turl_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/turl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/turl_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turl_core.dir/candidates.cc.o"
+  "CMakeFiles/turl_core.dir/candidates.cc.o.d"
+  "CMakeFiles/turl_core.dir/context.cc.o"
+  "CMakeFiles/turl_core.dir/context.cc.o.d"
+  "CMakeFiles/turl_core.dir/masking.cc.o"
+  "CMakeFiles/turl_core.dir/masking.cc.o.d"
+  "CMakeFiles/turl_core.dir/model.cc.o"
+  "CMakeFiles/turl_core.dir/model.cc.o.d"
+  "CMakeFiles/turl_core.dir/model_cache.cc.o"
+  "CMakeFiles/turl_core.dir/model_cache.cc.o.d"
+  "CMakeFiles/turl_core.dir/pretrain.cc.o"
+  "CMakeFiles/turl_core.dir/pretrain.cc.o.d"
+  "CMakeFiles/turl_core.dir/representation.cc.o"
+  "CMakeFiles/turl_core.dir/representation.cc.o.d"
+  "CMakeFiles/turl_core.dir/table_encoding.cc.o"
+  "CMakeFiles/turl_core.dir/table_encoding.cc.o.d"
+  "CMakeFiles/turl_core.dir/visibility.cc.o"
+  "CMakeFiles/turl_core.dir/visibility.cc.o.d"
+  "CMakeFiles/turl_core.dir/word_init.cc.o"
+  "CMakeFiles/turl_core.dir/word_init.cc.o.d"
+  "libturl_core.a"
+  "libturl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

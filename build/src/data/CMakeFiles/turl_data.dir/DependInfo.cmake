@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corpus_generator.cc" "src/data/CMakeFiles/turl_data.dir/corpus_generator.cc.o" "gcc" "src/data/CMakeFiles/turl_data.dir/corpus_generator.cc.o.d"
+  "/root/repo/src/data/entity_vocab.cc" "src/data/CMakeFiles/turl_data.dir/entity_vocab.cc.o" "gcc" "src/data/CMakeFiles/turl_data.dir/entity_vocab.cc.o.d"
+  "/root/repo/src/data/export.cc" "src/data/CMakeFiles/turl_data.dir/export.cc.o" "gcc" "src/data/CMakeFiles/turl_data.dir/export.cc.o.d"
+  "/root/repo/src/data/stats.cc" "src/data/CMakeFiles/turl_data.dir/stats.cc.o" "gcc" "src/data/CMakeFiles/turl_data.dir/stats.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/data/CMakeFiles/turl_data.dir/table.cc.o" "gcc" "src/data/CMakeFiles/turl_data.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kb/CMakeFiles/turl_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

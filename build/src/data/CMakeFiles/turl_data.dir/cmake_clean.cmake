@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turl_data.dir/corpus_generator.cc.o"
+  "CMakeFiles/turl_data.dir/corpus_generator.cc.o.d"
+  "CMakeFiles/turl_data.dir/entity_vocab.cc.o"
+  "CMakeFiles/turl_data.dir/entity_vocab.cc.o.d"
+  "CMakeFiles/turl_data.dir/export.cc.o"
+  "CMakeFiles/turl_data.dir/export.cc.o.d"
+  "CMakeFiles/turl_data.dir/stats.cc.o"
+  "CMakeFiles/turl_data.dir/stats.cc.o.d"
+  "CMakeFiles/turl_data.dir/table.cc.o"
+  "CMakeFiles/turl_data.dir/table.cc.o.d"
+  "libturl_data.a"
+  "libturl_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turl_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

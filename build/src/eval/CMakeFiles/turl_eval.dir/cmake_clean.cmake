@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turl_eval.dir/metrics.cc.o"
+  "CMakeFiles/turl_eval.dir/metrics.cc.o.d"
+  "libturl_eval.a"
+  "libturl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libturl_eval.a"
+)

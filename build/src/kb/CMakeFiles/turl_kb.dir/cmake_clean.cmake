@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turl_kb.dir/kb.cc.o"
+  "CMakeFiles/turl_kb.dir/kb.cc.o.d"
+  "CMakeFiles/turl_kb.dir/kb_generator.cc.o"
+  "CMakeFiles/turl_kb.dir/kb_generator.cc.o.d"
+  "CMakeFiles/turl_kb.dir/kb_io.cc.o"
+  "CMakeFiles/turl_kb.dir/kb_io.cc.o.d"
+  "CMakeFiles/turl_kb.dir/lookup.cc.o"
+  "CMakeFiles/turl_kb.dir/lookup.cc.o.d"
+  "libturl_kb.a"
+  "libturl_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turl_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

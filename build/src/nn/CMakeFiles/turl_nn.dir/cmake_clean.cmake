@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turl_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/turl_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/turl_nn.dir/module.cc.o"
+  "CMakeFiles/turl_nn.dir/module.cc.o.d"
+  "CMakeFiles/turl_nn.dir/ops.cc.o"
+  "CMakeFiles/turl_nn.dir/ops.cc.o.d"
+  "CMakeFiles/turl_nn.dir/optim.cc.o"
+  "CMakeFiles/turl_nn.dir/optim.cc.o.d"
+  "CMakeFiles/turl_nn.dir/tensor.cc.o"
+  "CMakeFiles/turl_nn.dir/tensor.cc.o.d"
+  "libturl_nn.a"
+  "libturl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasks/cell_filling.cc" "src/tasks/CMakeFiles/turl_tasks.dir/cell_filling.cc.o" "gcc" "src/tasks/CMakeFiles/turl_tasks.dir/cell_filling.cc.o.d"
+  "/root/repo/src/tasks/column_type.cc" "src/tasks/CMakeFiles/turl_tasks.dir/column_type.cc.o" "gcc" "src/tasks/CMakeFiles/turl_tasks.dir/column_type.cc.o.d"
+  "/root/repo/src/tasks/common.cc" "src/tasks/CMakeFiles/turl_tasks.dir/common.cc.o" "gcc" "src/tasks/CMakeFiles/turl_tasks.dir/common.cc.o.d"
+  "/root/repo/src/tasks/entity_linking.cc" "src/tasks/CMakeFiles/turl_tasks.dir/entity_linking.cc.o" "gcc" "src/tasks/CMakeFiles/turl_tasks.dir/entity_linking.cc.o.d"
+  "/root/repo/src/tasks/relation_extraction.cc" "src/tasks/CMakeFiles/turl_tasks.dir/relation_extraction.cc.o" "gcc" "src/tasks/CMakeFiles/turl_tasks.dir/relation_extraction.cc.o.d"
+  "/root/repo/src/tasks/row_population.cc" "src/tasks/CMakeFiles/turl_tasks.dir/row_population.cc.o" "gcc" "src/tasks/CMakeFiles/turl_tasks.dir/row_population.cc.o.d"
+  "/root/repo/src/tasks/schema_augmentation.cc" "src/tasks/CMakeFiles/turl_tasks.dir/schema_augmentation.cc.o" "gcc" "src/tasks/CMakeFiles/turl_tasks.dir/schema_augmentation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/turl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/turl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/turl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/turl_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/turl_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/turl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/turl_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/turl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turl_tasks.dir/cell_filling.cc.o"
+  "CMakeFiles/turl_tasks.dir/cell_filling.cc.o.d"
+  "CMakeFiles/turl_tasks.dir/column_type.cc.o"
+  "CMakeFiles/turl_tasks.dir/column_type.cc.o.d"
+  "CMakeFiles/turl_tasks.dir/common.cc.o"
+  "CMakeFiles/turl_tasks.dir/common.cc.o.d"
+  "CMakeFiles/turl_tasks.dir/entity_linking.cc.o"
+  "CMakeFiles/turl_tasks.dir/entity_linking.cc.o.d"
+  "CMakeFiles/turl_tasks.dir/relation_extraction.cc.o"
+  "CMakeFiles/turl_tasks.dir/relation_extraction.cc.o.d"
+  "CMakeFiles/turl_tasks.dir/row_population.cc.o"
+  "CMakeFiles/turl_tasks.dir/row_population.cc.o.d"
+  "CMakeFiles/turl_tasks.dir/schema_augmentation.cc.o"
+  "CMakeFiles/turl_tasks.dir/schema_augmentation.cc.o.d"
+  "libturl_tasks.a"
+  "libturl_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turl_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turl_text.dir/vocab.cc.o"
+  "CMakeFiles/turl_text.dir/vocab.cc.o.d"
+  "CMakeFiles/turl_text.dir/wordpiece.cc.o"
+  "CMakeFiles/turl_text.dir/wordpiece.cc.o.d"
+  "libturl_text.a"
+  "libturl_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turl_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turl_util.dir/logging.cc.o"
+  "CMakeFiles/turl_util.dir/logging.cc.o.d"
+  "CMakeFiles/turl_util.dir/math_util.cc.o"
+  "CMakeFiles/turl_util.dir/math_util.cc.o.d"
+  "CMakeFiles/turl_util.dir/rng.cc.o"
+  "CMakeFiles/turl_util.dir/rng.cc.o.d"
+  "CMakeFiles/turl_util.dir/serialize.cc.o"
+  "CMakeFiles/turl_util.dir/serialize.cc.o.d"
+  "CMakeFiles/turl_util.dir/status.cc.o"
+  "CMakeFiles/turl_util.dir/status.cc.o.d"
+  "CMakeFiles/turl_util.dir/string_util.cc.o"
+  "CMakeFiles/turl_util.dir/string_util.cc.o.d"
+  "libturl_util.a"
+  "libturl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finetune_test.dir/tasks/finetune_test.cc.o"
+  "CMakeFiles/finetune_test.dir/tasks/finetune_test.cc.o.d"
+  "finetune_test"
+  "finetune_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finetune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_generator_test.dir/kb/kb_generator_test.cc.o"
+  "CMakeFiles/kb_generator_test.dir/kb/kb_generator_test.cc.o.d"
+  "kb_generator_test"
+  "kb_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

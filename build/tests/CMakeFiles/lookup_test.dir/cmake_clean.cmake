@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lookup_test.dir/kb/lookup_test.cc.o"
+  "CMakeFiles/lookup_test.dir/kb/lookup_test.cc.o.d"
+  "lookup_test"
+  "lookup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lookup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visibility_property_test.dir/core/visibility_property_test.cc.o"
+  "CMakeFiles/visibility_property_test.dir/core/visibility_property_test.cc.o.d"
+  "visibility_property_test"
+  "visibility_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visibility_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_init_test.dir/core/word_init_test.cc.o"
+  "CMakeFiles/word_init_test.dir/core/word_init_test.cc.o.d"
+  "word_init_test"
+  "word_init_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_init_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordpiece_test.dir/text/wordpiece_test.cc.o"
+  "CMakeFiles/wordpiece_test.dir/text/wordpiece_test.cc.o.d"
+  "wordpiece_test"
+  "wordpiece_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordpiece_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
