@@ -2,6 +2,7 @@
 #define TURL_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -9,9 +10,32 @@
 #include "core/model.h"
 #include "core/model_cache.h"
 #include "core/pretrain.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace turl {
 namespace bench {
+
+/// Every experiment binary profiles itself: spans are enabled (unless
+/// TURL_PROFILE=0 pins them off) and at exit the aggregated span report plus
+/// the metrics registry are written to BENCH_obs.json (override the path
+/// with TURL_BENCH_OBS) with a human-readable span table on stderr.
+inline void InitObservability() {
+  static bool initialized = false;
+  if (initialized) return;
+  initialized = true;
+  obs::Profiler::SetEnabled(true);
+  std::atexit(+[] {
+    const char* path = std::getenv("TURL_BENCH_OBS");
+    const std::string out = (path != nullptr && *path != '\0')
+                                ? std::string(path)
+                                : std::string("BENCH_obs.json");
+    if (obs::WriteObsJson(out)) {
+      std::fprintf(stderr, "\n-- span profile (full report: %s) --\n%s",
+                   out.c_str(), obs::Profiler::Get().ReportTable().c_str());
+    }
+  });
+}
 
 /// The shared experimental environment: every table/figure binary builds the
 /// same synthetic world, corpus and vocabularies from the same seed, and
@@ -26,6 +50,7 @@ struct BenchEnv {
 };
 
 inline BenchEnv MakeEnv() {
+  InitObservability();
   BenchEnv env;
   env.context_config.corpus.num_tables = 3000;
   env.context_config.seed = 42;

@@ -10,6 +10,7 @@
 #include "core/visibility.h"
 #include "kb/lookup.h"
 #include "nn/ops.h"
+#include "obs/profiler.h"
 
 namespace {
 
@@ -157,4 +158,14 @@ BENCHMARK(BM_CorpusGeneration);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), plus an observability dump. Profiling stays in its
+// default env-controlled state (off unless TURL_PROFILE=1) so the kernels
+// are measured with only the disabled-check branch in the hot loops.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  turl::obs::WriteObsJson("BENCH_obs.json");
+  return 0;
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/visibility.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 namespace turl {
@@ -40,6 +42,10 @@ TurlModel::TurlModel(const TurlConfig& config, int word_vocab_size,
 nn::Tensor TurlModel::Encode(const EncodedTable& input, bool training,
                              Rng* rng) const {
   TURL_CHECK_GT(input.total(), 0);
+  TURL_PROFILE_SCOPE("model.encode");
+  static obs::Counter* encodes =
+      obs::MetricsRegistry::Get().GetCounter("model.encodes");
+  encodes->Inc();
   std::vector<nn::Tensor> parts;
 
   if (input.num_tokens() > 0) {
@@ -67,14 +73,19 @@ nn::Tensor TurlModel::Encode(const EncodedTable& input, bool training,
   x = emb_norm_->Forward(x);
   x = nn::Dropout(x, config_.dropout, training, rng);
 
-  const std::vector<float> mask =
-      BuildVisibilityMask(input, config_.use_visibility_matrix);
+  std::vector<float> mask;
+  {
+    TURL_PROFILE_SCOPE("model.visibility_mask");
+    mask = BuildVisibilityMask(input, config_.use_visibility_matrix);
+  }
+  TURL_PROFILE_SCOPE("model.encoder_stack");
   return encoder_->Forward(x, mask, config_.dropout, training, rng);
 }
 
 nn::Tensor TurlModel::MlmLogits(const nn::Tensor& hidden,
                                 const std::vector<int>& rows) const {
   TURL_CHECK(!rows.empty());
+  TURL_PROFILE_SCOPE("model.mlm_logits");
   nn::Tensor projected = mlm_head_->Forward(nn::SelectRows(hidden, rows));
   return nn::MatMulNT(projected, word_emb_->weight());
 }
@@ -83,6 +94,7 @@ nn::Tensor TurlModel::MerLogits(const nn::Tensor& hidden,
                                 const std::vector<int>& rows,
                                 const std::vector<int>& candidates) const {
   TURL_CHECK(!rows.empty());
+  TURL_PROFILE_SCOPE("model.mer_logits");
   TURL_CHECK(!candidates.empty());
   nn::Tensor projected = mer_head_->Forward(nn::SelectRows(hidden, rows));
   nn::Tensor cand_emb = entity_emb_->Forward(candidates);

@@ -1,9 +1,14 @@
 #include "core/pretrain.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/timer.h"
 
 namespace turl {
 namespace core {
@@ -12,6 +17,7 @@ Pretrainer::Pretrainer(TurlModel* model, const TurlContext* ctx)
     : model_(model), ctx_(ctx) {
   TURL_CHECK(model != nullptr);
   TURL_CHECK(ctx != nullptr);
+  TURL_PROFILE_SCOPE("pretrain.encode_corpus");
   const text::WordPieceTokenizer tokenizer = ctx->MakeTokenizer();
   EncodeOptions opts;
   train_encoded_.reserve(ctx->corpus.train.size());
@@ -31,8 +37,8 @@ Pretrainer::Pretrainer(TurlModel* model, const TurlContext* ctx)
 }
 
 nn::Tensor Pretrainer::InstanceLoss(const PretrainInstance& instance,
-                                    const EncodedTable& clean,
-                                    Rng* rng) const {
+                                    const EncodedTable& clean, Rng* rng,
+                                    double* mlm_item, double* mer_item) const {
   const TurlConfig& cfg = model_->config();
   nn::Tensor hidden = model_->Encode(instance.input, /*training=*/true, rng);
 
@@ -58,6 +64,7 @@ nn::Tensor Pretrainer::InstanceLoss(const PretrainInstance& instance,
   if (!mlm_rows.empty()) {
     nn::Tensor mlm_loss = nn::SoftmaxCrossEntropy(
         model_->MlmLogits(hidden, mlm_rows), mlm_targets);
+    if (mlm_item != nullptr) *mlm_item = double(mlm_loss.item());
     loss = mlm_loss;
   }
   if (!mer_rows.empty()) {
@@ -76,12 +83,14 @@ nn::Tensor Pretrainer::InstanceLoss(const PretrainInstance& instance,
     }
     nn::Tensor mer_loss = nn::SoftmaxCrossEntropy(
         model_->MerLogits(hidden, mer_rows, candidates), targets);
+    if (mer_item != nullptr) *mer_item = double(mer_loss.item());
     loss = loss.defined() ? nn::Add(loss, mer_loss) : mer_loss;
   }
   return loss;
 }
 
 PretrainResult Pretrainer::Train(const Options& options) {
+  TURL_PROFILE_SCOPE("pretrain.train");
   PretrainResult result;
   const TurlConfig& cfg = model_->config();
   const int epochs = options.epochs > 0 ? options.epochs : cfg.pretrain_epochs;
@@ -102,6 +111,34 @@ PretrainResult Pretrainer::Train(const Options& options) {
   std::vector<size_t> order(train_encoded_.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // Telemetry window: sums since the last emitted record.
+  obs::Counter* steps_counter =
+      obs::MetricsRegistry::Get().GetCounter("pretrain.steps");
+  WallTimer timer;
+  double window_loss = 0.0, window_mlm = 0.0, window_mer = 0.0;
+  int64_t window_steps = 0, window_mlm_n = 0, window_mer_n = 0;
+  const auto emit_window = [&](int64_t step, int epoch, double eval_acc) {
+    obs::TrainRecord record;
+    record.phase = "pretrain";
+    record.step = step;
+    record.epoch = epoch;
+    if (window_steps > 0) record.loss = window_loss / double(window_steps);
+    if (window_mlm_n > 0) record.mlm_loss = window_mlm / double(window_mlm_n);
+    if (window_mer_n > 0) record.mer_loss = window_mer / double(window_mer_n);
+    if (!std::isnan(eval_acc)) {
+      record.eval_metric = "object_prediction_acc";
+      record.eval_value = eval_acc;
+    }
+    const double lap_sec = timer.LapMillis() / 1e3;
+    if (window_steps > 0 && lap_sec > 0) {
+      record.tables_per_sec = double(window_steps) / lap_sec;
+    }
+    record.elapsed_sec = timer.ElapsedSeconds();
+    obs::EmitRecord(record, options.sink);
+    window_loss = window_mlm = window_mer = 0.0;
+    window_steps = window_mlm_n = window_mer_n = 0;
+  };
+
   int64_t step = 0;
   double recent_loss = 0.0;
   int64_t recent_count = 0;
@@ -110,24 +147,46 @@ PretrainResult Pretrainer::Train(const Options& options) {
     for (size_t oi = 0; oi < tables_per_epoch; ++oi) {
       const EncodedTable& clean = train_encoded_[order[oi]];
       if (clean.total() == 0) continue;
+      TURL_PROFILE_SCOPE("pretrain.step");
       PretrainInstance instance = MakePretrainInstance(
           clean, cfg, model_->word_vocab_size(), model_->entity_vocab_size(),
           &rng);
-      nn::Tensor loss = InstanceLoss(instance, clean, &rng);
+      double mlm_item = std::numeric_limits<double>::quiet_NaN();
+      double mer_item = std::numeric_limits<double>::quiet_NaN();
+      nn::Tensor loss =
+          InstanceLoss(instance, clean, &rng, &mlm_item, &mer_item);
       if (!loss.defined()) continue;
       model_->params()->ZeroGrad();
       loss.Backward();
       nn::ClipGradNorm(model_->params(), cfg.grad_clip);
       adam.Step(schedule.Scale(step));
-      recent_loss += loss.item();
+      const double loss_item = loss.item();
+      recent_loss += loss_item;
       ++recent_count;
       ++step;
+      steps_counter->Inc();
+      window_loss += loss_item;
+      ++window_steps;
+      if (!std::isnan(mlm_item)) {
+        window_mlm += mlm_item;
+        ++window_mlm_n;
+      }
+      if (!std::isnan(mer_item)) {
+        window_mer += mer_item;
+        ++window_mer_n;
+      }
       if (options.eval_every > 0 && step % options.eval_every == 0) {
+        TURL_PROFILE_SCOPE("pretrain.eval");
         Rng eval_rng(options.seed + 1);  // Fixed eval set across calls.
         const double acc = EvaluateObjectPrediction(
             options.max_eval_tables, options.max_eval_cells_per_table,
             &eval_rng);
         result.eval_curve.emplace_back(step, acc);
+        emit_window(step, epoch, acc);
+      } else if (options.telemetry_every > 0 &&
+                 step % options.telemetry_every == 0) {
+        emit_window(step, epoch,
+                    std::numeric_limits<double>::quiet_NaN());
       }
     }
   }
@@ -135,11 +194,15 @@ PretrainResult Pretrainer::Train(const Options& options) {
   result.steps = step;
   result.final_loss = recent_count > 0 ? recent_loss / double(recent_count)
                                        : 0.0;
-  Rng final_eval_rng(options.seed + 1);
-  result.final_accuracy = EvaluateObjectPrediction(
-      options.max_eval_tables, options.max_eval_cells_per_table,
-      &final_eval_rng);
+  {
+    TURL_PROFILE_SCOPE("pretrain.eval");
+    Rng final_eval_rng(options.seed + 1);
+    result.final_accuracy = EvaluateObjectPrediction(
+        options.max_eval_tables, options.max_eval_cells_per_table,
+        &final_eval_rng);
+  }
   result.eval_curve.emplace_back(step, result.final_accuracy);
+  emit_window(step, epochs - 1, result.final_accuracy);
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "core/masking.h"
 #include "core/model.h"
 #include "nn/optim.h"
+#include "obs/telemetry.h"
 
 namespace turl {
 namespace core {
@@ -41,6 +42,14 @@ class Pretrainer {
     uint64_t seed = 7;
     /// Cap on training tables per epoch (0 = all) for quick runs.
     int max_train_tables = 0;
+    /// Extra telemetry sink for this run's TrainRecords; the global
+    /// obs::TelemetryHub (env-configured JSONL/stderr sinks) always receives
+    /// them. Records are emitted at every eval step and at the end of
+    /// training; set telemetry_every to also emit between evals.
+    obs::MetricsSink* sink = nullptr;
+    /// Also emit a loss/throughput record every this many steps (0 = only at
+    /// eval steps).
+    int64_t telemetry_every = 0;
   };
 
   /// The model and context must outlive the pretrainer. Encodes all
@@ -60,9 +69,12 @@ class Pretrainer {
 
  private:
   /// Forward + loss for one masked instance. Returns an undefined tensor if
-  /// the instance has no prediction targets.
+  /// the instance has no prediction targets. When the MLM (resp. MER) term
+  /// is present its scalar value is written to *mlm_item (resp. *mer_item);
+  /// the out-params are untouched otherwise.
   nn::Tensor InstanceLoss(const PretrainInstance& instance,
-                          const EncodedTable& clean, Rng* rng) const;
+                          const EncodedTable& clean, Rng* rng,
+                          double* mlm_item, double* mer_item) const;
 
   TurlModel* model_;
   const TurlContext* ctx_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 namespace turl {
@@ -34,6 +36,10 @@ EncodedTable EncodeTable(const data::Table& table,
                          const text::WordPieceTokenizer& tokenizer,
                          const data::EntityVocab& entity_vocab,
                          const EncodeOptions& options) {
+  TURL_PROFILE_SCOPE("encode.table");
+  static obs::Counter* tables_encoded =
+      obs::MetricsRegistry::Get().GetCounter("encode.tables");
+  tables_encoded->Inc();
   EncodedTable out;
 
   if (options.include_metadata) {

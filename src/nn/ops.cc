@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 namespace turl {
@@ -187,6 +188,7 @@ Tensor AddBias(const Tensor& x, const Tensor& b) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TURL_PROFILE_SCOPE("op.matmul");
   TURL_CHECK(a.defined() && b.defined());
   TURL_CHECK_EQ(a.ndim(), 2);
   TURL_CHECK_EQ(b.ndim(), 2);
@@ -199,6 +201,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   auto pa = a.impl(), pb = b.impl();
   return MakeNode({m, n}, std::move(out), {pa, pb},
                   [pa, pb, m, k, n](TensorImpl* o) {
+                    TURL_PROFILE_SCOPE("op.matmul.backward");
                     const float* g = o->grad.data();
                     // dA += dOut * B^T ; dB += A^T * dOut
                     GemmNT(g, pb->data.data(), GradOf(pa.get()), m, n, k,
@@ -209,6 +212,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  TURL_PROFILE_SCOPE("op.matmul_nt");
   TURL_CHECK(a.defined() && b.defined());
   TURL_CHECK_EQ(a.ndim(), 2);
   TURL_CHECK_EQ(b.ndim(), 2);
@@ -221,6 +225,7 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   auto pa = a.impl(), pb = b.impl();
   return MakeNode({m, n}, std::move(out), {pa, pb},
                   [pa, pb, m, k, n](TensorImpl* o) {
+                    TURL_PROFILE_SCOPE("op.matmul_nt.backward");
                     const float* g = o->grad.data();
                     // out = A * B^T  =>  dA += g * B ; dB += g^T * A
                     GemmNN(g, pb->data.data(), GradOf(pa.get()), m, n, k,
@@ -231,6 +236,7 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Gelu(const Tensor& x) {
+  TURL_PROFILE_SCOPE("op.gelu");
   TURL_CHECK(x.defined());
   const auto& xd = x.impl()->data;
   std::vector<float> out(xd.size());
@@ -299,6 +305,7 @@ Tensor SigmoidOp(const Tensor& x) {
 
 Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                    float eps) {
+  TURL_PROFILE_SCOPE("op.layernorm");
   TURL_CHECK(x.defined() && gamma.defined() && beta.defined());
   TURL_CHECK_EQ(x.ndim(), 2);
   const int64_t m = x.dim(0), n = x.dim(1);
@@ -335,6 +342,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   return MakeNode(
       x.shape(), std::move(out), {px, pg, pb},
       [px, pg, pb, xhat, inv_std, m, n](TensorImpl* o) {
+        TURL_PROFILE_SCOPE("op.layernorm.backward");
         const float* g = o->grad.data();
         float* gx = GradOf(px.get());
         float* gg = GradOf(pg.get());
@@ -364,6 +372,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 }
 
 Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int>& ids) {
+  TURL_PROFILE_SCOPE("op.embedding");
   TURL_CHECK(weight.defined());
   TURL_CHECK_EQ(weight.ndim(), 2);
   const int64_t v = weight.dim(0), d = weight.dim(1);
@@ -378,6 +387,7 @@ Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int>& ids) {
   }
   auto pw = weight.impl();
   return MakeNode({m, d}, std::move(out), {pw}, [pw, ids, d](TensorImpl* o) {
+    TURL_PROFILE_SCOPE("op.embedding.backward");
     const float* g = o->grad.data();
     float* gw = GradOf(pw.get());
     for (size_t i = 0; i < ids.size(); ++i) {
@@ -505,6 +515,7 @@ Tensor RowsMean(const Tensor& x, const std::vector<int>& rows) {
 
 Tensor BagMean(const Tensor& weight,
                const std::vector<std::vector<int>>& bags) {
+  TURL_PROFILE_SCOPE("op.bag_mean");
   TURL_CHECK(weight.defined());
   TURL_CHECK_EQ(weight.ndim(), 2);
   const int64_t v = weight.dim(0), d = weight.dim(1);
@@ -526,6 +537,7 @@ Tensor BagMean(const Tensor& weight,
   }
   auto pw = weight.impl();
   return MakeNode({m, d}, std::move(out), {pw}, [pw, bags, d](TensorImpl* o) {
+    TURL_PROFILE_SCOPE("op.bag_mean.backward");
     const float* g = o->grad.data();
     float* gw = GradOf(pw.get());
     for (size_t i = 0; i < bags.size(); ++i) {
@@ -542,6 +554,7 @@ Tensor BagMean(const Tensor& weight,
 }
 
 Tensor SoftmaxRows(const Tensor& x) {
+  TURL_PROFILE_SCOPE("op.softmax");
   TURL_CHECK(x.defined());
   TURL_CHECK_EQ(x.ndim(), 2);
   const int64_t m = x.dim(0), n = x.dim(1);
@@ -561,6 +574,7 @@ Tensor SoftmaxRows(const Tensor& x) {
   }
   auto px = x.impl();
   return MakeNode(x.shape(), std::move(out), {px}, [px, m, n](TensorImpl* o) {
+    TURL_PROFILE_SCOPE("op.softmax.backward");
     const float* g = o->grad.data();
     const float* y = o->data.data();
     float* gx = GradOf(px.get());
@@ -578,6 +592,7 @@ Tensor SoftmaxRows(const Tensor& x) {
 Tensor MultiHeadAttention(const Tensor& q, const Tensor& k, const Tensor& v,
                           const std::vector<float>& additive_mask,
                           int num_heads) {
+  TURL_PROFILE_SCOPE("op.attention");
   TURL_CHECK(q.defined() && k.defined() && v.defined());
   TURL_CHECK_EQ(q.ndim(), 2);
   TURL_CHECK(q.shape() == k.shape() && q.shape() == v.shape());
@@ -633,6 +648,7 @@ Tensor MultiHeadAttention(const Tensor& q, const Tensor& k, const Tensor& v,
   return MakeNode(
       {n, d}, std::move(out), {pq, pk, pv},
       [pq, pk, pv, probs, n, d, dh, num_heads, scale](TensorImpl* o) {
+        TURL_PROFILE_SCOPE("op.attention.backward");
         const float* g = o->grad.data();
         float* gq = GradOf(pq.get());
         float* gk = GradOf(pk.get());
@@ -680,6 +696,7 @@ Tensor MultiHeadAttention(const Tensor& q, const Tensor& k, const Tensor& v,
 }
 
 Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
+  TURL_PROFILE_SCOPE("op.dropout");
   TURL_CHECK(x.defined());
   if (!training || p <= 0.f) return x;
   TURL_CHECK_LT(p, 1.f);
@@ -702,6 +719,7 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
 
 Tensor SoftmaxCrossEntropy(const Tensor& logits,
                            const std::vector<int>& targets, int ignore_index) {
+  TURL_PROFILE_SCOPE("op.softmax_xent");
   TURL_CHECK(logits.defined());
   TURL_CHECK_EQ(logits.ndim(), 2);
   const int64_t m = logits.dim(0), c = logits.dim(1);
@@ -735,6 +753,7 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
   return MakeNode(
       {1}, {float(loss) * inv}, {pl},
       [pl, probs, targets, ignore_index, m, c, inv](TensorImpl* o) {
+        TURL_PROFILE_SCOPE("op.softmax_xent.backward");
         const float go = o->grad[0];
         float* gl = GradOf(pl.get());
         for (int64_t i = 0; i < m; ++i) {
@@ -750,6 +769,7 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
 }
 
 Tensor BceWithLogits(const Tensor& logits, const std::vector<float>& targets) {
+  TURL_PROFILE_SCOPE("op.bce");
   TURL_CHECK(logits.defined());
   TURL_CHECK_EQ(logits.numel(), static_cast<int64_t>(targets.size()));
   const int64_t n = logits.numel();

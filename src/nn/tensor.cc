@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/logging.h"
 
 namespace turl {
@@ -144,6 +146,10 @@ void Tensor::AccumulateGrad(const float* delta, int64_t n) {
 void Tensor::Backward(bool release_graph) {
   TURL_CHECK(defined());
   TURL_CHECK_EQ(numel(), 1);
+  TURL_PROFILE_SCOPE("autograd.backward");
+  static obs::Counter* backward_calls =
+      obs::MetricsRegistry::Get().GetCounter("autograd.backward_calls");
+  backward_calls->Inc();
 
   // Iterative post-order DFS to produce a topological order.
   std::vector<TensorImpl*> topo;

@@ -1,0 +1,239 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace turl {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {
+  TURL_CHECK(!bounds_.empty());
+  TURL_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double v) {
+  const size_t idx = size_t(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[idx];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / double(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  TURL_CHECK_GE(p, 0.0);
+  TURL_CHECK_LE(p, 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  const double target = p * double(count_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const int64_t next = cumulative + buckets_[i];
+    if (double(next) >= target) {
+      // Interpolate within [lo, hi); the overflow bucket has no upper bound,
+      // so use the observed max there (and clamp everywhere to min/max).
+      const double lo = i == 0 ? min_ : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : max_;
+      const double frac =
+          buckets_[i] == 0 ? 0.0
+                           : (target - double(cumulative)) / double(buckets_[i]);
+      return std::clamp(lo + frac * (hi - lo), min_, max_);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+std::vector<double> Histogram::DefaultLatencyBucketsMs() {
+  // 1us .. ~137s in x2 steps: 28 buckets plus the overflow bucket.
+  std::vector<double> bounds;
+  for (double b = 1e-3; b < 2e5; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, Histogram::DefaultLatencyBucketsMs());
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return slot.get();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "" : ",") << '"' << JsonEscape(name)
+        << "\":" << c->Value();
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "" : ",") << '"' << JsonEscape(name)
+        << "\":" << JsonDouble(g->Value());
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "" : ",") << '"' << JsonEscape(name) << "\":{"
+        << "\"count\":" << h->count() << ",\"sum\":" << JsonDouble(h->sum())
+        << ",\"mean\":" << JsonDouble(h->Mean())
+        << ",\"p50\":" << JsonDouble(h->Percentile(0.5))
+        << ",\"p95\":" << JsonDouble(h->Percentile(0.95))
+        << ",\"max\":" << JsonDouble(h->max()) << '}';
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof(line), "%-40s %12lld\n", name.c_str(),
+                  static_cast<long long>(c->Value()));
+    out << line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof(line), "%-40s %12.4f\n", name.c_str(),
+                  g->Value());
+    out << line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "%-40s count %8lld  mean %9.3f  p50 %9.3f  p95 %9.3f  max "
+                  "%9.3f\n",
+                  name.c_str(), static_cast<long long>(h->count()), h->Mean(),
+                  h->Percentile(0.5), h->Percentile(0.95), h->max());
+    out << line;
+  }
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace turl

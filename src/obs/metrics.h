@@ -1,0 +1,117 @@
+#ifndef TURL_OBS_METRICS_H_
+#define TURL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace turl {
+namespace obs {
+
+/// Monotonically increasing integer metric. All methods are thread-safe and
+/// lock-free; pointers returned by the registry stay valid for its lifetime.
+class Counter {
+ public:
+  void Inc(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins floating-point metric (e.g. current loss, tables/sec).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Buckets are defined by ascending upper bounds
+/// (inclusive) with an implicit +inf overflow bucket; percentiles are
+/// estimated by linear interpolation inside the hit bucket and clamped to the
+/// observed min/max. Thread-safe via an internal mutex — observations are
+/// cheap (a binary search plus a few writes) but not lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  int64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double Mean() const;
+  /// p in [0, 1]; returns 0 when empty.
+  double Percentile(double p) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  std::vector<int64_t> BucketCounts() const;
+  void Reset();
+
+  /// Exponential bounds covering sub-microsecond spans to minutes, in ms.
+  static std::vector<double> DefaultLatencyBucketsMs();
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Process-wide named-metric registry. Get*() lazily creates the metric on
+/// first use and always returns the same pointer for the same name; creating
+/// a name as one kind and fetching it as another is a fatal error.
+class MetricsRegistry {
+ public:
+  /// The global registry used by the library's built-in instrumentation.
+  static MetricsRegistry& Get();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
+  /// p50,p95,max}}} — keys sorted, stable across runs.
+  std::string ToJson() const;
+  /// Human-readable dump, one metric per line, for end-of-run summaries.
+  std::string ToTable() const;
+  /// Zeroes every metric but keeps the (stable) metric pointers.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// JSON string-body escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s);
+/// Formats a finite double compactly; NaN/inf become null (JSON has neither).
+std::string JsonDouble(double v);
+
+}  // namespace obs
+}  // namespace turl
+
+#endif  // TURL_OBS_METRICS_H_

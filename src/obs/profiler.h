@@ -1,0 +1,104 @@
+#ifndef TURL_OBS_PROFILER_H_
+#define TURL_OBS_PROFILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace turl {
+namespace obs {
+
+/// Aggregated statistics for one span name across all executions and threads.
+/// `total_ms` includes time spent in nested child spans; `self_ms` excludes
+/// it, so a flame-style breakdown sums `self_ms` to wall time.
+struct SpanStats {
+  std::string name;
+  int64_t count = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Process-wide scoped-span profiler. Spans are declared with
+/// TURL_PROFILE_SCOPE("name") and aggregated by name; nesting is tracked per
+/// thread so parents learn how much of their time was spent in children.
+///
+/// Disabled by default: the only per-span cost is one relaxed atomic load and
+/// a branch in the ScopedSpan constructor. Enable programmatically with
+/// SetEnabled(true) or via the environment: TURL_PROFILE=1 enables at process
+/// start, TURL_PROFILE=0 pins it off (the kill switch benches respect).
+class Profiler {
+ public:
+  static Profiler& Get();
+
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+  /// SetEnabled(true) is a no-op when the environment pinned profiling off.
+  static void SetEnabled(bool on);
+
+  /// Folds one finished span execution into the aggregate for `name`.
+  void Record(const char* name, double total_ms, double self_ms);
+
+  /// Aggregates sorted by total_ms descending.
+  std::vector<SpanStats> Report() const;
+  /// Human-readable span table (header + one line per span).
+  std::string ReportTable() const;
+  /// [{"name":...,"count":...,"total_ms":...,"self_ms":...,"p50_ms":...,
+  ///   "p95_ms":...,"max_ms":...}, ...] sorted by total_ms descending.
+  std::string ReportJson() const;
+  void Reset();
+
+ private:
+  struct Agg;
+  Profiler();
+
+  static std::atomic<bool> enabled_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Agg>> spans_;
+};
+
+/// RAII span. Use via TURL_PROFILE_SCOPE; constructing with profiling
+/// disabled costs a single branch and records nothing, even if profiling is
+/// enabled before the scope closes.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : name_(nullptr) {
+    if (Profiler::Enabled()) Begin(name);
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) End();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Writes {"spans":[...],"metrics":{...}} (span report + the global
+/// MetricsRegistry) to `path`. Returns false if the file cannot be written.
+bool WriteObsJson(const std::string& path);
+
+}  // namespace obs
+}  // namespace turl
+
+#define TURL_OBS_CONCAT_INNER(a, b) a##b
+#define TURL_OBS_CONCAT(a, b) TURL_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope under `name` (a string literal that outlives the
+/// scope). Nested scopes attribute their time to the parent's child total.
+#define TURL_PROFILE_SCOPE(name) \
+  ::turl::obs::ScopedSpan TURL_OBS_CONCAT(turl_profile_scope_, __LINE__)(name)
+
+#endif  // TURL_OBS_PROFILER_H_

@@ -1,0 +1,125 @@
+#ifndef TURL_OBS_TELEMETRY_H_
+#define TURL_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace turl {
+namespace obs {
+
+/// One structured training-progress record. Optional numeric fields default
+/// to NaN and are omitted from the serialized form; `eval_value` is
+/// interpreted by `eval_metric` (e.g. "object_prediction_acc", "valid_map").
+struct TrainRecord {
+  static constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+
+  std::string phase;  ///< "pretrain", "finetune.entity_linking", ...
+  int64_t step = 0;
+  int epoch = -1;  ///< -1 when the phase has no epoch notion.
+  double loss = kUnset;
+  double mlm_loss = kUnset;
+  double mer_loss = kUnset;
+  double eval_value = kUnset;
+  std::string eval_metric;
+  double tables_per_sec = kUnset;
+  double elapsed_sec = 0.0;
+};
+
+/// Single-line JSON serialization of a record (absent fields omitted).
+std::string ToJsonLine(const TrainRecord& record);
+
+/// Receiver of training telemetry. Implementations must be thread-safe:
+/// records can arrive from any thread.
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void Emit(const TrainRecord& record) = 0;
+  virtual void Flush() {}
+};
+
+/// Pretty one-line-per-record printer for interactive runs.
+class StderrSink : public MetricsSink {
+ public:
+  void Emit(const TrainRecord& record) override;
+};
+
+/// Appends one JSON object per record to a file — the machine-readable
+/// training log (`TURL_METRICS_JSONL=out.jsonl`).
+class JsonlSink : public MetricsSink {
+ public:
+  explicit JsonlSink(const std::string& path);
+  void Emit(const TrainRecord& record) override;
+  void Flush() override;
+  bool ok() const { return out_.is_open(); }
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+/// Process-wide fan-out point. Training loops emit here; sinks subscribe.
+/// On first use the hub wires sinks from the environment: TURL_METRICS_JSONL
+/// (a path) adds a JsonlSink, TURL_METRICS_STDERR=1 adds a StderrSink.
+class TelemetryHub {
+ public:
+  static TelemetryHub& Get();
+
+  /// Forwards to every sink and mirrors loss/eval/throughput into gauges
+  /// ("<phase>.loss", ...) and the "<phase>.records" counter of the global
+  /// MetricsRegistry.
+  void Emit(const TrainRecord& record);
+
+  /// Non-owning; caller keeps `sink` alive until RemoveSink. For tests and
+  /// caller-managed sinks.
+  void AddSink(MetricsSink* sink);
+  void RemoveSink(MetricsSink* sink);
+  void AddOwnedSink(std::unique_ptr<MetricsSink> sink);
+
+ private:
+  TelemetryHub();
+
+  std::mutex mu_;
+  std::vector<MetricsSink*> sinks_;
+  std::vector<std::unique_ptr<MetricsSink>> owned_;
+};
+
+/// Emits to the global hub plus an optional additional per-call sink — the
+/// one-liner training loops use so a caller-supplied sink needs no global
+/// registration.
+void EmitRecord(const TrainRecord& record, MetricsSink* extra = nullptr);
+
+/// Per-epoch telemetry helper for the fine-tuning heads: accumulates
+/// per-table losses, then emits one record per epoch (mean loss, tables/sec,
+/// elapsed) plus optional eval records, under a fixed phase name.
+class FinetuneTelemetry {
+ public:
+  FinetuneTelemetry(std::string phase, MetricsSink* extra);
+
+  /// One optimizer step over one table.
+  void Step(double loss);
+  void EndEpoch(int epoch);
+  /// An evaluation result observed mid-training (e.g. validation MAP).
+  void Eval(const std::string& metric, double value);
+
+  int64_t steps() const { return total_steps_; }
+
+ private:
+  std::string phase_;
+  MetricsSink* extra_;
+  WallTimer timer_;
+  int64_t total_steps_ = 0;
+  int64_t epoch_steps_ = 0;
+  double epoch_loss_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace turl
+
+#endif  // TURL_OBS_TELEMETRY_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "text/vocab.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -119,6 +121,10 @@ TurlCellFiller::TurlCellFiller(core::TurlModel* model,
 
 std::vector<double> TurlCellFiller::Score(
     const CellFillInstance& instance) const {
+  TURL_PROFILE_SCOPE("cellfill.score");
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Get().GetCounter("cellfill.queries");
+  queries->Inc();
   const data::Table& full = ctx_->corpus.tables[instance.table_index];
   // Partial table per Definition 6.5: metadata, the full subject column,
   // and the queried object column header with a [MASK] in the queried row.

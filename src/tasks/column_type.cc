@@ -146,6 +146,7 @@ void TurlColumnTyper::Finetune(const FinetuneOptions& options) {
   Rng rng(options.seed);
   nn::Adam model_adam(model_->params(), nn::AdamConfig{.lr = options.lr});
   nn::Adam head_adam(&head_params_, nn::AdamConfig{.lr = options.lr});
+  obs::FinetuneTelemetry telemetry("finetune.column_type", options.sink);
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&tables);
@@ -177,7 +178,9 @@ void TurlColumnTyper::Finetune(const FinetuneOptions& options) {
       nn::ClipGradNorm(&head_params_, options.grad_clip);
       model_adam.Step();
       head_adam.Step();
+      telemetry.Step(loss.item());
     }
+    telemetry.EndEpoch(epoch);
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "core/model.h"
 #include "core/table_encoding.h"
+#include "obs/telemetry.h"
 
 namespace turl {
 namespace tasks {
@@ -42,6 +43,9 @@ struct FinetuneOptions {
   int max_tables = 0;
   uint64_t seed = 17;
   float grad_clip = 1.0f;
+  /// Extra telemetry sink for this run's per-epoch TrainRecords; the global
+  /// obs::TelemetryHub always receives them.
+  obs::MetricsSink* sink = nullptr;
 };
 
 /// Replaces every entity id with [UNK_ENT] (drops the learned embeddings).

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "nn/optim.h"
+#include "obs/profiler.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
@@ -136,6 +137,7 @@ void TurlEntityLinker::Finetune(const ElDataset& train,
   Rng rng(options.seed);
   nn::Adam model_adam(model_->params(), nn::AdamConfig{.lr = options.lr});
   nn::Adam head_adam(&head_params_, nn::AdamConfig{.lr = options.lr});
+  obs::FinetuneTelemetry telemetry("finetune.entity_linking", options.sink);
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&tables);
@@ -165,7 +167,9 @@ void TurlEntityLinker::Finetune(const ElDataset& train,
       nn::ClipGradNorm(&head_params_, options.grad_clip);
       model_adam.Step();
       head_adam.Step();
+      telemetry.Step(loss.item());
     }
+    telemetry.EndEpoch(epoch);
   }
 }
 

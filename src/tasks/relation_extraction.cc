@@ -106,6 +106,8 @@ void TurlRelationExtractor::Finetune(
   Rng rng(options.seed);
   nn::Adam model_adam(model_->params(), nn::AdamConfig{.lr = options.lr});
   nn::Adam head_adam(&head_params_, nn::AdamConfig{.lr = options.lr});
+  obs::FinetuneTelemetry telemetry("finetune.relation_extraction",
+                                   options.sink);
 
   int64_t step = 0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
@@ -139,10 +141,15 @@ void TurlRelationExtractor::Finetune(
       model_adam.Step();
       head_adam.Step();
       ++step;
+      telemetry.Step(loss.item());
       if (eval_every > 0 && step_callback && step % eval_every == 0) {
-        step_callback(step, EvaluateMap(dataset_->valid, /*max_instances=*/150));
+        const double map =
+            EvaluateMap(dataset_->valid, /*max_instances=*/150);
+        telemetry.Eval("valid_map", map);
+        step_callback(step, map);
       }
     }
+    telemetry.EndEpoch(epoch);
   }
 }
 

@@ -120,6 +120,7 @@ void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
                                 const FinetuneOptions& options) {
   Rng rng(options.seed);
   nn::Adam adam(model_->params(), nn::AdamConfig{.lr = options.lr});
+  obs::FinetuneTelemetry telemetry("finetune.row_population", options.sink);
   std::vector<size_t> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
@@ -150,7 +151,9 @@ void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
       loss.Backward();
       nn::ClipGradNorm(model_->params(), options.grad_clip);
       adam.Step();
+      telemetry.Step(loss.item());
     }
+    telemetry.EndEpoch(epoch);
   }
 }
 

@@ -142,6 +142,8 @@ void TurlSchemaAugmenter::Finetune(const std::vector<SchemaAugInstance>& train,
   Rng rng(options.seed);
   nn::Adam model_adam(model_->params(), nn::AdamConfig{.lr = options.lr});
   nn::Adam head_adam(&head_params_, nn::AdamConfig{.lr = options.lr});
+  obs::FinetuneTelemetry telemetry("finetune.schema_augmentation",
+                                   options.sink);
   std::vector<size_t> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
@@ -167,7 +169,9 @@ void TurlSchemaAugmenter::Finetune(const std::vector<SchemaAugInstance>& train,
       nn::ClipGradNorm(&head_params_, options.grad_clip);
       model_adam.Step();
       head_adam.Step();
+      telemetry.Step(loss.item());
     }
+    telemetry.EndEpoch(epoch);
   }
 }
 

@@ -1,5 +1,8 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cctype>
+
 namespace turl {
 namespace internal_logging {
 
@@ -19,7 +22,41 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+LogLevel LevelFromEnv() {
+  const char* v = std::getenv("TURL_LOG_LEVEL");
+  if (v == nullptr) return LogLevel::kInfo;
+  return LevelFromName(v, LogLevel::kInfo);
+}
+
+std::atomic<LogLevel>& MinLevelFlag() {
+  static std::atomic<LogLevel> level{LevelFromEnv()};
+  return level;
+}
+
 }  // namespace
+
+LogLevel LevelFromName(const std::string& name, LogLevel fallback) {
+  std::string upper;
+  upper.reserve(name.size());
+  for (char c : name) {
+    upper += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (upper == "INFO" || upper == "0") return LogLevel::kInfo;
+  if (upper == "WARNING" || upper == "WARN" || upper == "1") {
+    return LogLevel::kWarning;
+  }
+  if (upper == "ERROR" || upper == "2") return LogLevel::kError;
+  if (upper == "FATAL" || upper == "3") return LogLevel::kFatal;
+  return fallback;
+}
+
+LogLevel MinLogLevel() {
+  return MinLevelFlag().load(std::memory_order_relaxed);
+}
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelFlag().store(level, std::memory_order_relaxed);
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {

@@ -12,7 +12,18 @@ namespace turl {
 namespace internal_logging {
 
 /// Severity of a log line. kFatal aborts the process after flushing.
-enum class LogLevel { kInfo, kWarning, kError, kFatal };
+enum class LogLevel { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Global verbosity: log lines strictly below the minimum level are skipped
+/// before any formatting happens (the streamed operands are never
+/// evaluated). Initialized once from the TURL_LOG_LEVEL environment variable
+/// — "INFO"/"WARNING"/"ERROR"/"FATAL" (case-insensitive) or "0".."3" —
+/// defaulting to kInfo. kFatal lines are always emitted.
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Parses a level name or digit; returns `fallback` on anything else.
+LogLevel LevelFromName(const std::string& name, LogLevel fallback);
 
 /// Accumulates one log line and emits it (to stderr) on destruction.
 /// Used via the TURL_LOG / TURL_CHECK macros only.
@@ -35,15 +46,27 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
-}  // namespace internal_logging
+/// Swallows a LogMessage expression in the below-threshold branch of
+/// TURL_LOG. `&` binds looser than `<<`, so the whole streaming chain sits
+/// inside the discarded conditional arm and costs nothing when filtered.
+struct LogMessageVoidify {
+  void operator&(const LogMessage&) {}
+};
 
-/// Global verbosity: log lines below this level are still emitted (logging is
-/// cheap and rare in this library); provided for symmetry and future filtering.
+}  // namespace internal_logging
 }  // namespace turl
 
+#define TURL_LOG_IS_ON(level)                  \
+  (::turl::internal_logging::LogLevel::k##level >= \
+   ::turl::internal_logging::MinLogLevel())
+
 #define TURL_LOG(level)                                              \
-  ::turl::internal_logging::LogMessage(                              \
-      ::turl::internal_logging::LogLevel::k##level, __FILE__, __LINE__)
+  !TURL_LOG_IS_ON(level)                                             \
+      ? (void)0                                                      \
+      : ::turl::internal_logging::LogMessageVoidify() &              \
+            ::turl::internal_logging::LogMessage(                    \
+                ::turl::internal_logging::LogLevel::k##level, __FILE__, \
+                __LINE__)
 
 /// Aborts with a message when `condition` is false. For programming errors /
 /// invariant violations, not for recoverable failures (use Status for those).

@@ -5,13 +5,15 @@
 
 namespace turl {
 
-/// Monotonic wall-clock stopwatch for reporting experiment timings.
+/// Monotonic wall-clock stopwatch for reporting experiment timings. Tracks
+/// two reference points: the overall start (Elapsed*) and the current lap
+/// (LapMillis), so throughput windows can be measured without a second timer.
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_(Clock::now()), lap_(start_) {}
 
-  /// Resets the start point to now.
-  void Restart() { start_ = Clock::now(); }
+  /// Resets both the start point and the lap point to now.
+  void Restart() { start_ = lap_ = Clock::now(); }
 
   /// Seconds elapsed since construction or the last Restart().
   double ElapsedSeconds() const {
@@ -21,9 +23,21 @@ class WallTimer {
   /// Milliseconds elapsed.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Milliseconds since the last LapMillis()/Restart()/construction, and
+  /// begins a new lap. Laps partition total elapsed time: the sum of all lap
+  /// durations plus the still-open lap equals ElapsedMillis().
+  double LapMillis() {
+    const Clock::time_point now = Clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(now - lap_).count();
+    lap_ = now;
+    return ms;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace turl

@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace turl {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncValueReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Inc();
+  c.Inc(5);
+  EXPECT_EQ(c.Value(), 6);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.Value(), -1.25);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0.0);
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_DOUBLE_EQ(h.sum(), 55.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 50.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 55.5 / 3.0);
+}
+
+TEST(HistogramTest, BucketCountsIncludeOverflow) {
+  Histogram h({1.0, 10.0});
+  h.Observe(0.5);   // bucket 0
+  h.Observe(2.0);   // bucket 1
+  h.Observe(999.0); // overflow
+  std::vector<int64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndClamped) {
+  Histogram h(Histogram::DefaultLatencyBucketsMs());
+  for (int i = 1; i <= 100; ++i) h.Observe(double(i));
+  const double p50 = h.Percentile(0.50);
+  const double p95 = h.Percentile(0.95);
+  EXPECT_LE(p50, p95);
+  // Interpolated estimates stay within the observed range...
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(h.Percentile(1.0), h.max());
+  // ...and land in the right neighborhood for a uniform 1..100 sample
+  // (bucket bounds are powers of two, so estimates are coarse).
+  EXPECT_GT(p50, 20.0);
+  EXPECT_LT(p50, 80.0);
+  EXPECT_GT(p95, p50);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h({1.0});
+  h.Observe(0.5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.Percentile(0.9), 0.0);
+}
+
+TEST(RegistryTest, PointersAreStablePerName) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x");
+  Counter* b = reg.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.GetCounter("y"), a);
+  Gauge* g = reg.GetGauge("x.gauge");
+  EXPECT_EQ(reg.GetGauge("x.gauge"), g);
+  Histogram* h = reg.GetHistogram("x.hist");
+  EXPECT_EQ(reg.GetHistogram("x.hist"), h);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsPointers) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  Gauge* g = reg.GetGauge("g");
+  Histogram* h = reg.GetHistogram("h");
+  c->Inc(7);
+  g->Set(2.0);
+  h->Observe(1.0);
+  reg.Reset();
+  EXPECT_EQ(reg.GetCounter("c"), c);
+  EXPECT_EQ(c->Value(), 0);
+  EXPECT_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->count(), 0);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsFromFourThreads) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 25000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter* c = reg.GetCounter("shared.counter");
+      Histogram* h = reg.GetHistogram("shared.hist");
+      for (int i = 0; i < kIters; ++i) {
+        c->Inc();
+        h->Observe(double(i % 10));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("shared.counter")->Value(), kThreads * kIters);
+  EXPECT_EQ(reg.GetHistogram("shared.hist")->count(), kThreads * kIters);
+}
+
+TEST(RegistryTest, JsonRoundTripContainsAllMetrics) {
+  MetricsRegistry reg;
+  reg.GetCounter("steps")->Inc(3);
+  reg.GetGauge("loss")->Set(1.5);
+  reg.GetHistogram("lat")->Observe(2.0);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"steps\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"loss\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  // Deterministic: same state serializes identically.
+  EXPECT_EQ(json, reg.ToJson());
+  // The human-readable table mentions every metric name.
+  const std::string table = reg.ToTable();
+  EXPECT_NE(table.find("steps"), std::string::npos);
+  EXPECT_NE(table.find("loss"), std::string::npos);
+  EXPECT_NE(table.find("lat"), std::string::npos);
+}
+
+TEST(JsonHelpersTest, EscapeAndDouble) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonDouble(std::nan("")), "null");
+  EXPECT_EQ(JsonDouble(INFINITY), "null");
+  EXPECT_EQ(JsonDouble(2.0), "2");
+  EXPECT_EQ(JsonDouble(0.5), "0.5");
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsAreAscending) {
+  std::vector<double> bounds = Histogram::DefaultLatencyBucketsMs();
+  ASSERT_GT(bounds.size(), 10u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_LE(bounds.front(), 1e-3);
+  EXPECT_GE(bounds.back(), 1e5);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace turl

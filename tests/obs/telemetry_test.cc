@@ -1,0 +1,188 @@
+#include "obs/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/context.h"
+#include "core/pretrain.h"
+#include "obs/metrics.h"
+
+namespace turl {
+namespace obs {
+namespace {
+
+/// Captures every record it receives, in order.
+class CaptureSink : public MetricsSink {
+ public:
+  void Emit(const TrainRecord& record) override {
+    records.push_back(record);
+  }
+  std::vector<TrainRecord> records;
+};
+
+TEST(TrainRecordTest, JsonLineOmitsAbsentFields) {
+  TrainRecord r;
+  r.phase = "pretrain";
+  r.step = 10;
+  const std::string line = ToJsonLine(r);
+  EXPECT_NE(line.find("\"phase\":\"pretrain\""), std::string::npos);
+  EXPECT_NE(line.find("\"step\":10"), std::string::npos);
+  EXPECT_NE(line.find("\"elapsed_sec\":"), std::string::npos);
+  // epoch=-1 and the NaN-valued metrics are all omitted.
+  EXPECT_EQ(line.find("epoch"), std::string::npos);
+  EXPECT_EQ(line.find("loss"), std::string::npos);
+  EXPECT_EQ(line.find("eval"), std::string::npos);
+  EXPECT_EQ(line.find("tables_per_sec"), std::string::npos);
+  EXPECT_EQ(line.find("nan"), std::string::npos);
+}
+
+TEST(TrainRecordTest, JsonLineIncludesPresentFields) {
+  TrainRecord r;
+  r.phase = "finetune.entity_linking";
+  r.step = 3;
+  r.epoch = 1;
+  r.loss = 0.25;
+  r.mlm_loss = 0.125;
+  r.eval_metric = "valid_map";
+  r.eval_value = 0.75;
+  r.tables_per_sec = 12.5;
+  const std::string line = ToJsonLine(r);
+  EXPECT_NE(line.find("\"epoch\":1"), std::string::npos);
+  EXPECT_NE(line.find("\"loss\":0.25"), std::string::npos);
+  EXPECT_NE(line.find("\"mlm_loss\":0.125"), std::string::npos);
+  EXPECT_EQ(line.find("mer_loss"), std::string::npos);
+  EXPECT_NE(line.find("\"eval_metric\":\"valid_map\""), std::string::npos);
+  EXPECT_NE(line.find("\"eval_value\":0.75"), std::string::npos);
+  EXPECT_NE(line.find("\"tables_per_sec\":12.5"), std::string::npos);
+}
+
+TEST(JsonlSinkTest, AppendsOneLinePerRecord) {
+  const std::string path = ::testing::TempDir() + "/telemetry_test.jsonl";
+  std::remove(path.c_str());
+  {
+    JsonlSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    TrainRecord r;
+    r.phase = "test";
+    for (int i = 0; i < 3; ++i) {
+      r.step = i;
+      sink.Emit(r);
+    }
+    sink.Flush();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"phase\":\"test\""), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryHubTest, FansOutToRegisteredSinksAndMirrorsGauges) {
+  CaptureSink a, b;
+  TelemetryHub::Get().AddSink(&a);
+  TelemetryHub::Get().AddSink(&b);
+  TrainRecord r;
+  r.phase = "hubtest";
+  r.step = 7;
+  r.loss = 1.5;
+  r.eval_metric = "acc";
+  r.eval_value = 0.5;
+  EmitRecord(r);
+  TelemetryHub::Get().RemoveSink(&a);
+  TelemetryHub::Get().RemoveSink(&b);
+  ASSERT_EQ(a.records.size(), 1u);
+  ASSERT_EQ(b.records.size(), 1u);
+  EXPECT_EQ(a.records[0].step, 7);
+  // The hub mirrors the record into the global registry.
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  EXPECT_GE(reg.GetCounter("hubtest.records")->Value(), 1);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("hubtest.loss")->Value(), 1.5);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("hubtest.acc")->Value(), 0.5);
+  // A removed sink no longer receives records.
+  EmitRecord(r);
+  EXPECT_EQ(a.records.size(), 1u);
+}
+
+TEST(FinetuneTelemetryTest, EmitsEpochAndEvalRecords) {
+  CaptureSink sink;
+  FinetuneTelemetry telemetry("finetune.testtask", &sink);
+  telemetry.Step(2.0);
+  telemetry.Step(4.0);
+  telemetry.EndEpoch(0);
+  telemetry.Step(1.0);
+  telemetry.EndEpoch(1);
+  telemetry.Eval("valid_map", 0.625);
+  EXPECT_EQ(telemetry.steps(), 3);
+  ASSERT_EQ(sink.records.size(), 3u);
+  EXPECT_EQ(sink.records[0].epoch, 0);
+  EXPECT_DOUBLE_EQ(sink.records[0].loss, 3.0);  // Mean of 2.0, 4.0.
+  EXPECT_EQ(sink.records[1].epoch, 1);
+  EXPECT_DOUBLE_EQ(sink.records[1].loss, 1.0);
+  EXPECT_EQ(sink.records[1].step, 3);
+  EXPECT_EQ(sink.records[2].eval_metric, "valid_map");
+  EXPECT_DOUBLE_EQ(sink.records[2].eval_value, 0.625);
+  EXPECT_GE(
+      MetricsRegistry::Get().GetCounter("finetune.testtask.steps")->Value(),
+      3);
+}
+
+TEST(PretrainTelemetryTest, OneRecordPerEvalStepMatchingEvalCurve) {
+  core::ContextConfig config;
+  config.corpus.num_tables = 120;
+  config.seed = 42;
+  core::TurlContext ctx = core::BuildContext(config);
+
+  core::TurlConfig model_config;
+  model_config.num_layers = 1;
+  model_config.d_model = 32;
+  model_config.d_intermediate = 64;
+  model_config.num_heads = 2;
+  core::TurlModel model(model_config, ctx.vocab.size(),
+                        ctx.entity_vocab.size(), 1);
+
+  core::Pretrainer pretrainer(&model, &ctx);
+  core::Pretrainer::Options opts;
+  opts.epochs = 1;
+  opts.max_train_tables = 30;
+  opts.eval_every = 10;
+  opts.max_eval_tables = 5;
+  opts.seed = 7;
+  CaptureSink sink;
+  opts.sink = &sink;
+  core::PretrainResult result = pretrainer.Train(opts);
+
+  // Every record carrying an eval value corresponds 1:1 — same step, same
+  // accuracy — with the result's eval curve (the Figure 7 series).
+  std::vector<const TrainRecord*> eval_records;
+  for (const TrainRecord& r : sink.records) {
+    EXPECT_EQ(r.phase, "pretrain");
+    if (!std::isnan(r.eval_value)) eval_records.push_back(&r);
+  }
+  ASSERT_GE(result.eval_curve.size(), 2u);
+  ASSERT_EQ(eval_records.size(), result.eval_curve.size());
+  for (size_t i = 0; i < eval_records.size(); ++i) {
+    EXPECT_EQ(eval_records[i]->step, result.eval_curve[i].first);
+    EXPECT_DOUBLE_EQ(eval_records[i]->eval_value,
+                     result.eval_curve[i].second);
+    EXPECT_EQ(eval_records[i]->eval_metric, "object_prediction_acc");
+  }
+  // Windowed loss means are present and positive while training.
+  EXPECT_FALSE(std::isnan(sink.records.front().loss));
+  EXPECT_GT(sink.records.front().loss, 0.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace turl

@@ -1,0 +1,74 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace turl {
+namespace {
+
+using internal_logging::LevelFromName;
+using internal_logging::LogLevel;
+using internal_logging::MinLogLevel;
+using internal_logging::SetMinLogLevel;
+
+/// Restores the verbosity threshold after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = MinLogLevel(); }
+  void TearDown() override { SetMinLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+int Touch(int* evaluations) {
+  ++*evaluations;
+  return 42;
+}
+
+TEST_F(LoggingTest, BelowThresholdOperandsAreNotEvaluated) {
+  SetMinLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  TURL_LOG(Info) << "value " << Touch(&evaluations);
+  TURL_LOG(Warning) << "value " << Touch(&evaluations);
+  EXPECT_EQ(evaluations, 0);
+  TURL_LOG(Error) << "value " << Touch(&evaluations);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, IsOnTracksThreshold) {
+  SetMinLogLevel(LogLevel::kInfo);
+  EXPECT_TRUE(TURL_LOG_IS_ON(Info));
+  EXPECT_TRUE(TURL_LOG_IS_ON(Error));
+  SetMinLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(TURL_LOG_IS_ON(Info));
+  EXPECT_TRUE(TURL_LOG_IS_ON(Warning));
+  // Fatal is the maximum level: no threshold can silence it.
+  SetMinLogLevel(LogLevel::kFatal);
+  EXPECT_TRUE(TURL_LOG_IS_ON(Fatal));
+}
+
+TEST_F(LoggingTest, ChecksFireRegardlessOfThreshold) {
+  SetMinLogLevel(LogLevel::kFatal);
+  EXPECT_DEATH(TURL_CHECK(false) << "boom", "Check failed");
+  EXPECT_DEATH(TURL_CHECK_EQ(1, 2), "1 vs 2");
+}
+
+TEST_F(LoggingTest, PassingChecksDoNotLog) {
+  SetMinLogLevel(LogLevel::kInfo);
+  TURL_CHECK(true) << "never printed";
+  TURL_CHECK_EQ(3, 3);
+  TURL_CHECK_LE(1, 2);
+}
+
+TEST(LevelFromNameTest, ParsesNamesDigitsAndCase) {
+  const LogLevel fb = LogLevel::kInfo;
+  EXPECT_EQ(LevelFromName("INFO", fb), LogLevel::kInfo);
+  EXPECT_EQ(LevelFromName("warning", fb), LogLevel::kWarning);
+  EXPECT_EQ(LevelFromName("Warn", fb), LogLevel::kWarning);
+  EXPECT_EQ(LevelFromName("ERROR", fb), LogLevel::kError);
+  EXPECT_EQ(LevelFromName("fatal", fb), LogLevel::kFatal);
+  EXPECT_EQ(LevelFromName("2", fb), LogLevel::kError);
+  EXPECT_EQ(LevelFromName("bogus", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(LevelFromName("", LogLevel::kError), LogLevel::kError);
+}
+
+}  // namespace
+}  // namespace turl

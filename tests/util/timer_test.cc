@@ -1,0 +1,58 @@
+#include "util/timer.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace turl {
+namespace {
+
+void SpinFor(double ms) {
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(ms * 1000)));
+}
+
+TEST(WallTimerTest, ElapsedIsMonotonic) {
+  WallTimer timer;
+  const double a = timer.ElapsedSeconds();
+  SpinFor(1.0);
+  const double b = timer.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GT(b, a);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3, 1.0);
+}
+
+TEST(WallTimerTest, LapMeasuresSinceLastLap) {
+  WallTimer timer;
+  SpinFor(5.0);
+  const double lap1 = timer.LapMillis();
+  EXPECT_GE(lap1, 4.0);  // sleep_for may overshoot, never undershoots.
+  // The lap reference moved: an immediate second lap is (almost) empty.
+  const double lap2 = timer.LapMillis();
+  EXPECT_LT(lap2, lap1);
+  EXPECT_GE(lap2, 0.0);
+}
+
+TEST(WallTimerTest, LapsPartitionElapsedTime) {
+  WallTimer timer;
+  double lap_sum = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    SpinFor(2.0);
+    lap_sum += timer.LapMillis();
+  }
+  const double open_lap = timer.LapMillis();
+  EXPECT_LE(lap_sum, timer.ElapsedMillis());
+  EXPECT_NEAR(lap_sum + open_lap, timer.ElapsedMillis(), 2.0);
+}
+
+TEST(WallTimerTest, RestartResetsBothReferencePoints) {
+  WallTimer timer;
+  SpinFor(5.0);
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedMillis(), 5.0);
+  EXPECT_LT(timer.LapMillis(), 5.0);
+}
+
+}  // namespace
+}  // namespace turl
