@@ -12,6 +12,8 @@
 #include "core/pretrain.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "rt/batch_scheduler.h"
+#include "rt/inference_session.h"
 
 namespace turl {
 namespace bench {
@@ -91,6 +93,20 @@ inline std::unique_ptr<core::TurlModel> LoadPretrained(const BenchEnv& env) {
   core::GetOrTrainModel(model.get(), env.ctx, StandardPretrainOptions(),
                         env.cache_dir);
   return model;
+}
+
+/// Inference session for bulk evaluation. Thread count comes from
+/// TURL_RT_THREADS (default: hardware concurrency); results are identical
+/// for any thread count, and TURL_RT_THREADS=1 runs the forwards inline.
+inline rt::InferenceSession MakeSession(const core::TurlModel& model) {
+  rt::SessionOptions options;
+  rt::InferenceSession session(model, options);
+  std::printf("runtime: %d inference thread%s, batch budget %lld "
+              "tokens+entities, max %d tables/batch\n",
+              session.num_threads(), session.num_threads() == 1 ? "" : "s",
+              static_cast<long long>(rt::BatchSchedulerOptions{}.max_batch_budget),
+              rt::BatchSchedulerOptions{}.max_batch_tables);
+  return session;
 }
 
 /// Builds a randomly initialized model (the no-pre-training baselines).

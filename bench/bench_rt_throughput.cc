@@ -1,0 +1,101 @@
+// Bulk-inference throughput of the turl::rt runtime: encodes a fixed set of
+// heterogeneous tables sequentially (the historical per-instance loop) and
+// through an InferenceSession at 1 and N threads, reporting tables/sec. The
+// 1-thread session must match the sequential path bit for bit; the N-thread
+// session must match too (results are written by input index).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/table_encoding.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace turl;
+  bench::InitObservability();
+
+  core::ContextConfig config;
+  config.corpus.num_tables = 600;
+  config.seed = 42;
+  core::TurlContext ctx = core::BuildContext(config);
+  core::TurlConfig model_config;  // Repro-scale defaults.
+  core::TurlModel model(model_config, ctx.vocab.size(),
+                        ctx.entity_vocab.size(), /*seed=*/11);
+  std::printf("== rt throughput ==\n");
+
+  // A mixed-shape workload: every held-out table.
+  const text::WordPieceTokenizer tokenizer = ctx.MakeTokenizer();
+  std::vector<core::EncodedTable> tables;
+  for (size_t idx : ctx.corpus.valid) {
+    core::EncodedTable t =
+        core::EncodeTable(ctx.corpus.tables[idx], tokenizer, ctx.entity_vocab);
+    if (t.total() > 0) tables.push_back(std::move(t));
+    if (tables.size() >= 96) break;
+  }
+  std::printf("workload: %zu tables\n", tables.size());
+
+  // Sequential baseline: the pre-runtime evaluation loop.
+  WallTimer timer;
+  std::vector<nn::Tensor> sequential;
+  sequential.reserve(tables.size());
+  for (const core::EncodedTable& t : tables) {
+    sequential.push_back(model.Encode(t, /*training=*/false));
+  }
+  const double seq_s = timer.ElapsedSeconds();
+  std::printf("sequential loop:      %6.2f tables/s (%.2fs)\n",
+              tables.size() / seq_s, seq_s);
+
+  auto check_match = [&](const std::vector<nn::Tensor>& got,
+                         const char* what) {
+    for (size_t i = 0; i < got.size(); ++i) {
+      const auto a = sequential[i].ToVector();
+      const auto b = got[i].ToVector();
+      if (a != b) {  // Bit-exact comparison, intentionally.
+        std::printf("MISMATCH (%s) at table %zu\n", what, i);
+        return false;
+      }
+    }
+    std::printf("(%s output bit-identical to sequential loop)\n", what);
+    return true;
+  };
+
+  bool ok = true;
+  {
+    rt::InferenceSession session(model, rt::SessionOptions{.num_threads = 1});
+    timer.Restart();
+    std::vector<nn::Tensor> batched = session.EncodeBatch(
+        std::span<const core::EncodedTable>(tables));
+    const double s = timer.ElapsedSeconds();
+    std::printf("session (1 thread):   %6.2f tables/s (%.2fs)\n",
+                tables.size() / s, s);
+    ok = check_match(batched, "1 thread") && ok;
+  }
+  {
+    rt::InferenceSession session = bench::MakeSession(model);
+    timer.Restart();
+    std::vector<nn::Tensor> batched = session.EncodeBatch(
+        std::span<const core::EncodedTable>(tables));
+    const double s = timer.ElapsedSeconds();
+    std::printf("session (%d threads):  %6.2f tables/s (%.2fs, %.2fx vs "
+                "sequential)\n",
+                session.num_threads(), tables.size() / s, s, seq_s / s);
+    ok = check_match(batched, "N threads") && ok;
+
+    // The scheduler path the task heads use: budget-capped micro-batches.
+    timer.Restart();
+    rt::BatchScheduler scheduler(&session);
+    std::vector<nn::Tensor> scheduled(tables.size());
+    for (size_t i = 0; i < tables.size(); ++i) {
+      scheduler.Submit(&tables[i],
+                       [&scheduled, i](nn::Tensor h) { scheduled[i] = h; });
+    }
+    scheduler.Flush();
+    const double sched_s = timer.ElapsedSeconds();
+    std::printf("scheduler (%d thr):    %6.2f tables/s (%.2fs)\n",
+                session.num_threads(), tables.size() / sched_s, sched_s);
+    ok = check_match(scheduled, "scheduler") && ok;
+  }
+  return ok ? 0 : 1;
+}

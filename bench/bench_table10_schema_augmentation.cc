@@ -38,6 +38,7 @@ int main() {
   augmenter.Finetune(train, ft);
   std::printf("TURL fine-tuning on %zu queries: %.1fs\n", train.size(),
               timer.ElapsedSeconds());
+  rt::InferenceSession session = bench::MakeSession(*model);
 
   std::printf("\n%-22s %14s %14s\n", "Method", "MAP (0 seeds)",
               "MAP (1 seed)");
@@ -46,7 +47,7 @@ int main() {
     std::vector<tasks::SchemaAugInstance> instances =
         tasks::BuildSchemaAugInstances(env.ctx, vocab, eval_tables, seeds,
                                        /*max_instances=*/250);
-    std::vector<std::vector<int>> knn_rankings, turl_rankings;
+    std::vector<std::vector<int>> knn_rankings;
     for (const auto& inst : instances) {
       std::vector<std::string> seed_names;
       for (int h : inst.seed_headers) {
@@ -59,11 +60,9 @@ int main() {
         if (id >= 0) ranking.push_back(id);
       }
       knn_rankings.push_back(std::move(ranking));
-      turl_rankings.push_back(augmenter.Rank(inst));
     }
     knn_map[seeds] = tasks::EvaluateSchemaAugmentation(instances, knn_rankings);
-    turl_map[seeds] =
-        tasks::EvaluateSchemaAugmentation(instances, turl_rankings);
+    turl_map[seeds] = augmenter.Evaluate(instances, &session);
     std::printf("(%d seed: %zu queries)\n", seeds, instances.size());
   }
   std::printf("%-22s %14.2f %14.2f\n", "kNN", knn_map[0] * 100,

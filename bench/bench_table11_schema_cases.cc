@@ -83,7 +83,7 @@ int main() {
     std::printf("\n");
 
     // TURL row.
-    std::vector<int> turl_ranking = augmenter.Rank(inst);
+    std::vector<int> turl_ranking = augmenter.Predict(inst);
     std::printf("TURL AP %.2f | predicted:", ap_of(inst, turl_ranking));
     for (size_t i = 0; i < turl_ranking.size() && i < 5; ++i) {
       std::printf(" %s,", vocab.headers[size_t(turl_ranking[i])].c_str());

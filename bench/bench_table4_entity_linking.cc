@@ -78,7 +78,9 @@ int main() {
     auto model = bench::LoadPretrained(env);
     tasks::TurlEntityLinker linker(model.get(), &env.ctx, rep, /*seed=*/31);
     linker.Finetune(train, ft);
-    return std::make_pair(linker.Evaluate(wikigs), linker.Evaluate(ours));
+    rt::InferenceSession session = bench::MakeSession(*model);
+    return std::make_pair(linker.Evaluate(wikigs, &session),
+                          linker.Evaluate(ours, &session));
   };
   WallTimer timer;
   auto [turl_w, turl_o] = run_turl({true, true});

@@ -87,7 +87,8 @@ int main() {
     tasks::TurlColumnTyper typer(model.get(), &env.ctx, &dataset, variant,
                                  /*seed=*/31);
     typer.Finetune(ft);
-    return typer.Evaluate(dataset.test);
+    rt::InferenceSession session = bench::MakeSession(*model);
+    return typer.Evaluate(dataset.test, &session);
   };
   timer.Restart();
   const eval::Prf only_mention =

@@ -95,7 +95,9 @@ int main() {
     auto model = bench::LoadPretrained(env);
     tasks::TurlColumnTyper typer(model.get(), &env.ctx, &dataset, variant, 31);
     typer.Finetune(ft);
-    return SelectTypes(dataset, typer.EvaluatePerLabel(dataset.valid));
+    rt::InferenceSession session = bench::MakeSession(*model);
+    return SelectTypes(dataset,
+                       typer.EvaluatePerLabel(dataset.valid, &session));
   };
 
   std::printf("\n%-42s", "Method");

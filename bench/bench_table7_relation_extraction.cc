@@ -47,7 +47,8 @@ int main() {
     // only exists because our task is small; equal budgets isolate the
     // pre-training effect the row is meant to show.
     extractor.Finetune(ft);
-    bert = extractor.Evaluate(dataset.test);
+    rt::InferenceSession session = bench::MakeSession(*model);
+    bert = extractor.Evaluate(dataset.test, &session);
   }
 
   auto run_variant = [&](tasks::InputVariant variant) {
@@ -55,7 +56,8 @@ int main() {
     tasks::TurlRelationExtractor extractor(model.get(), &env.ctx, &dataset,
                                            variant, 31);
     extractor.Finetune(ft);
-    return extractor.Evaluate(dataset.test);
+    rt::InferenceSession session = bench::MakeSession(*model);
+    return extractor.Evaluate(dataset.test, &session);
   };
   const eval::Prf only_meta = run_variant(tasks::InputVariant::OnlyMetadata());
   const eval::Prf full = run_variant(tasks::InputVariant::Full());

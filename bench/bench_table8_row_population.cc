@@ -7,6 +7,7 @@
 #include "baselines/row_population.h"
 #include "bench_common.h"
 #include "tasks/row_population.h"
+#include "tasks/task_head.h"
 #include "util/timer.h"
 
 namespace {
@@ -52,6 +53,7 @@ int main() {
 
   auto model = bench::LoadPretrained(env);
   tasks::TurlRowPopulator populator(model.get(), &env.ctx);
+  rt::InferenceSession session = bench::MakeSession(*model);
   tasks::FinetuneOptions ft;
   ft.epochs = 5;
   WallTimer timer;
@@ -73,8 +75,8 @@ int main() {
     auto t2v_scores = ScoreAll(instances, [&](const auto& inst) {
       return table2vec.Score(inst.seeds, inst.candidates);
     });
-    auto turl_scores = ScoreAll(
-        instances, [&](const auto& inst) { return populator.Score(inst); });
+    auto turl_scores =
+        tasks::AsDouble(tasks::BulkScores(populator, instances, session));
     ent[seeds] = tasks::EvaluateRowPopScores(instances, ent_scores);
     t2v[seeds] = tasks::EvaluateRowPopScores(instances, t2v_scores);
     turl[seeds] = tasks::EvaluateRowPopScores(instances, turl_scores);

@@ -7,6 +7,7 @@
 #include "baselines/cell_filling.h"
 #include "bench_common.h"
 #include "tasks/cell_filling.h"
+#include "tasks/task_head.h"
 #include "util/timer.h"
 
 namespace {
@@ -89,10 +90,10 @@ int main() {
 
   auto model = bench::LoadPretrained(env);
   tasks::TurlCellFiller filler(model.get(), &env.ctx);
+  rt::InferenceSession session = bench::MakeSession(*model);
   WallTimer timer;
-  std::vector<std::vector<double>> turl;
-  turl.reserve(instances.size());
-  for (const auto& inst : instances) turl.push_back(filler.Score(inst));
+  std::vector<std::vector<double>> turl =
+      tasks::AsDouble(tasks::BulkScores(filler, instances, session));
   std::printf("TURL scoring (%zu queries, no fine-tuning): %.1fs\n",
               instances.size(), timer.ElapsedSeconds());
 

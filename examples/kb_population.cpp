@@ -41,13 +41,13 @@ int main() {
 
   int proposed = 0, correct = 0, shown = 0;
   for (const tasks::CellFillInstance& inst : instances) {
-    std::vector<double> scores = filler.Score(inst);
+    std::vector<float> scores = filler.Scores(inst);
     if (scores.empty()) continue;
     // Softmax-style margin as a confidence proxy: best minus runner-up.
-    std::vector<float> fscores(scores.begin(), scores.end());
-    auto order = TopK(fscores, 2);
+    auto order = TopK(scores, 2);
     const double margin =
-        order.size() > 1 ? scores[order[0]] - scores[order[1]] : 1e9;
+        order.size() > 1 ? double(scores[order[0]]) - double(scores[order[1]])
+                         : 1e9;
     if (margin < 2.0) continue;  // Only confident proposals populate the KB.
     ++proposed;
     const kb::EntityId prediction = inst.candidates[order[0]].entity;

@@ -5,14 +5,12 @@
 //   ./build/examples/quickstart
 //
 // Everything is deterministic; expect a couple of minutes on one core.
+// This example sticks to the `turl.h` facade: configure -> build context ->
+// pre-train -> open an inference session -> read the model's predictions.
 
 #include <cstdio>
 
-#include "core/candidates.h"
-#include "core/context.h"
-#include "core/masking.h"
-#include "core/model.h"
-#include "core/pretrain.h"
+#include "turl.h"
 #include "util/math_util.h"
 #include "util/timer.h"
 
@@ -21,40 +19,46 @@ int main() {
 
   // 1. Build the data pipeline: synthetic KB -> relational tables ->
   //    WordPiece + entity vocabularies. One seed controls everything.
-  core::ContextConfig config;
+  ContextConfig config;
   config.corpus.num_tables = 800;  // Small corpus for a quick run.
   config.seed = 42;
-  core::TurlContext ctx = core::BuildContext(config);
+  TurlContext ctx = BuildContext(config);
   std::printf("corpus: %zu tables | KB: %d entities, %lld facts\n",
               ctx.corpus.tables.size(), ctx.world.kb.num_entities(),
               static_cast<long long>(ctx.world.kb.num_facts()));
 
   // 2. Pre-train TURL (structure-aware Transformer + MLM/MER).
-  core::TurlConfig model_config;
+  TurlConfig model_config;
   model_config.pretrain_epochs = 3;
-  core::TurlModel model(model_config, ctx.vocab.size(),
-                        ctx.entity_vocab.size(), /*seed=*/11);
+  TurlModel model(model_config, ctx.vocab.size(), ctx.entity_vocab.size(),
+                  /*seed=*/11);
   std::printf("model: %lld parameters\n",
               static_cast<long long>(model.params()->TotalParameters()));
-  core::Pretrainer pretrainer(&model, &ctx);
-  core::Pretrainer::Options opts;
+  Pretrainer pretrainer(&model, &ctx);
+  Pretrainer::Options opts;
   WallTimer timer;
-  core::PretrainResult result = pretrainer.Train(opts);
+  PretrainResult result = pretrainer.Train(opts);
   std::printf("pre-trained %lld steps in %.1fs | final loss %.3f | "
               "object-entity prediction ACC %.3f\n",
               static_cast<long long>(result.steps), timer.ElapsedSeconds(),
               result.final_loss, result.final_accuracy);
 
-  // 3. Inspect one held-out table and recover a masked entity.
+  // 3. Open an inference session over the now-frozen model. Thread count
+  //    comes from TURL_RT_THREADS (default: hardware concurrency); results
+  //    are identical for any setting.
+  InferenceSession session(model);
+  std::printf("inference session: %d thread%s\n", session.num_threads(),
+              session.num_threads() == 1 ? "" : "s");
+
+  // 4. Inspect one held-out table and recover a masked entity.
   const data::Table& table = ctx.corpus.tables[ctx.corpus.valid[0]];
   std::printf("\ntable: \"%s\" (%d rows x %d cols, pattern %s)\n",
               table.caption.c_str(), table.num_rows(), table.num_columns(),
               table.pattern.c_str());
 
-  const text::WordPieceTokenizer tokenizer = ctx.MakeTokenizer();
-  core::EncodedTable clean =
-      core::EncodeTable(table, tokenizer, ctx.entity_vocab);
-  std::vector<int> maskable = core::MaskableEntityPositions(clean);
+  const auto tokenizer = ctx.MakeTokenizer();
+  EncodedTable clean = EncodeTable(table, tokenizer, ctx.entity_vocab);
+  std::vector<int> maskable = MaskableEntityPositions(clean);
   if (maskable.empty()) {
     std::printf("no maskable cells in this table\n");
     return 0;
@@ -66,16 +70,16 @@ int main() {
               clean.entity_column[size_t(cell)],
               ctx.world.kb.entity(truth_kb).name.c_str());
 
-  core::EncodedTable masked = clean;
-  core::MaskEntityCell(&masked, cell, /*mask_mention=*/true);
+  EncodedTable masked = clean;
+  MaskEntityCell(&masked, cell, /*mask_mention=*/true);
+  nn::Tensor hidden = session.Encode(masked);
   Rng rng(0);
-  nn::Tensor hidden = model.Encode(masked, /*training=*/false, &rng);
-  std::vector<int> candidates = core::BuildMerCandidates(
+  std::vector<int> candidates = BuildMerCandidates(
       clean, pretrainer.cooccurrence(), model.entity_vocab_size(),
       model_config.mer_max_candidates, model_config.mer_min_random_negatives,
       &rng);
   nn::Tensor logits = model.MerLogits(
-      hidden, {core::TurlModel::EntityHiddenRow(masked, cell)}, candidates);
+      hidden, {TurlModel::EntityHiddenRow(masked, cell)}, candidates);
   std::vector<float> scores = logits.ToVector();
   std::printf("top recovered entities (of %zu candidates):\n",
               candidates.size());

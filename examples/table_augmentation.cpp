@@ -51,8 +51,7 @@ int main() {
       std::printf("-- row population --\nquery: \"%s\", seed: %s\n",
                   table.caption.c_str(),
                   ctx.world.kb.entity(q.seeds[0]).name.c_str());
-      std::vector<double> scores = populator.Score(q);
-      std::vector<float> fscores(scores.begin(), scores.end());
+      std::vector<float> fscores = populator.Scores(q);
       std::printf("top suggested subject entities:\n");
       for (size_t idx : TopK(fscores, 5)) {
         const kb::EntityId e = q.candidates[idx];
@@ -82,8 +81,7 @@ int main() {
                   table.caption.c_str(),
                   table.columns[size_t(q.object_column)].header.c_str(),
                   ctx.world.kb.entity(q.subject).name.c_str());
-      std::vector<double> scores = filler.Score(q);
-      std::vector<float> fscores(scores.begin(), scores.end());
+      std::vector<float> fscores = filler.Scores(q);
       for (size_t idx : TopK(fscores, 3)) {
         std::printf("  %-24s %s\n",
                     ctx.world.kb.entity(q.candidates[idx].entity).name.c_str(),
@@ -115,7 +113,7 @@ int main() {
                   table.caption.c_str(),
                   vocab.headers[size_t(q.seed_headers[0])].c_str());
       std::printf("suggested headers:");
-      std::vector<int> ranking = augmenter.Rank(q);
+      std::vector<int> ranking = augmenter.Predict(q);
       for (size_t i = 0; i < ranking.size() && i < 5; ++i) {
         const bool hit = std::find(q.gold_headers.begin(),
                                    q.gold_headers.end(),

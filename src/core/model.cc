@@ -42,6 +42,10 @@ TurlModel::TurlModel(const TurlConfig& config, int word_vocab_size,
 nn::Tensor TurlModel::Encode(const EncodedTable& input, bool training,
                              Rng* rng) const {
   TURL_CHECK_GT(input.total(), 0);
+  // Randomness is explicitly per-call: a shared const model has no hidden
+  // Rng, so this is the only place dropout noise can come from.
+  TURL_CHECK(!training || rng != nullptr)
+      << "training Encode requires a caller-provided Rng";
   TURL_PROFILE_SCOPE("model.encode");
   static obs::Counter* encodes =
       obs::MetricsRegistry::Get().GetCounter("model.encodes");

@@ -32,7 +32,15 @@ class TurlModel {
   /// Runs the embedding layer + encoder; returns contextualized
   /// representations [input.total(), d_model]. Token rows come first, then
   /// entity rows (row of entity i = input.num_tokens() + i).
-  nn::Tensor Encode(const EncodedTable& input, bool training, Rng* rng) const;
+  ///
+  /// Thread-safety / Rng contract: Encode never mutates the model — all
+  /// randomness (dropout) is drawn from the caller-provided `rng`, so
+  /// concurrent Encode calls on one shared const model are safe as long as
+  /// each call gets its own Rng. `rng` may be null when `training` is false
+  /// (inference consumes no randomness); training with a null rng is a
+  /// checked fatal error.
+  nn::Tensor Encode(const EncodedTable& input, bool training,
+                    Rng* rng = nullptr) const;
 
   /// Hidden-state row of entity element `entity_index`.
   static int EntityHiddenRow(const EncodedTable& input, int entity_index) {

@@ -1,0 +1,94 @@
+#include "rt/batch_scheduler.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "util/logging.h"
+
+namespace turl {
+namespace rt {
+
+namespace {
+
+double SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Get().GetGauge("rt.scheduler.queue_depth");
+  return g;
+}
+
+obs::Counter* FlushCounter(const char* reason) {
+  // Distinct counters per flush reason; names are stable for BENCH_obs.json.
+  return obs::MetricsRegistry::Get().GetCounter(
+      std::string("rt.scheduler.flush_") + reason);
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(const InferenceSession* session,
+                               BatchSchedulerOptions options, ClockFn clock)
+    : session_(session),
+      options_(options),
+      clock_(clock ? std::move(clock) : ClockFn(&SteadyNowMs)) {
+  TURL_CHECK(session != nullptr);
+  TURL_CHECK_GT(options_.max_batch_tables, 0);
+  TURL_CHECK_GT(options_.max_batch_budget, 0);
+}
+
+BatchScheduler::~BatchScheduler() { Flush(); }
+
+void BatchScheduler::Submit(const core::EncodedTable* table,
+                            std::function<void(nn::Tensor)> done) {
+  TURL_CHECK(table != nullptr);
+  const int64_t cost = table->total();
+  // Flush first if admitting this request would blow the budget; the request
+  // then starts a fresh batch (and an oversized single request simply gets a
+  // batch of its own).
+  if (!queue_.empty() && queued_budget_ + cost > options_.max_batch_budget) {
+    FlushCounter("budget")->Inc();
+    Flush();
+  }
+  queue_.push_back(Request{table, std::move(done), clock_()});
+  queued_budget_ += cost;
+  QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+  if (static_cast<int>(queue_.size()) >= options_.max_batch_tables) {
+    FlushCounter("size")->Inc();
+    Flush();
+  }
+}
+
+bool BatchScheduler::Pump() {
+  if (queue_.empty()) return false;
+  if (clock_() - queue_.front().enqueue_ms < options_.max_age_ms) return false;
+  FlushCounter("age")->Inc();
+  Flush();
+  return true;
+}
+
+void BatchScheduler::Flush() {
+  if (queue_.empty()) return;
+  TURL_PROFILE_SCOPE("rt.scheduler.flush");
+  std::vector<Request> batch(std::make_move_iterator(queue_.begin()),
+                             std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  queued_budget_ = 0;
+  QueueDepthGauge()->Set(0.0);
+  std::vector<const core::EncodedTable*> tables;
+  tables.reserve(batch.size());
+  for (const Request& r : batch) tables.push_back(r.table);
+  std::vector<nn::Tensor> hidden = session_->EncodeBatch(
+      std::span<const core::EncodedTable* const>(tables));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].done) batch[i].done(std::move(hidden[i]));
+  }
+}
+
+}  // namespace rt
+}  // namespace turl

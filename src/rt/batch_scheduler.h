@@ -1,0 +1,88 @@
+#ifndef TURL_RT_BATCH_SCHEDULER_H_
+#define TURL_RT_BATCH_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "rt/inference_session.h"
+
+namespace turl {
+namespace rt {
+
+/// Micro-batching policy for heterogeneous encode requests.
+struct BatchSchedulerOptions {
+  /// Flush when this many requests are queued.
+  int max_batch_tables = 32;
+  /// Flush when the queued token+entity budget (sum of EncodedTable::total())
+  /// would exceed this. A request larger than the whole budget still runs,
+  /// alone in its own batch.
+  int64_t max_batch_budget = 4096;
+  /// Pump() flushes a non-empty queue whose oldest request has waited at
+  /// least this long. <= 0 flushes on every Pump().
+  double max_age_ms = 20.0;
+};
+
+/// Collects encode requests into size/budget-capped micro-batches and runs
+/// each batch through InferenceSession::EncodeBatch. Bulk-eval and example
+/// workloads push heterogeneous tables through one scheduler so the session
+/// sees well-shaped batches instead of one giant fan-out (bounding the
+/// number of live activation graphs).
+///
+/// Single-threaded discipline: Submit/Pump/Flush must be called from one
+/// thread (the batches themselves fan out across the session's pool).
+/// Completion callbacks run on the calling thread, in submission order —
+/// combined with the session's by-index batch semantics, results are
+/// identical to calling session.Encode per request in order.
+class BatchScheduler {
+ public:
+  /// Monotonic clock in milliseconds; injectable so tests can fake age.
+  using ClockFn = std::function<double()>;
+
+  /// The session must outlive the scheduler. A default clock reads
+  /// std::chrono::steady_clock.
+  BatchScheduler(const InferenceSession* session,
+                 BatchSchedulerOptions options = BatchSchedulerOptions(),
+                 ClockFn clock = ClockFn());
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Enqueues one request; `done` receives the contextualized
+  /// representations for `table` when its batch runs. `table` must stay
+  /// alive until then. Flushes eagerly once size or budget caps are hit.
+  void Submit(const core::EncodedTable* table,
+              std::function<void(nn::Tensor)> done);
+
+  /// Age-based flush hook for callers with their own poll loop: flushes if
+  /// the oldest queued request has exceeded max_age_ms. Returns true if a
+  /// batch ran.
+  bool Pump();
+
+  /// Runs everything still queued (no-op when empty).
+  void Flush();
+
+  size_t pending() const { return queue_.size(); }
+  const BatchSchedulerOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    const core::EncodedTable* table;
+    std::function<void(nn::Tensor)> done;
+    double enqueue_ms;
+  };
+
+  const InferenceSession* session_;
+  BatchSchedulerOptions options_;
+  ClockFn clock_;
+  std::deque<Request> queue_;
+  int64_t queued_budget_ = 0;
+};
+
+}  // namespace rt
+}  // namespace turl
+
+#endif  // TURL_RT_BATCH_SCHEDULER_H_

@@ -1,0 +1,57 @@
+#ifndef TURL_RT_BULK_H_
+#define TURL_RT_BULK_H_
+
+#include <functional>
+#include <vector>
+
+#include "rt/batch_scheduler.h"
+#include "rt/inference_session.h"
+
+namespace turl {
+namespace rt {
+
+/// Staged bulk evaluation over n independent instances:
+///   1. encode:  encoded[i] = encode_fn(i)          (parallel across workers)
+///   2. forward: hidden[i] via budget-capped micro-batches (BatchScheduler
+///      -> InferenceSession::EncodeBatch, parallel within each batch)
+///   3. score:   out[i] = score_fn(i, encoded[i], hidden[i])   (parallel)
+///
+/// Results are indexed by instance, so the output is identical to the
+/// sequential loop `for i: score_fn(i, encode_fn(i), session.Encode(...))`
+/// for any worker count or batch composition.
+template <typename R>
+std::vector<R> BulkRun(
+    const InferenceSession& session,
+    size_t n,
+    const std::function<core::EncodedTable(size_t)>& encode_fn,
+    const std::function<R(size_t, const core::EncodedTable&,
+                          const nn::Tensor&)>& score_fn,
+    BatchSchedulerOptions batch_options = BatchSchedulerOptions()) {
+  std::vector<core::EncodedTable> encoded(n);
+  session.pool().ParallelFor(0, static_cast<int64_t>(n), /*grain=*/1,
+                             [&](int64_t i) { encoded[size_t(i)] = encode_fn(size_t(i)); });
+
+  std::vector<nn::Tensor> hidden(n);
+  {
+    BatchScheduler scheduler(&session, batch_options);
+    for (size_t i = 0; i < n; ++i) {
+      scheduler.Submit(&encoded[i],
+                       [&hidden, i](nn::Tensor h) { hidden[i] = std::move(h); });
+    }
+    scheduler.Flush();
+  }
+
+  std::vector<R> out(n);
+  session.pool().ParallelFor(0, static_cast<int64_t>(n), /*grain=*/1,
+                             [&](int64_t i) {
+                               out[size_t(i)] =
+                                   score_fn(size_t(i), encoded[size_t(i)],
+                                            hidden[size_t(i)]);
+                             });
+  return out;
+}
+
+}  // namespace rt
+}  // namespace turl
+
+#endif  // TURL_RT_BULK_H_

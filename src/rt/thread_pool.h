@@ -1,0 +1,89 @@
+#ifndef TURL_RT_THREAD_POOL_H_
+#define TURL_RT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace turl {
+namespace rt {
+
+/// Resolves a thread count request against the environment: a positive
+/// `requested` wins; otherwise $TURL_RT_THREADS (when set and positive);
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+int ResolveThreads(int requested = 0);
+
+/// Fixed-size FIFO thread pool — deliberately work-stealing-free so task
+/// execution order (and therefore profiler attribution) is easy to reason
+/// about. Determinism contract: the pool never reorders *results*; every
+/// parallel construct in this library writes its output by index, so the
+/// values produced are identical for any worker count.
+///
+/// Nesting: a ParallelFor issued from inside a pool task runs inline on the
+/// calling worker (sequentially). This makes nested parallelism deadlock-free
+/// by construction — workers never block waiting for siblings.
+///
+/// Exceptions: the first exception thrown by a task body is captured and
+/// rethrown on the thread that called ParallelFor / the future's getter.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (resolved via ResolveThreads, so 0 means
+  /// "environment decides"). A pool of 1 runs everything on the caller.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// True when the current thread is one of this pool's workers.
+  bool InWorker() const;
+
+  /// Index of the current worker in [0, num_threads()); workers are numbered
+  /// 1..N-1 and the caller thread acts as worker 0 while it drains a
+  /// ParallelFor. Returns 0 on non-pool threads.
+  int WorkerIndex() const;
+
+  /// Enqueues one task; the future rethrows anything the task threw.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> Submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return result;
+  }
+
+  /// Runs body(i) for every i in [begin, end), split into contiguous chunks
+  /// of at least `grain` indices. The caller participates as a worker; a
+  /// nested call from a pool thread runs inline. Rethrows the first body
+  /// exception after every chunk has finished (no chunk is abandoned
+  /// mid-flight, so state touched by other indices is fully written).
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t)>& body);
+
+ private:
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop(int worker_index);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace rt
+}  // namespace turl
+
+#endif  // TURL_RT_THREAD_POOL_H_

@@ -5,6 +5,7 @@
 #include "eval/metrics.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "tasks/task_head.h"
 #include "text/vocab.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -119,12 +120,8 @@ TurlCellFiller::TurlCellFiller(core::TurlModel* model,
   TURL_CHECK(model != nullptr);
 }
 
-std::vector<double> TurlCellFiller::Score(
+core::EncodedTable TurlCellFiller::Encode(
     const CellFillInstance& instance) const {
-  TURL_PROFILE_SCOPE("cellfill.score");
-  static obs::Counter* queries =
-      obs::MetricsRegistry::Get().GetCounter("cellfill.queries");
-  queries->Inc();
   const data::Table& full = ctx_->corpus.tables[instance.table_index];
   // Partial table per Definition 6.5: metadata, the full subject column,
   // and the queried object column header with a [MASK] in the queried row.
@@ -144,13 +141,29 @@ std::vector<double> TurlCellFiller::Score(
       core::EncodeTable(partial, tokenizer, ctx_->entity_vocab);
   // Every to-be-filled object cell is presented as a [MASK] entity — the
   // same distribution MER pre-training produces when it masks most of a
-  // column — and the queried row's [MASK] is the one we read out.
-  int mask_index = -1;
+  // column. ScoresFrom finds the queried row's [MASK] by (column, row).
   for (int i = 0; i < encoded.num_entities(); ++i) {
     if (encoded.entity_column[size_t(i)] != 1) continue;
     encoded.entity_ids[size_t(i)] = data::EntityVocab::kMaskEntity;
     encoded.entity_mentions[size_t(i)] = {text::kMaskId};
-    if (encoded.entity_row[size_t(i)] == instance.row) mask_index = i;
+  }
+  return encoded;
+}
+
+std::vector<float> TurlCellFiller::ScoresFrom(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    const CellFillInstance& instance) const {
+  TURL_PROFILE_SCOPE("cellfill.score");
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Get().GetCounter("cellfill.queries");
+  queries->Inc();
+  int mask_index = -1;
+  for (int i = 0; i < encoded.num_entities(); ++i) {
+    if (encoded.entity_column[size_t(i)] == 1 &&
+        encoded.entity_row[size_t(i)] == instance.row) {
+      mask_index = i;
+      break;
+    }
   }
   TURL_CHECK_GE(mask_index, 0);
 
@@ -160,17 +173,53 @@ std::vector<double> TurlCellFiller::Score(
   }
   if (candidate_ids.empty()) return {};
 
-  Rng rng(0);
-  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false, &rng);
   nn::Tensor logits = model_->MerLogits(
       hidden, {core::TurlModel::EntityHiddenRow(encoded, mask_index)},
       candidate_ids);
-  std::vector<double> out;
+  std::vector<float> out;
   for (int64_t i = 0; i < logits.numel(); ++i) {
     const bool oov = candidate_ids[size_t(i)] == data::EntityVocab::kUnkEntity;
-    out.push_back(double(logits.at(i)) - (oov ? 1e3 : 0.0));
+    out.push_back(logits.at(i) - (oov ? 1e3f : 0.f));
   }
   return out;
+}
+
+std::vector<float> TurlCellFiller::Scores(
+    const CellFillInstance& instance) const {
+  if (instance.candidates.empty()) return {};
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return ScoresFrom(hidden, encoded, instance);
+}
+
+std::vector<size_t> TurlCellFiller::PredictFrom(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    const CellFillInstance& instance) const {
+  std::vector<float> scores = ScoresFrom(hidden, encoded, instance);
+  return TopK(scores, scores.size());
+}
+
+std::vector<size_t> TurlCellFiller::Predict(
+    const CellFillInstance& instance) const {
+  if (instance.candidates.empty()) return {};
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return PredictFrom(hidden, encoded, instance);
+}
+
+CellFillResult TurlCellFiller::Evaluate(
+    const std::vector<CellFillInstance>& instances,
+    const rt::InferenceSession* session) const {
+  std::vector<std::vector<float>> scores;
+  if (session != nullptr) {
+    scores = BulkScores(*this, instances, *session);
+  } else {
+    scores.reserve(instances.size());
+    for (const CellFillInstance& inst : instances) {
+      scores.push_back(Scores(inst));
+    }
+  }
+  return EvaluateCellFilling(instances, AsDouble(scores));
 }
 
 }  // namespace tasks

@@ -67,8 +67,36 @@ class TurlCellFiller {
  public:
   TurlCellFiller(core::TurlModel* model, const core::TurlContext* ctx);
 
-  /// Scores one query's candidates.
-  std::vector<double> Score(const CellFillInstance& instance) const;
+  /// TaskHead API (see tasks/task_head.h) -------------------------------
+
+  /// Model input for one query: metadata + subject column + the object
+  /// header, every object cell presented as a [MASK] entity; the queried
+  /// row's [MASK] is the one ScoresFrom reads out.
+  core::EncodedTable Encode(const CellFillInstance& instance) const;
+
+  /// Candidate scores (parallel to instance.candidates, empty when it is);
+  /// out-of-vocabulary candidates are pushed below in-vocabulary ones.
+  std::vector<float> Scores(const CellFillInstance& instance) const;
+  std::vector<float> ScoresFrom(const nn::Tensor& hidden,
+                                const core::EncodedTable& encoded,
+                                const CellFillInstance& instance) const;
+
+  /// Candidates ranked best-first (indices into instance.candidates).
+  std::vector<size_t> Predict(const CellFillInstance& instance) const;
+  std::vector<size_t> PredictFrom(const nn::Tensor& hidden,
+                                  const core::EncodedTable& encoded,
+                                  const CellFillInstance& instance) const;
+
+  /// P@K over queries; a session batches the forwards.
+  CellFillResult Evaluate(const std::vector<CellFillInstance>& instances,
+                          const rt::InferenceSession* session = nullptr) const;
+
+  /// Deprecated double-valued spelling of Scores (pre-TaskHead API).
+  [[deprecated("use Scores(instance)")]] std::vector<double> Score(
+      const CellFillInstance& instance) const {
+    const std::vector<float> s = Scores(instance);
+    return std::vector<double>(s.begin(), s.end());
+  }
 
  private:
   core::TurlModel* model_;

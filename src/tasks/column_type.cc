@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "nn/optim.h"
+#include "tasks/task_head.h"
 #include "util/logging.h"
 
 namespace turl {
@@ -117,7 +118,8 @@ TurlColumnTyper::TurlColumnTyper(core::TurlModel* model,
                                        dataset->num_labels(), &rng);
 }
 
-core::EncodedTable TurlColumnTyper::EncodeFor(size_t table_index) const {
+core::EncodedTable TurlColumnTyper::EncodeTableIndex(
+    size_t table_index) const {
   const text::WordPieceTokenizer tokenizer = ctx_->MakeTokenizer();
   core::EncodedTable encoded =
       core::EncodeTable(ctx_->corpus.tables[table_index], tokenizer,
@@ -156,7 +158,7 @@ void TurlColumnTyper::Finetune(const FinetuneOptions& options) {
     }
     for (size_t ti = 0; ti < limit; ++ti) {
       const auto& instances = by_table[tables[ti]];
-      core::EncodedTable encoded = EncodeFor(tables[ti]);
+      core::EncodedTable encoded = EncodeTableIndex(tables[ti]);
       if (encoded.total() == 0) continue;
       nn::Tensor hidden = model_->Encode(encoded, /*training=*/true, &rng);
       std::vector<nn::Tensor> logit_rows;
@@ -184,36 +186,82 @@ void TurlColumnTyper::Finetune(const FinetuneOptions& options) {
   }
 }
 
-std::vector<int> TurlColumnTyper::Predict(
+core::EncodedTable TurlColumnTyper::Encode(
     const ColumnTypeInstance& instance) const {
-  core::EncodedTable encoded = EncodeFor(instance.table_index);
-  Rng rng(0);
-  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false, &rng);
+  return EncodeTableIndex(instance.table_index);
+}
+
+std::vector<float> TurlColumnTyper::ScoresFrom(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    const ColumnTypeInstance& instance) const {
   nn::Tensor probs =
       nn::SigmoidOp(InstanceLogits(hidden, encoded, instance.column));
+  std::vector<float> out(static_cast<size_t>(dataset_->num_labels()));
+  for (int l = 0; l < dataset_->num_labels(); ++l) out[size_t(l)] = probs.at(l);
+  return out;
+}
+
+std::vector<float> TurlColumnTyper::Scores(
+    const ColumnTypeInstance& instance) const {
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return ScoresFrom(hidden, encoded, instance);
+}
+
+std::vector<int> TurlColumnTyper::PredictFrom(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    const ColumnTypeInstance& instance) const {
+  std::vector<float> probs = ScoresFrom(hidden, encoded, instance);
   std::vector<int> out;
   for (int l = 0; l < dataset_->num_labels(); ++l) {
-    if (probs.at(l) > 0.5f) out.push_back(l);
+    if (probs[size_t(l)] > 0.5f) out.push_back(l);
   }
   return out;
 }
 
+std::vector<int> TurlColumnTyper::Predict(
+    const ColumnTypeInstance& instance) const {
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return PredictFrom(hidden, encoded, instance);
+}
+
 eval::Prf TurlColumnTyper::Evaluate(
-    const std::vector<ColumnTypeInstance>& split) const {
+    const std::vector<ColumnTypeInstance>& split,
+    const rt::InferenceSession* session) const {
   eval::MicroPrf micro;
-  for (const ColumnTypeInstance& inst : split) {
-    micro.Add(Predict(inst), inst.labels);
+  if (session != nullptr) {
+    std::vector<std::vector<int>> preds =
+        BulkPredict<std::vector<int>>(*this, split, *session);
+    for (size_t i = 0; i < split.size(); ++i) {
+      micro.Add(preds[i], split[i].labels);
+    }
+  } else {
+    for (const ColumnTypeInstance& inst : split) {
+      micro.Add(Predict(inst), inst.labels);
+    }
   }
   return micro.Compute();
 }
 
 std::vector<eval::Prf> TurlColumnTyper::EvaluatePerLabel(
-    const std::vector<ColumnTypeInstance>& split) const {
+    const std::vector<ColumnTypeInstance>& split,
+    const rt::InferenceSession* session) const {
   const int L = dataset_->num_labels();
+  std::vector<std::vector<int>> preds;
+  if (session != nullptr) {
+    preds = BulkPredict<std::vector<int>>(*this, split, *session);
+  } else {
+    preds.reserve(split.size());
+    for (const ColumnTypeInstance& inst : split) {
+      preds.push_back(Predict(inst));
+    }
+  }
   std::vector<int64_t> tp(static_cast<size_t>(L), 0),
       fp(static_cast<size_t>(L), 0), fn(static_cast<size_t>(L), 0);
-  for (const ColumnTypeInstance& inst : split) {
-    std::vector<int> pred = Predict(inst);
+  for (size_t ii = 0; ii < split.size(); ++ii) {
+    const ColumnTypeInstance& inst = split[ii];
+    const std::vector<int>& pred = preds[ii];
     std::vector<bool> is_pred(static_cast<size_t>(L), false),
         is_gold(static_cast<size_t>(L), false);
     for (int l : pred) is_pred[size_t(l)] = true;

@@ -55,18 +55,39 @@ class TurlColumnTyper {
   /// Fine-tunes all parameters (encoder + head).
   void Finetune(const FinetuneOptions& options);
 
+  /// TaskHead API (see tasks/task_head.h) -------------------------------
+
+  /// Model input for one instance: its table under this typer's variant.
+  core::EncodedTable Encode(const ColumnTypeInstance& instance) const;
+
+  /// Per-label sigmoid probabilities (size num_labels()).
+  std::vector<float> Scores(const ColumnTypeInstance& instance) const;
+  std::vector<float> ScoresFrom(const nn::Tensor& hidden,
+                                const core::EncodedTable& encoded,
+                                const ColumnTypeInstance& instance) const;
+
   /// Predicted label ids (sigmoid > 0.5) for one instance.
   std::vector<int> Predict(const ColumnTypeInstance& instance) const;
+  std::vector<int> PredictFrom(const nn::Tensor& hidden,
+                               const core::EncodedTable& encoded,
+                               const ColumnTypeInstance& instance) const;
 
-  /// Micro-averaged PRF over a split.
-  eval::Prf Evaluate(const std::vector<ColumnTypeInstance>& split) const;
+  /// Micro-averaged PRF over a split; a session batches the forwards.
+  eval::Prf Evaluate(const std::vector<ColumnTypeInstance>& split,
+                     const rt::InferenceSession* session = nullptr) const;
 
   /// Per-label PRF over a split (Table 6).
   std::vector<eval::Prf> EvaluatePerLabel(
-      const std::vector<ColumnTypeInstance>& split) const;
+      const std::vector<ColumnTypeInstance>& split,
+      const rt::InferenceSession* session = nullptr) const;
 
  private:
-  core::EncodedTable EncodeFor(size_t table_index) const;
+  core::EncodedTable EncodeTableIndex(size_t table_index) const;
+  /// Deprecated spelling of EncodeTableIndex (pre-TaskHead API).
+  [[deprecated("use Encode(instance)")]] core::EncodedTable EncodeFor(
+      size_t table_index) const {
+    return EncodeTableIndex(table_index);
+  }
   nn::Tensor InstanceLogits(const nn::Tensor& hidden,
                             const core::EncodedTable& encoded,
                             int column) const;

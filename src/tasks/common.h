@@ -8,6 +8,12 @@
 #include "obs/telemetry.h"
 
 namespace turl {
+namespace rt {
+/// Batched inference runtime (src/rt/); heads only name it in session-aware
+/// Evaluate overloads, so a forward declaration keeps task headers light.
+class InferenceSession;
+}  // namespace rt
+
 namespace tasks {
 
 /// Input-ablation switches shared by the fine-tuning variants in Tables 4-7:

@@ -5,6 +5,7 @@
 
 #include "nn/optim.h"
 #include "obs/profiler.h"
+#include "tasks/task_head.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
@@ -66,7 +67,8 @@ TurlEntityLinker::TurlEntityLinker(core::TurlModel* model,
       &head_params_, "el_type_emb", ctx->world.kb.num_types(), d, &rng);
 }
 
-core::EncodedTable TurlEntityLinker::EncodeFor(size_t table_index) const {
+core::EncodedTable TurlEntityLinker::EncodeTableIndex(
+    size_t table_index) const {
   const text::WordPieceTokenizer tokenizer = ctx_->MakeTokenizer();
   core::EncodedTable encoded = core::EncodeTable(
       ctx_->corpus.tables[table_index], tokenizer, ctx_->entity_vocab);
@@ -146,7 +148,7 @@ void TurlEntityLinker::Finetune(const ElDataset& train,
       limit = std::min(limit, static_cast<size_t>(options.max_tables));
     }
     for (size_t ti = 0; ti < limit; ++ti) {
-      core::EncodedTable encoded = EncodeFor(tables[ti]);
+      core::EncodedTable encoded = EncodeTableIndex(tables[ti]);
       if (encoded.total() == 0) continue;
       nn::Tensor hidden = model_->Encode(encoded, /*training=*/true, &rng);
       nn::Tensor loss;
@@ -173,20 +175,49 @@ void TurlEntityLinker::Finetune(const ElDataset& train,
   }
 }
 
-kb::EntityId TurlEntityLinker::Predict(const ElInstance& instance) const {
-  if (instance.candidates.empty()) return kb::kInvalidEntity;
-  core::EncodedTable encoded = EncodeFor(instance.table_index);
-  Rng rng(0);
-  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false, &rng);
-  nn::Tensor logits = InstanceLogits(hidden, encoded, instance);
-  return instance.candidates[ArgMax(logits.ToVector())];
+core::EncodedTable TurlEntityLinker::Encode(const ElInstance& instance) const {
+  return EncodeTableIndex(instance.table_index);
 }
 
-eval::Prf TurlEntityLinker::Evaluate(const ElDataset& dataset) const {
+std::vector<float> TurlEntityLinker::ScoresFrom(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    const ElInstance& instance) const {
+  if (instance.candidates.empty()) return {};
+  return InstanceLogits(hidden, encoded, instance).ToVector();
+}
+
+std::vector<float> TurlEntityLinker::Scores(const ElInstance& instance) const {
+  if (instance.candidates.empty()) return {};
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return ScoresFrom(hidden, encoded, instance);
+}
+
+kb::EntityId TurlEntityLinker::PredictFrom(const nn::Tensor& hidden,
+                                           const core::EncodedTable& encoded,
+                                           const ElInstance& instance) const {
+  if (instance.candidates.empty()) return kb::kInvalidEntity;
+  return instance.candidates[ArgMax(ScoresFrom(hidden, encoded, instance))];
+}
+
+kb::EntityId TurlEntityLinker::Predict(const ElInstance& instance) const {
+  if (instance.candidates.empty()) return kb::kInvalidEntity;
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return PredictFrom(hidden, encoded, instance);
+}
+
+eval::Prf TurlEntityLinker::Evaluate(
+    const ElDataset& dataset, const rt::InferenceSession* session) const {
   std::vector<kb::EntityId> predictions;
-  predictions.reserve(dataset.instances.size());
-  for (const ElInstance& inst : dataset.instances) {
-    predictions.push_back(Predict(inst));
+  if (session != nullptr) {
+    predictions =
+        BulkPredict<kb::EntityId>(*this, dataset.instances, *session);
+  } else {
+    predictions.reserve(dataset.instances.size());
+    for (const ElInstance& inst : dataset.instances) {
+      predictions.push_back(Predict(inst));
+    }
   }
   return EvaluateElPredictions(dataset, predictions);
 }

@@ -61,16 +61,40 @@ class TurlEntityLinker {
 
   void Finetune(const ElDataset& train, const FinetuneOptions& options);
 
+  /// TaskHead API (see tasks/task_head.h) -------------------------------
+
+  /// Model input for one instance: its table with entity ids stripped
+  /// (§6.2 links against the target KB, not pre-training entities).
+  core::EncodedTable Encode(const ElInstance& instance) const;
+
+  /// Bilinear match scores against the instance's candidate set, parallel
+  /// to instance.candidates (empty when it is empty).
+  std::vector<float> Scores(const ElInstance& instance) const;
+  std::vector<float> ScoresFrom(const nn::Tensor& hidden,
+                                const core::EncodedTable& encoded,
+                                const ElInstance& instance) const;
+
   /// Predicted entity for one instance (kInvalidEntity when the candidate
   /// set is empty).
   kb::EntityId Predict(const ElInstance& instance) const;
+  kb::EntityId PredictFrom(const nn::Tensor& hidden,
+                           const core::EncodedTable& encoded,
+                           const ElInstance& instance) const;
 
   /// P/R/F1 over a dataset: a prediction is a false positive when wrong,
-  /// and missing predictions (empty candidates) only hurt recall.
-  eval::Prf Evaluate(const ElDataset& dataset) const;
+  /// and missing predictions (empty candidates) only hurt recall. With a
+  /// session, forwards run as micro-batches across its workers (identical
+  /// result for any worker count).
+  eval::Prf Evaluate(const ElDataset& dataset,
+                     const rt::InferenceSession* session = nullptr) const;
 
  private:
-  core::EncodedTable EncodeFor(size_t table_index) const;
+  core::EncodedTable EncodeTableIndex(size_t table_index) const;
+  /// Deprecated spelling of EncodeTableIndex (pre-TaskHead API).
+  [[deprecated("use Encode(instance)")]] core::EncodedTable EncodeFor(
+      size_t table_index) const {
+    return EncodeTableIndex(table_index);
+  }
   /// e^kb rows for the candidates -> [n, 3*d_model].
   nn::Tensor CandidateReps(const std::vector<kb::EntityId>& candidates) const;
   nn::Tensor InstanceLogits(const nn::Tensor& hidden,

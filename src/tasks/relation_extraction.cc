@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "nn/optim.h"
+#include "tasks/task_head.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
@@ -75,7 +76,8 @@ TurlRelationExtractor::TurlRelationExtractor(core::TurlModel* model,
                                        dataset->num_labels(), &rng);
 }
 
-core::EncodedTable TurlRelationExtractor::EncodeFor(size_t table_index) const {
+core::EncodedTable TurlRelationExtractor::EncodeTableIndex(
+    size_t table_index) const {
   const text::WordPieceTokenizer tokenizer = ctx_->MakeTokenizer();
   core::EncodedTable encoded =
       core::EncodeTable(ctx_->corpus.tables[table_index], tokenizer,
@@ -118,7 +120,7 @@ void TurlRelationExtractor::Finetune(
     }
     for (size_t ti = 0; ti < limit; ++ti) {
       const auto& instances = by_table[tables[ti]];
-      core::EncodedTable encoded = EncodeFor(tables[ti]);
+      core::EncodedTable encoded = EncodeTableIndex(tables[ti]);
       if (encoded.total() == 0) continue;
       nn::Tensor hidden = model_->Encode(encoded, /*training=*/true, &rng);
       std::vector<nn::Tensor> logit_rows;
@@ -153,19 +155,30 @@ void TurlRelationExtractor::Finetune(
   }
 }
 
-std::vector<float> TurlRelationExtractor::Scores(
+core::EncodedTable TurlRelationExtractor::Encode(
     const RelationInstance& instance) const {
-  core::EncodedTable encoded = EncodeFor(instance.table_index);
-  Rng rng(0);
-  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false, &rng);
+  return EncodeTableIndex(instance.table_index);
+}
+
+std::vector<float> TurlRelationExtractor::ScoresFrom(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    const RelationInstance& instance) const {
   nn::Tensor probs =
       nn::SigmoidOp(PairLogits(hidden, encoded, instance.object_column));
   return probs.ToVector();
 }
 
-std::vector<int> TurlRelationExtractor::Predict(
+std::vector<float> TurlRelationExtractor::Scores(
     const RelationInstance& instance) const {
-  std::vector<float> probs = Scores(instance);
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return ScoresFrom(hidden, encoded, instance);
+}
+
+std::vector<int> TurlRelationExtractor::PredictFrom(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    const RelationInstance& instance) const {
+  std::vector<float> probs = ScoresFrom(hidden, encoded, instance);
   std::vector<int> out;
   for (int l = 0; l < dataset_->num_labels(); ++l) {
     if (probs[size_t(l)] > 0.5f) out.push_back(l);
@@ -173,25 +186,51 @@ std::vector<int> TurlRelationExtractor::Predict(
   return out;
 }
 
+std::vector<int> TurlRelationExtractor::Predict(
+    const RelationInstance& instance) const {
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return PredictFrom(hidden, encoded, instance);
+}
+
 eval::Prf TurlRelationExtractor::Evaluate(
-    const std::vector<RelationInstance>& split) const {
+    const std::vector<RelationInstance>& split,
+    const rt::InferenceSession* session) const {
   eval::MicroPrf micro;
-  for (const RelationInstance& inst : split) {
-    micro.Add(Predict(inst), {inst.label});
+  if (session != nullptr) {
+    std::vector<std::vector<int>> preds =
+        BulkPredict<std::vector<int>>(*this, split, *session);
+    for (size_t i = 0; i < split.size(); ++i) {
+      micro.Add(preds[i], {split[i].label});
+    }
+  } else {
+    for (const RelationInstance& inst : split) {
+      micro.Add(Predict(inst), {inst.label});
+    }
   }
   return micro.Compute();
 }
 
 double TurlRelationExtractor::EvaluateMap(
-    const std::vector<RelationInstance>& split, int max_instances) const {
-  std::vector<double> aps;
+    const std::vector<RelationInstance>& split, int max_instances,
+    const rt::InferenceSession* session) const {
   size_t limit = split.size();
   if (max_instances > 0) {
     limit = std::min(limit, static_cast<size_t>(max_instances));
   }
+  std::vector<std::vector<float>> all_scores;
+  if (session != nullptr) {
+    std::vector<RelationInstance> head(split.begin(),
+                                       split.begin() + ptrdiff_t(limit));
+    all_scores = BulkScores(*this, head, *session);
+  } else {
+    all_scores.reserve(limit);
+    for (size_t i = 0; i < limit; ++i) all_scores.push_back(Scores(split[i]));
+  }
+  std::vector<double> aps;
   for (size_t i = 0; i < limit; ++i) {
     const RelationInstance& inst = split[i];
-    std::vector<float> scores = Scores(inst);
+    const std::vector<float>& scores = all_scores[i];
     std::vector<size_t> order = TopK(scores, scores.size());
     std::vector<bool> relevant(order.size(), false);
     for (size_t rank = 0; rank < order.size(); ++rank) {

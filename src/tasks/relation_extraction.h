@@ -52,21 +52,39 @@ class TurlRelationExtractor {
   void Finetune(const FinetuneOptions& options, int64_t eval_every = 0,
                 const std::function<void(int64_t, double)>& step_callback = {});
 
+  /// TaskHead API (see tasks/task_head.h) -------------------------------
+
+  /// Model input for one instance: its table under this extractor's variant.
+  core::EncodedTable Encode(const RelationInstance& instance) const;
+
+  /// Per-relation sigmoid probabilities (for MAP).
+  std::vector<float> Scores(const RelationInstance& instance) const;
+  std::vector<float> ScoresFrom(const nn::Tensor& hidden,
+                                const core::EncodedTable& encoded,
+                                const RelationInstance& instance) const;
+
   /// Labels with sigmoid probability > 0.5.
   std::vector<int> Predict(const RelationInstance& instance) const;
+  std::vector<int> PredictFrom(const nn::Tensor& hidden,
+                               const core::EncodedTable& encoded,
+                               const RelationInstance& instance) const;
 
-  /// Per-relation scores (for MAP).
-  std::vector<float> Scores(const RelationInstance& instance) const;
-
-  /// Micro PRF over a split.
-  eval::Prf Evaluate(const std::vector<RelationInstance>& split) const;
+  /// Micro PRF over a split; a session batches the forwards.
+  eval::Prf Evaluate(const std::vector<RelationInstance>& split,
+                     const rt::InferenceSession* session = nullptr) const;
 
   /// Mean average precision over a split (gold = single relation).
   double EvaluateMap(const std::vector<RelationInstance>& split,
-                     int max_instances = 0) const;
+                     int max_instances = 0,
+                     const rt::InferenceSession* session = nullptr) const;
 
  private:
-  core::EncodedTable EncodeFor(size_t table_index) const;
+  core::EncodedTable EncodeTableIndex(size_t table_index) const;
+  /// Deprecated spelling of EncodeTableIndex (pre-TaskHead API).
+  [[deprecated("use Encode(instance)")]] core::EncodedTable EncodeFor(
+      size_t table_index) const {
+    return EncodeTableIndex(table_index);
+  }
   nn::Tensor PairLogits(const nn::Tensor& hidden,
                         const core::EncodedTable& encoded,
                         int object_column) const;

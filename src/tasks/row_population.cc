@@ -5,6 +5,7 @@
 
 #include "eval/metrics.h"
 #include "nn/optim.h"
+#include "tasks/task_head.h"
 #include "text/vocab.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -80,7 +81,7 @@ TurlRowPopulator::TurlRowPopulator(core::TurlModel* model,
   TURL_CHECK(model != nullptr);
 }
 
-core::EncodedTable TurlRowPopulator::EncodeQuery(
+core::EncodedTable TurlRowPopulator::EncodeQueryImpl(
     const RowPopInstance& instance, int* mask_index) const {
   const data::Table& full = ctx_->corpus.tables[instance.table_index];
   // Partial table: caption + subject header + seed subject rows only.
@@ -133,7 +134,7 @@ void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
     for (size_t oi = 0; oi < limit; ++oi) {
       const RowPopInstance& inst = train[order[oi]];
       int mask_index = -1;
-      core::EncodedTable encoded = EncodeQuery(inst, &mask_index);
+      core::EncodedTable encoded = EncodeQueryImpl(inst, &mask_index);
       std::vector<int> candidate_ids;
       std::vector<float> targets;
       std::unordered_set<kb::EntityId> gold(inst.gold.begin(),
@@ -157,27 +158,70 @@ void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
   }
 }
 
-std::vector<double> TurlRowPopulator::Score(
+core::EncodedTable TurlRowPopulator::Encode(
     const RowPopInstance& instance) const {
   int mask_index = -1;
-  core::EncodedTable encoded = EncodeQuery(instance, &mask_index);
+  core::EncodedTable encoded = EncodeQueryImpl(instance, &mask_index);
+  TURL_CHECK_EQ(mask_index, encoded.num_entities() - 1);
+  return encoded;
+}
+
+std::vector<float> TurlRowPopulator::ScoresFrom(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    const RowPopInstance& instance) const {
+  // Encode() appends the [MASK] subject cell last.
+  const int mask_index = encoded.num_entities() - 1;
   std::vector<int> candidate_ids;
   for (kb::EntityId e : instance.candidates) {
     candidate_ids.push_back(ctx_->entity_vocab.Id(e));
   }
-  Rng rng(0);
-  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false, &rng);
   nn::Tensor logits =
       CandidateLogits(hidden, encoded, mask_index, candidate_ids);
-  std::vector<double> out;
+  std::vector<float> out;
   out.reserve(instance.candidates.size());
   for (int64_t i = 0; i < logits.numel(); ++i) {
     // Out-of-vocabulary candidates share the [UNK_ENT] embedding; push them
     // below every in-vocabulary candidate to keep the ranking sane.
     const bool oov = candidate_ids[size_t(i)] == data::EntityVocab::kUnkEntity;
-    out.push_back(double(logits.at(i)) - (oov ? 1e3 : 0.0));
+    out.push_back(logits.at(i) - (oov ? 1e3f : 0.f));
   }
   return out;
+}
+
+std::vector<float> TurlRowPopulator::Scores(
+    const RowPopInstance& instance) const {
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return ScoresFrom(hidden, encoded, instance);
+}
+
+std::vector<size_t> TurlRowPopulator::PredictFrom(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    const RowPopInstance& instance) const {
+  std::vector<float> scores = ScoresFrom(hidden, encoded, instance);
+  return TopK(scores, scores.size());
+}
+
+std::vector<size_t> TurlRowPopulator::Predict(
+    const RowPopInstance& instance) const {
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return PredictFrom(hidden, encoded, instance);
+}
+
+RowPopMetrics TurlRowPopulator::Evaluate(
+    const std::vector<RowPopInstance>& instances,
+    const rt::InferenceSession* session) const {
+  std::vector<std::vector<float>> scores;
+  if (session != nullptr) {
+    scores = BulkScores(*this, instances, *session);
+  } else {
+    scores.reserve(instances.size());
+    for (const RowPopInstance& inst : instances) {
+      scores.push_back(Scores(inst));
+    }
+  }
+  return EvaluateRowPopScores(instances, AsDouble(scores));
 }
 
 }  // namespace tasks

@@ -56,14 +56,46 @@ class TurlRowPopulator {
   void Finetune(const std::vector<RowPopInstance>& train,
                 const FinetuneOptions& options);
 
-  /// Candidate scores for one query (parallel to instance.candidates).
-  std::vector<double> Score(const RowPopInstance& instance) const;
+  /// TaskHead API (see tasks/task_head.h) -------------------------------
+
+  /// Model input for one query: metadata + seed subject cells + a trailing
+  /// [MASK] subject cell. The mask is always the encoding's last entity.
+  core::EncodedTable Encode(const RowPopInstance& instance) const;
+
+  /// Candidate scores for one query (parallel to instance.candidates);
+  /// out-of-vocabulary candidates are pushed below every in-vocabulary one.
+  std::vector<float> Scores(const RowPopInstance& instance) const;
+  std::vector<float> ScoresFrom(const nn::Tensor& hidden,
+                                const core::EncodedTable& encoded,
+                                const RowPopInstance& instance) const;
+
+  /// Candidates ranked best-first (indices into instance.candidates).
+  std::vector<size_t> Predict(const RowPopInstance& instance) const;
+  std::vector<size_t> PredictFrom(const nn::Tensor& hidden,
+                                  const core::EncodedTable& encoded,
+                                  const RowPopInstance& instance) const;
+
+  /// MAP + recall over queries; a session batches the forwards.
+  RowPopMetrics Evaluate(const std::vector<RowPopInstance>& instances,
+                         const rt::InferenceSession* session = nullptr) const;
+
+  /// Deprecated double-valued spelling of Scores (pre-TaskHead API).
+  [[deprecated("use Scores(instance)")]] std::vector<double> Score(
+      const RowPopInstance& instance) const {
+    const std::vector<float> s = Scores(instance);
+    return std::vector<double>(s.begin(), s.end());
+  }
 
  private:
   /// Encodes metadata + seeds + trailing [MASK] subject cell; returns the
   /// encoded table, with the [MASK]'s entity index in *mask_index.
-  core::EncodedTable EncodeQuery(const RowPopInstance& instance,
-                                 int* mask_index) const;
+  core::EncodedTable EncodeQueryImpl(const RowPopInstance& instance,
+                                     int* mask_index) const;
+  /// Deprecated spelling of EncodeQueryImpl (pre-TaskHead API).
+  [[deprecated("use Encode(instance)")]] core::EncodedTable EncodeQuery(
+      const RowPopInstance& instance, int* mask_index) const {
+    return EncodeQueryImpl(instance, mask_index);
+  }
   nn::Tensor CandidateLogits(const nn::Tensor& hidden,
                              const core::EncodedTable& encoded, int mask_index,
                              const std::vector<int>& candidate_ids) const;

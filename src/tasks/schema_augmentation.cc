@@ -6,6 +6,7 @@
 
 #include "eval/metrics.h"
 #include "nn/optim.h"
+#include "tasks/task_head.h"
 #include "text/vocab.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -104,7 +105,7 @@ TurlSchemaAugmenter::TurlSchemaAugmenter(core::TurlModel* model,
       std::make_unique<nn::Linear>(&head_params_, "schema_project", d, d, &rng);
 }
 
-core::EncodedTable TurlSchemaAugmenter::EncodeQuery(
+core::EncodedTable TurlSchemaAugmenter::EncodeQueryImpl(
     const SchemaAugInstance& instance, int* mask_token_row) const {
   const data::Table& full = ctx_->corpus.tables[instance.table_index];
   data::Table partial;
@@ -156,7 +157,7 @@ void TurlSchemaAugmenter::Finetune(const std::vector<SchemaAugInstance>& train,
     for (size_t oi = 0; oi < limit; ++oi) {
       const SchemaAugInstance& inst = train[order[oi]];
       int mask_row = -1;
-      core::EncodedTable encoded = EncodeQuery(inst, &mask_row);
+      core::EncodedTable encoded = EncodeQueryImpl(inst, &mask_row);
       nn::Tensor hidden = model_->Encode(encoded, /*training=*/true, &rng);
       nn::Tensor logits = HeaderLogits(hidden, mask_row);
       std::vector<float> targets(static_cast<size_t>(vocab_->size()), 0.f);
@@ -175,18 +176,34 @@ void TurlSchemaAugmenter::Finetune(const std::vector<SchemaAugInstance>& train,
   }
 }
 
-std::vector<float> TurlSchemaAugmenter::Scores(
+core::EncodedTable TurlSchemaAugmenter::Encode(
     const SchemaAugInstance& instance) const {
   int mask_row = -1;
-  core::EncodedTable encoded = EncodeQuery(instance, &mask_row);
-  Rng rng(0);
-  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false, &rng);
+  core::EncodedTable encoded = EncodeQueryImpl(instance, &mask_row);
+  TURL_CHECK_EQ(mask_row, encoded.num_tokens() - 1);
+  return encoded;
+}
+
+std::vector<float> TurlSchemaAugmenter::ScoresFrom(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    const SchemaAugInstance& instance) const {
+  (void)instance;  // Scores rank the whole header vocabulary.
+  // Encode() appends the [MASK] pseudo-header as the last token.
+  const int mask_row = encoded.num_tokens() - 1;
   return HeaderLogits(hidden, mask_row).ToVector();
 }
 
-std::vector<int> TurlSchemaAugmenter::Rank(
+std::vector<float> TurlSchemaAugmenter::Scores(
     const SchemaAugInstance& instance) const {
-  std::vector<float> scores = Scores(instance);
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return ScoresFrom(hidden, encoded, instance);
+}
+
+std::vector<int> TurlSchemaAugmenter::PredictFrom(
+    const nn::Tensor& hidden, const core::EncodedTable& encoded,
+    const SchemaAugInstance& instance) const {
+  std::vector<float> scores = ScoresFrom(hidden, encoded, instance);
   std::unordered_set<int> seeds(instance.seed_headers.begin(),
                                 instance.seed_headers.end());
   std::vector<int> out;
@@ -196,6 +213,28 @@ std::vector<int> TurlSchemaAugmenter::Rank(
     }
   }
   return out;
+}
+
+std::vector<int> TurlSchemaAugmenter::Predict(
+    const SchemaAugInstance& instance) const {
+  core::EncodedTable encoded = Encode(instance);
+  nn::Tensor hidden = model_->Encode(encoded, /*training=*/false);
+  return PredictFrom(hidden, encoded, instance);
+}
+
+double TurlSchemaAugmenter::Evaluate(
+    const std::vector<SchemaAugInstance>& instances,
+    const rt::InferenceSession* session) const {
+  std::vector<std::vector<int>> rankings;
+  if (session != nullptr) {
+    rankings = BulkPredict<std::vector<int>>(*this, instances, *session);
+  } else {
+    rankings.reserve(instances.size());
+    for (const SchemaAugInstance& inst : instances) {
+      rankings.push_back(Predict(inst));
+    }
+  }
+  return EvaluateSchemaAugmentation(instances, rankings);
 }
 
 }  // namespace tasks

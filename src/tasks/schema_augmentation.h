@@ -56,15 +56,42 @@ class TurlSchemaAugmenter {
   void Finetune(const std::vector<SchemaAugInstance>& train,
                 const FinetuneOptions& options);
 
-  /// Ranked header ids (best first), seeds excluded.
-  std::vector<int> Rank(const SchemaAugInstance& instance) const;
+  /// TaskHead API (see tasks/task_head.h) -------------------------------
+
+  /// Model input for one query: caption + seed header tokens + a trailing
+  /// [MASK] pseudo-header. The mask is always the encoding's last token.
+  core::EncodedTable Encode(const SchemaAugInstance& instance) const;
 
   /// Raw per-header scores (seeds not excluded), for analysis output.
   std::vector<float> Scores(const SchemaAugInstance& instance) const;
+  std::vector<float> ScoresFrom(const nn::Tensor& hidden,
+                                const core::EncodedTable& encoded,
+                                const SchemaAugInstance& instance) const;
+
+  /// Ranked header ids (best first), seeds excluded.
+  std::vector<int> Predict(const SchemaAugInstance& instance) const;
+  std::vector<int> PredictFrom(const nn::Tensor& hidden,
+                               const core::EncodedTable& encoded,
+                               const SchemaAugInstance& instance) const;
+
+  /// MAP over queries; a session batches the forwards.
+  double Evaluate(const std::vector<SchemaAugInstance>& instances,
+                  const rt::InferenceSession* session = nullptr) const;
+
+  /// Deprecated spelling of Predict (pre-TaskHead API).
+  [[deprecated("use Predict(instance)")]] std::vector<int> Rank(
+      const SchemaAugInstance& instance) const {
+    return Predict(instance);
+  }
 
  private:
-  core::EncodedTable EncodeQuery(const SchemaAugInstance& instance,
-                                 int* mask_token_row) const;
+  core::EncodedTable EncodeQueryImpl(const SchemaAugInstance& instance,
+                                     int* mask_token_row) const;
+  /// Deprecated spelling of EncodeQueryImpl (pre-TaskHead API).
+  [[deprecated("use Encode(instance)")]] core::EncodedTable EncodeQuery(
+      const SchemaAugInstance& instance, int* mask_token_row) const {
+    return EncodeQueryImpl(instance, mask_token_row);
+  }
   nn::Tensor HeaderLogits(const nn::Tensor& hidden, int mask_token_row) const;
 
   core::TurlModel* model_;

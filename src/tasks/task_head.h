@@ -1,0 +1,96 @@
+#ifndef TURL_TASKS_TASK_HEAD_H_
+#define TURL_TASKS_TASK_HEAD_H_
+
+#include <vector>
+
+#include "rt/bulk.h"
+#include "rt/inference_session.h"
+
+namespace turl {
+namespace tasks {
+
+/// TaskHead conventions
+/// ====================
+/// Every TURL task head (TurlEntityLinker, TurlColumnTyper,
+/// TurlRelationExtractor, TurlRowPopulator, TurlCellFiller,
+/// TurlSchemaAugmenter) exposes the same instance-level API:
+///
+///   Encode(instance)  -> core::EncodedTable
+///       The head's model input for one instance: the (partial) table
+///       linearization, mask elements included. Pure, does not touch the
+///       model; safe to call from any thread.
+///
+///   Scores(instance)  -> std::vector<float>
+///       Raw per-option scores for the instance's option set (candidates,
+///       labels, or headers — whatever the task ranks). Higher is better.
+///       Equivalent to ScoresFrom(model.Encode(Encode(instance)), ...).
+///
+///   Predict(instance) -> task decision
+///       The task's natural decision derived from Scores: an EntityId for
+///       entity linking, selected label ids for column typing / relation
+///       extraction, and a best-first ranking for row population, cell
+///       filling and schema augmentation.
+///
+///   ScoresFrom(hidden, encoded, instance) -> std::vector<float>
+///       The scoring half of Scores, taking a precomputed forward. This is
+///       the hook batched evaluation uses: encode all instances, run the
+///       forwards through an rt::InferenceSession, then score.
+///
+/// All three are const and mutate nothing: the model reference inside a head
+/// is read-only during scoring, randomness is per-call (see
+/// core::TurlModel::Encode), so one head may serve many threads.
+///
+/// The helpers below run a head's instance set through an
+/// rt::InferenceSession with deterministic, by-index output ordering. With a
+/// single-threaded session they reproduce the sequential per-instance loop
+/// bit for bit.
+
+/// scores[i] = head.ScoresFrom(forward(head.Encode(instances[i])), ...).
+template <typename Head, typename Instance>
+std::vector<std::vector<float>> BulkScores(
+    const Head& head, const std::vector<Instance>& instances,
+    const rt::InferenceSession& session,
+    rt::BatchSchedulerOptions batch_options = rt::BatchSchedulerOptions()) {
+  return rt::BulkRun<std::vector<float>>(
+      session, instances.size(),
+      [&](size_t i) { return head.Encode(instances[i]); },
+      [&](size_t i, const core::EncodedTable& encoded,
+          const nn::Tensor& hidden) {
+        return head.ScoresFrom(hidden, encoded, instances[i]);
+      },
+      batch_options);
+}
+
+/// out[i] = head.PredictFrom(forward(head.Encode(instances[i])), ...).
+/// `Decision` is the head's Predict return type.
+template <typename Decision, typename Head, typename Instance>
+std::vector<Decision> BulkPredict(
+    const Head& head, const std::vector<Instance>& instances,
+    const rt::InferenceSession& session,
+    rt::BatchSchedulerOptions batch_options = rt::BatchSchedulerOptions()) {
+  return rt::BulkRun<Decision>(
+      session, instances.size(),
+      [&](size_t i) { return head.Encode(instances[i]); },
+      [&](size_t i, const core::EncodedTable& encoded,
+          const nn::Tensor& hidden) {
+        return head.PredictFrom(hidden, encoded, instances[i]);
+      },
+      batch_options);
+}
+
+/// Widens per-instance float scores for the double-based Evaluate* entry
+/// points that predate the unified API.
+inline std::vector<std::vector<double>> AsDouble(
+    const std::vector<std::vector<float>>& scores) {
+  std::vector<std::vector<double>> out;
+  out.reserve(scores.size());
+  for (const std::vector<float>& row : scores) {
+    out.emplace_back(row.begin(), row.end());
+  }
+  return out;
+}
+
+}  // namespace tasks
+}  // namespace turl
+
+#endif  // TURL_TASKS_TASK_HEAD_H_

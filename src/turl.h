@@ -1,0 +1,110 @@
+#ifndef TURL_TURL_H_
+#define TURL_TURL_H_
+
+/// Umbrella facade for the TURL reproduction. Applications include this one
+/// header and use the `turl::` aliases below; the layering mirrors a typical
+/// program's lifecycle:
+///
+///   1. configure      turl::ContextConfig, turl::TurlConfig
+///   2. build data     turl::BuildContext -> turl::TurlContext (world,
+///                     corpus, vocabularies, tokenizer factory)
+///   3. model          turl::TurlModel (+ turl::Pretrainer or
+///                     turl::GetOrTrainModel for the cached checkpoint)
+///   4. runtime        turl::InferenceSession — thread-pooled batched
+///                     inference over the (now read-only) model
+///   5. task heads     turl::TurlEntityLinker, turl::TurlColumnTyper,
+///                     turl::TurlRelationExtractor, turl::TurlRowPopulator,
+///                     turl::TurlCellFiller, turl::TurlSchemaAugmenter —
+///                     all expose the unified Encode/Scores/Predict API
+///                     (see tasks/task_head.h) and session-aware Evaluate.
+///
+/// Sub-namespace headers remain available for anything not re-exported here
+/// (custom encodings, nn ops, baselines, observability internals).
+
+#include "core/candidates.h"
+#include "core/context.h"
+#include "core/masking.h"
+#include "core/model.h"
+#include "core/model_cache.h"
+#include "core/pretrain.h"
+#include "core/table_encoding.h"
+#include "rt/batch_scheduler.h"
+#include "rt/inference_session.h"
+#include "rt/thread_pool.h"
+#include "tasks/cell_filling.h"
+#include "tasks/column_type.h"
+#include "tasks/entity_linking.h"
+#include "tasks/relation_extraction.h"
+#include "tasks/row_population.h"
+#include "tasks/schema_augmentation.h"
+#include "tasks/task_head.h"
+
+namespace turl {
+
+// ---- 1. Configuration ----------------------------------------------------
+using core::ContextConfig;
+using core::TurlConfig;
+
+// ---- 2. Data pipeline ----------------------------------------------------
+using core::BuildContext;
+using core::TurlContext;
+using core::EncodedTable;
+using core::EncodeOptions;
+using core::EncodeTable;
+
+// ---- 3. Model + pre-training ---------------------------------------------
+using core::TurlModel;
+using core::Pretrainer;
+using core::PretrainResult;
+using core::GetOrTrainModel;
+using core::DefaultCacheDir;
+// Masked-recovery helpers the pre-training objectives are built from.
+using core::MaskableEntityPositions;
+using core::MaskEntityCell;
+using core::BuildMerCandidates;
+
+// ---- 4. Inference runtime ------------------------------------------------
+using rt::InferenceSession;
+using rt::SessionOptions;
+using rt::BatchScheduler;
+using rt::BatchSchedulerOptions;
+using rt::ThreadPool;
+
+// ---- 5. Task heads (unified TaskHead API) --------------------------------
+using tasks::FinetuneOptions;
+using tasks::InputVariant;
+using tasks::BulkPredict;
+using tasks::BulkScores;
+
+using tasks::TurlEntityLinker;
+using tasks::ElDataset;
+using tasks::ElInstance;
+using tasks::BuildElDataset;
+
+using tasks::TurlColumnTyper;
+using tasks::ColumnTypeDataset;
+using tasks::ColumnTypeInstance;
+using tasks::BuildColumnTypeDataset;
+
+using tasks::TurlRelationExtractor;
+using tasks::RelationDataset;
+using tasks::RelationInstance;
+using tasks::BuildRelationDataset;
+
+using tasks::TurlRowPopulator;
+using tasks::RowPopInstance;
+using tasks::BuildRowPopInstances;
+
+using tasks::TurlCellFiller;
+using tasks::CellFillInstance;
+using tasks::BuildCellFillInstances;
+
+using tasks::TurlSchemaAugmenter;
+using tasks::HeaderVocab;
+using tasks::SchemaAugInstance;
+using tasks::BuildHeaderVocab;
+using tasks::BuildSchemaAugInstances;
+
+}  // namespace turl
+
+#endif  // TURL_TURL_H_

@@ -1,0 +1,96 @@
+// Compile-and-call coverage for the deprecated pre-TaskHead spellings
+// (RowPopulator/CellFiller::Score, SchemaAugmenter::Rank). These forwarders
+// exist for exactly one release; this test pins their semantics — identical
+// to the unified API — until they are deleted.
+
+#include <memory>
+#include <vector>
+
+#include "baselines/cell_filling.h"
+#include "baselines/row_population.h"
+#include "gtest/gtest.h"
+#include "tasks/cell_filling.h"
+#include "tasks/row_population.h"
+#include "tasks/schema_augmentation.h"
+
+// The whole point of this file is to call deprecated symbols.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace turl {
+namespace tasks {
+namespace {
+
+const core::TurlContext& Ctx() {
+  static core::TurlContext* ctx = [] {
+    core::ContextConfig config;
+    config.corpus.num_tables = 150;
+    config.seed = 42;
+    return new core::TurlContext(core::BuildContext(config));
+  }();
+  return *ctx;
+}
+
+core::TurlConfig SmallConfig() {
+  core::TurlConfig config;
+  config.num_layers = 1;
+  config.d_model = 32;
+  config.d_intermediate = 64;
+  config.num_heads = 2;
+  return config;
+}
+
+std::unique_ptr<core::TurlModel> FreshModel() {
+  return std::make_unique<core::TurlModel>(
+      SmallConfig(), Ctx().vocab.size(), Ctx().entity_vocab.size(),
+      /*seed=*/11);
+}
+
+TEST(ApiCompatTest, RowPopulatorScoreForwardsToScores) {
+  baselines::RowPopCandidateGenerator gen(Ctx().corpus, Ctx().corpus.train);
+  auto instances =
+      BuildRowPopInstances(Ctx(), gen, Ctx().corpus.valid, 1, 4, 5);
+  ASSERT_FALSE(instances.empty());
+  auto model = FreshModel();
+  TurlRowPopulator populator(model.get(), &Ctx());
+  for (const auto& inst : instances) {
+    std::vector<double> deprecated_scores = populator.Score(inst);
+    std::vector<float> scores = populator.Scores(inst);
+    ASSERT_EQ(deprecated_scores.size(), scores.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      EXPECT_EQ(deprecated_scores[i], double(scores[i]));
+    }
+  }
+}
+
+TEST(ApiCompatTest, CellFillerScoreForwardsToScores) {
+  baselines::CellFillingIndex index(Ctx().corpus, Ctx().corpus.train);
+  auto instances =
+      BuildCellFillInstances(Ctx(), index, Ctx().corpus.valid, 3, 5);
+  ASSERT_FALSE(instances.empty());
+  auto model = FreshModel();
+  TurlCellFiller filler(model.get(), &Ctx());
+  for (const auto& inst : instances) {
+    std::vector<double> deprecated_scores = filler.Score(inst);
+    std::vector<float> scores = filler.Scores(inst);
+    ASSERT_EQ(deprecated_scores.size(), scores.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      EXPECT_EQ(deprecated_scores[i], double(scores[i]));
+    }
+  }
+}
+
+TEST(ApiCompatTest, SchemaAugmenterRankForwardsToPredict) {
+  HeaderVocab vocab = BuildHeaderVocab(Ctx());
+  auto instances =
+      BuildSchemaAugInstances(Ctx(), vocab, Ctx().corpus.valid, 1, 5);
+  ASSERT_FALSE(instances.empty());
+  auto model = FreshModel();
+  TurlSchemaAugmenter augmenter(model.get(), &Ctx(), &vocab, 31);
+  for (const auto& inst : instances) {
+    EXPECT_EQ(augmenter.Rank(inst), augmenter.Predict(inst));
+  }
+}
+
+}  // namespace
+}  // namespace tasks
+}  // namespace turl

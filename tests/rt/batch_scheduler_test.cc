@@ -1,0 +1,170 @@
+// BatchScheduler policy tests: size-cap flush, budget-cap flush, age-based
+// Pump() with an injected fake clock, submission-order callbacks, and
+// result equivalence with per-request session.Encode.
+
+#include "rt/batch_scheduler.h"
+
+#include <vector>
+
+#include "core/context.h"
+#include "core/model.h"
+#include "core/table_encoding.h"
+#include "gtest/gtest.h"
+#include "rt/inference_session.h"
+
+namespace turl {
+namespace rt {
+namespace {
+
+const core::TurlContext& Ctx() {
+  static core::TurlContext* ctx = [] {
+    core::ContextConfig config;
+    config.corpus.num_tables = 150;
+    config.seed = 42;
+    return new core::TurlContext(core::BuildContext(config));
+  }();
+  return *ctx;
+}
+
+core::TurlConfig SmallConfig() {
+  core::TurlConfig config;
+  config.num_layers = 1;
+  config.d_model = 32;
+  config.d_intermediate = 64;
+  config.num_heads = 2;
+  return config;
+}
+
+const core::TurlModel& Model() {
+  static core::TurlModel* model = new core::TurlModel(
+      SmallConfig(), Ctx().vocab.size(), Ctx().entity_vocab.size(),
+      /*seed=*/11);
+  return *model;
+}
+
+const InferenceSession& Session() {
+  static InferenceSession* session =
+      new InferenceSession(Model(), SessionOptions{.num_threads = 1});
+  return *session;
+}
+
+const std::vector<core::EncodedTable>& Tables() {
+  static std::vector<core::EncodedTable>* tables = [] {
+    auto* out = new std::vector<core::EncodedTable>;
+    const text::WordPieceTokenizer tokenizer = Ctx().MakeTokenizer();
+    for (size_t idx : Ctx().corpus.valid) {
+      core::EncodedTable t = core::EncodeTable(
+          Ctx().corpus.tables[idx], tokenizer, Ctx().entity_vocab);
+      if (t.total() > 0) out->push_back(std::move(t));
+      if (out->size() >= 8) break;
+    }
+    return out;
+  }();
+  return *tables;
+}
+
+TEST(BatchSchedulerTest, SizeCapFlushes) {
+  BatchSchedulerOptions opts;
+  opts.max_batch_tables = 2;
+  opts.max_batch_budget = 1 << 30;  // Effectively unlimited.
+  BatchScheduler scheduler(&Session(), opts);
+  int done = 0;
+  scheduler.Submit(&Tables()[0], [&](nn::Tensor) { ++done; });
+  EXPECT_EQ(scheduler.pending(), 1u);
+  EXPECT_EQ(done, 0);
+  scheduler.Submit(&Tables()[1], [&](nn::Tensor) { ++done; });
+  EXPECT_EQ(scheduler.pending(), 0u) << "size cap must flush eagerly";
+  EXPECT_EQ(done, 2);
+}
+
+TEST(BatchSchedulerTest, BudgetCapFlushesBeforeAdmitting) {
+  BatchSchedulerOptions opts;
+  opts.max_batch_tables = 100;
+  // Any single table fills the budget, so each new submit must flush the
+  // previously queued request first.
+  opts.max_batch_budget = 1;
+  BatchScheduler scheduler(&Session(), opts);
+  std::vector<int> order;
+  scheduler.Submit(&Tables()[0], [&](nn::Tensor) { order.push_back(0); });
+  EXPECT_EQ(scheduler.pending(), 1u)
+      << "an oversized request still runs, alone in its own batch";
+  scheduler.Submit(&Tables()[1], [&](nn::Tensor) { order.push_back(1); });
+  EXPECT_EQ(order, std::vector<int>({0}));
+  EXPECT_EQ(scheduler.pending(), 1u);
+  scheduler.Flush();
+  EXPECT_EQ(order, std::vector<int>({0, 1}));
+}
+
+TEST(BatchSchedulerTest, PumpFlushesOnAgeWithFakeClock) {
+  double now_ms = 1000.0;
+  BatchSchedulerOptions opts;
+  opts.max_batch_tables = 100;
+  opts.max_batch_budget = 1 << 30;
+  opts.max_age_ms = 20.0;
+  BatchScheduler scheduler(&Session(), opts, [&now_ms] { return now_ms; });
+  int done = 0;
+  scheduler.Submit(&Tables()[0], [&](nn::Tensor) { ++done; });
+
+  now_ms += 19.0;  // Not old enough yet.
+  EXPECT_FALSE(scheduler.Pump());
+  EXPECT_EQ(done, 0);
+  EXPECT_EQ(scheduler.pending(), 1u);
+
+  now_ms += 2.0;  // Oldest request is now 21ms old.
+  EXPECT_TRUE(scheduler.Pump());
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(scheduler.pending(), 0u);
+
+  EXPECT_FALSE(scheduler.Pump()) << "empty queue never flushes";
+}
+
+TEST(BatchSchedulerTest, PumpAgeMeasuredFromOldestRequest) {
+  double now_ms = 0.0;
+  BatchSchedulerOptions opts;
+  opts.max_batch_tables = 100;
+  opts.max_batch_budget = 1 << 30;
+  opts.max_age_ms = 10.0;
+  BatchScheduler scheduler(&Session(), opts, [&now_ms] { return now_ms; });
+  int done = 0;
+  scheduler.Submit(&Tables()[0], [&](nn::Tensor) { ++done; });
+  now_ms = 8.0;
+  scheduler.Submit(&Tables()[1], [&](nn::Tensor) { ++done; });
+  now_ms = 11.0;  // First request is 11ms old, second only 3ms.
+  EXPECT_TRUE(scheduler.Pump());
+  EXPECT_EQ(done, 2) << "a flush runs the whole queue, not just old entries";
+}
+
+TEST(BatchSchedulerTest, CallbacksRunInSubmissionOrderWithExactResults) {
+  BatchScheduler scheduler(&Session());
+  const auto& tables = Tables();
+  std::vector<size_t> order;
+  std::vector<nn::Tensor> results(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    scheduler.Submit(&tables[i], [&, i](nn::Tensor h) {
+      order.push_back(i);
+      results[i] = h;
+    });
+  }
+  scheduler.Flush();
+  std::vector<size_t> expected(tables.size());
+  for (size_t i = 0; i < expected.size(); ++i) expected[i] = i;
+  EXPECT_EQ(order, expected);
+  for (size_t i = 0; i < tables.size(); ++i) {
+    EXPECT_EQ(results[i].ToVector(), Session().Encode(tables[i]).ToVector())
+        << "table " << i;
+  }
+}
+
+TEST(BatchSchedulerTest, DestructorFlushesPendingRequests) {
+  int done = 0;
+  {
+    BatchScheduler scheduler(&Session());
+    scheduler.Submit(&Tables()[0], [&](nn::Tensor) { ++done; });
+    EXPECT_EQ(done, 0);
+  }
+  EXPECT_EQ(done, 1);
+}
+
+}  // namespace
+}  // namespace rt
+}  // namespace turl

@@ -1,0 +1,112 @@
+#include "rt/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace turl {
+namespace rt {
+namespace {
+
+TEST(ResolveThreadsTest, ExplicitRequestWins) {
+  EXPECT_EQ(ResolveThreads(3), 3);
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_GE(ResolveThreads(0), 1);  // Environment / hardware fallback.
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(4);
+  auto f = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, /*grain=*/7,
+                   [&](int64_t i) { hits[size_t(i)].fetch_add(1); });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[size_t(i)].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleThreadRunsInOrder) {
+  ThreadPool pool(1);
+  std::vector<int64_t> order;
+  pool.ParallelFor(5, 25, 4, [&](int64_t i) { order.push_back(i); });
+  std::vector<int64_t> expected(20);
+  std::iota(expected.begin(), expected.end(), 5);
+  EXPECT_EQ(order, expected);  // Inline path preserves sequential order.
+}
+
+TEST(ThreadPoolTest, ParallelForDeterministicResultAnyThreadCount) {
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(size_t(513));
+    pool.ParallelFor(0, 513, 8,
+                     [&](int64_t i) { out[size_t(i)] = double(i) * 1.5; });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAfterAllIndicesRun) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 256;
+  std::atomic<int64_t> executed{0};
+  EXPECT_THROW(pool.ParallelFor(0, kN, 1,
+                                [&](int64_t i) {
+                                  executed.fetch_add(1);
+                                  if (i == 17) {
+                                    throw std::runtime_error("index 17");
+                                  }
+                                }),
+               std::runtime_error);
+  // The contract drains every chunk before rethrowing.
+  EXPECT_EQ(executed.load(), kN);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr int64_t kOuter = 32, kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(0, kOuter, 1, [&](int64_t o) {
+    pool.ParallelFor(0, kInner, 1, [&](int64_t i) {
+      hits[size_t(o * kInner + i)].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, StressManySmallLoops) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 97, 3, [&](int64_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 97 * 96 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIndexInRangeAndStable) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(pool.InWorker());
+  EXPECT_EQ(pool.WorkerIndex(), 0);  // Caller acts as worker 0.
+  std::atomic<bool> bad{false};
+  pool.ParallelFor(0, 1000, 1, [&](int64_t) {
+    const int w = pool.WorkerIndex();
+    if (w < 0 || w >= pool.num_threads()) bad.store(true);
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+}  // namespace
+}  // namespace rt
+}  // namespace turl

@@ -144,7 +144,10 @@ TEST(RowPopFinetuneTest, ScoresAlignAndTrainImproves) {
 
   auto score_all = [&] {
     std::vector<std::vector<double>> s;
-    for (const auto& inst : test) s.push_back(populator.Score(inst));
+    for (const auto& inst : test) {
+      std::vector<float> scores = populator.Scores(inst);
+      s.emplace_back(scores.begin(), scores.end());
+    }
     return s;
   };
   RowPopMetrics before = EvaluateRowPopScores(test, score_all());
@@ -164,7 +167,7 @@ TEST(CellFillerTest, ScoresParallelCandidates) {
   auto model = FreshModel();
   TurlCellFiller filler(model.get(), &Ctx());
   for (size_t i = 0; i < std::min<size_t>(instances.size(), 10); ++i) {
-    auto scores = filler.Score(instances[i]);
+    auto scores = filler.Scores(instances[i]);
     EXPECT_EQ(scores.size(), instances[i].candidates.size());
   }
 }
@@ -181,7 +184,7 @@ TEST(SchemaAugFinetuneTest, TrainingImprovesMap) {
 
   auto rank_all = [&] {
     std::vector<std::vector<int>> r;
-    for (const auto& inst : test) r.push_back(augmenter.Rank(inst));
+    for (const auto& inst : test) r.push_back(augmenter.Predict(inst));
     return r;
   };
   const double before = EvaluateSchemaAugmentation(test, rank_all());
@@ -201,7 +204,7 @@ TEST(SchemaAugTest, RankExcludesSeeds) {
   auto model = FreshModel();
   TurlSchemaAugmenter augmenter(model.get(), &Ctx(), &vocab, 31);
   for (const auto& inst : instances) {
-    std::vector<int> ranking = augmenter.Rank(inst);
+    std::vector<int> ranking = augmenter.Predict(inst);
     for (int h : ranking) {
       EXPECT_TRUE(std::find(inst.seed_headers.begin(),
                             inst.seed_headers.end(),
