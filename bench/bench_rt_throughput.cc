@@ -3,13 +3,22 @@
 // through an InferenceSession at 1 and N threads, reporting tables/sec. The
 // 1-thread session must match the sequential path bit for bit; the N-thread
 // session must match too (results are written by input index).
+//
+// Run with TURL_TRACE_JSON=trace.json to get a Chrome trace of every
+// request: the scheduler phase shows queue-wait / batch-assembly / encode
+// under a scheduler-opened root, and the head-scoring phase adds the task
+// head's scoring span under per-instance BulkRun roots.
 
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
+#include "baselines/cell_filling.h"
 #include "bench_common.h"
 #include "core/table_encoding.h"
+#include "obs/trace.h"
+#include "tasks/cell_filling.h"
+#include "tasks/task_head.h"
 #include "util/timer.h"
 
 int main() {
@@ -96,6 +105,29 @@ int main() {
     std::printf("scheduler (%d thr):    %6.2f tables/s (%.2fs)\n",
                 session.num_threads(), tables.size() / sched_s, sched_s);
     ok = check_match(scheduled, "scheduler") && ok;
+
+    // The full request pipeline a task head drives: per-instance input
+    // encoding -> queue -> micro-batch forward -> head scoring, via
+    // BulkScores. Cell filling needs no fine-tuning, so the freshly
+    // initialized model scores deterministically out of the box.
+    baselines::CellFillingIndex index(ctx.corpus, ctx.corpus.train);
+    std::vector<tasks::CellFillInstance> instances =
+        tasks::BuildCellFillInstances(ctx, index, ctx.corpus.valid,
+                                      /*min_valid_pairs=*/3,
+                                      /*max_instances=*/64);
+    tasks::TurlCellFiller filler(&model, &ctx);
+    timer.Restart();
+    std::vector<std::vector<float>> scores =
+        tasks::BulkScores(filler, instances, session);
+    const double score_s = timer.ElapsedSeconds();
+    std::printf("head scoring (%d thr): %6.2f instances/s (%zu instances, "
+                "%.2fs)\n",
+                session.num_threads(), instances.size() / score_s,
+                instances.size(), score_s);
+  }
+
+  if (obs::Tracer::Enabled()) {
+    std::printf("\n%s", obs::SlowTraceReport(5).c_str());
   }
   return ok ? 0 : 1;
 }

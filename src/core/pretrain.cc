@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/timer.h"
@@ -40,7 +41,11 @@ nn::Tensor Pretrainer::InstanceLoss(const PretrainInstance& instance,
                                     const EncodedTable& clean, Rng* rng,
                                     double* mlm_item, double* mer_item) const {
   const TurlConfig& cfg = model_->config();
-  nn::Tensor hidden = model_->Encode(instance.input, /*training=*/true, rng);
+  nn::Tensor hidden;
+  {
+    TURL_TRACE_SCOPE("train.encode");
+    hidden = model_->Encode(instance.input, /*training=*/true, rng);
+  }
 
   // MLM loss over selected token positions.
   std::vector<int> mlm_rows, mlm_targets;
@@ -62,12 +67,14 @@ nn::Tensor Pretrainer::InstanceLoss(const PretrainInstance& instance,
 
   nn::Tensor loss;
   if (!mlm_rows.empty()) {
+    TURL_TRACE_SCOPE("train.mlm");
     nn::Tensor mlm_loss = nn::SoftmaxCrossEntropy(
         model_->MlmLogits(hidden, mlm_rows), mlm_targets);
     if (mlm_item != nullptr) *mlm_item = double(mlm_loss.item());
     loss = mlm_loss;
   }
   if (!mer_rows.empty()) {
+    TURL_TRACE_SCOPE("train.mer");
     std::vector<int> candidates =
         BuildMerCandidates(clean, cooc_, model_->entity_vocab_size(),
                            cfg.mer_max_candidates,
@@ -148,6 +155,13 @@ PretrainResult Pretrainer::Train(const Options& options) {
       const EncodedTable& clean = train_encoded_[order[oi]];
       if (clean.total() == 0) continue;
       TURL_PROFILE_SCOPE("pretrain.step");
+      // Each step is its own trace (sampled), so a slow step decomposes into
+      // encode / mlm / mer / backward / optimizer in the Chrome export.
+      obs::TraceSpan step_trace(obs::kNewTrace, "train.step");
+      if (step_trace.traced()) {
+        step_trace.Annotate("step", step);
+        step_trace.Annotate("total", int64_t(clean.total()));
+      }
       PretrainInstance instance = MakePretrainInstance(
           clean, cfg, model_->word_vocab_size(), model_->entity_vocab_size(),
           &rng);
@@ -156,11 +170,20 @@ PretrainResult Pretrainer::Train(const Options& options) {
       nn::Tensor loss =
           InstanceLoss(instance, clean, &rng, &mlm_item, &mer_item);
       if (!loss.defined()) continue;
-      model_->params()->ZeroGrad();
-      loss.Backward();
-      nn::ClipGradNorm(model_->params(), cfg.grad_clip);
-      adam.Step(schedule.Scale(step));
+      {
+        TURL_TRACE_SCOPE("train.backward");
+        model_->params()->ZeroGrad();
+        loss.Backward();
+      }
+      double grad_norm;
+      {
+        TURL_TRACE_SCOPE("train.optimizer");
+        grad_norm = double(nn::ClipGradNorm(model_->params(), cfg.grad_clip));
+        adam.Step(schedule.Scale(step));
+      }
       const double loss_item = loss.item();
+      obs::RecordTrainHealth("pretrain", step + 1, loss_item, grad_norm,
+                             options.sink);
       recent_loss += loss_item;
       ++recent_count;
       ++step;

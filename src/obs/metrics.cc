@@ -196,6 +196,7 @@ std::string MetricsRegistry::ToJson() const {
         << ",\"mean\":" << JsonDouble(h->Mean())
         << ",\"p50\":" << JsonDouble(h->Percentile(0.5))
         << ",\"p95\":" << JsonDouble(h->Percentile(0.95))
+        << ",\"p99\":" << JsonDouble(h->Percentile(0.99))
         << ",\"max\":" << JsonDouble(h->max()) << '}';
     first = false;
   }
@@ -219,11 +220,71 @@ std::string MetricsRegistry::ToTable() const {
   }
   for (const auto& [name, h] : histograms_) {
     std::snprintf(line, sizeof(line),
-                  "%-40s count %8lld  mean %9.3f  p50 %9.3f  p95 %9.3f  max "
-                  "%9.3f\n",
+                  "%-40s count %8lld  mean %9.3f  p50 %9.3f  p95 %9.3f  "
+                  "p99 %9.3f  max %9.3f\n",
                   name.c_str(), static_cast<long long>(h->count()), h->Mean(),
-                  h->Percentile(0.5), h->Percentile(0.95), h->max());
+                  h->Percentile(0.5), h->Percentile(0.95), h->Percentile(0.99),
+                  h->max());
     out << line;
+  }
+  return out.str();
+}
+
+namespace {
+
+/// Prometheus metric name: "turl_" + name with every non-[a-zA-Z0-9_]
+/// character replaced by '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "turl_";
+  out.reserve(name.size() + 5);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus float formatting: finite values compactly, non-finite as the
+/// spelled-out tokens the exposition format defines.
+std::string PrometheusDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = PrometheusName(name);
+    out << "# TYPE " << pn << " counter\n"
+        << pn << ' ' << c->Value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = PrometheusName(name);
+    out << "# TYPE " << pn << " gauge\n"
+        << pn << ' ' << PrometheusDouble(g->Value()) << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = PrometheusName(name);
+    out << "# TYPE " << pn << " histogram\n";
+    const std::vector<double>& bounds = h->bounds();
+    const std::vector<int64_t> buckets = h->BucketCounts();
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += buckets[i];
+      out << pn << "_bucket{le=\"" << PrometheusDouble(bounds[i]) << "\"} "
+          << cumulative << '\n';
+    }
+    cumulative += buckets.back();
+    out << pn << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
+        << pn << "_sum " << PrometheusDouble(h->sum()) << '\n'
+        << pn << "_count " << h->count() << '\n';
   }
   return out.str();
 }

@@ -92,10 +92,15 @@ class MetricsRegistry {
                           std::vector<double> upper_bounds);
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
-  /// p50,p95,max}}} — keys sorted, stable across runs.
+  /// p50,p95,p99,max}}} — keys sorted, stable across runs.
   std::string ToJson() const;
   /// Human-readable dump, one metric per line, for end-of-run summaries.
   std::string ToTable() const;
+  /// Prometheus text exposition format (one # TYPE line per metric; metric
+  /// names are prefixed with "turl_" and sanitized to [a-zA-Z0-9_];
+  /// histograms export cumulative _bucket{le=...} series plus _sum/_count).
+  /// The scrape body once a serving endpoint exists.
+  std::string ToPrometheusText() const;
   /// Zeroes every metric but keeps the (stable) metric pointers.
   void Reset();
 

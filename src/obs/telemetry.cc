@@ -36,6 +36,23 @@ std::string ToJsonLine(const TrainRecord& record) {
   if (Present(record.tables_per_sec)) {
     out << ",\"tables_per_sec\":" << JsonDouble(record.tables_per_sec);
   }
+  // A NaN norm normally means "unmeasured", but on a warning record it is a
+  // measured non-finite gradient — the whole point of the record — so it
+  // must serialize rather than be dropped.
+  if (Present(record.grad_norm) || !record.warning.empty()) {
+    if (std::isfinite(record.grad_norm)) {
+      out << ",\"grad_norm\":" << JsonDouble(record.grad_norm);
+    } else {
+      out << ",\"grad_norm\":\"" << (std::isnan(record.grad_norm)
+                                         ? "nan"
+                                         : (record.grad_norm > 0 ? "inf"
+                                                                 : "-inf"))
+          << '"';
+    }
+  }
+  if (!record.warning.empty()) {
+    out << ",\"warning\":\"" << JsonEscape(record.warning) << '"';
+  }
   out << ",\"elapsed_sec\":" << JsonDouble(record.elapsed_sec) << '}';
   return out.str();
 }
@@ -64,6 +81,11 @@ void StderrSink::Emit(const TrainRecord& record) {
     std::snprintf(buf, sizeof(buf), " %.1f tables/s", record.tables_per_sec);
     out << buf;
   }
+  if (Present(record.grad_norm) || !record.warning.empty()) {
+    std::snprintf(buf, sizeof(buf), " |g| %.3g", record.grad_norm);
+    out << buf;
+  }
+  if (!record.warning.empty()) out << " WARNING: " << record.warning;
   std::snprintf(buf, sizeof(buf), " [%.1fs]", record.elapsed_sec);
   out << buf << '\n';
   std::fputs(out.str().c_str(), stderr);
@@ -150,6 +172,32 @@ void EmitRecord(const TrainRecord& record, MetricsSink* extra) {
   if (extra != nullptr) extra->Emit(record);
 }
 
+void RecordTrainHealth(const std::string& phase, int64_t step, double loss,
+                       double grad_norm, MetricsSink* extra,
+                       double explode_threshold) {
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.GetGauge("train.grad_norm")->Set(grad_norm);
+  std::string warning;
+  if (!std::isfinite(grad_norm)) {
+    registry.GetCounter("obs.nonfinite_grads")->Inc();
+    warning = "non-finite gradient norm";
+  } else if (!std::isfinite(loss)) {
+    registry.GetCounter("obs.nonfinite_grads")->Inc();
+    warning = "non-finite loss";
+  } else if (grad_norm > explode_threshold) {
+    registry.GetCounter("obs.exploding_grads")->Inc();
+    warning = "exploding gradient norm";
+  }
+  if (warning.empty()) return;
+  TrainRecord record;
+  record.phase = phase;
+  record.step = step;
+  if (std::isfinite(loss)) record.loss = loss;
+  record.grad_norm = grad_norm;
+  record.warning = std::move(warning);
+  EmitRecord(record, extra);
+}
+
 FinetuneTelemetry::FinetuneTelemetry(std::string phase, MetricsSink* extra)
     : phase_(std::move(phase)), extra_(extra) {
   timer_.LapMillis();  // Start the first epoch's lap.
@@ -160,6 +208,11 @@ void FinetuneTelemetry::Step(double loss) {
   ++epoch_steps_;
   epoch_loss_ += loss;
   MetricsRegistry::Get().GetCounter(phase_ + ".steps")->Inc();
+}
+
+void FinetuneTelemetry::Step(double loss, double grad_norm) {
+  Step(loss);
+  RecordTrainHealth(phase_, total_steps_, loss, grad_norm, extra_);
 }
 
 void FinetuneTelemetry::EndEpoch(int epoch) {

@@ -30,6 +30,12 @@ struct TrainRecord {
   std::string eval_metric;
   double tables_per_sec = kUnset;
   double elapsed_sec = 0.0;
+  /// Global gradient norm of the step (pre-clipping), when the loop
+  /// measured it.
+  double grad_norm = kUnset;
+  /// Non-empty marks a model-health warning record (NaN/Inf loss or
+  /// gradients, exploding grad norm) — see RecordTrainHealth.
+  std::string warning;
 };
 
 /// Single-line JSON serialization of a record (absent fields omitted).
@@ -95,6 +101,16 @@ class TelemetryHub {
 /// registration.
 void EmitRecord(const TrainRecord& record, MetricsSink* extra = nullptr);
 
+/// Model-health check every training loop runs once per optimizer step:
+/// mirrors `grad_norm` into the "train.grad_norm" gauge, and when the loss
+/// or gradient norm is NaN/Inf (counter "obs.nonfinite_grads") or the norm
+/// exceeds `explode_threshold` (counter "obs.exploding_grads"), emits a
+/// warning TrainRecord through the hub so the condition is visible in every
+/// configured sink. Healthy steps emit nothing.
+void RecordTrainHealth(const std::string& phase, int64_t step, double loss,
+                       double grad_norm, MetricsSink* extra = nullptr,
+                       double explode_threshold = 1e3);
+
 /// Per-epoch telemetry helper for the fine-tuning heads: accumulates
 /// per-table losses, then emits one record per epoch (mean loss, tables/sec,
 /// elapsed) plus optional eval records, under a fixed phase name.
@@ -104,6 +120,10 @@ class FinetuneTelemetry {
 
   /// One optimizer step over one table.
   void Step(double loss);
+  /// Same, with the step's (pre-clip) gradient norm; also runs the
+  /// RecordTrainHealth NaN/Inf/explosion check (a NaN norm here is a
+  /// measured non-finite gradient, not "unmeasured").
+  void Step(double loss, double grad_norm);
   void EndEpoch(int epoch);
   /// An evaluation result observed mid-training (e.g. validation MAP).
   void Eval(const std::string& metric, double value);

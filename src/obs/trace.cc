@@ -1,0 +1,419 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace turl {
+namespace obs {
+
+namespace {
+
+/// TURL_TRACE=1 (or a TURL_TRACE_JSON path) enables tracing from process
+/// start; TURL_TRACE=0 pins it off even against SetEnabled(true).
+enum class EnvPolicy { kDefault, kForceOn, kForceOff };
+
+EnvPolicy ReadEnvPolicy() {
+  if (const char* v = std::getenv("TURL_TRACE")) {
+    if (std::strcmp(v, "0") == 0) return EnvPolicy::kForceOff;
+    return EnvPolicy::kForceOn;
+  }
+  if (const char* path = std::getenv("TURL_TRACE_JSON")) {
+    if (*path != '\0') return EnvPolicy::kForceOn;
+  }
+  return EnvPolicy::kDefault;
+}
+
+const EnvPolicy g_env_policy = ReadEnvPolicy();
+
+size_t RingCapacityFromEnv() {
+  if (const char* v = std::getenv("TURL_TRACE_BUFFER")) {
+    const long long n = std::atoll(v);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+  return 16384;
+}
+
+/// splitmix64 — the sampling hash; decisions depend only on (seed, seq).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+thread_local TraceContext tls_context;
+thread_local TraceRing* tls_ring = nullptr;
+
+void FormatAnnotationValue(char (&buf)[24], int64_t v) {
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+}
+
+}  // namespace
+
+void ActiveSpan::Annotate(const char* key, const char* value) {
+  if (!traced() || n_annotations >= 4) return;
+  TraceAnnotation& a = annotations[n_annotations++];
+  a.key = key;
+  std::snprintf(a.value, sizeof(a.value), "%s", value);
+}
+
+void ActiveSpan::Annotate(const char* key, int64_t value) {
+  if (!traced() || n_annotations >= 4) return;
+  TraceAnnotation& a = annotations[n_annotations++];
+  a.key = key;
+  FormatAnnotationValue(a.value, value);
+}
+
+TraceRing::TraceRing(size_t capacity, uint32_t tid)
+    : slots_(std::max<size_t>(capacity, 2)), tid_(tid) {}
+
+void TraceRing::Push(const TraceEvent& event) {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[size_t(n % slots_.size())];
+  // Seqlock write: odd marks "in flight" so a concurrent Snapshot skips the
+  // slot instead of reading a torn event; the final value encodes which
+  // logical event the slot holds (2 * (index + 1)).
+  slot.seq.store(2 * n + 1, std::memory_order_release);
+  slot.event = event;
+  slot.event.tid = tid_;
+  slot.seq.store(2 * (n + 1), std::memory_order_release);
+  count_.store(n + 1, std::memory_order_release);
+}
+
+void TraceRing::Snapshot(std::vector<TraceEvent>* out) const {
+  const uint64_t n = count_.load(std::memory_order_acquire);
+  const uint64_t cap = slots_.size();
+  for (uint64_t i = n > cap ? n - cap : 0; i < n; ++i) {
+    const Slot& slot = slots_[size_t(i % cap)];
+    TraceEvent copy = slot.event;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    // Valid only if the slot still holds logical event i (the writer may
+    // have lapped us, or be mid-write).
+    if (slot.seq.load(std::memory_order_acquire) == 2 * (i + 1)) {
+      out->push_back(copy);
+    }
+  }
+}
+
+uint64_t TraceRing::dropped() const {
+  const uint64_t n = count_.load(std::memory_order_acquire);
+  const uint64_t cap = slots_.size();
+  return n > cap ? n - cap : 0;
+}
+
+void TraceRing::Reset() {
+  count_.store(0, std::memory_order_release);
+  // Stale slot seqs cannot collide: Snapshot only reads logical indices
+  // below the (reset) count, which Push rewrites before they are visible.
+}
+
+TraceCollector::TraceCollector(size_t ring_capacity)
+    : ring_capacity_(ring_capacity) {}
+
+TraceRing* TraceCollector::ring() {
+  if (tls_ring != nullptr) return tls_ring;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto owned = std::make_shared<TraceRing>(
+      ring_capacity_, static_cast<uint32_t>(rings_.size()));
+  rings_.push_back(owned);
+  tls_ring = owned.get();
+  return tls_ring;
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) ring->Snapshot(&out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us != b.start_us ? a.start_us < b.start_us
+                                              : a.span_id < b.span_id;
+            });
+  return out;
+}
+
+uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+void TraceCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) ring->Reset();
+}
+
+std::atomic<bool> Tracer::enabled_{ReadEnvPolicy() == EnvPolicy::kForceOn};
+
+Tracer::Tracer()
+    : epoch_(std::chrono::steady_clock::now()),
+      collector_(std::make_unique<TraceCollector>(RingCapacityFromEnv())) {
+  if (const char* v = std::getenv("TURL_TRACE_SAMPLE")) {
+    SetSampler(ParseSamplePeriod(v), /*seed=*/0);
+  }
+  if (const char* path = std::getenv("TURL_TRACE_JSON")) {
+    if (*path != '\0') {
+      static std::string* exit_path = new std::string(path);
+      std::atexit(+[] {
+        if (!WriteChromeTrace(*exit_path)) {
+          std::fprintf(stderr, "turl::obs: cannot write trace to %s\n",
+                       exit_path->c_str());
+        }
+      });
+    }
+  }
+}
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetEnabled(bool on) {
+  if (on && g_env_policy == EnvPolicy::kForceOff) return;
+  if (on) Get();  // Materialize env config (sampler, exporter) up front.
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::SetSampler(uint64_t period, uint64_t seed) {
+  sample_period_.store(period == 0 ? 1 : period, std::memory_order_relaxed);
+  sample_seed_.store(seed, std::memory_order_relaxed);
+  trace_seq_.store(0, std::memory_order_relaxed);
+}
+
+TraceContext Tracer::StartTrace() {
+  if (!Enabled()) return TraceContext();
+  const uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t period = sample_period_.load(std::memory_order_relaxed);
+  if (period > 1) {
+    const uint64_t seed = sample_seed_.load(std::memory_order_relaxed);
+    if (Mix64(seed ^ seq) % period != 0) return TraceContext();
+  }
+  // Trace ids are 1-based so 0 can mean "untraced".
+  return TraceContext{seq + 1, 0};
+}
+
+ActiveSpan Tracer::Begin(const char* name, TraceContext parent) {
+  ActiveSpan span;
+  if (!parent.traced()) return span;
+  span.name = name;
+  span.trace_id = parent.trace_id;
+  span.span_id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  span.parent_id = parent.span_id;
+  span.start = std::chrono::steady_clock::now();
+  return span;
+}
+
+ActiveSpan Tracer::BeginTrace(const char* name) {
+  return Begin(name, StartTrace());
+}
+
+void Tracer::End(ActiveSpan* span) {
+  if (!span->traced()) return;
+  const auto end = std::chrono::steady_clock::now();
+  TraceEvent event;
+  event.name = span->name;
+  event.trace_id = span->trace_id;
+  event.span_id = span->span_id;
+  event.parent_id = span->parent_id;
+  event.start_us = ToMicros(span->start);
+  event.dur_us =
+      std::chrono::duration<double, std::micro>(end - span->start).count();
+  event.n_annotations = span->n_annotations;
+  for (uint32_t i = 0; i < span->n_annotations; ++i) {
+    event.annotations[i] = span->annotations[i];
+  }
+  collector_->ring()->Push(event);
+  span->trace_id = 0;  // Ended spans record nothing twice.
+}
+
+void Tracer::RecordManual(
+    const char* name, TraceContext parent,
+    std::chrono::steady_clock::time_point start,
+    std::chrono::steady_clock::time_point end,
+    std::initializer_list<std::pair<const char*, int64_t>> annotations) {
+  if (!parent.traced()) return;
+  ActiveSpan span = Begin(name, parent);
+  span.start = start;
+  for (const auto& [key, value] : annotations) span.Annotate(key, value);
+  TraceEvent event;
+  event.name = span.name;
+  event.trace_id = span.trace_id;
+  event.span_id = span.span_id;
+  event.parent_id = span.parent_id;
+  event.start_us = ToMicros(start);
+  event.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+  event.n_annotations = span.n_annotations;
+  for (uint32_t i = 0; i < span.n_annotations; ++i) {
+    event.annotations[i] = span.annotations[i];
+  }
+  collector_->ring()->Push(event);
+}
+
+TraceCollector& Tracer::collector() { return *collector_; }
+
+double Tracer::ToMicros(std::chrono::steady_clock::time_point t) const {
+  return std::chrono::duration<double, std::micro>(t - epoch_).count();
+}
+
+TraceContext CurrentTraceContext() { return tls_context; }
+
+TraceContextScope::TraceContextScope(TraceContext ctx) {
+  if (!Tracer::Enabled() || !ctx.traced()) return;
+  prev_ = tls_context;
+  tls_context = ctx;
+  installed_ = true;
+}
+
+TraceContextScope::~TraceContextScope() {
+  if (installed_) tls_context = prev_;
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!Tracer::Enabled() || !tls_context.traced()) return;
+  span_ = Tracer::Get().Begin(name, tls_context);
+  Install();
+}
+
+TraceSpan::TraceSpan(NewTraceTag, const char* name) {
+  if (!Tracer::Enabled()) return;
+  span_ = Tracer::Get().BeginTrace(name);
+  if (span_.traced()) Install();
+}
+
+void TraceSpan::Install() {
+  prev_ = tls_context;
+  tls_context = span_.context();
+  installed_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (installed_) tls_context = prev_;
+  if (span_.traced()) Tracer::Get().End(&span_);
+}
+
+uint64_t ParseSamplePeriod(const char* value) {
+  if (value == nullptr || *value == '\0') return 1;
+  const char* digits = value;
+  if (const char* slash = std::strchr(value, '/')) digits = slash + 1;
+  const long long n = std::atoll(digits);
+  return n > 1 ? static_cast<uint64_t>(n) : 1;
+}
+
+std::string ChromeTraceJson() {
+  const std::vector<TraceEvent> events = Tracer::Get().collector().Snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  // Thread-name metadata so chrome://tracing labels the tracks.
+  uint32_t max_tid = 0;
+  for (const TraceEvent& e : events) max_tid = std::max(max_tid, e.tid);
+  bool first = true;
+  if (!events.empty()) {
+    for (uint32_t tid = 0; tid <= max_tid; ++tid) {
+      out << (first ? "" : ",")
+          << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\"turl-thread-"
+          << tid << "\"}}";
+      first = false;
+    }
+  }
+  char buf[64];
+  for (const TraceEvent& e : events) {
+    out << (first ? "" : ",") << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"turl\"";
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f", e.start_us,
+                  e.dur_us);
+    out << buf << ",\"args\":{\"trace\":\"" << e.trace_id << "\",\"span\":\""
+        << e.span_id << "\",\"parent\":\"" << e.parent_id << '"';
+    for (uint32_t i = 0; i < e.n_annotations; ++i) {
+      out << ",\"" << JsonEscape(e.annotations[i].key) << "\":\""
+          << JsonEscape(e.annotations[i].value) << '"';
+    }
+    out << "}}";
+    first = false;
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return false;
+  out << ChromeTraceJson() << '\n';
+  return out.good();
+}
+
+std::string SlowTraceReport(size_t n) {
+  const std::vector<TraceEvent> events = Tracer::Get().collector().Snapshot();
+
+  struct TraceSummary {
+    const TraceEvent* root = nullptr;
+    // Child span durations summed by name, insertion-ordered by first
+    // appearance (pipeline order, since events are start-sorted).
+    std::vector<std::pair<const char*, double>> stages;
+  };
+  std::map<uint64_t, TraceSummary> traces;
+  for (const TraceEvent& e : events) {
+    TraceSummary& t = traces[e.trace_id];
+    if (e.parent_id == 0) {
+      t.root = &e;
+      continue;
+    }
+    auto it = std::find_if(t.stages.begin(), t.stages.end(),
+                           [&](const auto& s) {
+                             return std::strcmp(s.first, e.name) == 0;
+                           });
+    if (it == t.stages.end()) {
+      t.stages.emplace_back(e.name, e.dur_us);
+    } else {
+      it->second += e.dur_us;
+    }
+  }
+
+  std::vector<const std::pair<const uint64_t, TraceSummary>*> rooted;
+  for (const auto& entry : traces) {
+    if (entry.second.root != nullptr) rooted.push_back(&entry);
+  }
+  std::sort(rooted.begin(), rooted.end(), [](const auto* a, const auto* b) {
+    return a->second.root->dur_us > b->second.root->dur_us;
+  });
+  if (rooted.size() > n) rooted.resize(n);
+
+  std::ostringstream out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "-- slowest %zu of %zu traced requests --\n", rooted.size(),
+                traces.size());
+  out << buf;
+  std::snprintf(buf, sizeof(buf), "%-8s %-16s %10s  %s\n", "trace", "root",
+                "total_ms", "stage breakdown (ms)");
+  out << buf;
+  for (const auto* entry : rooted) {
+    const TraceSummary& t = entry->second;
+    std::snprintf(buf, sizeof(buf), "%-8" PRIu64 " %-16s %10.3f  ",
+                  entry->first, t.root->name, t.root->dur_us / 1e3);
+    out << buf;
+    for (size_t i = 0; i < t.stages.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%s %.3f", i == 0 ? "" : " | ",
+                    t.stages[i].first, t.stages[i].second / 1e3);
+      out << buf;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace turl

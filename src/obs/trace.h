@@ -1,0 +1,286 @@
+#ifndef TURL_OBS_TRACE_H_
+#define TURL_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace turl {
+namespace obs {
+
+/// Request-scoped tracing
+/// ======================
+/// Where the span profiler (profiler.h) answers "how fast is span X on
+/// average", the tracer answers "where did *this* request spend its time":
+/// every inference request (and every training step) carries a TraceContext
+/// — a trace id plus the span id to parent children under — through the
+/// queue → micro-batch → parallel-encode → score pipeline, and each stage
+/// records a timestamped span with its parent link, thread id and key/value
+/// annotations (batch size, token budget, task head, ...).
+///
+/// Spans land in per-thread lock-free ring buffers (seqlock slots, oldest
+/// overwritten first) drained by the TraceCollector. Two exporters read the
+/// collected events: Chrome trace-event JSON (`TURL_TRACE_JSON=trace.json`,
+/// loadable in chrome://tracing or Perfetto) and an aligned "slowest N
+/// requests with per-stage breakdown" table printed by benches.
+///
+/// Cost discipline matches TURL_PROFILE: with tracing disabled, entering a
+/// span costs one relaxed atomic load and a branch, so instrumentation is
+/// safe always-on. Sampling (`TURL_TRACE_SAMPLE=1/N`) bounds the enabled
+/// cost on high-rate services; an unsampled request carries an empty
+/// context and every span under it is the same single-branch no-op.
+///
+/// Environment:
+///   TURL_TRACE=1        enable at process start; TURL_TRACE=0 pins off.
+///   TURL_TRACE_JSON=p   enable and write Chrome trace JSON to `p` at exit.
+///   TURL_TRACE_SAMPLE=1/N  keep ~1 in N traces (deterministic, seeded).
+///   TURL_TRACE_BUFFER=N    per-thread ring capacity in events (default 16384).
+
+/// Identity of one traced request: the trace id plus the span new children
+/// parent under. A default-constructed context is "not traced" (disabled or
+/// unsampled) and makes every span operation under it a no-op.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  ///< Parent span for children opened under this context.
+  bool traced() const { return trace_id != 0; }
+};
+
+/// One key/value annotation. The value is formatted into a short inline
+/// buffer so events stay trivially copyable inside the seqlock ring. The
+/// buffer is deliberately NOT zero-initialized — spans are constructed on
+/// the disabled-tracing fast path, and only annotations[0, n_annotations)
+/// are ever read (Annotate always NUL-terminates).
+struct TraceAnnotation {
+  const char* key = nullptr;  ///< Static string (outlives the tracer).
+  char value[24];
+};
+
+/// One completed span as stored in the ring and handed to exporters.
+/// Times are microseconds since the tracer's epoch (steady clock).
+struct TraceEvent {
+  const char* name = nullptr;  ///< Static string (outlives the tracer).
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 = root span of its trace.
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  uint32_t tid = 0;  ///< Dense per-thread id assigned at ring creation.
+  uint32_t n_annotations = 0;
+  TraceAnnotation annotations[4];
+};
+
+/// An open span: allocated by Tracer::Begin, closed by Tracer::End (or the
+/// RAII TraceSpan). Plain data, so it can live inside a request struct and
+/// begin/end at different call sites — or different threads.
+struct ActiveSpan {
+  const char* name = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  std::chrono::steady_clock::time_point start;
+  uint32_t n_annotations = 0;
+  TraceAnnotation annotations[4];
+
+  bool traced() const { return trace_id != 0; }
+  /// Context that parents children under this span.
+  TraceContext context() const { return TraceContext{trace_id, span_id}; }
+  /// No-ops on an untraced span; extra annotations beyond 4 are dropped.
+  void Annotate(const char* key, const char* value);
+  void Annotate(const char* key, int64_t value);
+};
+
+/// Fixed-capacity single-producer ring of TraceEvents. The owning thread
+/// pushes lock-free; when full, the oldest event is overwritten (dropped
+/// oldest-first). Any thread may Snapshot concurrently: each slot is a
+/// seqlock, so a reader that races the writer skips the torn slot instead
+/// of blocking it.
+class TraceRing {
+ public:
+  TraceRing(size_t capacity, uint32_t tid);
+
+  /// Producer side; owning thread only.
+  void Push(const TraceEvent& event);
+
+  /// Appends the retained events (oldest first) to `out`. Safe from any
+  /// thread; events being overwritten mid-read are skipped.
+  void Snapshot(std::vector<TraceEvent>* out) const;
+
+  uint32_t tid() const { return tid_; }
+  size_t capacity() const { return slots_.size(); }
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const;
+  /// Forgets all events. Test hook; the owning thread must be quiescent.
+  void Reset();
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    TraceEvent event;
+  };
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> count_{0};
+  uint32_t tid_;
+};
+
+/// Owns one TraceRing per thread that ever recorded a span and drains them
+/// for the exporters. Rings outlive their threads (pool workers come and
+/// go); thread ids are assigned densely in registration order.
+class TraceCollector {
+ public:
+  explicit TraceCollector(size_t ring_capacity);
+
+  /// The calling thread's ring, created and registered on first use.
+  TraceRing* ring();
+
+  /// All retained events across every ring, sorted by start time.
+  std::vector<TraceEvent> Snapshot() const;
+  /// Total events overwritten across rings.
+  uint64_t dropped() const;
+  size_t ring_capacity() const { return ring_capacity_; }
+  /// Forgets all recorded events (rings stay registered). Test hook; every
+  /// recording thread must be quiescent.
+  void Reset();
+
+ private:
+  size_t ring_capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<TraceRing>> rings_;
+};
+
+/// Process-wide tracer: enable switch, sampler, id allocation and the
+/// collector. See the file comment for the environment knobs.
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+  /// SetEnabled(true) is a no-op when TURL_TRACE=0 pinned tracing off.
+  static void SetEnabled(bool on);
+
+  /// Keep ~1 in `period` traces; decisions are a deterministic hash of
+  /// (seed, trace sequence number), so a fixed seed replays the same
+  /// sampled set. Resets the sequence. period <= 1 keeps everything.
+  void SetSampler(uint64_t period, uint64_t seed);
+
+  /// Allocates a new sampled trace; the context is untraced when tracing is
+  /// disabled or the sampler skipped this request.
+  TraceContext StartTrace();
+
+  /// Opens a span under `parent` (untraced parent -> untraced span).
+  ActiveSpan Begin(const char* name, TraceContext parent);
+  /// StartTrace + Begin: the returned span is the root of a new trace.
+  ActiveSpan BeginTrace(const char* name);
+  /// Closes the span now and records it to the calling thread's ring.
+  void End(ActiveSpan* span);
+  /// Records a span with explicit endpoints — for stages reconstructed
+  /// after the fact, like queue-wait (enqueue -> drain).
+  void RecordManual(const char* name, TraceContext parent,
+                    std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end,
+                    std::initializer_list<std::pair<const char*, int64_t>>
+                        annotations = {});
+
+  TraceCollector& collector();
+  /// Microseconds since the tracer's epoch.
+  double ToMicros(std::chrono::steady_clock::time_point t) const;
+
+ private:
+  Tracer();
+
+  static std::atomic<bool> enabled_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> trace_seq_{0};
+  std::atomic<uint64_t> sample_period_{1};
+  std::atomic<uint64_t> sample_seed_{0};
+  std::unique_ptr<TraceCollector> collector_;
+};
+
+/// The calling thread's current context — what spans with no explicit
+/// parent nest under. Untraced outside any TraceContextScope/TraceSpan.
+TraceContext CurrentTraceContext();
+
+/// RAII: installs a request's context as the thread's current context (the
+/// cross-thread handoff — e.g. a pool worker adopting the identity of the
+/// request whose table it encodes) and restores the previous on exit.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+  bool installed_ = false;
+};
+
+/// Tag selecting the TraceSpan constructor that opens a new trace.
+struct NewTraceTag {};
+inline constexpr NewTraceTag kNewTrace{};
+
+/// RAII span. The plain constructor nests under the thread's current
+/// context (no-op when that is untraced); the kNewTrace constructor starts
+/// a new sampled trace with this span as root. Either way the span becomes
+/// the thread's current context for its scope. Disabled tracing costs one
+/// relaxed atomic load and a branch.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  TraceSpan(NewTraceTag, const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool traced() const { return span_.traced(); }
+  TraceContext context() const { return span_.context(); }
+  void Annotate(const char* key, const char* value) {
+    span_.Annotate(key, value);
+  }
+  void Annotate(const char* key, int64_t value) { span_.Annotate(key, value); }
+
+ private:
+  void Install();
+
+  ActiveSpan span_;
+  TraceContext prev_;
+  bool installed_ = false;
+};
+
+/// Parses a TURL_TRACE_SAMPLE value: "1/N" or plain "N" -> N; empty,
+/// malformed or non-positive values -> 1 (keep everything).
+uint64_t ParseSamplePeriod(const char* value);
+
+/// The collected events as Chrome trace-event JSON ({"traceEvents":[...]},
+/// "X" complete events with ts/dur in microseconds; args carry trace/span/
+/// parent ids and the annotations; "M" metadata events name the threads).
+std::string ChromeTraceJson();
+/// Writes ChromeTraceJson() to `path`; false if the file cannot be written.
+bool WriteChromeTrace(const std::string& path);
+
+/// Aligned table of the slowest `n` root spans with per-stage breakdown:
+/// one line per request (trace id, root name, total ms) followed by the
+/// summed duration of its child spans grouped by name.
+std::string SlowTraceReport(size_t n = 10);
+
+}  // namespace obs
+}  // namespace turl
+
+#define TURL_TRACE_CONCAT_INNER(a, b) a##b
+#define TURL_TRACE_CONCAT(a, b) TURL_TRACE_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as a child of the thread's current trace
+/// context (single-branch no-op when tracing is off or the request is
+/// unsampled). `name` must be a string literal.
+#define TURL_TRACE_SCOPE(name) \
+  ::turl::obs::TraceSpan TURL_TRACE_CONCAT(turl_trace_scope_, __LINE__)(name)
+
+#endif  // TURL_OBS_TRACE_H_

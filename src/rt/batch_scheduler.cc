@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace turl {
@@ -46,6 +47,18 @@ BatchScheduler::~BatchScheduler() { Flush(); }
 
 void BatchScheduler::Submit(const core::EncodedTable* table,
                             std::function<void(nn::Tensor)> done) {
+  SubmitImpl(table, std::move(done), obs::TraceContext(), /*open_root=*/true);
+}
+
+void BatchScheduler::Submit(const core::EncodedTable* table,
+                            std::function<void(nn::Tensor)> done,
+                            obs::TraceContext trace) {
+  SubmitImpl(table, std::move(done), trace, /*open_root=*/false);
+}
+
+void BatchScheduler::SubmitImpl(const core::EncodedTable* table,
+                                std::function<void(nn::Tensor)> done,
+                                obs::TraceContext trace, bool open_root) {
   TURL_CHECK(table != nullptr);
   const int64_t cost = table->total();
   // Flush first if admitting this request would blow the budget; the request
@@ -55,7 +68,20 @@ void BatchScheduler::Submit(const core::EncodedTable* table,
     FlushCounter("budget")->Inc();
     Flush();
   }
-  queue_.push_back(Request{table, std::move(done), clock_()});
+  Request r{table, std::move(done), clock_()};
+  r.trace = trace;
+  if (open_root && obs::Tracer::Enabled()) {
+    // The scheduler is the pipeline entry point for this request, so it owns
+    // the root span: opened at enqueue, closed after the completion callback
+    // so the trace covers queue-wait + assembly + encode + delivery.
+    r.root = obs::Tracer::Get().BeginTrace("rt.request");
+    if (r.root.traced()) {
+      r.root.Annotate("total", cost);
+      r.trace = r.root.context();
+    }
+  }
+  r.enqueue_tp = std::chrono::steady_clock::now();
+  queue_.push_back(std::move(r));
   queued_budget_ += cost;
   QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
   if (static_cast<int>(queue_.size()) >= options_.max_batch_tables) {
@@ -80,13 +106,38 @@ void BatchScheduler::Flush() {
   queue_.clear();
   queued_budget_ = 0;
   QueueDepthGauge()->Set(0.0);
+  const auto drain_tp = std::chrono::steady_clock::now();
   std::vector<const core::EncodedTable*> tables;
   tables.reserve(batch.size());
-  for (const Request& r : batch) tables.push_back(r.table);
+  int64_t budget = 0;
+  for (const Request& r : batch) {
+    tables.push_back(r.table);
+    budget += r.table->total();
+  }
+  std::vector<obs::TraceContext> traces;
+  if (obs::Tracer::Enabled()) {
+    // Queue-wait (enqueue -> drain) and batch-assembly are reconstructed
+    // here with explicit endpoints: both stages ended before EncodeBatch
+    // starts, so every traced request in the batch gets its own copy.
+    obs::Tracer& tracer = obs::Tracer::Get();
+    const auto assembled_tp = std::chrono::steady_clock::now();
+    traces.reserve(batch.size());
+    for (const Request& r : batch) {
+      traces.push_back(r.trace);
+      if (!r.trace.traced()) continue;
+      tracer.RecordManual("rt.queue_wait", r.trace, r.enqueue_tp, drain_tp);
+      tracer.RecordManual(
+          "rt.batch_assembly", r.trace, drain_tp, assembled_tp,
+          {{"batch", int64_t(batch.size())}, {"budget", budget}});
+    }
+  }
   std::vector<nn::Tensor> hidden = session_->EncodeBatch(
-      std::span<const core::EncodedTable* const>(tables));
+      std::span<const core::EncodedTable* const>(tables),
+      std::span<const obs::TraceContext>(traces));
   for (size_t i = 0; i < batch.size(); ++i) {
     if (batch[i].done) batch[i].done(std::move(hidden[i]));
+    // Close scheduler-owned roots (no-op for caller-owned or untraced).
+    if (batch[i].root.traced()) obs::Tracer::Get().End(&batch[i].root);
   }
 }
 

@@ -1,12 +1,14 @@
 #ifndef TURL_RT_BATCH_SCHEDULER_H_
 #define TURL_RT_BATCH_SCHEDULER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <vector>
 
 #include "nn/tensor.h"
+#include "obs/trace.h"
 #include "rt/inference_session.h"
 
 namespace turl {
@@ -54,8 +56,19 @@ class BatchScheduler {
   /// Enqueues one request; `done` receives the contextualized
   /// representations for `table` when its batch runs. `table` must stay
   /// alive until then. Flushes eagerly once size or budget caps are hit.
+  ///
+  /// Tracing: the scheduler is the pipeline entry point, so this overload
+  /// opens the request's root span ("rt.request", sampled) at enqueue; the
+  /// root closes after `done` returns, and queue-wait / batch-assembly /
+  /// per-worker encode spans nest under it.
   void Submit(const core::EncodedTable* table,
               std::function<void(nn::Tensor)> done);
+
+  /// Same, but the request flows under a caller-owned trace context (e.g. a
+  /// BulkRun instance span) instead of a scheduler-opened root — pass an
+  /// untraced context to opt the request out entirely.
+  void Submit(const core::EncodedTable* table,
+              std::function<void(nn::Tensor)> done, obs::TraceContext trace);
 
   /// Age-based flush hook for callers with their own poll loop: flushes if
   /// the oldest queued request has exceeded max_age_ms. Returns true if a
@@ -73,7 +86,20 @@ class BatchScheduler {
     const core::EncodedTable* table;
     std::function<void(nn::Tensor)> done;
     double enqueue_ms;
+    /// Root span owned by the scheduler (untraced when the caller supplied
+    /// its own context, tracing is off, or the request was unsampled).
+    obs::ActiveSpan root;
+    /// Context the request's stage spans nest under: the owned root's, or
+    /// the caller-supplied one.
+    obs::TraceContext trace;
+    /// Real-clock enqueue time for the queue-wait span (the ms clock above
+    /// is injectable/fake in tests, so it cannot feed trace timestamps).
+    std::chrono::steady_clock::time_point enqueue_tp;
   };
+
+  void SubmitImpl(const core::EncodedTable* table,
+                  std::function<void(nn::Tensor)> done, obs::TraceContext trace,
+                  bool open_root);
 
   const InferenceSession* session_;
   BatchSchedulerOptions options_;

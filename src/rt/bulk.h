@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "rt/batch_scheduler.h"
 #include "rt/inference_session.h"
 
@@ -19,6 +20,12 @@ namespace rt {
 /// Results are indexed by instance, so the output is identical to the
 /// sequential loop `for i: score_fn(i, encode_fn(i), session.Encode(...))`
 /// for any worker count or batch composition.
+///
+/// Tracing: each instance is one request. BulkRun opens the per-instance
+/// root span ("rt.request", sampled) around all three stages, so a traced
+/// instance shows input-encode, queue-wait, batch-assembly, the per-worker
+/// model forward and the head's scoring span under one trace id even though
+/// the stages run on different pool workers.
 template <typename R>
 std::vector<R> BulkRun(
     const InferenceSession& session,
@@ -27,27 +34,48 @@ std::vector<R> BulkRun(
     const std::function<R(size_t, const core::EncodedTable&,
                           const nn::Tensor&)>& score_fn,
     BatchSchedulerOptions batch_options = BatchSchedulerOptions()) {
+  const bool tracing = obs::Tracer::Enabled();
+  // Roots are plain ActiveSpans (not RAII) because each one is begun on the
+  // worker that encodes the instance and ended on the worker that scores it.
+  std::vector<obs::ActiveSpan> roots(tracing ? n : 0);
+  std::vector<obs::TraceContext> traces(tracing ? n : 0);
+
   std::vector<core::EncodedTable> encoded(n);
-  session.pool().ParallelFor(0, static_cast<int64_t>(n), /*grain=*/1,
-                             [&](int64_t i) { encoded[size_t(i)] = encode_fn(size_t(i)); });
+  session.pool().ParallelFor(
+      0, static_cast<int64_t>(n), /*grain=*/1, [&](int64_t i) {
+        if (tracing) {
+          roots[size_t(i)] = obs::Tracer::Get().BeginTrace("rt.request");
+          roots[size_t(i)].Annotate("instance", i);
+          traces[size_t(i)] = roots[size_t(i)].context();
+        }
+        obs::TraceContextScope scope(tracing ? traces[size_t(i)]
+                                             : obs::TraceContext());
+        TURL_TRACE_SCOPE("task.encode_input");
+        encoded[size_t(i)] = encode_fn(size_t(i));
+      });
 
   std::vector<nn::Tensor> hidden(n);
   {
     BatchScheduler scheduler(&session, batch_options);
     for (size_t i = 0; i < n; ++i) {
+      // The context-carrying overload: BulkRun owns the root, so the
+      // scheduler nests under it instead of opening one per request.
       scheduler.Submit(&encoded[i],
-                       [&hidden, i](nn::Tensor h) { hidden[i] = std::move(h); });
+                       [&hidden, i](nn::Tensor h) { hidden[i] = std::move(h); },
+                       tracing ? traces[i] : obs::TraceContext());
     }
     scheduler.Flush();
   }
 
   std::vector<R> out(n);
-  session.pool().ParallelFor(0, static_cast<int64_t>(n), /*grain=*/1,
-                             [&](int64_t i) {
-                               out[size_t(i)] =
-                                   score_fn(size_t(i), encoded[size_t(i)],
-                                            hidden[size_t(i)]);
-                             });
+  session.pool().ParallelFor(
+      0, static_cast<int64_t>(n), /*grain=*/1, [&](int64_t i) {
+        obs::TraceContextScope scope(tracing ? traces[size_t(i)]
+                                             : obs::TraceContext());
+        out[size_t(i)] =
+            score_fn(size_t(i), encoded[size_t(i)], hidden[size_t(i)]);
+        if (tracing) obs::Tracer::Get().End(&roots[size_t(i)]);
+      });
   return out;
 }
 

@@ -49,6 +49,11 @@ Rng* InferenceSession::worker_rng() const {
 
 nn::Tensor InferenceSession::Encode(const core::EncodedTable& table) const {
   TURL_PROFILE_SCOPE("rt.encode");
+  obs::TraceSpan trace("rt.encode");
+  if (trace.traced()) {
+    trace.Annotate("worker", int64_t(pool_->WorkerIndex()));
+    trace.Annotate("total", int64_t(table.total()));
+  }
   EncodeCounter()->Inc();
   // Inference forward: dropout is inactive, so no Rng is consumed and the
   // result is a pure function of (table, weights) — see the class contract.
@@ -64,13 +69,22 @@ std::vector<nn::Tensor> InferenceSession::EncodeBatch(
 }
 
 std::vector<nn::Tensor> InferenceSession::EncodeBatch(
-    std::span<const core::EncodedTable* const> tables) const {
+    std::span<const core::EncodedTable* const> tables,
+    std::span<const obs::TraceContext> traces) const {
   TURL_PROFILE_SCOPE("rt.encode_batch");
+  TURL_CHECK(traces.empty() || traces.size() == tables.size());
   BatchCounter()->Inc();
   BatchSizeHistogram()->Observe(static_cast<double>(tables.size()));
   std::vector<nn::Tensor> out(tables.size());
   pool_->ParallelFor(0, static_cast<int64_t>(tables.size()), kEncodeGrain,
-                     [&](int64_t i) { out[size_t(i)] = Encode(*tables[i]); });
+                     [&](int64_t i) {
+                       // The worker adopts the submitting request's trace
+                       // identity for the duration of this table's forward.
+                       obs::TraceContextScope trace_scope(
+                           traces.empty() ? obs::TraceContext()
+                                          : traces[size_t(i)]);
+                       out[size_t(i)] = Encode(*tables[i]);
+                     });
   return out;
 }
 

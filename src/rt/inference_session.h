@@ -9,6 +9,7 @@
 #include "core/model.h"
 #include "core/table_encoding.h"
 #include "nn/tensor.h"
+#include "obs/trace.h"
 #include "rt/thread_pool.h"
 #include "util/rng.h"
 
@@ -68,9 +69,13 @@ class InferenceSession {
   std::vector<nn::Tensor> EncodeBatch(
       std::span<const core::EncodedTable> tables) const;
   /// Pointer-batch variant for heterogeneous requests that are not
-  /// contiguous in memory (what BatchScheduler collects).
+  /// contiguous in memory (what BatchScheduler collects). When `traces` is
+  /// non-empty it must be parallel to `tables`: the worker encoding table i
+  /// adopts traces[i], so its per-worker encode span lands under the
+  /// request that submitted the table. Tracing never affects the results.
   std::vector<nn::Tensor> EncodeBatch(
-      std::span<const core::EncodedTable* const> tables) const;
+      std::span<const core::EncodedTable* const> tables,
+      std::span<const obs::TraceContext> traces = {}) const;
 
   /// Deterministic fan-out helper: out[i] = fn(i) for i in [0, n), computed
   /// across the pool. `grain` batches small work items per dispatch.

@@ -1,10 +1,12 @@
 #include "tasks/column_type.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <unordered_map>
 
 #include "nn/optim.h"
+#include "obs/trace.h"
 #include "tasks/task_head.h"
 #include "util/logging.h"
 
@@ -176,11 +178,11 @@ void TurlColumnTyper::Finetune(const FinetuneOptions& options) {
       model_->params()->ZeroGrad();
       head_params_.ZeroGrad();
       loss.Backward();
-      nn::ClipGradNorm(model_->params(), options.grad_clip);
-      nn::ClipGradNorm(&head_params_, options.grad_clip);
+      const double gm = nn::ClipGradNorm(model_->params(), options.grad_clip);
+      const double gh = nn::ClipGradNorm(&head_params_, options.grad_clip);
       model_adam.Step();
       head_adam.Step();
-      telemetry.Step(loss.item());
+      telemetry.Step(loss.item(), std::sqrt(gm * gm + gh * gh));
     }
     telemetry.EndEpoch(epoch);
   }
@@ -194,6 +196,8 @@ core::EncodedTable TurlColumnTyper::Encode(
 std::vector<float> TurlColumnTyper::ScoresFrom(
     const nn::Tensor& hidden, const core::EncodedTable& encoded,
     const ColumnTypeInstance& instance) const {
+  obs::TraceSpan trace("task.score");
+  if (trace.traced()) trace.Annotate("head", "column_type");
   nn::Tensor probs =
       nn::SigmoidOp(InstanceLogits(hidden, encoded, instance.column));
   std::vector<float> out(static_cast<size_t>(dataset_->num_labels()));

@@ -1,10 +1,12 @@
 #include "tasks/entity_linking.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "nn/optim.h"
 #include "obs/profiler.h"
+#include "obs/trace.h"
 #include "tasks/task_head.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -165,11 +167,13 @@ void TurlEntityLinker::Finetune(const ElDataset& train,
       model_->params()->ZeroGrad();
       head_params_.ZeroGrad();
       loss.Backward();
-      nn::ClipGradNorm(model_->params(), options.grad_clip);
-      nn::ClipGradNorm(&head_params_, options.grad_clip);
+      const double gm = nn::ClipGradNorm(model_->params(), options.grad_clip);
+      const double gh = nn::ClipGradNorm(&head_params_, options.grad_clip);
       model_adam.Step();
       head_adam.Step();
-      telemetry.Step(loss.item());
+      // Model and head params are clipped separately, but health-wise the
+      // step has one global norm: the Euclidean combination of the two.
+      telemetry.Step(loss.item(), std::sqrt(gm * gm + gh * gh));
     }
     telemetry.EndEpoch(epoch);
   }
@@ -183,6 +187,8 @@ std::vector<float> TurlEntityLinker::ScoresFrom(
     const nn::Tensor& hidden, const core::EncodedTable& encoded,
     const ElInstance& instance) const {
   if (instance.candidates.empty()) return {};
+  obs::TraceSpan trace("task.score");
+  if (trace.traced()) trace.Annotate("head", "entity_linking");
   return InstanceLogits(hidden, encoded, instance).ToVector();
 }
 

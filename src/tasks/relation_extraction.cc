@@ -1,10 +1,12 @@
 #include "tasks/relation_extraction.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <unordered_map>
 
 #include "nn/optim.h"
+#include "obs/trace.h"
 #include "tasks/task_head.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -138,12 +140,12 @@ void TurlRelationExtractor::Finetune(
       model_->params()->ZeroGrad();
       head_params_.ZeroGrad();
       loss.Backward();
-      nn::ClipGradNorm(model_->params(), options.grad_clip);
-      nn::ClipGradNorm(&head_params_, options.grad_clip);
+      const double gm = nn::ClipGradNorm(model_->params(), options.grad_clip);
+      const double gh = nn::ClipGradNorm(&head_params_, options.grad_clip);
       model_adam.Step();
       head_adam.Step();
       ++step;
-      telemetry.Step(loss.item());
+      telemetry.Step(loss.item(), std::sqrt(gm * gm + gh * gh));
       if (eval_every > 0 && step_callback && step % eval_every == 0) {
         const double map =
             EvaluateMap(dataset_->valid, /*max_instances=*/150);
@@ -163,6 +165,8 @@ core::EncodedTable TurlRelationExtractor::Encode(
 std::vector<float> TurlRelationExtractor::ScoresFrom(
     const nn::Tensor& hidden, const core::EncodedTable& encoded,
     const RelationInstance& instance) const {
+  obs::TraceSpan trace("task.score");
+  if (trace.traced()) trace.Annotate("head", "relation_extraction");
   nn::Tensor probs =
       nn::SigmoidOp(PairLogits(hidden, encoded, instance.object_column));
   return probs.ToVector();

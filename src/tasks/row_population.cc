@@ -5,6 +5,7 @@
 
 #include "eval/metrics.h"
 #include "nn/optim.h"
+#include "obs/trace.h"
 #include "tasks/task_head.h"
 #include "text/vocab.h"
 #include "util/logging.h"
@@ -150,9 +151,10 @@ void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
       nn::Tensor loss = nn::BceWithLogits(logits, targets);  // Eqn. 13.
       model_->params()->ZeroGrad();
       loss.Backward();
-      nn::ClipGradNorm(model_->params(), options.grad_clip);
+      const double grad_norm =
+          nn::ClipGradNorm(model_->params(), options.grad_clip);
       adam.Step();
-      telemetry.Step(loss.item());
+      telemetry.Step(loss.item(), grad_norm);
     }
     telemetry.EndEpoch(epoch);
   }
@@ -169,6 +171,8 @@ core::EncodedTable TurlRowPopulator::Encode(
 std::vector<float> TurlRowPopulator::ScoresFrom(
     const nn::Tensor& hidden, const core::EncodedTable& encoded,
     const RowPopInstance& instance) const {
+  obs::TraceSpan trace("task.score");
+  if (trace.traced()) trace.Annotate("head", "row_population");
   // Encode() appends the [MASK] subject cell last.
   const int mask_index = encoded.num_entities() - 1;
   std::vector<int> candidate_ids;

@@ -1,11 +1,13 @@
 #include "tasks/schema_augmentation.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <unordered_set>
 
 #include "eval/metrics.h"
 #include "nn/optim.h"
+#include "obs/trace.h"
 #include "tasks/task_head.h"
 #include "text/vocab.h"
 #include "util/logging.h"
@@ -166,11 +168,11 @@ void TurlSchemaAugmenter::Finetune(const std::vector<SchemaAugInstance>& train,
       model_->params()->ZeroGrad();
       head_params_.ZeroGrad();
       loss.Backward();
-      nn::ClipGradNorm(model_->params(), options.grad_clip);
-      nn::ClipGradNorm(&head_params_, options.grad_clip);
+      const double gm = nn::ClipGradNorm(model_->params(), options.grad_clip);
+      const double gh = nn::ClipGradNorm(&head_params_, options.grad_clip);
       model_adam.Step();
       head_adam.Step();
-      telemetry.Step(loss.item());
+      telemetry.Step(loss.item(), std::sqrt(gm * gm + gh * gh));
     }
     telemetry.EndEpoch(epoch);
   }
@@ -188,6 +190,8 @@ std::vector<float> TurlSchemaAugmenter::ScoresFrom(
     const nn::Tensor& hidden, const core::EncodedTable& encoded,
     const SchemaAugInstance& instance) const {
   (void)instance;  // Scores rank the whole header vocabulary.
+  obs::TraceSpan trace("task.score");
+  if (trace.traced()) trace.Annotate("head", "schema_augmentation");
   // Encode() appends the [MASK] pseudo-header as the last token.
   const int mask_row = encoded.num_tokens() - 1;
   return HeaderLogits(hidden, mask_row).ToVector();

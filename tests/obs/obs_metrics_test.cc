@@ -161,6 +161,40 @@ TEST(JsonHelpersTest, EscapeAndDouble) {
   EXPECT_EQ(JsonDouble(0.5), "0.5");
 }
 
+TEST(RegistryTest, JsonAndTableIncludeP99) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("lat", {1.0, 10.0, 100.0});
+  for (int i = 1; i <= 100; ++i) h->Observe(double(i));
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(reg.ToTable().find("p99"), std::string::npos);
+}
+
+TEST(RegistryTest, PrometheusTextExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("rt.encodes")->Inc(3);
+  reg.GetGauge("train.grad_norm")->Set(1.5);
+  Histogram* h = reg.GetHistogram("lat.ms", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);
+  const std::string text = reg.ToPrometheusText();
+  // Names are prefixed and sanitized for the exposition format.
+  EXPECT_NE(text.find("# TYPE turl_rt_encodes counter"), std::string::npos);
+  EXPECT_NE(text.find("turl_rt_encodes 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE turl_train_grad_norm gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("turl_train_grad_norm 1.5"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf.
+  EXPECT_NE(text.find("# TYPE turl_lat_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("turl_lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("turl_lat_ms_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("turl_lat_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("turl_lat_ms_sum 55.5"), std::string::npos);
+  EXPECT_NE(text.find("turl_lat_ms_count 3"), std::string::npos);
+}
+
 TEST(HistogramTest, DefaultLatencyBucketsAreAscending) {
   std::vector<double> bounds = Histogram::DefaultLatencyBucketsMs();
   ASSERT_GT(bounds.size(), 10u);

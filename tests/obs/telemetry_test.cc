@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -136,6 +137,55 @@ TEST(FinetuneTelemetryTest, EmitsEpochAndEvalRecords) {
   EXPECT_GE(
       MetricsRegistry::Get().GetCounter("finetune.testtask.steps")->Value(),
       3);
+}
+
+TEST(TrainHealthTest, WarnsOnNonFiniteAndExplodingGradients) {
+  CaptureSink sink;
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  const int64_t nonfinite_before =
+      reg.GetCounter("obs.nonfinite_grads")->Value();
+  const int64_t exploding_before =
+      reg.GetCounter("obs.exploding_grads")->Value();
+
+  RecordTrainHealth("healthtest", 1, 2.0, 3.0, &sink);
+  EXPECT_TRUE(sink.records.empty()) << "healthy steps emit nothing";
+  EXPECT_DOUBLE_EQ(reg.GetGauge("train.grad_norm")->Value(), 3.0);
+
+  RecordTrainHealth("healthtest", 2, 2.0,
+                    std::numeric_limits<double>::quiet_NaN(), &sink);
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(sink.records[0].warning, "non-finite gradient norm");
+  EXPECT_EQ(reg.GetCounter("obs.nonfinite_grads")->Value(),
+            nonfinite_before + 1);
+
+  RecordTrainHealth("healthtest", 3,
+                    std::numeric_limits<double>::infinity(), 1.0, &sink);
+  ASSERT_EQ(sink.records.size(), 2u);
+  EXPECT_EQ(sink.records[1].warning, "non-finite loss");
+
+  RecordTrainHealth("healthtest", 4, 2.0, /*grad_norm=*/5e3, &sink);
+  ASSERT_EQ(sink.records.size(), 3u);
+  EXPECT_EQ(sink.records[2].warning, "exploding gradient norm");
+  EXPECT_EQ(reg.GetCounter("obs.exploding_grads")->Value(),
+            exploding_before + 1);
+
+  // A non-finite norm must survive serialization (JsonDouble would drop it).
+  const std::string line = ToJsonLine(sink.records[0]);
+  EXPECT_NE(line.find("\"grad_norm\":\"nan\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"warning\":\"non-finite gradient norm\""),
+            std::string::npos)
+      << line;
+}
+
+TEST(FinetuneTelemetryTest, GradNormOverloadRunsHealthCheck) {
+  CaptureSink sink;
+  FinetuneTelemetry telemetry("finetune.healthtask", &sink);
+  telemetry.Step(1.0, 2.0);
+  EXPECT_TRUE(sink.records.empty()) << "healthy steps emit nothing";
+  telemetry.Step(1.0, std::numeric_limits<double>::quiet_NaN());
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(sink.records[0].phase, "finetune.healthtask");
+  EXPECT_EQ(sink.records[0].warning, "non-finite gradient norm");
 }
 
 TEST(PretrainTelemetryTest, OneRecordPerEvalStepMatchingEvalCurve) {

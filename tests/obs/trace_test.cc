@@ -1,0 +1,330 @@
+// Tracer tests: ring overflow semantics (oldest dropped first), seeded
+// sampling determinism, span parent/child integrity when requests fan out
+// across pool workers, result invariance with tracing on, and the Chrome
+// trace JSON export validated by a minimal JSON parser.
+
+#include "obs/trace.h"
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/model.h"
+#include "core/table_encoding.h"
+#include "gtest/gtest.h"
+#include "rt/bulk.h"
+#include "rt/inference_session.h"
+
+namespace turl {
+namespace obs {
+namespace {
+
+const core::TurlContext& Ctx() {
+  static core::TurlContext* ctx = [] {
+    core::ContextConfig config;
+    config.corpus.num_tables = 150;
+    config.seed = 42;
+    return new core::TurlContext(core::BuildContext(config));
+  }();
+  return *ctx;
+}
+
+core::TurlConfig SmallConfig() {
+  core::TurlConfig config;
+  config.num_layers = 1;
+  config.d_model = 32;
+  config.d_intermediate = 64;
+  config.num_heads = 2;
+  return config;
+}
+
+const core::TurlModel& Model() {
+  static core::TurlModel* model = new core::TurlModel(
+      SmallConfig(), Ctx().vocab.size(), Ctx().entity_vocab.size(),
+      /*seed=*/11);
+  return *model;
+}
+
+const std::vector<core::EncodedTable>& Tables() {
+  static std::vector<core::EncodedTable>* tables = [] {
+    auto* out = new std::vector<core::EncodedTable>;
+    const text::WordPieceTokenizer tokenizer = Ctx().MakeTokenizer();
+    for (size_t idx : Ctx().corpus.valid) {
+      core::EncodedTable t = core::EncodeTable(
+          Ctx().corpus.tables[idx], tokenizer, Ctx().entity_vocab);
+      if (t.total() > 0) out->push_back(std::move(t));
+      if (out->size() >= 8) break;
+    }
+    return out;
+  }();
+  return *tables;
+}
+
+/// Enables tracing with keep-everything sampling and a clean collector for
+/// the test body; restores disabled tracing on scope exit.
+class TracingOn {
+ public:
+  TracingOn() {
+    Tracer::SetEnabled(true);
+    Tracer::Get().SetSampler(/*period=*/1, /*seed=*/0);
+    Tracer::Get().collector().Reset();
+  }
+  ~TracingOn() { Tracer::SetEnabled(false); }
+};
+
+TEST(TraceRingTest, OverflowDropsOldestFirst) {
+  TraceRing ring(/*capacity=*/8, /*tid=*/0);
+  for (uint64_t i = 0; i < 20; ++i) {
+    TraceEvent e;
+    e.name = "e";
+    e.trace_id = 1;
+    e.span_id = i + 1;
+    ring.Push(e);
+  }
+  std::vector<TraceEvent> out;
+  ring.Snapshot(&out);
+  ASSERT_EQ(out.size(), 8u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].span_id, 20 - 8 + i + 1) << "retain the newest, in order";
+  }
+  EXPECT_EQ(ring.dropped(), 12u);
+}
+
+TEST(TracerTest, SeededSamplingIsDeterministic) {
+  TracingOn tracing;
+  Tracer& tracer = Tracer::Get();
+
+  const auto draw = [&](uint64_t period, uint64_t seed) {
+    tracer.SetSampler(period, seed);
+    std::vector<bool> kept;
+    for (int i = 0; i < 256; ++i) kept.push_back(tracer.StartTrace().traced());
+    return kept;
+  };
+  const std::vector<bool> first = draw(4, 1234);
+  const std::vector<bool> second = draw(4, 1234);
+  EXPECT_EQ(first, second) << "same (seed, seq) must replay the same set";
+
+  int kept = 0;
+  for (bool b : first) kept += b;
+  EXPECT_GT(kept, 0) << "a 1/4 sampler keeps some of 256 traces";
+  EXPECT_LT(kept, 256) << "a 1/4 sampler drops some of 256 traces";
+
+  EXPECT_NE(first, draw(4, 99)) << "the sampled set must depend on the seed";
+  tracer.SetSampler(1, 0);
+}
+
+TEST(TracerTest, DisabledSpansAreUntracedAndRecordNothing) {
+  Tracer::SetEnabled(false);
+  const size_t before = Tracer::Get().collector().Snapshot().size();
+  {
+    TraceSpan root(kNewTrace, "off.request");
+    EXPECT_FALSE(root.traced());
+    TURL_TRACE_SCOPE("off.child");
+    EXPECT_FALSE(CurrentTraceContext().traced());
+  }
+  EXPECT_EQ(Tracer::Get().collector().Snapshot().size(), before);
+}
+
+TEST(TracerTest, ParseSamplePeriodForms) {
+  EXPECT_EQ(ParseSamplePeriod(nullptr), 1u);
+  EXPECT_EQ(ParseSamplePeriod(""), 1u);
+  EXPECT_EQ(ParseSamplePeriod("1/16"), 16u);
+  EXPECT_EQ(ParseSamplePeriod("8"), 8u);
+  EXPECT_EQ(ParseSamplePeriod("0"), 1u);
+  EXPECT_EQ(ParseSamplePeriod("junk"), 1u);
+}
+
+TEST(TracerTest, ParentChildIntegrityAcrossWorkers) {
+  TracingOn tracing;
+  rt::InferenceSession session(Model(), rt::SessionOptions{.num_threads = 4});
+  const auto& tables = Tables();
+  const size_t n = 12;
+  rt::BulkRun<int>(
+      session, n,
+      [&](size_t i) { return tables[i % tables.size()]; },
+      [&](size_t, const core::EncodedTable&, const nn::Tensor& h) {
+        return static_cast<int>(h.numel());
+      });
+
+  const std::vector<TraceEvent> events =
+      Tracer::Get().collector().Snapshot();
+  std::map<uint64_t, std::vector<TraceEvent>> by_trace;
+  for (const TraceEvent& e : events) by_trace[e.trace_id].push_back(e);
+  EXPECT_EQ(by_trace.size(), n) << "one trace per BulkRun instance";
+
+  for (const auto& [trace_id, trace_events] : by_trace) {
+    std::set<uint64_t> ids;
+    for (const TraceEvent& e : trace_events) ids.insert(e.span_id);
+    std::set<std::string> names;
+    int roots = 0;
+    for (const TraceEvent& e : trace_events) {
+      names.insert(e.name);
+      if (e.parent_id == 0) {
+        ++roots;
+        EXPECT_STREQ(e.name, "rt.request");
+      } else {
+        EXPECT_TRUE(ids.count(e.parent_id))
+            << e.name << " parents a span missing from trace " << trace_id;
+      }
+    }
+    EXPECT_EQ(roots, 1) << "exactly one root per trace";
+    for (const char* want :
+         {"task.encode_input", "rt.queue_wait", "rt.batch_assembly",
+          "rt.encode"}) {
+      EXPECT_TRUE(names.count(want))
+          << "trace " << trace_id << " is missing stage " << want;
+    }
+  }
+}
+
+TEST(TracerTest, TracingDoesNotPerturbResults) {
+  const core::EncodedTable& table = Tables()[0];
+  rt::InferenceSession session(Model(), rt::SessionOptions{.num_threads = 1});
+  const std::vector<float> off = session.Encode(table).ToVector();
+  std::vector<float> on;
+  {
+    TracingOn tracing;
+    TraceSpan root(kNewTrace, "rt.request");
+    on = session.Encode(table).ToVector();
+  }
+  EXPECT_EQ(off, on) << "tracing must be bit-invisible to the forward";
+}
+
+/// Minimal recursive-descent JSON syntax checker — enough to prove the
+/// Chrome export is well-formed without a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text)
+      : p_(text.c_str()), end_(text.c_str() + text.size()) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return p_ == end_;
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool Literal(const char* s) {
+    const size_t len = std::strlen(s);
+    if (size_t(end_ - p_) < len || std::strncmp(p_, s, len) != 0) return false;
+    p_ += len;
+    return true;
+  }
+  bool String() {
+    if (p_ >= end_ || *p_ != '"') return false;
+    ++p_;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ >= end_) return false;
+      }
+      ++p_;
+    }
+    if (p_ >= end_) return false;
+    ++p_;  // Closing quote.
+    return true;
+  }
+  bool Number() {
+    const char* start = p_;
+    if (p_ < end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    while (p_ < end_ && ((*p_ >= '0' && *p_ <= '9') || *p_ == '.' ||
+                         *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
+                         *p_ == '+')) {
+      ++p_;
+    }
+    return p_ > start;
+  }
+  bool Value() {
+    SkipWs();
+    if (p_ >= end_) return false;
+    switch (*p_) {
+      case '{': {
+        ++p_;
+        SkipWs();
+        if (p_ < end_ && *p_ == '}') return ++p_, true;
+        while (true) {
+          SkipWs();
+          if (!String()) return false;
+          SkipWs();
+          if (p_ >= end_ || *p_ != ':') return false;
+          ++p_;
+          if (!Value()) return false;
+          SkipWs();
+          if (p_ < end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          break;
+        }
+        if (p_ >= end_ || *p_ != '}') return false;
+        ++p_;
+        return true;
+      }
+      case '[': {
+        ++p_;
+        SkipWs();
+        if (p_ < end_ && *p_ == ']') return ++p_, true;
+        while (true) {
+          if (!Value()) return false;
+          SkipWs();
+          if (p_ < end_ && *p_ == ',') {
+            ++p_;
+            continue;
+          }
+          break;
+        }
+        if (p_ >= end_ || *p_ != ']') return false;
+        ++p_;
+        return true;
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+TEST(TraceExportTest, ChromeJsonIsWellFormed) {
+  TracingOn tracing;
+  {
+    TraceSpan root(kNewTrace, "export.request");
+    root.Annotate("head", "cell_filling");
+    root.Annotate("batch", int64_t(17));
+    TURL_TRACE_SCOPE("export.stage");
+  }
+  const std::string json = ChromeTraceJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("export.request"), std::string::npos);
+  EXPECT_NE(json.find("export.stage"), std::string::npos);
+  EXPECT_NE(json.find("cell_filling"), std::string::npos);
+
+  const std::string report = SlowTraceReport(3);
+  EXPECT_NE(report.find("export.request"), std::string::npos) << report;
+  EXPECT_NE(report.find("export.stage"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace turl
