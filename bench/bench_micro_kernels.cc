@@ -1,14 +1,26 @@
 // Microbenchmarks (google-benchmark) of the kernels the experiments sit on:
+// the blocked GEMM family (against the naive triple loops they replaced),
 // GEMM via MatMul, masked multi-head attention forward/backward, the
 // WordPiece tokenizer, visibility-matrix construction, table encoding,
 // corpus generation and lookup-service candidate generation.
+//
+// On top of the google-benchmark timings, main() measures naive vs blocked
+// GEMM directly over the encoder's characteristic shapes (square 256^3, the
+// ragged attention-ish 312x768x64 and the single-row logits 1x768x30522)
+// and writes the items/sec pairs plus speedups to BENCH_kernels.json.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/context.h"
 #include "core/model.h"
 #include "core/visibility.h"
 #include "kb/lookup.h"
+#include "nn/kernels/kernels.h"
 #include "nn/ops.h"
 #include "obs/profiler.h"
 
@@ -19,12 +31,8 @@ using namespace turl;
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
   Rng rng(1);
-  nn::Tensor a = nn::Tensor::Zeros({n, n});
-  nn::Tensor b = nn::Tensor::Zeros({n, n});
-  for (int64_t i = 0; i < n * n; ++i) {
-    a.data()[i] = rng.UniformFloat(-1, 1);
-    b.data()[i] = rng.UniformFloat(-1, 1);
-  }
+  nn::Tensor a = nn::Tensor::Random({n, n}, rng);
+  nn::Tensor b = nn::Tensor::Random({n, n}, rng);
   for (auto _ : state) {
     nn::Tensor c = nn::MatMul(a, b);
     benchmark::DoNotOptimize(c.data());
@@ -33,16 +41,51 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
 
+/// Blocked kernel vs the preserved naive loops over {m, k, n}. The ragged
+/// arguments mirror the model's real shapes: a row-panel GEMM from the
+/// encoder stack and the 1-row MLM logits GEMM against the word embedding.
+void BM_GemmKernel(benchmark::State& state) {
+  const int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(2);
+  nn::Tensor a = nn::Tensor::Random({m, k}, rng);
+  nn::Tensor b = nn::Tensor::Random({k, n}, rng);
+  std::vector<float> c(size_t(m * n));
+  for (auto _ : state) {
+    nn::kernels::GemmNN(m, n, k, a.data(), k, b.data(), n, c.data(), n,
+                        /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+BENCHMARK(BM_GemmKernel)
+    ->Args({256, 256, 256})
+    ->Args({312, 768, 64})
+    ->Args({1, 768, 30522});
+
+void BM_GemmNaive(benchmark::State& state) {
+  const int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(3);
+  nn::Tensor a = nn::Tensor::Random({m, k}, rng);
+  nn::Tensor b = nn::Tensor::Random({k, n}, rng);
+  std::vector<float> c(size_t(m * n));
+  for (auto _ : state) {
+    nn::kernels::naive::GemmNN(m, n, k, a.data(), k, b.data(), n, c.data(), n,
+                               /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+BENCHMARK(BM_GemmNaive)
+    ->Args({256, 256, 256})
+    ->Args({312, 768, 64})
+    ->Args({1, 768, 30522});
+
 void BM_MaskedAttentionForward(benchmark::State& state) {
   const int64_t n = state.range(0), d = 64;
   Rng rng(2);
-  nn::Tensor q = nn::Tensor::Zeros({n, d}), k = nn::Tensor::Zeros({n, d}),
-             v = nn::Tensor::Zeros({n, d});
-  for (int64_t i = 0; i < n * d; ++i) {
-    q.data()[i] = rng.UniformFloat(-1, 1);
-    k.data()[i] = rng.UniformFloat(-1, 1);
-    v.data()[i] = rng.UniformFloat(-1, 1);
-  }
+  nn::Tensor q = nn::Tensor::Random({n, d}, rng);
+  nn::Tensor k = nn::Tensor::Random({n, d}, rng);
+  nn::Tensor v = nn::Tensor::Random({n, d}, rng);
   std::vector<float> mask(size_t(n * n), 0.f);
   for (int64_t i = 0; i < n * n; i += 3) mask[size_t(i)] = -1e9f;
   for (auto _ : state) {
@@ -55,8 +98,9 @@ BENCHMARK(BM_MaskedAttentionForward)->Arg(32)->Arg(64)->Arg(128);
 void BM_MaskedAttentionBackward(benchmark::State& state) {
   const int64_t n = state.range(0), d = 64;
   Rng rng(3);
-  nn::Tensor q = nn::Tensor::Zeros({n, d}), k = nn::Tensor::Zeros({n, d}),
-             v = nn::Tensor::Zeros({n, d});
+  nn::Tensor q = nn::Tensor::Random({n, d}, rng);
+  nn::Tensor k = nn::Tensor::Random({n, d}, rng);
+  nn::Tensor v = nn::Tensor::Random({n, d}, rng);
   std::vector<float> mask(size_t(n * n), 0.f);
   for (auto _ : state) {
     nn::Tensor out = nn::MultiHeadAttention(q, k, v, mask, 4);
@@ -156,16 +200,79 @@ void BM_CorpusGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusGeneration);
 
+// ---------------------------------------------------------------------------
+// Direct naive-vs-kernel measurement written to BENCH_kernels.json.
+
+using GemmFn = void (*)(int64_t, int64_t, int64_t, const float*, int64_t,
+                        const float*, int64_t, float*, int64_t, bool);
+
+double MeasureItemsPerSec(GemmFn fn, int64_t m, int64_t k, int64_t n) {
+  Rng rng(17);
+  nn::Tensor a = nn::Tensor::Random({m, k}, rng);
+  nn::Tensor b = nn::Tensor::Random({k, n}, rng);
+  std::vector<float> c(size_t(m * n));
+  fn(m, n, k, a.data(), k, b.data(), n, c.data(), n, false);  // Warm-up.
+  const double flops = double(m) * double(n) * double(k);
+  // Enough iterations for ~0.2s of work assuming >= 0.5 GFLOP/s.
+  int iters = static_cast<int>(1e8 / flops) + 1;
+  const auto start = std::chrono::steady_clock::now();
+  for (int it = 0; it < iters; ++it) {
+    fn(m, n, k, a.data(), k, b.data(), n, c.data(), n, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - start;
+  return flops * iters / dt.count();
+}
+
+void WriteKernelComparison(const char* path) {
+  // Single-threaded by construction so the recorded speedup is the blocked
+  // kernel's own, not the thread pool's.
+  nn::kernels::SetKernelThreads(1);
+  struct Case {
+    int64_t m, k, n;
+  };
+  const Case cases[] = {{256, 256, 256}, {312, 768, 64}, {1, 768, 30522}};
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "{\n  \"threads\": 1,\n  \"gemm\": [\n");
+  bool first = true;
+  for (const Case& c : cases) {
+    const double naive =
+        MeasureItemsPerSec(nn::kernels::naive::GemmNN, c.m, c.k, c.n);
+    const double kernel =
+        MeasureItemsPerSec(nn::kernels::GemmNN, c.m, c.k, c.n);
+    std::fprintf(f,
+                 "%s    {\"m\": %lld, \"k\": %lld, \"n\": %lld, "
+                 "\"naive_items_per_sec\": %.3e, "
+                 "\"kernel_items_per_sec\": %.3e, \"speedup\": %.2f}",
+                 first ? "" : ",\n", static_cast<long long>(c.m),
+                 static_cast<long long>(c.k), static_cast<long long>(c.n),
+                 naive, kernel, kernel / naive);
+    std::fprintf(stderr,
+                 "gemm %lldx%lldx%lld: naive %.3e kernel %.3e flop/s "
+                 "(speedup %.2fx)\n",
+                 static_cast<long long>(c.m), static_cast<long long>(c.k),
+                 static_cast<long long>(c.n), naive, kernel, kernel / naive);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  nn::kernels::SetKernelThreads(0);  // Restore env/default resolution.
+}
+
 }  // namespace
 
-// Like BENCHMARK_MAIN(), plus an observability dump. Profiling stays in its
-// default env-controlled state (off unless TURL_PROFILE=1) so the kernels
-// are measured with only the disabled-check branch in the hot loops.
+// Like BENCHMARK_MAIN(), plus an observability dump and the kernel-vs-naive
+// comparison. Profiling stays in its default env-controlled state (off
+// unless TURL_PROFILE=1) so the kernels are measured with only the
+// disabled-check branch in the hot loops.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  WriteKernelComparison("BENCH_kernels.json");
   turl::obs::WriteObsJson("BENCH_obs.json");
   return 0;
 }

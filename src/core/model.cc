@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/visibility.h"
+#include "nn/kernels/arena.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "util/logging.h"
@@ -50,6 +51,10 @@ nn::Tensor TurlModel::Encode(const EncodedTable& input, bool training,
   static obs::Counter* encodes =
       obs::MetricsRegistry::Get().GetCounter("model.encodes");
   encodes->Inc();
+  // All intermediates built while encoding lease their buffers from the
+  // per-thread kernel arena; they recycle when the tape is severed, so a
+  // steady-state step does O(1) fresh heap allocations.
+  nn::kernels::ArenaScope arena;
   std::vector<nn::Tensor> parts;
 
   if (input.num_tokens() > 0) {
@@ -90,6 +95,7 @@ nn::Tensor TurlModel::MlmLogits(const nn::Tensor& hidden,
                                 const std::vector<int>& rows) const {
   TURL_CHECK(!rows.empty());
   TURL_PROFILE_SCOPE("model.mlm_logits");
+  nn::kernels::ArenaScope arena;
   nn::Tensor projected = mlm_head_->Forward(nn::SelectRows(hidden, rows));
   return nn::MatMulNT(projected, word_emb_->weight());
 }
@@ -100,6 +106,7 @@ nn::Tensor TurlModel::MerLogits(const nn::Tensor& hidden,
   TURL_CHECK(!rows.empty());
   TURL_PROFILE_SCOPE("model.mer_logits");
   TURL_CHECK(!candidates.empty());
+  nn::kernels::ArenaScope arena;
   nn::Tensor projected = mer_head_->Forward(nn::SelectRows(hidden, rows));
   nn::Tensor cand_emb = entity_emb_->Forward(candidates);
   return nn::MatMulNT(projected, cand_emb);

@@ -1,0 +1,101 @@
+#include "nn/kernels/arena.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace turl {
+namespace nn {
+namespace kernels {
+
+namespace {
+
+constexpr std::size_t kMaxFreePerClass = 16;
+constexpr std::size_t kMaxCachedBytes = std::size_t(64) << 20;  // per thread
+
+thread_local int tls_arena_depth = 0;
+
+// Set by ~Cache so buffers dying during thread teardown (after the
+// thread-local pool is gone) fall back to plain deallocation. A plain bool
+// is trivially destructible, so reading it after the Cache destructor ran
+// is well-defined.
+thread_local bool tls_cache_dead = false;
+
+struct Cache {
+  // Exact-size freelists: intermediate shapes repeat exactly across steps.
+  std::unordered_map<std::size_t, std::vector<std::vector<float>>> classes;
+  std::size_t cached_bytes = 0;
+  ~Cache() { tls_cache_dead = true; }
+};
+
+Cache& ThreadCache() {
+  thread_local Cache cache;
+  return cache;
+}
+
+obs::Counter* ReuseCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("nn.arena_reuse");
+  return c;
+}
+
+obs::Counter* HeapAllocCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("nn.heap_alloc");
+  return c;
+}
+
+}  // namespace
+
+ArenaScope::ArenaScope() { ++tls_arena_depth; }
+ArenaScope::~ArenaScope() { --tls_arena_depth; }
+
+bool ArenaActive() { return tls_arena_depth > 0; }
+
+std::vector<float> LeasePooled(std::size_t n, bool zero) {
+  if (n > 0 && !tls_cache_dead) {
+    Cache& cache = ThreadCache();
+    auto it = cache.classes.find(n);
+    if (it != cache.classes.end() && !it->second.empty()) {
+      std::vector<float> buf = std::move(it->second.back());
+      it->second.pop_back();
+      cache.cached_bytes -= n * sizeof(float);
+      ReuseCounter()->Inc();
+      if (zero) std::memset(buf.data(), 0, n * sizeof(float));
+      return buf;
+    }
+  }
+  HeapAllocCounter()->Inc();
+  return std::vector<float>(n);
+}
+
+std::vector<float> AllocBuffer(std::size_t n, bool zero) {
+  if (ArenaActive()) return LeasePooled(n, zero);
+  HeapAllocCounter()->Inc();
+  return std::vector<float>(n);
+}
+
+void RecycleBuffer(std::vector<float>&& buf) {
+  const std::size_t n = buf.size();
+  if (n == 0 || tls_cache_dead) return;
+  Cache& cache = ThreadCache();
+  if (cache.cached_bytes + n * sizeof(float) > kMaxCachedBytes) return;
+  std::vector<std::vector<float>>& cls = cache.classes[n];
+  if (cls.size() >= kMaxFreePerClass) return;
+  // Drop any spare capacity bookkeeping mismatch: freelists are keyed by
+  // size(), and a reused buffer is handed back at exactly that size.
+  cls.push_back(std::move(buf));
+  cache.cached_bytes += n * sizeof(float);
+}
+
+void ClearThreadBufferPool() {
+  if (tls_cache_dead) return;
+  Cache& cache = ThreadCache();
+  cache.classes.clear();
+  cache.cached_bytes = 0;
+}
+
+}  // namespace kernels
+}  // namespace nn
+}  // namespace turl

@@ -1,0 +1,60 @@
+#ifndef TURL_NN_KERNELS_GEMM_H_
+#define TURL_NN_KERNELS_GEMM_H_
+
+#include <cstdint>
+
+namespace turl {
+namespace nn {
+namespace kernels {
+
+/// Cache-blocked, register-tiled single-precision GEMM family the nn ops
+/// dispatch into. All matrices are row-major with an explicit leading
+/// dimension (row stride), so callers can address sub-panels — e.g. one
+/// attention head's column slice — without packing a transpose. Every
+/// routine computes C = ... when `accumulate` is false and C += ... when it
+/// is true; C is an m x n panel with row stride ldc.
+///
+/// Determinism contract: for each output element the k-reduction is
+/// evaluated in ascending-k order with a fixed lane/accumulator structure,
+/// and parallel execution (see threading.h) only partitions whole output
+/// panels whose boundaries depend on the problem shape alone. Results are
+/// therefore bitwise identical run-to-run and for any thread count.
+
+/// C[m,n] (+)= A[m,k] * B[k,n].
+void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+            const float* b, int64_t ldb, float* c, int64_t ldc,
+            bool accumulate);
+
+/// C[m,n] (+)= A[m,k] * B[n,k]^T (dot products of row pairs; B is stored
+/// untransposed with n rows of k entries).
+void GemmNT(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+            const float* b, int64_t ldb, float* c, int64_t ldc,
+            bool accumulate);
+
+/// C[m,n] (+)= A'^T * B for A' stored as k rows of m entries (so C row r
+/// reads A' column r) and B[k,n].
+void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+            const float* b, int64_t ldb, float* c, int64_t ldc,
+            bool accumulate);
+
+/// Reference implementations: the scalar triple loops that predate the
+/// blocked kernels, kept (in a TU compiled without the kernel SIMD flags)
+/// as the equivalence oracle for tests and the baseline the perf benches
+/// measure speedups against.
+namespace naive {
+void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+            const float* b, int64_t ldb, float* c, int64_t ldc,
+            bool accumulate);
+void GemmNT(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+            const float* b, int64_t ldb, float* c, int64_t ldc,
+            bool accumulate);
+void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+            const float* b, int64_t ldb, float* c, int64_t ldc,
+            bool accumulate);
+}  // namespace naive
+
+}  // namespace kernels
+}  // namespace nn
+}  // namespace turl
+
+#endif  // TURL_NN_KERNELS_GEMM_H_

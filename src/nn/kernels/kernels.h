@@ -1,0 +1,14 @@
+#ifndef TURL_NN_KERNELS_KERNELS_H_
+#define TURL_NN_KERNELS_KERNELS_H_
+
+/// Umbrella header for the turl::nn::kernels compute layer (DESIGN.md §8):
+/// blocked/SIMD GEMM, fused row kernels, the per-thread buffer arena and
+/// the shared intra-op thread pool. The nn ops dispatch here; nothing in
+/// this layer knows about tensors or autograd.
+
+#include "nn/kernels/arena.h"
+#include "nn/kernels/gemm.h"
+#include "nn/kernels/rowwise.h"
+#include "nn/kernels/threading.h"
+
+#endif  // TURL_NN_KERNELS_KERNELS_H_

@@ -1,0 +1,74 @@
+// The scalar triple-loop GEMMs that the blocked kernels replaced, preserved
+// verbatim (plus leading-dimension support) as the equivalence oracle for
+// the kernels test suite and the baseline bench_micro_kernels measures
+// speedups against. This TU deliberately never receives the kernel SIMD
+// compile flags — it is "the current naive loops" of the pre-kernel ops.
+
+#include <algorithm>
+
+#include "nn/kernels/gemm.h"
+
+namespace turl {
+namespace nn {
+namespace kernels {
+namespace naive {
+
+void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+            const float* b, int64_t ldb, float* c, int64_t ldc,
+            bool accumulate) {
+  if (!accumulate) {
+    for (int64_t i = 0; i < m; ++i) std::fill(c + i * ldc, c + i * ldc + n, 0.f);
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.f) continue;
+      const float* brow = b + p * ldb;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmNT(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+            const float* b, int64_t ldb, float* c, int64_t ldc,
+            bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * ldb;
+      float s = 0.f;
+      for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      if (accumulate) {
+        crow[j] += s;
+      } else {
+        crow[j] = s;
+      }
+    }
+  }
+}
+
+void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+            const float* b, int64_t ldb, float* c, int64_t ldc,
+            bool accumulate) {
+  if (!accumulate) {
+    for (int64_t i = 0; i < m; ++i) std::fill(c + i * ldc, c + i * ldc + n, 0.f);
+  }
+  for (int64_t t = 0; t < k; ++t) {
+    const float* arow = a + t * lda;
+    const float* brow = b + t * ldb;
+    for (int64_t r = 0; r < m; ++r) {
+      const float av = arow[r];
+      if (av == 0.f) continue;
+      float* crow = c + r * ldc;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace naive
+}  // namespace kernels
+}  // namespace nn
+}  // namespace turl

@@ -1,0 +1,45 @@
+#ifndef TURL_NN_KERNELS_THREADING_H_
+#define TURL_NN_KERNELS_THREADING_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace turl {
+namespace nn {
+namespace kernels {
+
+/// Intra-op parallelism for the compute kernels, backed by one shared
+/// turl::rt::ThreadPool that is built lazily on first eligible call.
+///
+/// Thread count resolution: SetKernelThreads() wins; otherwise
+/// $TURL_KERNEL_THREADS (when set and positive); otherwise
+/// std::thread::hardware_concurrency(). A count of 1 never constructs the
+/// pool — every kernel runs inline on the caller.
+int KernelThreads();
+
+/// Overrides the kernel thread count (and rebuilds the pool on next use).
+/// n <= 0 re-resolves from the environment.
+void SetKernelThreads(int n);
+
+/// Minimum mul-add count before a kernel is allowed to go parallel; below
+/// it the panel loop runs inline so fine-tune micro-batches never pay pool
+/// hand-off latency.
+int64_t ParallelMinFlops();
+
+/// Test hook: forces the parallel gate (0 restores the default).
+void SetParallelMinFlopsForTest(int64_t flops);
+
+/// Runs body(p) for every panel p in [0, panels). Executes on the shared
+/// pool only when panels >= 2, KernelThreads() > 1 and flops >=
+/// ParallelMinFlops(); otherwise inline, in ascending panel order. Bodies
+/// must write disjoint output panels; kernels built on this are bitwise
+/// deterministic for any thread count because panel boundaries depend only
+/// on the problem shape.
+void ParallelPanels(int64_t panels, int64_t flops,
+                    const std::function<void(int64_t)>& body);
+
+}  // namespace kernels
+}  // namespace nn
+}  // namespace turl
+
+#endif  // TURL_NN_KERNELS_THREADING_H_

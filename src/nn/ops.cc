@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "nn/kernels/kernels.h"
 #include "obs/profiler.h"
 #include "util/logging.h"
 
@@ -12,18 +13,26 @@ namespace nn {
 
 namespace {
 
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-
 /// Ensures the node's grad buffer exists, returning a raw pointer to it.
+/// Pooled nodes lease their gradient from the kernels arena so both buffers
+/// recycle together when the node dies.
 float* GradOf(TensorImpl* t) {
-  if (t->grad.empty()) t->grad.assign(t->data.size(), 0.f);
+  if (t->grad.empty()) {
+    if (t->pooled) {
+      t->grad = kernels::LeasePooled(t->data.size(), /*zero=*/true);
+    } else {
+      t->grad.assign(t->data.size(), 0.f);
+    }
+  }
   return t->grad.data();
 }
 
 /// Builds an op result node: fresh impl with `shape`/`data`, parent edges to
 /// the inputs, and `fn(out_impl)` installed as the backward closure. The
 /// closure receives the raw output impl pointer (owned by the node itself, so
-/// no reference cycle) and must accumulate into the parents' grads.
+/// no reference cycle) and must accumulate into the parents' grads. Nodes
+/// built inside a kernels::ArenaScope are marked pooled: their buffers return
+/// to the per-thread arena when the node is destroyed.
 Tensor MakeNode(Shape shape, std::vector<float> data,
                 std::vector<std::shared_ptr<TensorImpl>> parents,
                 std::function<void(TensorImpl*)> fn) {
@@ -31,6 +40,7 @@ Tensor MakeNode(Shape shape, std::vector<float> data,
   impl->shape = std::move(shape);
   impl->data = std::move(data);
   impl->parents = std::move(parents);
+  impl->pooled = kernels::ArenaActive();
   TensorImpl* raw = impl.get();
   impl->backward_fn = [raw, f = std::move(fn)]() { f(raw); };
   return Tensor::FromImpl(std::move(impl));
@@ -43,66 +53,15 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
       << ShapeToString(b.shape());
 }
 
-/// Plain single-threaded GEMM kernels. Sizes in this library are small
-/// (sequence length tens, hidden width <= a few hundred), so a cache-aware
-/// ikj loop ordering is sufficient.
-void GemmNN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, sizeof(float) * size_t(m * n));
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.f) continue;
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
-/// C[m,n] (+)= A[m,k] * B[n,k]^T
-void GemmNT(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n, bool accumulate) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float s = 0.f;
-      for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      if (accumulate) {
-        crow[j] += s;
-      } else {
-        crow[j] = s;
-      }
-    }
-  }
-}
-
-/// C[k,n] (+)= A[m,k]^T * B[m,n]
-void GemmTN(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n, bool accumulate) {
-  if (!accumulate) std::memset(c, 0, sizeof(float) * size_t(k * n));
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    const float* brow = b + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.f) continue;
-      float* crow = c + p * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
-
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
-  std::vector<float> out(a.impl()->data);
-  const auto& bd = b.impl()->data;
-  for (size_t i = 0; i < out.size(); ++i) out[i] += bd[i];
+  const float* ad = a.data();
+  const float* bd = b.data();
+  const size_t sz = a.impl()->data.size();
+  std::vector<float> out = kernels::AllocBuffer(sz, /*zero=*/false);
+  for (size_t i = 0; i < sz; ++i) out[i] = ad[i] + bd[i];
   auto pa = a.impl(), pb = b.impl();
   return MakeNode(a.shape(), std::move(out), {pa, pb}, [pa, pb](TensorImpl* o) {
     const float* g = o->grad.data();
@@ -117,9 +76,11 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
-  std::vector<float> out(a.impl()->data);
-  const auto& bd = b.impl()->data;
-  for (size_t i = 0; i < out.size(); ++i) out[i] -= bd[i];
+  const float* ad = a.data();
+  const float* bd = b.data();
+  const size_t sz = a.impl()->data.size();
+  std::vector<float> out = kernels::AllocBuffer(sz, /*zero=*/false);
+  for (size_t i = 0; i < sz; ++i) out[i] = ad[i] - bd[i];
   auto pa = a.impl(), pb = b.impl();
   return MakeNode(a.shape(), std::move(out), {pa, pb}, [pa, pb](TensorImpl* o) {
     const float* g = o->grad.data();
@@ -134,27 +95,31 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
-  std::vector<float> out(a.impl()->data);
-  const auto& bd = b.impl()->data;
-  for (size_t i = 0; i < out.size(); ++i) out[i] *= bd[i];
+  const float* ad = a.data();
+  const float* bd = b.data();
+  const size_t sz = a.impl()->data.size();
+  std::vector<float> out = kernels::AllocBuffer(sz, /*zero=*/false);
+  for (size_t i = 0; i < sz; ++i) out[i] = ad[i] * bd[i];
   auto pa = a.impl(), pb = b.impl();
   return MakeNode(a.shape(), std::move(out), {pa, pb}, [pa, pb](TensorImpl* o) {
     const float* g = o->grad.data();
     float* ga = GradOf(pa.get());
     float* gb = GradOf(pb.get());
-    const float* ad = pa->data.data();
-    const float* bdp = pb->data.data();
+    const float* ad2 = pa->data.data();
+    const float* bd2 = pb->data.data();
     for (size_t i = 0; i < o->data.size(); ++i) {
-      ga[i] += g[i] * bdp[i];
-      gb[i] += g[i] * ad[i];
+      ga[i] += g[i] * bd2[i];
+      gb[i] += g[i] * ad2[i];
     }
   });
 }
 
 Tensor Scale(const Tensor& a, float s) {
   TURL_CHECK(a.defined());
-  std::vector<float> out(a.impl()->data);
-  for (float& x : out) x *= s;
+  const float* ad = a.data();
+  const size_t sz = a.impl()->data.size();
+  std::vector<float> out = kernels::AllocBuffer(sz, /*zero=*/false);
+  for (size_t i = 0; i < sz; ++i) out[i] = ad[i] * s;
   auto pa = a.impl();
   return MakeNode(a.shape(), std::move(out), {pa}, [pa, s](TensorImpl* o) {
     const float* g = o->grad.data();
@@ -168,10 +133,12 @@ Tensor AddBias(const Tensor& x, const Tensor& b) {
   TURL_CHECK_EQ(x.ndim(), 2);
   TURL_CHECK_EQ(b.numel(), x.dim(1));
   const int64_t m = x.dim(0), n = x.dim(1);
-  std::vector<float> out(x.impl()->data);
+  const float* xd = x.data();
   const float* bd = b.data();
+  std::vector<float> out = kernels::AllocBuffer(size_t(m * n), /*zero=*/false);
   for (int64_t i = 0; i < m; ++i)
-    for (int64_t j = 0; j < n; ++j) out[size_t(i * n + j)] += bd[j];
+    for (int64_t j = 0; j < n; ++j)
+      out[size_t(i * n + j)] = xd[i * n + j] + bd[j];
   auto px = x.impl(), pb = b.impl();
   return MakeNode(x.shape(), std::move(out), {px, pb},
                   [px, pb, m, n](TensorImpl* o) {
@@ -196,18 +163,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       << "MatMul: " << ShapeToString(a.shape()) << " x "
       << ShapeToString(b.shape());
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  std::vector<float> out(size_t(m * n));
-  GemmNN(a.data(), b.data(), out.data(), m, k, n, /*accumulate=*/false);
+  std::vector<float> out = kernels::AllocBuffer(size_t(m * n), /*zero=*/false);
+  kernels::GemmNN(m, n, k, a.data(), k, b.data(), n, out.data(), n,
+                  /*accumulate=*/false);
   auto pa = a.impl(), pb = b.impl();
   return MakeNode({m, n}, std::move(out), {pa, pb},
                   [pa, pb, m, k, n](TensorImpl* o) {
                     TURL_PROFILE_SCOPE("op.matmul.backward");
                     const float* g = o->grad.data();
                     // dA += dOut * B^T ; dB += A^T * dOut
-                    GemmNT(g, pb->data.data(), GradOf(pa.get()), m, n, k,
-                           /*accumulate=*/true);
-                    GemmTN(pa->data.data(), g, GradOf(pb.get()), m, k, n,
-                           /*accumulate=*/true);
+                    kernels::GemmNT(m, k, n, g, n, pb->data.data(), n,
+                                    GradOf(pa.get()), k, /*accumulate=*/true);
+                    kernels::GemmTN(k, n, m, pa->data.data(), k, g, n,
+                                    GradOf(pb.get()), n, /*accumulate=*/true);
                   });
 }
 
@@ -220,87 +188,53 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
       << "MatMulNT: " << ShapeToString(a.shape()) << " x "
       << ShapeToString(b.shape()) << "^T";
   const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  std::vector<float> out(size_t(m * n));
-  GemmNT(a.data(), b.data(), out.data(), m, k, n, /*accumulate=*/false);
+  std::vector<float> out = kernels::AllocBuffer(size_t(m * n), /*zero=*/false);
+  kernels::GemmNT(m, n, k, a.data(), k, b.data(), k, out.data(), n,
+                  /*accumulate=*/false);
   auto pa = a.impl(), pb = b.impl();
   return MakeNode({m, n}, std::move(out), {pa, pb},
                   [pa, pb, m, k, n](TensorImpl* o) {
                     TURL_PROFILE_SCOPE("op.matmul_nt.backward");
                     const float* g = o->grad.data();
                     // out = A * B^T  =>  dA += g * B ; dB += g^T * A
-                    GemmNN(g, pb->data.data(), GradOf(pa.get()), m, n, k,
-                           /*accumulate=*/true);
-                    GemmTN(g, pa->data.data(), GradOf(pb.get()), m, n, k,
-                           /*accumulate=*/true);
+                    kernels::GemmNN(m, k, n, g, n, pb->data.data(), k,
+                                    GradOf(pa.get()), k, /*accumulate=*/true);
+                    kernels::GemmTN(n, k, m, g, n, pa->data.data(), k,
+                                    GradOf(pb.get()), k, /*accumulate=*/true);
                   });
 }
 
+namespace {
+
+/// Shared implementation for the elementwise activation ops: fused forward
+/// kernel, fused backward kernel.
+Tensor ActivationOp(const Tensor& x, kernels::Act act) {
+  TURL_CHECK(x.defined());
+  const size_t sz = x.impl()->data.size();
+  std::vector<float> out = kernels::AllocBuffer(sz, /*zero=*/false);
+  kernels::ActivationForward(act, x.data(), out.data(),
+                             static_cast<int64_t>(sz));
+  auto px = x.impl();
+  return MakeNode(x.shape(), std::move(out), {px}, [px, act](TensorImpl* o) {
+    kernels::ActivationBackward(act, px->data.data(), o->data.data(),
+                                o->grad.data(), GradOf(px.get()),
+                                static_cast<int64_t>(o->data.size()));
+  });
+}
+
+}  // namespace
+
 Tensor Gelu(const Tensor& x) {
   TURL_PROFILE_SCOPE("op.gelu");
-  TURL_CHECK(x.defined());
-  const auto& xd = x.impl()->data;
-  std::vector<float> out(xd.size());
-  for (size_t i = 0; i < xd.size(); ++i) {
-    float v = xd[i];
-    float inner = kGeluC * (v + 0.044715f * v * v * v);
-    out[i] = 0.5f * v * (1.f + std::tanh(inner));
-  }
-  auto px = x.impl();
-  return MakeNode(x.shape(), std::move(out), {px}, [px](TensorImpl* o) {
-    const float* g = o->grad.data();
-    float* gx = GradOf(px.get());
-    const float* xd2 = px->data.data();
-    for (size_t i = 0; i < o->data.size(); ++i) {
-      float v = xd2[i];
-      float inner = kGeluC * (v + 0.044715f * v * v * v);
-      float t = std::tanh(inner);
-      float dinner = kGeluC * (1.f + 3.f * 0.044715f * v * v);
-      float d = 0.5f * (1.f + t) + 0.5f * v * (1.f - t * t) * dinner;
-      gx[i] += g[i] * d;
-    }
-  });
+  return ActivationOp(x, kernels::Act::kGelu);
 }
 
-Tensor Relu(const Tensor& x) {
-  TURL_CHECK(x.defined());
-  std::vector<float> out(x.impl()->data);
-  for (float& v : out) v = v > 0.f ? v : 0.f;
-  auto px = x.impl();
-  return MakeNode(x.shape(), std::move(out), {px}, [px](TensorImpl* o) {
-    const float* g = o->grad.data();
-    float* gx = GradOf(px.get());
-    const float* xd = px->data.data();
-    for (size_t i = 0; i < o->data.size(); ++i)
-      if (xd[i] > 0.f) gx[i] += g[i];
-  });
-}
+Tensor Relu(const Tensor& x) { return ActivationOp(x, kernels::Act::kRelu); }
 
-Tensor TanhOp(const Tensor& x) {
-  TURL_CHECK(x.defined());
-  std::vector<float> out(x.impl()->data);
-  for (float& v : out) v = std::tanh(v);
-  auto px = x.impl();
-  return MakeNode(x.shape(), std::move(out), {px}, [px](TensorImpl* o) {
-    const float* g = o->grad.data();
-    float* gx = GradOf(px.get());
-    const float* yd = o->data.data();
-    for (size_t i = 0; i < o->data.size(); ++i)
-      gx[i] += g[i] * (1.f - yd[i] * yd[i]);
-  });
-}
+Tensor TanhOp(const Tensor& x) { return ActivationOp(x, kernels::Act::kTanh); }
 
 Tensor SigmoidOp(const Tensor& x) {
-  TURL_CHECK(x.defined());
-  std::vector<float> out(x.impl()->data);
-  for (float& v : out) v = 1.f / (1.f + std::exp(-v));
-  auto px = x.impl();
-  return MakeNode(x.shape(), std::move(out), {px}, [px](TensorImpl* o) {
-    const float* g = o->grad.data();
-    float* gx = GradOf(px.get());
-    const float* yd = o->data.data();
-    for (size_t i = 0; i < o->data.size(); ++i)
-      gx[i] += g[i] * yd[i] * (1.f - yd[i]);
-  });
+  return ActivationOp(x, kernels::Act::kSigmoid);
 }
 
 Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
@@ -312,63 +246,24 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   TURL_CHECK_EQ(gamma.numel(), n);
   TURL_CHECK_EQ(beta.numel(), n);
 
-  std::vector<float> out(size_t(m * n));
-  // xhat and inv_std are needed by the backward pass; shared via the closure.
-  auto xhat = std::make_shared<std::vector<float>>(size_t(m * n));
-  auto inv_std = std::make_shared<std::vector<float>>(size_t(m));
-  const float* xd = x.data();
-  const float* gd = gamma.data();
-  const float* bd = beta.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = xd + i * n;
-    float mu = 0.f;
-    for (int64_t j = 0; j < n; ++j) mu += row[j];
-    mu /= float(n);
-    float var = 0.f;
-    for (int64_t j = 0; j < n; ++j) {
-      float d = row[j] - mu;
-      var += d * d;
-    }
-    var /= float(n);
-    float is = 1.f / std::sqrt(var + eps);
-    (*inv_std)[size_t(i)] = is;
-    for (int64_t j = 0; j < n; ++j) {
-      float xh = (row[j] - mu) * is;
-      (*xhat)[size_t(i * n + j)] = xh;
-      out[size_t(i * n + j)] = gd[j] * xh + bd[j];
-    }
-  }
+  std::vector<float> out = kernels::AllocBuffer(size_t(m * n), /*zero=*/false);
+  // xhat and inv_std are needed by the backward pass; shared via the closure
+  // and leased from the arena so they recycle with the tape.
+  auto xhat =
+      std::make_shared<kernels::PooledBuffer>(size_t(m * n), /*zero=*/false);
+  auto inv_std =
+      std::make_shared<kernels::PooledBuffer>(size_t(m), /*zero=*/false);
+  kernels::LayerNormForward(x.data(), gamma.data(), beta.data(), eps,
+                            out.data(), xhat->data(), inv_std->data(), m, n);
   auto px = x.impl(), pg = gamma.impl(), pb = beta.impl();
-  return MakeNode(
-      x.shape(), std::move(out), {px, pg, pb},
-      [px, pg, pb, xhat, inv_std, m, n](TensorImpl* o) {
-        TURL_PROFILE_SCOPE("op.layernorm.backward");
-        const float* g = o->grad.data();
-        float* gx = GradOf(px.get());
-        float* gg = GradOf(pg.get());
-        float* gb = GradOf(pb.get());
-        const float* gd2 = pg->data.data();
-        for (int64_t i = 0; i < m; ++i) {
-          const float* grow = g + i * n;
-          const float* xh = xhat->data() + i * n;
-          const float is = (*inv_std)[size_t(i)];
-          // dxhat = dy * gamma; need mean(dxhat) and mean(dxhat * xhat).
-          float mean_dxhat = 0.f, mean_dxhat_xhat = 0.f;
-          for (int64_t j = 0; j < n; ++j) {
-            float dxh = grow[j] * gd2[j];
-            mean_dxhat += dxh;
-            mean_dxhat_xhat += dxh * xh[j];
-          }
-          mean_dxhat /= float(n);
-          mean_dxhat_xhat /= float(n);
-          for (int64_t j = 0; j < n; ++j) {
-            float dxh = grow[j] * gd2[j];
-            gx[i * n + j] += is * (dxh - mean_dxhat - xh[j] * mean_dxhat_xhat);
-            gg[j] += grow[j] * xh[j];
-            gb[j] += grow[j];
-          }
-        }
-      });
+  return MakeNode(x.shape(), std::move(out), {px, pg, pb},
+                  [px, pg, pb, xhat, inv_std, m, n](TensorImpl* o) {
+                    TURL_PROFILE_SCOPE("op.layernorm.backward");
+                    kernels::LayerNormBackward(
+                        o->grad.data(), pg->data.data(), xhat->data(),
+                        inv_std->data(), GradOf(px.get()), GradOf(pg.get()),
+                        GradOf(pb.get()), m, n);
+                  });
 }
 
 Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int>& ids) {
@@ -377,7 +272,7 @@ Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int>& ids) {
   TURL_CHECK_EQ(weight.ndim(), 2);
   const int64_t v = weight.dim(0), d = weight.dim(1);
   const int64_t m = static_cast<int64_t>(ids.size());
-  std::vector<float> out(size_t(m * d));
+  std::vector<float> out = kernels::AllocBuffer(size_t(m * d), /*zero=*/false);
   const float* wd = weight.data();
   for (int64_t i = 0; i < m; ++i) {
     TURL_CHECK_GE(ids[size_t(i)], 0);
@@ -404,7 +299,8 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   TURL_CHECK_EQ(b.ndim(), 2);
   TURL_CHECK_EQ(a.dim(0), b.dim(0));
   const int64_t m = a.dim(0), p = a.dim(1), q = b.dim(1);
-  std::vector<float> out(size_t(m * (p + q)));
+  std::vector<float> out =
+      kernels::AllocBuffer(size_t(m * (p + q)), /*zero=*/false);
   const float* ad = a.data();
   const float* bd = b.data();
   for (int64_t i = 0; i < m; ++i) {
@@ -436,7 +332,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     TURL_CHECK_EQ(t.dim(1), n);
     m += t.dim(0);
   }
-  std::vector<float> out(size_t(m * n));
+  std::vector<float> out = kernels::AllocBuffer(size_t(m * n), /*zero=*/false);
   std::vector<std::shared_ptr<TensorImpl>> parents;
   parents.reserve(parts.size());
   int64_t row = 0;
@@ -466,7 +362,7 @@ Tensor SelectRows(const Tensor& x, const std::vector<int>& rows) {
   TURL_CHECK_EQ(x.ndim(), 2);
   const int64_t m = x.dim(0), d = x.dim(1);
   const int64_t r = static_cast<int64_t>(rows.size());
-  std::vector<float> out(size_t(r * d));
+  std::vector<float> out = kernels::AllocBuffer(size_t(r * d), /*zero=*/false);
   const float* xd = x.data();
   for (int64_t i = 0; i < r; ++i) {
     TURL_CHECK_GE(rows[size_t(i)], 0);
@@ -491,7 +387,7 @@ Tensor RowsMean(const Tensor& x, const std::vector<int>& rows) {
   TURL_CHECK_EQ(x.ndim(), 2);
   TURL_CHECK(!rows.empty());
   const int64_t m = x.dim(0), d = x.dim(1);
-  std::vector<float> out(size_t(d), 0.f);
+  std::vector<float> out = kernels::AllocBuffer(size_t(d), /*zero=*/true);
   const float* xd = x.data();
   for (int row : rows) {
     TURL_CHECK_GE(row, 0);
@@ -520,7 +416,7 @@ Tensor BagMean(const Tensor& weight,
   TURL_CHECK_EQ(weight.ndim(), 2);
   const int64_t v = weight.dim(0), d = weight.dim(1);
   const int64_t m = static_cast<int64_t>(bags.size());
-  std::vector<float> out(size_t(m * d), 0.f);
+  std::vector<float> out = kernels::AllocBuffer(size_t(m * d), /*zero=*/true);
   const float* wd = weight.data();
   for (int64_t i = 0; i < m; ++i) {
     const auto& bag = bags[size_t(i)];
@@ -558,34 +454,13 @@ Tensor SoftmaxRows(const Tensor& x) {
   TURL_CHECK(x.defined());
   TURL_CHECK_EQ(x.ndim(), 2);
   const int64_t m = x.dim(0), n = x.dim(1);
-  std::vector<float> out(size_t(m * n));
-  const float* xd = x.data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = xd + i * n;
-    float mx = row[0];
-    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.f;
-    for (int64_t j = 0; j < n; ++j) {
-      float e = std::exp(row[j] - mx);
-      out[size_t(i * n + j)] = e;
-      sum += e;
-    }
-    for (int64_t j = 0; j < n; ++j) out[size_t(i * n + j)] /= sum;
-  }
+  std::vector<float> out = kernels::AllocBuffer(size_t(m * n), /*zero=*/false);
+  kernels::SoftmaxRowsForward(x.data(), out.data(), m, n);
   auto px = x.impl();
   return MakeNode(x.shape(), std::move(out), {px}, [px, m, n](TensorImpl* o) {
     TURL_PROFILE_SCOPE("op.softmax.backward");
-    const float* g = o->grad.data();
-    const float* y = o->data.data();
-    float* gx = GradOf(px.get());
-    for (int64_t i = 0; i < m; ++i) {
-      const float* yr = y + i * n;
-      const float* gr = g + i * n;
-      float dot = 0.f;
-      for (int64_t j = 0; j < n; ++j) dot += yr[j] * gr[j];
-      for (int64_t j = 0; j < n; ++j)
-        gx[i * n + j] += yr[j] * (gr[j] - dot);
-    }
+    kernels::SoftmaxRowsBackward(o->data.data(), o->grad.data(),
+                                 GradOf(px.get()), m, n);
   });
 }
 
@@ -603,45 +478,26 @@ Tensor MultiHeadAttention(const Tensor& q, const Tensor& k, const Tensor& v,
   const int64_t dh = d / num_heads;
   const float scale = 1.f / std::sqrt(float(dh));
 
-  // probs[h] holds the n x n post-softmax attention matrix of head h,
-  // retained for the backward pass.
-  auto probs = std::make_shared<std::vector<std::vector<float>>>(
-      size_t(num_heads), std::vector<float>(size_t(n * n)));
-  std::vector<float> out(size_t(n * d), 0.f);
+  // probs holds the n x n post-softmax attention matrix of every head
+  // (head h at offset h*n*n), retained for the backward pass. Per head:
+  // scores = Q_h K_h^T via a strided GemmNT that addresses the head's
+  // column slice directly, fused mask+scale+softmax epilogue, then
+  // out_h = P V_h via a strided GemmNN writing the head's output slice.
+  auto probs = std::make_shared<kernels::PooledBuffer>(
+      size_t(num_heads) * size_t(n * n), /*zero=*/false);
+  std::vector<float> out = kernels::AllocBuffer(size_t(n * d), /*zero=*/false);
   const float* qd = q.data();
   const float* kd = k.data();
   const float* vd = v.data();
 
   for (int h = 0; h < num_heads; ++h) {
-    std::vector<float>& p = (*probs)[size_t(h)];
+    float* p = probs->data() + int64_t(h) * n * n;
     const int64_t off = int64_t(h) * dh;
-    for (int64_t i = 0; i < n; ++i) {
-      // Scores row i over all j, masked, then softmax.
-      float mx = -1e30f;
-      for (int64_t j = 0; j < n; ++j) {
-        float s = 0.f;
-        const float* qi = qd + i * d + off;
-        const float* kj = kd + j * d + off;
-        for (int64_t t = 0; t < dh; ++t) s += qi[t] * kj[t];
-        s = s * scale + additive_mask[size_t(i * n + j)];
-        p[size_t(i * n + j)] = s;
-        mx = std::max(mx, s);
-      }
-      float sum = 0.f;
-      for (int64_t j = 0; j < n; ++j) {
-        float e = std::exp(p[size_t(i * n + j)] - mx);
-        p[size_t(i * n + j)] = e;
-        sum += e;
-      }
-      const float inv = 1.f / sum;
-      float* orow = out.data() + i * d + off;
-      for (int64_t j = 0; j < n; ++j) {
-        const float pij = p[size_t(i * n + j)] * inv;
-        p[size_t(i * n + j)] = pij;
-        const float* vj = vd + j * d + off;
-        for (int64_t t = 0; t < dh; ++t) orow[t] += pij * vj[t];
-      }
-    }
+    kernels::GemmNT(n, n, dh, qd + off, d, kd + off, d, p, n,
+                    /*accumulate=*/false);
+    kernels::MaskedScaledSoftmaxRows(p, additive_mask.data(), scale, n, n);
+    kernels::GemmNN(n, dh, n, p, n, vd + off, d, out.data() + off, d,
+                    /*accumulate=*/false);
   }
 
   auto pq = q.impl(), pk = k.impl(), pv = v.impl();
@@ -656,41 +512,23 @@ Tensor MultiHeadAttention(const Tensor& q, const Tensor& k, const Tensor& v,
         const float* qd2 = pq->data.data();
         const float* kd2 = pk->data.data();
         const float* vd2 = pv->data.data();
-        std::vector<float> dp(static_cast<size_t>(n));  // dP for one row.
+        // dP/dS scratch for one head, recycled via the arena.
+        kernels::PooledBuffer dp(size_t(n * n), /*zero=*/false);
         for (int h = 0; h < num_heads; ++h) {
-          const std::vector<float>& p = (*probs)[size_t(h)];
+          const float* p = probs->data() + int64_t(h) * n * n;
           const int64_t off = int64_t(h) * dh;
-          for (int64_t i = 0; i < n; ++i) {
-            const float* go = g + i * d + off;
-            // dV_j += P_ij * dO_i ; dP_ij = dO_i . V_j
-            float dot = 0.f;
-            for (int64_t j = 0; j < n; ++j) {
-              const float pij = p[size_t(i * n + j)];
-              const float* vj = vd2 + j * d + off;
-              float* gvj = gv + j * d + off;
-              float dpij = 0.f;
-              for (int64_t t = 0; t < dh; ++t) {
-                gvj[t] += pij * go[t];
-                dpij += go[t] * vj[t];
-              }
-              dp[size_t(j)] = dpij;
-              dot += pij * dpij;
-            }
-            // dS_ij = P_ij (dP_ij - sum_j P_ij dP_ij); then Q/K grads.
-            const float* qi = qd2 + i * d + off;
-            float* gqi = gq + i * d + off;
-            for (int64_t j = 0; j < n; ++j) {
-              const float pij = p[size_t(i * n + j)];
-              if (pij == 0.f) continue;
-              const float ds = pij * (dp[size_t(j)] - dot) * scale;
-              const float* kj = kd2 + j * d + off;
-              float* gkj = gk + j * d + off;
-              for (int64_t t = 0; t < dh; ++t) {
-                gqi[t] += ds * kj[t];
-                gkj[t] += ds * qi[t];
-              }
-            }
-          }
+          // dV_h += P^T dO_h ; dP = dO_h V_h^T.
+          kernels::GemmTN(n, dh, n, p, n, g + off, d, gv + off, d,
+                          /*accumulate=*/true);
+          kernels::GemmNT(n, n, dh, g + off, d, vd2 + off, d, dp.data(), n,
+                          /*accumulate=*/false);
+          // dS = scale * P * (dP - rowdot(P, dP)), in place over dp.
+          kernels::SoftmaxGradInPlace(p, dp.data(), scale, n, n);
+          // dQ_h += dS K_h ; dK_h += dS^T Q_h.
+          kernels::GemmNN(n, dh, n, dp.data(), n, kd2 + off, d, gq + off, d,
+                          /*accumulate=*/true);
+          kernels::GemmTN(n, dh, n, dp.data(), n, qd2 + off, d, gk + off, d,
+                          /*accumulate=*/true);
         }
       });
 }
@@ -702,18 +540,22 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
   TURL_CHECK_LT(p, 1.f);
   TURL_CHECK(rng != nullptr);
   const float keep_scale = 1.f / (1.f - p);
-  auto mask = std::make_shared<std::vector<float>>(x.impl()->data.size());
-  std::vector<float> out(x.impl()->data);
-  for (size_t i = 0; i < out.size(); ++i) {
+  const float* xd = x.data();
+  const size_t sz = x.impl()->data.size();
+  auto mask = std::make_shared<kernels::PooledBuffer>(sz, /*zero=*/false);
+  std::vector<float> out = kernels::AllocBuffer(sz, /*zero=*/false);
+  float* md = mask->data();
+  for (size_t i = 0; i < sz; ++i) {
     const float m = rng->Bernoulli(p) ? 0.f : keep_scale;
-    (*mask)[i] = m;
-    out[i] *= m;
+    md[i] = m;
+    out[i] = xd[i] * m;
   }
   auto px = x.impl();
   return MakeNode(x.shape(), std::move(out), {px}, [px, mask](TensorImpl* o) {
     const float* g = o->grad.data();
     float* gx = GradOf(px.get());
-    for (size_t i = 0; i < o->data.size(); ++i) gx[i] += g[i] * (*mask)[i];
+    const float* md2 = mask->data();
+    for (size_t i = 0; i < o->data.size(); ++i) gx[i] += g[i] * md2[i];
   });
 }
 
@@ -726,26 +568,18 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
   TURL_CHECK_EQ(static_cast<int64_t>(targets.size()), m);
 
   // softmax probabilities retained for the backward pass.
-  auto probs = std::make_shared<std::vector<float>>(size_t(m * c));
-  const float* ld = logits.data();
+  auto probs =
+      std::make_shared<kernels::PooledBuffer>(size_t(m * c), /*zero=*/false);
+  kernels::SoftmaxRowsForward(logits.data(), probs->data(), m, c);
+  const float* pd = probs->data();
   double loss = 0.0;
   int64_t valid = 0;
   for (int64_t i = 0; i < m; ++i) {
-    const float* row = ld + i * c;
-    float mx = row[0];
-    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.f;
-    for (int64_t j = 0; j < c; ++j) {
-      float e = std::exp(row[j] - mx);
-      (*probs)[size_t(i * c + j)] = e;
-      sum += e;
-    }
-    for (int64_t j = 0; j < c; ++j) (*probs)[size_t(i * c + j)] /= sum;
     const int t = targets[size_t(i)];
     if (t == ignore_index) continue;
     TURL_CHECK_GE(t, 0);
     TURL_CHECK_LT(t, c);
-    loss -= std::log(std::max((*probs)[size_t(i * c + t)], 1e-12f));
+    loss -= std::log(std::max(pd[i * c + t], 1e-12f));
     ++valid;
   }
   const float inv = valid > 0 ? 1.f / float(valid) : 0.f;
@@ -756,11 +590,12 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
         TURL_PROFILE_SCOPE("op.softmax_xent.backward");
         const float go = o->grad[0];
         float* gl = GradOf(pl.get());
+        const float* pd2 = probs->data();
         for (int64_t i = 0; i < m; ++i) {
           const int t = targets[size_t(i)];
           if (t == ignore_index) continue;
           for (int64_t j = 0; j < c; ++j) {
-            float d = (*probs)[size_t(i * c + j)];
+            float d = pd2[i * c + j];
             if (j == t) d -= 1.f;
             gl[i * c + j] += go * inv * d;
           }

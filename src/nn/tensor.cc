@@ -3,12 +3,20 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "nn/kernels/arena.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace turl {
 namespace nn {
+
+TensorImpl::~TensorImpl() {
+  if (!pooled) return;
+  kernels::RecycleBuffer(std::move(data));
+  kernels::RecycleBuffer(std::move(grad));
+}
 
 int64_t ShapeNumel(const Shape& shape) {
   int64_t n = 1;
@@ -52,6 +60,14 @@ Tensor Tensor::FromVector(Shape shape, std::vector<float> values) {
 }
 
 Tensor Tensor::Scalar(float value) { return FromVector({1}, {value}); }
+
+Tensor Tensor::Random(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t = Zeros(std::move(shape));
+  float* d = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) d[i] = rng.UniformFloat(lo, hi);
+  return t;
+}
 
 const Shape& Tensor::shape() const {
   TURL_CHECK(defined());

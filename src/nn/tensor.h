@@ -8,6 +8,9 @@
 #include <vector>
 
 namespace turl {
+
+class Rng;
+
 namespace nn {
 
 /// Tensor shape: dimension sizes, row-major layout.
@@ -37,6 +40,12 @@ struct TensorImpl {
   std::vector<std::shared_ptr<TensorImpl>> parents;
   /// Accumulates this node's grad into its parents' grads. Null for leaves.
   std::function<void()> backward_fn;
+  /// True when data/grad were leased from the kernels buffer arena (the
+  /// node was built inside a kernels::ArenaScope); the destructor then
+  /// returns both buffers to the pool for reuse by the next step.
+  bool pooled = false;
+
+  ~TensorImpl();
 };
 
 /// A reference-counted, row-major float32 tensor with reverse-mode autograd.
@@ -61,6 +70,8 @@ class Tensor {
   static Tensor FromVector(Shape shape, std::vector<float> values);
   /// Rank-1 tensor of size 1 holding `value`.
   static Tensor Scalar(float value);
+  /// Tensor with every element drawn uniformly from [lo, hi).
+  static Tensor Random(Shape shape, Rng& rng, float lo = -1.f, float hi = 1.f);
 
   bool defined() const { return impl_ != nullptr; }
 

@@ -1,0 +1,106 @@
+// Buffer-recycling tests for the kernels arena (`ctest -L kernels`): a
+// steady-state forward+backward step inside an ArenaScope must lease every
+// intermediate from the per-thread pool (nn.arena_reuse grows) and perform
+// no fresh heap allocations for tensor storage (nn.heap_alloc flat).
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/kernels/arena.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace nn {
+namespace {
+
+int64_t ReuseCount() {
+  return obs::MetricsRegistry::Get().GetCounter("nn.arena_reuse")->Value();
+}
+
+int64_t HeapAllocCount() {
+  return obs::MetricsRegistry::Get().GetCounter("nn.heap_alloc")->Value();
+}
+
+// One training-step-shaped unit of work: forward graph, scalar loss,
+// backward with tape release (which is what frees the intermediates back to
+// the pool).
+void RunStep(const Tensor& x, const Tensor& w1, const Tensor& w2) {
+  Tensor h = Gelu(MatMul(x, w1));
+  Tensor y = MatMul(h, w2);
+  SumAll(y).Backward(/*release_graph=*/true);
+}
+
+TEST(ArenaTest, SteadyStateStepReusesEveryBuffer) {
+  kernels::ClearThreadBufferPool();
+  Rng rng(7);
+  Tensor x = Tensor::Random({24, 16}, rng);
+  Tensor w1 = Tensor::Random({16, 32}, rng);
+  Tensor w2 = Tensor::Random({32, 8}, rng);
+  w1.set_requires_grad(true);
+  w2.set_requires_grad(true);
+
+  kernels::ArenaScope arena;
+  // Step 1 populates the pool (its intermediates die when Backward severs
+  // the tape and RunStep's tensors go out of scope).
+  RunStep(x, w1, w2);
+
+  const int64_t reuse_before = ReuseCount();
+  const int64_t heap_before = HeapAllocCount();
+  // Step 2 is shape-identical, so every lease must be a pool hit.
+  RunStep(x, w1, w2);
+  EXPECT_GT(ReuseCount() - reuse_before, 0);
+  EXPECT_EQ(HeapAllocCount() - heap_before, 0);
+}
+
+TEST(ArenaTest, PooledBuffersSurviveScopeExit) {
+  // A tensor built inside a scope stays valid after the scope dies; its
+  // buffers only return to the pool at destruction.
+  Tensor y;
+  {
+    kernels::ArenaScope arena;
+    Rng rng(9);
+    Tensor a = Tensor::Random({4, 4}, rng);
+    Tensor b = Tensor::Random({4, 4}, rng);
+    y = MatMul(a, b);
+  }
+  std::vector<float> copy = y.ToVector();
+  EXPECT_EQ(copy.size(), 16u);
+  for (float v : copy) EXPECT_TRUE(v == v);  // No NaN garbage.
+}
+
+TEST(ArenaTest, NoPoolingOutsideScope) {
+  kernels::ClearThreadBufferPool();
+  Rng rng(11);
+  Tensor a = Tensor::Random({8, 8}, rng);
+  Tensor b = Tensor::Random({8, 8}, rng);
+  {
+    kernels::ArenaScope arena;
+    Tensor warm = MatMul(a, b);  // Dies here; pool now holds an 8x8 buffer.
+  }
+  const int64_t reuse_before = ReuseCount();
+  Tensor out = MatMul(a, b);  // Outside any scope: plain heap allocation.
+  EXPECT_EQ(ReuseCount(), reuse_before);
+  EXPECT_FALSE(out.impl()->pooled);
+}
+
+TEST(ArenaTest, GradBuffersRecycleWithTheNode) {
+  kernels::ClearThreadBufferPool();
+  Rng rng(13);
+  Tensor x = Tensor::Random({6, 6}, rng);
+  Tensor w = Tensor::Random({6, 6}, rng);
+  w.set_requires_grad(true);
+  kernels::ArenaScope arena;
+  RunStep(x, w, w);
+  const int64_t heap_before = HeapAllocCount();
+  // Gradient buffers of the dead intermediates came from the pool too, so a
+  // second backward pass allocates nothing fresh either.
+  RunStep(x, w, w);
+  EXPECT_EQ(HeapAllocCount() - heap_before, 0);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace turl

@@ -1,0 +1,258 @@
+// Equivalence and determinism tests for the turl::nn::kernels compute layer
+// (`ctest -L kernels`): the blocked GEMM family against the preserved naive
+// loops over a sweep of edge shapes, at one thread and several, plus the
+// fused row kernels and the bitwise thread-count-independence contract of a
+// whole autograd step.
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/kernels/kernels.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace nn {
+namespace kernels {
+namespace {
+
+struct GemmShape {
+  int64_t m, k, n;
+};
+
+// Edge shapes: singletons, k=1 / n=1 degenerate reductions, sizes off every
+// block multiple (tile 4x16, panels 64x256), and one shape above the
+// parallel threshold.
+const GemmShape kShapes[] = {
+    {1, 1, 1},   {1, 8, 2},    {4, 1, 16},     {16, 5, 1},
+    {17, 33, 5}, {64, 64, 64}, {65, 257, 31},  {3, 7, 300},
+    {1, 768, 512}, {160, 160, 160},
+};
+
+std::vector<float> RandomVec(size_t n, Rng* rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = rng->UniformFloat(-1.f, 1.f);
+  return v;
+}
+
+void ExpectClose(const std::vector<float>& got, const std::vector<float>& want,
+                 const char* what, const GemmShape& s) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    const float tol = 1e-5f * (1.f + std::abs(want[i]));
+    EXPECT_NEAR(got[i], want[i], tol)
+        << what << " " << s.m << "x" << s.k << "x" << s.n << " at " << i;
+  }
+}
+
+class KernelThreadSweep : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    SetKernelThreads(GetParam());
+    // Force the parallel gate open so multi-thread runs actually fan out.
+    if (GetParam() > 1) SetParallelMinFlopsForTest(1);
+  }
+  void TearDown() override {
+    SetParallelMinFlopsForTest(0);
+    SetKernelThreads(0);
+  }
+};
+
+TEST_P(KernelThreadSweep, GemmNNMatchesNaive) {
+  for (const GemmShape& s : kShapes) {
+    Rng rng(uint64_t(s.m * 1000 + s.k * 10 + s.n));
+    const auto a = RandomVec(size_t(s.m * s.k), &rng);
+    const auto b = RandomVec(size_t(s.k * s.n), &rng);
+    std::vector<float> got(size_t(s.m * s.n)), want(size_t(s.m * s.n));
+    GemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, got.data(), s.n,
+           false);
+    naive::GemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, want.data(),
+                  s.n, false);
+    ExpectClose(got, want, "GemmNN", s);
+  }
+}
+
+TEST_P(KernelThreadSweep, GemmNTMatchesNaive) {
+  for (const GemmShape& s : kShapes) {
+    Rng rng(uint64_t(s.m * 999 + s.k * 7 + s.n));
+    const auto a = RandomVec(size_t(s.m * s.k), &rng);
+    const auto b = RandomVec(size_t(s.n * s.k), &rng);  // B is [n, k].
+    std::vector<float> got(size_t(s.m * s.n)), want(size_t(s.m * s.n));
+    GemmNT(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k, got.data(), s.n,
+           false);
+    naive::GemmNT(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k, want.data(),
+                  s.n, false);
+    ExpectClose(got, want, "GemmNT", s);
+  }
+}
+
+TEST_P(KernelThreadSweep, GemmTNMatchesNaive) {
+  for (const GemmShape& s : kShapes) {
+    Rng rng(uint64_t(s.m * 77 + s.k * 13 + s.n));
+    // A' is [k, m] (C = A'^T B), B is [k, n].
+    const auto a = RandomVec(size_t(s.k * s.m), &rng);
+    const auto b = RandomVec(size_t(s.k * s.n), &rng);
+    std::vector<float> got(size_t(s.m * s.n)), want(size_t(s.m * s.n));
+    GemmTN(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n, got.data(), s.n,
+           false);
+    naive::GemmTN(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n, want.data(),
+                  s.n, false);
+    ExpectClose(got, want, "GemmTN", s);
+  }
+}
+
+TEST_P(KernelThreadSweep, AccumulateAddsIntoC) {
+  const GemmShape s{17, 33, 29};
+  Rng rng(3);
+  const auto a = RandomVec(size_t(s.m * s.k), &rng);
+  const auto b = RandomVec(size_t(s.k * s.n), &rng);
+  auto got = RandomVec(size_t(s.m * s.n), &rng);
+  auto want = got;
+  GemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, got.data(), s.n, true);
+  naive::GemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, want.data(), s.n,
+                true);
+  ExpectClose(got, want, "GemmNN+=", s);
+}
+
+TEST_P(KernelThreadSweep, StridedSubPanels) {
+  // Multiply inside a larger buffer: the head-slice addressing pattern of
+  // attention (lda/ldb/ldc bigger than the logical panel width).
+  const int64_t m = 9, k = 6, n = 11;
+  const int64_t lda = 20, ldb = 23, ldc = 31;
+  Rng rng(5);
+  const auto a = RandomVec(size_t(m * lda), &rng);
+  const auto b = RandomVec(size_t(k * ldb), &rng);
+  auto got = RandomVec(size_t(m * ldc), &rng);
+  auto want = got;
+  GemmNN(m, n, k, a.data() + 2, lda, b.data() + 3, ldb, got.data() + 4, ldc,
+         false);
+  naive::GemmNN(m, n, k, a.data() + 2, lda, b.data() + 3, ldb, want.data() + 4,
+                ldc, false);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-5f * (1.f + std::abs(want[i]))) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, KernelThreadSweep, ::testing::Values(1, 4));
+
+TEST(KernelDeterminismTest, GemmBitwiseIdenticalAcrossThreadCounts) {
+  const GemmShape s{160, 160, 160};
+  Rng rng(11);
+  const auto a = RandomVec(size_t(s.m * s.k), &rng);
+  const auto b = RandomVec(size_t(s.k * s.n), &rng);
+  std::vector<float> one(size_t(s.m * s.n)), many(size_t(s.m * s.n));
+  SetKernelThreads(1);
+  GemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, one.data(), s.n, false);
+  SetKernelThreads(4);
+  SetParallelMinFlopsForTest(1);
+  GemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, many.data(), s.n,
+         false);
+  SetParallelMinFlopsForTest(0);
+  SetKernelThreads(0);
+  EXPECT_EQ(0, std::memcmp(one.data(), many.data(),
+                           one.size() * sizeof(float)));
+}
+
+TEST(KernelDeterminismTest, AutogradStepBitwiseIdenticalAcrossThreadCounts) {
+  // A small MLP forward+backward, once inline and once with the pool forced
+  // on: outputs and every gradient must be bitwise identical.
+  auto run = [](std::vector<float>* out, std::vector<float>* gw1,
+                std::vector<float>* gw2) {
+    Rng rng(21);
+    Tensor x = Tensor::Random({96, 64}, rng);
+    Tensor w1 = Tensor::Random({64, 128}, rng);
+    Tensor w2 = Tensor::Random({128, 32}, rng);
+    w1.set_requires_grad(true);
+    w2.set_requires_grad(true);
+    Tensor h = Gelu(MatMul(x, w1));
+    Tensor y = SoftmaxRows(MatMul(h, w2));
+    *out = y.ToVector();
+    SumAll(y).Backward();
+    *gw1 = w1.grad_vector();
+    *gw2 = w2.grad_vector();
+  };
+  std::vector<float> out1, gw1a, gw2a;
+  SetKernelThreads(1);
+  run(&out1, &gw1a, &gw2a);
+  std::vector<float> outN, gw1b, gw2b;
+  SetKernelThreads(4);
+  SetParallelMinFlopsForTest(1);
+  run(&outN, &gw1b, &gw2b);
+  SetParallelMinFlopsForTest(0);
+  SetKernelThreads(0);
+  EXPECT_EQ(0,
+            std::memcmp(out1.data(), outN.data(), out1.size() * sizeof(float)));
+  EXPECT_EQ(0,
+            std::memcmp(gw1a.data(), gw1b.data(), gw1a.size() * sizeof(float)));
+  EXPECT_EQ(0,
+            std::memcmp(gw2a.data(), gw2b.data(), gw2a.size() * sizeof(float)));
+}
+
+TEST(RowwiseKernelTest, SoftmaxHandlesExtremeLogits) {
+  // Regression guard for the max-subtraction: logits spanning [-1e4, 1e4]
+  // must produce finite probabilities that sum to one.
+  Rng rng(31);
+  Tensor x = Tensor::Random({8, 16}, rng, -1e4f, 1e4f);
+  x.data()[3] = 1e4f;    // Exact extremes, too.
+  x.data()[17] = -1e4f;
+  Tensor y = SoftmaxRows(x);
+  for (int64_t i = 0; i < 8; ++i) {
+    float sum = 0.f;
+    for (int64_t j = 0; j < 16; ++j) {
+      const float p = y.at2(i, j);
+      ASSERT_TRUE(std::isfinite(p)) << i << "," << j;
+      ASSERT_GE(p, 0.f);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.f, 1e-5f);
+  }
+}
+
+TEST(RowwiseKernelTest, MaskedScaledSoftmaxMatchesUnfusedPipeline) {
+  const int64_t m = 7, n = 13;
+  Rng rng(41);
+  auto scores = RandomVec(size_t(m * n), &rng);
+  auto mask = RandomVec(size_t(m * n), &rng);
+  for (float& v : mask) v = v > 0.5f ? -1e9f : 0.f;
+  const float scale = 0.25f;
+  // Reference: scale + mask, then the plain softmax kernel.
+  std::vector<float> want(size_t(m * n));
+  for (size_t i = 0; i < want.size(); ++i)
+    want[i] = scores[i] * scale + mask[i];
+  SoftmaxRowsForward(want.data(), want.data(), m, n);
+  MaskedScaledSoftmaxRows(scores.data(), mask.data(), scale, m, n);
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(scores[i], want[i], 1e-6f) << i;
+  }
+}
+
+TEST(RowwiseKernelTest, LayerNormForwardRowStats) {
+  const int64_t m = 5, n = 32;
+  Rng rng(51);
+  auto x = RandomVec(size_t(m * n), &rng);
+  std::vector<float> gamma(size_t(n), 1.f), beta(size_t(n), 0.f);
+  std::vector<float> y(size_t(m * n)), xhat(size_t(m * n));
+  std::vector<float> inv_std(static_cast<size_t>(m));
+  LayerNormForward(x.data(), gamma.data(), beta.data(), 1e-5f, y.data(),
+                   xhat.data(), inv_std.data(), m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    float mean = 0.f, var = 0.f;
+    for (int64_t j = 0; j < n; ++j) mean += y[size_t(i * n + j)];
+    mean /= float(n);
+    for (int64_t j = 0; j < n; ++j) {
+      const float d = y[size_t(i * n + j)] - mean;
+      var += d * d;
+    }
+    var /= float(n);
+    EXPECT_NEAR(mean, 0.f, 1e-5f) << "row " << i;
+    EXPECT_NEAR(var, 1.f, 1e-3f) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace nn
+}  // namespace turl

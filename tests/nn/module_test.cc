@@ -92,8 +92,7 @@ TEST(LayerNormModuleTest, OutputRowStats) {
   ParamStore store;
   LayerNorm ln(&store, "ln", 8);
   Rng rng(7);
-  Tensor x = Tensor::Zeros({3, 8});
-  testing_util::FillUniform(&x, &rng, -3.f, 3.f);
+  Tensor x = Tensor::Random({3, 8}, rng, -3.f, 3.f);
   Tensor y = ln.Forward(x);
   for (int64_t i = 0; i < 3; ++i) {
     float mean = 0.f;
@@ -106,8 +105,7 @@ TEST(TransformerLayerTest, ForwardPreservesShape) {
   ParamStore store;
   Rng rng(8);
   TransformerLayer layer(&store, "l0", 8, 16, 2, &rng);
-  Tensor x = Tensor::Zeros({5, 8});
-  testing_util::FillUniform(&x, &rng);
+  Tensor x = Tensor::Random({5, 8}, rng);
   std::vector<float> mask(25, 0.f);
   Tensor y = layer.Forward(x, mask, 0.f, false, &rng);
   EXPECT_EQ(y.dim(0), 5);
@@ -118,13 +116,11 @@ TEST(TransformerLayerTest, GradChecksEndToEnd) {
   ParamStore store;
   Rng rng(9);
   TransformerLayer layer(&store, "l0", 4, 8, 2, &rng);
-  Tensor x = Tensor::Zeros({3, 4});
-  testing_util::FillUniform(&x, &rng);
+  Tensor x = Tensor::Random({3, 4}, rng);
   std::vector<float> mask(9, 0.f);
   mask[1] = -1e9f;  // Element 1 invisible to element 0.
   mask[3] = -1e9f;
-  Tensor w = Tensor::Zeros({3, 4});
-  testing_util::FillUniform(&w, &rng);
+  Tensor w = Tensor::Random({3, 4}, rng);
   testing_util::ExpectGradientsMatch(
       [&] {
         return SumAll(Mul(layer.Forward(x, mask, 0.f, false, &rng), w));
@@ -139,8 +135,7 @@ TEST(TransformerEncoderTest, StacksLayers) {
   EXPECT_EQ(enc.num_layers(), 3);
   EXPECT_TRUE(store.Contains("enc.layer0.attn.wq.weight"));
   EXPECT_TRUE(store.Contains("enc.layer2.ff.fc2.bias"));
-  Tensor x = Tensor::Zeros({4, 8});
-  testing_util::FillUniform(&x, &rng);
+  Tensor x = Tensor::Random({4, 8}, rng);
   std::vector<float> mask(16, 0.f);
   Tensor y = enc.Forward(x, mask, 0.f, false, &rng);
   EXPECT_EQ(y.dim(0), 4);
@@ -151,8 +146,7 @@ TEST(TransformerEncoderTest, DropoutChangesTrainOutput) {
   ParamStore store;
   Rng rng(11);
   TransformerEncoder enc(&store, "enc", 1, 8, 16, 2, &rng);
-  Tensor x = Tensor::Zeros({4, 8});
-  testing_util::FillUniform(&x, &rng);
+  Tensor x = Tensor::Random({4, 8}, rng);
   std::vector<float> mask(16, 0.f);
   Tensor eval1 = enc.Forward(x, mask, 0.5f, false, &rng);
   Tensor eval2 = enc.Forward(x, mask, 0.5f, false, &rng);

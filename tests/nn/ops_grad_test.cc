@@ -15,12 +15,9 @@ namespace nn {
 namespace {
 
 using testing_util::ExpectGradientsMatch;
-using testing_util::FillUniform;
 
 Tensor RandomTensor(Shape shape, Rng* rng, float lo = -1.f, float hi = 1.f) {
-  Tensor t = Tensor::Zeros(std::move(shape));
-  FillUniform(&t, rng, lo, hi);
-  return t;
+  return Tensor::Random(std::move(shape), *rng, lo, hi);
 }
 
 // Weighted sum makes the loss sensitive to each output element distinctly.

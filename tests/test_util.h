@@ -12,13 +12,6 @@
 namespace turl {
 namespace testing_util {
 
-/// Fills a tensor with uniform values in [lo, hi).
-inline void FillUniform(nn::Tensor* t, Rng* rng, float lo = -1.f,
-                        float hi = 1.f) {
-  float* d = t->data();
-  for (int64_t i = 0; i < t->numel(); ++i) d[i] = rng->UniformFloat(lo, hi);
-}
-
 /// Verifies reverse-mode gradients against central finite differences.
 ///
 /// `forward` must rebuild the computation graph from the *current contents*
