@@ -1,0 +1,20 @@
+#ifndef TURL_CKPT_CRC32_H_
+#define TURL_CKPT_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace turl {
+namespace ckpt {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n` bytes.
+/// Pass the previous return value as `crc` to checksum data incrementally:
+/// Crc32(b, nb, Crc32(a, na)) == Crc32(concat(a, b)). The empty input has
+/// CRC 0, and the standard check vector holds: Crc32("123456789", 9) ==
+/// 0xCBF43926.
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
+}  // namespace ckpt
+}  // namespace turl
+
+#endif  // TURL_CKPT_CRC32_H_

@@ -1,0 +1,390 @@
+#include "ckpt/format.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "ckpt/crc32.h"
+
+namespace turl {
+namespace ckpt {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x5455524Cu;        // "TURL", shared with v1.
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kFooterMagic = 0x544C5254u;  // "TLRT".
+constexpr size_t kHeaderBytes = 4 + 4 + 8;
+constexpr size_t kFooterBytes = 4 + 4;
+// A section costs at least two u64 lengths and one u32 CRC on disk; used to
+// reject absurd section counts before looping.
+constexpr size_t kMinSectionBytes = 8 + 8 + 4;
+
+std::atomic<int64_t> g_fail_write_after_bytes{-1};
+
+void AppendRaw(std::string* buf, const void* data, size_t n) {
+  buf->append(static_cast<const char*>(data), n);
+}
+
+void AppendU32(std::string* buf, uint32_t v) { AppendRaw(buf, &v, sizeof(v)); }
+void AppendU64(std::string* buf, uint64_t v) { AppendRaw(buf, &v, sizeof(v)); }
+
+/// Writes `data` to `fd`, honoring the injected crash point. Returns OK when
+/// every byte reached the OS.
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    size_t chunk = std::min<size_t>(size - written, size_t(1) << 20);
+    const int64_t budget = g_fail_write_after_bytes.load();
+    if (budget >= 0) {
+      const size_t allowed =
+          budget > int64_t(written) ? size_t(budget) - written : 0;
+      if (allowed < chunk) chunk = allowed;
+      if (chunk == 0) {
+        g_fail_write_after_bytes.store(-1);
+        return Status::IoError("injected write failure (crash simulation)");
+      }
+    }
+    const ssize_t w = ::write(fd, data + written, chunk);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write failed: ") +
+                             std::strerror(errno));
+    }
+    written += size_t(w);
+  }
+  return Status::OK();
+}
+
+/// fsyncs the directory containing `path` so a just-renamed entry survives a
+/// crash. Best-effort: some filesystems reject directory fsync.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+/// Write-to-tmp + fsync + rename. On failure the destination is untouched.
+Status WriteFileDurably(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open for write: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  Status status = WriteAll(fd, contents.data(), contents.size());
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IoError(std::string("fsync failed: ") +
+                             std::strerror(errno));
+  }
+  ::close(fd);
+  if (!status.ok()) return status;  // Partial tmp stays, like a real crash.
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path + " failed: " +
+                           std::strerror(errno));
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Status WriteCheckpointFile(const std::string& path,
+                           const std::vector<Section>& sections) {
+  std::string buf;
+  size_t total = kHeaderBytes + kFooterBytes;
+  for (const Section& s : sections) {
+    total += kMinSectionBytes + s.name.size() + s.payload.size();
+  }
+  buf.reserve(total);
+
+  AppendU32(&buf, kMagic);
+  AppendU32(&buf, kFormatVersion);
+  AppendU64(&buf, sections.size());
+  for (const Section& s : sections) {
+    AppendU64(&buf, s.name.size());
+    AppendRaw(&buf, s.name.data(), s.name.size());
+    AppendU64(&buf, s.payload.size());
+    AppendU32(&buf, Crc32(s.payload.data(), s.payload.size()));
+    AppendRaw(&buf, s.payload.data(), s.payload.size());
+  }
+  const uint32_t file_crc = Crc32(buf.data(), buf.size());
+  AppendU32(&buf, kFooterMagic);
+  AppendU32(&buf, file_crc);
+  return WriteFileDurably(path, buf);
+}
+
+Status ReadCheckpointFile(const std::string& path,
+                          std::vector<Section>* sections) {
+  sections->clear();
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+    return Status::IoError("cannot open checkpoint: " + path);
+  }
+  const size_t size = size_t(st.st_size);
+  if (size < kHeaderBytes + kFooterBytes) {
+    return Status::IoError("checkpoint truncated: " + path + " (" +
+                           std::to_string(size) + " bytes)");
+  }
+  std::string buf(size, '\0');
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) return Status::IoError("cannot open checkpoint: " + path);
+    in.read(buf.data(), std::streamsize(size));
+    if (in.gcount() != std::streamsize(size)) {
+      return Status::IoError("short read on checkpoint: " + path);
+    }
+  }
+  const char* p = buf.data();
+
+  // Footer first: a valid footer CRC certifies every byte of the file, so
+  // nothing below can be acting on corrupt data.
+  if (LoadU32(p + size - 8) != kFooterMagic) {
+    return Status::IoError("bad checkpoint footer (truncated?): " + path);
+  }
+  const uint32_t want_crc = LoadU32(p + size - 4);
+  if (Crc32(p, size - kFooterBytes) != want_crc) {
+    return Status::IoError("checkpoint file checksum mismatch: " + path);
+  }
+
+  if (LoadU32(p) != kMagic) {
+    return Status::IoError("bad checkpoint magic: " + path);
+  }
+  const uint32_t version = LoadU32(p + 4);
+  if (version != kFormatVersion) {
+    return Status::IoError("unsupported checkpoint version " +
+                           std::to_string(version) + ": " + path);
+  }
+  const uint64_t count = LoadU64(p + 8);
+  const size_t body_end = size - kFooterBytes;
+  if (count > (body_end - kHeaderBytes) / kMinSectionBytes) {
+    return Status::IoError("corrupt section count: " + path);
+  }
+
+  std::vector<Section> out;
+  out.reserve(size_t(count));
+  size_t pos = kHeaderBytes;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (body_end - pos < 8) return Status::IoError("corrupt section table");
+    const uint64_t name_len = LoadU64(p + pos);
+    pos += 8;
+    if (name_len > body_end - pos) {
+      return Status::IoError("corrupt section name length");
+    }
+    Section s;
+    s.name.assign(p + pos, name_len);
+    pos += size_t(name_len);
+    if (body_end - pos < 12) return Status::IoError("corrupt section header");
+    const uint64_t payload_len = LoadU64(p + pos);
+    const uint32_t payload_crc = LoadU32(p + pos + 8);
+    pos += 12;
+    if (payload_len > body_end - pos) {
+      return Status::IoError("corrupt payload length in section '" + s.name +
+                             "'");
+    }
+    if (Crc32(p + pos, size_t(payload_len)) != payload_crc) {
+      return Status::IoError("checksum mismatch in section '" + s.name + "'");
+    }
+    s.payload.assign(p + pos, size_t(payload_len));
+    pos += size_t(payload_len);
+    out.push_back(std::move(s));
+  }
+  if (pos != body_end) {
+    return Status::IoError("trailing bytes after last section: " + path);
+  }
+  *sections = std::move(out);
+  return Status::OK();
+}
+
+uint32_t PeekCheckpointVersion(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return 0;
+  char hdr[8];
+  in.read(hdr, sizeof(hdr));
+  if (in.gcount() != sizeof(hdr)) return 0;
+  if (LoadU32(hdr) != kMagic) return 0;
+  return LoadU32(hdr + 4);
+}
+
+Status WritePointerFile(const std::string& path, const std::string& contents) {
+  return WriteFileDurably(path, contents);
+}
+
+Status ReadPointerFile(const std::string& path, std::string* contents) {
+  contents->clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("no pointer file: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("cannot read pointer file: " + path);
+  // Trim a trailing newline so hand-edited pointers still resolve.
+  while (!data.empty() && (data.back() == '\n' || data.back() == '\r')) {
+    data.pop_back();
+  }
+  *contents = std::move(data);
+  return Status::OK();
+}
+
+void PayloadWriter::Append(const void* data, size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+void PayloadWriter::WriteU32(uint32_t v) { Append(&v, sizeof(v)); }
+void PayloadWriter::WriteU64(uint64_t v) { Append(&v, sizeof(v)); }
+void PayloadWriter::WriteI64(int64_t v) { Append(&v, sizeof(v)); }
+void PayloadWriter::WriteFloat(float v) { Append(&v, sizeof(v)); }
+void PayloadWriter::WriteDouble(double v) { Append(&v, sizeof(v)); }
+
+void PayloadWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  Append(s.data(), s.size());
+}
+
+void PayloadWriter::WriteFloatSpan(const float* data, size_t n) {
+  if (n > 0) Append(data, n * sizeof(float));
+}
+
+void PayloadWriter::WriteFloatVector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  WriteFloatSpan(v.data(), v.size());
+}
+
+void PayloadWriter::WriteU64Vector(const std::vector<uint64_t>& v) {
+  WriteU64(v.size());
+  if (!v.empty()) Append(v.data(), v.size() * sizeof(uint64_t));
+}
+
+void PayloadWriter::WriteI64Vector(const std::vector<int64_t>& v) {
+  WriteU64(v.size());
+  if (!v.empty()) Append(v.data(), v.size() * sizeof(int64_t));
+}
+
+void PayloadWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU64(v.size());
+  if (!v.empty()) Append(v.data(), v.size() * sizeof(double));
+}
+
+bool PayloadReader::Take(void* out, size_t n) {
+  if (!status_.ok()) return false;
+  if (n > remaining()) {
+    status_ = Status::IoError("payload truncated: need " + std::to_string(n) +
+                              " bytes, have " + std::to_string(remaining()));
+    std::memset(out, 0, n);
+    return false;
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+uint32_t PayloadReader::ReadU32() {
+  uint32_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+uint64_t PayloadReader::ReadU64() {
+  uint64_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+int64_t PayloadReader::ReadI64() {
+  int64_t v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+float PayloadReader::ReadFloat() {
+  float v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+double PayloadReader::ReadDouble() {
+  double v = 0;
+  Take(&v, sizeof(v));
+  return v;
+}
+
+std::string PayloadReader::ReadString() {
+  const uint64_t n = ReadU64();
+  if (!status_.ok()) return "";
+  if (n > remaining()) {
+    status_ = Status::IoError("corrupt string length " + std::to_string(n));
+    return "";
+  }
+  std::string s(data_.data() + pos_, size_t(n));
+  pos_ += size_t(n);
+  return s;
+}
+
+bool PayloadReader::ReadFloatSpan(float* out, size_t n) {
+  return Take(out, n * sizeof(float));
+}
+
+namespace {
+/// Length-prefixed vector read shared by the typed wrappers: the claimed
+/// element count is clamped against the remaining payload bytes before the
+/// vector is allocated.
+template <typename T, typename Reader>
+std::vector<T> ReadVector(Reader* r) {
+  const uint64_t n = r->ReadU64();
+  if (!r->status().ok()) return {};
+  if (n > r->remaining() / sizeof(T)) {
+    r->Fail("corrupt vector length " + std::to_string(n));
+    return {};
+  }
+  std::vector<T> v(static_cast<size_t>(n));
+  if (!v.empty() && !r->TakeRaw(v.data(), v.size() * sizeof(T))) return {};
+  return v;
+}
+}  // namespace
+
+void PayloadReader::Fail(const std::string& message) {
+  if (status_.ok()) status_ = Status::IoError(message);
+}
+
+bool PayloadReader::TakeRaw(void* out, size_t n) { return Take(out, n); }
+
+std::vector<float> PayloadReader::ReadFloatVector() {
+  return ReadVector<float>(this);
+}
+
+std::vector<uint64_t> PayloadReader::ReadU64Vector() {
+  return ReadVector<uint64_t>(this);
+}
+
+std::vector<int64_t> PayloadReader::ReadI64Vector() {
+  return ReadVector<int64_t>(this);
+}
+
+std::vector<double> PayloadReader::ReadDoubleVector() {
+  return ReadVector<double>(this);
+}
+
+namespace testing {
+void SetWriteFailureAfterBytes(int64_t n) {
+  g_fail_write_after_bytes.store(n);
+}
+}  // namespace testing
+
+}  // namespace ckpt
+}  // namespace turl

@@ -2,7 +2,7 @@
 
 #include <cstdlib>
 
-#include "nn/checkpoint.h"
+#include "ckpt/checkpoint.h"
 #include "util/logging.h"
 #include "util/serialize.h"
 
@@ -20,10 +20,13 @@ PretrainResult GetOrTrainModel(TurlModel* model, const TurlContext& ctx,
                                const std::string& cache_dir,
                                const std::string& suffix) {
   TURL_CHECK_OK(MakeDirs(cache_dir));
-  const std::string path =
-      cache_dir + "/" + model->config().CacheTag() + suffix + ".ckpt";
+  const std::string tag = model->config().CacheTag() + suffix;
+  const std::string path = cache_dir + "/" + tag + ".ckpt";
   if (FileExists(path)) {
-    const Status s = nn::LoadCheckpoint(model->params(), path);
+    // ckpt::LoadModel stages and validates the whole file (v2 or legacy v1)
+    // before committing, so a corrupt cache entry leaves the freshly
+    // initialized parameters intact and we just re-train.
+    const Status s = ckpt::LoadModel(model->params(), path, tag);
     if (s.ok()) {
       TURL_LOG(Info) << "loaded pre-trained checkpoint " << path;
       return PretrainResult{};
@@ -35,7 +38,7 @@ PretrainResult GetOrTrainModel(TurlModel* model, const TurlContext& ctx,
   PretrainResult result = pretrainer.Train(options);
   TURL_LOG(Info) << "pre-trained " << result.steps << " steps, object-ACC "
                  << result.final_accuracy;
-  TURL_CHECK_OK(nn::SaveCheckpoint(*model->params(), path));
+  TURL_CHECK_OK(ckpt::SaveModel(*model->params(), path, tag));
   return result;
 }
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "ckpt/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -13,6 +15,21 @@
 
 namespace turl {
 namespace core {
+
+namespace {
+
+/// Configuration guard for pretraining checkpoints: everything the resumed
+/// run must share with the saved one for bit-identical continuation. Epochs
+/// and tables-per-epoch pin the LR schedule's total_steps; the seed pins the
+/// RNG stream the checkpoint's saved state belongs to.
+std::string PretrainFingerprint(const TurlConfig& cfg, uint64_t seed,
+                                int epochs, size_t tables_per_epoch) {
+  return "pretrain|" + cfg.CacheTag() + "|seed" + std::to_string(seed) +
+         "|ep" + std::to_string(epochs) + "|tpe" +
+         std::to_string(tables_per_epoch);
+}
+
+}  // namespace
 
 Pretrainer::Pretrainer(TurlModel* model, const TurlContext* ctx)
     : model_(model), ctx_(ctx) {
@@ -149,9 +166,84 @@ PretrainResult Pretrainer::Train(const Options& options) {
   int64_t step = 0;
   double recent_loss = 0.0;
   int64_t recent_count = 0;
-  for (int epoch = 0; epoch < epochs; ++epoch) {
-    rng.Shuffle(&order);
-    for (size_t oi = 0; oi < tables_per_epoch; ++oi) {
+  int start_epoch = 0;
+  size_t start_oi = 0;
+  bool resumed_mid_epoch = false;
+
+  std::unique_ptr<ckpt::CheckpointManager> manager;
+  if (!options.ckpt_dir.empty()) {
+    manager = std::make_unique<ckpt::CheckpointManager>(
+        ckpt::CheckpointManager::Options{options.ckpt_dir,
+                                         options.keep_last});
+  }
+  const std::string fingerprint =
+      PretrainFingerprint(cfg, options.seed, epochs, tables_per_epoch);
+  const auto bind = [&](ckpt::TrainState* st) {
+    st->stores.emplace_back("model", model_->params());
+    st->optims.emplace_back("adam", &adam);
+    st->rng = &rng;
+    st->fingerprint = fingerprint;
+  };
+  // `next_oi` is the position in `order` the resumed run continues from.
+  const auto save_checkpoint = [&](int epoch, size_t next_oi) {
+    ckpt::TrainState st;
+    bind(&st);
+    st.epoch = epoch;
+    st.step_in_epoch = int64_t(next_oi);
+    st.global_step = step;
+    st.order.assign(order.begin(), order.end());
+    st.counters = {recent_count, window_steps, window_mlm_n, window_mer_n};
+    st.accumulators = {recent_loss, window_loss, window_mlm, window_mer};
+    st.eval_curve = result.eval_curve;
+    const Status s = manager->Save(st);
+    if (!s.ok()) {
+      TURL_LOG(Warning) << "pretrain checkpoint save failed: "
+                        << s.ToString();
+    }
+  };
+
+  if (manager != nullptr && options.resume) {
+    ckpt::TrainState st;
+    bind(&st);
+    const Status s = manager->LoadLatest(&st);
+    if (s.ok()) {
+      TURL_CHECK_EQ(st.order.size(), order.size())
+          << "checkpoint order covers a different corpus";
+      TURL_CHECK_EQ(st.counters.size(), size_t(4));
+      TURL_CHECK_EQ(st.accumulators.size(), size_t(4));
+      start_epoch = int(st.epoch);
+      start_oi = size_t(st.step_in_epoch);
+      step = st.global_step;
+      for (size_t i = 0; i < order.size(); ++i) order[i] = size_t(st.order[i]);
+      recent_count = st.counters[0];
+      window_steps = st.counters[1];
+      window_mlm_n = st.counters[2];
+      window_mer_n = st.counters[3];
+      recent_loss = st.accumulators[0];
+      window_loss = st.accumulators[1];
+      window_mlm = st.accumulators[2];
+      window_mer = st.accumulators[3];
+      result.eval_curve = st.eval_curve;
+      resumed_mid_epoch = true;
+      TURL_LOG(Info) << "resumed pretraining at step " << step << " (epoch "
+                     << start_epoch << ", position " << start_oi << ")";
+    } else if (s.code() != StatusCode::kNotFound) {
+      TURL_LOG(Warning) << "no usable checkpoint in " << options.ckpt_dir
+                        << " (" << s.ToString() << "); starting fresh";
+    }
+  }
+
+  for (int epoch = start_epoch; epoch < epochs; ++epoch) {
+    size_t oi_begin = 0;
+    if (resumed_mid_epoch && epoch == start_epoch) {
+      // The restored RNG already consumed this epoch's shuffle and `order`
+      // carries its result; shuffling again would diverge from the
+      // uninterrupted run.
+      oi_begin = start_oi;
+    } else {
+      rng.Shuffle(&order);
+    }
+    for (size_t oi = oi_begin; oi < tables_per_epoch; ++oi) {
       const EncodedTable& clean = train_encoded_[order[oi]];
       if (clean.total() == 0) continue;
       TURL_PROFILE_SCOPE("pretrain.step");
@@ -210,6 +302,16 @@ PretrainResult Pretrainer::Train(const Options& options) {
                  step % options.telemetry_every == 0) {
         emit_window(step, epoch,
                     std::numeric_limits<double>::quiet_NaN());
+      }
+      if (manager != nullptr && options.save_every > 0 &&
+          step % options.save_every == 0) {
+        save_checkpoint(epoch, oi + 1);
+      }
+      if (options.max_steps > 0 && step >= options.max_steps) {
+        // Simulated kill: return immediately without saving or evaluating —
+        // resume must come from the last *periodic* checkpoint.
+        result.steps = step;
+        return result;
       }
     }
   }

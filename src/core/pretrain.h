@@ -50,6 +50,22 @@ class Pretrainer {
     /// Also emit a loss/throughput record every this many steps (0 = only at
     /// eval steps).
     int64_t telemetry_every = 0;
+
+    /// Crash-safe checkpointing (turl::ckpt). Non-empty enables it: periodic
+    /// v2 checkpoints land in this directory with keep-last-N retention and
+    /// a LATEST pointer, and — with `resume` — a killed run restarts from
+    /// the newest valid one bit-identically to the uninterrupted run.
+    std::string ckpt_dir;
+    /// Save a checkpoint every this many optimizer steps (0 = never).
+    int64_t save_every = 0;
+    /// Checkpoints retained in ckpt_dir; older ones are pruned after a save.
+    int keep_last = 3;
+    /// Resume from the newest valid checkpoint in ckpt_dir when one exists.
+    bool resume = true;
+    /// Hard-stop once the global step reaches this, *without* saving or
+    /// running the final evaluation — simulates a mid-run kill for resume
+    /// tests (0 = run to completion).
+    int64_t max_steps = 0;
   };
 
   /// The model and context must outlive the pretrainer. Encodes all

@@ -15,6 +15,9 @@ Status SaveCheckpoint(const ParamStore& store, const std::string& path);
 /// Loads a checkpoint into an already-constructed ParamStore. Every
 /// parameter in the file must exist in `store` with a matching shape and
 /// vice versa (architectural mismatch is an error, not a partial load).
+/// All parameters are staged and validated before any are committed, so a
+/// truncated or mismatched file leaves the store completely untouched.
+/// This is the legacy v1 format; new code writes v2 via ckpt::SaveModel.
 Status LoadCheckpoint(ParamStore* store, const std::string& path);
 
 }  // namespace nn

@@ -51,6 +51,29 @@ void Adam::Step(float lr_scale) {
   }
 }
 
+Status Adam::SetState(std::vector<std::vector<float>> m,
+                      std::vector<std::vector<float>> v, int64_t step) {
+  if (step < 0) {
+    return Status::FailedPrecondition("negative Adam step count");
+  }
+  if (m.size() != m_.size() || v.size() != v_.size()) {
+    return Status::FailedPrecondition(
+        "Adam state has " + std::to_string(m.size()) + "/" +
+        std::to_string(v.size()) + " moment buffers, optimizer has " +
+        std::to_string(m_.size()));
+  }
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (m[i].size() != m_[i].size() || v[i].size() != v_[i].size()) {
+      return Status::FailedPrecondition("Adam moment size mismatch at param " +
+                                        std::to_string(i));
+    }
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  step_ = step;
+  return Status::OK();
+}
+
 LinearDecaySchedule::LinearDecaySchedule(int64_t total_steps,
                                          float final_fraction)
     : total_steps_(total_steps), final_fraction_(final_fraction) {

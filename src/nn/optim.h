@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "util/status.h"
 
 namespace turl {
 namespace nn {
@@ -33,6 +34,17 @@ class Adam {
 
   int64_t step_count() const { return step_; }
   const AdamConfig& config() const { return config_; }
+
+  /// Checkpoint access to the per-parameter moment buffers, parallel to
+  /// store->params().
+  const std::vector<std::vector<float>>& first_moments() const { return m_; }
+  const std::vector<std::vector<float>>& second_moments() const { return v_; }
+
+  /// Restores moments and step counter (the bias-correction clock) from a
+  /// checkpoint. Every buffer must match the construction-time layout —
+  /// anything else is a FailedPrecondition and the optimizer is untouched.
+  Status SetState(std::vector<std::vector<float>> m,
+                  std::vector<std::vector<float>> v, int64_t step);
 
  private:
   ParamStore* store_;

@@ -6,9 +6,24 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/serialize.h"
 
 namespace turl {
 namespace obs {
+
+namespace {
+// util can't depend on obs, so the serialize layer exposes a plain function
+// hook for unchecked write errors; any binary that links obs gets them
+// counted as `serialize.unchecked_write_errors`.
+const bool g_serialize_hook_installed = [] {
+  SetUncheckedWriteErrorHook([](const std::string& /*path*/) {
+    MetricsRegistry::Get()
+        .GetCounter("serialize.unchecked_write_errors")
+        ->Inc();
+  });
+  return true;
+}();
+}  // namespace
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {

@@ -151,8 +151,14 @@ void TurlColumnTyper::Finetune(const FinetuneOptions& options) {
   nn::Adam model_adam(model_->params(), nn::AdamConfig{.lr = options.lr});
   nn::Adam head_adam(&head_params_, nn::AdamConfig{.lr = options.lr});
   obs::FinetuneTelemetry telemetry("finetune.column_type", options.sink);
+  FinetuneCheckpointer ckptr(
+      options, "column_type",
+      {{"model", model_->params()}, {"head", &head_params_}},
+      {{"model_adam", &model_adam}, {"head_adam", &head_adam}}, &rng,
+      &tables);
+  const int start_epoch = ckptr.Resume();
 
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&tables);
     size_t limit = tables.size();
     if (options.max_tables > 0) {
@@ -185,6 +191,7 @@ void TurlColumnTyper::Finetune(const FinetuneOptions& options) {
       telemetry.Step(loss.item(), std::sqrt(gm * gm + gh * gh));
     }
     telemetry.EndEpoch(epoch);
+    ckptr.OnEpochEnd(epoch);
   }
 }
 

@@ -2,9 +2,82 @@
 
 #include "data/entity_vocab.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace turl {
 namespace tasks {
+
+FinetuneCheckpointer::FinetuneCheckpointer(
+    const FinetuneOptions& options, const std::string& phase,
+    std::vector<std::pair<std::string, nn::ParamStore*>> stores,
+    std::vector<std::pair<std::string, nn::Adam*>> optims, Rng* rng,
+    std::vector<size_t>* order)
+    : stores_(std::move(stores)),
+      optims_(std::move(optims)),
+      rng_(rng),
+      order_(order),
+      save_every_(options.save_every),
+      resume_(options.resume) {
+  if (options.ckpt_dir.empty()) return;
+  manager_ = std::make_unique<ckpt::CheckpointManager>(
+      ckpt::CheckpointManager::Options{options.ckpt_dir, options.keep_last});
+  // Deliberately excludes `epochs`: per-step behavior does not depend on the
+  // epoch budget (no LR schedule here), so a finished epochs=N run may be
+  // extended by resuming with a larger budget.
+  fingerprint_ = "finetune." + phase + "|seed" + std::to_string(options.seed) +
+                 "|lr" + std::to_string(options.lr) + "|mt" +
+                 std::to_string(options.max_tables) + "|gc" +
+                 std::to_string(options.grad_clip);
+}
+
+FinetuneCheckpointer::~FinetuneCheckpointer() = default;
+
+ckpt::TrainState FinetuneCheckpointer::Bind() const {
+  ckpt::TrainState st;
+  st.stores = stores_;
+  st.optims = optims_;
+  st.rng = rng_;
+  st.fingerprint = fingerprint_;
+  return st;
+}
+
+int FinetuneCheckpointer::Resume(int64_t* global_step) {
+  if (manager_ == nullptr || !resume_) return 0;
+  ckpt::TrainState st = Bind();
+  const Status s = manager_->LoadLatest(&st);
+  if (!s.ok()) {
+    if (s.code() != StatusCode::kNotFound) {
+      TURL_LOG(Warning) << "no usable finetune checkpoint ("
+                        << s.ToString() << "); starting fresh";
+    }
+    return 0;
+  }
+  if (order_ != nullptr) {
+    TURL_CHECK_EQ(st.order.size(), order_->size())
+        << "checkpoint order covers a different dataset";
+    for (size_t i = 0; i < order_->size(); ++i) {
+      (*order_)[i] = size_t(st.order[i]);
+    }
+  }
+  if (global_step != nullptr) *global_step = st.global_step;
+  TURL_LOG(Info) << "resumed fine-tuning at epoch " << st.epoch << " (step "
+                 << st.global_step << ")";
+  return int(st.epoch);
+}
+
+void FinetuneCheckpointer::OnEpochEnd(int completed_epoch,
+                                      int64_t global_step) {
+  if (manager_ == nullptr || save_every_ <= 0) return;
+  if ((completed_epoch + 1) % save_every_ != 0) return;
+  ckpt::TrainState st = Bind();
+  st.epoch = completed_epoch + 1;  // The epoch a resumed run starts at.
+  st.global_step = global_step;
+  if (order_ != nullptr) st.order.assign(order_->begin(), order_->end());
+  const Status s = manager_->Save(st);
+  if (!s.ok()) {
+    TURL_LOG(Warning) << "finetune checkpoint save failed: " << s.ToString();
+  }
+}
 
 void StripEntityIds(core::EncodedTable* table) {
   for (int& id : table->entity_ids) id = data::EntityVocab::kUnkEntity;

@@ -1,11 +1,18 @@
 #ifndef TURL_TASKS_COMMON_H_
 #define TURL_TASKS_COMMON_H_
 
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "core/model.h"
 #include "core/table_encoding.h"
+#include "nn/optim.h"
 #include "obs/telemetry.h"
+#include "util/rng.h"
 
 namespace turl {
 namespace rt {
@@ -52,6 +59,63 @@ struct FinetuneOptions {
   /// Extra telemetry sink for this run's per-epoch TrainRecords; the global
   /// obs::TelemetryHub always receives them.
   obs::MetricsSink* sink = nullptr;
+
+  /// Crash-safe epoch-boundary checkpointing (turl::ckpt). Non-empty
+  /// enables it; a killed run resumed from this directory continues with
+  /// bit-identical weights (the fingerprint excludes `epochs`, so extending
+  /// a finished run — epochs=1 then resume with epochs=2 — equals the
+  /// uninterrupted epochs=2 run).
+  std::string ckpt_dir;
+  /// Save after every this many completed epochs (0 = never).
+  int save_every = 1;
+  /// Checkpoints retained in ckpt_dir.
+  int keep_last = 2;
+  /// Resume from the newest valid checkpoint in ckpt_dir when one exists.
+  bool resume = true;
+};
+
+/// Epoch-granular checkpointing shared by the task fine-tune loops. Binds
+/// the loop's live stores/optimizers/RNG plus its shuffled visit order, and
+/// wraps ckpt::CheckpointManager's save/retention/fallback behind two calls:
+/// Resume() before the epoch loop and OnEpochEnd() after each epoch.
+/// Inactive (every method a no-op returning "start fresh") when
+/// options.ckpt_dir is empty.
+class FinetuneCheckpointer {
+ public:
+  /// `stores`/`optims`/`rng`/`order` bind live loop objects that must
+  /// outlive the checkpointer; `order` is the loop's shuffle vector (may be
+  /// null for loops without one). `phase` names the task (e.g.
+  /// "column_type") and scopes the config fingerprint.
+  FinetuneCheckpointer(
+      const FinetuneOptions& options, const std::string& phase,
+      std::vector<std::pair<std::string, nn::ParamStore*>> stores,
+      std::vector<std::pair<std::string, nn::Adam*>> optims, Rng* rng,
+      std::vector<size_t>* order);
+  ~FinetuneCheckpointer();
+
+  /// Restores the newest valid checkpoint (params, moments, RNG, order) and
+  /// returns the epoch to start from; 0 with nothing restored. Writes the
+  /// restored global step through `global_step` when non-null.
+  int Resume(int64_t* global_step = nullptr);
+
+  /// Saves after `completed_epoch` (0-based) finished, respecting
+  /// save_every/keep_last. `global_step` is persisted for loops that keep a
+  /// step counter across epochs.
+  void OnEpochEnd(int completed_epoch, int64_t global_step = 0);
+
+  bool active() const { return manager_ != nullptr; }
+
+ private:
+  ckpt::TrainState Bind() const;
+
+  std::unique_ptr<ckpt::CheckpointManager> manager_;
+  std::vector<std::pair<std::string, nn::ParamStore*>> stores_;
+  std::vector<std::pair<std::string, nn::Adam*>> optims_;
+  Rng* rng_ = nullptr;
+  std::vector<size_t>* order_ = nullptr;
+  std::string fingerprint_;
+  int save_every_ = 0;
+  bool resume_ = false;
 };
 
 /// Replaces every entity id with [UNK_ENT] (drops the learned embeddings).

@@ -142,8 +142,14 @@ void TurlEntityLinker::Finetune(const ElDataset& train,
   nn::Adam model_adam(model_->params(), nn::AdamConfig{.lr = options.lr});
   nn::Adam head_adam(&head_params_, nn::AdamConfig{.lr = options.lr});
   obs::FinetuneTelemetry telemetry("finetune.entity_linking", options.sink);
+  FinetuneCheckpointer ckptr(
+      options, "entity_linking",
+      {{"model", model_->params()}, {"head", &head_params_}},
+      {{"model_adam", &model_adam}, {"head_adam", &head_adam}}, &rng,
+      &tables);
+  const int start_epoch = ckptr.Resume();
 
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&tables);
     size_t limit = tables.size();
     if (options.max_tables > 0) {
@@ -176,6 +182,7 @@ void TurlEntityLinker::Finetune(const ElDataset& train,
       telemetry.Step(loss.item(), std::sqrt(gm * gm + gh * gh));
     }
     telemetry.EndEpoch(epoch);
+    ckptr.OnEpochEnd(epoch);
   }
 }
 

@@ -112,9 +112,15 @@ void TurlRelationExtractor::Finetune(
   nn::Adam head_adam(&head_params_, nn::AdamConfig{.lr = options.lr});
   obs::FinetuneTelemetry telemetry("finetune.relation_extraction",
                                    options.sink);
+  FinetuneCheckpointer ckptr(
+      options, "relation_extraction",
+      {{"model", model_->params()}, {"head", &head_params_}},
+      {{"model_adam", &model_adam}, {"head_adam", &head_adam}}, &rng,
+      &tables);
 
   int64_t step = 0;
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  const int start_epoch = ckptr.Resume(&step);
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&tables);
     size_t limit = tables.size();
     if (options.max_tables > 0) {
@@ -154,6 +160,7 @@ void TurlRelationExtractor::Finetune(
       }
     }
     telemetry.EndEpoch(epoch);
+    ckptr.OnEpochEnd(epoch, step);
   }
 }
 

@@ -125,8 +125,14 @@ void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
   obs::FinetuneTelemetry telemetry("finetune.row_population", options.sink);
   std::vector<size_t> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // This head reuses the pre-trained entity embeddings directly, so there
+  // is only the model store and its optimizer to checkpoint.
+  FinetuneCheckpointer ckptr(options, "row_population",
+                             {{"model", model_->params()}},
+                             {{"model_adam", &adam}}, &rng, &order);
+  const int start_epoch = ckptr.Resume();
 
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&order);
     size_t limit = order.size();
     if (options.max_tables > 0) {
@@ -157,6 +163,7 @@ void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
       telemetry.Step(loss.item(), grad_norm);
     }
     telemetry.EndEpoch(epoch);
+    ckptr.OnEpochEnd(epoch);
   }
 }
 

@@ -149,8 +149,14 @@ void TurlSchemaAugmenter::Finetune(const std::vector<SchemaAugInstance>& train,
                                    options.sink);
   std::vector<size_t> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  FinetuneCheckpointer ckptr(
+      options, "schema_augmentation",
+      {{"model", model_->params()}, {"head", &head_params_}},
+      {{"model_adam", &model_adam}, {"head_adam", &head_adam}}, &rng,
+      &order);
+  const int start_epoch = ckptr.Resume();
 
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&order);
     size_t limit = order.size();
     if (options.max_tables > 0) {
@@ -175,6 +181,7 @@ void TurlSchemaAugmenter::Finetune(const std::vector<SchemaAugInstance>& train,
       telemetry.Step(loss.item(), std::sqrt(gm * gm + gh * gh));
     }
     telemetry.EndEpoch(epoch);
+    ckptr.OnEpochEnd(epoch);
   }
 }
 

@@ -26,6 +26,20 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : s_) s = SplitMix64(&sm);
 }
 
+Rng::State Rng::GetState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_spare_normal = has_spare_normal_;
+  state.spare_normal = spare_normal_;
+  return state;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_spare_normal_ = state.has_spare_normal;
+  spare_normal_ = state.spare_normal;
+}
+
 uint64_t Rng::Next() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -17,6 +17,17 @@ class Rng {
   /// Seeds the generator; equal seeds produce identical streams.
   explicit Rng(uint64_t seed = 42);
 
+  /// Complete generator state — the xoshiro words plus the cached Box–Muller
+  /// spare — so checkpoints can snapshot and restore a stream mid-flight:
+  /// after SetState(GetState()) the generator replays the exact same draws.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_spare_normal = false;
+    double spare_normal = 0.0;
+  };
+  State GetState() const;
+  void SetState(const State& state);
+
   /// Next raw 64-bit value.
   uint64_t Next();
 

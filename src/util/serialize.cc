@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 #include <sys/types.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -10,15 +11,36 @@
 
 namespace turl {
 
+namespace {
+std::atomic<UncheckedWriteErrorHook> g_unchecked_write_error_hook{nullptr};
+}  // namespace
+
+UncheckedWriteErrorHook SetUncheckedWriteErrorHook(UncheckedWriteErrorHook h) {
+  return g_unchecked_write_error_hook.exchange(h);
+}
+
 BinaryWriter::BinaryWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc) {
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
   if (!out_.is_open()) {
     status_ = Status::IoError("cannot open for write: " + path);
   }
 }
 
 BinaryWriter::~BinaryWriter() {
-  if (out_.is_open()) out_.close();
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_.good() && status_.ok()) status_ = Status::IoError("flush failed");
+    out_.close();
+  }
+  if (!closed_ && !status_.ok()) {
+    TURL_LOG(Warning) << "BinaryWriter destroyed with unchecked write error "
+                      << "for " << path_ << ": " << status_.ToString()
+                      << " (the file is likely truncated; call Close() and "
+                      << "check its status)";
+    if (UncheckedWriteErrorHook hook = g_unchecked_write_error_hook.load()) {
+      hook(path_);
+    }
+  }
 }
 
 void BinaryWriter::WriteRaw(const void* data, size_t n) {
@@ -59,6 +81,7 @@ Status BinaryWriter::Close() {
     if (!out_.good() && status_.ok()) status_ = Status::IoError("flush failed");
     out_.close();
   }
+  closed_ = true;
   return status_;
 }
 
@@ -66,7 +89,14 @@ BinaryReader::BinaryReader(const std::string& path)
     : in_(path, std::ios::binary) {
   if (!in_.is_open()) {
     status_ = Status::IoError("cannot open for read: " + path);
+    return;
   }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) {
+    status_ = Status::IoError("cannot stat for read: " + path);
+    return;
+  }
+  file_size_ = static_cast<uint64_t>(st.st_size);
 }
 
 bool BinaryReader::ReadRaw(void* data, size_t n) {
@@ -75,6 +105,19 @@ bool BinaryReader::ReadRaw(void* data, size_t n) {
   if (in_.gcount() != static_cast<std::streamsize>(n)) {
     status_ = Status::IoError("short read");
     std::memset(data, 0, n);
+    return false;
+  }
+  bytes_read_ += n;
+  return true;
+}
+
+bool BinaryReader::CheckClaimedLength(uint64_t n, uint64_t elem_size,
+                                      const char* what) {
+  if (!status_.ok()) return false;
+  if (n > remaining() / elem_size) {
+    status_ = Status::IoError(
+        std::string(what) + " length " + std::to_string(n) + " exceeds the " +
+        std::to_string(remaining()) + " bytes left in the file");
     return false;
   }
   return true;
@@ -108,12 +151,7 @@ double BinaryReader::ReadDouble() {
 
 std::string BinaryReader::ReadString() {
   uint64_t n = ReadU64();
-  if (!status_.ok()) return "";
-  // Guard against corrupt lengths before allocating.
-  if (n > (1ULL << 32)) {
-    status_ = Status::IoError("string length out of range");
-    return "";
-  }
+  if (!CheckClaimedLength(n, 1, "string")) return "";
   std::string s(n, '\0');
   if (n > 0) ReadRaw(s.data(), n);
   return s;
@@ -121,10 +159,7 @@ std::string BinaryReader::ReadString() {
 
 std::vector<float> BinaryReader::ReadFloatVector() {
   uint64_t n = ReadU64();
-  if (!status_.ok() || n > (1ULL << 32)) {
-    if (status_.ok()) status_ = Status::IoError("vector length out of range");
-    return {};
-  }
+  if (!CheckClaimedLength(n, sizeof(float), "float vector")) return {};
   std::vector<float> v(n);
   if (n > 0) ReadRaw(v.data(), n * sizeof(float));
   return v;
@@ -132,10 +167,7 @@ std::vector<float> BinaryReader::ReadFloatVector() {
 
 std::vector<uint32_t> BinaryReader::ReadU32Vector() {
   uint64_t n = ReadU64();
-  if (!status_.ok() || n > (1ULL << 32)) {
-    if (status_.ok()) status_ = Status::IoError("vector length out of range");
-    return {};
-  }
+  if (!CheckClaimedLength(n, sizeof(uint32_t), "u32 vector")) return {};
   std::vector<uint32_t> v(n);
   if (n > 0) ReadRaw(v.data(), n * sizeof(uint32_t));
   return v;
@@ -143,10 +175,9 @@ std::vector<uint32_t> BinaryReader::ReadU32Vector() {
 
 std::vector<std::string> BinaryReader::ReadStringVector() {
   uint64_t n = ReadU64();
-  if (!status_.ok() || n > (1ULL << 32)) {
-    if (status_.ok()) status_ = Status::IoError("vector length out of range");
-    return {};
-  }
+  // Every string costs at least its u64 length prefix, so that is the
+  // per-element floor for the clamp.
+  if (!CheckClaimedLength(n, sizeof(uint64_t), "string vector")) return {};
   std::vector<std::string> v;
   v.reserve(n);
   for (uint64_t i = 0; i < n && status_.ok(); ++i) v.push_back(ReadString());

@@ -12,8 +12,10 @@ namespace turl {
 
 /// Little-endian binary writer over a file. Used for corpus snapshots and
 /// model checkpoints. All writes are buffered by the underlying ofstream;
-/// call Close() (or rely on the destructor) and check status() before
-/// trusting the file.
+/// call Close() and check the returned status before trusting the file.
+/// A writer destroyed with a write error that Close() never surfaced logs a
+/// warning and reports through SetUncheckedWriteErrorHook — a silently
+/// dropped error here means a truncated file someone will try to load later.
 class BinaryWriter {
  public:
   /// Opens `path` for truncating binary write.
@@ -41,12 +43,25 @@ class BinaryWriter {
   void WriteRaw(const void* data, size_t n);
 
   std::ofstream out_;
+  std::string path_;
   Status status_;
+  bool closed_ = false;
 };
+
+/// Process-wide hook invoked (with the file's path) when a BinaryWriter is
+/// destroyed carrying a write error that no Close() call surfaced. Installed
+/// by turl::obs to count these as `serialize.unchecked_write_errors`; a
+/// plain function pointer keeps util free of a dependency on obs. Pass
+/// nullptr to uninstall. Returns the previously installed hook.
+using UncheckedWriteErrorHook = void (*)(const std::string& path);
+UncheckedWriteErrorHook SetUncheckedWriteErrorHook(UncheckedWriteErrorHook h);
 
 /// Little-endian binary reader mirroring BinaryWriter. Reads past EOF or on a
 /// bad stream flip status() to an error and return zero values; callers check
-/// status() once after a batch of reads.
+/// status() once after a batch of reads. The file size is stat'd once at
+/// open, and every claimed string/vector length is clamped against the bytes
+/// actually remaining before anything is allocated — a corrupt length prefix
+/// fails fast instead of triggering a multi-gigabyte allocation.
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
@@ -65,11 +80,20 @@ class BinaryReader {
   std::vector<std::string> ReadStringVector();
 
   const Status& status() const { return status_; }
+  /// Bytes left between the read cursor and the stat'd end of file.
+  uint64_t remaining() const {
+    return bytes_read_ <= file_size_ ? file_size_ - bytes_read_ : 0;
+  }
 
  private:
   bool ReadRaw(void* data, size_t n);
+  /// Fails (once) with `what` when a claimed count of `n` elements of
+  /// `elem_size` bytes cannot fit in the remaining file; true when it can.
+  bool CheckClaimedLength(uint64_t n, uint64_t elem_size, const char* what);
 
   std::ifstream in_;
+  uint64_t file_size_ = 0;
+  uint64_t bytes_read_ = 0;
   Status status_;
 };
 

@@ -1,0 +1,279 @@
+// Container-level fault injection for the v2 checkpoint format: CRC32
+// vectors, payload round trips with corrupt-length clamps, truncation at
+// every byte, bit flips at every byte, pointer files, and the simulated
+// mid-write crash (SetWriteFailureAfterBytes) that must leave the
+// destination file untouched.
+
+#include "ckpt/format.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/crc32.h"
+#include "gtest/gtest.h"
+#include "util/serialize.h"
+
+namespace turl {
+namespace ckpt {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAllBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out.write(bytes.data(), std::streamsize(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+std::vector<Section> SampleSections() {
+  PayloadWriter meta;
+  meta.WriteU32(1);
+  meta.WriteString("pretrain|tiny|seed7");
+  PayloadWriter store;
+  store.WriteU64(2);
+  store.WriteString("enc.w");
+  store.WriteFloatVector({1.5f, -2.25f, 0.f, 3.f});
+  store.WriteString("enc.b");
+  store.WriteFloatVector({-0.5f});
+  std::vector<Section> sections;
+  sections.push_back({"meta", meta.Take()});
+  sections.push_back({"store:model", store.Take()});
+  sections.push_back({"empty", ""});
+  // Binary payload with embedded NULs must survive verbatim.
+  sections.push_back({"rng", std::string("\x00\x01\xff\x00zz", 6)});
+  return sections;
+}
+
+TEST(Crc32Test, MatchesCheckVector) {
+  // The standard CRC-32/IEEE check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t whole = Crc32(data.data(), data.size());
+  uint32_t crc = 0;
+  for (size_t i = 0; i < data.size(); i += 7) {
+    const size_t n = std::min<size_t>(7, data.size() - i);
+    crc = Crc32(data.data() + i, n, crc);
+  }
+  EXPECT_EQ(crc, whole);
+}
+
+TEST(PayloadTest, RoundTripAllTypes) {
+  PayloadWriter w;
+  w.WriteU32(0xDEADBEEFu);
+  w.WriteU64(1ull << 53);
+  w.WriteI64(-42);
+  w.WriteFloat(1.25f);
+  w.WriteDouble(-2.5);
+  w.WriteString("header col");
+  w.WriteFloatVector({1.f, 2.f, 3.f});
+  w.WriteU64Vector({7, 8});
+  w.WriteI64Vector({-1, 0, 1});
+  w.WriteDoubleVector({0.5});
+  const float span[2] = {9.f, -9.f};
+  w.WriteFloatSpan(span, 2);
+
+  const std::string payload = w.Take();
+  PayloadReader r(payload);
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64(), 1ull << 53);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_EQ(r.ReadFloat(), 1.25f);
+  EXPECT_EQ(r.ReadDouble(), -2.5);
+  EXPECT_EQ(r.ReadString(), "header col");
+  EXPECT_EQ(r.ReadFloatVector(), (std::vector<float>{1.f, 2.f, 3.f}));
+  EXPECT_EQ(r.ReadU64Vector(), (std::vector<uint64_t>{7, 8}));
+  EXPECT_EQ(r.ReadI64Vector(), (std::vector<int64_t>{-1, 0, 1}));
+  EXPECT_EQ(r.ReadDoubleVector(), (std::vector<double>{0.5}));
+  float out[2] = {0.f, 0.f};
+  EXPECT_TRUE(r.ReadFloatSpan(out, 2));
+  EXPECT_EQ(out[0], 9.f);
+  EXPECT_EQ(out[1], -9.f);
+  EXPECT_TRUE(r.Exhausted());
+}
+
+TEST(PayloadTest, CorruptLengthPrefixFailsBeforeAllocating) {
+  // An absurd length prefix (claiming ~2^64 elements) must flip status()
+  // without attempting the allocation.
+  PayloadWriter w;
+  w.WriteU64(~0ull);
+  const std::string payload = w.Take();
+  {
+    PayloadReader r(payload);
+    EXPECT_EQ(r.ReadString(), "");
+    EXPECT_FALSE(r.status().ok());
+  }
+  {
+    PayloadReader r(payload);
+    EXPECT_TRUE(r.ReadFloatVector().empty());
+    EXPECT_FALSE(r.status().ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  }
+  {
+    PayloadReader r(payload);
+    EXPECT_TRUE(r.ReadU64Vector().empty());
+    EXPECT_FALSE(r.status().ok());
+  }
+  {
+    PayloadReader r(payload);
+    EXPECT_TRUE(r.ReadDoubleVector().empty());
+    EXPECT_FALSE(r.status().ok());
+  }
+}
+
+TEST(PayloadTest, ShortReadFailsAndSticks) {
+  PayloadWriter w;
+  w.WriteU32(5);
+  const std::string payload = w.Take();
+  PayloadReader r(payload);
+  EXPECT_EQ(r.ReadU64(), 0u);  // Only 4 bytes available.
+  EXPECT_FALSE(r.status().ok());
+  EXPECT_FALSE(r.Exhausted());
+  // First error wins; later reads stay failed and return zeros.
+  EXPECT_EQ(r.ReadU32(), 0u);
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST(FormatTest, FileRoundTrip) {
+  const std::string path = TempPath("roundtrip.turl");
+  const std::vector<Section> in = SampleSections();
+  ASSERT_TRUE(WriteCheckpointFile(path, in).ok());
+  EXPECT_EQ(PeekCheckpointVersion(path), 2u);
+
+  std::vector<Section> out;
+  ASSERT_TRUE(ReadCheckpointFile(path, &out).ok());
+  ASSERT_EQ(out.size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].name, in[i].name);
+    EXPECT_EQ(out[i].payload, in[i].payload);
+  }
+  // No stray .tmp after a successful atomic write.
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(FormatTest, PeekVersionDistinguishesFormats) {
+  const std::string v1 = TempPath("peek_v1.bin");
+  {
+    BinaryWriter w(v1);
+    w.WriteU32(0x5455524Cu);  // Same "TURL" magic as the v1 stream.
+    w.WriteU32(1);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_EQ(PeekCheckpointVersion(v1), 1u);
+
+  const std::string garbage = TempPath("peek_garbage.bin");
+  WriteAllBytes(garbage, "definitely not a checkpoint");
+  EXPECT_EQ(PeekCheckpointVersion(garbage), 0u);
+  EXPECT_EQ(PeekCheckpointVersion(TempPath("peek_missing.bin")), 0u);
+  std::remove(v1.c_str());
+  std::remove(garbage.c_str());
+}
+
+TEST(FormatTest, TruncationAtEveryByteFails) {
+  const std::string path = TempPath("trunc_src.turl");
+  ASSERT_TRUE(WriteCheckpointFile(path, SampleSections()).ok());
+  const std::string bytes = ReadAllBytes(path);
+  ASSERT_GT(bytes.size(), 0u);
+
+  const std::string cut_path = TempPath("trunc_cut.turl");
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    WriteAllBytes(cut_path, bytes.substr(0, cut));
+    std::vector<Section> out = {{"sentinel", "x"}};
+    const Status s = ReadCheckpointFile(cut_path, &out);
+    EXPECT_FALSE(s.ok()) << "truncation at byte " << cut << " was accepted";
+    EXPECT_TRUE(out.empty()) << "sections leaked at cut " << cut;
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(FormatTest, BitFlipAtEveryByteFails) {
+  const std::string path = TempPath("flip_src.turl");
+  ASSERT_TRUE(WriteCheckpointFile(path, SampleSections()).ok());
+  const std::string bytes = ReadAllBytes(path);
+
+  const std::string flip_path = TempPath("flip_cur.turl");
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = char(corrupt[i] ^ 0x40);
+    WriteAllBytes(flip_path, corrupt);
+    std::vector<Section> out;
+    EXPECT_FALSE(ReadCheckpointFile(flip_path, &out).ok())
+        << "bit flip at byte " << i << " was accepted";
+    EXPECT_TRUE(out.empty());
+  }
+  std::remove(path.c_str());
+  std::remove(flip_path.c_str());
+}
+
+TEST(FormatTest, PointerFileRoundTripAndOverwrite) {
+  const std::string path = TempPath("LATEST_test");
+  ASSERT_TRUE(WritePointerFile(path, "ckpt-000000000005.turl").ok());
+  std::string contents;
+  ASSERT_TRUE(ReadPointerFile(path, &contents).ok());
+  EXPECT_EQ(contents, "ckpt-000000000005.turl");
+
+  ASSERT_TRUE(WritePointerFile(path, "ckpt-000000000010.turl\n").ok());
+  ASSERT_TRUE(ReadPointerFile(path, &contents).ok());
+  EXPECT_EQ(contents, "ckpt-000000000010.turl");  // Trailing newline trimmed.
+
+  EXPECT_EQ(ReadPointerFile(TempPath("LATEST_missing"), &contents).code(),
+            StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(FormatTest, InjectedCrashLeavesDestinationUntouched) {
+  const std::string path = TempPath("crash.turl");
+  ASSERT_TRUE(WriteCheckpointFile(path, SampleSections()).ok());
+  const std::string before = ReadAllBytes(path);
+
+  // Simulate the process dying after 10 bytes of the rewrite reached the OS.
+  testing::SetWriteFailureAfterBytes(10);
+  std::vector<Section> other = {{"meta", "different contents entirely"}};
+  EXPECT_FALSE(WriteCheckpointFile(path, other).ok());
+
+  // The destination still holds the previous complete checkpoint and the
+  // partial .tmp is what a crashed process would leave behind.
+  EXPECT_EQ(ReadAllBytes(path), before);
+  EXPECT_TRUE(FileExists(path + ".tmp"));
+  std::vector<Section> out;
+  ASSERT_TRUE(ReadCheckpointFile(path, &out).ok());
+  EXPECT_EQ(out.size(), SampleSections().size());
+
+  // The hook is one-shot: the retry succeeds and replaces the file.
+  ASSERT_TRUE(WriteCheckpointFile(path, other).ok());
+  ASSERT_TRUE(ReadCheckpointFile(path, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, "different contents entirely");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(FormatTest, InjectedCrashBeforeFirstByteNeverCreatesDestination) {
+  const std::string path = TempPath("crash_zero.turl");
+  testing::SetWriteFailureAfterBytes(0);
+  EXPECT_FALSE(WriteCheckpointFile(path, SampleSections()).ok());
+  EXPECT_FALSE(FileExists(path));
+  testing::SetWriteFailureAfterBytes(-1);  // Disarm for later tests.
+}
+
+}  // namespace
+}  // namespace ckpt
+}  // namespace turl

@@ -1,0 +1,231 @@
+// Kill-and-resume determinism: a pre-training run killed mid-flight
+// (Options::max_steps) and resumed from its last periodic checkpoint must be
+// bit-identical to the uninterrupted run — parameters, eval curve, final
+// loss and accuracy. Same for a fine-tuning run resumed at an epoch
+// boundary. These are the end-to-end guarantees the ckpt subsystem exists
+// to provide.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/model.h"
+#include "core/pretrain.h"
+#include "gtest/gtest.h"
+#include "tasks/schema_augmentation.h"
+
+namespace turl {
+namespace {
+
+/// Checkpoint directory for one test case, guaranteed empty: TempDir()
+/// persists across test-suite invocations, and a stale LATEST from a prior
+/// run would otherwise be resumed from.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+const core::TurlContext& Ctx() {
+  static core::TurlContext* ctx = [] {
+    core::ContextConfig config;
+    config.corpus.num_tables = 150;
+    config.seed = 42;
+    return new core::TurlContext(core::BuildContext(config));
+  }();
+  return *ctx;
+}
+
+core::TurlConfig TinyConfig() {
+  core::TurlConfig config;
+  config.num_layers = 1;
+  config.d_model = 32;
+  config.d_intermediate = 64;
+  config.num_heads = 2;
+  return config;
+}
+
+core::Pretrainer::Options BaseOptions() {
+  core::Pretrainer::Options opts;
+  opts.epochs = 2;
+  opts.max_train_tables = 12;
+  opts.eval_every = 6;  // Exercises eval-curve persistence across resume.
+  opts.max_eval_tables = 4;
+  opts.max_eval_cells_per_table = 2;
+  opts.seed = 7;
+  return opts;
+}
+
+std::vector<std::vector<float>> ParamsOf(const core::TurlModel& model) {
+  std::vector<std::vector<float>> out;
+  for (const auto& [name, t] : model.params().params()) {
+    out.push_back(t.ToVector());
+  }
+  return out;
+}
+
+void ExpectBitIdentical(const std::vector<std::vector<float>>& a,
+                        const std::vector<std::vector<float>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "param " << i;
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      ASSERT_EQ(a[i][j], b[i][j])
+          << "weight divergence at param " << i << " element " << j;
+    }
+  }
+}
+
+/// Runs pretraining killed at `kill_step`, then resumes in a fresh model and
+/// pretrainer (as a restarted process would) and returns the final result,
+/// comparing the resumed weights against the uninterrupted reference.
+void RunKillResumeCase(const std::vector<std::vector<float>>& reference,
+                       const core::PretrainResult& reference_result,
+                       int64_t kill_step, const std::string& dir) {
+  core::Pretrainer::Options opts = BaseOptions();
+  opts.ckpt_dir = dir;
+  opts.save_every = 5;
+
+  {
+    core::TurlModel model(TinyConfig(), Ctx().vocab.size(),
+                          Ctx().entity_vocab.size(), 1);
+    core::Pretrainer pretrainer(&model, &Ctx());
+    core::Pretrainer::Options killed = opts;
+    killed.max_steps = kill_step;
+    const core::PretrainResult partial = pretrainer.Train(killed);
+    ASSERT_EQ(partial.steps, kill_step) << "kill point was never reached";
+  }
+
+  // Fresh process: new model (same seed/layout), new pretrainer, resume.
+  core::TurlModel model(TinyConfig(), Ctx().vocab.size(),
+                        Ctx().entity_vocab.size(), 1);
+  core::Pretrainer pretrainer(&model, &Ctx());
+  const core::PretrainResult resumed = pretrainer.Train(opts);
+
+  EXPECT_EQ(resumed.steps, reference_result.steps);
+  EXPECT_DOUBLE_EQ(resumed.final_loss, reference_result.final_loss);
+  EXPECT_DOUBLE_EQ(resumed.final_accuracy, reference_result.final_accuracy);
+  ASSERT_EQ(resumed.eval_curve.size(), reference_result.eval_curve.size());
+  for (size_t i = 0; i < resumed.eval_curve.size(); ++i) {
+    EXPECT_EQ(resumed.eval_curve[i].first,
+              reference_result.eval_curve[i].first);
+    EXPECT_DOUBLE_EQ(resumed.eval_curve[i].second,
+                     reference_result.eval_curve[i].second);
+  }
+  ExpectBitIdentical(reference, ParamsOf(model));
+}
+
+TEST(PretrainResumeTest, KilledRunResumesBitIdentically) {
+  // Uninterrupted reference run.
+  core::TurlModel reference_model(TinyConfig(), Ctx().vocab.size(),
+                                  Ctx().entity_vocab.size(), 1);
+  core::Pretrainer reference_pretrainer(&reference_model, &Ctx());
+  const core::PretrainResult reference_result =
+      reference_pretrainer.Train(BaseOptions());
+  ASSERT_GE(reference_result.steps, 16)
+      << "corpus too small to place both kill points";
+  const std::vector<std::vector<float>> reference =
+      ParamsOf(reference_model);
+
+  // Kill mid-save-interval in epoch 0: resume replays steps 6..7 from the
+  // step-5 checkpoint.
+  RunKillResumeCase(reference, reference_result, /*kill_step=*/7,
+                    FreshDir("resume_kill7"));
+  // Kill in epoch 1: resume crosses the epoch boundary from the step-10
+  // checkpoint (saved near the end of epoch 0).
+  RunKillResumeCase(reference, reference_result, /*kill_step=*/14,
+                    FreshDir("resume_kill14"));
+}
+
+TEST(PretrainResumeTest, MismatchedOptionsStartFresh) {
+  // A checkpoint written under different options (fingerprint) must not be
+  // resumed from; the run starts fresh and still matches a no-checkpoint
+  // run with the new options.
+  const std::string dir = FreshDir("resume_mismatch");
+  {
+    core::TurlModel model(TinyConfig(), Ctx().vocab.size(),
+                          Ctx().entity_vocab.size(), 1);
+    core::Pretrainer pretrainer(&model, &Ctx());
+    core::Pretrainer::Options opts = BaseOptions();
+    opts.ckpt_dir = dir;
+    opts.save_every = 5;
+    opts.max_steps = 7;
+    pretrainer.Train(opts);
+  }
+  core::Pretrainer::Options changed = BaseOptions();
+  changed.seed = 8;  // Different stream -> different fingerprint.
+  changed.eval_every = 0;
+
+  core::TurlModel model_a(TinyConfig(), Ctx().vocab.size(),
+                          Ctx().entity_vocab.size(), 1);
+  core::Pretrainer pretrainer_a(&model_a, &Ctx());
+  core::Pretrainer::Options with_dir = changed;
+  with_dir.ckpt_dir = dir;
+  with_dir.save_every = 0;
+  const core::PretrainResult ra = pretrainer_a.Train(with_dir);
+
+  core::TurlModel model_b(TinyConfig(), Ctx().vocab.size(),
+                          Ctx().entity_vocab.size(), 1);
+  core::Pretrainer pretrainer_b(&model_b, &Ctx());
+  const core::PretrainResult rb = pretrainer_b.Train(changed);
+
+  EXPECT_EQ(ra.steps, rb.steps);
+  EXPECT_DOUBLE_EQ(ra.final_loss, rb.final_loss);
+  ExpectBitIdentical(ParamsOf(model_a), ParamsOf(model_b));
+}
+
+TEST(FinetuneResumeTest, EpochResumeMatchesUninterruptedRun) {
+  tasks::HeaderVocab vocab = tasks::BuildHeaderVocab(Ctx());
+  const auto train = tasks::BuildSchemaAugInstances(
+      Ctx(), vocab, Ctx().corpus.train, 0, 40);
+  const auto probe = tasks::BuildSchemaAugInstances(
+      Ctx(), vocab, Ctx().corpus.valid, 0, 5);
+  ASSERT_FALSE(train.empty());
+  ASSERT_FALSE(probe.empty());
+
+  tasks::FinetuneOptions two_epochs;
+  two_epochs.epochs = 2;
+  two_epochs.max_tables = 20;
+
+  // Uninterrupted two-epoch run.
+  core::TurlModel model_u(TinyConfig(), Ctx().vocab.size(),
+                          Ctx().entity_vocab.size(), 11);
+  tasks::TurlSchemaAugmenter augmenter_u(&model_u, &Ctx(), &vocab, 31);
+  augmenter_u.Finetune(train, two_epochs);
+
+  // Interrupted run: one epoch with checkpointing, then a fresh model and
+  // head (same seeds) resume for the full two epochs. The fingerprint
+  // deliberately excludes epochs so extending the run is a resume, not a
+  // restart.
+  const std::string dir = FreshDir("finetune_resume");
+  {
+    core::TurlModel model(TinyConfig(), Ctx().vocab.size(),
+                          Ctx().entity_vocab.size(), 11);
+    tasks::TurlSchemaAugmenter augmenter(&model, &Ctx(), &vocab, 31);
+    tasks::FinetuneOptions one_epoch = two_epochs;
+    one_epoch.epochs = 1;
+    one_epoch.ckpt_dir = dir;
+    augmenter.Finetune(train, one_epoch);
+  }
+  core::TurlModel model_r(TinyConfig(), Ctx().vocab.size(),
+                          Ctx().entity_vocab.size(), 11);
+  tasks::TurlSchemaAugmenter augmenter_r(&model_r, &Ctx(), &vocab, 31);
+  tasks::FinetuneOptions resumed = two_epochs;
+  resumed.ckpt_dir = dir;
+  augmenter_r.Finetune(train, resumed);
+
+  ExpectBitIdentical(ParamsOf(model_u), ParamsOf(model_r));
+  // Head weights are private to the task; identical scores on held-out
+  // instances pin them down bit-for-bit too.
+  for (const auto& inst : probe) {
+    const std::vector<float> su = augmenter_u.Scores(inst);
+    const std::vector<float> sr = augmenter_r.Scores(inst);
+    ASSERT_EQ(su.size(), sr.size());
+    for (size_t i = 0; i < su.size(); ++i) ASSERT_EQ(su[i], sr[i]);
+  }
+}
+
+}  // namespace
+}  // namespace turl

@@ -1,6 +1,8 @@
 #include "nn/checkpoint.h"
 
 #include <cstdio>
+#include <fstream>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -17,6 +19,22 @@ void BuildStore(ParamStore* store, uint64_t seed) {
   store->CreateNormal("enc.w", {3, 4}, 0.5f, &rng);
   store->CreateNormal("enc.b", {4}, 0.5f, &rng);
   store->CreateFull("ln.gamma", {4}, 1.f);
+}
+
+std::vector<std::vector<float>> SnapshotStore(const ParamStore& store) {
+  std::vector<std::vector<float>> out;
+  for (const auto& [name, t] : store.params()) out.push_back(t.ToVector());
+  return out;
+}
+
+void ExpectUntouched(const ParamStore& store,
+                     const std::vector<std::vector<float>>& before) {
+  ASSERT_EQ(store.params().size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(store.params()[i].second.ToVector(), before[i])
+        << "param '" << store.params()[i].first
+        << "' was modified by a failed load";
+  }
 }
 
 TEST(CheckpointTest, RoundTripRestoresValues) {
@@ -81,6 +99,90 @@ TEST(CheckpointTest, NameMismatchFails) {
   b.CreateNormal("enc.b", {4}, 0.1f, &rng);
   b.CreateFull("ln.gamma", {4}, 1.f);
   EXPECT_FALSE(LoadCheckpoint(&b, path).ok());
+  std::remove(path.c_str());
+}
+
+// Regression tests for the in-place loading bug: LoadCheckpoint used to
+// write parameters as it read them, so a file that failed at param k left
+// params 0..k-1 overwritten. Every failure path must now leave the store
+// bit-identical to its pre-load state.
+
+TEST(CheckpointTest, TruncatedFileLeavesStoreUntouched) {
+  const std::string path = TempPath("ckpt_trunc.bin");
+  ParamStore a;
+  BuildStore(&a, 1);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  // Cut the file mid-way through the last parameter: the first params parse
+  // cleanly, which is exactly the case the old loader corrupted.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), std::streamsize(bytes.size() - 6));
+  }
+
+  ParamStore b;
+  BuildStore(&b, 99);
+  const std::vector<std::vector<float>> before = SnapshotStore(b);
+  EXPECT_FALSE(LoadCheckpoint(&b, path).ok());
+  ExpectUntouched(b, before);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShapeMismatchLeavesStoreUntouched) {
+  const std::string path = TempPath("ckpt_shape_untouched.bin");
+  ParamStore a;
+  BuildStore(&a, 1);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+
+  // First two params match; the third has a different shape, so the file
+  // parses well past the point where the old loader started writing.
+  ParamStore b;
+  Rng rng(5);
+  b.CreateNormal("enc.w", {3, 4}, 0.1f, &rng);
+  b.CreateNormal("enc.b", {4}, 0.1f, &rng);
+  b.CreateFull("ln.gamma", {8}, 1.f);
+  const std::vector<std::vector<float>> before = SnapshotStore(b);
+  EXPECT_EQ(LoadCheckpoint(&b, path).code(), StatusCode::kFailedPrecondition);
+  ExpectUntouched(b, before);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, NameMismatchLeavesStoreUntouched) {
+  const std::string path = TempPath("ckpt_name_untouched.bin");
+  ParamStore a;
+  BuildStore(&a, 1);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+
+  ParamStore b;
+  Rng rng(6);
+  b.CreateNormal("enc.w", {3, 4}, 0.1f, &rng);
+  b.CreateNormal("enc.b", {4}, 0.1f, &rng);
+  b.CreateFull("other.name", {4}, 1.f);
+  const std::vector<std::vector<float>> before = SnapshotStore(b);
+  EXPECT_FALSE(LoadCheckpoint(&b, path).ok());
+  ExpectUntouched(b, before);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TrailingBytesLeaveStoreUntouched) {
+  const std::string path = TempPath("ckpt_trailing.bin");
+  ParamStore a;
+  BuildStore(&a, 1);
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write("junk", 4);
+  }
+  ParamStore b;
+  BuildStore(&b, 99);
+  const std::vector<std::vector<float>> before = SnapshotStore(b);
+  EXPECT_FALSE(LoadCheckpoint(&b, path).ok());
+  ExpectUntouched(b, before);
   std::remove(path.c_str());
 }
 

@@ -109,6 +109,113 @@ TEST(SerializeTest, CorruptLengthRejected) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, RemainingTracksReadCursor) {
+  const std::string path = TempPath("remaining.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU32(1);
+    w.WriteU64(2);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.remaining(), 12u);
+  (void)r.ReadU32();
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.ReadU64();
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, HugeClaimedLengthsFailFastWithoutAllocating) {
+  // A corrupt length prefix claiming ~2^64 elements must be rejected against
+  // the stat'd file size before any allocation happens — for every
+  // length-prefixed type.
+  const std::string path = TempPath("huge_len.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU64(~0ull);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  {
+    BinaryReader r(path);
+    EXPECT_TRUE(r.ReadFloatVector().empty());
+    EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  }
+  {
+    BinaryReader r(path);
+    EXPECT_TRUE(r.ReadU32Vector().empty());
+    EXPECT_FALSE(r.status().ok());
+  }
+  {
+    BinaryReader r(path);
+    EXPECT_TRUE(r.ReadStringVector().empty());
+    EXPECT_FALSE(r.status().ok());
+  }
+  {
+    BinaryReader r(path);
+    EXPECT_EQ(r.ReadString(), "");
+    EXPECT_FALSE(r.status().ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, PlausibleButOversizedLengthStillRejected) {
+  // Not absurd (no overflow games), just bigger than the file: 1000 floats
+  // claimed, 4 bytes present.
+  const std::string path = TempPath("oversized.bin");
+  {
+    BinaryWriter w(path);
+    w.WriteU64(1000);
+    w.WriteFloat(1.f);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_TRUE(r.ReadFloatVector().empty());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+int g_hook_calls = 0;
+std::string g_hook_path;
+void RecordUncheckedError(const std::string& path) {
+  ++g_hook_calls;
+  g_hook_path = path;
+}
+
+TEST(SerializeTest, UncheckedWriteErrorFiresHookOnDestruction) {
+  UncheckedWriteErrorHook old = SetUncheckedWriteErrorHook(RecordUncheckedError);
+  g_hook_calls = 0;
+  g_hook_path.clear();
+  {
+    BinaryWriter w("/nonexistent/dir/file.bin");
+    w.WriteU32(1);  // Error accumulates; nobody calls Close().
+  }
+  EXPECT_EQ(g_hook_calls, 1);
+  EXPECT_EQ(g_hook_path, "/nonexistent/dir/file.bin");
+  SetUncheckedWriteErrorHook(old);
+}
+
+TEST(SerializeTest, CheckedErrorAndCleanCloseDoNotFireHook) {
+  UncheckedWriteErrorHook old = SetUncheckedWriteErrorHook(RecordUncheckedError);
+  g_hook_calls = 0;
+  {
+    // The error was surfaced through Close(): the caller had its chance.
+    BinaryWriter w("/nonexistent/dir/file.bin");
+    w.WriteU32(1);
+    EXPECT_FALSE(w.Close().ok());
+  }
+  {
+    const std::string path = TempPath("clean_close.bin");
+    BinaryWriter w(path);
+    w.WriteU32(1);
+    EXPECT_TRUE(w.Close().ok());
+    std::remove(path.c_str());
+  }
+  EXPECT_EQ(g_hook_calls, 0);
+  SetUncheckedWriteErrorHook(old);
+}
+
 TEST(FileExistsTest, Basic) {
   const std::string path = TempPath("exists.bin");
   EXPECT_FALSE(FileExists(path));
