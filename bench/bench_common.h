@@ -12,6 +12,7 @@
 #include "core/pretrain.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/server/handlers.h"
 #include "rt/batch_scheduler.h"
 #include "rt/inference_session.h"
 
@@ -27,6 +28,9 @@ inline void InitObservability() {
   if (initialized) return;
   initialized = true;
   obs::Profiler::SetEnabled(true);
+  // Long benches are scrapable while running: TURL_OBS_PORT=<port> starts the
+  // live observability plane (off when unset).
+  obs::server::StartFromEnv();
   std::atexit(+[] {
     const char* path = std::getenv("TURL_BENCH_OBS");
     const std::string out = (path != nullptr && *path != '\0')

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <memory>
 
 #include "ckpt/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/server/handlers.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -113,8 +116,29 @@ nn::Tensor Pretrainer::InstanceLoss(const PretrainInstance& instance,
   return loss;
 }
 
+/// /healthz probe while a checkpointed run is live: readiness means "a save
+/// would succeed right now", checked by touching a scratch file in the
+/// checkpoint directory.
+bool CkptDirWritable(const std::string& dir, std::string* detail) {
+  const std::string probe_path = dir + "/.obs_probe";
+  {
+    std::ofstream out(probe_path, std::ios::trunc);
+    out << "probe";
+    if (!out.good()) {
+      *detail = dir + " not writable";
+      return false;
+    }
+  }
+  std::remove(probe_path.c_str());
+  *detail = dir;
+  return true;
+}
+
 PretrainResult Pretrainer::Train(const Options& options) {
   TURL_PROFILE_SCOPE("pretrain.train");
+  // Pretraining is a long-running entry point: expose the live plane when
+  // TURL_OBS_PORT asks for it (no-op otherwise).
+  obs::server::StartFromEnv();
   PretrainResult result;
   const TurlConfig& cfg = model_->config();
   const int epochs = options.epochs > 0 ? options.epochs : cfg.pretrain_epochs;
@@ -171,10 +195,15 @@ PretrainResult Pretrainer::Train(const Options& options) {
   bool resumed_mid_epoch = false;
 
   std::unique_ptr<ckpt::CheckpointManager> manager;
+  std::unique_ptr<obs::server::ScopedReadinessProbe> ckpt_probe;
   if (!options.ckpt_dir.empty()) {
     manager = std::make_unique<ckpt::CheckpointManager>(
         ckpt::CheckpointManager::Options{options.ckpt_dir,
                                          options.keep_last});
+    ckpt_probe = std::make_unique<obs::server::ScopedReadinessProbe>(
+        "ckpt_dir_writable", [dir = options.ckpt_dir](std::string* detail) {
+          return CkptDirWritable(dir, detail);
+        });
   }
   const std::string fingerprint =
       PretrainFingerprint(cfg, options.seed, epochs, tables_per_epoch);

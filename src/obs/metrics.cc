@@ -146,6 +146,11 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+void MetricsRegistry::SetHelp(const std::string& name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[name] = std::move(help);
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -245,20 +250,45 @@ std::string MetricsRegistry::ToTable() const {
   return out.str();
 }
 
-namespace {
-
-/// Prometheus metric name: "turl_" + name with every non-[a-zA-Z0-9_]
-/// character replaced by '_'.
 std::string PrometheusName(const std::string& name) {
   std::string out = "turl_";
   out.reserve(name.size() + 5);
   for (char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                    (c >= '0' && c <= '9') || c == '_';
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
     out += ok ? c : '_';
   }
   return out;
 }
+
+std::string PrometheusLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PrometheusHelpEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
 
 /// Prometheus float formatting: finite values compactly, non-finite as the
 /// spelled-out tokens the exposition format defines.
@@ -270,36 +300,64 @@ std::string PrometheusDouble(double v) {
   return buf;
 }
 
+/// Distinct raw names may sanitize to the same exposition name ("a.b" vs
+/// "a_b"); a family must not appear twice, so collisions get a _dupN suffix.
+class FamilyNamer {
+ public:
+  std::string Unique(const std::string& raw) {
+    std::string pn = PrometheusName(raw);
+    const int n = seen_[pn]++;
+    if (n > 0) pn += "_dup" + std::to_string(n);
+    return pn;
+  }
+
+ private:
+  std::map<std::string, int> seen_;
+};
+
 }  // namespace
 
 std::string MetricsRegistry::ToPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
+  FamilyNamer namer;
+  const auto help_for = [this](const std::string& name, const char* kind) {
+    const auto it = help_.find(name);
+    if (it != help_.end()) return PrometheusHelpEscape(it->second);
+    return PrometheusHelpEscape("TURL " + std::string(kind) + " '" + name +
+                                "'");
+  };
   for (const auto& [name, c] : counters_) {
-    const std::string pn = PrometheusName(name);
-    out << "# TYPE " << pn << " counter\n"
+    const std::string pn = namer.Unique(name);
+    out << "# HELP " << pn << ' ' << help_for(name, "counter") << '\n'
+        << "# TYPE " << pn << " counter\n"
         << pn << ' ' << c->Value() << '\n';
   }
   for (const auto& [name, g] : gauges_) {
-    const std::string pn = PrometheusName(name);
-    out << "# TYPE " << pn << " gauge\n"
+    const std::string pn = namer.Unique(name);
+    out << "# HELP " << pn << ' ' << help_for(name, "gauge") << '\n'
+        << "# TYPE " << pn << " gauge\n"
         << pn << ' ' << PrometheusDouble(g->Value()) << '\n';
   }
   for (const auto& [name, h] : histograms_) {
-    const std::string pn = PrometheusName(name);
-    out << "# TYPE " << pn << " histogram\n";
+    const std::string pn = namer.Unique(name);
+    out << "# HELP " << pn << ' ' << help_for(name, "histogram") << '\n'
+        << "# TYPE " << pn << " histogram\n";
     const std::vector<double>& bounds = h->bounds();
     const std::vector<int64_t> buckets = h->BucketCounts();
     int64_t cumulative = 0;
     for (size_t i = 0; i < bounds.size(); ++i) {
       cumulative += buckets[i];
-      out << pn << "_bucket{le=\"" << PrometheusDouble(bounds[i]) << "\"} "
+      out << pn << "_bucket{le=\""
+          << PrometheusLabelEscape(PrometheusDouble(bounds[i])) << "\"} "
           << cumulative << '\n';
     }
     cumulative += buckets.back();
+    // _count comes from the same bucket snapshot as the cumulative series, so
+    // le="+Inf" always equals _count even while observations race the scrape.
     out << pn << "_bucket{le=\"+Inf\"} " << cumulative << '\n'
         << pn << "_sum " << PrometheusDouble(h->sum()) << '\n'
-        << pn << "_count " << h->count() << '\n';
+        << pn << "_count " << cumulative << '\n';
   }
   return out.str();
 }

@@ -91,15 +91,23 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> upper_bounds);
 
+  /// Help text for the metric's `# HELP` exposition line. Metrics without an
+  /// explicit help get a generated one, so every exposition family carries a
+  /// HELP line either way.
+  void SetHelp(const std::string& name, std::string help);
+
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
   /// p50,p95,p99,max}}} — keys sorted, stable across runs.
   std::string ToJson() const;
   /// Human-readable dump, one metric per line, for end-of-run summaries.
   std::string ToTable() const;
-  /// Prometheus text exposition format (one # TYPE line per metric; metric
-  /// names are prefixed with "turl_" and sanitized to [a-zA-Z0-9_];
-  /// histograms export cumulative _bucket{le=...} series plus _sum/_count).
-  /// The scrape body once a serving endpoint exists.
+  /// Prometheus text exposition format — what /metrics serves. Conformant
+  /// with the text format spec: every family gets `# HELP` and `# TYPE`
+  /// lines, names are prefixed with "turl_" and sanitized to
+  /// [a-zA-Z_:][a-zA-Z0-9_:]* (sanitization collisions get a _dupN suffix so
+  /// a family never appears twice), label values and help text are escaped,
+  /// and histograms export cumulative _bucket{le=...} series ending at
+  /// le="+Inf" plus _sum/_count.
   std::string ToPrometheusText() const;
   /// Zeroes every metric but keeps the (stable) metric pointers.
   void Reset();
@@ -109,7 +117,16 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
+
+/// Prometheus metric-name sanitization: "turl_" + name with every character
+/// outside [a-zA-Z0-9_:] replaced by '_'. Exposed for the conformance test.
+std::string PrometheusName(const std::string& name);
+/// Prometheus label-value escaping: backslash, double-quote and newline.
+std::string PrometheusLabelEscape(const std::string& value);
+/// Prometheus HELP-text escaping: backslash and newline.
+std::string PrometheusHelpEscape(const std::string& text);
 
 /// JSON string-body escaping (quotes, backslashes, control chars).
 std::string JsonEscape(const std::string& s);

@@ -1,0 +1,210 @@
+#include "obs/server/handlers.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/server/process_stats.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace turl {
+namespace obs {
+namespace server {
+
+namespace {
+
+/// Positive query parameter with bounds; `fallback` when absent/garbage.
+size_t QueryParam(const HttpRequest& request, const char* key, size_t fallback,
+                  size_t max_value) {
+  const auto it = request.query.find(key);
+  if (it == request.query.end()) return fallback;
+  const long long v = std::atoll(it->second.c_str());
+  if (v <= 0) return fallback;
+  return std::min(static_cast<size_t>(v), max_value);
+}
+
+bool WantsJson(const HttpRequest& request) {
+  const auto it = request.query.find("format");
+  return it != request.query.end() && it->second == "json";
+}
+
+HttpResponse IndexHandler(const ObsServer* server) {
+  std::ostringstream body;
+  body << "turl observability plane\nendpoints:\n";
+  for (const std::string& path : server->paths()) body << "  " << path << '\n';
+  HttpResponse resp;
+  resp.body = body.str();
+  return resp;
+}
+
+HttpResponse MetricsHandler(const HttpRequest&) {
+  UpdateProcessGauges();
+  HttpResponse resp;
+  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  resp.body = MetricsRegistry::Get().ToPrometheusText();
+  return resp;
+}
+
+HttpResponse HealthzHandler(const HttpRequest&) {
+  const std::vector<HealthRegistry::Result> results =
+      HealthRegistry::Get().RunAll();
+  bool healthy = true;
+  std::ostringstream body;
+  for (const auto& r : results) {
+    healthy = healthy && r.ok;
+    body << "probe " << r.name << ": " << (r.ok ? "ok" : "FAIL");
+    if (!r.detail.empty()) body << " (" << r.detail << ')';
+    body << '\n';
+  }
+  HttpResponse resp;
+  resp.status = healthy ? 200 : 503;
+  resp.body = (healthy ? "status: ok\n" : "status: unhealthy\n") + body.str();
+  return resp;
+}
+
+HttpResponse VarzHandler(const HttpRequest&) {
+  UpdateProcessGauges();
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = MetricsRegistry::Get().ToJson();
+  resp.body += '\n';
+  return resp;
+}
+
+HttpResponse TracezHandler(const HttpRequest& request) {
+  HttpResponse resp;
+  if (WantsJson(request)) {
+    // Chrome-trace slice of the most recent spans, loadable in Perfetto.
+    const size_t limit = QueryParam(request, "limit", 256, 16384);
+    resp.content_type = "application/json";
+    resp.body = ChromeTraceJson(limit);
+    resp.body += '\n';
+    return resp;
+  }
+  const size_t slow = QueryParam(request, "slow", 10, 1000);
+  Tracer& tracer = Tracer::Get();
+  std::ostringstream body;
+  body << "tracing: " << (Tracer::Enabled() ? "enabled" : "disabled")
+       << "  (events retained " << tracer.collector().Snapshot().size()
+       << ", dropped " << tracer.collector().dropped() << ")\n\n"
+       << SlowTraceReport(slow)
+       << "\n(?slow=N for more rows; ?format=json&limit=N for a Chrome-trace "
+          "slice)\n";
+  resp.body = body.str();
+  return resp;
+}
+
+HttpResponse ProfilezHandler(const HttpRequest& request) {
+  HttpResponse resp;
+  if (WantsJson(request)) {
+    resp.content_type = "application/json";
+    resp.body = "{\"spans\":" + Profiler::Get().ReportJson() + "}\n";
+    return resp;
+  }
+  std::ostringstream body;
+  body << "profiling: " << (Profiler::Enabled() ? "enabled" : "disabled")
+       << "\n\n"
+       << Profiler::Get().ReportTable();
+  resp.body = body.str();
+  return resp;
+}
+
+}  // namespace
+
+void RegisterStandardHandlers(ObsServer* server) {
+  server->Handle("/metrics", MetricsHandler);
+  server->Handle("/healthz", HealthzHandler);
+  server->Handle("/varz", VarzHandler);
+  server->Handle("/tracez", TracezHandler);
+  server->Handle("/profilez", ProfilezHandler);
+  server->Handle("/",
+                 [server](const HttpRequest&) { return IndexHandler(server); });
+}
+
+HealthRegistry& HealthRegistry::Get() {
+  static HealthRegistry* registry = new HealthRegistry();
+  return *registry;
+}
+
+int HealthRegistry::Add(std::string name, ProbeFn probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = next_id_++;
+  probes_.emplace(id, std::make_pair(std::move(name), std::move(probe)));
+  return id;
+}
+
+void HealthRegistry::Remove(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.erase(id);
+}
+
+std::vector<HealthRegistry::Result> HealthRegistry::RunAll() const {
+  // Snapshot under the lock, probe outside it: a probe must be free to touch
+  // the registry of metrics (or anything else) without deadlocking us.
+  std::vector<std::pair<std::string, ProbeFn>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(probes_.size());
+    for (const auto& [id, entry] : probes_) snapshot.push_back(entry);
+  }
+  std::vector<Result> results;
+  results.reserve(snapshot.size() + 1);
+  // Liveness: answering at all means the process is live.
+  results.push_back(Result{"live", true, ""});
+  for (const auto& [name, probe] : snapshot) {
+    Result r;
+    r.name = name;
+    r.ok = probe(&r.detail);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+size_t HealthRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_.size();
+}
+
+namespace {
+ObsServer* g_env_server = nullptr;
+}  // namespace
+
+ObsServer* StartFromEnv() {
+  static ObsServer* const server = []() -> ObsServer* {
+    const char* v = std::getenv("TURL_OBS_PORT");
+    if (v == nullptr || *v == '\0') return nullptr;
+    char* end = nullptr;
+    const long port = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || port < 0 || port > 65535) {
+      TURL_LOG(Warning) << "TURL_OBS_PORT=" << v
+                        << " is not a port; observability server stays off";
+      return nullptr;
+    }
+    ObsServer::Options options;
+    options.port = static_cast<int>(port);
+    auto* s = new ObsServer(options);
+    RegisterStandardHandlers(s);
+    const Status status = s->Start();
+    if (!status.ok()) {
+      TURL_LOG(Warning) << "observability server failed to start: "
+                        << status.ToString();
+      delete s;
+      return nullptr;
+    }
+    g_env_server = s;
+    // Drain cleanly at exit so in-flight scrapes finish and sanitizers see
+    // no live sockets/threads.
+    std::atexit(+[] {
+      if (g_env_server != nullptr) g_env_server->Stop();
+    });
+    TURL_LOG(Info) << "observability server listening on " << s->base_url();
+    return s;
+  }();
+  return server;
+}
+
+}  // namespace server
+}  // namespace obs
+}  // namespace turl

@@ -1,0 +1,92 @@
+#ifndef TURL_OBS_SERVER_HANDLERS_H_
+#define TURL_OBS_SERVER_HANDLERS_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/server/server.h"
+
+namespace turl {
+namespace obs {
+namespace server {
+
+/// Standard endpoint set (the scrape surface documented in DESIGN.md §10):
+///
+///   /          index of registered endpoints
+///   /metrics   Prometheus text exposition of the global registry
+///   /healthz   liveness + registered readiness probes (200 / 503)
+///   /varz      full JSON metrics snapshot (counters/gauges/histograms with
+///              p50/p95/p99) plus process RSS gauges
+///   /tracez    SlowTraceReport table (?slow=N), or the last-N spans as a
+///              Chrome-trace JSON slice with ?format=json&limit=N
+///   /profilez  profiler self-time tree (?format=json for the JSON report)
+void RegisterStandardHandlers(ObsServer* server);
+
+/// One readiness check: return true when ready; *detail may carry a short
+/// human-readable explanation either way. Probes run on server worker
+/// threads, so they must be thread-safe and fast.
+using ProbeFn = std::function<bool(std::string* detail)>;
+
+/// Process-wide readiness probes feeding /healthz. Long-running components
+/// register a probe for their lifetime (ScopedReadinessProbe): the
+/// Pretrainer registers "ckpt_dir_writable" while checkpointing, the
+/// BatchScheduler registers "rt.scheduler" while alive. /healthz is 200
+/// only when every registered probe passes (liveness alone when none are).
+class HealthRegistry {
+ public:
+  static HealthRegistry& Get();
+
+  /// Registers a probe; the id unregisters it. Duplicate names are allowed
+  /// (two schedulers each report).
+  int Add(std::string name, ProbeFn probe);
+  void Remove(int id);
+
+  struct Result {
+    std::string name;
+    bool ok = false;
+    std::string detail;
+  };
+  /// Runs every registered probe (outside the registry lock, in
+  /// registration order). A probe racing its own Remove may still run once.
+  std::vector<Result> RunAll() const;
+
+  size_t size() const;
+
+ private:
+  HealthRegistry() = default;
+  mutable std::mutex mu_;
+  int next_id_ = 1;
+  std::map<int, std::pair<std::string, ProbeFn>> probes_;
+};
+
+/// RAII registration: the probe participates in /healthz for this object's
+/// lifetime.
+class ScopedReadinessProbe {
+ public:
+  ScopedReadinessProbe(std::string name, ProbeFn probe)
+      : id_(HealthRegistry::Get().Add(std::move(name), std::move(probe))) {}
+  ~ScopedReadinessProbe() { HealthRegistry::Get().Remove(id_); }
+
+  ScopedReadinessProbe(const ScopedReadinessProbe&) = delete;
+  ScopedReadinessProbe& operator=(const ScopedReadinessProbe&) = delete;
+
+ private:
+  int id_;
+};
+
+/// Starts the process-wide observability server when TURL_OBS_PORT is set
+/// ("0" = ephemeral, for tests; unset/empty = off, the default) with the
+/// standard handlers registered. Idempotent — every long-running entry point
+/// calls it and the first call wins; later calls return the same server (or
+/// nullptr when the plane is off). The server is stopped at process exit.
+ObsServer* StartFromEnv();
+
+}  // namespace server
+}  // namespace obs
+}  // namespace turl
+
+#endif  // TURL_OBS_SERVER_HANDLERS_H_

@@ -1,0 +1,57 @@
+#include "obs/server/process_stats.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace turl {
+namespace obs {
+namespace server {
+
+bool SampleProcessStats(ProcessStats* out) {
+  // /proc/self/statm: size resident shared text lib data dt, in pages.
+  long long size_pages = 0, resident_pages = 0;
+  {
+    std::FILE* f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr) return false;
+    const int matched =
+        std::fscanf(f, "%lld %lld", &size_pages, &resident_pages);
+    std::fclose(f);
+    if (matched != 2) return false;
+  }
+  const long page = ::sysconf(_SC_PAGESIZE);
+  out->rss_bytes = resident_pages * (page > 0 ? page : 4096);
+
+  // VmHWM (peak RSS) only appears in /proc/self/status, in kB.
+  out->peak_rss_bytes = out->rss_bytes;  // Fallback: peak >= current.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      long long kb = 0;
+      if (std::sscanf(line, "VmHWM: %lld kB", &kb) == 1) {
+        out->peak_rss_bytes = kb * 1024;
+        break;
+      }
+    }
+    std::fclose(f);
+  }
+  return true;
+}
+
+void UpdateProcessGauges() {
+  static Gauge* rss =
+      MetricsRegistry::Get().GetGauge("obs.process.rss_bytes");
+  static Gauge* peak =
+      MetricsRegistry::Get().GetGauge("obs.process.peak_rss_bytes");
+  ProcessStats stats;
+  if (!SampleProcessStats(&stats)) return;
+  rss->Set(static_cast<double>(stats.rss_bytes));
+  peak->Set(static_cast<double>(stats.peak_rss_bytes));
+}
+
+}  // namespace server
+}  // namespace obs
+}  // namespace turl

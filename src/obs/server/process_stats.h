@@ -1,0 +1,29 @@
+#ifndef TURL_OBS_SERVER_PROCESS_STATS_H_
+#define TURL_OBS_SERVER_PROCESS_STATS_H_
+
+#include <cstdint>
+
+namespace turl {
+namespace obs {
+namespace server {
+
+/// Point-in-time process memory figures, sampled from procfs.
+struct ProcessStats {
+  int64_t rss_bytes = 0;       ///< Resident set (/proc/self/statm field 2).
+  int64_t peak_rss_bytes = 0;  ///< High-water mark (/proc/self/status VmHWM).
+};
+
+/// Samples procfs. False (fields untouched) when procfs is unavailable —
+/// callers on exotic platforms just get no memory gauges.
+bool SampleProcessStats(ProcessStats* out);
+
+/// Samples and publishes `obs.process.rss_bytes` / `obs.process.peak_rss_bytes`
+/// to the global registry. Called by the /metrics and /varz handlers so every
+/// scrape carries fresh memory figures; cheap enough to call ad hoc.
+void UpdateProcessGauges();
+
+}  // namespace server
+}  // namespace obs
+}  // namespace turl
+
+#endif  // TURL_OBS_SERVER_PROCESS_STATS_H_

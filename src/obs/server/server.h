@@ -1,0 +1,127 @@
+#ifndef TURL_OBS_SERVER_SERVER_H_
+#define TURL_OBS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/server/http.h"
+#include "util/status.h"
+
+namespace turl {
+namespace obs {
+namespace server {
+
+/// The live observability plane: a dependency-free HTTP/1.0 server over
+/// POSIX sockets that exposes the in-process metrics/trace/profile state of
+/// a running job (see handlers.h for the standard endpoint set).
+///
+/// Threading model: one accept thread (blocking accept via a 100ms poll loop
+/// so Stop() is prompt) feeds a bounded queue of accepted connections
+/// drained by a fixed pool of worker threads — one request per connection,
+/// Connection: close. When the queue is full the accept thread sheds the
+/// connection with an immediate 503 instead of queueing unboundedly
+/// (backpressure; counted as `obs.server.shed`).
+///
+/// Shutdown semantics: Stop() first stops accepting, then lets workers drain
+/// every queued and in-flight response gracefully; connections still open
+/// after `drain_deadline_ms` are forcibly shut down so Stop() has a hard
+/// upper bound. Stop() is idempotent and also runs from the destructor.
+///
+/// Handlers run on worker threads, so anything they touch must be
+/// thread-safe (the metrics registry, tracer and profiler all are).
+class ObsServer {
+ public:
+  struct Options {
+    /// TCP port; 0 binds an ephemeral port (read it back via port()).
+    int port = 0;
+    /// Bind address. The plane serves process-internal state, so it binds
+    /// loopback by default; widen deliberately.
+    std::string bind_address = "127.0.0.1";
+    /// Worker threads serving accepted connections.
+    int num_workers = 2;
+    /// Accepted-but-unserved connections held at once; beyond this the
+    /// accept thread sheds with 503.
+    int max_queued = 16;
+    /// SO_RCVTIMEO while reading a request head; a client that connects and
+    /// goes silent cannot pin a worker past this.
+    int read_timeout_ms = 2000;
+    /// Stop(): grace period for in-flight/queued responses before their
+    /// sockets are forcibly shut down.
+    int drain_deadline_ms = 2000;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  ObsServer();  // Default options (the Options() defaults above).
+  explicit ObsServer(Options options);
+  ~ObsServer();
+
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  /// Registers `handler` for exact-match GET/HEAD requests on `path`.
+  /// Must be called before Start().
+  void Handle(const std::string& path, Handler handler);
+
+  /// Binds, listens and spawns the accept + worker threads. Fails (without
+  /// leaking) if the address cannot be bound or the server already runs.
+  Status Start();
+
+  /// Graceful drain then hard-deadline shutdown (see class comment).
+  /// Safe to call twice; Start() works again afterwards.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves port 0 to the kernel-assigned one). 0 before
+  /// the first successful Start().
+  int port() const { return port_; }
+  /// "http://127.0.0.1:<port>" convenience for logs and tests.
+  std::string base_url() const;
+
+  /// Registered endpoint paths, sorted — what the index page lists.
+  std::vector<std::string> paths() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop(int worker_index);
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  Options options_;
+  std::map<std::string, Handler> handlers_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  /// Set when the drain deadline lapsed: workers close queued connections
+  /// unserved instead of answering them.
+  std::atomic<bool> hard_stop_{false};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;    ///< Queue non-empty or stopping.
+  std::condition_variable drained_cv_; ///< A worker exited its loop.
+  std::deque<int> pending_;            ///< Accepted fds awaiting a worker.
+  int exited_workers_ = 0;
+
+  /// fd each worker currently serves (-1 idle); guarded by conn_mu_ so the
+  /// hard-deadline path can shutdown() an fd without racing its close().
+  std::mutex conn_mu_;
+  std::vector<int> in_flight_;
+};
+
+}  // namespace server
+}  // namespace obs
+}  // namespace turl
+
+#endif  // TURL_OBS_SERVER_SERVER_H_

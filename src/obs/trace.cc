@@ -312,8 +312,13 @@ uint64_t ParseSamplePeriod(const char* value) {
   return n > 1 ? static_cast<uint64_t>(n) : 1;
 }
 
-std::string ChromeTraceJson() {
-  const std::vector<TraceEvent> events = Tracer::Get().collector().Snapshot();
+std::string ChromeTraceJson(size_t last_n) {
+  std::vector<TraceEvent> events = Tracer::Get().collector().Snapshot();
+  if (last_n > 0 && events.size() > last_n) {
+    // Snapshot is start-sorted, so the tail is the most recent activity.
+    events.erase(events.begin(),
+                 events.end() - static_cast<ptrdiff_t>(last_n));
+  }
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   // Thread-name metadata so chrome://tracing labels the tracks.

@@ -262,7 +262,9 @@ uint64_t ParseSamplePeriod(const char* value);
 /// The collected events as Chrome trace-event JSON ({"traceEvents":[...]},
 /// "X" complete events with ts/dur in microseconds; args carry trace/span/
 /// parent ids and the annotations; "M" metadata events name the threads).
-std::string ChromeTraceJson();
+/// `last_n` > 0 keeps only the most recent N events by start time — the
+/// bounded slice /tracez serves; 0 exports everything retained.
+std::string ChromeTraceJson(size_t last_n = 0);
 /// Writes ChromeTraceJson() to `path`; false if the file cannot be written.
 bool WriteChromeTrace(const std::string& path);
 

@@ -31,13 +31,24 @@ obs::Counter* FlushCounter(const char* reason) {
       std::string("rt.scheduler.flush_") + reason);
 }
 
+obs::Histogram* QueueWaitHistogram() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Get().GetHistogram("rt.scheduler.queue_wait_ms");
+  return h;
+}
+
 }  // namespace
 
 BatchScheduler::BatchScheduler(const InferenceSession* session,
                                BatchSchedulerOptions options, ClockFn clock)
     : session_(session),
       options_(options),
-      clock_(clock ? std::move(clock) : ClockFn(&SteadyNowMs)) {
+      clock_(clock ? std::move(clock) : ClockFn(&SteadyNowMs)),
+      readiness_("rt.scheduler", [pending = pending_count_](std::string* detail) {
+        *detail = "accepting, pending=" +
+                  std::to_string(pending->load(std::memory_order_relaxed));
+        return true;
+      }) {
   TURL_CHECK(session != nullptr);
   TURL_CHECK_GT(options_.max_batch_tables, 0);
   TURL_CHECK_GT(options_.max_batch_budget, 0);
@@ -84,6 +95,8 @@ void BatchScheduler::SubmitImpl(const core::EncodedTable* table,
   queue_.push_back(std::move(r));
   queued_budget_ += cost;
   QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+  pending_count_->store(static_cast<int64_t>(queue_.size()),
+                        std::memory_order_relaxed);
   if (static_cast<int>(queue_.size()) >= options_.max_batch_tables) {
     FlushCounter("size")->Inc();
     Flush();
@@ -106,6 +119,7 @@ void BatchScheduler::Flush() {
   queue_.clear();
   queued_budget_ = 0;
   QueueDepthGauge()->Set(0.0);
+  pending_count_->store(0, std::memory_order_relaxed);
   const auto drain_tp = std::chrono::steady_clock::now();
   std::vector<const core::EncodedTable*> tables;
   tables.reserve(batch.size());
@@ -113,6 +127,11 @@ void BatchScheduler::Flush() {
   for (const Request& r : batch) {
     tables.push_back(r.table);
     budget += r.table->total();
+    // Real-clock wait from enqueue to drain — the scrape-visible companion
+    // of the queue_depth gauge and the per-request rt.queue_wait span.
+    QueueWaitHistogram()->Observe(
+        std::chrono::duration<double, std::milli>(drain_tp - r.enqueue_tp)
+            .count());
   }
   std::vector<obs::TraceContext> traces;
   if (obs::Tracer::Enabled()) {

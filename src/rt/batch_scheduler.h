@@ -1,13 +1,16 @@
 #ifndef TURL_RT_BATCH_SCHEDULER_H_
 #define TURL_RT_BATCH_SCHEDULER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "nn/tensor.h"
+#include "obs/server/handlers.h"
 #include "obs/trace.h"
 #include "rt/inference_session.h"
 
@@ -106,6 +109,15 @@ class BatchScheduler {
   ClockFn clock_;
   std::deque<Request> queue_;
   int64_t queued_budget_ = 0;
+  /// Race-free mirror of queue_.size() for the readiness probe below —
+  /// /healthz runs on an observability-server worker thread and must not
+  /// touch the (single-threaded) deque. Shared with the probe closure so a
+  /// probe snapshot that races scheduler destruction reads a live object.
+  std::shared_ptr<std::atomic<int64_t>> pending_count_ =
+      std::make_shared<std::atomic<int64_t>>(0);
+  /// "rt.scheduler" in /healthz: ready while this scheduler is alive and
+  /// accepting submissions.
+  obs::server::ScopedReadinessProbe readiness_;
 };
 
 }  // namespace rt

@@ -6,6 +6,7 @@
 #include <exception>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace turl {
@@ -17,6 +18,16 @@ namespace {
 /// threads. Used for nesting detection and per-worker scratch selection.
 thread_local const ThreadPool* tls_pool = nullptr;
 thread_local int tls_worker_index = 0;
+
+/// Fraction of pool capacity running tasks right now. With several pools in
+/// one process (session pool + kernel pool) the gauge is last-write-wins —
+/// it reflects whichever pool most recently changed occupancy, which for a
+/// scrape-while-loaded reading is the busy one.
+obs::Gauge* UtilizationGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Get().GetGauge("rt.pool.utilization");
+  return g;
+}
 
 }  // namespace
 
@@ -74,7 +85,11 @@ void ThreadPool::WorkerLoop(int worker_index) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const int running = active_.fetch_add(1, std::memory_order_relaxed) + 1;
+    UtilizationGauge()->Set(double(running) / double(num_threads_));
     task();
+    const int left = active_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    UtilizationGauge()->Set(double(left) / double(num_threads_));
   }
 }
 

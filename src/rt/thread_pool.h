@@ -1,6 +1,7 @@
 #ifndef TURL_RT_THREAD_POOL_H_
 #define TURL_RT_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,6 +49,13 @@ class ThreadPool {
   /// True when the current thread is one of this pool's workers.
   bool InWorker() const;
 
+  /// Tasks currently executing on this pool's spawned workers (work the
+  /// submitting thread runs inline — worker 0's ParallelFor share, nested
+  /// calls, single-threaded pools — is not counted). Feeds the
+  /// `rt.pool.utilization` gauge: active() / num_threads(), updated at every
+  /// task start/finish, so a scrape sees how busy the pool is right now.
+  int active() const { return active_.load(std::memory_order_relaxed); }
+
   /// Index of the current worker in [0, num_threads()); workers are numbered
   /// 1..N-1 and the caller thread acts as worker 0 while it drains a
   /// ParallelFor. Returns 0 on non-pool threads.
@@ -81,6 +89,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  std::atomic<int> active_{0};
 };
 
 }  // namespace rt

@@ -103,7 +103,10 @@ TEST_F(ProfilerTest, SpanOpenAcrossDisableStillCloses) {
     Profiler::SetEnabled(false);
     Sleep(0.5);
   }
-  const SpanStats* s = Find(Profiler::Get().Report(), "test.straddle");
+  // Keep the report alive past the Find(): a pointer into the returned
+  // temporary would dangle before the assertions read it.
+  const std::vector<SpanStats> report = Profiler::Get().Report();
+  const SpanStats* s = Find(report, "test.straddle");
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->count, 1);
   Profiler::SetEnabled(true);  // Restore for TearDown symmetry.
@@ -148,7 +151,8 @@ TEST_F(ProfilerTest, ThreadsAggregateIndependentlyThenMerge) {
     });
   }
   for (auto& t : threads) t.join();
-  const SpanStats* s = Find(Profiler::Get().Report(), "test.mt");
+  const std::vector<SpanStats> report = Profiler::Get().Report();
+  const SpanStats* s = Find(report, "test.mt");
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->count, 200);
 }

@@ -1,0 +1,358 @@
+// Prometheus text-exposition conformance. A small validator checks the
+// grammar the format spec pins down — HELP/TYPE comment lines, metric-name
+// charset, TYPE-before-samples ordering, label-value escaping, cumulative
+// histogram buckets ending at le="+Inf" equal to _count — and the registry's
+// ToPrometheusText() must pass it even for hostile metric names and help
+// text. Hand-written malformed documents must be rejected, so the validator
+// itself is pinned too.
+
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace turl {
+namespace obs {
+namespace {
+
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool ValidLabelName(const std::string& name) {
+  // Label names allow [a-zA-Z_][a-zA-Z0-9_]* — no colons.
+  return ValidName(name) && name.find(':') == std::string::npos;
+}
+
+/// Parses `name{labels} value` into its pieces; false on any grammar error.
+bool ParseSample(const std::string& line, std::string* name,
+                 std::vector<std::pair<std::string, std::string>>* labels,
+                 double* value) {
+  size_t pos = 0;
+  while (pos < line.size() &&
+         (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+          line[pos] == '_' || line[pos] == ':')) {
+    ++pos;
+  }
+  *name = line.substr(0, pos);
+  if (!ValidName(*name)) return false;
+  if (pos < line.size() && line[pos] == '{') {
+    const size_t close = line.rfind('}');
+    if (close == std::string::npos || close < pos) return false;
+    std::string body = line.substr(pos + 1, close - pos - 1);
+    size_t i = 0;
+    while (i < body.size()) {
+      const size_t eq = body.find('=', i);
+      if (eq == std::string::npos) return false;
+      const std::string lname = body.substr(i, eq - i);
+      if (!ValidLabelName(lname)) return false;
+      if (eq + 1 >= body.size() || body[eq + 1] != '"') return false;
+      // Scan the quoted value honoring \\, \" and \n escapes.
+      std::string lvalue;
+      size_t j = eq + 2;
+      bool closed = false;
+      while (j < body.size()) {
+        if (body[j] == '\\') {
+          if (j + 1 >= body.size()) return false;
+          const char e = body[j + 1];
+          if (e != '\\' && e != '"' && e != 'n') return false;
+          lvalue += e;
+          j += 2;
+        } else if (body[j] == '"') {
+          closed = true;
+          ++j;
+          break;
+        } else if (body[j] == '\n') {
+          return false;
+        } else {
+          lvalue += body[j++];
+        }
+      }
+      if (!closed) return false;
+      labels->emplace_back(lname, lvalue);
+      if (j < body.size()) {
+        if (body[j] != ',') return false;
+        ++j;
+      }
+      i = j;
+    }
+    pos = close + 1;
+  }
+  if (pos >= line.size() || line[pos] != ' ') return false;
+  const std::string value_str = line.substr(pos + 1);
+  if (value_str.empty() || value_str.find(' ') != std::string::npos) {
+    return false;  // No timestamps in our exposition.
+  }
+  if (value_str == "+Inf" || value_str == "-Inf" || value_str == "NaN") {
+    *value = value_str == "NaN" ? 0.0
+             : value_str[0] == '+'
+                 ? std::numeric_limits<double>::infinity()
+                 : -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  char* end = nullptr;
+  *value = std::strtod(value_str.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != value_str.c_str();
+}
+
+/// The sample's family: histogram series suffixes fold into the base name.
+std::string FamilyOf(const std::string& sample_name,
+                     const std::map<std::string, std::string>& types) {
+  if (types.count(sample_name)) return sample_name;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (sample_name.size() > s.size() &&
+        sample_name.compare(sample_name.size() - s.size(), s.size(), s) ==
+            0) {
+      const std::string base = sample_name.substr(0, sample_name.size() -
+                                                         s.size());
+      const auto it = types.find(base);
+      if (it != types.end() && it->second == "histogram") return base;
+    }
+  }
+  return sample_name;
+}
+
+/// Validates a full exposition document. On failure *error names the first
+/// offending line.
+bool ValidatePrometheusText(const std::string& text, std::string* error) {
+  const auto fail = [error](const std::string& why, const std::string& line) {
+    *error = why + ": '" + line + "'";
+    return false;
+  };
+  if (text.empty() || text.back() != '\n') {
+    *error = "document must end with a newline";
+    return false;
+  }
+  std::map<std::string, std::string> types;   // family -> type
+  std::map<std::string, bool> family_sampled; // family -> any sample seen
+  // Histogram bookkeeping: last cumulative bucket value, +Inf seen, counts.
+  struct HistState {
+    double last_bucket = -1.0;
+    bool inf_seen = false;
+    double inf_value = 0.0;
+    bool count_seen = false;
+    double count_value = 0.0;
+    bool sum_seen = false;
+  };
+  std::map<std::string, HistState> hists;
+
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream in(line);
+      std::string hash, kind, name;
+      in >> hash >> kind >> name;
+      if (kind == "HELP") {
+        if (!ValidName(name)) return fail("bad HELP name", line);
+        // HELP text: escaped backslashes and newlines only.
+        const std::string rest = line.substr(line.find(name) + name.size());
+        for (size_t i = 0; i < rest.size(); ++i) {
+          if (rest[i] == '\\' &&
+              (i + 1 >= rest.size() ||
+               (rest[i + 1] != '\\' && rest[i + 1] != 'n'))) {
+            return fail("bad HELP escape", line);
+          }
+          if (rest[i] == '\\') ++i;
+        }
+      } else if (kind == "TYPE") {
+        std::string type;
+        in >> type;
+        if (!ValidName(name)) return fail("bad TYPE name", line);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail("unknown TYPE", line);
+        }
+        if (types.count(name)) return fail("duplicate TYPE", line);
+        if (family_sampled[name]) return fail("TYPE after samples", line);
+        types[name] = type;
+      }
+      continue;  // Other comments are legal and ignored.
+    }
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> labels;
+    double value = 0.0;
+    if (!ParseSample(line, &name, &labels, &value)) {
+      return fail("malformed sample", line);
+    }
+    const std::string family = FamilyOf(name, types);
+    if (!types.count(family)) return fail("sample before TYPE", line);
+    family_sampled[family] = true;
+    if (types[family] == "histogram") {
+      HistState& h = hists[family];
+      if (name == family + "_bucket") {
+        std::string le;
+        for (const auto& [k, v] : labels) {
+          if (k == "le") le = v;
+        }
+        if (le.empty()) return fail("bucket without le", line);
+        if (h.inf_seen) return fail("bucket after +Inf", line);
+        if (value < h.last_bucket) {
+          return fail("non-cumulative buckets", line);
+        }
+        h.last_bucket = value;
+        if (le == "+Inf") {
+          h.inf_seen = true;
+          h.inf_value = value;
+        }
+      } else if (name == family + "_count") {
+        h.count_seen = true;
+        h.count_value = value;
+      } else if (name == family + "_sum") {
+        h.sum_seen = true;
+      } else {
+        return fail("stray histogram series", line);
+      }
+    }
+  }
+  for (const auto& [family, h] : hists) {
+    if (!h.inf_seen) {
+      *error = "histogram " + family + " missing le=\"+Inf\" bucket";
+      return false;
+    }
+    if (!h.count_seen || !h.sum_seen) {
+      *error = "histogram " + family + " missing _count/_sum";
+      return false;
+    }
+    if (h.inf_value != h.count_value) {
+      *error = "histogram " + family + " le=\"+Inf\" != _count";
+      return false;
+    }
+  }
+  *error = "";
+  return true;
+}
+
+TEST(PrometheusNameTest, SanitizesToLegalCharset) {
+  EXPECT_EQ(PrometheusName("rt.scheduler.queue_wait_ms"),
+            "turl_rt_scheduler_queue_wait_ms");
+  EXPECT_EQ(PrometheusName("weird name/with%junk"),
+            "turl_weird_name_with_junk");
+  EXPECT_EQ(PrometheusName("keeps:colons"), "turl_keeps:colons");
+  EXPECT_TRUE(ValidName(PrometheusName("9starts.with.digit")));
+  EXPECT_TRUE(ValidName(PrometheusName("")));  // Bare "turl_".
+}
+
+TEST(PrometheusEscapeTest, LabelAndHelpEscaping) {
+  EXPECT_EQ(PrometheusLabelEscape("plain"), "plain");
+  EXPECT_EQ(PrometheusLabelEscape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(PrometheusHelpEscape("line1\nline2\\x"), "line1\\nline2\\\\x");
+}
+
+TEST(PrometheusConformanceTest, RegistryOutputValidates) {
+  MetricsRegistry registry;
+  registry.GetCounter("pretrain.steps")->Inc(12);
+  registry.GetGauge("rt.pool.utilization")->Set(0.75);
+  Histogram* h = registry.GetHistogram("rt.scheduler.queue_wait_ms");
+  for (int i = 0; i < 50; ++i) h->Observe(double(i));
+  registry.SetHelp("pretrain.steps", "Optimizer steps taken");
+
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(registry.ToPrometheusText(), &error))
+      << error;
+}
+
+TEST(PrometheusConformanceTest, HostileNamesAndHelpStillValidate) {
+  MetricsRegistry registry;
+  // Names that sanitize badly, collide after sanitization, or start with a
+  // digit; help text that needs escaping.
+  registry.GetCounter("9digit first")->Inc();
+  registry.GetCounter("a.b")->Inc();
+  registry.GetCounter("a_b")->Inc(2);  // Collides with "a.b" -> _dup1.
+  registry.GetGauge("spaced gauge name")->Set(-1.0);
+  registry.GetGauge("inf.gauge")->Set(
+      std::numeric_limits<double>::infinity());
+  registry.GetHistogram("läte^ncy")->Observe(3.0);
+  registry.SetHelp("a.b", "multi\nline \\ help");
+
+  const std::string text = registry.ToPrometheusText();
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error << "\n" << text;
+  // The collision produced two distinct families.
+  EXPECT_NE(text.find("# TYPE turl_a_b counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE turl_a_b_dup1 counter"), std::string::npos);
+  // Escaped help survived.
+  EXPECT_NE(text.find("multi\\nline \\\\ help"), std::string::npos);
+}
+
+TEST(PrometheusConformanceTest, EmptyRegistryIsAnEmptyDocument) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.ToPrometheusText(), "");
+}
+
+TEST(PrometheusConformanceTest, RejectsMalformedDocuments) {
+  std::string error;
+  // Metric name starting with a digit.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE 9bad counter\n9bad 1\n", &error));
+  // Sample with no TYPE anywhere.
+  EXPECT_FALSE(ValidatePrometheusText("orphan 1\n", &error));
+  // Sample before its TYPE line.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "late 1\n# TYPE late counter\n", &error));
+  // Duplicate TYPE for one family.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE x counter\nx 1\n# TYPE x counter\n", &error));
+  // Unknown type token.
+  EXPECT_FALSE(ValidatePrometheusText("# TYPE x flimsy\nx 1\n", &error));
+  // Unescaped quote inside a label value.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE x counter\nx{l=\"a\"b\"} 1\n", &error));
+  // Bad escape sequence inside a label value.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE x counter\nx{l=\"a\\q\"} 1\n", &error));
+  // Non-numeric sample value.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE x counter\nx banana\n", &error));
+  // Histogram with non-cumulative buckets.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n"
+      "h_sum 1\nh_count 3\n",
+      &error));
+  // Histogram whose +Inf bucket disagrees with _count.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\n"
+      "h_sum 1\nh_count 7\n",
+      &error));
+  // Histogram missing the +Inf bucket entirely.
+  EXPECT_FALSE(ValidatePrometheusText(
+      "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+      &error));
+  // Missing trailing newline.
+  EXPECT_FALSE(ValidatePrometheusText("# TYPE x counter\nx 1", &error));
+
+  // And the well-formed equivalent passes.
+  EXPECT_TRUE(ValidatePrometheusText(
+      "# HELP h a histogram\n# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\n"
+      "h_sum 1.5\nh_count 2\n",
+      &error))
+      << error;
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace turl

@@ -5,6 +5,7 @@
 
 #include "obs/trace.h"
 
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <set>
@@ -323,6 +324,84 @@ TEST(TraceExportTest, ChromeJsonIsWellFormed) {
   const std::string report = SlowTraceReport(3);
   EXPECT_NE(report.find("export.request"), std::string::npos) << report;
   EXPECT_NE(report.find("export.stage"), std::string::npos) << report;
+}
+
+// Records a complete trace after the fact: a root span (parent 0) of
+// `total_us` microseconds under trace id `id`, with one child stage
+// covering the first half.
+void RecordTrace(uint64_t id, const char* root_name, int64_t total_us) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = start + std::chrono::microseconds(total_us);
+  Tracer& tracer = Tracer::Get();
+  tracer.RecordManual(root_name, TraceContext{id, 0}, start, end);
+  // Children parent under the root's span id; any nonzero span id works for
+  // the report, which only distinguishes parent==0 from parent!=0.
+  tracer.RecordManual("stage.encode", TraceContext{id, 1}, start,
+                      start + std::chrono::microseconds(total_us / 2));
+}
+
+TEST(SlowTraceReportTest, EmptyRingReportsZeroTraces) {
+  TracingOn tracing;
+  const std::string report = SlowTraceReport(10);
+  EXPECT_NE(report.find("slowest 0 of 0 traced requests"), std::string::npos)
+      << report;
+  // Header only: the column line follows, then nothing.
+  EXPECT_EQ(report.find("stage.encode"), std::string::npos);
+}
+
+TEST(SlowTraceReportTest, SingleSpanReport) {
+  TracingOn tracing;
+  RecordTrace(/*id=*/7, "single.request", /*total_us=*/5000);
+  const std::string report = SlowTraceReport(10);
+  EXPECT_NE(report.find("slowest 1 of 1 traced requests"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("single.request"), std::string::npos);
+  // 5000us root, 2500us child: both rendered in ms.
+  EXPECT_NE(report.find("5.000"), std::string::npos) << report;
+  EXPECT_NE(report.find("stage.encode 2.500"), std::string::npos) << report;
+}
+
+TEST(SlowTraceReportTest, TruncatesToSlowestN) {
+  TracingOn tracing;
+  // 15 traces with distinct durations 1ms..15ms; a 10-row report must keep
+  // the slowest ten (6ms..15ms) and drop the fastest five.
+  for (uint64_t i = 1; i <= 15; ++i) {
+    RecordTrace(i, "ranked.request", int64_t(i) * 1000);
+  }
+  const std::string report = SlowTraceReport(10);
+  EXPECT_NE(report.find("slowest 10 of 15 traced requests"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("15.000"), std::string::npos) << report;  // Slowest.
+  // Rows are keyed by trace id in the first column: ids 6..15 survive, ids
+  // 1..5 (the fastest) are truncated away.
+  for (uint64_t id = 6; id <= 15; ++id) {
+    EXPECT_NE(report.find("\n" + std::to_string(id) + " "), std::string::npos)
+        << "missing trace " << id << "\n" << report;
+  }
+  for (uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_EQ(report.find("\n" + std::to_string(id) + " "), std::string::npos)
+        << "trace " << id << " should be truncated\n" << report;
+  }
+}
+
+TEST(SlowTraceReportTest, ChildStagesSumByName) {
+  TracingOn tracing;
+  const auto start = std::chrono::steady_clock::now();
+  Tracer& tracer = Tracer::Get();
+  tracer.RecordManual("summed.request", TraceContext{21, 0}, start,
+                      start + std::chrono::microseconds(9000));
+  // Two spans of the same stage name under one trace fold into one summed
+  // column; a differently named stage stays separate.
+  tracer.RecordManual("stage.a", TraceContext{21, 1}, start,
+                      start + std::chrono::microseconds(1000));
+  tracer.RecordManual("stage.a", TraceContext{21, 1}, start,
+                      start + std::chrono::microseconds(2000));
+  tracer.RecordManual("stage.b", TraceContext{21, 1}, start,
+                      start + std::chrono::microseconds(4000));
+  const std::string report = SlowTraceReport(10);
+  EXPECT_NE(report.find("stage.a 3.000"), std::string::npos) << report;
+  EXPECT_NE(report.find("stage.b 4.000"), std::string::npos) << report;
 }
 
 }  // namespace

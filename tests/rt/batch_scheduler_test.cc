@@ -10,6 +10,8 @@
 #include "core/model.h"
 #include "core/table_encoding.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/server/handlers.h"
 #include "rt/inference_session.h"
 
 namespace turl {
@@ -153,6 +155,41 @@ TEST(BatchSchedulerTest, CallbacksRunInSubmissionOrderWithExactResults) {
     EXPECT_EQ(results[i].ToVector(), Session().Encode(tables[i]).ToVector())
         << "table " << i;
   }
+}
+
+TEST(BatchSchedulerTest, FlushFeedsQueueWaitHistogram) {
+  obs::Histogram* wait =
+      obs::MetricsRegistry::Get().GetHistogram("rt.scheduler.queue_wait_ms");
+  const int64_t before = wait->count();
+  BatchScheduler scheduler(&Session());
+  int done = 0;
+  scheduler.Submit(&Tables()[0], [&](nn::Tensor) { ++done; });
+  scheduler.Submit(&Tables()[1], [&](nn::Tensor) { ++done; });
+  EXPECT_EQ(wait->count(), before);  // Nothing observed while queued.
+  scheduler.Flush();
+  EXPECT_EQ(done, 2);
+  // One observation per drained request, each a non-negative wait.
+  EXPECT_EQ(wait->count(), before + 2);
+  EXPECT_GE(wait->max(), 0.0);
+}
+
+TEST(BatchSchedulerTest, RegistersSchedulerReadinessProbe) {
+  const size_t before = obs::server::HealthRegistry::Get().size();
+  {
+    BatchScheduler scheduler(&Session());
+    EXPECT_EQ(obs::server::HealthRegistry::Get().size(), before + 1);
+    bool found = false;
+    for (const auto& r : obs::server::HealthRegistry::Get().RunAll()) {
+      if (r.name == "rt.scheduler") {
+        found = true;
+        EXPECT_TRUE(r.ok);
+        EXPECT_NE(r.detail.find("accepting"), std::string::npos);
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  // Probe unregisters with the scheduler.
+  EXPECT_EQ(obs::server::HealthRegistry::Get().size(), before);
 }
 
 TEST(BatchSchedulerTest, DestructorFlushesPendingRequests) {

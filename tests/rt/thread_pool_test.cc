@@ -1,11 +1,16 @@
 #include "rt/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 
 namespace turl {
 namespace rt {
@@ -93,6 +98,46 @@ TEST(ThreadPoolTest, StressManySmallLoops) {
     pool.ParallelFor(0, 97, 3, [&](int64_t i) { sum.fetch_add(i); });
     EXPECT_EQ(sum.load(), 97 * 96 / 2);
   }
+}
+
+TEST(ThreadPoolTest, ActiveCountsRunningTasks) {
+  ThreadPool pool(2);  // One spawned worker (the caller is worker 0).
+  EXPECT_EQ(pool.active(), 0);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false, release = false;
+  auto pending = pool.Submit([&] {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      entered = true;
+    }
+    cv.notify_all();
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+  // The task is pinned inside the worker: exactly one task active, and the
+  // utilization gauge shows 1/2 of pool capacity busy.
+  EXPECT_EQ(pool.active(), 1);
+  EXPECT_DOUBLE_EQ(
+      obs::MetricsRegistry::Get().GetGauge("rt.pool.utilization")->Value(),
+      0.5);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pending.get();
+  // active() drops as the worker leaves the task; the future resolves inside
+  // the task, so give the bookkeeping a moment.
+  for (int i = 0; i < 1000 && pool.active() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.active(), 0);
 }
 
 TEST(ThreadPoolTest, WorkerIndexInRangeAndStable) {
