@@ -97,8 +97,13 @@ int main() {
     rt::BatchScheduler scheduler(&session);
     std::vector<nn::Tensor> scheduled(tables.size());
     for (size_t i = 0; i < tables.size(); ++i) {
-      scheduler.Submit(&tables[i],
-                       [&scheduled, i](nn::Tensor h) { scheduled[i] = h; });
+      rt::Request request;
+      request.table = &tables[i];
+      request.request_id = i;
+      request.done = [&scheduled, i](rt::Response r) {
+        scheduled[i] = std::move(r.hidden);
+      };
+      scheduler.Submit(std::move(request));
     }
     scheduler.Flush();
     const double sched_s = timer.ElapsedSeconds();

@@ -1,0 +1,221 @@
+// Closed-loop load generator for the serving front-end: N client threads
+// drive a live ServeServer over loopback sockets at a target aggregate QPS,
+// each client sending its next request only after the previous response
+// arrived (closed loop), with pacing sleeps to hold the schedule. Reports
+// end-to-end p50/p99 latency and the achieved rate into BENCH_serve.json
+// (override with TURL_BENCH_SERVE).
+//
+// Knobs (environment):
+//   TURL_BENCH_SERVE_QPS       target aggregate requests/sec (default 50)
+//   TURL_BENCH_SERVE_SECONDS   measured duration (default 5)
+//   TURL_BENCH_SERVE_CLIENTS   closed-loop client threads (default 4)
+//   TURL_SERVE_REPLICAS        model replicas in the server (default 2)
+//
+// The gate is deliberately behavioural, not a latency SLO (machine-speed
+// dependent): every request must be answered — kOk or an explicit shed
+// status, never a hang, transport error, or crash — and at least 90% of
+// them must be kOk at the default load.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/table_encoding.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace turl;
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main() {
+  using namespace turl;
+  bench::InitObservability();
+
+  const int target_qps = EnvInt("TURL_BENCH_SERVE_QPS", 50);
+  const int seconds = EnvInt("TURL_BENCH_SERVE_SECONDS", 5);
+  const int num_clients = EnvInt("TURL_BENCH_SERVE_CLIENTS", 4);
+
+  core::ContextConfig config;
+  config.corpus.num_tables = 600;
+  config.seed = 42;
+  core::TurlContext ctx = core::BuildContext(config);
+  core::TurlModel model(core::TurlConfig{}, ctx.vocab.size(),
+                        ctx.entity_vocab.size(), /*seed=*/11);
+
+  const text::WordPieceTokenizer tokenizer = ctx.MakeTokenizer();
+  std::vector<core::EncodedTable> tables;
+  for (size_t idx : ctx.corpus.valid) {
+    core::EncodedTable t =
+        core::EncodeTable(ctx.corpus.tables[idx], tokenizer, ctx.entity_vocab);
+    if (t.total() > 0) tables.push_back(std::move(t));
+    if (tables.size() >= 64) break;
+  }
+  if (tables.empty()) {
+    std::fprintf(stderr, "no non-empty tables in the corpus\n");
+    return 1;
+  }
+
+  serve::ServeOptions options = serve::ServeServer::OptionsFromEnv();
+  options.port = 0;  // Ephemeral: the bench talks to whatever was bound.
+  options.num_io_workers = std::max(8, num_clients);
+  options.session.num_threads = 2;
+  serve::ServeServer server(model, options);
+  if (const Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("== serve closed-loop load ==\n");
+  std::printf(
+      "target %d req/s for %ds, %d clients, %d replicas, %zu distinct "
+      "tables, port %d\n",
+      target_qps, seconds, num_clients, server.num_replicas(), tables.size(),
+      server.port());
+
+  // Each client owns one connection and a 1/num_clients share of the target
+  // rate; the pacing clock is absolute (send #k at start + k*interval), so a
+  // slow reply eats into the following gap instead of shifting the whole
+  // schedule (no coordinated omission in the achieved-QPS number).
+  const double interval_s =
+      num_clients / std::max(1.0, static_cast<double>(target_qps));
+  std::mutex agg_mu;
+  std::vector<double> latencies_ms;
+  std::atomic<int64_t> ok{0}, overloaded{0}, deadline{0}, transport_errors{0};
+
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::ServeClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        transport_errors.fetch_add(1);
+        return;
+      }
+      std::vector<double> local;
+      const auto start = std::chrono::steady_clock::now();
+      const auto stop_at = start + std::chrono::seconds(seconds);
+      uint64_t sent = 0;
+      while (std::chrono::steady_clock::now() < stop_at) {
+        const auto scheduled =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(sent * interval_s));
+        std::this_thread::sleep_until(scheduled);
+        const core::EncodedTable& table =
+            tables[(c + sent) % tables.size()];
+        serve::WireResponse response;
+        const auto t0 = std::chrono::steady_clock::now();
+        const Status s = client.Call(table, rt::TaskKind::kEncode,
+                                     uint64_t(c) << 32 | sent, &response);
+        const auto t1 = std::chrono::steady_clock::now();
+        ++sent;
+        if (!s.ok()) {
+          transport_errors.fetch_add(1);
+          break;  // Connection is dead; this client is done.
+        }
+        local.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+        switch (response.status) {
+          case rt::ResponseStatus::kOk:
+            ok.fetch_add(1);
+            break;
+          case rt::ResponseStatus::kOverloaded:
+            overloaded.fetch_add(1);
+            break;
+          case rt::ResponseStatus::kDeadlineExceeded:
+            deadline.fetch_add(1);
+            break;
+          default:
+            transport_errors.fetch_add(1);
+            break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(agg_mu);
+      latencies_ms.insert(latencies_ms.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed_s = wall.ElapsedSeconds();
+  const int replicas = server.num_replicas();  // Stop() tears them down.
+  server.Stop();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const int64_t answered = static_cast<int64_t>(latencies_ms.size());
+  const double achieved_qps = elapsed_s > 0 ? answered / elapsed_s : 0.0;
+  const double p50 = Percentile(latencies_ms, 0.50);
+  const double p99 = Percentile(latencies_ms, 0.99);
+  const double ok_fraction =
+      answered > 0 ? static_cast<double>(ok.load()) / answered : 0.0;
+  const bool pass =
+      transport_errors.load() == 0 && answered > 0 && ok_fraction >= 0.9;
+
+  std::printf("answered %lld requests in %.2fs: %.1f req/s achieved "
+              "(target %d)\n",
+              static_cast<long long>(answered), elapsed_s, achieved_qps,
+              target_qps);
+  std::printf("latency p50 %.2f ms, p99 %.2f ms\n", p50, p99);
+  std::printf("status: ok %lld, overloaded %lld, deadline %lld, transport "
+              "errors %lld -> %s\n",
+              static_cast<long long>(ok.load()),
+              static_cast<long long>(overloaded.load()),
+              static_cast<long long>(deadline.load()),
+              static_cast<long long>(transport_errors.load()),
+              pass ? "PASS" : "FAIL");
+
+  const char* path_env = std::getenv("TURL_BENCH_SERVE");
+  const std::string out = (path_env != nullptr && *path_env != '\0')
+                              ? std::string(path_env)
+                              : std::string("BENCH_serve.json");
+  if (FILE* f = std::fopen(out.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"target_qps\": %d,\n"
+                 "  \"achieved_qps\": %.3f,\n"
+                 "  \"duration_s\": %.3f,\n"
+                 "  \"clients\": %d,\n"
+                 "  \"replicas\": %d,\n"
+                 "  \"requests\": %lld,\n"
+                 "  \"ok\": %lld,\n"
+                 "  \"overloaded\": %lld,\n"
+                 "  \"deadline_exceeded\": %lld,\n"
+                 "  \"transport_errors\": %lld,\n"
+                 "  \"p50_ms\": %.3f,\n"
+                 "  \"p99_ms\": %.3f,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 target_qps, achieved_qps, elapsed_s, num_clients,
+                 replicas, static_cast<long long>(answered),
+                 static_cast<long long>(ok.load()),
+                 static_cast<long long>(overloaded.load()),
+                 static_cast<long long>(deadline.load()),
+                 static_cast<long long>(transport_errors.load()), p50, p99,
+                 pass ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return pass ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/table_encoding.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -12,12 +13,6 @@ namespace turl {
 namespace rt {
 
 namespace {
-
-double SteadyNowMs() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 obs::Gauge* QueueDepthGauge() {
   static obs::Gauge* g =
@@ -37,13 +32,25 @@ obs::Histogram* QueueWaitHistogram() {
   return h;
 }
 
+obs::Counter* DeadlineMissedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("rt.scheduler.deadline_missed");
+  return c;
+}
+
 }  // namespace
+
+double BatchScheduler::NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 BatchScheduler::BatchScheduler(const InferenceSession* session,
                                BatchSchedulerOptions options, ClockFn clock)
     : session_(session),
       options_(options),
-      clock_(clock ? std::move(clock) : ClockFn(&SteadyNowMs)),
+      clock_(clock ? std::move(clock) : ClockFn(&BatchScheduler::NowMs)),
       readiness_("rt.scheduler", [pending = pending_count_](std::string* detail) {
         *detail = "accepting, pending=" +
                   std::to_string(pending->load(std::memory_order_relaxed));
@@ -56,22 +63,9 @@ BatchScheduler::BatchScheduler(const InferenceSession* session,
 
 BatchScheduler::~BatchScheduler() { Flush(); }
 
-void BatchScheduler::Submit(const core::EncodedTable* table,
-                            std::function<void(nn::Tensor)> done) {
-  SubmitImpl(table, std::move(done), obs::TraceContext(), /*open_root=*/true);
-}
-
-void BatchScheduler::Submit(const core::EncodedTable* table,
-                            std::function<void(nn::Tensor)> done,
-                            obs::TraceContext trace) {
-  SubmitImpl(table, std::move(done), trace, /*open_root=*/false);
-}
-
-void BatchScheduler::SubmitImpl(const core::EncodedTable* table,
-                                std::function<void(nn::Tensor)> done,
-                                obs::TraceContext trace, bool open_root) {
-  TURL_CHECK(table != nullptr);
-  const int64_t cost = table->total();
+void BatchScheduler::Submit(Request request) {
+  TURL_CHECK(request.table != nullptr);
+  const int64_t cost = request.table->total();
   // Flush first if admitting this request would blow the budget; the request
   // then starts a fresh batch (and an oversized single request simply gets a
   // batch of its own).
@@ -79,20 +73,21 @@ void BatchScheduler::SubmitImpl(const core::EncodedTable* table,
     FlushCounter("budget")->Inc();
     Flush();
   }
-  Request r{table, std::move(done), clock_()};
-  r.trace = trace;
-  if (open_root && obs::Tracer::Enabled()) {
+  Queued q{std::move(request), clock_()};
+  q.trace = q.request.trace;
+  if (!q.request.caller_owns_trace && obs::Tracer::Enabled()) {
     // The scheduler is the pipeline entry point for this request, so it owns
     // the root span: opened at enqueue, closed after the completion callback
     // so the trace covers queue-wait + assembly + encode + delivery.
-    r.root = obs::Tracer::Get().BeginTrace("rt.request");
-    if (r.root.traced()) {
-      r.root.Annotate("total", cost);
-      r.trace = r.root.context();
+    q.root = obs::Tracer::Get().BeginTrace("rt.request");
+    if (q.root.traced()) {
+      q.root.Annotate("total", cost);
+      q.root.Annotate("task", TaskKindName(q.request.task));
+      q.trace = q.root.context();
     }
   }
-  r.enqueue_tp = std::chrono::steady_clock::now();
-  queue_.push_back(std::move(r));
+  q.enqueue_tp = std::chrono::steady_clock::now();
+  queue_.push_back(std::move(q));
   queued_budget_ += cost;
   QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
   pending_count_->store(static_cast<int64_t>(queue_.size()),
@@ -114,25 +109,40 @@ bool BatchScheduler::Pump() {
 void BatchScheduler::Flush() {
   if (queue_.empty()) return;
   TURL_PROFILE_SCOPE("rt.scheduler.flush");
-  std::vector<Request> batch(std::make_move_iterator(queue_.begin()),
-                             std::make_move_iterator(queue_.end()));
+  std::vector<Queued> batch(std::make_move_iterator(queue_.begin()),
+                            std::make_move_iterator(queue_.end()));
   queue_.clear();
   queued_budget_ = 0;
   QueueDepthGauge()->Set(0.0);
   pending_count_->store(0, std::memory_order_relaxed);
+  const double drain_ms = clock_();
   const auto drain_tp = std::chrono::steady_clock::now();
+
+  // Deadline enforcement at dequeue: expired requests complete with
+  // kDeadlineExceeded below and never reach the session, so the batch the
+  // model actually runs contains live requests only.
+  std::vector<bool> expired(batch.size(), false);
+  std::vector<double> waits(batch.size(), 0.0);
   std::vector<const core::EncodedTable*> tables;
   tables.reserve(batch.size());
   int64_t budget = 0;
-  for (const Request& r : batch) {
-    tables.push_back(r.table);
-    budget += r.table->total();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Queued& q = batch[i];
+    waits[i] = std::chrono::duration<double, std::milli>(drain_tp -
+                                                         q.enqueue_tp)
+                   .count();
     // Real-clock wait from enqueue to drain — the scrape-visible companion
     // of the queue_depth gauge and the per-request rt.queue_wait span.
-    QueueWaitHistogram()->Observe(
-        std::chrono::duration<double, std::milli>(drain_tp - r.enqueue_tp)
-            .count());
+    QueueWaitHistogram()->Observe(waits[i]);
+    if (q.request.deadline_ms > 0.0 && drain_ms >= q.request.deadline_ms) {
+      expired[i] = true;
+      DeadlineMissedCounter()->Inc();
+      continue;
+    }
+    tables.push_back(q.request.table);
+    budget += q.request.table->total();
   }
+
   std::vector<obs::TraceContext> traces;
   if (obs::Tracer::Enabled()) {
     // Queue-wait (enqueue -> drain) and batch-assembly are reconstructed
@@ -140,23 +150,41 @@ void BatchScheduler::Flush() {
     // starts, so every traced request in the batch gets its own copy.
     obs::Tracer& tracer = obs::Tracer::Get();
     const auto assembled_tp = std::chrono::steady_clock::now();
-    traces.reserve(batch.size());
-    for (const Request& r : batch) {
-      traces.push_back(r.trace);
-      if (!r.trace.traced()) continue;
-      tracer.RecordManual("rt.queue_wait", r.trace, r.enqueue_tp, drain_tp);
+    traces.reserve(tables.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Queued& q = batch[i];
+      if (!expired[i]) traces.push_back(q.trace);
+      if (!q.trace.traced()) continue;
+      tracer.RecordManual("rt.queue_wait", q.trace, q.enqueue_tp, drain_tp);
+      if (expired[i]) continue;
       tracer.RecordManual(
-          "rt.batch_assembly", r.trace, drain_tp, assembled_tp,
-          {{"batch", int64_t(batch.size())}, {"budget", budget}});
+          "rt.batch_assembly", q.trace, drain_tp, assembled_tp,
+          {{"batch", int64_t(tables.size())}, {"budget", budget}});
     }
   }
-  std::vector<nn::Tensor> hidden = session_->EncodeBatch(
-      std::span<const core::EncodedTable* const>(tables),
-      std::span<const obs::TraceContext>(traces));
+
+  std::vector<nn::Tensor> hidden;
+  if (!tables.empty()) {
+    hidden = session_->EncodeBatch(
+        std::span<const core::EncodedTable* const>(tables),
+        std::span<const obs::TraceContext>(traces));
+  }
+  size_t next_hidden = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
-    if (batch[i].done) batch[i].done(std::move(hidden[i]));
+    Queued& q = batch[i];
+    Response response;
+    response.request_id = q.request.request_id;
+    response.task = q.request.task;
+    response.queue_wait_ms = waits[i];
+    if (expired[i]) {
+      response.status = ResponseStatus::kDeadlineExceeded;
+    } else {
+      response.status = ResponseStatus::kOk;
+      response.hidden = std::move(hidden[next_hidden++]);
+    }
+    if (q.request.done) q.request.done(std::move(response));
     // Close scheduler-owned roots (no-op for caller-owned or untraced).
-    if (batch[i].root.traced()) obs::Tracer::Get().End(&batch[i].root);
+    if (q.root.traced()) obs::Tracer::Get().End(&q.root);
   }
 }
 

@@ -7,12 +7,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "nn/tensor.h"
 #include "obs/server/handlers.h"
 #include "obs/trace.h"
 #include "rt/inference_session.h"
+#include "rt/request.h"
 
 namespace turl {
 namespace rt {
@@ -31,23 +33,35 @@ struct BatchSchedulerOptions {
 };
 
 /// Collects encode requests into size/budget-capped micro-batches and runs
-/// each batch through InferenceSession::EncodeBatch. Bulk-eval and example
-/// workloads push heterogeneous tables through one scheduler so the session
-/// sees well-shaped batches instead of one giant fan-out (bounding the
-/// number of live activation graphs).
+/// each batch through InferenceSession::EncodeBatch. Bulk-eval workloads,
+/// example binaries and the serve front-end all push heterogeneous tables
+/// through one scheduler so the session sees well-shaped batches instead of
+/// one giant fan-out (bounding the number of live activation graphs).
+///
+/// Submission is one rt::Request per table (see rt/request.h): the request
+/// carries the table, task kind, id, deadline and trace context, and its
+/// `done` callback receives an rt::Response. A request whose deadline has
+/// lapsed by the time its batch is drained is completed with
+/// kDeadlineExceeded — without being encoded — so queued work cannot waste
+/// model time on replies nobody is waiting for anymore.
 ///
 /// Single-threaded discipline: Submit/Pump/Flush must be called from one
-/// thread (the batches themselves fan out across the session's pool).
-/// Completion callbacks run on the calling thread, in submission order —
-/// combined with the session's by-index batch semantics, results are
-/// identical to calling session.Encode per request in order.
+/// thread, or be externally serialized (the serve layer wraps each replica's
+/// scheduler in a mutex; the batches themselves fan out across the session's
+/// pool). Completion callbacks run on the flushing thread, in submission
+/// order — combined with the session's by-index batch semantics, kOk results
+/// are identical to calling session.Encode per request in order.
 class BatchScheduler {
  public:
   /// Monotonic clock in milliseconds; injectable so tests can fake age.
   using ClockFn = std::function<double()>;
 
-  /// The session must outlive the scheduler. A default clock reads
-  /// std::chrono::steady_clock.
+  /// The default clock: monotonic milliseconds (std::chrono::steady_clock).
+  /// Deadlines in Request::deadline_ms are absolute on this clock unless a
+  /// custom clock was injected.
+  static double NowMs();
+
+  /// The session must outlive the scheduler. A default clock reads NowMs().
   BatchScheduler(const InferenceSession* session,
                  BatchSchedulerOptions options = BatchSchedulerOptions(),
                  ClockFn clock = ClockFn());
@@ -56,22 +70,31 @@ class BatchScheduler {
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
-  /// Enqueues one request; `done` receives the contextualized
-  /// representations for `table` when its batch runs. `table` must stay
-  /// alive until then. Flushes eagerly once size or budget caps are hit.
+  /// Enqueues one request; `request.done` runs when its batch is drained
+  /// (kOk with the contextualized representations, or kDeadlineExceeded).
+  /// The table must stay alive until then. Flushes eagerly once size or
+  /// budget caps are hit.
   ///
-  /// Tracing: the scheduler is the pipeline entry point, so this overload
-  /// opens the request's root span ("rt.request", sampled) at enqueue; the
-  /// root closes after `done` returns, and queue-wait / batch-assembly /
-  /// per-worker encode spans nest under it.
-  void Submit(const core::EncodedTable* table,
-              std::function<void(nn::Tensor)> done);
+  /// Tracing: when the caller does not own the trace context
+  /// (request.caller_owns_trace is false) the scheduler opens the request's
+  /// root span ("rt.request", sampled) at enqueue; the root closes after
+  /// `done` returns, and queue-wait / batch-assembly / per-worker encode
+  /// spans nest under it.
+  void Submit(Request request);
 
-  /// Same, but the request flows under a caller-owned trace context (e.g. a
-  /// BulkRun instance span) instead of a scheduler-opened root — pass an
-  /// untraced context to opt the request out entirely.
+  /// Pre-Request adapter for the retired 2-arg form; kept for exactly one
+  /// release. Equivalent to Submit(Request{.table = table, .done = wrap})
+  /// where wrap forwards only the hidden tensor.
+  [[deprecated("build an rt::Request and call Submit(Request)")]]
   void Submit(const core::EncodedTable* table,
-              std::function<void(nn::Tensor)> done, obs::TraceContext trace);
+              std::function<void(nn::Tensor)> done) {
+    Request request;
+    request.table = table;
+    request.done = [cb = std::move(done)](Response response) {
+      if (cb) cb(std::move(response.hidden));
+    };
+    Submit(std::move(request));
+  }
 
   /// Age-based flush hook for callers with their own poll loop: flushes if
   /// the oldest queued request has exceeded max_age_ms. Returns true if a
@@ -85,9 +108,8 @@ class BatchScheduler {
   const BatchSchedulerOptions& options() const { return options_; }
 
  private:
-  struct Request {
-    const core::EncodedTable* table;
-    std::function<void(nn::Tensor)> done;
+  struct Queued {
+    Request request;
     double enqueue_ms;
     /// Root span owned by the scheduler (untraced when the caller supplied
     /// its own context, tracing is off, or the request was unsampled).
@@ -100,14 +122,10 @@ class BatchScheduler {
     std::chrono::steady_clock::time_point enqueue_tp;
   };
 
-  void SubmitImpl(const core::EncodedTable* table,
-                  std::function<void(nn::Tensor)> done, obs::TraceContext trace,
-                  bool open_root);
-
   const InferenceSession* session_;
   BatchSchedulerOptions options_;
   ClockFn clock_;
-  std::deque<Request> queue_;
+  std::deque<Queued> queue_;
   int64_t queued_budget_ = 0;
   /// Race-free mirror of queue_.size() for the readiness probe below —
   /// /healthz runs on an observability-server worker thread and must not

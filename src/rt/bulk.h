@@ -58,11 +58,17 @@ std::vector<R> BulkRun(
   {
     BatchScheduler scheduler(&session, batch_options);
     for (size_t i = 0; i < n; ++i) {
-      // The context-carrying overload: BulkRun owns the root, so the
-      // scheduler nests under it instead of opening one per request.
-      scheduler.Submit(&encoded[i],
-                       [&hidden, i](nn::Tensor h) { hidden[i] = std::move(h); },
-                       tracing ? traces[i] : obs::TraceContext());
+      Request request;
+      request.table = &encoded[i];
+      request.request_id = i;
+      // BulkRun owns the root span, so the scheduler nests under it instead
+      // of opening one per request (untraced context = fully opted out).
+      request.caller_owns_trace = true;
+      if (tracing) request.trace = traces[i];
+      request.done = [&hidden, i](Response response) {
+        hidden[i] = std::move(response.hidden);
+      };
+      scheduler.Submit(std::move(request));
     }
     scheduler.Flush();
   }

@@ -1,0 +1,49 @@
+#include "rt/request.h"
+
+namespace turl {
+namespace rt {
+
+const char* TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kEncode:
+      return "encode";
+    case TaskKind::kEntityLinking:
+      return "entity_linking";
+    case TaskKind::kColumnType:
+      return "column_type";
+    case TaskKind::kRelationExtraction:
+      return "relation_extraction";
+    case TaskKind::kRowPopulation:
+      return "row_population";
+    case TaskKind::kCellFilling:
+      return "cell_filling";
+    case TaskKind::kSchemaAugmentation:
+      return "schema_augmentation";
+  }
+  return "unknown";
+}
+
+bool TaskKindFromId(uint32_t id, TaskKind* out) {
+  if (id >= static_cast<uint32_t>(kNumTaskKinds)) return false;
+  *out = static_cast<TaskKind>(id);
+  return true;
+}
+
+const char* ResponseStatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kOverloaded:
+      return "overloaded";
+    case ResponseStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ResponseStatus::kBadRequest:
+      return "bad_request";
+    case ResponseStatus::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+}  // namespace rt
+}  // namespace turl

@@ -1,0 +1,96 @@
+#ifndef TURL_RT_REQUEST_H_
+#define TURL_RT_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "nn/tensor.h"
+#include "obs/trace.h"
+
+namespace turl {
+namespace core {
+struct EncodedTable;
+}  // namespace core
+
+namespace rt {
+
+/// Which TURL workload a request targets. kEncode is the bare encoder
+/// forward (contextualized representations, no head); the six task kinds
+/// name the paper's fine-tuning heads. The numeric values are the wire task
+/// ids of the serve protocol and must never be reordered.
+enum class TaskKind : uint8_t {
+  kEncode = 0,
+  kEntityLinking = 1,
+  kColumnType = 2,
+  kRelationExtraction = 3,
+  kRowPopulation = 4,
+  kCellFilling = 5,
+  kSchemaAugmentation = 6,
+};
+
+inline constexpr int kNumTaskKinds = 7;
+
+/// Stable lower_snake name ("encode", "entity_linking", ...), used for
+/// per-task metric names and trace annotations.
+const char* TaskKindName(TaskKind kind);
+
+/// Maps a wire task id back to a TaskKind; false for ids outside the enum.
+bool TaskKindFromId(uint32_t id, TaskKind* out);
+
+/// Terminal status of one inference request. The serve wire protocol
+/// transports these values verbatim, so they must never be reordered.
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  /// Shed by admission control or a full queue (the serve-protocol analogue
+  /// of an HTTP 503) — the request was never run.
+  kOverloaded = 1,
+  /// The deadline lapsed before the batch ran (enforced at dequeue) or
+  /// before the reply could be written (enforced at reply).
+  kDeadlineExceeded = 2,
+  /// Malformed request (bad frame, unknown task id, undecodable payload).
+  kBadRequest = 3,
+  /// The server is draining and no longer admits new requests.
+  kShuttingDown = 4,
+};
+
+const char* ResponseStatusName(ResponseStatus status);
+
+/// Result of one Request. `hidden` is defined only when status is kOk.
+struct Response {
+  uint64_t request_id = 0;
+  TaskKind task = TaskKind::kEncode;
+  ResponseStatus status = ResponseStatus::kOk;
+  /// Contextualized representations [table.total(), d_model] for kOk.
+  nn::Tensor hidden;
+  /// Real-clock wait between enqueue and dequeue (0 when never enqueued).
+  double queue_wait_ms = 0.0;
+};
+
+/// The single submission type of the inference runtime: the server's wire
+/// decoder, BatchScheduler::Submit and the bulk-eval/bench clients all build
+/// one of these (this struct replaced the scheduler's 3-arg/overloaded
+/// Submit forms). The table must stay alive until `done` runs.
+struct Request {
+  const core::EncodedTable* table = nullptr;
+  TaskKind task = TaskKind::kEncode;
+  /// Caller-chosen id echoed back on the Response (serve echoes it on the
+  /// wire so clients can multiplex).
+  uint64_t request_id = 0;
+  /// Absolute deadline on the scheduler's clock (BatchScheduler::NowMs()
+  /// for the default clock); <= 0 means no deadline. Expired requests are
+  /// completed with kDeadlineExceeded at dequeue, without being encoded.
+  double deadline_ms = 0.0;
+  /// Trace context the request's stage spans nest under when
+  /// caller_owns_trace is set (untraced then opts out entirely). Otherwise
+  /// the scheduler opens — and owns — the "rt.request" root span itself.
+  obs::TraceContext trace;
+  bool caller_owns_trace = false;
+  /// Completion callback; runs on the thread that flushes the batch, in
+  /// submission order.
+  std::function<void(Response)> done;
+};
+
+}  // namespace rt
+}  // namespace turl
+
+#endif  // TURL_RT_REQUEST_H_

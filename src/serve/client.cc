@@ -1,0 +1,110 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "obs/server/http.h"
+
+namespace turl {
+namespace serve {
+
+ServeClient::~ServeClient() { Close(); }
+
+void ServeClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ServeClient::Connect(const std::string& host, int port,
+                            int timeout_ms) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("socket: " + std::string(strerror(errno)));
+  }
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Status::IoError("connect " + host + ":" +
+                                     std::to_string(port) + ": " +
+                                     strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status ServeClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (!obs::server::WriteAll(fd_, bytes.data(), bytes.size())) {
+    Close();
+    return Status::IoError("write failed");
+  }
+  return Status::OK();
+}
+
+Status ServeClient::ReadResponse(WireResponse* out) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  uint8_t header[kResponseHeaderBytes];
+  if (!ReadFull(fd_, header, sizeof(header))) {
+    Close();
+    return Status::IoError("connection closed before response header");
+  }
+  ResponseHeader parsed;
+  const Status s =
+      ParseResponseHeader(header, kDefaultMaxPayloadBytes, &parsed);
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  std::vector<uint8_t> payload(parsed.payload_len);
+  if (parsed.payload_len > 0 &&
+      !ReadFull(fd_, payload.data(), payload.size())) {
+    Close();
+    return Status::IoError("connection closed mid response payload");
+  }
+  out->status = parsed.status;
+  out->request_id = parsed.request_id;
+  out->rows = 0;
+  out->cols = 0;
+  out->hidden.clear();
+  out->message.clear();
+  const Status d =
+      DecodeResponsePayload(payload.data(), payload.size(), out);
+  if (!d.ok()) Close();
+  return d;
+}
+
+Status ServeClient::Call(const core::EncodedTable& table, rt::TaskKind task,
+                         uint64_t request_id, WireResponse* out,
+                         uint32_t deadline_ms) {
+  const Status w =
+      SendRaw(EncodeRequestFrame(table, task, request_id, deadline_ms));
+  if (!w.ok()) return w;
+  return ReadResponse(out);
+}
+
+}  // namespace serve
+}  // namespace turl

@@ -1,0 +1,303 @@
+#include "serve/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "kb/kb.h"
+
+namespace turl {
+namespace serve {
+
+namespace {
+
+/// Append-only little-endian byte sink over a std::string.
+class WireWriter {
+ public:
+  void U16(uint16_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I32(int32_t v) { Raw(&v, sizeof(v)); }
+  void F32(float v) { Raw(&v, sizeof(v)); }
+  void I32Vector(const std::vector<int>& v) {
+    U32(static_cast<uint32_t>(v.size()));
+    for (int x : v) I32(static_cast<int32_t>(x));
+  }
+  void Bytes(const void* data, size_t n) { Raw(data, n); }
+
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void Raw(const void* data, size_t n) {
+    buf_.append(reinterpret_cast<const char*>(data), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over a byte span. Every claimed
+/// element count is checked against remaining() BEFORE any allocation — the
+/// in-memory mirror of BinaryReader's length-vs-filesize clamps, so a
+/// hostile length prefix fails fast instead of triggering a multi-gigabyte
+/// allocation.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t len) : p_(data), len_(len) {}
+
+  size_t remaining() const { return ok_ ? len_ - off_ : 0; }
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  uint16_t U16() { uint16_t v = 0; Raw(&v, sizeof(v), "u16"); return v; }
+  uint32_t U32() { uint32_t v = 0; Raw(&v, sizeof(v), "u32"); return v; }
+  uint64_t U64() { uint64_t v = 0; Raw(&v, sizeof(v), "u64"); return v; }
+  int32_t I32() { int32_t v = 0; Raw(&v, sizeof(v), "i32"); return v; }
+  float F32() { float v = 0; Raw(&v, sizeof(v), "f32"); return v; }
+  void Bytes(void* out, size_t n, const char* what) { Raw(out, n, what); }
+
+  /// True when `count` elements of `elem_size` bytes fit in what remains.
+  bool CheckClaimed(uint64_t count, uint64_t elem_size, const char* what) {
+    if (!ok_) return false;
+    if (count > remaining() / (elem_size == 0 ? 1 : elem_size)) {
+      Fail(std::string(what) + ": claimed " + std::to_string(count) +
+           " elements exceed " + std::to_string(remaining()) +
+           " remaining bytes");
+      return false;
+    }
+    return true;
+  }
+
+  std::vector<int> I32Vector(const char* what) {
+    const uint32_t n = U32();
+    if (!CheckClaimed(n, sizeof(int32_t), what)) return {};
+    std::vector<int> out(n);
+    for (uint32_t i = 0; i < n; ++i) out[i] = I32();
+    return out;
+  }
+
+  void Fail(std::string why) {
+    if (ok_) {
+      ok_ = false;
+      error_ = std::move(why);
+    }
+  }
+
+ private:
+  void Raw(void* out, size_t n, const char* what) {
+    if (!ok_) return;
+    if (len_ - off_ < n) {
+      Fail(std::string("truncated ") + what);
+      return;
+    }
+    std::memcpy(out, p_ + off_, n);
+    off_ += n;
+  }
+
+  const uint8_t* p_;
+  size_t len_;
+  size_t off_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+void WriteTablePayload(WireWriter* w, const core::EncodedTable& table) {
+  w->I32Vector(table.token_ids);
+  // The three sibling token arrays share token_ids' length, so only the
+  // first carries a count.
+  for (int x : table.token_segment) w->I32(x);
+  for (int x : table.token_position) w->I32(x);
+  for (int x : table.token_column) w->I32(x);
+  w->I32Vector(table.entity_ids);
+  for (int x : table.entity_role) w->I32(x);
+  for (int x : table.entity_row) w->I32(x);
+  for (int x : table.entity_column) w->I32(x);
+  for (const std::vector<int>& mention : table.entity_mentions) {
+    w->I32Vector(mention);
+  }
+}
+
+std::vector<int> SiblingArray(WireReader* r, size_t n, const char* what) {
+  if (!r->CheckClaimed(n, sizeof(int32_t), what)) return {};
+  std::vector<int> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = r->I32();
+  return out;
+}
+
+}  // namespace
+
+Status ParseRequestHeader(const uint8_t* data, uint32_t max_payload_bytes,
+                          RequestHeader* out) {
+  WireReader r(data, kRequestHeaderBytes);
+  const uint32_t magic = r.U32();
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad magic 0x" + std::to_string(magic));
+  }
+  const uint16_t version = r.U16();
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  const uint16_t task_id = r.U16();
+  if (!rt::TaskKindFromId(task_id, &out->task)) {
+    return Status::InvalidArgument("unknown task id " +
+                                   std::to_string(task_id));
+  }
+  out->request_id = r.U64();
+  out->deadline_ms = r.U32();
+  out->payload_len = r.U32();
+  if (out->payload_len > max_payload_bytes) {
+    // Rejecting here is what keeps an oversized length prefix from ever
+    // being allocated: callers read the payload only after this passes.
+    return Status::OutOfRange(
+        "payload length " + std::to_string(out->payload_len) +
+        " exceeds cap " + std::to_string(max_payload_bytes));
+  }
+  return Status::OK();
+}
+
+Status DecodeRequestPayload(const uint8_t* data, size_t len,
+                            core::EncodedTable* out) {
+  WireReader r(data, len);
+  core::EncodedTable table;
+  table.token_ids = r.I32Vector("token_ids");
+  const size_t num_tokens = table.token_ids.size();
+  table.token_segment = SiblingArray(&r, num_tokens, "token_segment");
+  table.token_position = SiblingArray(&r, num_tokens, "token_position");
+  table.token_column = SiblingArray(&r, num_tokens, "token_column");
+  table.entity_ids = r.I32Vector("entity_ids");
+  const size_t num_entities = table.entity_ids.size();
+  table.entity_role = SiblingArray(&r, num_entities, "entity_role");
+  table.entity_row = SiblingArray(&r, num_entities, "entity_row");
+  table.entity_column = SiblingArray(&r, num_entities, "entity_column");
+  if (r.ok() && num_entities > r.remaining() / sizeof(uint32_t)) {
+    // Each mention costs at least its 4-byte count, so a huge entity count
+    // with a tiny payload dies here instead of looping.
+    r.Fail("entity count exceeds remaining mention bytes");
+  }
+  table.entity_mentions.reserve(r.ok() ? num_entities : 0);
+  for (size_t i = 0; r.ok() && i < num_entities; ++i) {
+    table.entity_mentions.push_back(r.I32Vector("entity_mention"));
+  }
+  if (!r.ok()) return Status::InvalidArgument("payload: " + r.error());
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        "payload: " + std::to_string(r.remaining()) + " trailing bytes");
+  }
+  // Ground truth never crosses the wire.
+  table.entity_kb_ids.assign(num_entities, kb::kInvalidEntity);
+  *out = std::move(table);
+  return Status::OK();
+}
+
+std::string EncodeRequestFrame(const core::EncodedTable& table,
+                               rt::TaskKind task, uint64_t request_id,
+                               uint32_t deadline_ms) {
+  WireWriter payload;
+  WriteTablePayload(&payload, table);
+  const std::string body = payload.Take();
+
+  WireWriter w;
+  w.U32(kMagic);
+  w.U16(kVersion);
+  w.U16(static_cast<uint16_t>(task));
+  w.U64(request_id);
+  w.U32(deadline_ms);
+  w.U32(static_cast<uint32_t>(body.size()));
+  w.Bytes(body.data(), body.size());
+  return w.Take();
+}
+
+Status ParseResponseHeader(const uint8_t* data, uint32_t max_payload_bytes,
+                           ResponseHeader* out) {
+  WireReader r(data, kResponseHeaderBytes);
+  if (r.U32() != kMagic) return Status::InvalidArgument("bad magic");
+  const uint16_t version = r.U16();
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  const uint16_t status_id = r.U16();
+  if (status_id > static_cast<uint16_t>(rt::ResponseStatus::kShuttingDown)) {
+    return Status::InvalidArgument("unknown status " +
+                                   std::to_string(status_id));
+  }
+  out->status = static_cast<rt::ResponseStatus>(status_id);
+  out->request_id = r.U64();
+  out->payload_len = r.U32();
+  if (out->payload_len > max_payload_bytes) {
+    return Status::OutOfRange("response payload length " +
+                              std::to_string(out->payload_len) +
+                              " exceeds cap");
+  }
+  return Status::OK();
+}
+
+std::string EncodeResponseFrame(const WireResponse& response) {
+  WireWriter payload;
+  if (response.status == rt::ResponseStatus::kOk) {
+    payload.U32(static_cast<uint32_t>(response.rows));
+    payload.U32(static_cast<uint32_t>(response.cols));
+    for (float v : response.hidden) payload.F32(v);
+  } else {
+    payload.U32(static_cast<uint32_t>(response.message.size()));
+    payload.Bytes(response.message.data(), response.message.size());
+  }
+  const std::string body = payload.Take();
+
+  WireWriter w;
+  w.U32(kMagic);
+  w.U16(kVersion);
+  w.U16(static_cast<uint16_t>(response.status));
+  w.U64(response.request_id);
+  w.U32(static_cast<uint32_t>(body.size()));
+  w.Bytes(body.data(), body.size());
+  return w.Take();
+}
+
+Status DecodeResponsePayload(const uint8_t* data, size_t len,
+                             WireResponse* inout) {
+  WireReader r(data, len);
+  if (inout->status == rt::ResponseStatus::kOk) {
+    const uint32_t rows = r.U32();
+    const uint32_t cols = r.U32();
+    const uint64_t count = uint64_t(rows) * cols;
+    if (!r.CheckClaimed(count, sizeof(float), "hidden")) {
+      return Status::InvalidArgument("response payload: " + r.error());
+    }
+    inout->rows = rows;
+    inout->cols = cols;
+    inout->hidden.resize(count);
+    for (uint64_t i = 0; i < count; ++i) inout->hidden[i] = r.F32();
+  } else {
+    const uint32_t n = r.U32();
+    if (!r.CheckClaimed(n, 1, "message")) {
+      return Status::InvalidArgument("response payload: " + r.error());
+    }
+    inout->message.resize(n);
+    if (n > 0) r.Bytes(inout->message.data(), n, "message");
+  }
+  if (!r.ok()) return Status::InvalidArgument("response payload: " + r.error());
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("response payload: trailing bytes");
+  }
+  return Status::OK();
+}
+
+bool ReadFull(int fd, void* buf, size_t len) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF, error, or SO_RCVTIMEO timeout.
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace turl

@@ -1,0 +1,118 @@
+#ifndef TURL_SERVE_PROTOCOL_H_
+#define TURL_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/table_encoding.h"
+#include "rt/request.h"
+#include "util/status.h"
+
+namespace turl {
+namespace serve {
+
+/// Length-prefixed binary protocol of the turl::serve front-end. One
+/// connection carries any number of request/response frame pairs, strictly
+/// in order; a malformed frame fails the connection cleanly (the server
+/// answers kBadRequest when it can still attribute a request id, then
+/// closes). All integers are little-endian.
+///
+/// Request frame (kRequestHeaderBytes, then payload):
+///   u32 magic        "TURL" on the wire (0x4C525554)
+///   u16 version      kVersion
+///   u16 task         rt::TaskKind wire id
+///   u64 request_id   echoed back verbatim on the response
+///   u32 deadline_ms  relative to server receipt; 0 = already expired,
+///                    kNoDeadline = none
+///   u32 payload_len  bytes that follow (validated against the configured
+///                    cap BEFORE any allocation)
+///   payload          serialized core::EncodedTable (see below)
+///
+/// Request payload — the table, parallel-array for parallel-array:
+///   u32 num_tokens, then i32[num_tokens] x {ids, segment, position, column}
+///   u32 num_entities, then i32[num_entities] x {ids, role, row, column}
+///   per entity: u32 mention_len + i32[mention_len]
+/// Ground-truth kb ids never cross the wire; the decoder fills
+/// kb::kInvalidEntity. Every claimed element count is clamped against the
+/// bytes actually remaining before anything is allocated (the in-memory
+/// mirror of BinaryReader's length-vs-filesize clamps).
+///
+/// Response frame (kResponseHeaderBytes, then payload):
+///   u32 magic, u16 version
+///   u16 status       rt::ResponseStatus wire id
+///   u64 request_id
+///   u32 payload_len
+///   payload          kOk: u32 rows, u32 cols, f32[rows*cols] row-major
+///                    otherwise: u32 len + len bytes of detail message
+
+inline constexpr uint32_t kMagic = 0x4C525554u;  // "TURL"
+inline constexpr uint16_t kVersion = 1;
+/// deadline_ms sentinel: the request has no deadline.
+inline constexpr uint32_t kNoDeadline = 0xFFFFFFFFu;
+inline constexpr size_t kRequestHeaderBytes = 24;
+inline constexpr size_t kResponseHeaderBytes = 20;
+/// Default cap on a frame's payload; a length prefix beyond the cap is
+/// rejected before the claimed size is ever allocated.
+inline constexpr uint32_t kDefaultMaxPayloadBytes = 8u << 20;
+
+struct RequestHeader {
+  rt::TaskKind task = rt::TaskKind::kEncode;
+  uint64_t request_id = 0;
+  uint32_t deadline_ms = kNoDeadline;
+  uint32_t payload_len = 0;
+};
+
+/// Validates a request header (exactly kRequestHeaderBytes at `data`):
+/// magic, version, known task id, payload_len <= max_payload_bytes. Nothing
+/// is allocated on failure.
+Status ParseRequestHeader(const uint8_t* data, uint32_t max_payload_bytes,
+                          RequestHeader* out);
+
+/// Decodes a request payload into `out`. Fails (without large allocations)
+/// on truncated arrays, trailing garbage, or counts that cannot fit in
+/// `len` bytes.
+Status DecodeRequestPayload(const uint8_t* data, size_t len,
+                            core::EncodedTable* out);
+
+/// Serializes one complete request frame (header + payload).
+std::string EncodeRequestFrame(const core::EncodedTable& table,
+                               rt::TaskKind task, uint64_t request_id,
+                               uint32_t deadline_ms = kNoDeadline);
+
+struct ResponseHeader {
+  rt::ResponseStatus status = rt::ResponseStatus::kOk;
+  uint64_t request_id = 0;
+  uint32_t payload_len = 0;
+};
+
+Status ParseResponseHeader(const uint8_t* data, uint32_t max_payload_bytes,
+                           ResponseHeader* out);
+
+/// One decoded response: the hidden states for kOk, a detail message
+/// otherwise.
+struct WireResponse {
+  rt::ResponseStatus status = rt::ResponseStatus::kOk;
+  uint64_t request_id = 0;
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<float> hidden;  ///< Row-major [rows, cols]; kOk only.
+  std::string message;        ///< Short detail for non-kOk statuses.
+};
+
+/// Serializes one complete response frame (header + payload).
+std::string EncodeResponseFrame(const WireResponse& response);
+
+/// Decodes a response payload into `inout` (whose status/request_id came
+/// from the parsed header).
+Status DecodeResponsePayload(const uint8_t* data, size_t len,
+                             WireResponse* inout);
+
+/// Reads exactly `len` bytes, retrying short reads and EINTR. False on EOF,
+/// error or timeout (SO_RCVTIMEO). With len == 0, trivially true.
+bool ReadFull(int fd, void* buf, size_t len);
+
+}  // namespace serve
+}  // namespace turl
+
+#endif  // TURL_SERVE_PROTOCOL_H_

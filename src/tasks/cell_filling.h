@@ -91,13 +91,6 @@ class TurlCellFiller {
   CellFillResult Evaluate(const std::vector<CellFillInstance>& instances,
                           const rt::InferenceSession* session = nullptr) const;
 
-  /// Deprecated double-valued spelling of Scores (pre-TaskHead API).
-  [[deprecated("use Scores(instance)")]] std::vector<double> Score(
-      const CellFillInstance& instance) const {
-    const std::vector<float> s = Scores(instance);
-    return std::vector<double>(s.begin(), s.end());
-  }
-
  private:
   core::TurlModel* model_;
   const core::TurlContext* ctx_;

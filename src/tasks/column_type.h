@@ -83,11 +83,6 @@ class TurlColumnTyper {
 
  private:
   core::EncodedTable EncodeTableIndex(size_t table_index) const;
-  /// Deprecated spelling of EncodeTableIndex (pre-TaskHead API).
-  [[deprecated("use Encode(instance)")]] core::EncodedTable EncodeFor(
-      size_t table_index) const {
-    return EncodeTableIndex(table_index);
-  }
   nn::Tensor InstanceLogits(const nn::Tensor& hidden,
                             const core::EncodedTable& encoded,
                             int column) const;

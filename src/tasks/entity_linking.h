@@ -90,11 +90,6 @@ class TurlEntityLinker {
 
  private:
   core::EncodedTable EncodeTableIndex(size_t table_index) const;
-  /// Deprecated spelling of EncodeTableIndex (pre-TaskHead API).
-  [[deprecated("use Encode(instance)")]] core::EncodedTable EncodeFor(
-      size_t table_index) const {
-    return EncodeTableIndex(table_index);
-  }
   /// e^kb rows for the candidates -> [n, 3*d_model].
   nn::Tensor CandidateReps(const std::vector<kb::EntityId>& candidates) const;
   nn::Tensor InstanceLogits(const nn::Tensor& hidden,

@@ -80,11 +80,6 @@ class TurlRelationExtractor {
 
  private:
   core::EncodedTable EncodeTableIndex(size_t table_index) const;
-  /// Deprecated spelling of EncodeTableIndex (pre-TaskHead API).
-  [[deprecated("use Encode(instance)")]] core::EncodedTable EncodeFor(
-      size_t table_index) const {
-    return EncodeTableIndex(table_index);
-  }
   nn::Tensor PairLogits(const nn::Tensor& hidden,
                         const core::EncodedTable& encoded,
                         int object_column) const;

@@ -79,23 +79,11 @@ class TurlRowPopulator {
   RowPopMetrics Evaluate(const std::vector<RowPopInstance>& instances,
                          const rt::InferenceSession* session = nullptr) const;
 
-  /// Deprecated double-valued spelling of Scores (pre-TaskHead API).
-  [[deprecated("use Scores(instance)")]] std::vector<double> Score(
-      const RowPopInstance& instance) const {
-    const std::vector<float> s = Scores(instance);
-    return std::vector<double>(s.begin(), s.end());
-  }
-
  private:
   /// Encodes metadata + seeds + trailing [MASK] subject cell; returns the
   /// encoded table, with the [MASK]'s entity index in *mask_index.
   core::EncodedTable EncodeQueryImpl(const RowPopInstance& instance,
                                      int* mask_index) const;
-  /// Deprecated spelling of EncodeQueryImpl (pre-TaskHead API).
-  [[deprecated("use Encode(instance)")]] core::EncodedTable EncodeQuery(
-      const RowPopInstance& instance, int* mask_index) const {
-    return EncodeQueryImpl(instance, mask_index);
-  }
   nn::Tensor CandidateLogits(const nn::Tensor& hidden,
                              const core::EncodedTable& encoded, int mask_index,
                              const std::vector<int>& candidate_ids) const;

@@ -78,20 +78,9 @@ class TurlSchemaAugmenter {
   double Evaluate(const std::vector<SchemaAugInstance>& instances,
                   const rt::InferenceSession* session = nullptr) const;
 
-  /// Deprecated spelling of Predict (pre-TaskHead API).
-  [[deprecated("use Predict(instance)")]] std::vector<int> Rank(
-      const SchemaAugInstance& instance) const {
-    return Predict(instance);
-  }
-
  private:
   core::EncodedTable EncodeQueryImpl(const SchemaAugInstance& instance,
                                      int* mask_token_row) const;
-  /// Deprecated spelling of EncodeQueryImpl (pre-TaskHead API).
-  [[deprecated("use Encode(instance)")]] core::EncodedTable EncodeQuery(
-      const SchemaAugInstance& instance, int* mask_token_row) const {
-    return EncodeQueryImpl(instance, mask_token_row);
-  }
   nn::Tensor HeaderLogits(const nn::Tensor& hidden, int mask_token_row) const;
 
   core::TurlModel* model_;

@@ -1,0 +1,164 @@
+// Pins the post-redesign API surface. The one-release [[deprecated]]
+// forwarders from the TaskHead unification (Score / Rank / EncodeFor /
+// EncodeQuery across the six heads) are gone: the compile-time assertions
+// below fail if any of them grows back, and also document what the heads DO
+// expose (the unified Encode/Scores/Predict surface of tasks/task_head.h).
+//
+// The one remaining compatibility shim is BatchScheduler's deprecated
+// 2-arg Submit adapter (kept for exactly one release); its equivalence with
+// the canonical Submit(rt::Request) is pinned at runtime here.
+
+#include <memory>
+#include <vector>
+
+#include "core/context.h"
+#include "core/model.h"
+#include "core/table_encoding.h"
+#include "gtest/gtest.h"
+#include "rt/batch_scheduler.h"
+#include "rt/request.h"
+#include "tasks/cell_filling.h"
+#include "tasks/column_type.h"
+#include "tasks/entity_linking.h"
+#include "tasks/relation_extraction.h"
+#include "tasks/row_population.h"
+#include "tasks/schema_augmentation.h"
+
+namespace turl {
+namespace tasks {
+namespace {
+
+// --- Compile-time surface assertions ------------------------------------
+
+/// True when `head.Method(instance)` is a valid public call.
+#define TURL_DEFINE_HAS(NAME, EXPR)                            \
+  template <typename Head, typename Instance>                  \
+  concept NAME = requires(const Head& h, const Instance& i) {  \
+    EXPR;                                                      \
+  }
+
+TURL_DEFINE_HAS(HasEncode, h.Encode(i));
+TURL_DEFINE_HAS(HasScores, h.Scores(i));
+TURL_DEFINE_HAS(HasPredict, h.Predict(i));
+TURL_DEFINE_HAS(HasDeprecatedScore, h.Score(i));
+TURL_DEFINE_HAS(HasDeprecatedRank, h.Rank(i));
+#undef TURL_DEFINE_HAS
+
+template <typename Head>
+concept HasDeprecatedEncodeFor =
+    requires(const Head& h, size_t idx) { h.EncodeFor(idx); };
+
+// Every head speaks the unified surface...
+static_assert(HasEncode<TurlEntityLinker, ElInstance>);
+static_assert(HasScores<TurlEntityLinker, ElInstance>);
+static_assert(HasPredict<TurlEntityLinker, ElInstance>);
+static_assert(HasEncode<TurlColumnTyper, ColumnTypeInstance>);
+static_assert(HasScores<TurlColumnTyper, ColumnTypeInstance>);
+static_assert(HasPredict<TurlColumnTyper, ColumnTypeInstance>);
+static_assert(HasEncode<TurlRelationExtractor, RelationInstance>);
+static_assert(HasScores<TurlRelationExtractor, RelationInstance>);
+static_assert(HasPredict<TurlRelationExtractor, RelationInstance>);
+static_assert(HasEncode<TurlRowPopulator, RowPopInstance>);
+static_assert(HasScores<TurlRowPopulator, RowPopInstance>);
+static_assert(HasPredict<TurlRowPopulator, RowPopInstance>);
+static_assert(HasEncode<TurlCellFiller, CellFillInstance>);
+static_assert(HasScores<TurlCellFiller, CellFillInstance>);
+static_assert(HasPredict<TurlCellFiller, CellFillInstance>);
+static_assert(HasEncode<TurlSchemaAugmenter, SchemaAugInstance>);
+static_assert(HasScores<TurlSchemaAugmenter, SchemaAugInstance>);
+static_assert(HasPredict<TurlSchemaAugmenter, SchemaAugInstance>);
+
+// ...and none still carries a pre-TaskHead spelling.
+static_assert(!HasDeprecatedScore<TurlRowPopulator, RowPopInstance>);
+static_assert(!HasDeprecatedScore<TurlCellFiller, CellFillInstance>);
+static_assert(!HasDeprecatedRank<TurlSchemaAugmenter, SchemaAugInstance>);
+static_assert(!HasDeprecatedEncodeFor<TurlEntityLinker>);
+static_assert(!HasDeprecatedEncodeFor<TurlColumnTyper>);
+static_assert(!HasDeprecatedEncodeFor<TurlRelationExtractor>);
+
+// --- Scheduler adapter equivalence ---------------------------------------
+
+const core::TurlContext& Ctx() {
+  static core::TurlContext* ctx = [] {
+    core::ContextConfig config;
+    config.corpus.num_tables = 150;
+    config.seed = 42;
+    return new core::TurlContext(core::BuildContext(config));
+  }();
+  return *ctx;
+}
+
+core::TurlConfig SmallConfig() {
+  core::TurlConfig config;
+  config.num_layers = 1;
+  config.d_model = 32;
+  config.d_intermediate = 64;
+  config.num_heads = 2;
+  return config;
+}
+
+const rt::InferenceSession& Session() {
+  static rt::InferenceSession* session = [] {
+    auto* model = new core::TurlModel(SmallConfig(), Ctx().vocab.size(),
+                                      Ctx().entity_vocab.size(), /*seed=*/11);
+    return new rt::InferenceSession(*model,
+                                    rt::SessionOptions{.num_threads = 1});
+  }();
+  return *session;
+}
+
+std::vector<core::EncodedTable> SomeTables(size_t n) {
+  std::vector<core::EncodedTable> out;
+  const text::WordPieceTokenizer tokenizer = Ctx().MakeTokenizer();
+  for (size_t idx : Ctx().corpus.valid) {
+    core::EncodedTable t = core::EncodeTable(Ctx().corpus.tables[idx],
+                                             tokenizer, Ctx().entity_vocab);
+    if (t.total() > 0) out.push_back(std::move(t));
+    if (out.size() >= n) break;
+  }
+  return out;
+}
+
+TEST(ApiSurfaceTest, DeprecatedSubmitAdapterMatchesRequestSubmit) {
+  const std::vector<core::EncodedTable> tables = SomeTables(4);
+  ASSERT_FALSE(tables.empty());
+
+  std::vector<nn::Tensor> via_request(tables.size());
+  std::vector<nn::Tensor> via_adapter(tables.size());
+  {
+    rt::BatchScheduler scheduler(&Session());
+    for (size_t i = 0; i < tables.size(); ++i) {
+      rt::Request request;
+      request.table = &tables[i];
+      request.request_id = i;
+      request.done = [&via_request, i](rt::Response r) {
+        ASSERT_EQ(r.status, rt::ResponseStatus::kOk);
+        ASSERT_EQ(r.request_id, i);
+        via_request[i] = std::move(r.hidden);
+      };
+      scheduler.Submit(std::move(request));
+    }
+    scheduler.Flush();
+  }
+  {
+    rt::BatchScheduler scheduler(&Session());
+    for (size_t i = 0; i < tables.size(); ++i) {
+// The whole point of this block is to call the deprecated adapter.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+      scheduler.Submit(&tables[i], [&via_adapter, i](nn::Tensor h) {
+        via_adapter[i] = std::move(h);
+      });
+#pragma GCC diagnostic pop
+    }
+    scheduler.Flush();
+  }
+  for (size_t i = 0; i < tables.size(); ++i) {
+    EXPECT_EQ(via_request[i].ToVector(), via_adapter[i].ToVector())
+        << "table " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tasks
+}  // namespace turl

@@ -50,6 +50,18 @@ const InferenceSession& Session() {
   return *session;
 }
 
+/// Builds the minimal Request the migrated tests submit: a table plus a
+/// callback that only cares about the hidden tensor.
+Request Req(const core::EncodedTable* table,
+            std::function<void(nn::Tensor)> done) {
+  Request request;
+  request.table = table;
+  request.done = [cb = std::move(done)](Response response) {
+    cb(std::move(response.hidden));
+  };
+  return request;
+}
+
 const std::vector<core::EncodedTable>& Tables() {
   static std::vector<core::EncodedTable>* tables = [] {
     auto* out = new std::vector<core::EncodedTable>;
@@ -71,10 +83,10 @@ TEST(BatchSchedulerTest, SizeCapFlushes) {
   opts.max_batch_budget = 1 << 30;  // Effectively unlimited.
   BatchScheduler scheduler(&Session(), opts);
   int done = 0;
-  scheduler.Submit(&Tables()[0], [&](nn::Tensor) { ++done; });
+  scheduler.Submit(Req(&Tables()[0], [&](nn::Tensor) { ++done; }));
   EXPECT_EQ(scheduler.pending(), 1u);
   EXPECT_EQ(done, 0);
-  scheduler.Submit(&Tables()[1], [&](nn::Tensor) { ++done; });
+  scheduler.Submit(Req(&Tables()[1], [&](nn::Tensor) { ++done; }));
   EXPECT_EQ(scheduler.pending(), 0u) << "size cap must flush eagerly";
   EXPECT_EQ(done, 2);
 }
@@ -87,10 +99,10 @@ TEST(BatchSchedulerTest, BudgetCapFlushesBeforeAdmitting) {
   opts.max_batch_budget = 1;
   BatchScheduler scheduler(&Session(), opts);
   std::vector<int> order;
-  scheduler.Submit(&Tables()[0], [&](nn::Tensor) { order.push_back(0); });
+  scheduler.Submit(Req(&Tables()[0], [&](nn::Tensor) { order.push_back(0); }));
   EXPECT_EQ(scheduler.pending(), 1u)
       << "an oversized request still runs, alone in its own batch";
-  scheduler.Submit(&Tables()[1], [&](nn::Tensor) { order.push_back(1); });
+  scheduler.Submit(Req(&Tables()[1], [&](nn::Tensor) { order.push_back(1); }));
   EXPECT_EQ(order, std::vector<int>({0}));
   EXPECT_EQ(scheduler.pending(), 1u);
   scheduler.Flush();
@@ -105,7 +117,7 @@ TEST(BatchSchedulerTest, PumpFlushesOnAgeWithFakeClock) {
   opts.max_age_ms = 20.0;
   BatchScheduler scheduler(&Session(), opts, [&now_ms] { return now_ms; });
   int done = 0;
-  scheduler.Submit(&Tables()[0], [&](nn::Tensor) { ++done; });
+  scheduler.Submit(Req(&Tables()[0], [&](nn::Tensor) { ++done; }));
 
   now_ms += 19.0;  // Not old enough yet.
   EXPECT_FALSE(scheduler.Pump());
@@ -128,9 +140,9 @@ TEST(BatchSchedulerTest, PumpAgeMeasuredFromOldestRequest) {
   opts.max_age_ms = 10.0;
   BatchScheduler scheduler(&Session(), opts, [&now_ms] { return now_ms; });
   int done = 0;
-  scheduler.Submit(&Tables()[0], [&](nn::Tensor) { ++done; });
+  scheduler.Submit(Req(&Tables()[0], [&](nn::Tensor) { ++done; }));
   now_ms = 8.0;
-  scheduler.Submit(&Tables()[1], [&](nn::Tensor) { ++done; });
+  scheduler.Submit(Req(&Tables()[1], [&](nn::Tensor) { ++done; }));
   now_ms = 11.0;  // First request is 11ms old, second only 3ms.
   EXPECT_TRUE(scheduler.Pump());
   EXPECT_EQ(done, 2) << "a flush runs the whole queue, not just old entries";
@@ -142,10 +154,10 @@ TEST(BatchSchedulerTest, CallbacksRunInSubmissionOrderWithExactResults) {
   std::vector<size_t> order;
   std::vector<nn::Tensor> results(tables.size());
   for (size_t i = 0; i < tables.size(); ++i) {
-    scheduler.Submit(&tables[i], [&, i](nn::Tensor h) {
+    scheduler.Submit(Req(&tables[i], [&, i](nn::Tensor h) {
       order.push_back(i);
       results[i] = h;
-    });
+    }));
   }
   scheduler.Flush();
   std::vector<size_t> expected(tables.size());
@@ -163,8 +175,8 @@ TEST(BatchSchedulerTest, FlushFeedsQueueWaitHistogram) {
   const int64_t before = wait->count();
   BatchScheduler scheduler(&Session());
   int done = 0;
-  scheduler.Submit(&Tables()[0], [&](nn::Tensor) { ++done; });
-  scheduler.Submit(&Tables()[1], [&](nn::Tensor) { ++done; });
+  scheduler.Submit(Req(&Tables()[0], [&](nn::Tensor) { ++done; }));
+  scheduler.Submit(Req(&Tables()[1], [&](nn::Tensor) { ++done; }));
   EXPECT_EQ(wait->count(), before);  // Nothing observed while queued.
   scheduler.Flush();
   EXPECT_EQ(done, 2);
@@ -192,11 +204,64 @@ TEST(BatchSchedulerTest, RegistersSchedulerReadinessProbe) {
   EXPECT_EQ(obs::server::HealthRegistry::Get().size(), before);
 }
 
+TEST(BatchSchedulerTest, ExpiredDeadlineCompletesWithoutEncoding) {
+  double now_ms = 1000.0;
+  BatchSchedulerOptions opts;
+  opts.max_batch_tables = 100;
+  opts.max_batch_budget = 1 << 30;
+  BatchScheduler scheduler(&Session(), opts, [&now_ms] { return now_ms; });
+  obs::Counter* missed =
+      obs::MetricsRegistry::Get().GetCounter("rt.scheduler.deadline_missed");
+  const int64_t before = missed->Value();
+
+  std::vector<Response> responses;
+  auto submit = [&](size_t table, uint64_t id, double deadline) {
+    Request request;
+    request.table = &Tables()[table];
+    request.request_id = id;
+    request.task = TaskKind::kCellFilling;
+    request.deadline_ms = deadline;
+    request.done = [&](Response r) { responses.push_back(std::move(r)); };
+    scheduler.Submit(std::move(request));
+  };
+  submit(0, 7, /*deadline=*/now_ms + 5.0);   // Will expire before the flush.
+  submit(1, 8, /*deadline=*/now_ms + 500.0); // Still live at the flush.
+  now_ms += 100.0;
+  scheduler.Flush();
+
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].request_id, 7u);
+  EXPECT_EQ(responses[0].status, ResponseStatus::kDeadlineExceeded);
+  EXPECT_FALSE(responses[0].hidden.defined())
+      << "expired requests must not be encoded";
+  EXPECT_EQ(responses[1].request_id, 8u);
+  EXPECT_EQ(responses[1].status, ResponseStatus::kOk);
+  EXPECT_EQ(responses[1].task, TaskKind::kCellFilling);
+  EXPECT_EQ(responses[1].hidden.ToVector(),
+            Session().Encode(Tables()[1]).ToVector());
+  EXPECT_GE(responses[1].queue_wait_ms, 0.0);
+  EXPECT_EQ(missed->Value(), before + 1);
+}
+
+TEST(BatchSchedulerTest, NoDeadlineNeverExpires) {
+  double now_ms = 0.0;
+  BatchScheduler scheduler(&Session(), BatchSchedulerOptions(),
+                           [&now_ms] { return now_ms; });
+  ResponseStatus status = ResponseStatus::kOverloaded;
+  Request request;
+  request.table = &Tables()[0];
+  request.done = [&](Response r) { status = r.status; };
+  scheduler.Submit(std::move(request));
+  now_ms += 1e9;  // deadline_ms == 0 means no deadline, however late.
+  scheduler.Flush();
+  EXPECT_EQ(status, ResponseStatus::kOk);
+}
+
 TEST(BatchSchedulerTest, DestructorFlushesPendingRequests) {
   int done = 0;
   {
     BatchScheduler scheduler(&Session());
-    scheduler.Submit(&Tables()[0], [&](nn::Tensor) { ++done; });
+    scheduler.Submit(Req(&Tables()[0], [&](nn::Tensor) { ++done; }));
     EXPECT_EQ(done, 0);
   }
   EXPECT_EQ(done, 1);

@@ -1,0 +1,295 @@
+// Wire-format tests for the serve protocol, including the fuzz-ish
+// malformed-frame set the decoder must survive: truncated frames, oversized
+// length prefixes, bad magic, unknown task ids, hostile element counts. The
+// invariant throughout is the BinaryReader discipline: every claimed length
+// is validated against the bytes actually present BEFORE anything is
+// allocated, so a 1GB length prefix costs a Status, not a 1GB resize.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "kb/kb.h"
+#include "rt/request.h"
+#include "serve/protocol.h"
+
+namespace turl {
+namespace serve {
+namespace {
+
+core::EncodedTable SampleTable() {
+  core::EncodedTable table;
+  table.token_ids = {5, 9, 14, 2};
+  table.token_segment = {0, 0, 1, 1};
+  table.token_position = {0, 1, 0, 1};
+  table.token_column = {-1, -1, 0, 1};
+  table.entity_ids = {3, 7};
+  table.entity_role = {core::kRoleTopic, core::kRoleSubject};
+  table.entity_row = {-1, 0};
+  table.entity_column = {-1, 0};
+  table.entity_mentions = {{21, 22}, {}};
+  table.entity_kb_ids = {40, 41};  // Ground truth; must NOT survive the wire.
+  return table;
+}
+
+void AppendU32(std::string* s, uint32_t v) {
+  s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendI32(std::string* s, int32_t v) {
+  s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+TEST(ServeProtocolTest, RequestFrameRoundtrip) {
+  const core::EncodedTable table = SampleTable();
+  const std::string frame = EncodeRequestFrame(
+      table, rt::TaskKind::kColumnType, /*request_id=*/77, /*deadline_ms=*/250);
+  ASSERT_GE(frame.size(), kRequestHeaderBytes);
+
+  RequestHeader header;
+  ASSERT_TRUE(ParseRequestHeader(
+                  reinterpret_cast<const uint8_t*>(frame.data()),
+                  kDefaultMaxPayloadBytes, &header)
+                  .ok());
+  EXPECT_EQ(header.task, rt::TaskKind::kColumnType);
+  EXPECT_EQ(header.request_id, 77u);
+  EXPECT_EQ(header.deadline_ms, 250u);
+  EXPECT_EQ(header.payload_len, frame.size() - kRequestHeaderBytes);
+
+  core::EncodedTable decoded;
+  ASSERT_TRUE(DecodeRequestPayload(
+                  reinterpret_cast<const uint8_t*>(frame.data()) +
+                      kRequestHeaderBytes,
+                  header.payload_len, &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.token_ids, table.token_ids);
+  EXPECT_EQ(decoded.token_segment, table.token_segment);
+  EXPECT_EQ(decoded.token_position, table.token_position);
+  EXPECT_EQ(decoded.token_column, table.token_column);
+  EXPECT_EQ(decoded.entity_ids, table.entity_ids);
+  EXPECT_EQ(decoded.entity_role, table.entity_role);
+  EXPECT_EQ(decoded.entity_row, table.entity_row);
+  EXPECT_EQ(decoded.entity_column, table.entity_column);
+  EXPECT_EQ(decoded.entity_mentions, table.entity_mentions);
+  // Ground-truth kb ids never cross the wire.
+  EXPECT_EQ(decoded.entity_kb_ids,
+            std::vector<kb::EntityId>(2, kb::kInvalidEntity));
+}
+
+TEST(ServeProtocolTest, EmptyEntityPartRoundtrips) {
+  core::EncodedTable table;
+  table.token_ids = {1};
+  table.token_segment = {0};
+  table.token_position = {0};
+  table.token_column = {-1};
+  const std::string frame =
+      EncodeRequestFrame(table, rt::TaskKind::kEncode, 1);
+  RequestHeader header;
+  ASSERT_TRUE(ParseRequestHeader(
+                  reinterpret_cast<const uint8_t*>(frame.data()),
+                  kDefaultMaxPayloadBytes, &header)
+                  .ok());
+  core::EncodedTable decoded;
+  ASSERT_TRUE(DecodeRequestPayload(
+                  reinterpret_cast<const uint8_t*>(frame.data()) +
+                      kRequestHeaderBytes,
+                  header.payload_len, &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.token_ids, table.token_ids);
+  EXPECT_TRUE(decoded.entity_ids.empty());
+  EXPECT_TRUE(decoded.entity_mentions.empty());
+}
+
+TEST(ServeProtocolTest, DefaultDeadlineIsNone) {
+  const std::string frame =
+      EncodeRequestFrame(SampleTable(), rt::TaskKind::kEncode, 1);
+  RequestHeader header;
+  ASSERT_TRUE(ParseRequestHeader(
+                  reinterpret_cast<const uint8_t*>(frame.data()),
+                  kDefaultMaxPayloadBytes, &header)
+                  .ok());
+  EXPECT_EQ(header.deadline_ms, kNoDeadline);
+}
+
+TEST(ServeProtocolTest, BadMagicRejected) {
+  std::string frame = EncodeRequestFrame(SampleTable(), rt::TaskKind::kEncode, 1);
+  frame[0] = 'X';
+  RequestHeader header;
+  const Status s = ParseRequestHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), kDefaultMaxPayloadBytes,
+      &header);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("magic"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, UnsupportedVersionRejected) {
+  std::string frame = EncodeRequestFrame(SampleTable(), rt::TaskKind::kEncode, 1);
+  frame[4] = 99;  // Version field.
+  RequestHeader header;
+  const Status s = ParseRequestHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), kDefaultMaxPayloadBytes,
+      &header);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("version"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, UnknownTaskIdRejected) {
+  std::string frame = EncodeRequestFrame(SampleTable(), rt::TaskKind::kEncode, 1);
+  frame[6] = 120;  // Task field: far beyond kNumTaskKinds.
+  RequestHeader header;
+  const Status s = ParseRequestHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), kDefaultMaxPayloadBytes,
+      &header);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("task"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  // A hostile header claiming a ~4GB payload must die at header validation;
+  // the callers only allocate payload buffers after ParseRequestHeader
+  // passes, so this check IS the allocation guard.
+  std::string frame = EncodeRequestFrame(SampleTable(), rt::TaskKind::kEncode, 1);
+  const uint32_t huge = 0xFFFFFFF0u;
+  std::memcpy(frame.data() + 20, &huge, sizeof(huge));
+  RequestHeader header;
+  const Status s = ParseRequestHeader(
+      reinterpret_cast<const uint8_t*>(frame.data()), kDefaultMaxPayloadBytes,
+      &header);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("exceeds cap"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, TruncatedPayloadFails) {
+  const core::EncodedTable table = SampleTable();
+  const std::string frame =
+      EncodeRequestFrame(table, rt::TaskKind::kEncode, 1);
+  const uint8_t* payload =
+      reinterpret_cast<const uint8_t*>(frame.data()) + kRequestHeaderBytes;
+  const size_t payload_len = frame.size() - kRequestHeaderBytes;
+  // Every proper prefix of a valid payload must fail cleanly (truncated or
+  // trailing-bytes depending on where the cut lands), never crash.
+  for (size_t cut = 0; cut < payload_len; ++cut) {
+    core::EncodedTable decoded;
+    EXPECT_FALSE(DecodeRequestPayload(payload, cut, &decoded).ok())
+        << "prefix of " << cut << " bytes decoded successfully";
+  }
+}
+
+TEST(ServeProtocolTest, HostileTokenCountFailsBeforeAllocation) {
+  // Payload claims 2^30 tokens but carries 8 bytes. CheckClaimed compares
+  // the claim against remaining bytes before any vector is sized.
+  std::string payload;
+  AppendU32(&payload, 1u << 30);
+  AppendI32(&payload, 1);
+  AppendI32(&payload, 2);
+  core::EncodedTable decoded;
+  const Status s = DecodeRequestPayload(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      &decoded);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("token_ids"), std::string::npos);
+  EXPECT_TRUE(decoded.token_ids.empty());
+}
+
+TEST(ServeProtocolTest, HostileEntityCountFailsBeforeMentionLoop) {
+  // Valid empty token part, then an entity count far beyond the remaining
+  // bytes: the decoder must fail before looping 2^29 times over mentions.
+  std::string payload;
+  AppendU32(&payload, 0);         // num_tokens
+  AppendU32(&payload, 1u << 29);  // num_entities (hostile)
+  core::EncodedTable decoded;
+  const Status s = DecodeRequestPayload(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      &decoded);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(decoded.entity_ids.empty());
+}
+
+TEST(ServeProtocolTest, TrailingBytesRejected) {
+  const std::string frame =
+      EncodeRequestFrame(SampleTable(), rt::TaskKind::kEncode, 1);
+  std::string payload = frame.substr(kRequestHeaderBytes);
+  payload.push_back('\0');
+  core::EncodedTable decoded;
+  const Status s = DecodeRequestPayload(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      &decoded);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("trailing"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, OkResponseRoundtrip) {
+  WireResponse response;
+  response.status = rt::ResponseStatus::kOk;
+  response.request_id = 123456789012345ull;
+  response.rows = 2;
+  response.cols = 3;
+  response.hidden = {1.5f, -2.25f, 0.0f, 3.75f, -0.5f, 10.0f};
+  const std::string frame = EncodeResponseFrame(response);
+  ASSERT_GE(frame.size(), kResponseHeaderBytes);
+
+  ResponseHeader header;
+  ASSERT_TRUE(ParseResponseHeader(
+                  reinterpret_cast<const uint8_t*>(frame.data()),
+                  kDefaultMaxPayloadBytes, &header)
+                  .ok());
+  EXPECT_EQ(header.status, rt::ResponseStatus::kOk);
+  EXPECT_EQ(header.request_id, response.request_id);
+
+  WireResponse decoded;
+  decoded.status = header.status;
+  decoded.request_id = header.request_id;
+  ASSERT_TRUE(DecodeResponsePayload(
+                  reinterpret_cast<const uint8_t*>(frame.data()) +
+                      kResponseHeaderBytes,
+                  header.payload_len, &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.rows, 2);
+  EXPECT_EQ(decoded.cols, 3);
+  EXPECT_EQ(decoded.hidden, response.hidden);
+}
+
+TEST(ServeProtocolTest, ErrorResponseRoundtrip) {
+  WireResponse response;
+  response.status = rt::ResponseStatus::kOverloaded;
+  response.request_id = 9;
+  response.message = "overloaded: inflight request cap";
+  const std::string frame = EncodeResponseFrame(response);
+
+  ResponseHeader header;
+  ASSERT_TRUE(ParseResponseHeader(
+                  reinterpret_cast<const uint8_t*>(frame.data()),
+                  kDefaultMaxPayloadBytes, &header)
+                  .ok());
+  EXPECT_EQ(header.status, rt::ResponseStatus::kOverloaded);
+
+  WireResponse decoded;
+  decoded.status = header.status;
+  decoded.request_id = header.request_id;
+  ASSERT_TRUE(DecodeResponsePayload(
+                  reinterpret_cast<const uint8_t*>(frame.data()) +
+                      kResponseHeaderBytes,
+                  header.payload_len, &decoded)
+                  .ok());
+  EXPECT_EQ(decoded.message, response.message);
+  EXPECT_TRUE(decoded.hidden.empty());
+}
+
+TEST(ServeProtocolTest, HostileResponseDimsFailBeforeAllocation) {
+  // rows * cols claiming ~4 * 10^18 floats with an 8-byte payload.
+  std::string payload;
+  AppendU32(&payload, 0xFFFFFFFFu);  // rows
+  AppendU32(&payload, 0xFFFFFFFFu);  // cols
+  WireResponse decoded;
+  decoded.status = rt::ResponseStatus::kOk;
+  const Status s = DecodeResponsePayload(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size(),
+      &decoded);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(decoded.hidden.empty());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace turl
