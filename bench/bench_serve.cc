@@ -2,8 +2,11 @@
 // drive a live ServeServer over loopback sockets at a target aggregate QPS,
 // each client sending its next request only after the previous response
 // arrived (closed loop), with pacing sleeps to hold the schedule. Reports
-// end-to-end p50/p99 latency and the achieved rate into BENCH_serve.json
-// (override with TURL_BENCH_SERVE).
+// end-to-end p50/p90/p99/max latency, the achieved rate and shed /
+// deadline-miss counts into BENCH_serve.json (override with
+// TURL_BENCH_SERVE), and cross-checks the server's own 1m SLI window
+// against the client-side ground truth — the agreement that makes /statusz
+// trustworthy.
 //
 // Knobs (environment):
 //   TURL_BENCH_SERVE_QPS       target aggregate requests/sec (default 50)
@@ -28,6 +31,7 @@
 
 #include "bench_common.h"
 #include "core/table_encoding.h"
+#include "obs/slo.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -160,6 +164,13 @@ int main() {
   }
   for (std::thread& t : clients) t.join();
   const double elapsed_s = wall.ElapsedSeconds();
+
+  // The server's own 1m SLI window should agree with the client-side ground
+  // truth computed below — that agreement is what makes /statusz numbers
+  // trustworthy. Wide events land just after the reply hits the wire, so
+  // give the last in-flight record a moment before snapshotting.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const obs::SliSnapshot sli = obs::SliEngine::Get().Snapshot("encode", 60);
   const int replicas = server.num_replicas();  // Stop() tears them down.
   server.Stop();
 
@@ -167,24 +178,50 @@ int main() {
   const int64_t answered = static_cast<int64_t>(latencies_ms.size());
   const double achieved_qps = elapsed_s > 0 ? answered / elapsed_s : 0.0;
   const double p50 = Percentile(latencies_ms, 0.50);
+  const double p90 = Percentile(latencies_ms, 0.90);
   const double p99 = Percentile(latencies_ms, 0.99);
+  const double max_ms = latencies_ms.empty() ? 0.0 : latencies_ms.back();
   const double ok_fraction =
       answered > 0 ? static_cast<double>(ok.load()) / answered : 0.0;
-  const bool pass =
-      transport_errors.load() == 0 && answered > 0 && ok_fraction >= 0.9;
+
+  // SLI cross-check: every answered request fits in the 1m window when the
+  // run was shorter than the window; a client that died mid-reply may leave
+  // the server one record ahead, so allow per-client slack.
+  const int64_t slack = num_clients;
+  const bool sli_checkable =
+      obs::SliEngine::Enabled() && elapsed_s < 55.0 && answered > 0;
+  const bool sli_agree =
+      !sli_checkable ||
+      (std::llabs(sli.total - answered) <= slack &&
+       std::llabs(sli.ok - ok.load()) <= slack &&
+       std::llabs(sli.shed - overloaded.load()) <= slack &&
+       std::llabs(sli.deadline_miss - deadline.load()) <= slack);
+
+  const bool pass = transport_errors.load() == 0 && answered > 0 &&
+                    ok_fraction >= 0.9 && sli_agree;
 
   std::printf("answered %lld requests in %.2fs: %.1f req/s achieved "
               "(target %d)\n",
               static_cast<long long>(answered), elapsed_s, achieved_qps,
               target_qps);
-  std::printf("latency p50 %.2f ms, p99 %.2f ms\n", p50, p99);
-  std::printf("status: ok %lld, overloaded %lld, deadline %lld, transport "
+  std::printf("latency p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, max %.2f ms\n",
+              p50, p90, p99, max_ms);
+  std::printf("status: ok %lld, shed %lld, deadline-miss %lld, transport "
               "errors %lld -> %s\n",
               static_cast<long long>(ok.load()),
               static_cast<long long>(overloaded.load()),
               static_cast<long long>(deadline.load()),
               static_cast<long long>(transport_errors.load()),
               pass ? "PASS" : "FAIL");
+  std::printf("server 1m SLI window: n %lld, ok %lld, shed %lld, "
+              "deadline-miss %lld, availability %.4f, p99 %.2f ms -> %s\n",
+              static_cast<long long>(sli.total),
+              static_cast<long long>(sli.ok),
+              static_cast<long long>(sli.shed),
+              static_cast<long long>(sli.deadline_miss), sli.availability,
+              sli.p99_ms,
+              sli_checkable ? (sli_agree ? "agrees" : "DISAGREES")
+                            : "not checked");
 
   const char* path_env = std::getenv("TURL_BENCH_SERVE");
   const std::string out = (path_env != nullptr && *path_env != '\0')
@@ -204,7 +241,18 @@ int main() {
                  "  \"deadline_exceeded\": %lld,\n"
                  "  \"transport_errors\": %lld,\n"
                  "  \"p50_ms\": %.3f,\n"
+                 "  \"p90_ms\": %.3f,\n"
                  "  \"p99_ms\": %.3f,\n"
+                 "  \"max_ms\": %.3f,\n"
+                 "  \"shed\": %lld,\n"
+                 "  \"deadline_miss\": %lld,\n"
+                 "  \"sli_requests\": %lld,\n"
+                 "  \"sli_ok\": %lld,\n"
+                 "  \"sli_shed\": %lld,\n"
+                 "  \"sli_deadline_miss\": %lld,\n"
+                 "  \"sli_availability\": %.6f,\n"
+                 "  \"sli_p99_ms\": %.3f,\n"
+                 "  \"sli_agree\": %s,\n"
                  "  \"pass\": %s\n"
                  "}\n",
                  target_qps, achieved_qps, elapsed_s, num_clients,
@@ -212,7 +260,14 @@ int main() {
                  static_cast<long long>(ok.load()),
                  static_cast<long long>(overloaded.load()),
                  static_cast<long long>(deadline.load()),
-                 static_cast<long long>(transport_errors.load()), p50, p99,
+                 static_cast<long long>(transport_errors.load()), p50, p90,
+                 p99, max_ms, static_cast<long long>(overloaded.load()),
+                 static_cast<long long>(deadline.load()),
+                 static_cast<long long>(sli.total),
+                 static_cast<long long>(sli.ok),
+                 static_cast<long long>(sli.shed),
+                 static_cast<long long>(sli.deadline_miss), sli.availability,
+                 sli.p99_ms, sli_agree ? "true" : "false",
                  pass ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", out.c_str());

@@ -1,0 +1,154 @@
+// Cost of per-request SLO accounting: every request the scheduler retires
+// emits one wide event (seqlock ring write) and one SLI window update
+// (bucket adds under a per-stream mutex). This bench runs the real
+// scheduler submit loop with that accounting disabled and enabled in
+// interleaved quiet/instrumented trial pairs — the bench_obs_server
+// methodology: alternating pairs put both sides under the same ambient
+// machine conditions (frequency scaling, noisy neighbours), and best-of-N
+// per side discards slow outliers — and gates the throughput cost at < 2%.
+// The direct per-event cost (Append + Record micro-loop) is printed as a
+// cross-check and exported with the throughput numbers as "obs.slo_*"
+// gauges, which land in BENCH_obs.json via the bench atexit hook.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/table_encoding.h"
+#include "obs/eventlog.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "rt/batch_scheduler.h"
+#include "rt/inference_session.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace turl;
+
+/// One timed trial: every table through the scheduler, `reps` times.
+/// Returns tables/sec.
+double TimedTrial(rt::InferenceSession& session,
+                  const std::vector<core::EncodedTable>& tables, int reps) {
+  WallTimer timer;
+  for (int r = 0; r < reps; ++r) {
+    rt::BatchScheduler scheduler(&session);
+    for (size_t i = 0; i < tables.size(); ++i) {
+      rt::Request request;
+      request.table = &tables[i];
+      request.request_id = i;
+      request.done = [](rt::Response) {};
+      scheduler.Submit(std::move(request));
+    }
+    scheduler.Flush();
+  }
+  const double s = timer.ElapsedSeconds();
+  return s > 0 ? double(reps) * tables.size() / s : 0.0;
+}
+
+/// Direct cost of one wide-event append plus one SLI record, nanoseconds.
+double EventPlusRecordNs() {
+  constexpr int kIters = 200000;
+  obs::WideEvent event;
+  event.origin = "bench";
+  event.task = "encode";
+  event.status = "ok";
+  event.total_us = 1000.0;
+  double best = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    WallTimer timer;
+    for (int i = 0; i < kIters; ++i) {
+      event.request_id = uint64_t(i);
+      obs::EventLog::Get().Append(event);
+      obs::SliEngine::Get().Record("encode", obs::SliOutcome::kOk, 1.0);
+    }
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best / double(kIters) * 1e9;
+}
+
+}  // namespace
+
+int main() {
+  using namespace turl;
+  bench::InitObservability();
+  std::printf("== slo accounting overhead ==\n");
+
+  core::ContextConfig config;
+  config.corpus.num_tables = 600;
+  config.seed = 42;
+  core::TurlContext ctx = core::BuildContext(config);
+  core::TurlConfig model_config;  // Repro-scale defaults.
+  core::TurlModel model(model_config, ctx.vocab.size(),
+                        ctx.entity_vocab.size(), /*seed=*/11);
+
+  const text::WordPieceTokenizer tokenizer = ctx.MakeTokenizer();
+  std::vector<core::EncodedTable> tables;
+  for (size_t idx : ctx.corpus.valid) {
+    core::EncodedTable t =
+        core::EncodeTable(ctx.corpus.tables[idx], tokenizer, ctx.entity_vocab);
+    if (t.total() > 0) tables.push_back(std::move(t));
+    if (tables.size() >= 64) break;
+  }
+  rt::InferenceSession session = bench::MakeSession(model);
+
+  constexpr int kReps = 4;
+  constexpr int kRounds = 4;  // Interleaved quiet/instrumented pairs.
+  std::printf("workload: %zu tables through the scheduler, %d interleaved "
+              "trial pairs\n",
+              tables.size(), kRounds);
+
+  // Warm-up (thread pool, allocator, CPU frequency), then the pairs.
+  TimedTrial(session, tables, kReps);
+  double quiet_best = 0.0;
+  double instrumented_best = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    obs::EventLog::SetEnabled(false);
+    obs::SliEngine::SetEnabled(false);
+    const double quiet = TimedTrial(session, tables, kReps);
+    obs::EventLog::SetEnabled(true);
+    obs::SliEngine::SetEnabled(true);
+    const double instrumented = TimedTrial(session, tables, kReps);
+    quiet_best = std::max(quiet_best, quiet);
+    instrumented_best = std::max(instrumented_best, instrumented);
+    std::printf("round %d: quiet %8.2f tables/s, instrumented %8.2f "
+                "tables/s\n",
+                round, quiet, instrumented);
+  }
+
+  const double overhead_pct =
+      quiet_best > 0
+          ? (quiet_best - instrumented_best) / quiet_best * 100.0
+          : 0.0;
+  const double event_ns =
+      (obs::EventLog::Enabled() && obs::SliEngine::Enabled())
+          ? EventPlusRecordNs()
+          : 0.0;  // TURL_EVENTLOG=0 / TURL_SLO=0 pin the path off.
+  const double request_ns =
+      instrumented_best > 0 ? 1e9 / instrumented_best : 0.0;
+
+  const bool pass = overhead_pct < 2.0;
+  std::printf("quiet:        %8.2f tables/s\n", quiet_best);
+  std::printf("instrumented: %8.2f tables/s\n", instrumented_best);
+  std::printf("overhead: %.2f%% (gate < 2%%) -> %s\n", overhead_pct,
+              pass ? "PASS" : "FAIL");
+  if (event_ns > 0.0) {
+    std::printf("direct cost: %.0f ns per event+record (%.4f%% of a %.0f us "
+                "request)\n",
+                event_ns, request_ns > 0 ? 100.0 * event_ns / request_ns : 0.0,
+                request_ns / 1000.0);
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  registry.GetGauge("obs.slo_overhead_pct")->Set(overhead_pct);
+  registry.GetGauge("obs.slo_overhead_event_ns")->Set(event_ns);
+  registry.GetGauge("obs.slo_overhead_quiet_tables_per_sec")->Set(quiet_best);
+  registry.GetGauge("obs.slo_overhead_instrumented_tables_per_sec")
+      ->Set(instrumented_best);
+
+  if (!pass) {
+    std::printf("FAIL: slo accounting overhead %.2f%% >= 2%%\n", overhead_pct);
+  }
+  return pass ? 0 : 1;
+}

@@ -8,9 +8,11 @@
 #include <memory>
 
 #include "ckpt/checkpoint.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/server/handlers.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -276,6 +278,7 @@ PretrainResult Pretrainer::Train(const Options& options) {
       const EncodedTable& clean = train_encoded_[order[oi]];
       if (clean.total() == 0) continue;
       TURL_PROFILE_SCOPE("pretrain.step");
+      const auto step_start_tp = std::chrono::steady_clock::now();
       // Each step is its own trace (sampled), so a slow step decomposes into
       // encode / mlm / mer / backward / optimizer in the Chrome export.
       obs::TraceSpan step_trace(obs::kNewTrace, "train.step");
@@ -309,6 +312,29 @@ PretrainResult Pretrainer::Train(const Options& options) {
       ++recent_count;
       ++step;
       steps_counter->Inc();
+      if (obs::EventLog::Enabled() || obs::SliEngine::Enabled()) {
+        // Training gets the same windowed health view as serving: one wide
+        // event per step, and a "train" SLI stream whose availability dips
+        // when losses go non-finite.
+        const auto step_end_tp = std::chrono::steady_clock::now();
+        obs::WideEvent event;
+        event.origin = "train";
+        event.task = "train.step";
+        event.status = std::isfinite(loss_item) ? "ok" : "error";
+        event.request_id = static_cast<uint64_t>(step);
+        if (step_trace.traced()) event.trace_id = step_trace.context().trace_id;
+        event.end_ms = std::chrono::duration<double, std::milli>(
+                           step_end_tp.time_since_epoch())
+                           .count();
+        event.total_us = std::chrono::duration<double, std::micro>(
+                             step_end_tp - step_start_tp)
+                             .count();
+        event.batch_size = 1;
+        if (obs::EventLog::Enabled()) obs::EventLog::Get().Append(event);
+        obs::SliEngine::Get().Record("train",
+                                     obs::OutcomeFromStatusName(event.status),
+                                     event.total_us / 1000.0, event.trace_id);
+      }
       window_loss += loss_item;
       ++window_steps;
       if (!std::isnan(mlm_item)) {

@@ -1,0 +1,175 @@
+#include "obs/eventlog.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace turl {
+namespace obs {
+
+namespace {
+
+/// TURL_EVENTLOG=0 pins the log off even against SetEnabled(true).
+bool ReadEnvPinnedOff() {
+  const char* v = std::getenv("TURL_EVENTLOG");
+  return v != nullptr && std::strcmp(v, "0") == 0;
+}
+
+const bool g_pinned_off = ReadEnvPinnedOff();
+
+size_t RingCapacityFromEnv() {
+  if (const char* v = std::getenv("TURL_EVENTLOG_BUFFER")) {
+    const long long n = std::atoll(v);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+  return 1024;
+}
+
+thread_local EventRing* tls_event_ring = nullptr;
+
+}  // namespace
+
+std::string ToJsonLine(const WideEvent& event) {
+  std::ostringstream out;
+  out << "{\"origin\":\"" << JsonEscape(event.origin ? event.origin : "")
+      << "\",\"task\":\"" << JsonEscape(event.task ? event.task : "")
+      << "\",\"status\":\"" << JsonEscape(event.status ? event.status : "")
+      << "\",\"id\":" << event.request_id << ",\"trace\":\"" << event.trace_id
+      << "\",\"replica\":" << event.replica << ",\"end_ms\":"
+      << JsonDouble(event.end_ms) << ",\"total_us\":"
+      << JsonDouble(event.total_us) << ",\"queue_wait_us\":"
+      << JsonDouble(event.queue_wait_us) << ",\"assembly_us\":"
+      << JsonDouble(event.assembly_us) << ",\"encode_us\":"
+      << JsonDouble(event.encode_us) << ",\"score_us\":"
+      << JsonDouble(event.score_us) << ",\"reply_us\":"
+      << JsonDouble(event.reply_us) << ",\"batch_size\":" << event.batch_size
+      << ",\"bytes_in\":" << event.bytes_in << ",\"bytes_out\":"
+      << event.bytes_out << ",\"deadline_budget_ms\":"
+      << JsonDouble(event.deadline_budget_ms) << "}";
+  return out.str();
+}
+
+EventRing::EventRing(size_t capacity, uint32_t tid)
+    : slots_(std::max<size_t>(capacity, 2)), tid_(tid) {}
+
+void EventRing::Push(const WideEvent& event) {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  // Seqlock write (the TraceRing discipline, see seqlock.h): a concurrent
+  // Snapshot skips the slot instead of reading a torn event.
+  slots_[size_t(n % slots_.size())].Store(n, event);
+  count_.store(n + 1, std::memory_order_release);
+}
+
+void EventRing::Snapshot(std::vector<WideEvent>* out) const {
+  const uint64_t n = count_.load(std::memory_order_acquire);
+  const uint64_t cap = slots_.size();
+  for (uint64_t i = n > cap ? n - cap : 0; i < n; ++i) {
+    // Valid only if the slot still holds logical event i (the writer may
+    // have lapped us, or be mid-write).
+    WideEvent copy;
+    if (slots_[size_t(i % cap)].TryLoad(i, &copy)) out->push_back(copy);
+  }
+}
+
+uint64_t EventRing::dropped() const {
+  const uint64_t n = count_.load(std::memory_order_acquire);
+  const uint64_t cap = slots_.size();
+  return n > cap ? n - cap : 0;
+}
+
+void EventRing::Reset() { count_.store(0, std::memory_order_release); }
+
+std::atomic<bool> EventLog::enabled_{!ReadEnvPinnedOff()};
+
+EventLog::EventLog() : ring_capacity_(RingCapacityFromEnv()) {
+  if (const char* path = std::getenv("TURL_EVENTLOG_JSONL")) {
+    if (*path != '\0') {
+      static std::string* exit_path = new std::string(path);
+      std::atexit(+[] {
+        if (!EventLog::Get().WriteJsonl(*exit_path)) {
+          TURL_LOG(Warning) << "failed to write wide-event log to "
+                            << *exit_path;
+        }
+      });
+    }
+  }
+}
+
+EventLog& EventLog::Get() {
+  static EventLog* log = new EventLog();
+  return *log;
+}
+
+void EventLog::SetEnabled(bool on) {
+  if (g_pinned_off) return;
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+EventRing* EventLog::ring() {
+  if (tls_event_ring != nullptr) return tls_event_ring;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto owned = std::make_shared<EventRing>(
+      ring_capacity_, static_cast<uint32_t>(rings_.size()));
+  rings_.push_back(owned);
+  tls_event_ring = owned.get();
+  return tls_event_ring;
+}
+
+void EventLog::Append(const WideEvent& event) {
+  if (!Enabled()) return;
+  ring()->Push(event);
+}
+
+std::vector<WideEvent> EventLog::Snapshot(size_t last_n) const {
+  std::vector<WideEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) ring->Snapshot(&out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WideEvent& a, const WideEvent& b) {
+              return a.end_ms != b.end_ms ? a.end_ms < b.end_ms
+                                          : a.request_id < b.request_id;
+            });
+  if (last_n > 0 && out.size() > last_n) {
+    out.erase(out.begin(), out.end() - static_cast<ptrdiff_t>(last_n));
+  }
+  return out;
+}
+
+uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
+}
+
+void EventLog::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) ring->Reset();
+}
+
+std::string EventLog::ToJsonl(size_t last_n) const {
+  std::ostringstream out;
+  for (const WideEvent& event : Snapshot(last_n)) {
+    out << ToJsonLine(event) << '\n';
+  }
+  return out.str();
+}
+
+bool EventLog::WriteJsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << ToJsonl();
+  return out.good();
+}
+
+}  // namespace obs
+}  // namespace turl

@@ -1,0 +1,74 @@
+#ifndef TURL_OBS_SEQLOCK_H_
+#define TURL_OBS_SEQLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace turl {
+namespace obs {
+
+/// One slot of a single-producer ring with lock-free concurrent readers —
+/// the discipline shared by TraceRing and EventRing. The payload is stored
+/// as relaxed atomic words rather than a plain T so the deliberate
+/// cross-thread copy is race-free by construction, not merely
+/// benign-under-validation: a reader racing the producer may still observe
+/// torn words, but every access is an atomic operation (no undefined
+/// behaviour, nothing for TSan to flag) and the sequence check discards the
+/// torn copy. This is the standard C++11 seqlock encoding (Boehm, "Can
+/// seqlocks get along with programming language memory models?", MSPC'12).
+///
+/// Sequence protocol: seq == 2n+1 marks logical record n in flight,
+/// seq == 2(n+1) marks it complete. A reader accepts a copy only if seq
+/// reads exactly 2(n+1) both before and after the word copy — the pre-check
+/// rejects lapped/in-flight slots cheaply, the post-check (ordered by an
+/// acquire fence) rejects copies the producer overwrote mid-read.
+template <typename T>
+class SeqlockSlot {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "seqlock payloads are copied word-by-word");
+
+ public:
+  /// Publishes `value` as logical record `n`. Producer thread only.
+  void Store(uint64_t n, const T& value) {
+    uint64_t words[kWords] = {};
+    std::memcpy(words, &value, sizeof(T));
+    seq_.store(2 * n + 1, std::memory_order_relaxed);
+    // Order the odd "in flight" mark before the payload stores: a reader
+    // that observes any new word also observes the odd seq on its re-check.
+    std::atomic_thread_fence(std::memory_order_release);
+    for (size_t w = 0; w < kWords; ++w) {
+      words_[w].store(words[w], std::memory_order_relaxed);
+    }
+    seq_.store(2 * (n + 1), std::memory_order_release);
+  }
+
+  /// Copies logical record `n` into `*out`; any thread. Returns false
+  /// (clobbering *out) when the producer is mid-write or has lapped the
+  /// slot.
+  bool TryLoad(uint64_t n, T* out) const {
+    if (seq_.load(std::memory_order_acquire) != 2 * (n + 1)) return false;
+    uint64_t words[kWords];
+    for (size_t w = 0; w < kWords; ++w) {
+      words[w] = words_[w].load(std::memory_order_relaxed);
+    }
+    // Order the payload loads before the re-check: a producer that started
+    // record n+cap mid-copy shows its odd mark (or a later seq) here.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) != 2 * (n + 1)) return false;
+    std::memcpy(out, words, sizeof(T));
+    return true;
+  }
+
+ private:
+  static constexpr size_t kWords =
+      (sizeof(T) + sizeof(uint64_t) - 1) / sizeof(uint64_t);
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> words_[kWords] = {};
+};
+
+}  // namespace obs
+}  // namespace turl
+
+#endif  // TURL_OBS_SEQLOCK_H_

@@ -1,11 +1,16 @@
 #include "obs/server/handlers.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <iomanip>
 #include <sstream>
 
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/server/process_stats.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -13,16 +18,27 @@ namespace turl {
 namespace obs {
 namespace server {
 
-namespace {
-
-/// Positive query parameter with bounds; `fallback` when absent/garbage.
-size_t QueryParam(const HttpRequest& request, const char* key, size_t fallback,
-                  size_t max_value) {
+size_t QueryParamSizeT(const HttpRequest& request, const char* key,
+                       size_t fallback, size_t max_value) {
   const auto it = request.query.find(key);
   if (it == request.query.end()) return fallback;
   const long long v = std::atoll(it->second.c_str());
   if (v <= 0) return fallback;
   return std::min(static_cast<size_t>(v), max_value);
+}
+
+std::string QueryParamString(const HttpRequest& request, const char* key,
+                             const std::string& fallback) {
+  const auto it = request.query.find(key);
+  return it == request.query.end() ? fallback : it->second;
+}
+
+namespace {
+
+/// Positive query parameter with bounds; `fallback` when absent/garbage.
+size_t QueryParam(const HttpRequest& request, const char* key, size_t fallback,
+                  size_t max_value) {
+  return QueryParamSizeT(request, key, fallback, max_value);
 }
 
 bool WantsJson(const HttpRequest& request) {
@@ -44,6 +60,9 @@ HttpResponse MetricsHandler(const HttpRequest&) {
   HttpResponse resp;
   resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
   resp.body = MetricsRegistry::Get().ToPrometheusText();
+  // SLI windows ride along after the registry exposition; their p99 series
+  // carry exemplar trace ids resolvable on /tracez.
+  resp.body += SliMetricsText();
   return resp;
 }
 
@@ -111,6 +130,187 @@ HttpResponse ProfilezHandler(const HttpRequest& request) {
   return resp;
 }
 
+std::string SnapshotJson(const SliSnapshot& s) {
+  std::ostringstream out;
+  out << "{\"window_s\":" << s.horizon_s << ",\"n\":" << s.total
+      << ",\"ok\":" << s.ok << ",\"shed\":" << s.shed
+      << ",\"deadline_miss\":" << s.deadline_miss << ",\"error\":" << s.error
+      << ",\"availability\":" << JsonDouble(s.availability)
+      << ",\"shed_rate\":" << JsonDouble(s.shed_rate)
+      << ",\"deadline_miss_rate\":" << JsonDouble(s.deadline_miss_rate)
+      << ",\"mean_ms\":" << JsonDouble(s.mean_ms)
+      << ",\"p50_ms\":" << JsonDouble(s.p50_ms)
+      << ",\"p90_ms\":" << JsonDouble(s.p90_ms)
+      << ",\"p99_ms\":" << JsonDouble(s.p99_ms)
+      << ",\"max_ms\":" << JsonDouble(s.max_ms) << ",\"exemplar_trace\":\""
+      << s.exemplar_trace_id << "\",\"exemplar_ms\":"
+      << JsonDouble(s.exemplar_ms) << "}";
+  return out.str();
+}
+
+HttpResponse StatuszHandler(const HttpRequest& request) {
+  SliEngine& engine = SliEngine::Get();
+  const std::vector<SloWatchdog::Burn> burns =
+      SloWatchdog::Get().ActiveBurns();
+  HttpResponse resp;
+  if (WantsJson(request)) {
+    std::ostringstream body;
+    body << "{\"enabled\":" << (SliEngine::Enabled() ? "true" : "false")
+         << ",\"burns\":[";
+    for (size_t i = 0; i < burns.size(); ++i) {
+      if (i > 0) body << ',';
+      body << "{\"name\":\"" << JsonEscape(burns[i].name) << "\",\"reason\":\""
+           << JsonEscape(burns[i].reason) << "\",\"since_s\":"
+           << burns[i].since_s << "}";
+    }
+    body << "],\"streams\":[";
+    bool first_stream = true;
+    for (const char* stream : engine.streams()) {
+      std::vector<SliSnapshot> windows;
+      for (int horizon : SliEngine::kHorizonsS) {
+        windows.push_back(engine.Snapshot(stream, horizon));
+      }
+      if (windows.back().total == 0 &&
+          std::strcmp(stream, SliEngine::kAllStream) != 0) {
+        continue;  // Nothing retained anywhere in the widest window.
+      }
+      if (!first_stream) body << ',';
+      first_stream = false;
+      body << "{\"stream\":\"" << JsonEscape(stream) << "\",\"windows\":[";
+      for (size_t i = 0; i < windows.size(); ++i) {
+        if (i > 0) body << ',';
+        body << SnapshotJson(windows[i]);
+      }
+      body << "]}";
+    }
+    body << "]}\n";
+    resp.content_type = "application/json";
+    resp.body = body.str();
+    return resp;
+  }
+
+  std::ostringstream body;
+  body << "slo status: SLIs " << (SliEngine::Enabled() ? "enabled" : "disabled")
+       << "  (1s buckets, " << SliEngine::kWindowS << "s ring)\n\n";
+  if (burns.empty()) {
+    body << "active burns: none\n";
+  } else {
+    body << "active burns:\n";
+    for (const auto& burn : burns) {
+      body << "  " << burn.name << ": " << burn.reason << " (since engine second "
+           << burn.since_s << ")\n";
+    }
+  }
+  body << '\n'
+       << std::left << std::setw(20) << "stream" << std::right << std::setw(7)
+       << "window" << std::setw(8) << "n" << std::setw(8) << "avail"
+       << std::setw(8) << "shed" << std::setw(8) << "miss" << std::setw(10)
+       << "p50ms" << std::setw(10) << "p90ms" << std::setw(10) << "p99ms"
+       << std::setw(10) << "maxms" << "  exemplar\n";
+  const char* window_names[] = {"10s", "1m", "5m"};
+  for (const char* stream : engine.streams()) {
+    bool any = false;
+    std::vector<SliSnapshot> windows;
+    for (int horizon : SliEngine::kHorizonsS) {
+      windows.push_back(engine.Snapshot(stream, horizon));
+      any = any || windows.back().total > 0;
+    }
+    if (!any && std::strcmp(stream, SliEngine::kAllStream) != 0) continue;
+    for (size_t i = 0; i < windows.size(); ++i) {
+      const SliSnapshot& s = windows[i];
+      body << std::left << std::setw(20) << stream << std::right
+           << std::setw(7) << window_names[i] << std::setw(8) << s.total
+           << std::setw(8) << std::fixed << std::setprecision(3)
+           << s.availability << std::setw(8) << s.shed_rate << std::setw(8)
+           << s.deadline_miss_rate << std::setw(10) << std::setprecision(2)
+           << s.p50_ms << std::setw(10) << s.p90_ms << std::setw(10)
+           << s.p99_ms << std::setw(10) << s.max_ms;
+      if (s.exemplar_trace_id != 0) {
+        body << "  " << s.exemplar_trace_id << " ("
+             << std::setprecision(2) << s.exemplar_ms << "ms)";
+      }
+      body << '\n';
+    }
+  }
+  body << "\n(?format=json for the machine form; /requestz for per-request "
+          "wide events; /tracez resolves exemplar trace ids)\n";
+  resp.body = body.str();
+  return resp;
+}
+
+HttpResponse RequestzHandler(const HttpRequest& request) {
+  const size_t limit = QueryParam(request, "limit", 100, 5000);
+  const std::string status = QueryParamString(request, "status");
+  const std::string task = QueryParamString(request, "task");
+  const std::string origin = QueryParamString(request, "origin");
+
+  // Snapshot everything retained, filter, then keep the newest `limit`.
+  std::vector<WideEvent> events = EventLog::Get().Snapshot();
+  events.erase(
+      std::remove_if(events.begin(), events.end(),
+                     [&](const WideEvent& e) {
+                       const auto mismatch = [](const std::string& want,
+                                                const char* got) {
+                         return !want.empty() &&
+                                want != (got == nullptr ? "" : got);
+                       };
+                       return mismatch(status, e.status) ||
+                              mismatch(task, e.task) ||
+                              mismatch(origin, e.origin);
+                     }),
+      events.end());
+  if (events.size() > limit) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<ptrdiff_t>(limit));
+  }
+  // Newest first: the question is always "what just happened".
+  std::reverse(events.begin(), events.end());
+
+  HttpResponse resp;
+  if (WantsJson(request)) {
+    std::ostringstream body;
+    body << "{\"dropped\":" << EventLog::Get().dropped() << ",\"events\":[";
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (i > 0) body << ',';
+      body << ToJsonLine(events[i]);
+    }
+    body << "]}\n";
+    resp.content_type = "application/json";
+    resp.body = body.str();
+    return resp;
+  }
+
+  std::ostringstream body;
+  body << "wide events: log "
+       << (EventLog::Enabled() ? "enabled" : "disabled") << "  (showing "
+       << events.size() << ", dropped " << EventLog::Get().dropped()
+       << ")\n\n"
+       << std::right << std::setw(8) << "id" << std::setw(7) << "origin"
+       << std::setw(20) << "task" << std::setw(19) << "status" << std::setw(4)
+       << "rep" << std::setw(10) << "total_ms" << std::setw(10) << "queue_ms"
+       << std::setw(10) << "enc_ms" << std::setw(6) << "batch" << std::setw(9)
+       << "bytes_in" << std::setw(10) << "bytes_out" << std::setw(8)
+       << "ddl_ms" << "  trace\n";
+  for (const WideEvent& e : events) {
+    body << std::setw(8) << e.request_id << std::setw(7)
+         << (e.origin ? e.origin : "?") << std::setw(20)
+         << (e.task ? e.task : "?") << std::setw(19)
+         << (e.status ? e.status : "?") << std::setw(4) << e.replica
+         << std::fixed << std::setprecision(2) << std::setw(10)
+         << e.total_us / 1000.0 << std::setw(10) << e.queue_wait_us / 1000.0
+         << std::setw(10) << e.encode_us / 1000.0 << std::setw(6)
+         << e.batch_size << std::setw(9) << e.bytes_in << std::setw(10)
+         << e.bytes_out << std::setw(8) << std::setprecision(0)
+         << e.deadline_budget_ms << "  ";
+    if (e.trace_id != 0) body << e.trace_id;
+    body << '\n';
+  }
+  body << "\n(?limit=N&status=...&task=...&origin=... to filter; "
+          "?format=json for records)\n";
+  resp.body = body.str();
+  return resp;
+}
+
 }  // namespace
 
 void RegisterStandardHandlers(ObsServer* server) {
@@ -119,6 +319,8 @@ void RegisterStandardHandlers(ObsServer* server) {
   server->Handle("/varz", VarzHandler);
   server->Handle("/tracez", TracezHandler);
   server->Handle("/profilez", ProfilezHandler);
+  server->Handle("/statusz", StatuszHandler);
+  server->Handle("/requestz", RequestzHandler);
   server->Handle("/",
                  [server](const HttpRequest&) { return IndexHandler(server); });
 }

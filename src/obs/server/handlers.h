@@ -24,7 +24,22 @@ namespace server {
 ///   /tracez    SlowTraceReport table (?slow=N), or the last-N spans as a
 ///              Chrome-trace JSON slice with ?format=json&limit=N
 ///   /profilez  profiler self-time tree (?format=json for the JSON report)
+///   /statusz   per-stream SLI table over the 10s/1m/5m windows, active SLO
+///              burns (?format=json for the machine form)
+///   /requestz  last-N wide events, newest first
+///              (?limit=N&status=...&task=...&origin=...; ?format=json)
 void RegisterStandardHandlers(ObsServer* server);
+
+/// Positive numeric query parameter clamped to [1, max_value]; `fallback`
+/// when the key is absent, empty, or not a positive number. Duplicate keys
+/// keep the last value (the ParseQuery contract).
+size_t QueryParamSizeT(const HttpRequest& request, const char* key,
+                       size_t fallback, size_t max_value);
+
+/// String query parameter; `fallback` when the key is absent (an explicit
+/// empty value — "?status=" — returns the empty string, not the fallback).
+std::string QueryParamString(const HttpRequest& request, const char* key,
+                             const std::string& fallback = std::string());
 
 /// One readiness check: return true when ready; *detail may carry a short
 /// human-readable explanation either way. Probes run on server worker

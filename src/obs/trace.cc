@@ -78,14 +78,11 @@ TraceRing::TraceRing(size_t capacity, uint32_t tid)
 
 void TraceRing::Push(const TraceEvent& event) {
   const uint64_t n = count_.load(std::memory_order_relaxed);
-  Slot& slot = slots_[size_t(n % slots_.size())];
-  // Seqlock write: odd marks "in flight" so a concurrent Snapshot skips the
-  // slot instead of reading a torn event; the final value encodes which
-  // logical event the slot holds (2 * (index + 1)).
-  slot.seq.store(2 * n + 1, std::memory_order_release);
-  slot.event = event;
-  slot.event.tid = tid_;
-  slot.seq.store(2 * (n + 1), std::memory_order_release);
+  TraceEvent stamped = event;
+  stamped.tid = tid_;
+  // Seqlock write (see seqlock.h): a concurrent Snapshot skips the slot
+  // instead of reading a torn event.
+  slots_[size_t(n % slots_.size())].Store(n, stamped);
   count_.store(n + 1, std::memory_order_release);
 }
 
@@ -93,14 +90,10 @@ void TraceRing::Snapshot(std::vector<TraceEvent>* out) const {
   const uint64_t n = count_.load(std::memory_order_acquire);
   const uint64_t cap = slots_.size();
   for (uint64_t i = n > cap ? n - cap : 0; i < n; ++i) {
-    const Slot& slot = slots_[size_t(i % cap)];
-    TraceEvent copy = slot.event;
-    std::atomic_thread_fence(std::memory_order_acquire);
     // Valid only if the slot still holds logical event i (the writer may
     // have lapped us, or be mid-write).
-    if (slot.seq.load(std::memory_order_acquire) == 2 * (i + 1)) {
-      out->push_back(copy);
-    }
+    TraceEvent copy;
+    if (slots_[size_t(i % cap)].TryLoad(i, &copy)) out->push_back(copy);
   }
 }
 

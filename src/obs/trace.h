@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/seqlock.h"
+
 namespace turl {
 namespace obs {
 
@@ -119,11 +121,7 @@ class TraceRing {
   void Reset();
 
  private:
-  struct Slot {
-    std::atomic<uint64_t> seq{0};
-    TraceEvent event;
-  };
-  std::vector<Slot> slots_;
+  std::vector<SeqlockSlot<TraceEvent>> slots_;
   std::atomic<uint64_t> count_{0};
   uint32_t tid_;
 };

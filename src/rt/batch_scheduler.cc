@@ -4,8 +4,10 @@
 #include <utility>
 
 #include "core/table_encoding.h"
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -143,13 +145,15 @@ void BatchScheduler::Flush() {
     budget += q.request.table->total();
   }
 
+  // Assembly ends here whether or not tracing is on: the wide-event stage
+  // breakdown needs the same endpoints the trace spans use.
+  const auto assembled_tp = std::chrono::steady_clock::now();
   std::vector<obs::TraceContext> traces;
   if (obs::Tracer::Enabled()) {
     // Queue-wait (enqueue -> drain) and batch-assembly are reconstructed
     // here with explicit endpoints: both stages ended before EncodeBatch
     // starts, so every traced request in the batch gets its own copy.
     obs::Tracer& tracer = obs::Tracer::Get();
-    const auto assembled_tp = std::chrono::steady_clock::now();
     traces.reserve(tables.size());
     for (size_t i = 0; i < batch.size(); ++i) {
       const Queued& q = batch[i];
@@ -162,12 +166,20 @@ void BatchScheduler::Flush() {
           {{"batch", int64_t(tables.size())}, {"budget", budget}});
     }
   }
+  const double assembly_ms =
+      std::chrono::duration<double, std::milli>(assembled_tp - drain_tp)
+          .count();
 
   std::vector<nn::Tensor> hidden;
+  double encode_ms = 0.0;
   if (!tables.empty()) {
+    const auto encode_start_tp = std::chrono::steady_clock::now();
     hidden = session_->EncodeBatch(
         std::span<const core::EncodedTable* const>(tables),
         std::span<const obs::TraceContext>(traces));
+    encode_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - encode_start_tp)
+                    .count();
   }
   size_t next_hidden = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -181,10 +193,49 @@ void BatchScheduler::Flush() {
     } else {
       response.status = ResponseStatus::kOk;
       response.hidden = std::move(hidden[next_hidden++]);
+      response.assembly_ms = assembly_ms;
+      response.encode_ms = encode_ms;
+      response.batch_size = static_cast<int32_t>(tables.size());
     }
+    const ResponseStatus status = response.status;
+    const bool emit = !q.request.caller_owns_event &&
+                      (obs::EventLog::Enabled() || obs::SliEngine::Enabled());
+    const auto deliver_tp = std::chrono::steady_clock::now();
     if (q.request.done) q.request.done(std::move(response));
     // Close scheduler-owned roots (no-op for caller-owned or untraced).
     if (q.root.traced()) obs::Tracer::Get().End(&q.root);
+    if (emit) {
+      // The scheduler is this request's terminal layer (no front-end took
+      // ownership via caller_owns_event), so it reports the wide event and
+      // the SLI sample.
+      const auto now_tp = std::chrono::steady_clock::now();
+      obs::WideEvent event;
+      event.origin = "rt";
+      event.task = TaskKindName(q.request.task);
+      event.status = ResponseStatusName(status);
+      event.request_id = q.request.request_id;
+      event.trace_id = q.trace.trace_id;
+      event.end_ms = clock_();
+      event.queue_wait_us = waits[i] * 1000.0;
+      if (!expired[i]) {
+        event.assembly_us = assembly_ms * 1000.0;
+        event.encode_us = encode_ms * 1000.0;
+        event.batch_size = static_cast<int32_t>(tables.size());
+      }
+      event.reply_us =
+          std::chrono::duration<double, std::micro>(now_tp - deliver_tp)
+              .count();
+      event.total_us =
+          std::chrono::duration<double, std::micro>(now_tp - q.enqueue_tp)
+              .count();
+      if (q.request.deadline_ms > 0.0) {
+        event.deadline_budget_ms = q.request.deadline_ms - q.enqueue_ms;
+      }
+      if (obs::EventLog::Enabled()) obs::EventLog::Get().Append(event);
+      obs::SliEngine::Get().Record(event.task,
+                                   obs::OutcomeFromStatusName(event.status),
+                                   event.total_us / 1000.0, event.trace_id);
+    }
   }
 }
 

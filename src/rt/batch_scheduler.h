@@ -82,20 +82,6 @@ class BatchScheduler {
   /// spans nest under it.
   void Submit(Request request);
 
-  /// Pre-Request adapter for the retired 2-arg form; kept for exactly one
-  /// release. Equivalent to Submit(Request{.table = table, .done = wrap})
-  /// where wrap forwards only the hidden tensor.
-  [[deprecated("build an rt::Request and call Submit(Request)")]]
-  void Submit(const core::EncodedTable* table,
-              std::function<void(nn::Tensor)> done) {
-    Request request;
-    request.table = table;
-    request.done = [cb = std::move(done)](Response response) {
-      if (cb) cb(std::move(response.hidden));
-    };
-    Submit(std::move(request));
-  }
-
   /// Age-based flush hook for callers with their own poll loop: flushes if
   /// the oldest queued request has exceeded max_age_ms. Returns true if a
   /// batch ran.

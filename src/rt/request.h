@@ -64,6 +64,14 @@ struct Response {
   nn::Tensor hidden;
   /// Real-clock wait between enqueue and dequeue (0 when never enqueued).
   double queue_wait_ms = 0.0;
+  /// Real-clock batch-assembly time for the micro-batch that served this
+  /// request (0 when the request expired before assembly).
+  double assembly_ms = 0.0;
+  /// Wall time of the micro-batch's EncodeBatch call. Batch-shared: every
+  /// request in the same flush reports the same value (0 when never run).
+  double encode_ms = 0.0;
+  /// Requests in the micro-batch that ran this one (0 when never batched).
+  int32_t batch_size = 0;
 };
 
 /// The single submission type of the inference runtime: the server's wire
@@ -85,6 +93,11 @@ struct Request {
   /// the scheduler opens — and owns — the "rt.request" root span itself.
   obs::TraceContext trace;
   bool caller_owns_trace = false;
+  /// When false (the default) the scheduler emits the request's wide event
+  /// (obs::EventLog) and SLI sample at completion. The serve front-end sets
+  /// true and emits richer events itself (wire byte sizes, replica, reply
+  /// stage) — exactly one layer reports each request.
+  bool caller_owns_event = false;
   /// Completion callback; runs on the thread that flushes the batch, in
   /// submission order.
   std::function<void(Response)> done;

@@ -13,8 +13,10 @@
 #include <cstring>
 #include <future>
 
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/server/http.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 
@@ -179,6 +181,28 @@ Status ServeServer::Start() {
                   " inflight=" + std::to_string(inflight());
         return ready;
       });
+
+  // SLO targets live in the global watchdog for this Start/Stop cycle; each
+  // is a `slo.<name>` probe on /healthz that burns when its window degrades.
+  std::vector<obs::SloTarget> targets = options_.slo_targets;
+  if (targets.empty()) {
+    obs::SloTarget availability;
+    availability.name = "serve.availability";
+    availability.horizon_s = 60;
+    availability.min_requests = 20;
+    availability.min_availability = 0.99;
+    targets.push_back(availability);
+    obs::SloTarget deadline;
+    deadline.name = "serve.deadline";
+    deadline.horizon_s = 60;
+    deadline.min_requests = 20;
+    deadline.max_deadline_miss_rate = 0.05;
+    targets.push_back(deadline);
+  }
+  for (obs::SloTarget& target : targets) {
+    slo_target_ids_.push_back(
+        obs::SloWatchdog::Get().AddTarget(std::move(target)));
+  }
   return Status::OK();
 }
 
@@ -188,6 +212,8 @@ void ServeServer::Stop() {
   // /healthz goes not-ready before the listener dies, so an orchestrator
   // probing readiness stops routing before connections start failing.
   readiness_.reset();
+  for (int id : slo_target_ids_) obs::SloWatchdog::Get().RemoveTarget(id);
+  slo_target_ids_.clear();
 
   // 1. Stop accepting. The accept thread polls stopping_ every 100ms.
   stopping_.store(true, std::memory_order_release);
@@ -325,10 +351,19 @@ void ServeServer::WorkerLoop(int worker_index) {
 }
 
 void ServeServer::PumpLoop() {
+  // The pump doubles as the SLO window tick: roughly once per bucket second
+  // it latches burn edges (and their one-shot telemetry). /healthz stays
+  // correct without the tick — probes re-evaluate on every scrape.
+  double since_tick_ms = 0.0;
   while (!pump_stop_.load(std::memory_order_acquire)) {
     for (auto& replica : replicas_) {
       std::lock_guard<std::mutex> lock(replica->mu);
       replica->scheduler->Pump();
+    }
+    since_tick_ms += options_.pump_interval_ms;
+    if (since_tick_ms >= 1000.0) {
+      since_tick_ms = 0.0;
+      obs::SloWatchdog::Get().Tick();
     }
     std::this_thread::sleep_for(
         std::chrono::milliseconds(options_.pump_interval_ms));
@@ -366,7 +401,7 @@ void ServeServer::ServeConnection(int fd) {
   }
 }
 
-ServeServer::Replica& ServeServer::PickReplica(int64_t /*cost*/) {
+size_t ServeServer::PickReplica(int64_t /*cost*/) {
   // Least-loaded by queued token cost; ties go round-robin so equal-load
   // replicas share work instead of replica 0 absorbing every burst.
   const size_t n = replicas_.size();
@@ -384,11 +419,13 @@ ServeServer::Replica& ServeServer::PickReplica(int64_t /*cost*/) {
       best_cost = c;
     }
   }
-  return *replicas_[best];
+  return best;
 }
 
-bool ServeServer::WriteResponse(int fd, const WireResponse& response) {
+bool ServeServer::WriteResponse(int fd, const WireResponse& response,
+                                int64_t* wire_bytes) {
   const std::string wire = EncodeResponseFrame(response);
+  if (wire_bytes != nullptr) *wire_bytes = static_cast<int64_t>(wire.size());
   return obs::server::WriteAll(fd, wire.data(), wire.size());
 }
 
@@ -398,6 +435,24 @@ bool ServeServer::ServeOneFrame(int fd) {
     return false;  // EOF between frames, or timeout/garbage mid-header.
   }
   const double start_ms = rt::BatchScheduler::NowMs();
+
+  // The request's wide event, filled in as the frame progresses; every
+  // terminal path below stamps a status and emits exactly one event (the
+  // scheduler stays quiet — caller_owns_event).
+  obs::WideEvent event;
+  event.origin = "serve";
+  event.task = "unknown";  // Until the header names a valid task.
+  event.bytes_in = static_cast<int64_t>(sizeof(header));
+  const auto finish_event = [&](rt::ResponseStatus status) {
+    if (!obs::EventLog::Enabled() && !obs::SliEngine::Enabled()) return;
+    event.status = rt::ResponseStatusName(status);
+    event.end_ms = rt::BatchScheduler::NowMs();
+    event.total_us = (event.end_ms - start_ms) * 1000.0;
+    if (obs::EventLog::Enabled()) obs::EventLog::Get().Append(event);
+    obs::SliEngine::Get().Record(event.task,
+                                 obs::OutcomeFromStatusName(event.status),
+                                 event.total_us / 1000.0, event.trace_id);
+  };
 
   RequestHeader request_header;
   const Status parsed =
@@ -411,16 +466,21 @@ bool ServeServer::ServeOneFrame(int fd) {
     WireResponse response;
     response.status = rt::ResponseStatus::kBadRequest;
     response.message = parsed.ToString();
-    WriteResponse(fd, response);
+    WriteResponse(fd, response, &event.bytes_out);
+    finish_event(rt::ResponseStatus::kBadRequest);
     return false;
   }
+  event.task = rt::TaskKindName(request_header.task);
+  event.request_id = request_header.request_id;
 
   std::vector<uint8_t> payload(request_header.payload_len);
   if (request_header.payload_len > 0 &&
       !ReadFull(fd, payload.data(), payload.size())) {
     BadFrameCounter()->Inc();
+    finish_event(rt::ResponseStatus::kBadRequest);
     return false;  // Truncated payload: peer hung up or stalled past timeout.
   }
+  event.bytes_in += static_cast<int64_t>(payload.size());
 
   WireResponse response;
   response.request_id = request_header.request_id;
@@ -432,7 +492,8 @@ bool ServeServer::ServeOneFrame(int fd) {
     BadFrameCounter()->Inc();
     response.status = rt::ResponseStatus::kBadRequest;
     response.message = decoded.ok() ? "empty table" : decoded.ToString();
-    WriteResponse(fd, response);
+    WriteResponse(fd, response, &event.bytes_out);
+    finish_event(rt::ResponseStatus::kBadRequest);
     return false;
   }
   RequestCounter()->Inc();
@@ -443,7 +504,8 @@ bool ServeServer::ServeOneFrame(int fd) {
     // drain converge.
     response.status = rt::ResponseStatus::kShuttingDown;
     response.message = "server draining";
-    WriteResponse(fd, response);
+    WriteResponse(fd, response, &event.bytes_out);
+    finish_event(rt::ResponseStatus::kShuttingDown);
     return false;
   }
 
@@ -456,7 +518,9 @@ bool ServeServer::ServeOneFrame(int fd) {
     ShedCounter()->Inc();
     response.status = rt::ResponseStatus::kOverloaded;
     response.message = "overloaded: inflight request cap";
-    return WriteResponse(fd, response);
+    const bool written = WriteResponse(fd, response, &event.bytes_out);
+    finish_event(rt::ResponseStatus::kOverloaded);
+    return written;
   }
   InflightGauge()->Set(
       static_cast<double>(inflight_.load(std::memory_order_relaxed)));
@@ -466,13 +530,16 @@ bool ServeServer::ServeOneFrame(int fd) {
   // of the three enforcement points.
   double deadline_ms = 0.0;
   if (request_header.deadline_ms != kNoDeadline) {
+    event.deadline_budget_ms = request_header.deadline_ms;
     deadline_ms = rt::BatchScheduler::NowMs() + request_header.deadline_ms;
     if (request_header.deadline_ms == 0) {
       inflight_.fetch_sub(1, std::memory_order_acq_rel);
       DeadlineMissedCounter()->Inc();
       response.status = rt::ResponseStatus::kDeadlineExceeded;
       response.message = "deadline expired on arrival";
-      return WriteResponse(fd, response);
+      const bool written = WriteResponse(fd, response, &event.bytes_out);
+      finish_event(rt::ResponseStatus::kDeadlineExceeded);
+      return written;
     }
   }
 
@@ -481,17 +548,24 @@ bool ServeServer::ServeOneFrame(int fd) {
   obs::ActiveSpan root;
   rt::Request request;
   request.caller_owns_trace = true;
+  // The serve layer reports this request's wide event + SLI sample with the
+  // wire context only it knows (byte sizes, replica, reply stage); the
+  // scheduler must not double-count it.
+  request.caller_owns_event = true;
   if (obs::Tracer::Enabled()) {
     root = obs::Tracer::Get().BeginTrace("serve.request");
     if (root.traced()) {
       root.Annotate("task", rt::TaskKindName(request_header.task));
       root.Annotate("total", table.total());
       request.trace = root.context();
+      event.trace_id = root.context().trace_id;
     }
   }
 
   const int64_t cost = table.total();
-  Replica& replica = PickReplica(cost);
+  const size_t replica_index = PickReplica(cost);
+  Replica& replica = *replicas_[replica_index];
+  event.replica = static_cast<int32_t>(replica_index);
   replica.inflight_cost.fetch_add(cost, std::memory_order_relaxed);
 
   std::promise<rt::Response> promise;
@@ -535,10 +609,17 @@ bool ServeServer::ServeOneFrame(int fd) {
     response.status = result.status;
     response.message = ResponseStatusName(result.status);
   }
+  event.queue_wait_us = result.queue_wait_ms * 1000.0;
+  event.assembly_us = result.assembly_ms * 1000.0;
+  event.encode_us = result.encode_ms * 1000.0;
+  event.batch_size = result.batch_size;
 
   LatencyHistogram(request_header.task)
       ->Observe(rt::BatchScheduler::NowMs() - start_ms);
-  const bool written = WriteResponse(fd, response);
+  const double reply_start_ms = rt::BatchScheduler::NowMs();
+  const bool written = WriteResponse(fd, response, &event.bytes_out);
+  event.reply_us = (rt::BatchScheduler::NowMs() - reply_start_ms) * 1000.0;
+  finish_event(response.status);
   if (root.traced()) obs::Tracer::Get().End(&root);
   return written;
 }

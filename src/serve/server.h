@@ -14,6 +14,7 @@
 
 #include "core/model.h"
 #include "obs/server/handlers.h"
+#include "obs/slo.h"
 #include "rt/batch_scheduler.h"
 #include "rt/inference_session.h"
 #include "rt/request.h"
@@ -62,6 +63,12 @@ struct ServeOptions {
   rt::SessionOptions session;
   /// Per-replica micro-batching policy.
   rt::BatchSchedulerOptions batch;
+  /// SLO targets registered with the global SloWatchdog for the server's
+  /// lifetime (each becomes a `slo.<name>` probe on /healthz). Empty
+  /// installs the defaults: serve.availability (availability >= 0.99) and
+  /// serve.deadline (deadline-miss rate <= 0.05), both over the 1m window
+  /// once it holds >= 20 requests.
+  std::vector<obs::SloTarget> slo_targets;
 };
 
 /// The serving front-end of the inference runtime: a poll()-based accept
@@ -143,8 +150,13 @@ class ServeServer {
   /// Reads, decodes, runs and answers one frame. False when the connection
   /// must close (EOF, malformed frame, write failure).
   bool ServeOneFrame(int fd);
-  Replica& PickReplica(int64_t cost);
-  bool WriteResponse(int fd, const WireResponse& response);
+  /// Index of the least-loaded replica — an index (not a reference) so the
+  /// wide event can name the replica that served the request.
+  size_t PickReplica(int64_t cost);
+  /// `wire_bytes`, when non-null, receives the encoded frame size (the wide
+  /// event's bytes_out) whether or not the write succeeded.
+  bool WriteResponse(int fd, const WireResponse& response,
+                     int64_t* wire_bytes = nullptr);
 
   const core::TurlModel& model_;
   ServeOptions options_;
@@ -180,6 +192,9 @@ class ServeServer {
   /// "serve.listener" in /healthz while replicas are warm and the listener
   /// accepts — a scrape can tell "process up" from "serving traffic".
   std::optional<obs::server::ScopedReadinessProbe> readiness_;
+  /// SLO targets installed in the global watchdog for this Start/Stop cycle
+  /// (ids for RemoveTarget).
+  std::vector<int> slo_target_ids_;
 };
 
 }  // namespace serve

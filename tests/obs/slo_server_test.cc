@@ -1,0 +1,257 @@
+// HTTP surface of the SLO plane: /statusz (text + JSON), /requestz
+// (filters, limits, and the query-param edge cases — duplicate keys, empty
+// values, out-of-range clamps), the /metrics SLI appendix whose p99
+// exemplar must resolve to a real span on /tracez, and /healthz flipping
+// 503 under an injected SLO burn. Runs against a real ObsServer on an
+// ephemeral loopback port (labels: slo, obs_http).
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/eventlog.h"
+#include "obs/server/handlers.h"
+#include "obs/server/http.h"
+#include "obs/server/server.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+
+namespace turl {
+namespace obs {
+namespace server {
+namespace {
+
+/// Starts an ObsServer with the standard handlers for one test.
+class SloServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SliEngine::Get().Reset();
+    SliEngine::SetEnabled(true);
+    EventLog::Get().Reset();
+    EventLog::SetEnabled(true);
+    RegisterStandardHandlers(&server_);
+    ASSERT_TRUE(server_.Start().ok());
+  }
+  void TearDown() override {
+    server_.Stop();
+    SliEngine::Get().Reset();
+    EventLog::Get().Reset();
+  }
+
+  std::string Get(const std::string& path, int expect_status = 200) {
+    HttpClientResponse resp;
+    const Status s = HttpGet("127.0.0.1", server_.port(), path, &resp);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(resp.status, expect_status) << path;
+    return resp.body;
+  }
+
+  ObsServer server_;
+};
+
+WideEvent ServeEvent(uint64_t id, const char* task, const char* status) {
+  WideEvent event;
+  event.origin = "serve";
+  event.task = task;
+  event.status = status;
+  event.request_id = id;
+  event.end_ms = double(id);
+  event.total_us = 1000.0;
+  return event;
+}
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(SloServerTest, StatuszReportsStreamsTextAndJson) {
+  SliEngine::Get().Record("encode", SliOutcome::kOk, 12.0);
+  SliEngine::Get().Record("encode", SliOutcome::kShed, 0.5);
+
+  const std::string text = Get("/statusz");
+  EXPECT_EQ(text.rfind("slo status: SLIs enabled", 0), 0u);
+  EXPECT_NE(text.find("active burns: none"), std::string::npos);
+  EXPECT_NE(text.find("encode"), std::string::npos);
+  EXPECT_NE(text.find("all"), std::string::npos);
+  // All three windows render for a stream with traffic.
+  EXPECT_NE(text.find("10s"), std::string::npos);
+  EXPECT_NE(text.find("1m"), std::string::npos);
+  EXPECT_NE(text.find("5m"), std::string::npos);
+
+  const std::string json = Get("/statusz?format=json");
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"burns\":[]"), std::string::npos);
+  EXPECT_NE(json.find("\"stream\":\"encode\""), std::string::npos);
+  EXPECT_NE(json.find("\"stream\":\"all\""), std::string::npos);
+  EXPECT_NE(json.find("\"window_s\":60"), std::string::npos);
+  EXPECT_NE(json.find("\"availability\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"shed\":1"), std::string::npos);
+}
+
+TEST_F(SloServerTest, MetricsP99ExemplarResolvesOnTracez) {
+  // Record a real span, then feed its trace id into the SLI engine as the
+  // worst sample — the acceptance path: /metrics p99 exemplar -> /tracez.
+  Tracer::SetEnabled(true);
+  Tracer::Get().SetSampler(1, 0);
+  ActiveSpan span = Tracer::Get().BeginTrace("slo_server_test.op");
+  ASSERT_TRUE(span.traced());
+  const uint64_t trace_id = span.trace_id;
+  Tracer::Get().End(&span);
+
+  SliEngine::Get().Record("encode", SliOutcome::kOk, 42.0, trace_id);
+
+  const std::string metrics = Get("/metrics");
+  EXPECT_NE(metrics.find("turl_slo_requests{task=\"encode\""),
+            std::string::npos);
+  EXPECT_NE(metrics.find("turl_slo_p99_ms"), std::string::npos);
+  const std::string exemplar =
+      "# {trace_id=\"" + std::to_string(trace_id) + "\"}";
+  EXPECT_NE(metrics.find(exemplar), std::string::npos) << metrics;
+
+  const std::string tracez = Get("/tracez?format=json&limit=500");
+  const std::string span_ref = "\"trace\":\"" + std::to_string(trace_id) + "\"";
+  EXPECT_NE(tracez.find(span_ref), std::string::npos)
+      << "exemplar trace id " << trace_id << " not found on /tracez";
+}
+
+TEST_F(SloServerTest, RequestzListsNewestFirstAndFilters) {
+  for (uint64_t i = 0; i < 5; ++i) {
+    EventLog::Get().Append(ServeEvent(i, "encode", i == 2 ? "overloaded"
+                                                          : "ok"));
+  }
+  EventLog::Get().Append(ServeEvent(100, "entity_linking", "ok"));
+
+  const std::string text = Get("/requestz");
+  EXPECT_EQ(text.rfind("wide events: log enabled", 0), 0u);
+  EXPECT_NE(text.find("encode"), std::string::npos);
+  // Newest first: id 100 (end_ms 100) renders before id 0.
+  EXPECT_LT(text.find("entity_linking"), text.find(" ok"));
+
+  const std::string shed_only = Get("/requestz?status=overloaded&format=json");
+  EXPECT_EQ(CountOccurrences(shed_only, "\"id\":"), 1u);
+  EXPECT_NE(shed_only.find("\"id\":2"), std::string::npos);
+
+  const std::string task_only = Get("/requestz?task=entity_linking&format=json");
+  EXPECT_EQ(CountOccurrences(task_only, "\"id\":"), 1u);
+  EXPECT_NE(task_only.find("\"id\":100"), std::string::npos);
+
+  const std::string origin_none = Get("/requestz?origin=train&format=json");
+  EXPECT_EQ(CountOccurrences(origin_none, "\"id\":"), 0u);
+  EXPECT_NE(origin_none.find("\"events\":[]"), std::string::npos);
+
+  const std::string limited = Get("/requestz?limit=2&format=json");
+  EXPECT_EQ(CountOccurrences(limited, "\"id\":"), 2u);
+  // The newest two survive the limit.
+  EXPECT_NE(limited.find("\"id\":100"), std::string::npos);
+  EXPECT_NE(limited.find("\"id\":4"), std::string::npos);
+}
+
+TEST_F(SloServerTest, RequestzQueryParamEdgeCases) {
+  for (uint64_t i = 0; i < 6; ++i) {
+    EventLog::Get().Append(ServeEvent(i, "encode", "ok"));
+  }
+
+  // Duplicate keys: last value wins (the ParseQuery contract) — limit=2.
+  const std::string dup = Get("/requestz?limit=5&limit=2&format=json");
+  EXPECT_EQ(CountOccurrences(dup, "\"id\":"), 2u);
+
+  // Explicit empty filter value is "no filter", not "match empty string".
+  const std::string empty_filter = Get("/requestz?status=&format=json");
+  EXPECT_EQ(CountOccurrences(empty_filter, "\"id\":"), 6u);
+
+  // Out-of-range numerics fall back to the default (100 — all 6 shown).
+  EXPECT_EQ(CountOccurrences(Get("/requestz?limit=0&format=json"), "\"id\":"),
+            6u);
+  EXPECT_EQ(CountOccurrences(Get("/requestz?limit=-3&format=json"), "\"id\":"),
+            6u);
+  EXPECT_EQ(
+      CountOccurrences(Get("/requestz?limit=junk&format=json"), "\"id\":"),
+      6u);
+  // Above the cap: clamped to 5000, which still shows everything retained.
+  EXPECT_EQ(
+      CountOccurrences(Get("/requestz?limit=999999999&format=json"), "\"id\":"),
+      6u);
+}
+
+TEST(QueryParamTest, SizeTClampsAndFallsBack) {
+  HttpRequest request;
+  EXPECT_EQ(QueryParamSizeT(request, "limit", 100, 5000), 100u);  // Absent.
+  request.query["limit"] = "42";
+  EXPECT_EQ(QueryParamSizeT(request, "limit", 100, 5000), 42u);
+  request.query["limit"] = "999999999";
+  EXPECT_EQ(QueryParamSizeT(request, "limit", 100, 5000), 5000u);  // Clamp.
+  request.query["limit"] = "0";
+  EXPECT_EQ(QueryParamSizeT(request, "limit", 100, 5000), 100u);
+  request.query["limit"] = "-7";
+  EXPECT_EQ(QueryParamSizeT(request, "limit", 100, 5000), 100u);
+  request.query["limit"] = "abc";
+  EXPECT_EQ(QueryParamSizeT(request, "limit", 100, 5000), 100u);
+  request.query["limit"] = "";
+  EXPECT_EQ(QueryParamSizeT(request, "limit", 100, 5000), 100u);
+}
+
+TEST(QueryParamTest, StringDistinguishesAbsentFromEmpty) {
+  HttpRequest request;
+  EXPECT_EQ(QueryParamString(request, "status", "fallback"), "fallback");
+  request.query["status"] = "";
+  EXPECT_EQ(QueryParamString(request, "status", "fallback"), "");
+  request.query["status"] = "ok";
+  EXPECT_EQ(QueryParamString(request, "status", "fallback"), "ok");
+}
+
+TEST(QueryParamTest, DuplicateKeysKeepLastThroughTheParser) {
+  HttpRequest request;
+  ASSERT_TRUE(ParseRequestHead(
+      "GET /requestz?limit=5&limit=2&status=&status=ok HTTP/1.0\r\n", &request));
+  EXPECT_EQ(request.query.at("limit"), "2");
+  EXPECT_EQ(request.query.at("status"), "ok");
+  EXPECT_EQ(QueryParamSizeT(request, "limit", 100, 5000), 2u);
+}
+
+TEST_F(SloServerTest, HealthzFlips503UnderInjectedBurn) {
+  // A watchdog target over the global engine: one error against a
+  // zero-tolerance availability target burns immediately, and the probe it
+  // registered turns /healthz into a 503 — the "deadline pressure flips
+  // readiness" acceptance path, driven through the real HTTP plane.
+  SloWatchdog watchdog(&SliEngine::Get());
+  SloTarget target;
+  target.name = "http_burn";
+  target.stream = "slo_http";
+  target.horizon_s = 10;
+  target.min_requests = 1;
+  target.min_availability = 0.99;
+  const int id = watchdog.AddTarget(target);
+
+  std::string body = Get("/healthz");
+  EXPECT_NE(body.find("probe slo.http_burn: ok"), std::string::npos);
+
+  SliEngine::Get().Record("slo_http", SliOutcome::kError, 1.0);
+  body = Get("/healthz", 503);
+  EXPECT_EQ(body.rfind("status: unhealthy\n", 0), 0u);
+  EXPECT_NE(body.find("probe slo.http_burn: FAIL"), std::string::npos);
+  EXPECT_NE(body.find("availability"), std::string::npos);
+
+  // The scrape latched the burn (in this local watchdog; /statusz lists the
+  // global one's burns).
+  const auto burns = watchdog.ActiveBurns();
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_EQ(burns[0].name, "slo.http_burn");
+
+  // Removing the target removes the probe; /healthz recovers.
+  watchdog.RemoveTarget(id);
+  body = Get("/healthz");
+  EXPECT_EQ(body.find("slo.http_burn"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace obs
+}  // namespace turl

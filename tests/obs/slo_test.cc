@@ -1,0 +1,358 @@
+// SLI engine + SLO watchdog unit tests, all on an injected fake clock:
+// bucket/window math (inclusion, expiry, ring wrap), outcome rates, the
+// interpolated quantiles, exemplar propagation, the "all" aggregate, the
+// Prometheus appendix, and the watchdog (probe registration, on-demand
+// evaluation, burn edge latching with one-shot telemetry, recovery,
+// vacuous pass under min_requests).
+
+#include "obs/slo.h"
+
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/server/handlers.h"
+#include "obs/telemetry.h"
+
+namespace turl {
+namespace obs {
+namespace {
+
+TEST(SliOutcomeTest, StatusNameMapping) {
+  EXPECT_EQ(OutcomeFromStatusName("ok"), SliOutcome::kOk);
+  EXPECT_EQ(OutcomeFromStatusName("overloaded"), SliOutcome::kShed);
+  EXPECT_EQ(OutcomeFromStatusName("deadline_exceeded"),
+            SliOutcome::kDeadlineMiss);
+  EXPECT_EQ(OutcomeFromStatusName("bad_request"), SliOutcome::kError);
+  EXPECT_EQ(OutcomeFromStatusName("shutting_down"), SliOutcome::kError);
+  EXPECT_EQ(OutcomeFromStatusName(nullptr), SliOutcome::kError);
+}
+
+TEST(SliEngineTest, EmptyWindowIsHealthy) {
+  SliEngine engine;
+  const SliSnapshot s = engine.Snapshot("encode", 60);
+  EXPECT_EQ(s.total, 0);
+  EXPECT_DOUBLE_EQ(s.availability, 1.0);  // No traffic is not an outage.
+  EXPECT_DOUBLE_EQ(s.p99_ms, 0.0);
+  EXPECT_EQ(s.exemplar_trace_id, 0u);
+}
+
+TEST(SliEngineTest, CountsAndRatesOverWindow) {
+  SliEngine engine;
+  int64_t now = 10'000;
+  engine.SetClockForTest([&now] { return now; });
+  for (int i = 0; i < 6; ++i) engine.Record("encode", SliOutcome::kOk, 10.0);
+  engine.Record("encode", SliOutcome::kShed, 0.1);
+  engine.Record("encode", SliOutcome::kDeadlineMiss, 80.0);
+  engine.Record("encode", SliOutcome::kError, 1.0);
+  engine.Record("encode", SliOutcome::kError, 1.0);
+
+  const SliSnapshot s = engine.Snapshot("encode", 10);
+  EXPECT_EQ(s.total, 10);
+  EXPECT_EQ(s.ok, 6);
+  EXPECT_EQ(s.shed, 1);
+  EXPECT_EQ(s.deadline_miss, 1);
+  EXPECT_EQ(s.error, 2);
+  EXPECT_DOUBLE_EQ(s.availability, 0.6);
+  EXPECT_DOUBLE_EQ(s.shed_rate, 0.1);
+  EXPECT_DOUBLE_EQ(s.deadline_miss_rate, 0.1);
+  EXPECT_DOUBLE_EQ(s.max_ms, 80.0);
+}
+
+TEST(SliEngineTest, HorizonsExpireIndependently) {
+  SliEngine engine;
+  int64_t now = 50'000;
+  engine.SetClockForTest([&now] { return now; });
+  engine.Record("encode", SliOutcome::kOk, 5.0);
+
+  now += 5;  // Still inside every horizon.
+  EXPECT_EQ(engine.Snapshot("encode", 10).total, 1);
+  EXPECT_EQ(engine.Snapshot("encode", 60).total, 1);
+
+  now += 20;  // 25s later: out of the 10s window, inside 1m and 5m.
+  EXPECT_EQ(engine.Snapshot("encode", 10).total, 0);
+  EXPECT_EQ(engine.Snapshot("encode", 60).total, 1);
+  EXPECT_EQ(engine.Snapshot("encode", 300).total, 1);
+
+  now += 280;  // 305s later: gone everywhere.
+  EXPECT_EQ(engine.Snapshot("encode", 300).total, 0);
+  EXPECT_DOUBLE_EQ(engine.Snapshot("encode", 300).availability, 1.0);
+}
+
+TEST(SliEngineTest, RingWrapResetsStaleBuckets) {
+  SliEngine engine;
+  int64_t now = 1'000;
+  engine.SetClockForTest([&now] { return now; });
+  engine.Record("encode", SliOutcome::kError, 1.0);
+  // One full ring later the same bucket slot is reused; the stale error
+  // must not leak into the new window.
+  now += SliEngine::kWindowS;
+  engine.Record("encode", SliOutcome::kOk, 1.0);
+  const SliSnapshot s = engine.Snapshot("encode", 300);
+  EXPECT_EQ(s.total, 1);
+  EXPECT_EQ(s.error, 0);
+  EXPECT_DOUBLE_EQ(s.availability, 1.0);
+}
+
+TEST(SliEngineTest, QuantilesInterpolateAndClampToMax) {
+  SliEngine engine;
+  int64_t now = 2'000;
+  engine.SetClockForTest([&now] { return now; });
+  for (int i = 1; i <= 100; ++i) {
+    engine.Record("encode", SliOutcome::kOk, double(i));
+  }
+  const SliSnapshot s = engine.Snapshot("encode", 10);
+  EXPECT_EQ(s.total, 100);
+  EXPECT_DOUBLE_EQ(s.max_ms, 100.0);
+  EXPECT_NEAR(s.mean_ms, 50.5, 1e-9);
+  // Log-spaced buckets: quantiles are estimates, but must rank correctly
+  // and never exceed the observed max.
+  EXPECT_GT(s.p50_ms, 30.0);
+  EXPECT_LT(s.p50_ms, 70.0);
+  EXPECT_GT(s.p90_ms, s.p50_ms);
+  EXPECT_GE(s.p99_ms, s.p90_ms);
+  EXPECT_LE(s.p99_ms, s.max_ms);
+}
+
+TEST(SliEngineTest, ExemplarKeepsWorstTracedSample) {
+  SliEngine engine;
+  int64_t now = 3'000;
+  engine.SetClockForTest([&now] { return now; });
+  engine.Record("encode", SliOutcome::kOk, 10.0, /*trace_id=*/111);
+  engine.Record("encode", SliOutcome::kOk, 90.0, /*trace_id=*/222);
+  engine.Record("encode", SliOutcome::kOk, 95.0, /*trace_id=*/0);  // Untraced.
+  engine.Record("encode", SliOutcome::kOk, 40.0, /*trace_id=*/333);
+  const SliSnapshot s = engine.Snapshot("encode", 10);
+  EXPECT_EQ(s.exemplar_trace_id, 222u);  // Worst *traced* sample.
+  EXPECT_DOUBLE_EQ(s.exemplar_ms, 90.0);
+}
+
+TEST(SliEngineTest, AllStreamAggregates) {
+  SliEngine engine;
+  int64_t now = 4'000;
+  engine.SetClockForTest([&now] { return now; });
+  engine.Record("encode", SliOutcome::kOk, 1.0);
+  engine.Record("entity_linking", SliOutcome::kShed, 2.0);
+  EXPECT_EQ(engine.Snapshot("encode", 10).total, 1);
+  EXPECT_EQ(engine.Snapshot("entity_linking", 10).total, 1);
+  const SliSnapshot all = engine.Snapshot(SliEngine::kAllStream, 10);
+  EXPECT_EQ(all.total, 2);
+  EXPECT_EQ(all.shed, 1);
+  // Recording directly under "all" must not double count.
+  engine.Record(SliEngine::kAllStream, SliOutcome::kOk, 1.0);
+  EXPECT_EQ(engine.Snapshot(SliEngine::kAllStream, 10).total, 3);
+
+  const std::vector<const char*> streams = engine.streams();
+  ASSERT_FALSE(streams.empty());
+  EXPECT_STREQ(streams.front(), "all");  // Aggregate always registered first.
+}
+
+TEST(SliEngineTest, ResetForgetsTraffic) {
+  SliEngine engine;
+  int64_t now = 5'000;
+  engine.SetClockForTest([&now] { return now; });
+  engine.Record("encode", SliOutcome::kOk, 1.0);
+  engine.Reset();
+  EXPECT_EQ(engine.Snapshot("encode", 300).total, 0);
+  EXPECT_EQ(engine.streams().size(), 2u);  // "all" + "encode" survive.
+}
+
+TEST(SliMetricsTextTest, EmitsFamiliesWithExemplars) {
+  SliEngine engine;
+  int64_t now = 6'000;
+  engine.SetClockForTest([&now] { return now; });
+  engine.Record("encode", SliOutcome::kOk, 42.0, /*trace_id=*/987654);
+  const std::string text = SliMetricsText(engine);
+  EXPECT_NE(text.find("# HELP turl_slo_availability"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE turl_slo_p99_ms gauge"), std::string::npos);
+  EXPECT_NE(text.find("turl_slo_requests{task=\"encode\",window=\"10s\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("window=\"1m\""), std::string::npos);
+  EXPECT_NE(text.find("window=\"5m\""), std::string::npos);
+  // The p99 series carries the worst traced sample as an exemplar.
+  EXPECT_NE(text.find("# {trace_id=\"987654\"}"), std::string::npos);
+  // HELP/TYPE appear exactly once per family.
+  const std::string help = "# HELP turl_slo_p99_ms";
+  EXPECT_EQ(text.find(help), text.rfind(help));
+}
+
+/// Captures warning TrainRecords emitted through the hub.
+class CaptureSink : public MetricsSink {
+ public:
+  void Emit(const TrainRecord& record) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!record.warning.empty()) warnings_.push_back(record.warning);
+  }
+  std::vector<std::string> warnings() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return warnings_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> warnings_;
+};
+
+TEST(SloWatchdogTest, TargetRegistersProbeAndEvaluatesOnDemand) {
+  SliEngine engine;
+  int64_t now = 7'000;
+  engine.SetClockForTest([&now] { return now; });
+  SloWatchdog watchdog(&engine);
+
+  const size_t before = server::HealthRegistry::Get().size();
+  SloTarget target;
+  target.name = "test.avail";
+  target.stream = "encode";
+  target.horizon_s = 10;
+  target.min_requests = 1;
+  target.min_availability = 0.99;
+  const int id = watchdog.AddTarget(target);
+  EXPECT_EQ(server::HealthRegistry::Get().size(), before + 1);
+
+  auto probe = [&](bool* found, bool* ok, std::string* detail) {
+    *found = false;
+    for (const auto& r : server::HealthRegistry::Get().RunAll()) {
+      if (r.name == "slo.test.avail") {
+        *found = true;
+        *ok = r.ok;
+        *detail = r.detail;
+      }
+    }
+  };
+
+  bool found = false, ok = false;
+  std::string detail;
+  probe(&found, &ok, &detail);
+  ASSERT_TRUE(found);
+  EXPECT_TRUE(ok);  // Idle: vacuous pass.
+  EXPECT_NE(detail.find("idle"), std::string::npos);
+
+  engine.Record("encode", SliOutcome::kOk, 1.0);
+  probe(&found, &ok, &detail);
+  EXPECT_TRUE(ok);
+
+  engine.Record("encode", SliOutcome::kError, 1.0);  // availability 0.5.
+  probe(&found, &ok, &detail);
+  EXPECT_FALSE(ok);  // Probe re-evaluates per scrape — no Tick needed.
+  EXPECT_NE(detail.find("availability"), std::string::npos);
+
+  // The failing probe latched the burn.
+  const auto burns = watchdog.ActiveBurns();
+  ASSERT_EQ(burns.size(), 1u);
+  EXPECT_EQ(burns[0].name, "slo.test.avail");
+
+  // Recovery: the bad sample ages out of the 10s window.
+  now += 30;
+  probe(&found, &ok, &detail);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(watchdog.ActiveBurns().empty());
+
+  watchdog.RemoveTarget(id);
+  EXPECT_EQ(server::HealthRegistry::Get().size(), before);
+}
+
+TEST(SloWatchdogTest, TickLatchesBurnEdgeOnce) {
+  SliEngine engine;
+  int64_t now = 8'000;
+  engine.SetClockForTest([&now] { return now; });
+  SloWatchdog watchdog(&engine);
+
+  CaptureSink sink;
+  TelemetryHub::Get().AddSink(&sink);
+  Counter* burn_counter = MetricsRegistry::Get().GetCounter("obs.slo_burns");
+  const int64_t burns_before = burn_counter->Value();
+
+  SloTarget target;
+  target.name = "test.p99";
+  target.stream = "encode";
+  target.horizon_s = 10;
+  target.min_requests = 1;
+  target.max_p99_ms = 50.0;
+  watchdog.AddTarget(target);
+
+  engine.Record("encode", SliOutcome::kOk, 10.0);
+  auto evals = watchdog.Tick();
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_TRUE(evals[0].ok);
+  EXPECT_EQ(burn_counter->Value(), burns_before);
+
+  engine.Record("encode", SliOutcome::kOk, 500.0);  // p99 blows the target.
+  evals = watchdog.Tick();
+  EXPECT_FALSE(evals[0].ok);
+  watchdog.Tick();  // Still burning: same edge, no second emission.
+  watchdog.Tick();
+  EXPECT_EQ(burn_counter->Value(), burns_before + 1);
+  const auto warnings = sink.warnings();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("slo burn: slo.test.p99"), std::string::npos);
+
+  // Recovery, then a fresh burn: a second edge, a second emission.
+  now += 30;
+  evals = watchdog.Tick();
+  EXPECT_TRUE(evals[0].ok);
+  engine.Record("encode", SliOutcome::kOk, 500.0);
+  watchdog.Tick();
+  EXPECT_EQ(burn_counter->Value(), burns_before + 2);
+  EXPECT_EQ(sink.warnings().size(), 2u);
+
+  TelemetryHub::Get().RemoveSink(&sink);
+}
+
+TEST(SloWatchdogTest, MinRequestsGatesEvaluation) {
+  SliEngine engine;
+  int64_t now = 9'000;
+  engine.SetClockForTest([&now] { return now; });
+  SloWatchdog watchdog(&engine);
+
+  SloTarget target;
+  target.name = "test.gated";
+  target.stream = "encode";
+  target.horizon_s = 10;
+  target.min_requests = 5;
+  target.min_availability = 0.99;
+  watchdog.AddTarget(target);
+
+  // Four straight errors: availability 0, but under min_requests — vacuous
+  // pass (a cold service must not page).
+  for (int i = 0; i < 4; ++i) {
+    engine.Record("encode", SliOutcome::kError, 1.0);
+  }
+  auto evals = watchdog.Tick();
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_TRUE(evals[0].ok);
+  EXPECT_NE(evals[0].detail.find("idle"), std::string::npos);
+
+  engine.Record("encode", SliOutcome::kError, 1.0);  // Fifth: now it counts.
+  evals = watchdog.Tick();
+  EXPECT_FALSE(evals[0].ok);
+}
+
+TEST(SloWatchdogTest, MultipleThresholdsReportEveryViolation) {
+  SliEngine engine;
+  int64_t now = 11'000;
+  engine.SetClockForTest([&now] { return now; });
+  SloWatchdog watchdog(&engine);
+
+  SloTarget target;
+  target.name = "test.multi";
+  target.horizon_s = 10;  // Stream defaults to "all".
+  target.min_requests = 1;
+  target.min_availability = 0.99;
+  target.max_shed_rate = 0.01;
+  watchdog.AddTarget(target);
+  EXPECT_EQ(watchdog.size(), 1u);
+
+  engine.Record("encode", SliOutcome::kShed, 1.0);
+  const auto evals = watchdog.Tick();
+  ASSERT_EQ(evals.size(), 1u);
+  EXPECT_FALSE(evals[0].ok);
+  EXPECT_NE(evals[0].detail.find("availability"), std::string::npos);
+  EXPECT_NE(evals[0].detail.find("shed_rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace turl

@@ -4,10 +4,11 @@
 // below fail if any of them grows back, and also document what the heads DO
 // expose (the unified Encode/Scores/Predict surface of tasks/task_head.h).
 //
-// The one remaining compatibility shim is BatchScheduler's deprecated
-// 2-arg Submit adapter (kept for exactly one release); its equivalence with
-// the canonical Submit(rt::Request) is pinned at runtime here.
+// BatchScheduler's deprecated 2-arg Submit adapter — the last shim, kept
+// for exactly one release — is gone too; its absence is pinned at compile
+// time below. rt::Request is the single submission type.
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -76,7 +77,19 @@ static_assert(!HasDeprecatedEncodeFor<TurlEntityLinker>);
 static_assert(!HasDeprecatedEncodeFor<TurlColumnTyper>);
 static_assert(!HasDeprecatedEncodeFor<TurlRelationExtractor>);
 
-// --- Scheduler adapter equivalence ---------------------------------------
+// The scheduler accepts exactly one submission shape: Submit(rt::Request).
+// The 2-arg (table, tensor-callback) adapter was deleted after its one
+// promised release; this fails to hold if it grows back.
+template <typename S>
+concept HasDeprecatedTwoArgSubmit =
+    requires(S& s, const core::EncodedTable* t,
+             std::function<void(nn::Tensor)> cb) { s.Submit(t, cb); };
+static_assert(!HasDeprecatedTwoArgSubmit<rt::BatchScheduler>);
+static_assert(requires(rt::BatchScheduler& s, rt::Request r) {
+  s.Submit(std::move(r));
+});
+
+// --- Canonical Submit(rt::Request) surface -------------------------------
 
 const core::TurlContext& Ctx() {
   static core::TurlContext* ctx = [] {
@@ -119,12 +132,14 @@ std::vector<core::EncodedTable> SomeTables(size_t n) {
   return out;
 }
 
-TEST(ApiSurfaceTest, DeprecatedSubmitAdapterMatchesRequestSubmit) {
+TEST(ApiSurfaceTest, RequestSubmitMatchesDirectEncode) {
+  // The canonical (and now only) submission path produces exactly the
+  // per-table session result, in order — the behavioural guarantee the
+  // deleted adapter used to forward to.
   const std::vector<core::EncodedTable> tables = SomeTables(4);
   ASSERT_FALSE(tables.empty());
 
   std::vector<nn::Tensor> via_request(tables.size());
-  std::vector<nn::Tensor> via_adapter(tables.size());
   {
     rt::BatchScheduler scheduler(&Session());
     for (size_t i = 0; i < tables.size(); ++i) {
@@ -140,21 +155,8 @@ TEST(ApiSurfaceTest, DeprecatedSubmitAdapterMatchesRequestSubmit) {
     }
     scheduler.Flush();
   }
-  {
-    rt::BatchScheduler scheduler(&Session());
-    for (size_t i = 0; i < tables.size(); ++i) {
-// The whole point of this block is to call the deprecated adapter.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-      scheduler.Submit(&tables[i], [&via_adapter, i](nn::Tensor h) {
-        via_adapter[i] = std::move(h);
-      });
-#pragma GCC diagnostic pop
-    }
-    scheduler.Flush();
-  }
   for (size_t i = 0; i < tables.size(); ++i) {
-    EXPECT_EQ(via_request[i].ToVector(), via_adapter[i].ToVector())
+    EXPECT_EQ(via_request[i].ToVector(), Session().Encode(tables[i]).ToVector())
         << "table " << i;
   }
 }

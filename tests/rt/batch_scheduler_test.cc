@@ -18,6 +18,15 @@ namespace turl {
 namespace rt {
 namespace {
 
+// The deprecated 2-arg Submit(table, tensor-callback) adapter is gone (it
+// was promised for exactly one release); Submit(rt::Request) is the only
+// submission entry point.
+template <typename S>
+concept HasDeprecatedTwoArgSubmit =
+    requires(S& s, const core::EncodedTable* t,
+             std::function<void(nn::Tensor)> cb) { s.Submit(t, cb); };
+static_assert(!HasDeprecatedTwoArgSubmit<BatchScheduler>);
+
 const core::TurlContext& Ctx() {
   static core::TurlContext* ctx = [] {
     core::ContextConfig config;
