@@ -11,7 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -225,6 +228,46 @@ double MeasureItemsPerSec(GemmFn fn, int64_t m, int64_t k, int64_t n) {
   return flops * iters / dt.count();
 }
 
+/// One timed pass of the int8 scoring path over the m activation rows:
+/// per-row activation quantization + integer GEMV (the pack itself is
+/// amortized across a model's lifetime and stays outside the timing).
+void Int8Pass(const nn::kernels::QuantizedMatrix& q, const float* a,
+              int64_t m, int64_t k, int64_t n, int8_t* xq, float* y) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float xs = nn::kernels::QuantizeActivation(a + i * k, k, q.stride,
+                                                     xq);
+    nn::kernels::QuantizedGemv(q, xq, xs, y + i * n, false);
+  }
+}
+
+/// Items/sec of `fn` over C[m,n] = A[m,k] * B[n,k]^T — the orientation of
+/// MatMulNT, i.e. the logits matmul: each output's weight row contiguous.
+/// Best of kBenchReps timed blocks (applied identically to every variant)
+/// so a host-load spike during one block doesn't skew a recorded ratio.
+constexpr int kBenchReps = 3;
+
+double MeasureNTItemsPerSec(GemmFn fn, int64_t m, int64_t k, int64_t n) {
+  Rng rng(17);
+  nn::Tensor a = nn::Tensor::Random({m, k}, rng);
+  nn::Tensor b = nn::Tensor::Random({n, k}, rng);
+  std::vector<float> c(size_t(m * n));
+  fn(m, n, k, a.data(), k, b.data(), k, c.data(), n, false);  // Warm-up.
+  const double flops = double(m) * double(n) * double(k);
+  int iters = static_cast<int>(1e8 / flops) + 1;
+  double best = 0.0;
+  for (int rep = 0; rep < kBenchReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int it = 0; it < iters; ++it) {
+      fn(m, n, k, a.data(), k, b.data(), k, c.data(), n, false);
+      benchmark::DoNotOptimize(c.data());
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    best = std::max(best, flops * iters / dt.count());
+  }
+  return best;
+}
+
 void WriteKernelComparison(const char* path) {
   // Single-threaded by construction so the recorded speedup is the blocked
   // kernel's own, not the thread pool's.
@@ -254,6 +297,80 @@ void WriteKernelComparison(const char* path) {
                  "(speedup %.2fx)\n",
                  static_cast<long long>(c.m), static_cast<long long>(c.k),
                  static_cast<long long>(c.n), naive, kernel, kernel / naive);
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n  \"gemv\": [\n");
+
+  // Logits-shaped GEMVs in the orientation MlmLogits/MerLogits actually
+  // execute (MatMulNT: weight matrix [n, k] row-major, every output's
+  // weight row contiguous): the full MLM vocab, the entity vocab, and the
+  // small-batch (m=4) variant. Four paths per shape: the naive loops, the
+  // 4x16 tiled GEMM forced past the small-m gate, the GEMV dispatch
+  // (default), and the int8 quantized scorer — plus the int8 path's max
+  // absolute error against the naive fp32 result.
+  const Case gemv_cases[] = {{1, 768, 30522}, {1, 768, 4992}, {4, 768, 30522}};
+  first = true;
+  for (const Case& c : gemv_cases) {
+    Rng rng(23);
+    nn::Tensor a = nn::Tensor::Random({c.m, c.k}, rng);
+    nn::Tensor b = nn::Tensor::Random({c.n, c.k}, rng);
+
+    const double naive =
+        MeasureNTItemsPerSec(nn::kernels::naive::GemmNT, c.m, c.k, c.n);
+    nn::kernels::SetSmallMGemvDispatch(false);
+    const double tiled = MeasureNTItemsPerSec(nn::kernels::GemmNT, c.m, c.k,
+                                              c.n);
+    nn::kernels::SetSmallMGemvDispatch(true);
+    const double gemv = MeasureNTItemsPerSec(nn::kernels::GemmNT, c.m, c.k,
+                                             c.n);
+
+    // Row j of B is output unit j's weight vector (the embedding-table
+    // layout the model packs).
+    const nn::kernels::QuantizedMatrix q = nn::kernels::QuantizeRows(
+        b.data(), c.n, c.k, /*row_stride=*/c.k, /*col_stride=*/1);
+    std::vector<int8_t> xq(static_cast<size_t>(q.stride));
+    std::vector<float> y(static_cast<size_t>(c.m * c.n));
+    Int8Pass(q, a.data(), c.m, c.k, c.n, xq.data(), y.data());  // Warm-up.
+    const double flops = double(c.m) * double(c.n) * double(c.k);
+    const int iters = static_cast<int>(1e8 / flops) + 1;
+    double int8 = 0.0;
+    for (int rep = 0; rep < kBenchReps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      for (int it = 0; it < iters; ++it) {
+        Int8Pass(q, a.data(), c.m, c.k, c.n, xq.data(), y.data());
+        benchmark::DoNotOptimize(y.data());
+      }
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - start;
+      int8 = std::max(int8, flops * iters / dt.count());
+    }
+
+    std::vector<float> ref(static_cast<size_t>(c.m * c.n));
+    nn::kernels::naive::GemmNT(c.m, c.n, c.k, a.data(), c.k, b.data(), c.k,
+                               ref.data(), c.n, false);
+    double max_err = 0.0;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      max_err = std::max(max_err, double(std::abs(y[i] - ref[i])));
+    }
+
+    std::fprintf(f,
+                 "%s    {\"m\": %lld, \"k\": %lld, \"n\": %lld, "
+                 "\"naive_items_per_sec\": %.3e, "
+                 "\"tiled_items_per_sec\": %.3e, "
+                 "\"gemv_items_per_sec\": %.3e, "
+                 "\"int8_items_per_sec\": %.3e, "
+                 "\"gemv_speedup\": %.2f, \"int8_speedup\": %.2f, "
+                 "\"quant_max_abs_err\": %.4e}",
+                 first ? "" : ",\n", static_cast<long long>(c.m),
+                 static_cast<long long>(c.k), static_cast<long long>(c.n),
+                 naive, tiled, gemv, int8, gemv / naive, int8 / naive,
+                 max_err);
+    std::fprintf(stderr,
+                 "gemv %lldx%lldx%lld: naive %.3e tiled %.3e gemv %.3e "
+                 "int8 %.3e flop/s (gemv %.2fx, int8 %.2fx, max err %.4e)\n",
+                 static_cast<long long>(c.m), static_cast<long long>(c.k),
+                 static_cast<long long>(c.n), naive, tiled, gemv, int8,
+                 gemv / naive, int8 / naive, max_err);
     first = false;
   }
   std::fprintf(f, "\n  ]\n}\n");

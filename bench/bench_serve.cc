@@ -1,23 +1,31 @@
 // Closed-loop load generator for the serving front-end: N client threads
 // drive a live ServeServer over loopback sockets at a target aggregate QPS,
 // each client sending its next request only after the previous response
-// arrived (closed loop), with pacing sleeps to hold the schedule. Reports
-// end-to-end p50/p90/p99/max latency, the achieved rate and shed /
-// deadline-miss counts into BENCH_serve.json (override with
-// TURL_BENCH_SERVE), and cross-checks the server's own 1m SLI window
-// against the client-side ground truth — the agreement that makes /statusz
-// trustworthy.
+// arrived (closed loop), with pacing sleeps to hold the schedule. After
+// each kOk reply the client scores the returned hidden states through
+// TurlModel::MlmLogits *inside the latency window* — the request is not
+// "done" until it produced logits, so the scoring path is part of p50/p99.
+//
+// The whole load runs twice: trial "fp32" with TURL_QUANT_SCORING off and
+// trial "int8" with the quantized scoring path forced on (quant caches
+// invalidated in between). Both trial blocks land side by side in
+// BENCH_serve.json (override with TURL_BENCH_SERVE) so the latency delta is
+// the int8 scorer's, with everything else held fixed. Each trial also
+// cross-checks the server's own 1m SLI window against the client-side
+// ground truth — as deltas against a pre-trial snapshot, because the
+// rolling window spans both trials.
 //
 // Knobs (environment):
 //   TURL_BENCH_SERVE_QPS       target aggregate requests/sec (default 50)
-//   TURL_BENCH_SERVE_SECONDS   measured duration (default 5)
+//   TURL_BENCH_SERVE_SECONDS   measured duration per trial (default 5)
 //   TURL_BENCH_SERVE_CLIENTS   closed-loop client threads (default 4)
 //   TURL_SERVE_REPLICAS        model replicas in the server (default 2)
 //
 // The gate is deliberately behavioural, not a latency SLO (machine-speed
 // dependent): every request must be answered — kOk or an explicit shed
-// status, never a hang, transport error, or crash — and at least 90% of
-// them must be kOk at the default load.
+// status, never a hang, transport error, or crash — at least 90% of them
+// must be kOk at the default load in BOTH trials, and the int8 trial's
+// ok-rate must not drop more than 5 points below fp32's.
 
 #include <algorithm>
 #include <atomic>
@@ -31,6 +39,7 @@
 
 #include "bench_common.h"
 #include "core/table_encoding.h"
+#include "nn/kernels/quant.h"
 #include "obs/slo.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
@@ -53,34 +62,39 @@ double Percentile(std::vector<double>& sorted, double p) {
   return sorted[idx];
 }
 
-}  // namespace
+struct TrialResult {
+  const char* name = "";
+  double elapsed_s = 0, achieved_qps = 0;
+  double p50 = 0, p90 = 0, p99 = 0, max_ms = 0;
+  int64_t answered = 0, ok = 0, overloaded = 0, deadline = 0,
+          transport_errors = 0;
+  double ok_fraction = 0;
+  int replicas = 0;
+  int64_t sli_total = 0, sli_ok = 0, sli_shed = 0, sli_deadline = 0;
+  bool sli_checkable = false, sli_agree = true;
+  bool pass = false;
+};
 
-int main() {
-  using namespace turl;
-  bench::InitObservability();
-
-  const int target_qps = EnvInt("TURL_BENCH_SERVE_QPS", 50);
-  const int seconds = EnvInt("TURL_BENCH_SERVE_SECONDS", 5);
-  const int num_clients = EnvInt("TURL_BENCH_SERVE_CLIENTS", 4);
-
-  core::ContextConfig config;
-  config.corpus.num_tables = 600;
-  config.seed = 42;
-  core::TurlContext ctx = core::BuildContext(config);
-  core::TurlModel model(core::TurlConfig{}, ctx.vocab.size(),
-                        ctx.entity_vocab.size(), /*seed=*/11);
-
-  const text::WordPieceTokenizer tokenizer = ctx.MakeTokenizer();
-  std::vector<core::EncodedTable> tables;
-  for (size_t idx : ctx.corpus.valid) {
-    core::EncodedTable t =
-        core::EncodeTable(ctx.corpus.tables[idx], tokenizer, ctx.entity_vocab);
-    if (t.total() > 0) tables.push_back(std::move(t));
-    if (tables.size() >= 64) break;
-  }
-  if (tables.empty()) {
-    std::fprintf(stderr, "no non-empty tables in the corpus\n");
-    return 1;
+/// One full closed-loop run against a fresh server. `quant` selects the
+/// scoring path for the in-window MlmLogits call (and for any server-side
+/// serve-scoring); quant caches are invalidated on entry so trial order
+/// can't leak a stale pack across the knob flip.
+TrialResult RunTrial(const char* name, bool quant, core::TurlModel& model,
+                     const std::vector<core::EncodedTable>& tables,
+                     int target_qps, int seconds, int num_clients) {
+  TrialResult result;
+  result.name = name;
+  nn::kernels::SetQuantScoringForTest(quant ? 1 : 0);
+  model.InvalidateQuantizedScoring();
+  {
+    // Warm the scoring path outside the timed window: the int8 trial's
+    // first call would otherwise pay the one-time vocab-table pack (which
+    // real deployments amortize across the model's lifetime) inside one
+    // request's latency.
+    const int64_t d = model.config().d_model;
+    nn::Tensor warm = nn::Tensor::FromVector(
+        {1, d}, std::vector<float>(static_cast<size_t>(d), 0.1f));
+    (void)model.MlmLogits(warm, {0}, core::Scoring::kServe);
   }
 
   serve::ServeOptions options = serve::ServeServer::OptionsFromEnv();
@@ -90,14 +104,21 @@ int main() {
   serve::ServeServer server(model, options);
   if (const Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
-    return 1;
+    result.transport_errors = 1;
+    return result;
   }
-  std::printf("== serve closed-loop load ==\n");
+  result.replicas = server.num_replicas();
+  std::printf("== serve closed-loop load [%s] ==\n", name);
   std::printf(
       "target %d req/s for %ds, %d clients, %d replicas, %zu distinct "
       "tables, port %d\n",
       target_qps, seconds, num_clients, server.num_replicas(), tables.size(),
       server.port());
+
+  // The rolling SLI window spans both trials, so the per-trial ground-truth
+  // comparison is against deltas from this pre-trial snapshot.
+  const obs::SliSnapshot sli_before =
+      obs::SliEngine::Get().Snapshot("encode", 60);
 
   // Each client owns one connection and a 1/num_clients share of the target
   // rate; the pacing clock is absolute (send #k at start + k*interval), so a
@@ -135,6 +156,18 @@ int main() {
         const auto t0 = std::chrono::steady_clock::now();
         const Status s = client.Call(table, rt::TaskKind::kEncode,
                                      uint64_t(c) << 32 | sent, &response);
+        if (s.ok() && response.status == rt::ResponseStatus::kOk &&
+            response.rows > 0 && response.cols > 0) {
+          // The scored request is the unit of work: fold the MLM logits for
+          // the first row into the measured latency so the fp32-vs-int8
+          // scoring delta shows up in p50/p99.
+          nn::Tensor hidden = nn::Tensor::FromVector(
+              {response.rows, response.cols}, std::move(response.hidden));
+          const nn::Tensor logits =
+              model.MlmLogits(hidden, {0}, core::Scoring::kServe);
+          volatile float sink = logits.data()[0];  // Keep the score live.
+          (void)sink;
+        }
         const auto t1 = std::chrono::steady_clock::now();
         ++sent;
         if (!s.ok()) {
@@ -163,7 +196,7 @@ int main() {
     });
   }
   for (std::thread& t : clients) t.join();
-  const double elapsed_s = wall.ElapsedSeconds();
+  result.elapsed_s = wall.ElapsedSeconds();
 
   // The server's own 1m SLI window should agree with the client-side ground
   // truth computed below — that agreement is what makes /statusz numbers
@@ -171,57 +204,155 @@ int main() {
   // give the last in-flight record a moment before snapshotting.
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   const obs::SliSnapshot sli = obs::SliEngine::Get().Snapshot("encode", 60);
-  const int replicas = server.num_replicas();  // Stop() tears them down.
   server.Stop();
 
   std::sort(latencies_ms.begin(), latencies_ms.end());
-  const int64_t answered = static_cast<int64_t>(latencies_ms.size());
-  const double achieved_qps = elapsed_s > 0 ? answered / elapsed_s : 0.0;
-  const double p50 = Percentile(latencies_ms, 0.50);
-  const double p90 = Percentile(latencies_ms, 0.90);
-  const double p99 = Percentile(latencies_ms, 0.99);
-  const double max_ms = latencies_ms.empty() ? 0.0 : latencies_ms.back();
-  const double ok_fraction =
-      answered > 0 ? static_cast<double>(ok.load()) / answered : 0.0;
+  result.answered = static_cast<int64_t>(latencies_ms.size());
+  result.achieved_qps =
+      result.elapsed_s > 0 ? result.answered / result.elapsed_s : 0.0;
+  result.p50 = Percentile(latencies_ms, 0.50);
+  result.p90 = Percentile(latencies_ms, 0.90);
+  result.p99 = Percentile(latencies_ms, 0.99);
+  result.max_ms = latencies_ms.empty() ? 0.0 : latencies_ms.back();
+  result.ok = ok.load();
+  result.overloaded = overloaded.load();
+  result.deadline = deadline.load();
+  result.transport_errors = transport_errors.load();
+  result.ok_fraction =
+      result.answered > 0
+          ? static_cast<double>(result.ok) / result.answered
+          : 0.0;
 
-  // SLI cross-check: every answered request fits in the 1m window when the
-  // run was shorter than the window; a client that died mid-reply may leave
-  // the server one record ahead, so allow per-client slack.
+  // SLI cross-check on window deltas: every answered request fits in the 1m
+  // window when the run was shorter than the window; a client that died
+  // mid-reply may leave the server one record ahead, so allow per-client
+  // slack.
+  result.sli_total = sli.total - sli_before.total;
+  result.sli_ok = sli.ok - sli_before.ok;
+  result.sli_shed = sli.shed - sli_before.shed;
+  result.sli_deadline = sli.deadline_miss - sli_before.deadline_miss;
   const int64_t slack = num_clients;
-  const bool sli_checkable =
-      obs::SliEngine::Enabled() && elapsed_s < 55.0 && answered > 0;
-  const bool sli_agree =
-      !sli_checkable ||
-      (std::llabs(sli.total - answered) <= slack &&
-       std::llabs(sli.ok - ok.load()) <= slack &&
-       std::llabs(sli.shed - overloaded.load()) <= slack &&
-       std::llabs(sli.deadline_miss - deadline.load()) <= slack);
+  result.sli_checkable = obs::SliEngine::Enabled() &&
+                         result.elapsed_s < 25.0 && result.answered > 0;
+  result.sli_agree =
+      !result.sli_checkable ||
+      (std::llabs(result.sli_total - result.answered) <= slack &&
+       std::llabs(result.sli_ok - result.ok) <= slack &&
+       std::llabs(result.sli_shed - result.overloaded) <= slack &&
+       std::llabs(result.sli_deadline - result.deadline) <= slack);
 
-  const bool pass = transport_errors.load() == 0 && answered > 0 &&
-                    ok_fraction >= 0.9 && sli_agree;
+  result.pass = result.transport_errors == 0 && result.answered > 0 &&
+                result.ok_fraction >= 0.9 && result.sli_agree;
 
   std::printf("answered %lld requests in %.2fs: %.1f req/s achieved "
               "(target %d)\n",
-              static_cast<long long>(answered), elapsed_s, achieved_qps,
-              target_qps);
+              static_cast<long long>(result.answered), result.elapsed_s,
+              result.achieved_qps, target_qps);
   std::printf("latency p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, max %.2f ms\n",
-              p50, p90, p99, max_ms);
+              result.p50, result.p90, result.p99, result.max_ms);
   std::printf("status: ok %lld, shed %lld, deadline-miss %lld, transport "
               "errors %lld -> %s\n",
-              static_cast<long long>(ok.load()),
-              static_cast<long long>(overloaded.load()),
-              static_cast<long long>(deadline.load()),
-              static_cast<long long>(transport_errors.load()),
-              pass ? "PASS" : "FAIL");
-  std::printf("server 1m SLI window: n %lld, ok %lld, shed %lld, "
-              "deadline-miss %lld, availability %.4f, p99 %.2f ms -> %s\n",
-              static_cast<long long>(sli.total),
-              static_cast<long long>(sli.ok),
-              static_cast<long long>(sli.shed),
-              static_cast<long long>(sli.deadline_miss), sli.availability,
-              sli.p99_ms,
-              sli_checkable ? (sli_agree ? "agrees" : "DISAGREES")
-                            : "not checked");
+              static_cast<long long>(result.ok),
+              static_cast<long long>(result.overloaded),
+              static_cast<long long>(result.deadline),
+              static_cast<long long>(result.transport_errors),
+              result.pass ? "PASS" : "FAIL");
+  std::printf("server 1m SLI deltas: n %lld, ok %lld, shed %lld, "
+              "deadline-miss %lld -> %s\n",
+              static_cast<long long>(result.sli_total),
+              static_cast<long long>(result.sli_ok),
+              static_cast<long long>(result.sli_shed),
+              static_cast<long long>(result.sli_deadline),
+              result.sli_checkable
+                  ? (result.sli_agree ? "agrees" : "DISAGREES")
+                  : "not checked");
+  return result;
+}
+
+void WriteTrialJson(std::FILE* f, const TrialResult& t) {
+  std::fprintf(f,
+               "    {\n"
+               "      \"name\": \"%s\",\n"
+               "      \"achieved_qps\": %.3f,\n"
+               "      \"duration_s\": %.3f,\n"
+               "      \"requests\": %lld,\n"
+               "      \"ok\": %lld,\n"
+               "      \"overloaded\": %lld,\n"
+               "      \"deadline_exceeded\": %lld,\n"
+               "      \"transport_errors\": %lld,\n"
+               "      \"ok_fraction\": %.6f,\n"
+               "      \"p50_ms\": %.3f,\n"
+               "      \"p90_ms\": %.3f,\n"
+               "      \"p99_ms\": %.3f,\n"
+               "      \"max_ms\": %.3f,\n"
+               "      \"sli_requests\": %lld,\n"
+               "      \"sli_ok\": %lld,\n"
+               "      \"sli_shed\": %lld,\n"
+               "      \"sli_deadline_miss\": %lld,\n"
+               "      \"sli_agree\": %s,\n"
+               "      \"pass\": %s\n"
+               "    }",
+               t.name, t.achieved_qps, t.elapsed_s,
+               static_cast<long long>(t.answered),
+               static_cast<long long>(t.ok),
+               static_cast<long long>(t.overloaded),
+               static_cast<long long>(t.deadline),
+               static_cast<long long>(t.transport_errors), t.ok_fraction,
+               t.p50, t.p90, t.p99, t.max_ms,
+               static_cast<long long>(t.sli_total),
+               static_cast<long long>(t.sli_ok),
+               static_cast<long long>(t.sli_shed),
+               static_cast<long long>(t.sli_deadline),
+               t.sli_agree ? "true" : "false", t.pass ? "true" : "false");
+}
+
+}  // namespace
+
+int main() {
+  using namespace turl;
+  bench::InitObservability();
+
+  const int target_qps = EnvInt("TURL_BENCH_SERVE_QPS", 50);
+  const int seconds = EnvInt("TURL_BENCH_SERVE_SECONDS", 5);
+  const int num_clients = EnvInt("TURL_BENCH_SERVE_CLIENTS", 4);
+
+  core::ContextConfig config;
+  config.corpus.num_tables = 600;
+  config.seed = 42;
+  core::TurlContext ctx = core::BuildContext(config);
+  core::TurlModel model(core::TurlConfig{}, ctx.vocab.size(),
+                        ctx.entity_vocab.size(), /*seed=*/11);
+
+  const text::WordPieceTokenizer tokenizer = ctx.MakeTokenizer();
+  std::vector<core::EncodedTable> tables;
+  for (size_t idx : ctx.corpus.valid) {
+    core::EncodedTable t =
+        core::EncodeTable(ctx.corpus.tables[idx], tokenizer, ctx.entity_vocab);
+    if (t.total() > 0) tables.push_back(std::move(t));
+    if (tables.size() >= 64) break;
+  }
+  if (tables.empty()) {
+    std::fprintf(stderr, "no non-empty tables in the corpus\n");
+    return 1;
+  }
+
+  const TrialResult fp32 = RunTrial("fp32", /*quant=*/false, model, tables,
+                                    target_qps, seconds, num_clients);
+  const TrialResult int8 = RunTrial("int8", /*quant=*/true, model, tables,
+                                    target_qps, seconds, num_clients);
+  nn::kernels::SetQuantScoringForTest(-1);  // Back to the env default.
+  model.InvalidateQuantizedScoring();
+
+  // The int8 path must be a pure latency win: same answer quality knobs,
+  // unchanged ok-rate (within 5 points of fp32's — both already >= 90%).
+  const double ok_delta = int8.ok_fraction - fp32.ok_fraction;
+  const bool ok_rate_unchanged = std::abs(ok_delta) <= 0.05;
+  const bool pass = fp32.pass && int8.pass && ok_rate_unchanged;
+
+  std::printf("fp32 p50 %.2f ms / p99 %.2f ms vs int8 p50 %.2f ms / p99 "
+              "%.2f ms; ok-rate %.4f -> %.4f (delta %+.4f) -> %s\n",
+              fp32.p50, fp32.p99, int8.p50, int8.p99, fp32.ok_fraction,
+              int8.ok_fraction, ok_delta, pass ? "PASS" : "FAIL");
 
   const char* path_env = std::getenv("TURL_BENCH_SERVE");
   const std::string out = (path_env != nullptr && *path_env != '\0')
@@ -231,43 +362,20 @@ int main() {
     std::fprintf(f,
                  "{\n"
                  "  \"target_qps\": %d,\n"
-                 "  \"achieved_qps\": %.3f,\n"
-                 "  \"duration_s\": %.3f,\n"
                  "  \"clients\": %d,\n"
                  "  \"replicas\": %d,\n"
-                 "  \"requests\": %lld,\n"
-                 "  \"ok\": %lld,\n"
-                 "  \"overloaded\": %lld,\n"
-                 "  \"deadline_exceeded\": %lld,\n"
-                 "  \"transport_errors\": %lld,\n"
-                 "  \"p50_ms\": %.3f,\n"
-                 "  \"p90_ms\": %.3f,\n"
-                 "  \"p99_ms\": %.3f,\n"
-                 "  \"max_ms\": %.3f,\n"
-                 "  \"shed\": %lld,\n"
-                 "  \"deadline_miss\": %lld,\n"
-                 "  \"sli_requests\": %lld,\n"
-                 "  \"sli_ok\": %lld,\n"
-                 "  \"sli_shed\": %lld,\n"
-                 "  \"sli_deadline_miss\": %lld,\n"
-                 "  \"sli_availability\": %.6f,\n"
-                 "  \"sli_p99_ms\": %.3f,\n"
-                 "  \"sli_agree\": %s,\n"
+                 "  \"trials\": [\n",
+                 target_qps, num_clients, fp32.replicas);
+    WriteTrialJson(f, fp32);
+    std::fprintf(f, ",\n");
+    WriteTrialJson(f, int8);
+    std::fprintf(f,
+                 "\n  ],\n"
+                 "  \"ok_fraction_delta\": %.6f,\n"
+                 "  \"ok_rate_unchanged\": %s,\n"
                  "  \"pass\": %s\n"
                  "}\n",
-                 target_qps, achieved_qps, elapsed_s, num_clients,
-                 replicas, static_cast<long long>(answered),
-                 static_cast<long long>(ok.load()),
-                 static_cast<long long>(overloaded.load()),
-                 static_cast<long long>(deadline.load()),
-                 static_cast<long long>(transport_errors.load()), p50, p90,
-                 p99, max_ms, static_cast<long long>(overloaded.load()),
-                 static_cast<long long>(deadline.load()),
-                 static_cast<long long>(sli.total),
-                 static_cast<long long>(sli.ok),
-                 static_cast<long long>(sli.shed),
-                 static_cast<long long>(sli.deadline_miss), sli.availability,
-                 sli.p99_ms, sli_agree ? "true" : "false",
+                 ok_delta, ok_rate_unchanged ? "true" : "false",
                  pass ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", out.c_str());

@@ -78,8 +78,11 @@ int main() {
       clean, pretrainer.cooccurrence(), model.entity_vocab_size(),
       model_config.mer_max_candidates, model_config.mer_min_random_negatives,
       &rng);
-  nn::Tensor logits = model.MerLogits(
-      hidden, {TurlModel::EntityHiddenRow(masked, cell)}, candidates);
+  // Scoring::kServe marks this as inference-only scoring: with
+  // TURL_QUANT_SCORING=1 in the environment it runs the int8 path.
+  nn::Tensor logits =
+      model.MerLogits(hidden, {TurlModel::EntityHiddenRow(masked, cell)},
+                      candidates, core::Scoring::kServe);
   std::vector<float> scores = logits.ToVector();
   std::printf("top recovered entities (of %zu candidates):\n",
               candidates.size());

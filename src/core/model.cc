@@ -92,24 +92,60 @@ nn::Tensor TurlModel::Encode(const EncodedTable& input, bool training,
 }
 
 nn::Tensor TurlModel::MlmLogits(const nn::Tensor& hidden,
-                                const std::vector<int>& rows) const {
+                                const std::vector<int>& rows,
+                                Scoring scoring) const {
   TURL_CHECK(!rows.empty());
   TURL_PROFILE_SCOPE("model.mlm_logits");
   nn::kernels::ArenaScope arena;
   nn::Tensor projected = mlm_head_->Forward(nn::SelectRows(hidden, rows));
+  if (scoring == Scoring::kServe && nn::kernels::QuantScoringEnabled()) {
+    const nn::Tensor& w = word_emb_->weight();
+    const nn::kernels::QuantizedMatrix& q =
+        word_quant_.Get(w.data(), w.dim(0), w.dim(1), w.dim(1), 1);
+    const int64_t r = projected.dim(0);
+    const int64_t v = w.dim(0);
+    std::vector<float> out(static_cast<size_t>(r * v));
+    for (int64_t i = 0; i < r; ++i) {
+      nn::kernels::QuantizedScore(q, projected.data() + i * projected.dim(1),
+                                  out.data() + i * v);
+    }
+    return nn::Tensor::FromVector({r, v}, std::move(out));
+  }
   return nn::MatMulNT(projected, word_emb_->weight());
 }
 
 nn::Tensor TurlModel::MerLogits(const nn::Tensor& hidden,
                                 const std::vector<int>& rows,
-                                const std::vector<int>& candidates) const {
+                                const std::vector<int>& candidates,
+                                Scoring scoring) const {
   TURL_CHECK(!rows.empty());
   TURL_PROFILE_SCOPE("model.mer_logits");
   TURL_CHECK(!candidates.empty());
   nn::kernels::ArenaScope arena;
   nn::Tensor projected = mer_head_->Forward(nn::SelectRows(hidden, rows));
+  if (scoring == Scoring::kServe && nn::kernels::QuantScoringEnabled()) {
+    // Score only the candidate rows of the full-table pack: the pack builds
+    // once per model load, not once per candidate set.
+    const nn::Tensor& w = entity_emb_->weight();
+    const nn::kernels::QuantizedMatrix& q =
+        entity_quant_.Get(w.data(), w.dim(0), w.dim(1), w.dim(1), 1);
+    const int64_t r = projected.dim(0);
+    const int64_t n = static_cast<int64_t>(candidates.size());
+    std::vector<float> out(static_cast<size_t>(r * n));
+    for (int64_t i = 0; i < r; ++i) {
+      nn::kernels::QuantizedScoreRows(q, candidates.data(), n,
+                                      projected.data() + i * projected.dim(1),
+                                      out.data() + i * n);
+    }
+    return nn::Tensor::FromVector({r, n}, std::move(out));
+  }
   nn::Tensor cand_emb = entity_emb_->Forward(candidates);
   return nn::MatMulNT(projected, cand_emb);
+}
+
+void TurlModel::InvalidateQuantizedScoring() const {
+  word_quant_.Invalidate();
+  entity_quant_.Invalidate();
 }
 
 nn::Tensor TurlModel::MerProject(const nn::Tensor& hidden,

@@ -6,12 +6,27 @@
 
 #include "core/config.h"
 #include "core/table_encoding.h"
+#include "nn/kernels/quant.h"
 #include "nn/module.h"
 #include "nn/ops.h"
 #include "util/rng.h"
 
 namespace turl {
 namespace core {
+
+/// Which implementation a scoring call (MlmLogits / MerLogits) takes.
+///
+/// kTrain builds the fp32 MatMul on the autograd tape — always safe, the
+/// default, and required whenever gradients flow through the logits.
+/// kServe declares the call inference-only: when TURL_QUANT_SCORING=1 the
+/// vocabulary/candidate dot products run against a cached per-row int8
+/// quantization of the embedding table and the result is a leaf tensor with
+/// no tape behind it. With the knob off (default), kServe is identical to
+/// kTrain, so callers can pass it unconditionally on inference paths.
+enum class Scoring {
+  kTrain,
+  kServe,
+};
 
 /// The TURL model (Figure 2): an embedding layer fusing table components
 /// (Eqns. 1-3), a structure-aware Transformer encoder with the visibility
@@ -49,14 +64,21 @@ class TurlModel {
 
   /// MLM head: logits over the full word vocabulary for the given hidden
   /// rows -> [rows.size(), word_vocab].  P(w) ∝ exp(LINEAR(h_t) · w).
-  nn::Tensor MlmLogits(const nn::Tensor& hidden,
-                       const std::vector<int>& rows) const;
+  nn::Tensor MlmLogits(const nn::Tensor& hidden, const std::vector<int>& rows,
+                       Scoring scoring = Scoring::kTrain) const;
 
   /// MER head: logits over `candidates` (model entity ids) for the given
   /// hidden rows -> [rows.size(), candidates.size()].
   /// P(e) ∝ exp(LINEAR(h_e) · e^e), restricted to the candidate set.
   nn::Tensor MerLogits(const nn::Tensor& hidden, const std::vector<int>& rows,
-                       const std::vector<int>& candidates) const;
+                       const std::vector<int>& candidates,
+                       Scoring scoring = Scoring::kTrain) const;
+
+  /// Drops the cached int8 packs of the word/entity embedding tables. Must
+  /// be called whenever the underlying weights change outside the model's
+  /// own control — after loading a checkpoint, after a training phase — or
+  /// kServe scoring would keep scoring against stale weights.
+  void InvalidateQuantizedScoring() const;
 
   /// The MER projection LINEAR(h_e) alone -> [rows.size(), d_model]; tasks
   /// that score against non-entity representations (entity linking against
@@ -88,6 +110,11 @@ class TurlModel {
   std::unique_ptr<nn::TransformerEncoder> encoder_;
   std::unique_ptr<nn::Linear> mlm_head_;
   std::unique_ptr<nn::Linear> mer_head_;
+  /// Lazily built int8 packs of the word/entity embedding tables for
+  /// Scoring::kServe; mutable because packing is a pure cache of const
+  /// weights (invalidated explicitly when those weights change).
+  mutable nn::kernels::QuantCache word_quant_;
+  mutable nn::kernels::QuantCache entity_quant_;
 };
 
 }  // namespace core

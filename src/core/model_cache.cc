@@ -28,6 +28,7 @@ PretrainResult GetOrTrainModel(TurlModel* model, const TurlContext& ctx,
     // initialized parameters intact and we just re-train.
     const Status s = ckpt::LoadModel(model->params(), path, tag);
     if (s.ok()) {
+      model->InvalidateQuantizedScoring();
       TURL_LOG(Info) << "loaded pre-trained checkpoint " << path;
       return PretrainResult{};
     }
@@ -36,6 +37,7 @@ PretrainResult GetOrTrainModel(TurlModel* model, const TurlContext& ctx,
   }
   Pretrainer pretrainer(model, &ctx);
   PretrainResult result = pretrainer.Train(options);
+  model->InvalidateQuantizedScoring();
   TURL_LOG(Info) << "pre-trained " << result.steps << " steps, object-ACC "
                  << result.final_accuracy;
   TURL_CHECK_OK(ckpt::SaveModel(*model->params(), path, tag));

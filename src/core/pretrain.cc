@@ -389,6 +389,9 @@ PretrainResult Pretrainer::Train(const Options& options) {
 double Pretrainer::EvaluateObjectPrediction(int max_tables,
                                             int max_cells_per_table,
                                             Rng* rng) const {
+  // Eval runs interleaved with training steps: drop any int8 pack built
+  // from earlier weights before scoring with Scoring::kServe below.
+  model_->InvalidateQuantizedScoring();
   int64_t correct = 0, total = 0;
   const size_t n_tables =
       std::min(valid_encoded_.size(), static_cast<size_t>(max_tables));
@@ -413,7 +416,8 @@ double Pretrainer::EvaluateObjectPrediction(int max_tables,
       MaskEntityCell(&masked, cell, /*mask_mention=*/true);
       nn::Tensor hidden = model_->Encode(masked, /*training=*/false, rng);
       nn::Tensor logits = model_->MerLogits(
-          hidden, {TurlModel::EntityHiddenRow(masked, cell)}, candidates);
+          hidden, {TurlModel::EntityHiddenRow(masked, cell)}, candidates,
+          Scoring::kServe);
       const size_t best = ArgMax(logits.ToVector());
       const int target = clean.entity_ids[size_t(cell)];
       correct += (candidates[best] == target);

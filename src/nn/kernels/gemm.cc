@@ -1,11 +1,13 @@
 #include "nn/kernels/gemm.h"
 
 #include <algorithm>
+#include <atomic>
 
 #if defined(__AVX2__) && defined(__FMA__)
 #include <immintrin.h>
 #endif
 
+#include "nn/kernels/gemv.h"
 #include "nn/kernels/threading.h"
 #include "obs/profiler.h"
 
@@ -281,11 +283,32 @@ void GemmNTPanel(int64_t i0, int64_t i1, int64_t j0, int64_t j1, int64_t k,
   }
 }
 
+// Shapes up to this many output rows bypass the tile machinery for the
+// GEMV layer: the 4x16 tile needs >= kMR rows to fill its accumulators,
+// and its 16-column stripes walk B with a full-row stride — pessimal
+// exactly for the 1 x d_model x vocab logits shapes.
+constexpr int64_t kSmallMGemv = 4;
+
+std::atomic<bool> g_small_m_gemv{true};
+
 }  // namespace
+
+void SetSmallMGemvDispatch(bool enabled) {
+  g_small_m_gemv.store(enabled, std::memory_order_relaxed);
+}
+
+bool SmallMGemvDispatch() {
+  return g_small_m_gemv.load(std::memory_order_relaxed);
+}
 
 void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
             const float* b, int64_t ldb, float* c, int64_t ldc,
             bool accumulate) {
+  if (m >= 1 && m <= kSmallMGemv && SmallMGemvDispatch()) {
+    // Row r of C consumes row r of A: x[r][t] = a[r * lda + t].
+    GemvTMulti(m, n, k, b, ldb, a, /*x_t=*/1, /*x_r=*/lda, c, ldc, accumulate);
+    return;
+  }
   TURL_PROFILE_SCOPE("kernel.gemm");
   ScalarStreamGemm(m, n, k, a, /*a_row=*/lda, /*s_t=*/1, /*s_r=*/lda, b, ldb,
                    c, ldc, accumulate);
@@ -294,6 +317,11 @@ void GemmNN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
 void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
             const float* b, int64_t ldb, float* c, int64_t ldc,
             bool accumulate) {
+  if (m >= 1 && m <= kSmallMGemv && SmallMGemvDispatch()) {
+    // Row r of C consumes column r of A': x[r][t] = a[t * lda + r].
+    GemvTMulti(m, n, k, b, ldb, a, /*x_t=*/lda, /*x_r=*/1, c, ldc, accumulate);
+    return;
+  }
   TURL_PROFILE_SCOPE("kernel.gemm");
   ScalarStreamGemm(m, n, k, a, /*a_row=*/1, /*s_t=*/lda, /*s_r=*/1, b, ldb, c,
                    ldc, accumulate);
@@ -302,6 +330,14 @@ void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
 void GemmNT(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
             const float* b, int64_t ldb, float* c, int64_t ldc,
             bool accumulate) {
+  if (m >= 1 && m <= kSmallMGemv && SmallMGemvDispatch() && k > 0) {
+    // Row i of C is row i of A dotted against every row of B — GemvN with
+    // the roles swapped (B supplies the matrix, A rows the vectors). The
+    // fused form streams B once for all m rows; per-dot arithmetic is
+    // bitwise identical to m separate GemvN calls.
+    GemvNMulti(m, n, k, b, ldb, a, lda, c, ldc, accumulate);
+    return;
+  }
   TURL_PROFILE_SCOPE("kernel.gemm");
   if (m <= 0 || n <= 0) return;
   if (k <= 0) {

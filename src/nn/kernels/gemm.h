@@ -37,6 +37,15 @@ void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
             const float* b, int64_t ldb, float* c, int64_t ldc,
             bool accumulate);
 
+/// Small-m dispatch: shapes with m <= 4 (the task-head logits and serve
+/// micro-batches) skip the 4x16 tile machinery entirely and run on the
+/// GEMV layer (gemv.h) — row-dots for GemmNT, a single streaming
+/// column-axpy sweep for GemmNN/GemmTN. On by default; the bench/test hook
+/// below exposes the tiled path so its behaviour on edge shapes stays
+/// measurable and pinned.
+void SetSmallMGemvDispatch(bool enabled);
+bool SmallMGemvDispatch();
+
 /// Reference implementations: the scalar triple loops that predate the
 /// blocked kernels, kept (in a TU compiled without the kernel SIMD flags)
 /// as the equivalence oracle for tests and the baseline the perf benches

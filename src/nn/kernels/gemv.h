@@ -1,0 +1,67 @@
+#ifndef TURL_NN_KERNELS_GEMV_H_
+#define TURL_NN_KERNELS_GEMV_H_
+
+#include <cstdint>
+
+namespace turl {
+namespace nn {
+namespace kernels {
+
+/// Dedicated matrix-vector kernels for the skinny "logits" shapes
+/// (1 x d_model x vocab and friends) where the 4x16 register tile of the
+/// blocked GEMM is pessimal: a single output row leaves 3/4 of the tile's
+/// accumulators idle and walks B in a cache-hostile 16-column stripe. GemvN
+/// is the row-dot form (one k-dot per output element, streaming each matrix
+/// row once); GemvT is the column-axpy form (streaming the matrix row by
+/// row, the bandwidth-optimal order for B stored [k, n]).
+///
+/// Determinism contract (same as gemm.h): each output element's k-reduction
+/// runs in ascending-k order with a fixed lane/accumulator structure, and
+/// parallel execution partitions output panels whose boundaries depend only
+/// on the problem shape — results are bitwise identical run-to-run and for
+/// any TURL_KERNEL_THREADS.
+
+/// y[i] (+)= dot(A[i, :], x) for i < m. A is m rows of k entries with row
+/// stride lda; x has k entries, y has m.
+void GemvN(int64_t m, int64_t k, const float* a, int64_t lda, const float* x,
+           float* y, bool accumulate);
+
+/// y[j] (+)= sum_t x[t * incx] * B[t, j] for j < n. B is k rows of n
+/// entries with row stride ldb; incx addresses a strided x (a column of a
+/// row-major matrix), y has n entries.
+void GemvT(int64_t k, int64_t n, const float* b, int64_t ldb, const float* x,
+           int64_t incx, float* y, bool accumulate);
+
+/// Multi-row column-axpy behind the small-m GEMM dispatch (gemm.cc):
+/// C[r, j] (+)= sum_t x[t * x_t + r * x_r] * B[t, j] for r < m (m <= 4).
+/// One sweep over B serves all m output rows, so the m=2..4 micro-batch
+/// shapes keep the single-pass B traffic of the m=1 case. GemmNN routes
+/// here with (x=a, x_t=1, x_r=lda), GemmTN with (x=a, x_t=lda, x_r=1).
+void GemvTMulti(int64_t m, int64_t n, int64_t k, const float* b, int64_t ldb,
+                const float* x, int64_t x_t, int64_t x_r, float* c,
+                int64_t ldc, bool accumulate);
+
+/// Multi-x row-dot behind the small-m GemmNT dispatch (gemm.cc):
+/// C[r, j] (+)= dot(X[r, :], B[j, :]) for r < m (m <= 4), X being m vectors
+/// of k entries with row stride ldx and B n rows with row stride ldb. One
+/// sweep over B serves all m output rows. Each dot runs the exact GemvN
+/// per-row chain, so the result is bitwise identical to m separate GemvN
+/// calls — the fusion only changes B traffic, not arithmetic order.
+void GemvNMulti(int64_t m, int64_t n, int64_t k, const float* b, int64_t ldb,
+                const float* x, int64_t ldx, float* c, int64_t ldc,
+                bool accumulate);
+
+/// Reference scalar loops, compiled without the kernel SIMD flags
+/// (naive.cc), as the equivalence oracle and bench baseline.
+namespace naive {
+void GemvN(int64_t m, int64_t k, const float* a, int64_t lda, const float* x,
+           float* y, bool accumulate);
+void GemvT(int64_t k, int64_t n, const float* b, int64_t ldb, const float* x,
+           int64_t incx, float* y, bool accumulate);
+}  // namespace naive
+
+}  // namespace kernels
+}  // namespace nn
+}  // namespace turl
+
+#endif  // TURL_NN_KERNELS_GEMV_H_

@@ -8,6 +8,8 @@
 
 #include "nn/kernels/arena.h"
 #include "nn/kernels/gemm.h"
+#include "nn/kernels/gemv.h"
+#include "nn/kernels/quant.h"
 #include "nn/kernels/rowwise.h"
 #include "nn/kernels/threading.h"
 

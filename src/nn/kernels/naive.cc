@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "nn/kernels/gemm.h"
+#include "nn/kernels/gemv.h"
 
 namespace turl {
 namespace nn {
@@ -65,6 +66,31 @@ void GemmTN(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
       float* crow = c + r * ldc;
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
+  }
+}
+
+void GemvN(int64_t m, int64_t k, const float* a, int64_t lda, const float* x,
+           float* y, bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float s = 0.f;
+    for (int64_t t = 0; t < k; ++t) s += arow[t] * x[t];
+    if (accumulate) {
+      y[i] += s;
+    } else {
+      y[i] = s;
+    }
+  }
+}
+
+void GemvT(int64_t k, int64_t n, const float* b, int64_t ldb, const float* x,
+           int64_t incx, float* y, bool accumulate) {
+  if (!accumulate) std::fill(y, y + n, 0.f);
+  for (int64_t t = 0; t < k; ++t) {
+    const float xv = x[t * incx];
+    if (xv == 0.f) continue;
+    const float* brow = b + t * ldb;
+    for (int64_t j = 0; j < n; ++j) y[j] += xv * brow[j];
   }
 }
 

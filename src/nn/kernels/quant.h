@@ -1,0 +1,108 @@
+#ifndef TURL_NN_KERNELS_QUANT_H_
+#define TURL_NN_KERNELS_QUANT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace turl {
+namespace nn {
+namespace kernels {
+
+/// Per-row symmetric int8 weight quantization for the scoring matmuls
+/// (vocab/entity/label embedding tables scored against one projected
+/// hidden row). Each weight row i is stored as int8 with its own scale
+/// scales[i] = max|row i| / 127 (zero-point free), the activation vector is
+/// quantized symmetrically per call, and the dot products accumulate in
+/// int32 — exactly, with no rounding — before one float rescale
+/// y[i] = float(acc) * (scales[i] * x_scale).
+///
+/// Accuracy contract: quantization error is bounded per element by half a
+/// quantization step on each side (|w - s_w q_w| <= s_w / 2), so scores
+/// degrade by O(k * s_w * s_x) worst case and far less for random-sign
+/// rows; the scalar naive:: mirror is the oracle and — because integer
+/// accumulation is order-independent and exact — matches the SIMD path
+/// BITWISE, a stronger guarantee than the fp32 kernels can offer.
+///
+/// Determinism contract: same as gemm.h/gemv.h — panel-parallel over whole
+/// rows, bitwise identical run-to-run and for any thread count (trivially
+/// so, by integer exactness).
+struct QuantizedMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t stride = 0;        ///< cols rounded up to 32; tail bytes are zero.
+  std::vector<int8_t> data;  ///< rows * stride, row-major.
+  std::vector<float> scales; ///< Per-row dequantization scale, max|row|/127.
+
+  bool empty() const { return rows == 0; }
+};
+
+/// Packs `rows` weight rows of `cols` entries, element (i, j) read from
+/// w[i * row_stride + j * col_stride]. Row-major matrices pass
+/// (row_stride=ld, col_stride=1); a Linear weight [in, out] scored
+/// per-output-unit passes (row_stride=1, col_stride=out).
+QuantizedMatrix QuantizeRows(const float* w, int64_t rows, int64_t cols,
+                             int64_t row_stride, int64_t col_stride);
+
+/// Quantizes activation x[0..n) symmetrically into out[0..stride) (tail
+/// zeroed; stride must be >= n and a multiple of 32 for the SIMD path).
+/// Returns the dequantization scale max|x|/127 (0 for an all-zero x).
+float QuantizeActivation(const float* x, int64_t n, int64_t stride,
+                         int8_t* out);
+
+/// y[i] (+)= rescaled int8 dot of w row i against xq for every row.
+/// xq must hold w.stride bytes quantized with QuantizeActivation.
+void QuantizedGemv(const QuantizedMatrix& w, const int8_t* xq, float x_scale,
+                   float* y, bool accumulate);
+
+/// Row-subset form: y[r] (+)= rescaled dot of w row rows[r], r < num_rows
+/// (the MER candidate-set shape). Row ids may repeat and appear in any
+/// order.
+void QuantizedGemvRows(const QuantizedMatrix& w, const int* rows,
+                       int64_t num_rows, const int8_t* xq, float x_scale,
+                       float* y, bool accumulate);
+
+/// Quantize-and-score conveniences: x is the fp32 activation (w.cols
+/// entries); y gets w.rows (resp. num_rows) scores.
+void QuantizedScore(const QuantizedMatrix& w, const float* x, float* y);
+void QuantizedScoreRows(const QuantizedMatrix& w, const int* rows,
+                        int64_t num_rows, const float* x, float* y);
+
+/// Scalar mirrors (same TU; integer accumulation makes them bitwise equal
+/// to the SIMD path regardless of compile flags) — the accuracy oracle.
+namespace naive {
+void QuantizedGemv(const QuantizedMatrix& w, const int8_t* xq, float x_scale,
+                   float* y, bool accumulate);
+void QuantizedGemvRows(const QuantizedMatrix& w, const int* rows,
+                       int64_t num_rows, const int8_t* xq, float x_scale,
+                       float* y, bool accumulate);
+}  // namespace naive
+
+/// Lazily built, mutex-guarded quantized view of a weight matrix that task
+/// heads and the model cache per parameter tensor. Get() packs on first use
+/// (or after Invalidate) and returns a reference that stays valid until the
+/// next Invalidate — callers must not invalidate concurrently with scoring
+/// (in practice: invalidate at checkpoint-load/finetune boundaries, before
+/// serving resumes).
+class QuantCache {
+ public:
+  const QuantizedMatrix& Get(const float* w, int64_t rows, int64_t cols,
+                             int64_t row_stride, int64_t col_stride);
+  void Invalidate();
+
+ private:
+  std::mutex mu_;
+  QuantizedMatrix m_;
+};
+
+/// The TURL_QUANT_SCORING=0/1 gate (default off). SetQuantScoringForTest
+/// overrides it process-wide: 1 forces on, 0 forces off, -1 re-reads the
+/// environment on next query.
+bool QuantScoringEnabled();
+void SetQuantScoringForTest(int v);
+
+}  // namespace kernels
+}  // namespace nn
+}  // namespace turl
+
+#endif  // TURL_NN_KERNELS_QUANT_H_

@@ -178,7 +178,7 @@ std::vector<float> TurlCellFiller::ScoresFrom(
 
   nn::Tensor logits = model_->MerLogits(
       hidden, {core::TurlModel::EntityHiddenRow(encoded, mask_index)},
-      candidate_ids);
+      candidate_ids, core::Scoring::kServe);
   std::vector<float> out;
   for (int64_t i = 0; i < logits.numel(); ++i) {
     const bool oov = candidate_ids[size_t(i)] == data::EntityVocab::kUnkEntity;

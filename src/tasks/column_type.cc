@@ -157,6 +157,10 @@ void TurlColumnTyper::Finetune(const FinetuneOptions& options) {
       {{"model_adam", &model_adam}, {"head_adam", &head_adam}}, &rng,
       &tables);
   const int start_epoch = ckptr.Resume();
+  // Resume may have swapped in checkpointed weights, and the loop below
+  // trains both stores: any int8 pack is stale on entry and on exit.
+  head_quant_.Invalidate();
+  model_->InvalidateQuantizedScoring();
 
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&tables);
@@ -193,6 +197,8 @@ void TurlColumnTyper::Finetune(const FinetuneOptions& options) {
     telemetry.EndEpoch(epoch);
     ckptr.OnEpochEnd(epoch);
   }
+  head_quant_.Invalidate();
+  model_->InvalidateQuantizedScoring();
 }
 
 core::EncodedTable TurlColumnTyper::Encode(
@@ -205,6 +211,14 @@ std::vector<float> TurlColumnTyper::ScoresFrom(
     const ColumnTypeInstance& instance) const {
   obs::TraceSpan trace("task.score");
   if (trace.traced()) trace.Annotate("head", "column_type");
+  if (nn::kernels::QuantScoringEnabled()) {
+    std::vector<float> out = QuantizedHeadLogits(
+        &head_quant_, *head_,
+        ColumnHidden(hidden, encoded, instance.column,
+                     model_->config().d_model));
+    for (float& v : out) v = 1.f / (1.f + std::exp(-v));
+    return out;
+  }
   nn::Tensor probs =
       nn::SigmoidOp(InstanceLogits(hidden, encoded, instance.column));
   std::vector<float> out(static_cast<size_t>(dataset_->num_labels()));

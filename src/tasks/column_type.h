@@ -93,6 +93,9 @@ class TurlColumnTyper {
   InputVariant variant_;
   nn::ParamStore head_params_;
   std::unique_ptr<nn::Linear> head_;
+  /// Cached int8 pack of head_ for TURL_QUANT_SCORING=1 serving; rebuilt
+  /// lazily after Finetune/Resume invalidate it.
+  mutable nn::kernels::QuantCache head_quant_;
 };
 
 }  // namespace tasks

@@ -127,5 +127,35 @@ nn::Tensor ColumnHidden(const nn::Tensor& hidden,
   return nn::ConcatCols(header_part, entity_part);
 }
 
+std::vector<float> QuantizedHeadLogits(nn::kernels::QuantCache* cache,
+                                       const nn::Linear& head,
+                                       const nn::Tensor& features) {
+  const nn::Tensor& w = head.weight();
+  const int64_t in = w.dim(0);
+  const int64_t out = w.dim(1);
+  TURL_CHECK_EQ(features.dim(1), in);
+  const nn::kernels::QuantizedMatrix& q = cache->Get(w.data(), out, in,
+                                                     /*row_stride=*/1,
+                                                     /*col_stride=*/out);
+  std::vector<float> y(static_cast<size_t>(out));
+  nn::kernels::QuantizedScore(q, features.data(), y.data());
+  const float* b = head.bias().data();
+  for (int64_t l = 0; l < out; ++l) y[static_cast<size_t>(l)] += b[l];
+  return y;
+}
+
+std::vector<float> QuantizedEmbeddingScores(nn::kernels::QuantCache* cache,
+                                            const nn::Tensor& table,
+                                            const nn::Tensor& x) {
+  const int64_t n = table.dim(0);
+  const int64_t d = table.dim(1);
+  TURL_CHECK_EQ(x.dim(1), d);
+  const nn::kernels::QuantizedMatrix& q =
+      cache->Get(table.data(), n, d, /*row_stride=*/d, /*col_stride=*/1);
+  std::vector<float> y(static_cast<size_t>(n));
+  nn::kernels::QuantizedScore(q, x.data(), y.data());
+  return y;
+}
+
 }  // namespace tasks
 }  // namespace turl

@@ -141,6 +141,22 @@ nn::Tensor ColumnHidden(const nn::Tensor& hidden,
                         const core::EncodedTable& encoded, int column,
                         int64_t d_model);
 
+/// Int8 scoring of one feature row against a Linear head (DESIGN.md §8,
+/// TURL_QUANT_SCORING=1). The head weight W [in, out] is packed per OUTPUT
+/// unit through `cache` (pack row i = W[:, i]); the bias adds in fp32.
+/// `features` must be [1, in]. Returns all `out` logits. Callers own cache
+/// invalidation: call cache->Invalidate() whenever the head retrains.
+std::vector<float> QuantizedHeadLogits(nn::kernels::QuantCache* cache,
+                                       const nn::Linear& head,
+                                       const nn::Tensor& features);
+
+/// Int8 scoring of one projected row `x` ([1, d]) against every row of an
+/// embedding-style table ([n, d]) -> n logits (no bias). The pack caches in
+/// `cache`; same invalidation contract as QuantizedHeadLogits.
+std::vector<float> QuantizedEmbeddingScores(nn::kernels::QuantCache* cache,
+                                            const nn::Tensor& table,
+                                            const nn::Tensor& x);
+
 }  // namespace tasks
 }  // namespace turl
 

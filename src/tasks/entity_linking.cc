@@ -148,6 +148,9 @@ void TurlEntityLinker::Finetune(const ElDataset& train,
       {{"model_adam", &model_adam}, {"head_adam", &head_adam}}, &rng,
       &tables);
   const int start_epoch = ckptr.Resume();
+  // Resume may have swapped in checkpointed weights, and the loop below
+  // trains the model store: any model-level int8 pack is stale.
+  model_->InvalidateQuantizedScoring();
 
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&tables);
@@ -184,6 +187,7 @@ void TurlEntityLinker::Finetune(const ElDataset& train,
     telemetry.EndEpoch(epoch);
     ckptr.OnEpochEnd(epoch);
   }
+  model_->InvalidateQuantizedScoring();
 }
 
 core::EncodedTable TurlEntityLinker::Encode(const ElInstance& instance) const {
@@ -196,6 +200,23 @@ std::vector<float> TurlEntityLinker::ScoresFrom(
   if (instance.candidates.empty()) return {};
   obs::TraceSpan trace("task.score");
   if (trace.traced()) trace.Annotate("head", "entity_linking");
+  if (nn::kernels::QuantScoringEnabled()) {
+    // The candidate reps are per-instance (built from KB descriptions), so
+    // this is a one-shot pack rather than a cached one — still a win: the
+    // quantize pass is O(n*3d) against the O(n*3d) dot products it speeds
+    // up, and candidate sets are small.
+    const int entity_index =
+        EntityIndexOf(encoded, instance.column, instance.row);
+    TURL_CHECK_GE(entity_index, 0) << "cell not present in encoding";
+    nn::Tensor projected = match_->Forward(nn::SelectRows(
+        hidden, {core::TurlModel::EntityHiddenRow(encoded, entity_index)}));
+    nn::Tensor reps = CandidateReps(instance.candidates);
+    const nn::kernels::QuantizedMatrix q = nn::kernels::QuantizeRows(
+        reps.data(), reps.dim(0), reps.dim(1), reps.dim(1), 1);
+    std::vector<float> out(static_cast<size_t>(reps.dim(0)));
+    nn::kernels::QuantizedScore(q, projected.data(), out.data());
+    return out;
+  }
   return InstanceLogits(hidden, encoded, instance).ToVector();
 }
 

@@ -120,6 +120,10 @@ void TurlRelationExtractor::Finetune(
 
   int64_t step = 0;
   const int start_epoch = ckptr.Resume(&step);
+  // Resume may have swapped in checkpointed weights, and the loop below
+  // trains both stores: any int8 pack is stale on entry and on exit.
+  head_quant_.Invalidate();
+  model_->InvalidateQuantizedScoring();
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&tables);
     size_t limit = tables.size();
@@ -153,6 +157,9 @@ void TurlRelationExtractor::Finetune(
       ++step;
       telemetry.Step(loss.item(), std::sqrt(gm * gm + gh * gh));
       if (eval_every > 0 && step_callback && step % eval_every == 0) {
+        // Mid-train eval scores with the weights as of this step.
+        head_quant_.Invalidate();
+        model_->InvalidateQuantizedScoring();
         const double map =
             EvaluateMap(dataset_->valid, /*max_instances=*/150);
         telemetry.Eval("valid_map", map);
@@ -162,6 +169,8 @@ void TurlRelationExtractor::Finetune(
     telemetry.EndEpoch(epoch);
     ckptr.OnEpochEnd(epoch, step);
   }
+  head_quant_.Invalidate();
+  model_->InvalidateQuantizedScoring();
 }
 
 core::EncodedTable TurlRelationExtractor::Encode(
@@ -174,6 +183,16 @@ std::vector<float> TurlRelationExtractor::ScoresFrom(
     const RelationInstance& instance) const {
   obs::TraceSpan trace("task.score");
   if (trace.traced()) trace.Annotate("head", "relation_extraction");
+  if (nn::kernels::QuantScoringEnabled()) {
+    const int64_t d = model_->config().d_model;
+    std::vector<float> out = QuantizedHeadLogits(
+        &head_quant_, *head_,
+        nn::ConcatCols(ColumnHidden(hidden, encoded, 0, d),
+                       ColumnHidden(hidden, encoded, instance.object_column,
+                                    d)));
+    for (float& v : out) v = 1.f / (1.f + std::exp(-v));
+    return out;
+  }
   nn::Tensor probs =
       nn::SigmoidOp(PairLogits(hidden, encoded, instance.object_column));
   return probs.ToVector();

@@ -112,10 +112,11 @@ core::EncodedTable TurlRowPopulator::EncodeQueryImpl(
 
 nn::Tensor TurlRowPopulator::CandidateLogits(
     const nn::Tensor& hidden, const core::EncodedTable& encoded,
-    int mask_index, const std::vector<int>& candidate_ids) const {
+    int mask_index, const std::vector<int>& candidate_ids,
+    core::Scoring scoring) const {
   return model_->MerLogits(
       hidden, {core::TurlModel::EntityHiddenRow(encoded, mask_index)},
-      candidate_ids);
+      candidate_ids, scoring);
 }
 
 void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
@@ -131,6 +132,9 @@ void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
                              {{"model", model_->params()}},
                              {{"model_adam", &adam}}, &rng, &order);
   const int start_epoch = ckptr.Resume();
+  // Resume may have swapped in checkpointed weights, and the loop below
+  // trains the model store: any model-level int8 pack is stale.
+  model_->InvalidateQuantizedScoring();
 
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&order);
@@ -152,8 +156,8 @@ void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
       }
       if (candidate_ids.empty()) continue;
       nn::Tensor hidden = model_->Encode(encoded, /*training=*/true, &rng);
-      nn::Tensor logits =
-          CandidateLogits(hidden, encoded, mask_index, candidate_ids);
+      nn::Tensor logits = CandidateLogits(hidden, encoded, mask_index,
+                                          candidate_ids, core::Scoring::kTrain);
       nn::Tensor loss = nn::BceWithLogits(logits, targets);  // Eqn. 13.
       model_->params()->ZeroGrad();
       loss.Backward();
@@ -165,6 +169,7 @@ void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
     telemetry.EndEpoch(epoch);
     ckptr.OnEpochEnd(epoch);
   }
+  model_->InvalidateQuantizedScoring();
 }
 
 core::EncodedTable TurlRowPopulator::Encode(
@@ -186,8 +191,8 @@ std::vector<float> TurlRowPopulator::ScoresFrom(
   for (kb::EntityId e : instance.candidates) {
     candidate_ids.push_back(ctx_->entity_vocab.Id(e));
   }
-  nn::Tensor logits =
-      CandidateLogits(hidden, encoded, mask_index, candidate_ids);
+  nn::Tensor logits = CandidateLogits(hidden, encoded, mask_index,
+                                      candidate_ids, core::Scoring::kServe);
   std::vector<float> out;
   out.reserve(instance.candidates.size());
   for (int64_t i = 0; i < logits.numel(); ++i) {

@@ -86,7 +86,8 @@ class TurlRowPopulator {
                                      int* mask_index) const;
   nn::Tensor CandidateLogits(const nn::Tensor& hidden,
                              const core::EncodedTable& encoded, int mask_index,
-                             const std::vector<int>& candidate_ids) const;
+                             const std::vector<int>& candidate_ids,
+                             core::Scoring scoring) const;
 
   core::TurlModel* model_;
   const core::TurlContext* ctx_;

@@ -155,6 +155,10 @@ void TurlSchemaAugmenter::Finetune(const std::vector<SchemaAugInstance>& train,
       {{"model_adam", &model_adam}, {"head_adam", &head_adam}}, &rng,
       &order);
   const int start_epoch = ckptr.Resume();
+  // Resume may have swapped in checkpointed weights, and the loop below
+  // trains both stores: any int8 pack is stale on entry and on exit.
+  header_quant_.Invalidate();
+  model_->InvalidateQuantizedScoring();
 
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
     rng.Shuffle(&order);
@@ -183,6 +187,8 @@ void TurlSchemaAugmenter::Finetune(const std::vector<SchemaAugInstance>& train,
     telemetry.EndEpoch(epoch);
     ckptr.OnEpochEnd(epoch);
   }
+  header_quant_.Invalidate();
+  model_->InvalidateQuantizedScoring();
 }
 
 core::EncodedTable TurlSchemaAugmenter::Encode(
@@ -201,6 +207,11 @@ std::vector<float> TurlSchemaAugmenter::ScoresFrom(
   if (trace.traced()) trace.Annotate("head", "schema_augmentation");
   // Encode() appends the [MASK] pseudo-header as the last token.
   const int mask_row = encoded.num_tokens() - 1;
+  if (nn::kernels::QuantScoringEnabled()) {
+    return QuantizedEmbeddingScores(
+        &header_quant_, header_emb_->weight(),
+        project_->Forward(nn::SelectRows(hidden, {mask_row})));
+  }
   return HeaderLogits(hidden, mask_row).ToVector();
 }
 

@@ -89,6 +89,9 @@ class TurlSchemaAugmenter {
   nn::ParamStore head_params_;
   std::unique_ptr<nn::Embedding> header_emb_;
   std::unique_ptr<nn::Linear> project_;
+  /// Cached int8 pack of header_emb_ for TURL_QUANT_SCORING=1 serving;
+  /// rebuilt lazily after Finetune/Resume invalidate it.
+  mutable nn::kernels::QuantCache header_quant_;
 };
 
 }  // namespace tasks

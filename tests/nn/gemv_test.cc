@@ -1,0 +1,254 @@
+// GEMV layer tests (`ctest -L kernels`): equivalence against the naive
+// scalar mirrors across strided sub-panels, the accumulate flag, bitwise
+// 1-vs-4-thread determinism, the small-m GEMM dispatch (GemmNN/NT/TN at
+// m <= 4 must route through — and bitwise match — the GEMV layer), and the
+// m in {1,2,3,5} edge-shape sweep that pins both the GEMV gate and the
+// tiled path it bypasses.
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/kernels/kernels.h"
+#include "util/rng.h"
+
+namespace turl {
+namespace nn {
+namespace kernels {
+namespace {
+
+struct GemvShape {
+  int64_t m, k;  // m output rows (GemvN) / columns (GemvT), k reduction.
+};
+
+// Off every block multiple: the 4-row dot group, the 8-lane accumulators,
+// the 256-row / 512-column parallel panels.
+const GemvShape kGemvShapes[] = {
+    {1, 1},   {1, 8},    {3, 17},   {4, 64},   {5, 7},
+    {37, 129}, {256, 300}, {513, 768}, {1027, 65},
+};
+
+std::vector<float> RandomVec(size_t n, Rng* rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = rng->UniformFloat(-1.f, 1.f);
+  return v;
+}
+
+void ExpectClose(const std::vector<float>& got,
+                 const std::vector<float>& want, const char* what,
+                 const GemvShape& s) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    const float tol = 1e-5f * (1.f + std::abs(want[i]));
+    EXPECT_NEAR(got[i], want[i], tol)
+        << what << " " << s.m << "x" << s.k << " at " << i;
+  }
+}
+
+class GemvThreadSweep : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    SetKernelThreads(GetParam());
+    if (GetParam() > 1) SetParallelMinFlopsForTest(1);
+  }
+  void TearDown() override {
+    SetParallelMinFlopsForTest(0);
+    SetKernelThreads(0);
+    SetSmallMGemvDispatch(true);
+  }
+};
+
+TEST_P(GemvThreadSweep, GemvNMatchesNaive) {
+  for (const GemvShape& s : kGemvShapes) {
+    Rng rng(uint64_t(s.m * 131 + s.k));
+    const auto a = RandomVec(static_cast<size_t>(s.m * s.k), &rng);
+    const auto x = RandomVec(static_cast<size_t>(s.k), &rng);
+    std::vector<float> got(static_cast<size_t>(s.m)), want(static_cast<size_t>(s.m));
+    GemvN(s.m, s.k, a.data(), s.k, x.data(), got.data(), false);
+    naive::GemvN(s.m, s.k, a.data(), s.k, x.data(), want.data(), false);
+    ExpectClose(got, want, "GemvN", s);
+  }
+}
+
+TEST_P(GemvThreadSweep, GemvTMatchesNaive) {
+  for (const GemvShape& s : kGemvShapes) {
+    Rng rng(uint64_t(s.m * 137 + s.k));
+    const int64_t n = s.m;  // Reuse the sweep as (k, n) shapes.
+    const auto b = RandomVec(static_cast<size_t>(s.k * n), &rng);
+    const auto x = RandomVec(static_cast<size_t>(s.k), &rng);
+    std::vector<float> got(static_cast<size_t>(n)), want(static_cast<size_t>(n));
+    GemvT(s.k, n, b.data(), n, x.data(), 1, got.data(), false);
+    naive::GemvT(s.k, n, b.data(), n, x.data(), 1, want.data(), false);
+    ExpectClose(got, want, "GemvT", s);
+  }
+}
+
+// Sub-panel addressing: matrix rows longer than the panel (lda > cols), the
+// panel offset into the middle of the buffer, and a strided x for GemvT
+// (the GemmTN column case).
+TEST_P(GemvThreadSweep, StridedSubPanels) {
+  Rng rng(77);
+  const int64_t m = 9, k = 21, lda = 29, incx = 3;
+  const auto abuf = RandomVec(static_cast<size_t>((m + 2) * lda), &rng);
+  const auto xbuf = RandomVec(static_cast<size_t>(k * incx + 5), &rng);
+  const float* a = abuf.data() + 2 * lda + 4;
+  std::vector<float> got(static_cast<size_t>(m)), want(static_cast<size_t>(m));
+  GemvN(m, k, a, lda, xbuf.data(), got.data(), false);
+  naive::GemvN(m, k, a, lda, xbuf.data(), want.data(), false);
+  ExpectClose(got, want, "GemvN strided", GemvShape{m, k});
+
+  const int64_t n = 13, ldb = 17;
+  const auto bbuf = RandomVec(static_cast<size_t>((k + 1) * ldb), &rng);
+  const float* b = bbuf.data() + ldb + 2;
+  std::vector<float> tgot(static_cast<size_t>(n)), twant(static_cast<size_t>(n));
+  GemvT(k, n, b, ldb, xbuf.data(), incx, tgot.data(), false);
+  naive::GemvT(k, n, b, ldb, xbuf.data(), incx, twant.data(), false);
+  ExpectClose(tgot, twant, "GemvT strided", GemvShape{n, k});
+}
+
+TEST_P(GemvThreadSweep, AccumulateAddsOntoExistingOutput) {
+  Rng rng(91);
+  const int64_t m = 37, k = 65;
+  const auto a = RandomVec(static_cast<size_t>(m * k), &rng);
+  const auto x = RandomVec(static_cast<size_t>(k), &rng);
+  const auto seed = RandomVec(static_cast<size_t>(m), &rng);
+
+  std::vector<float> fresh(static_cast<size_t>(m));
+  GemvN(m, k, a.data(), k, x.data(), fresh.data(), false);
+  std::vector<float> acc = seed;
+  GemvN(m, k, a.data(), k, x.data(), acc.data(), true);
+  for (int64_t i = 0; i < m; ++i) {
+    EXPECT_FLOAT_EQ(acc[static_cast<size_t>(i)], seed[static_cast<size_t>(i)] + fresh[static_cast<size_t>(i)]);
+  }
+
+  // GemvT folds the seed in before the axpy chain, so rounding differs from
+  // computing the product separately and adding it afterwards.
+  std::vector<float> tfresh(static_cast<size_t>(m));
+  GemvT(k, m, a.data(), m, x.data(), 1, tfresh.data(), false);
+  std::vector<float> tacc = seed;
+  GemvT(k, m, a.data(), m, x.data(), 1, tacc.data(), true);
+  for (int64_t i = 0; i < m; ++i) {
+    const float want = seed[static_cast<size_t>(i)] + tfresh[static_cast<size_t>(i)];
+    EXPECT_NEAR(tacc[static_cast<size_t>(i)], want, 1e-5f * (1.f + std::abs(want)));
+  }
+}
+
+TEST_P(GemvThreadSweep, ZeroKZeroFillsOrPreserves) {
+  std::vector<float> y = {3.f, 4.f, 5.f};
+  GemvN(3, 0, nullptr, 0, nullptr, y.data(), false);
+  EXPECT_EQ(y, (std::vector<float>{0.f, 0.f, 0.f}));
+  y = {3.f, 4.f, 5.f};
+  GemvN(3, 0, nullptr, 0, nullptr, y.data(), true);
+  EXPECT_EQ(y, (std::vector<float>{3.f, 4.f, 5.f}));
+  y = {3.f, 4.f, 5.f};
+  GemvT(0, 3, nullptr, 3, nullptr, 1, y.data(), false);
+  EXPECT_EQ(y, (std::vector<float>{0.f, 0.f, 0.f}));
+}
+
+// The small-m gate: GemmNN/GemmTN at m <= 4 must produce bitwise the same
+// panel sweep as a direct GemvTMulti call, and GemmNT at m <= 4 the same
+// row dots as GemvN — the dispatch is a pure reroute, not a numeric change.
+TEST_P(GemvThreadSweep, SmallMGemmDispatchIsBitwiseGemv) {
+  Rng rng(101);
+  const int64_t k = 130, n = 771;
+  for (int64_t m = 1; m <= 4; ++m) {
+    const auto a = RandomVec(static_cast<size_t>(m * k), &rng);
+    const auto b = RandomVec(static_cast<size_t>(k * n), &rng);
+    std::vector<float> via_gemm(static_cast<size_t>(m * n)), direct(static_cast<size_t>(m * n));
+
+    GemmNN(m, n, k, a.data(), k, b.data(), n, via_gemm.data(), n, false);
+    GemvTMulti(m, n, k, b.data(), n, a.data(), 1, k, direct.data(), n, false);
+    EXPECT_EQ(0, std::memcmp(via_gemm.data(), direct.data(),
+                             via_gemm.size() * sizeof(float)))
+        << "GemmNN m=" << m;
+
+    GemmNT(m, n, k, a.data(), k, b.data(), k, via_gemm.data(), n, false);
+    for (int64_t i = 0; i < m; ++i) {
+      GemvN(n, k, b.data(), k, a.data() + i * k, direct.data() + i * n,
+            false);
+    }
+    EXPECT_EQ(0, std::memcmp(via_gemm.data(), direct.data(),
+                             via_gemm.size() * sizeof(float)))
+        << "GemmNT m=" << m;
+  }
+}
+
+// Satellite pin: shapes with m in {1, 2, 3, 5} — at and just past the gate
+// — stay correct on BOTH paths. m=5 exercises the tile machinery's own
+// edge handling (4-row tile + 1-row tail); the dispatch-off runs keep the
+// tiled small-m path from rotting now that it is bypassed by default.
+TEST_P(GemvThreadSweep, SmallMEdgeSweepBothPaths) {
+  const int64_t k = 97, n = 519;
+  for (const bool dispatch : {true, false}) {
+    SetSmallMGemvDispatch(dispatch);
+    for (const int64_t m : {int64_t(1), int64_t(2), int64_t(3), int64_t(5)}) {
+      const GemvShape s{m, k};
+      Rng rng(uint64_t(200 + m));
+      const auto a = RandomVec(static_cast<size_t>(m * k), &rng);
+      const auto b = RandomVec(static_cast<size_t>(k * n), &rng);
+      std::vector<float> got(static_cast<size_t>(m * n)), want(static_cast<size_t>(m * n));
+
+      GemmNN(m, n, k, a.data(), k, b.data(), n, got.data(), n, false);
+      naive::GemmNN(m, n, k, a.data(), k, b.data(), n, want.data(), n, false);
+      ExpectClose(got, want, dispatch ? "GemmNN gemv-path" : "GemmNN tiled", s);
+
+      GemmNT(m, n, k, a.data(), k, b.data(), k, got.data(), n, false);
+      naive::GemmNT(m, n, k, a.data(), k, b.data(), k, want.data(), n, false);
+      ExpectClose(got, want, dispatch ? "GemmNT gemv-path" : "GemmNT tiled", s);
+
+      const auto at = RandomVec(static_cast<size_t>(k * m), &rng);  // A' stored [k, m].
+      GemmTN(m, n, k, at.data(), m, b.data(), n, got.data(), n, false);
+      naive::GemmTN(m, n, k, at.data(), m, b.data(), n, want.data(), n,
+                    false);
+      ExpectClose(got, want, dispatch ? "GemmTN gemv-path" : "GemmTN tiled", s);
+    }
+  }
+  SetSmallMGemvDispatch(true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GemvThreadSweep, ::testing::Values(1, 4));
+
+// Bitwise thread-count independence: the determinism contract of the layer.
+TEST(GemvDeterminism, ThreadCountDoesNotChangeBits) {
+  Rng rng(303);
+  const int64_t m = 2050, k = 768;
+  const auto a = RandomVec(static_cast<size_t>(m * k), &rng);
+  const auto x = RandomVec(static_cast<size_t>(k), &rng);
+
+  SetParallelMinFlopsForTest(1);
+  std::vector<float> y1(static_cast<size_t>(m)), y4(static_cast<size_t>(m));
+  SetKernelThreads(1);
+  GemvN(m, k, a.data(), k, x.data(), y1.data(), false);
+  SetKernelThreads(4);
+  GemvN(m, k, a.data(), k, x.data(), y4.data(), false);
+  EXPECT_EQ(0, std::memcmp(y1.data(), y4.data(), y1.size() * sizeof(float)));
+
+  // Column-axpy form over the same buffers read transposed-shape-wise.
+  std::vector<float> t1(static_cast<size_t>(m)), t4(static_cast<size_t>(m));
+  SetKernelThreads(1);
+  GemvT(k, m, a.data(), m, x.data(), 1, t1.data(), false);
+  SetKernelThreads(4);
+  GemvT(k, m, a.data(), m, x.data(), 1, t4.data(), false);
+  EXPECT_EQ(0, std::memcmp(t1.data(), t4.data(), t1.size() * sizeof(float)));
+
+  SetKernelThreads(0);
+  SetParallelMinFlopsForTest(0);
+}
+
+// Run-to-run: repeated calls with identical inputs are bitwise stable.
+TEST(GemvDeterminism, RepeatedRunsAreBitwiseStable) {
+  Rng rng(404);
+  const int64_t m = 100, k = 200;
+  const auto a = RandomVec(static_cast<size_t>(m * k), &rng);
+  const auto x = RandomVec(static_cast<size_t>(k), &rng);
+  std::vector<float> r1(static_cast<size_t>(m)), r2(static_cast<size_t>(m));
+  GemvN(m, k, a.data(), k, x.data(), r1.data(), false);
+  GemvN(m, k, a.data(), k, x.data(), r2.data(), false);
+  EXPECT_EQ(0, std::memcmp(r1.data(), r2.data(), r1.size() * sizeof(float)));
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace nn
+}  // namespace turl

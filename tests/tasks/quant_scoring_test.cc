@@ -1,0 +1,241 @@
+// Int8 quantized scoring parity (`ctest -L kernels`): with
+// TURL_QUANT_SCORING on, every task head's Scores() must track the fp32
+// path within a small epsilon on the same instance — the quant path is an
+// approximation of the same dot products, not a different scorer. Also pins
+// the cache-invalidation contract: scores must follow the weights after
+// they change under a live cache.
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "baselines/cell_filling.h"
+#include "baselines/row_population.h"
+#include "gtest/gtest.h"
+#include "kb/lookup.h"
+#include "tasks/cell_filling.h"
+#include "tasks/column_type.h"
+#include "tasks/entity_linking.h"
+#include "tasks/relation_extraction.h"
+#include "tasks/row_population.h"
+#include "tasks/schema_augmentation.h"
+
+namespace turl {
+namespace tasks {
+namespace {
+
+const core::TurlContext& Ctx() {
+  static core::TurlContext* ctx = [] {
+    core::ContextConfig config;
+    config.corpus.num_tables = 500;
+    config.seed = 42;
+    return new core::TurlContext(core::BuildContext(config));
+  }();
+  return *ctx;
+}
+
+core::TurlConfig SmallConfig() {
+  core::TurlConfig config;
+  config.num_layers = 1;
+  config.d_model = 32;
+  config.d_intermediate = 64;
+  config.num_heads = 2;
+  return config;
+}
+
+std::unique_ptr<core::TurlModel> FreshModel(uint64_t seed = 11) {
+  return std::make_unique<core::TurlModel>(
+      SmallConfig(), Ctx().vocab.size(), Ctx().entity_vocab.size(), seed);
+}
+
+/// Forces the quant-scoring gate for the enclosing scope; restores the
+/// environment-driven default (off in tests) on destruction.
+struct QuantScoringOverride {
+  explicit QuantScoringOverride(bool on) {
+    nn::kernels::SetQuantScoringForTest(on ? 1 : 0);
+  }
+  ~QuantScoringOverride() { nn::kernels::SetQuantScoringForTest(-1); }
+};
+
+/// Scores `instance` through `head` on both paths and checks the quant
+/// scores track fp32 within epsilon. Row scale varies per head (sigmoid
+/// probabilities vs raw logits), so the bound is relative to the fp32
+/// score range.
+template <typename Head, typename Instance>
+void ExpectQuantTracksFp32(const Head& head, const Instance& instance,
+                           const char* what) {
+  std::vector<float> fp32, quant;
+  {
+    QuantScoringOverride off(false);
+    fp32 = head.Scores(instance);
+  }
+  {
+    QuantScoringOverride on(true);
+    quant = head.Scores(instance);
+  }
+  ASSERT_EQ(fp32.size(), quant.size()) << what;
+  ASSERT_FALSE(fp32.empty()) << what;
+  float max_abs = 0.f;
+  for (float v : fp32) max_abs = std::max(max_abs, std::abs(v));
+  const float tol = 0.05f * (1.f + max_abs);
+  for (size_t i = 0; i < fp32.size(); ++i) {
+    EXPECT_NEAR(quant[i], fp32[i], tol) << what << " score " << i;
+  }
+}
+
+TEST(QuantScoringParity, ColumnType) {
+  ColumnTypeDataset dataset = BuildColumnTypeDataset(Ctx());
+  ASSERT_FALSE(dataset.valid.empty());
+  auto model = FreshModel();
+  TurlColumnTyper typer(model.get(), &Ctx(), &dataset, InputVariant::Full(),
+                        31);
+  ExpectQuantTracksFp32(typer, dataset.valid[0], "column_type");
+}
+
+TEST(QuantScoringParity, RelationExtraction) {
+  RelationDataset dataset = BuildRelationDataset(Ctx());
+  ASSERT_FALSE(dataset.valid.empty());
+  auto model = FreshModel();
+  TurlRelationExtractor extractor(model.get(), &Ctx(), &dataset,
+                                  InputVariant::Full(), 31);
+  ExpectQuantTracksFp32(extractor, dataset.valid[0], "relation_extraction");
+}
+
+TEST(QuantScoringParity, EntityLinking) {
+  kb::LookupService lookup(&Ctx().world.kb);
+  ElDataset test = BuildElDataset(Ctx(), lookup, Ctx().corpus.valid, 20,
+                                  /*drop_unreachable=*/false, 50);
+  auto model = FreshModel();
+  TurlEntityLinker linker(model.get(), &Ctx(), {true, true}, 31);
+  for (const ElInstance& inst : test.instances) {
+    if (inst.candidates.size() < 2) continue;
+    ExpectQuantTracksFp32(linker, inst, "entity_linking");
+    return;
+  }
+  FAIL() << "no entity-linking instance with candidates";
+}
+
+TEST(QuantScoringParity, RowPopulation) {
+  baselines::RowPopCandidateGenerator gen(Ctx().corpus, Ctx().corpus.train);
+  auto test = BuildRowPopInstances(Ctx(), gen, Ctx().corpus.valid, 1, 6, 20);
+  ASSERT_FALSE(test.empty());
+  auto model = FreshModel();
+  TurlRowPopulator populator(model.get(), &Ctx());
+  ExpectQuantTracksFp32(populator, test[0], "row_population");
+}
+
+TEST(QuantScoringParity, CellFilling) {
+  baselines::CellFillingIndex index(Ctx().corpus, Ctx().corpus.train);
+  auto instances =
+      BuildCellFillInstances(Ctx(), index, Ctx().corpus.valid, 3, 20);
+  auto model = FreshModel();
+  TurlCellFiller filler(model.get(), &Ctx());
+  for (const CellFillInstance& inst : instances) {
+    if (inst.candidates.empty()) continue;
+    ExpectQuantTracksFp32(filler, inst, "cell_filling");
+    return;
+  }
+  FAIL() << "no cell-filling instance with candidates";
+}
+
+TEST(QuantScoringParity, SchemaAugmentation) {
+  HeaderVocab vocab = BuildHeaderVocab(Ctx());
+  auto test = BuildSchemaAugInstances(Ctx(), vocab, Ctx().corpus.valid, 0, 20);
+  ASSERT_FALSE(test.empty());
+  auto model = FreshModel();
+  TurlSchemaAugmenter augmenter(model.get(), &Ctx(), &vocab, 31);
+  ExpectQuantTracksFp32(augmenter, test[0], "schema_augmentation");
+}
+
+TEST(QuantScoringParity, MlmLogitsMatchesFp32WithinEpsilon) {
+  auto model = FreshModel();
+  // Any encodable table does; use the first validation table's encoding.
+  const core::TurlContext& ctx = Ctx();
+  const text::WordPieceTokenizer tokenizer = ctx.MakeTokenizer();
+  core::EncodedTable encoded =
+      core::EncodeTable(ctx.corpus.tables[ctx.corpus.valid[0]], tokenizer,
+                        ctx.entity_vocab);
+  ASSERT_GT(encoded.num_tokens(), 0);
+  nn::Tensor hidden = model->Encode(encoded, /*training=*/false);
+
+  std::vector<float> fp32, quant;
+  {
+    QuantScoringOverride off(false);
+    fp32 = model->MlmLogits(hidden, {0}, core::Scoring::kServe).ToVector();
+  }
+  {
+    QuantScoringOverride on(true);
+    quant = model->MlmLogits(hidden, {0}, core::Scoring::kServe).ToVector();
+  }
+  ASSERT_EQ(fp32.size(), quant.size());
+  ASSERT_EQ(fp32.size(), static_cast<size_t>(model->word_vocab_size()));
+  float max_abs = 0.f;
+  for (float v : fp32) max_abs = std::max(max_abs, std::abs(v));
+  const float tol = 0.05f * (1.f + max_abs);
+  for (size_t i = 0; i < fp32.size(); ++i) {
+    EXPECT_NEAR(quant[i], fp32[i], tol) << "mlm logit " << i;
+  }
+}
+
+// Scoring::kTrain must never take the quant path even with the knob on:
+// gradients flow through the fp32 logits tape.
+TEST(QuantScoringParity, TrainScoringIgnoresKnob) {
+  auto model = FreshModel();
+  const core::TurlContext& ctx = Ctx();
+  const text::WordPieceTokenizer tokenizer = ctx.MakeTokenizer();
+  core::EncodedTable encoded =
+      core::EncodeTable(ctx.corpus.tables[ctx.corpus.valid[0]], tokenizer,
+                        ctx.entity_vocab);
+  nn::Tensor hidden = model->Encode(encoded, /*training=*/false);
+
+  std::vector<float> off_scores, on_scores;
+  {
+    QuantScoringOverride off(false);
+    off_scores = model->MlmLogits(hidden, {0}).ToVector();
+  }
+  {
+    QuantScoringOverride on(true);
+    on_scores = model->MlmLogits(hidden, {0}).ToVector();
+  }
+  ASSERT_EQ(off_scores.size(), on_scores.size());
+  for (size_t i = 0; i < off_scores.size(); ++i) {
+    ASSERT_EQ(off_scores[i], on_scores[i]) << "logit " << i;
+  }
+}
+
+// The stale-pack hazard: after weights change, an un-invalidated cache
+// would keep scoring the old weights. Model invalidation hooks must make
+// fresh quant scores follow the new weights.
+TEST(QuantScoringParity, InvalidationFollowsWeightChange) {
+  QuantScoringOverride on(true);
+  auto model = FreshModel();
+  const core::TurlContext& ctx = Ctx();
+  const text::WordPieceTokenizer tokenizer = ctx.MakeTokenizer();
+  core::EncodedTable encoded =
+      core::EncodeTable(ctx.corpus.tables[ctx.corpus.valid[0]], tokenizer,
+                        ctx.entity_vocab);
+  nn::Tensor hidden = model->Encode(encoded, /*training=*/false);
+
+  const std::vector<float> before =
+      model->MlmLogits(hidden, {0}, core::Scoring::kServe).ToVector();
+
+  // Perturb the word embedding in place (as an optimizer step would);
+  // Tensor copies share storage, so this writes through to the parameter.
+  nn::Tensor w = model->params()->Get("emb.word.weight");
+  for (int64_t i = 0; i < w.numel(); ++i) w.data()[i] += 0.25f;
+  model->InvalidateQuantizedScoring();
+
+  const std::vector<float> after =
+      model->MlmLogits(hidden, {0}, core::Scoring::kServe).ToVector();
+  ASSERT_EQ(before.size(), after.size());
+  int changed = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) ++changed;
+  }
+  EXPECT_GT(changed, 0) << "scores must track the new weights";
+}
+
+}  // namespace
+}  // namespace tasks
+}  // namespace turl
