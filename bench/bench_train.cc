@@ -1,0 +1,188 @@
+// Training throughput of the task-graph parallel executor: pretrains the
+// same small model at (threads, grad_accum_tables) = (1,1), (1,8), (4,1)
+// and (4,8), checks every parallel run is bit-identical to its sequential
+// twin, and writes BENCH_train.json (override with TURL_BENCH_TRAIN) with
+// tables/sec and speedups. Knobs:
+//
+//   TURL_BENCH_TRAIN          output path (default BENCH_train.json)
+//   TURL_BENCH_TRAIN_TABLES   training tables per trial (default 48)
+//   TURL_BENCH_TRAIN_THREADS  parallel thread count (default 4)
+//
+// Speedups are only meaningful relative to hardware_concurrency (recorded
+// in the JSON): on a single-core host the parallel trials measure executor
+// overhead, not speedup.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "nn/train_parallel.h"
+
+namespace {
+
+using namespace turl;
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+struct Trial {
+  std::string label;
+  int threads = 1;
+  int grad_accum = 1;
+  int64_t steps = 0;
+  double seconds = 0.0;
+  double tables_per_sec = 0.0;
+  double speedup = 1.0;        // vs the 1-thread trial with the same K.
+  bool bit_identical = true;   // vs the 1-thread trial with the same K.
+  std::vector<std::vector<float>> params;
+};
+
+std::vector<std::vector<float>> ParamsOf(const core::TurlModel& model) {
+  std::vector<std::vector<float>> out;
+  for (const auto& [name, t] : model.params().params()) {
+    out.push_back(t.ToVector());
+  }
+  return out;
+}
+
+bool BitIdentical(const std::vector<std::vector<float>>& a,
+                  const std::vector<std::vector<float>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+Trial RunTrial(const std::string& label, int threads, int grad_accum,
+               const core::TurlContext& ctx, const core::TurlConfig& config,
+               int tables) {
+  Trial t;
+  t.label = label;
+  t.threads = threads;
+  t.grad_accum = grad_accum;
+
+  nn::SetTrainThreads(threads);
+  core::TurlModel model(config, ctx.vocab.size(), ctx.entity_vocab.size(),
+                        /*seed=*/11);
+  core::Pretrainer pretrainer(&model, &ctx);
+  core::Pretrainer::Options opts;
+  opts.epochs = 1;
+  opts.max_train_tables = tables;
+  opts.eval_every = 0;
+  opts.telemetry_every = 0;
+  opts.grad_accum_tables = grad_accum;
+  opts.seed = 7;
+
+  const auto start = std::chrono::steady_clock::now();
+  const core::PretrainResult result = pretrainer.Train(opts);
+  const auto stop = std::chrono::steady_clock::now();
+  nn::SetTrainThreads(1);
+
+  t.steps = result.steps;
+  t.seconds = std::chrono::duration<double>(stop - start).count();
+  // Tables/sec, not steps/sec: one step consumes `grad_accum` tables, so
+  // tables/sec is the unit comparable across K.
+  t.tables_per_sec = t.seconds > 0.0 ? double(tables) / t.seconds : 0.0;
+  t.params = ParamsOf(model);
+  return t;
+}
+
+void WriteTrialJson(FILE* f, const Trial& t) {
+  std::fprintf(f,
+               "    {\"label\": \"%s\", \"threads\": %d, \"grad_accum\": %d, "
+               "\"steps\": %lld, \"seconds\": %.4f, "
+               "\"tables_per_sec\": %.3f, \"speedup_vs_1thread\": %.3f, "
+               "\"bit_identical_vs_1thread\": %s}",
+               t.label.c_str(), t.threads, t.grad_accum,
+               static_cast<long long>(t.steps), t.seconds, t.tables_per_sec,
+               t.speedup, t.bit_identical ? "true" : "false");
+}
+
+}  // namespace
+
+int main() {
+  bench::InitObservability();
+
+  const int tables = EnvInt("TURL_BENCH_TRAIN_TABLES", 48);
+  const int threads = EnvInt("TURL_BENCH_TRAIN_THREADS", 4);
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  core::ContextConfig config;
+  config.corpus.num_tables = 300;
+  config.seed = 42;
+  core::TurlContext ctx = core::BuildContext(config);
+
+  core::TurlConfig model_config;
+  model_config.num_layers = 2;
+  model_config.d_model = 64;
+  model_config.d_intermediate = 128;
+  model_config.num_heads = 4;
+
+  // Warm-up outside the timed region: first-touch costs (kernel pool spin-up,
+  // embedding cache faults) land here, not in the 1-thread baseline.
+  RunTrial("warmup", 1, 1, ctx, model_config, std::min(tables, 8));
+
+  Trial seq_k1 = RunTrial("seq_k1", 1, 1, ctx, model_config, tables);
+  Trial par_k1 = RunTrial("par_k1", threads, 1, ctx, model_config, tables);
+  Trial seq_k8 = RunTrial("seq_k8", 1, 8, ctx, model_config, tables);
+  Trial par_k8 = RunTrial("par_k8", threads, 8, ctx, model_config, tables);
+
+  par_k1.speedup = par_k1.tables_per_sec / seq_k1.tables_per_sec;
+  par_k1.bit_identical = BitIdentical(par_k1.params, seq_k1.params);
+  seq_k8.speedup = seq_k8.tables_per_sec / seq_k1.tables_per_sec;
+  par_k8.speedup = par_k8.tables_per_sec / seq_k8.tables_per_sec;
+  par_k8.bit_identical = BitIdentical(par_k8.params, seq_k8.params);
+
+  const bool identical = par_k1.bit_identical && par_k8.bit_identical;
+  std::printf(
+      "1 thread: %.2f tables/s (K=1), %.2f (K=8) | %d threads: %.2f "
+      "tables/s (K=1, %.2fx), %.2f (K=8, %.2fx) | bit-identical: %s | "
+      "%u hardware threads\n",
+      seq_k1.tables_per_sec, seq_k8.tables_per_sec, threads,
+      par_k1.tables_per_sec, par_k1.speedup, par_k8.tables_per_sec,
+      par_k8.speedup, identical ? "yes" : "NO", cores);
+
+  const char* path_env = std::getenv("TURL_BENCH_TRAIN");
+  const std::string out = (path_env != nullptr && *path_env != '\0')
+                              ? std::string(path_env)
+                              : std::string("BENCH_train.json");
+  if (FILE* f = std::fopen(out.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"tables_per_trial\": %d,\n"
+                 "  \"parallel_threads\": %d,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"trials\": [\n",
+                 tables, threads, cores);
+    WriteTrialJson(f, seq_k1);
+    std::fprintf(f, ",\n");
+    WriteTrialJson(f, par_k1);
+    std::fprintf(f, ",\n");
+    WriteTrialJson(f, seq_k8);
+    std::fprintf(f, ",\n");
+    WriteTrialJson(f, par_k8);
+    std::fprintf(f,
+                 "\n  ],\n"
+                 "  \"speedup_k1\": %.3f,\n"
+                 "  \"speedup_k8\": %.3f,\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"note\": \"speedups are bounded by hardware_concurrency;"
+                 " on a 1-core host they measure executor overhead\"\n"
+                 "}\n",
+                 par_k1.speedup, par_k8.speedup,
+                 identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  // Bit-identity is the hard gate; throughput numbers are reported, not
+  // asserted, because they depend on the host's core count.
+  return identical ? 0 : 1;
+}

@@ -8,12 +8,14 @@
 #include <memory>
 
 #include "ckpt/checkpoint.h"
+#include "nn/train_parallel.h"
 #include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/server/handlers.h"
 #include "obs/slo.h"
 #include "obs/trace.h"
+#include "rt/thread_pool.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/timer.h"
@@ -28,10 +30,15 @@ namespace {
 /// and tables-per-epoch pin the LR schedule's total_steps; the seed pins the
 /// RNG stream the checkpoint's saved state belongs to.
 std::string PretrainFingerprint(const TurlConfig& cfg, uint64_t seed,
-                                int epochs, size_t tables_per_epoch) {
-  return "pretrain|" + cfg.CacheTag() + "|seed" + std::to_string(seed) +
-         "|ep" + std::to_string(epochs) + "|tpe" +
-         std::to_string(tables_per_epoch);
+                                int epochs, size_t tables_per_epoch,
+                                int grad_accum_tables) {
+  std::string fp = "pretrain|" + cfg.CacheTag() + "|seed" +
+                   std::to_string(seed) + "|ep" + std::to_string(epochs) +
+                   "|tpe" + std::to_string(tables_per_epoch);
+  // Only stamped when sharding changes the step sequence, so grad_accum == 1
+  // keeps accepting every pre-sharding checkpoint.
+  if (grad_accum_tables > 1) fp += "|ga" + std::to_string(grad_accum_tables);
+  return fp;
 }
 
 }  // namespace
@@ -151,8 +158,12 @@ PretrainResult Pretrainer::Train(const Options& options) {
     tables_per_epoch = std::min(
         tables_per_epoch, static_cast<size_t>(options.max_train_tables));
   }
-  const int64_t total_steps =
-      static_cast<int64_t>(tables_per_epoch) * epochs;
+  const int grad_accum = std::max(1, options.grad_accum_tables);
+  // One optimizer step consumes `grad_accum` tables, so the LR schedule's
+  // horizon shrinks accordingly (identical to before at grad_accum == 1).
+  const int64_t steps_per_epoch =
+      (static_cast<int64_t>(tables_per_epoch) + grad_accum - 1) / grad_accum;
+  const int64_t total_steps = steps_per_epoch * epochs;
   TURL_CHECK_GT(total_steps, 0);
 
   nn::Adam adam(model_->params(), nn::AdamConfig{.lr = cfg.learning_rate});
@@ -207,8 +218,8 @@ PretrainResult Pretrainer::Train(const Options& options) {
           return CkptDirWritable(dir, detail);
         });
   }
-  const std::string fingerprint =
-      PretrainFingerprint(cfg, options.seed, epochs, tables_per_epoch);
+  const std::string fingerprint = PretrainFingerprint(
+      cfg, options.seed, epochs, tables_per_epoch, grad_accum);
   const auto bind = [&](ckpt::TrainState* st) {
     st->stores.emplace_back("model", model_->params());
     st->optims.emplace_back("adam", &adam);
@@ -264,6 +275,10 @@ PretrainResult Pretrainer::Train(const Options& options) {
     }
   }
 
+  // Shard gradient sinks for grad_accum > 1, built lazily and reused across
+  // steps (Reset zeroes only what a shard touched).
+  std::vector<std::unique_ptr<nn::GradShard>> shards;
+
   for (int epoch = start_epoch; epoch < epochs; ++epoch) {
     size_t oi_begin = 0;
     if (resumed_mid_epoch && epoch == start_epoch) {
@@ -274,38 +289,134 @@ PretrainResult Pretrainer::Train(const Options& options) {
     } else {
       rng.Shuffle(&order);
     }
-    for (size_t oi = oi_begin; oi < tables_per_epoch; ++oi) {
-      const EncodedTable& clean = train_encoded_[order[oi]];
-      if (clean.total() == 0) continue;
+    // `oi` advances in the body: by 1 in the classic path, by the group size
+    // in the sharded path — so `oi` always names the resume position and a
+    // checkpoint saved after any step restarts on a group boundary.
+    for (size_t oi = oi_begin; oi < tables_per_epoch;) {
       TURL_PROFILE_SCOPE("pretrain.step");
       const auto step_start_tp = std::chrono::steady_clock::now();
       // Each step is its own trace (sampled), so a slow step decomposes into
       // encode / mlm / mer / backward / optimizer in the Chrome export.
       obs::TraceSpan step_trace(obs::kNewTrace, "train.step");
-      if (step_trace.traced()) {
-        step_trace.Annotate("step", step);
-        step_trace.Annotate("total", int64_t(clean.total()));
+      double loss_item = 0.0;
+      double grad_norm = 0.0;
+      double mlm_sum = 0.0, mer_sum = 0.0;
+      int64_t mlm_n = 0, mer_n = 0;
+      if (grad_accum == 1) {
+        const EncodedTable& clean = train_encoded_[order[oi]];
+        ++oi;
+        if (clean.total() == 0) continue;
+        if (step_trace.traced()) {
+          step_trace.Annotate("step", step);
+          step_trace.Annotate("total", int64_t(clean.total()));
+        }
+        PretrainInstance instance = MakePretrainInstance(
+            clean, cfg, model_->word_vocab_size(), model_->entity_vocab_size(),
+            &rng);
+        double mlm_item = std::numeric_limits<double>::quiet_NaN();
+        double mer_item = std::numeric_limits<double>::quiet_NaN();
+        nn::Tensor loss =
+            InstanceLoss(instance, clean, &rng, &mlm_item, &mer_item);
+        if (!loss.defined()) continue;
+        {
+          TURL_TRACE_SCOPE("train.backward");
+          model_->params()->ZeroGrad();
+          loss.Backward();
+        }
+        {
+          TURL_TRACE_SCOPE("train.optimizer");
+          grad_norm =
+              double(nn::ClipGradNorm(model_->params(), cfg.grad_clip));
+          adam.Step(schedule.Scale(step));
+        }
+        loss_item = loss.item();
+        if (!std::isnan(mlm_item)) {
+          mlm_sum = mlm_item;
+          mlm_n = 1;
+        }
+        if (!std::isnan(mer_item)) {
+          mer_sum = mer_item;
+          mer_n = 1;
+        }
+      } else {
+        const size_t group =
+            std::min<size_t>(size_t(grad_accum), tables_per_epoch - oi);
+        if (step_trace.traced()) {
+          step_trace.Annotate("step", step);
+          step_trace.Annotate("shards", int64_t(group));
+        }
+        while (shards.size() < group) {
+          shards.push_back(std::make_unique<nn::GradShard>(
+              std::vector<const nn::ParamStore*>{model_->params()}));
+        }
+        struct ShardOut {
+          bool defined = false;
+          double loss = 0.0;
+          double mlm = std::numeric_limits<double>::quiet_NaN();
+          double mer = std::numeric_limits<double>::quiet_NaN();
+        };
+        std::vector<ShardOut> outs(group);
+        const auto run_shard = [&](int64_t s) {
+          nn::GradShard* shard = shards[size_t(s)].get();
+          shard->Reset();  // Before any early-out: stale dirt must not reduce.
+          const EncodedTable& clean = train_encoded_[order[oi + size_t(s)]];
+          if (clean.total() == 0) return;
+          nn::ScopedGradShard guard(shard);
+          // The shard RNG stream depends only on (seed, step, shard) — not
+          // on the main RNG, the thread, or the schedule — so every thread
+          // count replays the identical instance sequence.
+          Rng shard_rng(nn::ShardStreamSeed(options.seed, step, s));
+          PretrainInstance instance = MakePretrainInstance(
+              clean, cfg, model_->word_vocab_size(),
+              model_->entity_vocab_size(), &shard_rng);
+          ShardOut& out = outs[size_t(s)];
+          nn::Tensor loss =
+              InstanceLoss(instance, clean, &shard_rng, &out.mlm, &out.mer);
+          if (!loss.defined()) return;
+          loss.Backward();  // Leaf-param grads land in the shard's buffers.
+          out.loss = loss.item();
+          out.defined = true;
+        };
+        {
+          TURL_TRACE_SCOPE("train.backward");
+          rt::ThreadPool* pool = nn::TrainPool();
+          if (pool != nullptr) {
+            pool->ParallelFor(0, int64_t(group), /*grain=*/1, run_shard);
+          } else {
+            for (int64_t s = 0; s < int64_t(group); ++s) run_shard(s);
+          }
+        }
+        oi += group;
+        int64_t defined_n = 0;
+        for (const ShardOut& out : outs) {
+          if (!out.defined) continue;
+          ++defined_n;
+          loss_item += out.loss;
+          if (!std::isnan(out.mlm)) {
+            mlm_sum += out.mlm;
+            ++mlm_n;
+          }
+          if (!std::isnan(out.mer)) {
+            mer_sum += out.mer;
+            ++mer_n;
+          }
+        }
+        if (defined_n == 0) continue;  // Nothing to step on this group.
+        loss_item /= double(defined_n);
+        {
+          TURL_TRACE_SCOPE("train.optimizer");
+          model_->params()->ZeroGrad();
+          std::vector<nn::GradShard*> group_shards;
+          group_shards.reserve(group);
+          for (size_t s = 0; s < group; ++s) {
+            group_shards.push_back(shards[s].get());
+          }
+          nn::GradShard::Reduce(group_shards);
+          grad_norm =
+              double(nn::ClipGradNorm(model_->params(), cfg.grad_clip));
+          adam.Step(schedule.Scale(step));
+        }
       }
-      PretrainInstance instance = MakePretrainInstance(
-          clean, cfg, model_->word_vocab_size(), model_->entity_vocab_size(),
-          &rng);
-      double mlm_item = std::numeric_limits<double>::quiet_NaN();
-      double mer_item = std::numeric_limits<double>::quiet_NaN();
-      nn::Tensor loss =
-          InstanceLoss(instance, clean, &rng, &mlm_item, &mer_item);
-      if (!loss.defined()) continue;
-      {
-        TURL_TRACE_SCOPE("train.backward");
-        model_->params()->ZeroGrad();
-        loss.Backward();
-      }
-      double grad_norm;
-      {
-        TURL_TRACE_SCOPE("train.optimizer");
-        grad_norm = double(nn::ClipGradNorm(model_->params(), cfg.grad_clip));
-        adam.Step(schedule.Scale(step));
-      }
-      const double loss_item = loss.item();
       obs::RecordTrainHealth("pretrain", step + 1, loss_item, grad_norm,
                              options.sink);
       recent_loss += loss_item;
@@ -329,7 +440,7 @@ PretrainResult Pretrainer::Train(const Options& options) {
         event.total_us = std::chrono::duration<double, std::micro>(
                              step_end_tp - step_start_tp)
                              .count();
-        event.batch_size = 1;
+        event.batch_size = grad_accum;
         if (obs::EventLog::Enabled()) obs::EventLog::Get().Append(event);
         obs::SliEngine::Get().Record("train",
                                      obs::OutcomeFromStatusName(event.status),
@@ -337,14 +448,10 @@ PretrainResult Pretrainer::Train(const Options& options) {
       }
       window_loss += loss_item;
       ++window_steps;
-      if (!std::isnan(mlm_item)) {
-        window_mlm += mlm_item;
-        ++window_mlm_n;
-      }
-      if (!std::isnan(mer_item)) {
-        window_mer += mer_item;
-        ++window_mer_n;
-      }
+      window_mlm += mlm_sum;
+      window_mlm_n += mlm_n;
+      window_mer += mer_sum;
+      window_mer_n += mer_n;
       if (options.eval_every > 0 && step % options.eval_every == 0) {
         TURL_PROFILE_SCOPE("pretrain.eval");
         Rng eval_rng(options.seed + 1);  // Fixed eval set across calls.
@@ -360,7 +467,7 @@ PretrainResult Pretrainer::Train(const Options& options) {
       }
       if (manager != nullptr && options.save_every > 0 &&
           step % options.save_every == 0) {
-        save_checkpoint(epoch, oi + 1);
+        save_checkpoint(epoch, oi);
       }
       if (options.max_steps > 0 && step >= options.max_steps) {
         // Simulated kill: return immediately without saving or evaluating —

@@ -66,6 +66,16 @@ class Pretrainer {
     /// running the final evaluation — simulates a mid-run kill for resume
     /// tests (0 = run to completion).
     int64_t max_steps = 0;
+
+    /// Data-parallel gradient accumulation: each optimizer step accumulates
+    /// gradients over this many tables, processed as independent shards
+    /// (concurrent on the TURL_TRAIN_THREADS pool when it is > 1; inline
+    /// otherwise) whose per-shard gradients are reduced into the parameter
+    /// grads in fixed ascending shard order — bit-identical at any thread
+    /// count. Shard RNG streams derive from (seed, step, shard), never from
+    /// the schedule. 1 = the classic one-table-per-step loop, byte-for-byte
+    /// the historical behavior.
+    int grad_accum_tables = 1;
   };
 
   /// The model and context must outlive the pretrainer. Encodes all

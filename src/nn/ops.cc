@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "nn/kernels/kernels.h"
+#include "nn/train_parallel.h"
 #include "obs/profiler.h"
 #include "util/logging.h"
 
@@ -16,7 +17,23 @@ namespace {
 /// Ensures the node's grad buffer exists, returning a raw pointer to it.
 /// Pooled nodes lease their gradient from the kernels arena so both buffers
 /// recycle together when the node dies.
+///
+/// Thread-safety contract for every backward closure below (audited with
+/// the task-graph executor in Tensor::Backward): a closure may run on any
+/// thread, but all the state it touches is either private to its tape
+/// (output grad/data, captured scratch) or a parent grad obtained through
+/// this function — and the executor chains every closure that touches the
+/// same parent, so those writes are ordered and race-free by construction.
+/// Closures must not touch other global mutable state; none do.
+///
+/// With a GradShard installed (data-parallel sharding, see
+/// nn/train_parallel.h), leaf-parameter accumulation is redirected into the
+/// shard's private buffer; interior tape nodes miss the shard index and keep
+/// their own grads.
 float* GradOf(TensorImpl* t) {
+  if (GradShard* shard = CurrentGradShard()) {
+    if (float* redirected = shard->Redirect(t)) return redirected;
+  }
   if (t->grad.empty()) {
     if (t->pooled) {
       t->grad = kernels::LeasePooled(t->data.size(), /*zero=*/true);

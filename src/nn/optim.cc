@@ -23,8 +23,15 @@ void Adam::Step(float lr_scale) {
       << "parameters added after optimizer construction";
   ++step_;
   const float lr = config_.lr * lr_scale;
-  const float bc1 = 1.f - std::pow(config_.beta1, float(step_));
-  const float bc2 = 1.f - std::pow(config_.beta2, float(step_));
+  // Bias corrections in double: float(step_) collapses past 2^24 steps and a
+  // single-precision pow of a near-1 base drifts long before that; the
+  // per-element math below stays float.
+  const float bc1 = static_cast<float>(
+      1.0 - std::pow(static_cast<double>(config_.beta1),
+                     static_cast<double>(step_)));
+  const float bc2 = static_cast<float>(
+      1.0 - std::pow(static_cast<double>(config_.beta2),
+                     static_cast<double>(step_)));
   size_t pi = 0;
   for (const auto& [name, param] : store_->params()) {
     Tensor t = param;  // Shared impl; cheap copy for non-const access.

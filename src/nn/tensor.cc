@@ -3,14 +3,67 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include <unordered_map>
+
 #include "nn/kernels/arena.h"
+#include "nn/train_parallel.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "rt/task_graph.h"
+#include "rt/thread_pool.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
 namespace turl {
 namespace nn {
+
+namespace {
+
+/// Lowers the tape (in reverse topological order) to a rt::TaskGraph whose
+/// edges make any thread count bit-identical to the sequential loop:
+///
+///  - Task ids are assigned in sequential execution order, and TaskGraph
+///    drains its ready set smallest-id-first, so with no contention the
+///    schedule *is* the sequential schedule.
+///  - For every gradient buffer, all of its writers are chained in that same
+///    order: node X's consumers c1..ck (which accumulate into X->grad)
+///    get edges c_i -> c_{i+1}, and X's own task additionally depends on its
+///    last writer. Chains make every write/write and write/read conflict a
+///    graph edge — float accumulation into a shared parent happens in the
+///    pinned sequential order, without a single lock in the hot path — while
+///    leaving genuinely independent branches (MLM vs. MER head, attention
+///    vs. FFN grads) free to overlap.
+void RunTapeTaskGraph(const std::vector<TensorImpl*>& topo,
+                      rt::ThreadPool* pool) {
+  rt::TaskGraph graph;
+  // Latest task id that accumulates into each node's grad (leaf parameters
+  // included — they never get a task of their own but their writers still
+  // form a chain).
+  std::unordered_map<TensorImpl*, int> last_writer;
+  last_writer.reserve(topo.size());
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (!node->backward_fn) continue;
+    const int id = graph.AddTask([node] {
+      // Same skip as the sequential loop: by the time this task is ready,
+      // every accumulation into node->grad has happened, so "still empty"
+      // means "received no upstream gradient this pass".
+      if (!node->grad.empty()) node->backward_fn();
+    });
+    const auto writer = last_writer.find(node);
+    if (writer != last_writer.end()) graph.AddEdge(writer->second, id);
+    for (const std::shared_ptr<TensorImpl>& parent : node->parents) {
+      const auto [slot, inserted] = last_writer.try_emplace(parent.get(), id);
+      if (!inserted && slot->second != id) {  // != id: e.g. Mul(a, a).
+        graph.AddEdge(slot->second, id);
+        slot->second = id;
+      }
+    }
+  }
+  graph.Run(pool);
+}
+
+}  // namespace
 
 TensorImpl::~TensorImpl() {
   if (!pooled) return;
@@ -190,9 +243,31 @@ void Tensor::Backward(bool release_graph) {
   // Seed and run in reverse topological order.
   impl_->grad.assign(impl_->data.size(), 0.f);
   impl_->grad[0] = 1.f;
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    TensorImpl* node = *it;
-    if (node->backward_fn && !node->grad.empty()) node->backward_fn();
+  // Parallel tape execution is opt-in via TURL_TRAIN_THREADS (pool is null
+  // otherwise) and bit-identical to the sequential loop below (see
+  // RunTapeTaskGraph). Per-shard tapes (CurrentGradShard) stay sequential:
+  // the shards themselves are the parallel axis, and nesting the executor
+  // under the shard fan-out would only add scheduling overhead. A call from
+  // inside the train pool runs inline for the same reason.
+  rt::ThreadPool* pool = TrainPool();
+  if (pool != nullptr && !pool->InWorker() && CurrentGradShard() == nullptr &&
+      topo.size() > 1) {
+    static obs::Counter* parallel_calls = obs::MetricsRegistry::Get().GetCounter(
+        "autograd.backward_parallel_calls");
+    parallel_calls->Inc();
+    RunTapeTaskGraph(topo, pool);
+  } else {
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      TensorImpl* node = *it;
+      // Empty grad == no consumer fed this node a gradient this pass (a
+      // masked-out head, a detached branch): its backward would only add
+      // zeros, so it is skipped. Every op closure in ops.cc accumulates into
+      // *all* of its parents via GradOf (which allocates on first touch), so
+      // a node with a backward_fn and an empty grad can only mean "no
+      // contribution", never "forgot to allocate" — pinned by
+      // BackwardParallelTest.EveryReachedNodeHasGradAfterBackward.
+      if (node->backward_fn && !node->grad.empty()) node->backward_fn();
+    }
   }
 
   if (release_graph) {

@@ -1,0 +1,175 @@
+#include "rt/task_graph.h"
+
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <utility>
+
+#include "rt/thread_pool.h"
+#include "util/logging.h"
+
+namespace turl {
+namespace rt {
+
+namespace {
+
+/// Min-heap over task ids: the ready set drains smallest-id-first so the
+/// schedule has one fixed tie-break everywhere.
+using ReadyQueue =
+    std::priority_queue<int, std::vector<int>, std::greater<int>>;
+
+}  // namespace
+
+int TaskGraph::AddTask(std::function<void()> fn) {
+  TURL_CHECK(!ran_) << "AddTask after Run";
+  TURL_CHECK(fn != nullptr);
+  nodes_.push_back(Node{std::move(fn), {}, 0});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void TaskGraph::AddEdge(int before, int after) {
+  TURL_CHECK(!ran_) << "AddEdge after Run";
+  TURL_CHECK_GE(before, 0);
+  TURL_CHECK_LT(before, size());
+  TURL_CHECK_GE(after, 0);
+  TURL_CHECK_LT(after, size());
+  TURL_CHECK_NE(before, after) << "self-edge";
+  nodes_[static_cast<size_t>(before)].out.push_back(after);
+  ++nodes_[static_cast<size_t>(after)].in_degree;
+}
+
+void TaskGraph::Run(ThreadPool* pool) {
+  TURL_CHECK(!ran_) << "TaskGraph::Run may only be called once";
+  ran_ = true;
+  if (nodes_.empty()) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || pool->InWorker() ||
+      nodes_.size() == 1) {
+    RunSequential();
+  } else {
+    RunParallel(pool);
+  }
+}
+
+void TaskGraph::RunSequential() {
+  const int n = size();
+  std::vector<int> remaining(static_cast<size_t>(n));
+  ReadyQueue ready;
+  for (int i = 0; i < n; ++i) {
+    remaining[static_cast<size_t>(i)] = nodes_[static_cast<size_t>(i)].in_degree;
+    if (remaining[static_cast<size_t>(i)] == 0) ready.push(i);
+  }
+  int completed = 0;
+  while (!ready.empty()) {
+    const int id = ready.top();
+    ready.pop();
+    nodes_[static_cast<size_t>(id)].fn();  // Throws propagate to the caller.
+    ++completed;
+    for (int succ : nodes_[static_cast<size_t>(id)].out) {
+      if (--remaining[static_cast<size_t>(succ)] == 0) ready.push(succ);
+    }
+  }
+  TURL_CHECK_EQ(completed, n) << "TaskGraph contains a dependency cycle";
+}
+
+void TaskGraph::RunParallel(ThreadPool* pool) {
+  const int n = size();
+  // All scheduling state lives in a shared block under one mutex. Tasks here
+  // are chunky (backward closures doing GEMMs), so lock traffic is noise; in
+  // exchange every ready-set decision is a serialized, deterministic
+  // function of which tasks have completed.
+  //
+  // Helper units capture ONLY the shared block, never the caller's stack:
+  // the caller may return from Run before a queued helper unit even starts
+  // (nested Run from a caller-thread task would otherwise deadlock — the
+  // helpers it waits for are queued behind the outer graph's busy units).
+  // A late helper observes `shutdown`, touches nothing else, and exits. The
+  // node table itself is safe to reference because `shutdown` is only set
+  // with no task in flight and an empty ready set, so once the caller is
+  // released no helper can reach a node again.
+  struct State {
+    std::mutex mu;
+    std::condition_variable work_cv;  // Ready task available, or shutdown.
+    ReadyQueue ready;
+    std::vector<int> remaining;   // Per-node unfinished-dependency counts.
+    const std::vector<Node>* nodes = nullptr;
+    int inflight = 0;
+    int completed = 0;
+    bool shutdown = false;
+    int failed_id = -1;  // Smallest id whose task threw.
+    std::exception_ptr error;
+  };
+  auto st = std::make_shared<State>();
+  st->nodes = &nodes_;
+  st->remaining.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    st->remaining[static_cast<size_t>(i)] =
+        nodes_[static_cast<size_t>(i)].in_degree;
+    if (st->remaining[static_cast<size_t>(i)] == 0) st->ready.push(i);
+  }
+
+  // Shared by the caller and every helper unit; self-contained on `st`.
+  // Returns only when no further task can ever start.
+  auto drain = [](const std::shared_ptr<State>& st) {
+    std::unique_lock<std::mutex> lock(st->mu);
+    for (;;) {
+      st->work_cv.wait(lock,
+                       [&] { return st->shutdown || !st->ready.empty(); });
+      if (st->ready.empty()) return;  // Shutdown and nothing left to start.
+      const int id = st->ready.top();
+      st->ready.pop();
+      ++st->inflight;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        (*st->nodes)[static_cast<size_t>(id)].fn();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      --st->inflight;
+      ++st->completed;
+      if (err) {
+        if (st->failed_id < 0 || id < st->failed_id) {
+          st->failed_id = id;
+          st->error = err;
+        }
+        // Abandon everything not yet started; in-flight peers drain.
+        while (!st->ready.empty()) st->ready.pop();
+      } else if (st->failed_id < 0) {
+        for (int succ : (*st->nodes)[static_cast<size_t>(id)].out) {
+          if (--st->remaining[static_cast<size_t>(succ)] == 0) {
+            st->ready.push(succ);
+          }
+        }
+      }
+      if (st->ready.empty() && st->inflight == 0) {
+        // Done (completed == n), failed-and-drained, or a cycle stalled the
+        // graph — in every case no further task can start.
+        st->shutdown = true;
+        st->work_cv.notify_all();
+      } else if (!st->ready.empty()) {
+        st->work_cv.notify_all();
+      }
+    }
+  };
+
+  // A graph with no initially-ready task would stall every waiter below.
+  TURL_CHECK(!st->ready.empty()) << "TaskGraph contains a dependency cycle";
+
+  const int units = std::min(pool->num_threads() - 1, n - 1);
+  for (int u = 0; u < units; ++u) {
+    pool->Enqueue([st, drain] { drain(st); });
+  }
+  // The caller participates, like ParallelFor's worker 0. Its drain only
+  // returns once `shutdown` is set, which happens exactly when the run is
+  // finalized — no further wait needed, and crucially no wait on helper
+  // units that may never get a worker (see the State comment above).
+  drain(st);
+  if (st->error) std::rethrow_exception(st->error);
+  TURL_CHECK_EQ(st->completed, n) << "TaskGraph contains a dependency cycle";
+}
+
+}  // namespace rt
+}  // namespace turl

@@ -1,0 +1,78 @@
+#ifndef TURL_RT_TASK_GRAPH_H_
+#define TURL_RT_TASK_GRAPH_H_
+
+#include <functional>
+#include <vector>
+
+namespace turl {
+namespace rt {
+
+class ThreadPool;
+
+/// Dependency-graph task executor with a deterministic scheduling contract.
+///
+/// Build once, run once: AddTask() returns dense ids in insertion order,
+/// AddEdge(before, after) adds a happens-before constraint, Run() executes
+/// every task exactly once, never starting a task before all of its
+/// predecessors finished.
+///
+/// Determinism contract:
+///  - The ready set is always drained smallest-id-first. In sequential mode
+///    (no pool, a single-thread pool, or a nested call from a pool worker)
+///    this means: when ids are assigned in a topological order, execution is
+///    exactly 0, 1, ..., n-1 — byte-for-byte the order a plain loop over the
+///    same closures would run.
+///  - Parallel mode may overlap *independent* tasks, but any two tasks
+///    ordered by an edge chain run in that pinned relative order on whatever
+///    thread picks them up. Clients buy bitwise reproducibility across
+///    thread counts by expressing every read/write or write/write conflict
+///    as an edge — see nn::Tensor::Backward, which chains all writers of
+///    each gradient buffer in sequential execution order.
+///
+/// Exceptions: in sequential mode the first throwing task propagates
+/// immediately (later tasks are abandoned, matching a plain loop). In
+/// parallel mode not-yet-started tasks are abandoned, in-flight tasks are
+/// drained, and the exception of the smallest-id failed task is rethrown
+/// from Run() on the calling thread.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Registers a task; returns its id (dense, insertion-ordered). For the
+  /// sequential-equivalence guarantee above, add tasks in the order a
+  /// sequential execution would run them.
+  int AddTask(std::function<void()> fn);
+
+  /// Requires task `before` to finish before task `after` may start.
+  /// Self-edges are rejected; duplicate edges are allowed (counted with
+  /// multiplicity, so bookkeeping stays O(1) per AddEdge).
+  void AddEdge(int before, int after);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+  /// Executes the graph. Runs sequentially when `pool` is null, has a single
+  /// thread, or the caller is already one of the pool's workers (nested
+  /// parallelism runs inline, like ThreadPool::ParallelFor). Aborts the
+  /// process on a dependency cycle. May only be called once per graph.
+  void Run(ThreadPool* pool);
+
+ private:
+  struct Node {
+    std::function<void()> fn;
+    std::vector<int> out;  // Successor ids (with multiplicity).
+    int in_degree = 0;
+  };
+
+  void RunSequential();
+  void RunParallel(ThreadPool* pool);
+
+  std::vector<Node> nodes_;
+  bool ran_ = false;
+};
+
+}  // namespace rt
+}  // namespace turl
+
+#endif  // TURL_RT_TASK_GRAPH_H_

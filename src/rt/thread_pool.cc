@@ -29,6 +29,14 @@ obs::Gauge* UtilizationGauge() {
   return g;
 }
 
+/// Tasks whose exception was contained by WorkerLoop (see Enqueue's
+/// fire-and-forget contract in the header).
+obs::Counter* TaskExceptionCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("rt.pool.task_exceptions");
+  return c;
+}
+
 }  // namespace
 
 int ResolveThreads(int requested) {
@@ -76,6 +84,22 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
 void ThreadPool::WorkerLoop(int worker_index) {
   tls_pool = this;
   tls_worker_index = worker_index;
+  // RAII so the count (and the gauge derived from it) unwinds even when a
+  // task throws — a leaked increment would pin rt.pool.utilization above
+  // zero forever and skew every later reading.
+  struct ActiveGuard {
+    ThreadPool* pool;
+    explicit ActiveGuard(ThreadPool* p) : pool(p) {
+      const int running =
+          pool->active_.fetch_add(1, std::memory_order_relaxed) + 1;
+      UtilizationGauge()->Set(double(running) / double(pool->num_threads_));
+    }
+    ~ActiveGuard() {
+      const int left =
+          pool->active_.fetch_sub(1, std::memory_order_relaxed) - 1;
+      UtilizationGauge()->Set(double(left) / double(pool->num_threads_));
+    }
+  };
   for (;;) {
     std::function<void()> task;
     {
@@ -85,11 +109,19 @@ void ThreadPool::WorkerLoop(int worker_index) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    const int running = active_.fetch_add(1, std::memory_order_relaxed) + 1;
-    UtilizationGauge()->Set(double(running) / double(num_threads_));
-    task();
-    const int left = active_.fetch_sub(1, std::memory_order_relaxed) - 1;
-    UtilizationGauge()->Set(double(left) / double(num_threads_));
+    ActiveGuard guard(this);
+    // A directly-Enqueue'd task has no future to carry its exception; letting
+    // it escape here would std::terminate the process. Contain it: log,
+    // count, keep the worker alive.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      TaskExceptionCounter()->Inc();
+      TURL_LOG(Warning) << "rt::ThreadPool task threw: " << e.what();
+    } catch (...) {
+      TaskExceptionCounter()->Inc();
+      TURL_LOG(Warning) << "rt::ThreadPool task threw a non-std exception";
+    }
   }
 }
 

@@ -71,6 +71,15 @@ class ThreadPool {
     return result;
   }
 
+  /// Fire-and-forget task submission (the primitive Submit and ParallelFor
+  /// are built on; TaskGraph schedules ready tasks through it directly).
+  /// There is no result channel: an exception escaping `fn` is caught in the
+  /// worker loop, logged, and counted on `rt.pool.task_exceptions` — it
+  /// never tears down the worker or the process. Tasks that need to report
+  /// errors should capture their own error state (as Submit's packaged_task
+  /// and ParallelFor's shared exception slot do).
+  void Enqueue(std::function<void()> fn);
+
   /// Runs body(i) for every i in [begin, end), split into contiguous chunks
   /// of at least `grain` indices. The caller participates as a worker; a
   /// nested call from a pool thread runs inline. Rethrows the first body
@@ -80,7 +89,6 @@ class ThreadPool {
                    const std::function<void(int64_t)>& body);
 
  private:
-  void Enqueue(std::function<void()> fn);
   void WorkerLoop(int worker_index);
 
   int num_threads_;

@@ -1,11 +1,27 @@
 #include "tasks/common.h"
 
+#include <cmath>
+
 #include "data/entity_vocab.h"
 #include "util/logging.h"
 #include "util/status.h"
 
 namespace turl {
 namespace tasks {
+
+double FinetuneStep(
+    nn::Tensor loss, float grad_clip,
+    std::initializer_list<std::pair<nn::ParamStore*, nn::Adam*>> items) {
+  for (const auto& item : items) item.first->ZeroGrad();
+  loss.Backward();
+  double norm_sq = 0.0;
+  for (const auto& item : items) {
+    const double g = double(nn::ClipGradNorm(item.first, grad_clip));
+    norm_sq += g * g;
+  }
+  for (const auto& item : items) item.second->Step();
+  return std::sqrt(norm_sq);
+}
 
 FinetuneCheckpointer::FinetuneCheckpointer(
     const FinetuneOptions& options, const std::string& phase,

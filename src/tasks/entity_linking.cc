@@ -173,16 +173,12 @@ void TurlEntityLinker::Finetune(const ElDataset& train,
         loss = loss.defined() ? nn::Add(loss, ce) : ce;
       }
       if (!loss.defined()) continue;
-      model_->params()->ZeroGrad();
-      head_params_.ZeroGrad();
-      loss.Backward();
-      const double gm = nn::ClipGradNorm(model_->params(), options.grad_clip);
-      const double gh = nn::ClipGradNorm(&head_params_, options.grad_clip);
-      model_adam.Step();
-      head_adam.Step();
       // Model and head params are clipped separately, but health-wise the
       // step has one global norm: the Euclidean combination of the two.
-      telemetry.Step(loss.item(), std::sqrt(gm * gm + gh * gh));
+      const double grad_norm = FinetuneStep(
+          loss, options.grad_clip,
+          {{model_->params(), &model_adam}, {&head_params_, &head_adam}});
+      telemetry.Step(loss.item(), grad_norm);
     }
     telemetry.EndEpoch(epoch);
     ckptr.OnEpochEnd(epoch);

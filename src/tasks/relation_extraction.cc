@@ -147,15 +147,11 @@ void TurlRelationExtractor::Finetune(
       nn::Tensor logits = logit_rows.size() == 1 ? logit_rows[0]
                                                  : nn::ConcatRows(logit_rows);
       nn::Tensor loss = nn::BceWithLogits(logits, targets);
-      model_->params()->ZeroGrad();
-      head_params_.ZeroGrad();
-      loss.Backward();
-      const double gm = nn::ClipGradNorm(model_->params(), options.grad_clip);
-      const double gh = nn::ClipGradNorm(&head_params_, options.grad_clip);
-      model_adam.Step();
-      head_adam.Step();
+      const double grad_norm = FinetuneStep(
+          loss, options.grad_clip,
+          {{model_->params(), &model_adam}, {&head_params_, &head_adam}});
       ++step;
-      telemetry.Step(loss.item(), std::sqrt(gm * gm + gh * gh));
+      telemetry.Step(loss.item(), grad_norm);
       if (eval_every > 0 && step_callback && step % eval_every == 0) {
         // Mid-train eval scores with the weights as of this step.
         head_quant_.Invalidate();

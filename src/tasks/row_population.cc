@@ -159,11 +159,8 @@ void TurlRowPopulator::Finetune(const std::vector<RowPopInstance>& train,
       nn::Tensor logits = CandidateLogits(hidden, encoded, mask_index,
                                           candidate_ids, core::Scoring::kTrain);
       nn::Tensor loss = nn::BceWithLogits(logits, targets);  // Eqn. 13.
-      model_->params()->ZeroGrad();
-      loss.Backward();
       const double grad_norm =
-          nn::ClipGradNorm(model_->params(), options.grad_clip);
-      adam.Step();
+          FinetuneStep(loss, options.grad_clip, {{model_->params(), &adam}});
       telemetry.Step(loss.item(), grad_norm);
     }
     telemetry.EndEpoch(epoch);

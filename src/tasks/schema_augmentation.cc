@@ -175,14 +175,10 @@ void TurlSchemaAugmenter::Finetune(const std::vector<SchemaAugInstance>& train,
       std::vector<float> targets(static_cast<size_t>(vocab_->size()), 0.f);
       for (int h : inst.gold_headers) targets[size_t(h)] = 1.f;
       nn::Tensor loss = nn::BceWithLogits(logits, targets);
-      model_->params()->ZeroGrad();
-      head_params_.ZeroGrad();
-      loss.Backward();
-      const double gm = nn::ClipGradNorm(model_->params(), options.grad_clip);
-      const double gh = nn::ClipGradNorm(&head_params_, options.grad_clip);
-      model_adam.Step();
-      head_adam.Step();
-      telemetry.Step(loss.item(), std::sqrt(gm * gm + gh * gh));
+      const double grad_norm = FinetuneStep(
+          loss, options.grad_clip,
+          {{model_->params(), &model_adam}, {&head_params_, &head_adam}});
+      telemetry.Step(loss.item(), grad_norm);
     }
     telemetry.EndEpoch(epoch);
     ckptr.OnEpochEnd(epoch);

@@ -111,6 +111,53 @@ TEST(AdamTest, TrainsTinyClassifier) {
   }
 }
 
+TEST(AdamTest, BiasCorrectionStaysExactAtLargeStepCounts) {
+  // Regression: bias correction used to compute pow(beta, float(step)).
+  // Past 2^24, float(step) collapses adjacent step counts onto the same
+  // value, freezing the correction term. The fix computes in double; this
+  // pins the exact float update at a step count where float(step) != step.
+  constexpr int64_t kStep = (int64_t(1) << 24) + 2;  // Step() lands on 2^24+3.
+  ASSERT_NE(double(float(kStep + 1)), double(kStep + 1));
+
+  AdamConfig cfg;
+  cfg.lr = 1e-3f;
+  cfg.beta1 = 0.9f;
+  cfg.beta2 = 0.99999994f;  // Close to 1: correction still far from 1 here.
+  ParamStore store;
+  Tensor w = store.CreateFull("w", {3}, 2.f);
+  Adam adam(&store, cfg);
+
+  const std::vector<float> m = {0.5f, -0.25f, 0.125f};
+  const std::vector<float> v = {0.04f, 0.09f, 0.0001f};
+  ASSERT_TRUE(adam.SetState({m}, {v}, kStep).ok());
+
+  store.ZeroGrad();
+  const std::vector<float> g = {1.f, -2.f, 0.5f};
+  w.AccumulateGrad(g.data(), 3);
+  adam.Step();
+
+  // Expected update, bias correction in double exactly as the fix does it.
+  const float bc1 =
+      float(1.0 - std::pow(double(cfg.beta1), double(kStep + 1)));
+  const float bc2 =
+      float(1.0 - std::pow(double(cfg.beta2), double(kStep + 1)));
+  // The exact expression the fix replaced — single-precision pow on a
+  // collapsed float exponent — lands on a different float here, so this test
+  // fails against the old implementation.
+  const float bc2_old = 1.f - std::pow(cfg.beta2, float(kStep + 1));
+  ASSERT_NE(bc2, bc2_old);
+
+  for (size_t i = 0; i < 3; ++i) {
+    const float mi = cfg.beta1 * m[i] + (1.f - cfg.beta1) * g[i];
+    const float vi = cfg.beta2 * v[i] + (1.f - cfg.beta2) * g[i] * g[i];
+    const float m_hat = mi / bc1;
+    const float v_hat = vi / bc2;
+    // Same association as Adam::Step: (lr * mhat) / (sqrt(vhat) + eps).
+    const float expected = 2.f - cfg.lr * m_hat / (std::sqrt(v_hat) + cfg.eps);
+    EXPECT_EQ(w.at(int64_t(i)), expected) << "element " << i;
+  }
+}
+
 }  // namespace
 }  // namespace nn
 }  // namespace turl

@@ -1,0 +1,211 @@
+#include "rt/task_graph.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "rt/thread_pool.h"
+
+namespace turl {
+namespace rt {
+namespace {
+
+TEST(TaskGraphTest, EmptyGraphRuns) {
+  TaskGraph graph;
+  graph.Run(nullptr);  // No tasks, no pool: trivially fine.
+}
+
+TEST(TaskGraphTest, SingleTaskRuns) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  int runs = 0;
+  graph.AddTask([&] { ++runs; });
+  graph.Run(&pool);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(TaskGraphTest, SequentialModeRunsAscendingIdOrder) {
+  // No edges at all: the min-id ready heap alone must yield 0, 1, ..., n-1.
+  TaskGraph graph;
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    graph.AddTask([&order, i] { order.push_back(i); });
+  }
+  graph.Run(nullptr);
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(TaskGraphTest, SequentialModeWithEdgesIsStillIdentityOrder) {
+  // Ids assigned in topological order + min-id tie-break == identity, even
+  // with a diamond in the middle.
+  TaskGraph graph;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    graph.AddTask([&order, i] { order.push_back(i); });
+  }
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(1, 3);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(3, 5);
+  graph.Run(nullptr);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(TaskGraphTest, ParallelRunExecutesEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  constexpr int kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  for (int i = 0; i < kN; ++i) {
+    graph.AddTask([&hits, i] { hits[size_t(i)].fetch_add(1); });
+  }
+  // Random-ish forward edges.
+  for (int i = 0; i < kN - 1; i += 3) graph.AddEdge(i, i + 1);
+  for (int i = 0; i < kN - 7; i += 5) graph.AddEdge(i, i + 7);
+  graph.Run(&pool);
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[size_t(i)].load(), 1);
+}
+
+TEST(TaskGraphTest, EdgesOrderConflictingTasks) {
+  // A linear chain must execute in exact chain order on any thread count.
+  ThreadPool pool(4);
+  TaskGraph graph;
+  std::vector<int> order;  // Unlocked on purpose: the chain IS the exclusion.
+  constexpr int kN = 100;
+  for (int i = 0; i < kN; ++i) {
+    graph.AddTask([&order, i] { order.push_back(i); });
+  }
+  for (int i = 0; i + 1 < kN; ++i) graph.AddEdge(i, i + 1);
+  graph.Run(&pool);
+  ASSERT_EQ(order.size(), size_t(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(order[size_t(i)], i);
+}
+
+TEST(TaskGraphTest, DiamondRespectsDependencies) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    TaskGraph graph;
+    std::mutex mu;
+    std::vector<int> order;
+    auto record = [&](int id) {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(id);
+    };
+    graph.AddTask([&] { record(0); });  // Root.
+    graph.AddTask([&] { record(1); });  // Left branch.
+    graph.AddTask([&] { record(2); });  // Right branch.
+    graph.AddTask([&] { record(3); });  // Join.
+    graph.AddEdge(0, 1);
+    graph.AddEdge(0, 2);
+    graph.AddEdge(1, 3);
+    graph.AddEdge(2, 3);
+    graph.Run(&pool);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order.front(), 0);
+    EXPECT_EQ(order.back(), 3);
+  }
+}
+
+TEST(TaskGraphTest, ChainedFloatAccumulationBitIdenticalAnyThreadCount) {
+  // The executor's whole reason to exist: tasks accumulating into one shared
+  // float buffer, ordered only by chain edges, must produce bit-identical
+  // sums on 1 thread and 4. The addends are chosen to be order-sensitive in
+  // float arithmetic, so any reorder would flip low bits.
+  auto run = [](int threads) {
+    ThreadPool pool(threads);
+    TaskGraph graph;
+    auto acc = std::make_shared<float>(0.f);
+    constexpr int kN = 300;
+    int prev = -1;
+    for (int i = 0; i < kN; ++i) {
+      const float addend = (i % 2 == 0) ? 1e-7f * float(i + 1) : 3.1f;
+      const int id = graph.AddTask([acc, addend] { *acc += addend; });
+      if (prev >= 0) graph.AddEdge(prev, id);
+      prev = id;
+    }
+    graph.Run(threads > 1 ? &pool : nullptr);
+    return *acc;
+  };
+  const float seq = run(1);
+  for (int rep = 0; rep < 20; ++rep) {
+    const float par = run(4);
+    ASSERT_EQ(std::memcmp(&seq, &par, sizeof(float)), 0);
+  }
+}
+
+TEST(TaskGraphTest, DuplicateEdgesAreCountedWithMultiplicity) {
+  ThreadPool pool(4);
+  TaskGraph graph;
+  std::vector<int> order;
+  std::mutex mu;
+  graph.AddTask([&] { std::lock_guard<std::mutex> l(mu); order.push_back(0); });
+  graph.AddTask([&] { std::lock_guard<std::mutex> l(mu); order.push_back(1); });
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 1);  // Duplicate must not leave task 1 waiting forever.
+  graph.Run(&pool);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(TaskGraphTest, SequentialExceptionPropagatesImmediately) {
+  TaskGraph graph;
+  int ran_after = 0;
+  graph.AddTask([] { throw std::runtime_error("seq boom"); });
+  graph.AddTask([&] { ++ran_after; });
+  graph.AddEdge(0, 1);
+  EXPECT_THROW(graph.Run(nullptr), std::runtime_error);
+  EXPECT_EQ(ran_after, 0);  // Successors of a failed task are abandoned.
+}
+
+TEST(TaskGraphTest, ParallelExceptionRethrownAndPoolSurvives) {
+  ThreadPool pool(4);
+  {
+    TaskGraph graph;
+    std::atomic<int> dependents_run{0};
+    const int bad = graph.AddTask([] { throw std::runtime_error("par boom"); });
+    const int succ = graph.AddTask([&] { dependents_run.fetch_add(1); });
+    graph.AddEdge(bad, succ);
+    EXPECT_THROW(graph.Run(&pool), std::runtime_error);
+    EXPECT_EQ(dependents_run.load(), 0);
+  }
+  // The pool is fully usable afterwards: helper units exited cleanly.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 64, 1, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+  TaskGraph again;
+  int runs = 0;
+  again.AddTask([&] { ++runs; });
+  again.Run(&pool);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(TaskGraphTest, NestedRunFromWorkerExecutesInline) {
+  ThreadPool pool(4);
+  TaskGraph outer;
+  std::atomic<int> inner_total{0};
+  for (int t = 0; t < 8; ++t) {
+    outer.AddTask([&pool, &inner_total] {
+      // Building + running a graph from inside a pool task must not deadlock:
+      // on a spawned worker it runs inline, on the caller thread it may fan
+      // out again — either way the chain below orders every push_back.
+      TaskGraph inner;
+      std::vector<int> order;
+      for (int i = 0; i < 10; ++i) {
+        inner.AddTask([&order, i] { order.push_back(i); });
+        if (i > 0) inner.AddEdge(i - 1, i);
+      }
+      inner.Run(&pool);
+      if (order.size() == 10u) inner_total.fetch_add(1);
+    });
+  }
+  outer.Run(&pool);
+  EXPECT_EQ(inner_total.load(), 8);
+}
+
+}  // namespace
+}  // namespace rt
+}  // namespace turl

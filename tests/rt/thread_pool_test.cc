@@ -140,6 +140,76 @@ TEST(ThreadPoolTest, ActiveCountsRunningTasks) {
   EXPECT_EQ(pool.active(), 0);
 }
 
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](int64_t) { ++calls; });
+  pool.ParallelFor(9, 3, 1, [&](int64_t) { ++calls; });  // begin > end.
+  pool.ParallelFor(-2, -2, 4, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, InlinePathPropagatesException) {
+  // Single-thread pool takes the inline path; the exception must surface
+  // exactly like the parallel path's deferred rethrow.
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 8, 1,
+                                [&](int64_t i) {
+                                  if (i == 3) throw std::runtime_error("i3");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesExceptionFromWorker) {
+  ThreadPool pool(4);
+  std::atomic<int> outer_failures{0};
+  // The nested call runs inline on a worker; its exception crosses the inner
+  // (inline) boundary, is captured by the outer chunk runner, and rethrows
+  // from the outer ParallelFor on the caller.
+  EXPECT_THROW(pool.ParallelFor(0, 16, 1,
+                                [&](int64_t o) {
+                                  pool.ParallelFor(0, 4, 1, [&](int64_t i) {
+                                    if (o == 7 && i == 2) {
+                                      outer_failures.fetch_add(1);
+                                      throw std::runtime_error("nested");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(outer_failures.load(), 1);
+}
+
+TEST(ThreadPoolTest, EnqueuedTaskExceptionDoesNotKillPool) {
+  obs::Counter* exceptions =
+      obs::MetricsRegistry::Get().GetCounter("rt.pool.task_exceptions");
+  const int64_t before = exceptions->Value();
+  ThreadPool pool(2);
+  // Fire-and-forget task that throws: without the WorkerLoop containment
+  // this std::terminates the process and leaks the active count.
+  pool.Enqueue([] { throw std::runtime_error("fire and forget"); });
+  // The pool must still process work afterwards...
+  auto f = pool.Submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 100, 1, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+  // ...the exception must be counted...
+  for (int i = 0; i < 1000 && exceptions->Value() == before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(exceptions->Value(), before + 1);
+  // ...and the active count / utilization gauge must unwind to zero (the
+  // gauge write trails the count decrement by an instant, so poll both).
+  obs::Gauge* gauge =
+      obs::MetricsRegistry::Get().GetGauge("rt.pool.utilization");
+  for (int i = 0;
+       i < 1000 && (pool.active() != 0 || gauge->Value() != 0.0); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.active(), 0);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 0.0);
+}
+
 TEST(ThreadPoolTest, WorkerIndexInRangeAndStable) {
   ThreadPool pool(4);
   EXPECT_FALSE(pool.InWorker());
